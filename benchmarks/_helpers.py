@@ -1,0 +1,82 @@
+"""Shared analysis helpers for the figure benches."""
+
+from __future__ import annotations
+
+from repro import BlackForest
+from repro.viz import dependence_plot, importance_chart, loadings_table
+
+#: Counter families used in shape assertions.
+REPLAY_FAMILY = {
+    "shared_replay_overhead",
+    "inst_replay_overhead",
+    "l1_shared_bank_conflict",
+    "shared_load_replay",
+    "shared_store_replay",
+    "inst_issued",
+}
+
+MEMORY_FAMILY = {
+    "l1_global_load_hit",
+    "l1_global_load_miss",
+    "l2_read_transactions",
+    "l2_write_transactions",
+    "l2_read_throughput",
+    "l2_write_throughput",
+    "dram_read_throughput",
+    "dram_write_throughput",
+    "gld_request",
+    "gst_request",
+    "gld_throughput",
+    "gst_throughput",
+    "gld_requested_throughput",
+    "gst_requested_throughput",
+    "global_store_transaction",
+    "shared_load",
+    "shared_store",
+    "ldst_fu_utilization",
+}
+
+STORE_FAMILY = {
+    "gst_request",
+    "gst_throughput",
+    "gst_requested_throughput",
+    "global_store_transaction",
+    "l2_write_transactions",
+    "l2_write_throughput",
+    "dram_write_throughput",
+}
+
+
+def fit_pipeline(campaign, rng=1, include_characteristics=False, **kwargs):
+    """The standard stage 2-5 run used by the Section 5 benches.
+
+    Importance is averaged over three forest fits: single-forest
+    rankings among the highly correlated counters are unstable (the
+    Strobl et al. effect the paper cites as [19]).
+    """
+    kwargs.setdefault("importance_repeats", 3)
+    return BlackForest(rng=rng, **kwargs).fit(
+        campaign, include_characteristics=include_characteristics
+    )
+
+
+def print_figure(fit, title, top_k=10):
+    """Importance chart + leader partial dependence + PCA loadings."""
+    print()
+    print(f"==== {title} ====")
+    print(importance_chart(fit.importance, k=top_k))
+    leader = fit.importance.names[0]
+    pd = fit.importance.dependence.get(leader)
+    if pd is not None:
+        print()
+        print(dependence_plot(pd))
+    if fit.pca is not None:
+        variance = 100 * float(fit.pca.explained_variance_ratio_.sum())
+        print()
+        print(f"PCA: {fit.pca.n_components_} components, {variance:.1f}% variance")
+        print(loadings_table(fit.pca.loadings, threshold=0.45))
+    print()
+    print(f"OOB explained variance: {100 * fit.oob_explained_variance:.1f}%  "
+          f"test: {100 * fit.test_explained_variance:.1f}%")
+    if fit.bottlenecks:
+        print(f"primary bottleneck: {fit.bottlenecks[0].pattern.key}")

@@ -1,0 +1,78 @@
+"""Figure 2 — "Counters affecting the performance of reduce1".
+
+Paper claims reproduced here:
+
+* (2a) the variable importance of the reduce1 campaign is led by the
+  bank-conflict replay machinery ("shared_replay_overhead,
+  inst_replay_overhead, l2_read_throughput" in the paper's ordering —
+  asserted at family level: replay/conflict counters in the top 3);
+* (2b) the leading replay counter's partial dependence is monotone
+  ("strongly ... affects the average predicted execution time");
+* (2c / §5.2) PCA produces a handful of components explaining >= 96-97%
+  of the variance, with the replay counters loading strongly on a
+  common component;
+* §5.2's diagnosis: the detected primary bottleneck is the shared-
+  memory bank conflict pattern introduced by strided indexing.
+"""
+
+import numpy as np
+
+from repro.ml.partial_dependence import partial_dependence
+
+from _helpers import REPLAY_FAMILY, fit_pipeline, print_figure
+
+
+def test_fig2_reduce1(reduce1_campaign, benchmark):
+    fit = benchmark.pedantic(
+        fit_pipeline, args=(reduce1_campaign,), rounds=1, iterations=1
+    )
+    print_figure(fit, "Fig. 2: reduce1 on GTX580")
+
+    # (2a) replay/conflict counters lead the importance ranking
+    top3 = set(fit.importance.top(3))
+    assert top3 & REPLAY_FAMILY, f"no replay-family counter in top 3: {top3}"
+    assert "l1_shared_bank_conflict" in fit.importance.top(5)
+
+    # model quality backs the interpretation
+    assert fit.oob_explained_variance > 0.85
+    assert fit.test_explained_variance > 0.85
+
+    # (2b) the leading conflict counter moves the predicted time
+    # monotonically over (most of) its range
+    conflict_leader = next(
+        n for n in fit.importance.names if n in REPLAY_FAMILY
+    )
+    j = fit.feature_names.index(conflict_leader)
+    pd = partial_dependence(fit.forest, fit.X_train, j,
+                            feature_name=conflict_leader)
+    assert abs(pd.monotonicity) > 0.5, (
+        f"{conflict_leader} partial dependence not monotone: "
+        f"{pd.monotonicity:.2f}"
+    )
+
+    # (2c) a handful of components explains the paper's >=96-97%
+    # variance (the paper needed 4; the per-counter measurement noise
+    # modeled here spreads the tail over a few more — see
+    # EXPERIMENTS.md)
+    assert fit.pca is not None
+    cum = np.cumsum(fit.pca.explained_variance_ratio_)
+    assert fit.pca.n_components_ <= 10
+    assert cum[-1] >= 0.96
+    print(f"4-component cumulative variance: {cum[min(3, cum.size - 1)]:.3f} "
+          f"(paper: >0.97)")
+
+    # replay counters share a rotated component (the paper's PC2 story)
+    loadings = fit.pca.loadings
+    conflict_vars = [n for n in ("l1_shared_bank_conflict", "inst_issued")
+                     if n in loadings.names]
+    shared_component = None
+    for comp in loadings.components:
+        strong = {name for name, _ in loadings.strong(comp, threshold=0.45)}
+        if all(v in strong for v in conflict_vars):
+            shared_component = comp
+            break
+    assert shared_component is not None, "replay counters do not co-load"
+
+    # §5.2 diagnosis
+    keys = [b.pattern.key for b in fit.bottlenecks]
+    assert keys[0] == "shared_bank_conflicts", keys

@@ -1,0 +1,82 @@
+"""Figure 3 — "Counters affecting the performance of reduce2".
+
+Paper claims reproduced:
+
+* (3a) after replacing strided with sequential addressing "the most
+  relevant counters all pertain to the memory subsystem performance"
+  (paper's top three: l1_global_load_miss, l2_write_transactions,
+  l2_read_transactions) — asserted at family level;
+* "Observe how the most important counter for reduce1 is the least
+  important for reduce2": with zero bank conflicts the
+  shared_replay_overhead counter is constant zero, i.e. it drops out of
+  the model entirely ("the metric measuring overhead due to shared
+  memory bank conflicts also vanishes from PCA outcome");
+* (3b) the leading memory counter relates monotonically to time;
+* (3c) PCA again yields a handful of components covering >= 96%.
+"""
+
+import numpy as np
+
+from _helpers import MEMORY_FAMILY, fit_pipeline, print_figure
+
+
+def test_fig3_reduce2(reduce2_campaign, benchmark):
+    fit = benchmark.pedantic(
+        fit_pipeline, args=(reduce2_campaign,), rounds=1, iterations=1
+    )
+    print_figure(fit, "Fig. 3: reduce2 on GTX580")
+
+    # (3a) memory-subsystem counters dominate
+    top6 = fit.importance.top(6)
+    memory_hits = [n for n in top6 if n in MEMORY_FAMILY]
+    assert len(memory_hits) >= 4, f"top6 not memory-dominated: {top6}"
+
+    # reduce1's winner vanishes: no conflicts -> constant zero -> dropped
+    assert "shared_replay_overhead" not in fit.feature_names
+    assert "l1_shared_bank_conflict" not in fit.feature_names
+    assert "shared_replay_overhead" not in fit.pca.loadings.names
+
+    # model quality
+    assert fit.oob_explained_variance > 0.85
+
+    # (3b) the leading variable's marginal effect is strong over (at
+    # least part of) the range — "strong positive relationship ...
+    # although on a rather limited range"
+    leader = fit.importance.names[0]
+    pd = fit.importance.dependence[leader]
+    assert np.ptp(pd.values) > 0
+
+    # the detected pathology is a memory one, never bank conflicts
+    assert fit.bottlenecks[0].pattern.key in (
+        "cache_misses", "uncoalesced_access", "bandwidth", "memory_requests"
+    )
+
+    # (3c) PCA variance coverage
+    assert fit.pca.n_components_ <= 10
+    assert float(np.sum(fit.pca.explained_variance_ratio_)) >= 0.96
+
+
+def test_fig3_vs_fig2_contrast(reduce1_campaign, reduce2_campaign, benchmark):
+    """The cross-kernel contrast of Section 5.3, as one measurement."""
+
+    def both():
+        return (
+            fit_pipeline(reduce1_campaign, rng=11),
+            fit_pipeline(reduce2_campaign, rng=11),
+        )
+
+    fit1, fit2 = benchmark.pedantic(both, rounds=1, iterations=1)
+
+    # reduce1 pays a replay tax that reduce2 does not
+    t1 = np.median(reduce1_campaign.times())
+    t2 = np.median(reduce2_campaign.times())
+    print(f"\nmedian reduce1 time {t1 * 1e6:.0f} us vs reduce2 {t2 * 1e6:.0f} us"
+          f"  -> conflict slowdown x{t1 / t2:.2f}")
+    assert t1 > 1.2 * t2
+
+    # the conflict machinery matters for reduce1 and cannot matter for
+    # reduce2 (it never fires there)
+    assert "l1_shared_bank_conflict" in fit1.importance.top(5)
+    assert "l1_shared_bank_conflict" not in fit2.feature_names
+    assert fit1.bottlenecks[0].pattern.key == "shared_bank_conflicts"
+    assert fit2.bottlenecks[0].pattern.key != "shared_bank_conflicts"

@@ -1,0 +1,75 @@
+"""Figure 4 — "Counters affecting the performance of reduce6".
+
+Paper claims reproduced:
+
+* (4a) for the fully optimized kernel "memory performance counters are
+  still the most influential in predicting the execution time" (paper's
+  top three: gst_request, shared_store, shared_load);
+* (4b) they have "a strong correlation with it" — monotone partial
+  dependence of the leading memory counter;
+* §5.4: few variables "seriously precluding optimal utilization,
+  confirming the bandwidth bounded character of the reduction
+  primitive" — the kernel runs at near-peak DRAM bandwidth and the
+  detected bottleneck is bandwidth/memory volume (nothing pathological
+  left to fix).
+"""
+
+from repro import GTX580, ReductionKernel
+from repro.gpusim import GPUSimulator
+
+from _helpers import MEMORY_FAMILY, fit_pipeline, print_figure
+
+
+def test_fig4_reduce6(reduce6_campaign, benchmark):
+    fit = benchmark.pedantic(
+        fit_pipeline, args=(reduce6_campaign,), rounds=1, iterations=1
+    )
+    print_figure(fit, "Fig. 4: reduce6 on GTX580")
+
+    # (4a) memory counters dominate
+    top3 = fit.importance.top(3)
+    assert len([n for n in top3 if n in MEMORY_FAMILY]) >= 2, top3
+
+    # no conflict pathology left
+    assert "shared_replay_overhead" not in fit.feature_names
+    keys = [b.pattern.key for b in fit.bottlenecks]
+    assert "shared_bank_conflicts" not in keys
+    assert keys[0] in ("bandwidth", "memory_requests"), keys
+
+    # (4b) strong monotone correlation of the leading memory counter
+    leader = next(n for n in fit.importance.names if n in MEMORY_FAMILY)
+    pd = fit.importance.dependence.get(leader)
+    if pd is not None:
+        assert abs(pd.monotonicity) > 0.5
+
+    assert fit.oob_explained_variance > 0.85
+
+    # bandwidth-bounded character, measured directly
+    counters, _, profs = GPUSimulator(GTX580).run(
+        ReductionKernel(6).workloads(1 << 24, GTX580)
+    )
+    total_gbs = (counters["dram_read_throughput"]
+                 + counters["dram_write_throughput"])
+    print(f"\nreduce6 @ 2^24: {total_gbs:.0f} GB/s of "
+          f"{GTX580.mem_bandwidth_gbs} GB/s peak; "
+          f"binding = {profs[0].timing.binding}")
+    assert profs[0].timing.binding == "bandwidth"
+    assert total_gbs > 0.85 * GTX580.mem_bandwidth_gbs
+
+
+def test_fig4_ladder_context(benchmark):
+    """reduce6 is the endpoint of the documented optimization ladder."""
+
+    def ladder():
+        sim = GPUSimulator(GTX580)
+        times = []
+        for variant in range(7):
+            _, t, _ = sim.run(ReductionKernel(variant).workloads(1 << 22, GTX580))
+            times.append(t)
+        return times
+
+    times = benchmark.pedantic(ladder, rounds=1, iterations=1)
+    print("\nreduction ladder @ 2^22 (us):",
+          ", ".join(f"r{v}={t * 1e6:.0f}" for v, t in enumerate(times)))
+    assert times[6] == min(times)
+    assert times[0] > 2 * times[6]

@@ -1,0 +1,81 @@
+"""Figure 7 — "K20m predictions for MM from GTX580".
+
+Paper claims reproduced:
+
+* "The approach works straightforwardly on MM ... the predictions
+  mostly match the measured execution times, the inaccuracies at the
+  edges coming from interpolation";
+* "From the calibration on the K20m, we notice that the most important
+  variables are almost the same on both architectures, which guarantees
+  the good accuracy of the predictions".
+
+Protocol (Section 6.2): machine characteristics from Table 2 are
+injected as predictors; the training data spans the two Fermi cards
+(GTX480 + GTX580) so those predictors vary during training; the test
+GPU's campaign is split 80:20 and the held-out part assessed.
+"""
+
+import numpy as np
+
+from repro.core.hardware import (
+    HardwareScalingPredictor,
+    common_predictors,
+    importance_similarity,
+    per_arch_importance,
+)
+from repro.viz import prediction_table
+
+
+def transfer(train, test, rng=3):
+    common = common_predictors(train, test)
+    hw = HardwareScalingPredictor(n_trees=300, rng=rng).fit(train, common=common)
+    return hw.assess(test)
+
+
+def test_fig7_mm_hardware_scaling(
+    mm_campaign, mm_campaign_gtx480, mm_campaign_k20m, benchmark
+):
+    train = mm_campaign.merged_with(mm_campaign_gtx480)
+    result = benchmark.pedantic(
+        transfer, args=(train, mm_campaign_k20m), rounds=1, iterations=1
+    )
+
+    print()
+    print(prediction_table(
+        result.report,
+        title=f"Fig. 7: K20m MM predictions from the "
+              f"{result.train_arch}-trained forest",
+    ))
+
+    # "the predictions mostly match the measured execution times"
+    assert result.report.explained_variance > 0.7
+
+    # "inaccuracies at the edges coming from interpolation": the
+    # interior of the size range is predicted better than the edges
+    rows = sorted(result.report.rows())
+    sizes = np.array([r[0] for r in rows])
+    rel = np.array([abs(p - m) / m for _, p, m in rows])
+    lo, hi = np.percentile(sizes, [20, 80])
+    interior = rel[(sizes > lo) & (sizes < hi)]
+    if interior.size:
+        print(f"\nmean relative error interior: {interior.mean():.1%}  "
+              f"edges: {rel[(sizes <= lo) | (sizes >= hi)].mean():.1%}")
+
+
+def test_fig7_importance_rankings_similar(
+    mm_campaign, mm_campaign_k20m, benchmark
+):
+    def similarity():
+        ia = per_arch_importance(mm_campaign, n_trees=300, repeats=3, rng=5)
+        ib = per_arch_importance(mm_campaign_k20m, n_trees=300, repeats=3, rng=5)
+        return ia, ib, importance_similarity(ia, ib, k=8)
+
+    ia, ib, sim = benchmark.pedantic(similarity, rounds=1, iterations=1)
+    print(f"\nGTX580 top6: {ia.top(6)}")
+    print(f"K20m   top6: {ib.top(6)}")
+    print(f"importance similarity (top-8 average overlap): {sim:.2f}")
+
+    # "the most important variables are almost the same on both
+    # architectures" — the two rankings share leaders
+    assert set(ia.top(8)) & set(ib.top(8)), "no shared leaders at all"
+    assert sim > 0.15

@@ -1,0 +1,46 @@
+"""Table 2 — "GPU hardware metrics".
+
+Regenerates the machine-characteristic rows the paper injects as
+predictors for hardware scaling, with the paper's exact values.
+"""
+
+from repro.gpusim import GTX480, GTX580, K20M, TABLE2_METRICS
+from repro.viz import table
+
+_PAPER_TABLE2 = {
+    # metric: (meaning, GTX480, K20m) — verbatim from the paper
+    "wsched": ("number of warp schedulers", 2, 4),
+    "freq": ("clock rate (GHz)", 1.4, 0.71),
+    "smp": ("number of MPs", 15, 13),
+    "rco": ("cores per MP", 32, 192),
+    "mbw": ("memory bandwidth (GB/s)", 177.4, 208),
+    "l1c": ("registers", 63, 255),
+    "l2c": ("L2 size (KB)", 768, 1280),
+}
+
+
+def test_table2_hardware(benchmark):
+    metrics = benchmark.pedantic(
+        lambda: {a.name: a.machine_metrics() for a in (GTX480, GTX580, K20M)},
+        rounds=5, iterations=1,
+    )
+
+    rows = [
+        (name, meaning, gtx480, k20m)
+        for name, (meaning, gtx480, k20m) in _PAPER_TABLE2.items()
+    ]
+    print()
+    print(table(["metric", "meaning", "GTX480", "K20m"], rows,
+                title="Table 2: GPU hardware metrics"))
+
+    for name, (_, gtx480, k20m) in _PAPER_TABLE2.items():
+        assert metrics["GTX480"][name] == float(gtx480), name
+        assert metrics["K20m"][name] == float(k20m), name
+    assert TABLE2_METRICS["GTX480"] == metrics["GTX480"]
+    assert TABLE2_METRICS["K20m"] == metrics["K20m"]
+
+    # the training GPU of the paper's text (GTX580) is the same Fermi
+    # family as the Table 2 GTX480 row
+    assert metrics["GTX580"]["wsched"] == 2
+    assert metrics["GTX580"]["rco"] == 32
+    assert metrics["GTX580"]["smp"] == 16

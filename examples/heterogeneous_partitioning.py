@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Heterogeneous CPU+GPU workload partitioning from two BlackForest models.
+
+The paper's closing vision (Section 7): "our approach is very useful in
+the context of emerging CPU+GPUs heterogeneous systems, where
+performance modeling is key to determine workload partitioning ... we
+can provide a unified modeling approach for heterogeneous platforms."
+
+This example realizes it for the 2-D stencil: one problem-scaling model
+is trained on a Xeon E5 campaign, one on a GTX580 campaign, and a
+static partitioner chooses — per total problem size — the split that
+lets both devices finish together.
+
+Run:  python examples/heterogeneous_partitioning.py
+"""
+
+from repro import (
+    BlackForest,
+    Campaign,
+    GTX580,
+    HeterogeneousPartitioner,
+    ProblemScalingPredictor,
+    XEON_E5,
+)
+from repro.kernels import StencilKernel
+from repro.kernels.cpu import CpuStencilKernel
+from repro.viz import table
+
+SIZES = [128, 192, 256, 384, 512, 768, 1024, 1536, 2048, 3072]
+
+print("training the GPU model (GTX580)...")
+gpu_campaign = Campaign(StencilKernel(), GTX580, rng=0).run(
+    problems=SIZES, replicates=2
+)
+gpu_model = ProblemScalingPredictor(
+    BlackForest(n_trees=150, use_pca=False, min_samples_leaf=3, rng=1), rng=2
+).fit(gpu_campaign)
+
+print("training the CPU model (Xeon E5-2670)...")
+cpu_campaign = Campaign(CpuStencilKernel(), XEON_E5, rng=3).run(
+    problems=SIZES, replicates=2
+)
+cpu_model = ProblemScalingPredictor(
+    BlackForest(n_trees=150, use_pca=False, min_samples_leaf=3, rng=4), rng=5
+).fit(cpu_campaign)
+
+partitioner = HeterogeneousPartitioner(cpu_model, gpu_model, min_chunk=128.0)
+
+rows = []
+for total in (256.0, 512.0, 1024.0, 2048.0, 3072.0):
+    plan = partitioner.plan(total)
+    rows.append((
+        int(total),
+        f"{100 * plan.cpu_share:.0f}% / {100 * (1 - plan.cpu_share):.0f}%",
+        f"{plan.makespan_s * 1e3:.3f} ms",
+        f"{plan.best_single_device_s * 1e3:.3f} ms",
+        f"{plan.speedup_vs_best_device:.2f}x",
+    ))
+
+print()
+print(table(
+    ["total size", "CPU / GPU share", "co-run makespan",
+     "best single device", "speedup"],
+    rows,
+    title="Static stencil partitioning, Xeon E5-2670 + GTX580",
+))
+
+print("""
+Reading: at small sizes the GPU's launch overhead and the CPU's
+competitive bandwidth keep work on one device; as the grid grows the
+partitioner converges to the devices' bandwidth ratio, and co-running
+beats the best single device — the Glinda/StarPU scenario the paper
+cites, driven end to end by two BlackForest models.
+""")

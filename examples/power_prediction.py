@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Power draw as the response variable (the paper's Section 7 extension).
+
+"Our method is not limited to predicting execution time - one could use
+other metrics of interest, such as power, as response variable. For
+instance, on the Kepler architecture, power draw can be directly read
+using the system management interface. Using BF, one can then both
+assess the power consumption behavior ... and predict that for unseen
+problem sizes, or simply evaluate computing efficiency in terms of
+performance per watt."
+
+This example does all three on a simulated K20m:
+
+1. fit BlackForest with power as the response and read which counters
+   drive the board's draw;
+2. predict power for unseen problem sizes;
+3. rank the reduction kernels by performance per watt.
+
+Run:  python examples/power_prediction.py
+"""
+
+import numpy as np
+
+from repro import BlackForest, Campaign, K20M, ReductionKernel
+from repro.ml import explained_variance
+from repro.viz import importance_chart, table
+
+sizes = [int(s) for s in np.round(np.logspace(16, 24, 60, base=2.0))]
+
+# ---- 1. power consumption behaviour of reduce6 ----
+campaign = Campaign(ReductionKernel(6), K20M, rng=0).run(problems=sizes)
+fit = BlackForest(rng=1, importance_repeats=3).fit(campaign, response="power")
+
+print(importance_chart(
+    fit.importance, k=8,
+    title="What drives reduce6's power draw on the K20m?",
+))
+print(f"\npower model: OOB explained variance "
+      f"{100 * fit.oob_explained_variance:.1f}%")
+print("reading: power tracks memory/issue *activity rates* "
+      "(throughputs, ipc), not raw work volumes")
+
+# ---- 2. predict power for unseen sizes via the fitted forest ----
+pred = fit.forest.predict(fit.X_test)
+print(f"held-out power predictions: explained variance "
+      f"{100 * explained_variance(fit.y_test, pred):.1f}%, "
+      f"mean |error| "
+      f"{np.mean(np.abs(pred - fit.y_test)):.1f} W")
+
+# ---- 3. performance per watt across the reduction ladder ----
+rows = []
+for variant in range(7):
+    c = Campaign(ReductionKernel(variant), K20M, rng=variant).run(
+        problems=[1 << 22], replicates=5
+    )
+    t = float(np.mean(c.times()))
+    p = float(np.mean(c.powers()))
+    elems_per_joule = (1 << 22) / (t * p)
+    rows.append((f"reduce{variant}", f"{t * 1e6:.0f} us", f"{p:.0f} W",
+                 f"{elems_per_joule / 1e6:.1f} Melem/J"))
+
+print()
+print(table(["kernel", "time @ 2^22", "avg power", "efficiency"], rows,
+            title="Performance per watt across the reduction ladder (K20m)"))
+print("\nthe optimized kernels finish faster at comparable draw, so the "
+      "energy per reduced element falls down the ladder.")

@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Quickstart: analyze a GPU kernel's bottleneck in five lines.
+
+Profiles the CUDA SDK ``reduce1`` kernel (interleaved addressing with
+strided shared-memory indexing) over a range of array lengths on a
+simulated GTX580, fits the BlackForest pipeline, and prints the full
+bottleneck report: model validation, variable importance, partial
+dependence, PCA loadings and the detected bottleneck with its remedy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BlackForest, Campaign, GTX580, ReductionKernel, bottleneck_report
+
+# 1. Collect data: profile the kernel over its default problem sweep
+#    (the paper's Section 4.2 data-collection stage). Each run yields a
+#    vector of nvprof-style hardware counters plus the execution time.
+campaign = Campaign(ReductionKernel(1), GTX580, rng=0).run()
+print(f"collected {len(campaign)} profiled runs of {campaign.kernel} "
+      f"on {campaign.arch}")
+
+# 2. Fit the five-stage pipeline: 80:20 split, random forest with
+#    permutation importance, PCA refinement, bottleneck interpretation.
+fit = BlackForest(rng=1).fit(campaign, include_characteristics=False)
+
+# 3. Read the report.
+print()
+print(bottleneck_report(fit))
+
+# 4. The primary finding for reduce1 should be its known pathology:
+assert fit.primary_bottleneck is not None
+print()
+print(f"primary bottleneck: {fit.primary_bottleneck.pattern.key}")
+print(f"suggested fix     : {fit.primary_bottleneck.pattern.remedy}")

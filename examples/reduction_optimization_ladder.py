@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Walk the CUDA SDK reduction optimization ladder with BlackForest.
+
+The SDK's seven reduction kernels each fix the bottleneck the previous
+one exposed (divergent modulo -> bank conflicts -> idle threads -> ...).
+This example reproduces the paper's Section 5 workflow across ALL
+variants: for each kernel it collects a profiling campaign, fits the
+pipeline, and reports the simulated runtime at a fixed array length,
+the top predictors and the detected primary bottleneck — showing how
+"the most important counter for reduce1 is the least important for
+reduce2" and how the bandwidth-bound character emerges by reduce6.
+
+Run:  python examples/reduction_optimization_ladder.py
+"""
+
+from repro import BlackForest, Campaign, GTX580, ReductionKernel
+from repro.gpusim import GPUSimulator
+from repro.viz import table
+
+PROBE_N = 1 << 22
+
+rows = []
+sim = GPUSimulator(GTX580)
+for variant in range(7):
+    kernel = ReductionKernel(variant)
+
+    # headline runtime at a fixed probe size (deterministic simulation)
+    counters, time_s, _ = sim.run(kernel.workloads(PROBE_N, GTX580))
+
+    # statistical analysis over the full sweep
+    campaign = Campaign(kernel, GTX580, rng=variant).run()
+    fit = BlackForest(rng=100 + variant).fit(
+        campaign, include_characteristics=False
+    )
+
+    primary = fit.primary_bottleneck
+    rows.append(
+        (
+            kernel.name,
+            f"{time_s * 1e6:.0f} us",
+            f"{counters['shared_replay_overhead']:.2f}",
+            f"{counters['dram_read_throughput']:.0f} GB/s",
+            fit.importance.names[0],
+            primary.pattern.key if primary else "-",
+        )
+    )
+
+print(table(
+    ["kernel", f"time @ n=2^22", "shared_replay", "dram read",
+     "top predictor", "primary bottleneck"],
+    rows,
+    title="CUDA SDK reduction ladder on (simulated) GTX580",
+))
+
+print("""
+Reading the ladder:
+ * reduce0 -> reduce1 removes the divergent modulo;
+ * reduce1 pays for it with shared-memory bank conflicts
+   (nonzero shared_replay_overhead, conflict bottleneck);
+ * reduce2 switches to sequential addressing: conflicts vanish and the
+   analysis pivots to memory-subsystem counters;
+ * reduce3..5 halve the block count, unroll the last warp and then the
+   whole tree;
+ * reduce6 processes multiple elements per thread and saturates DRAM
+   bandwidth — the optimization endpoint for a reduction.
+""")

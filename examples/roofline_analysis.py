@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Roofline placement of every bundled kernel, vs. BlackForest's verdict.
+
+The roofline model answers "how far from the hardware ceiling does this
+kernel run?" from two numbers (operational intensity, achieved
+GFLOP/s); BlackForest answers "*why* is it not at the ceiling?" from
+the counters. This example runs both and shows where they agree — and
+where the roofline alone is blind (Needleman-Wunsch sits far below its
+bandwidth ceiling, and only the counter analysis reveals the
+latency/occupancy story).
+
+Run:  python examples/roofline_analysis.py
+"""
+
+from repro import BlackForest, Campaign, GTX580
+from repro.gpusim import roofline_chart, roofline_point
+from repro.kernels import (
+    MatMulKernel,
+    NeedlemanWunschKernel,
+    ReductionKernel,
+    StencilKernel,
+)
+from repro.viz import table
+
+WORKLOADS = [
+    (ReductionKernel(1), 1 << 22),
+    (ReductionKernel(6), 1 << 23),
+    (MatMulKernel(), 1024),
+    (NeedlemanWunschKernel(), 1024),
+    (StencilKernel(), 1024),
+]
+
+points = [roofline_point(k, p, GTX580) for k, p in WORKLOADS]
+print(roofline_chart(points, GTX580))
+
+print("\ncross-checking the roofline against BlackForest's diagnosis:\n")
+rows = []
+for (kernel, _), point in zip(WORKLOADS, points):
+    campaign = Campaign(kernel, GTX580, rng=0).run(
+        problems=kernel.default_sweep()[::4], replicates=2
+    )
+    fit = BlackForest(n_trees=120, use_pca=False, rng=1).fit(campaign)
+    rows.append((
+        kernel.name,
+        point.bound,
+        f"{100 * point.ceiling_fraction:.0f}%",
+        fit.primary_bottleneck.pattern.key,
+    ))
+print(table(
+    ["kernel", "roofline bound", "of ceiling", "BlackForest bottleneck"],
+    rows,
+))
+
+print("""
+Reading:
+ * reduce6 runs at the bandwidth ceiling; both tools call it done.
+ * reduce1 is below its ceiling and the counters say why: bank-conflict
+   replays burn issue slots the roofline cannot see.
+ * needleman-wunsch is the telling case — nominally bandwidth-bound by
+   intensity yet at a small fraction of the ceiling; the counters
+   attribute the gap to memory-operation and conflict pressure at
+   16-thread occupancy, which a pure roofline misdiagnoses.
+""")

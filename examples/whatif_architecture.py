@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""What-if architecture studies with the GPU simulator substrate.
+
+Beyond reproducing the paper, the simulator makes the *hardware* a
+parameter: this example sweeps derived GTX580 variants (more SMs, more
+bandwidth, bigger L1) and shows which knob actually helps each kernel —
+the kind of question the paper's Stargazer-style related work asks of a
+full GPU simulator, answered here in milliseconds.
+
+Run:  python examples/whatif_architecture.py
+"""
+
+from repro import GTX580, MatMulKernel, NeedlemanWunschKernel, ReductionKernel
+from repro.gpusim import GPUSimulator
+from repro.viz import table
+
+VARIANTS = [
+    ("baseline GTX580", GTX580),
+    ("+50% SMs (24)", GTX580.with_overrides(n_sms=24)),
+    ("+50% bandwidth", GTX580.with_overrides(mem_bandwidth_gbs=288.6)),
+    ("4x L1 cache", GTX580.with_overrides(
+        l1=GTX580.l1.__class__(64 * 1024, 128, 4))),
+    ("2x warp schedulers", GTX580.with_overrides(
+        warp_schedulers=4, dispatch_units_per_scheduler=1)),
+]
+
+WORKLOADS = [
+    (ReductionKernel(1), 1 << 22, "reduce1 (bank conflicts)"),
+    (ReductionKernel(6), 1 << 24, "reduce6 (bandwidth bound)"),
+    (MatMulKernel(), 1024, "matrixMul n=1024"),
+    (NeedlemanWunschKernel(), 2048, "needleman-wunsch L=2048"),
+]
+
+rows = []
+baseline_times = {}
+for kernel, problem, label in WORKLOADS:
+    row = [label]
+    for name, arch in VARIANTS:
+        sim = GPUSimulator(arch)
+        _, t, _ = sim.run(kernel.workloads(problem, arch))
+        if name.startswith("baseline"):
+            baseline_times[label] = t
+            row.append(f"{t * 1e3:.2f} ms")
+        else:
+            speedup = baseline_times[label] / t
+            row.append(f"{speedup:.2f}x")
+    rows.append(tuple(row))
+
+print(table(
+    ["workload"] + [name for name, _ in VARIANTS],
+    rows,
+    title="What-if speedups over the baseline GTX580",
+))
+
+print("""
+Expected reading:
+ * reduce6 (bandwidth-bound) only responds to the bandwidth knob;
+ * matrixMul (issue/LSU-bound) responds to more SMs, not bandwidth;
+ * needleman-wunsch (latency-bound at 16-thread blocks) responds to
+   neither dramatically — its bottleneck is the launch geometry itself;
+ * reduce1's conflict replays burn issue slots, so extra SMs help while
+   extra bandwidth does not.
+""")

@@ -1,0 +1,237 @@
+"""Command-line interface: the "easy-to-use tool" face of BlackForest.
+
+The paper's pitch is a tool a performance engineer can point at a
+kernel and get readable feedback from; this module is that front end::
+
+    python -m repro list-kernels
+    python -m repro list-archs
+    python -m repro profile reduce1 1048576 --arch GTX580
+    python -m repro analyze reduce1 --arch GTX580
+    python -m repro predict matrixMul --sizes 96,416,1936
+    python -m repro transfer matrixMul --train GTX580 --test K20m
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import (
+    BlackForest,
+    Campaign,
+    HardwareScalingPredictor,
+    ProblemScalingPredictor,
+    Profiler,
+    bottleneck_report,
+    common_predictors,
+    kernel_registry,
+    prediction_report_text,
+)
+from repro.cpusim import I7_SANDY, XEON_E5
+from repro.gpusim import GTX480, GTX580, K20M
+from repro.viz import table
+
+ARCHS = {a.name: a for a in (GTX480, GTX580, K20M, XEON_E5, I7_SANDY)}
+
+
+def _arch(name: str):
+    try:
+        return ARCHS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown architecture {name!r}; choose from {sorted(ARCHS)}"
+        )
+
+
+def _kernel(name: str):
+    registry = kernel_registry()
+    try:
+        return registry[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown kernel {name!r}; run 'list-kernels' to see choices"
+        )
+
+
+def _parse_sizes(text: str) -> list[int]:
+    try:
+        return [int(tok) for tok in text.split(",") if tok.strip()]
+    except ValueError:
+        raise SystemExit(f"could not parse sizes {text!r} (expected e.g. 96,416)")
+
+
+# ---------------------------------------------------------------------------
+
+
+def cmd_list_kernels(_args) -> int:
+    rows = []
+    for name, kernel in sorted(kernel_registry().items()):
+        doc = (kernel.__class__.__doc__ or "").strip().splitlines()[0]
+        sweep = kernel.default_sweep()
+        rows.append((name, f"{len(sweep)} sizes "
+                     f"[{sweep[0]}..{sweep[-1]}]", doc[:60]))
+    print(table(["kernel", "default sweep", "description"], rows))
+    return 0
+
+
+def cmd_list_archs(_args) -> int:
+    rows = []
+    for a in ARCHS.values():
+        metrics = ", ".join(
+            f"{k}={v:g}" for k, v in sorted(a.machine_metrics().items())
+        )
+        rows.append((a.name, a.family, metrics))
+    print(table(["arch", "family", "machine metrics"], rows,
+                title="Architectures (Table 2-style metrics)"))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    arch = _arch(args.arch)
+    kernel = _kernel(args.kernel)
+    try:
+        record = Profiler(arch, rng=args.seed).profile(kernel, args.problem)[0]
+    except ValueError as exc:
+        raise SystemExit(f"cannot profile {kernel.name!r}: {exc}")
+    rows = sorted(record.counters.items())
+    print(table(["counter", "value"], rows,
+                title=f"{kernel.name} (problem={args.problem}) on {arch.name}"))
+    print(f"\nexecution time: {record.time_s * 1e3:.4g} ms")
+    if record.power_w is not None:
+        print(f"average power : {record.power_w:.1f} W")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    arch = _arch(args.arch)
+    kernel = _kernel(args.kernel)
+    problems = _parse_sizes(args.sizes) if args.sizes else None
+    print(f"collecting campaign for {kernel.name} on {arch.name}...",
+          file=sys.stderr)
+    campaign = Campaign(kernel, arch, rng=args.seed).run(
+        problems=problems, replicates=args.replicates
+    )
+    fit = BlackForest(
+        n_trees=args.trees, importance_repeats=args.repeats, rng=args.seed + 1
+    ).fit(campaign, response=args.response)
+    print(bottleneck_report(fit, top_k=args.top))
+    return 0
+
+
+def cmd_predict(args) -> int:
+    arch = _arch(args.arch)
+    kernel = _kernel(args.kernel)
+    sizes = _parse_sizes(args.sizes)
+    print(f"training problem-scaling model for {kernel.name} on "
+          f"{arch.name}...", file=sys.stderr)
+    campaign = Campaign(kernel, arch, rng=args.seed).run(
+        replicates=args.replicates
+    )
+    predictor = ProblemScalingPredictor(
+        BlackForest(n_trees=args.trees, rng=args.seed + 1),
+        prefer_mars=args.mars, rng=args.seed + 2,
+    ).fit(campaign)
+    times = predictor.predict(np.array(sizes, dtype=float))
+    rows = [(s, f"{t * 1e3:.4g} ms") for s, t in zip(sizes, times)]
+    print(table(["size", "predicted time"], rows,
+                title=f"{kernel.name} on {arch.name}"))
+    return 0
+
+
+def cmd_transfer(args) -> int:
+    train_arch = _arch(args.train)
+    test_arch = _arch(args.test)
+    kernel = _kernel(args.kernel)
+    print(f"profiling {kernel.name} on {train_arch.name} and "
+          f"{test_arch.name}...", file=sys.stderr)
+    train = Campaign(kernel, train_arch, rng=args.seed).run(
+        replicates=args.replicates
+    )
+    test = Campaign(kernel, test_arch, rng=args.seed + 1).run(
+        replicates=args.replicates
+    )
+    common = common_predictors(train, test)
+    hw = HardwareScalingPredictor(n_trees=args.trees, rng=args.seed + 2).fit(
+        train, common=common
+    )
+    result = hw.assess(test)
+    print(prediction_report_text(
+        result.report,
+        title=f"{kernel.name}: {train_arch.name} -> {test_arch.name}",
+    ))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BlackForest: GPU bottleneck analysis & performance "
+        "prediction (paper reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-kernels", help="available kernel models")
+    sub.add_parser("list-archs", help="available architectures")
+
+    p = sub.add_parser("profile", help="profile one run, print all counters")
+    p.add_argument("kernel")
+    p.add_argument("problem", type=int)
+    p.add_argument("--arch", default="GTX580")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("analyze", help="full bottleneck analysis")
+    p.add_argument("kernel")
+    p.add_argument("--arch", default="GTX580")
+    p.add_argument("--sizes", help="comma-separated problem sizes "
+                   "(default: the kernel's paper sweep)")
+    p.add_argument("--replicates", type=int, default=1)
+    p.add_argument("--trees", type=int, default=300)
+    p.add_argument("--repeats", type=int, default=3,
+                   help="forests averaged for the importance ranking")
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--response", choices=("time", "power"), default="time")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("predict", help="predict times for unseen sizes")
+    p.add_argument("kernel")
+    p.add_argument("--sizes", required=True)
+    p.add_argument("--arch", default="GTX580")
+    p.add_argument("--replicates", type=int, default=3)
+    p.add_argument("--trees", type=int, default=300)
+    p.add_argument("--mars", action="store_true",
+                   help="force MARS counter models")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("transfer", help="cross-architecture prediction")
+    p.add_argument("kernel")
+    p.add_argument("--train", default="GTX580")
+    p.add_argument("--test", default="K20m")
+    p.add_argument("--replicates", type=int, default=3)
+    p.add_argument("--trees", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+_COMMANDS = {
+    "list-kernels": cmd_list_kernels,
+    "list-archs": cmd_list_archs,
+    "profile": cmd_profile,
+    "analyze": cmd_analyze,
+    "predict": cmd_predict,
+    "transfer": cmd_transfer,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

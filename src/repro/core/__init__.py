@@ -1,0 +1,61 @@
+"""BlackForest core: the paper's contribution.
+
+Five-stage pipeline (:class:`BlackForest`), variable-importance
+analysis, bottleneck detection, counter models, problem-scaling
+prediction, hardware-scaling prediction and reporting.
+"""
+
+from .bottleneck import (
+    PATTERNS,
+    BottleneckFinding,
+    BottleneckPattern,
+    detect_bottlenecks,
+)
+from .counter_models import CounterModel, CounterModelSet
+from .hardware import (
+    HardwareScalingPredictor,
+    HardwareScalingResult,
+    common_predictors,
+    importance_similarity,
+    mixed_variable_set,
+    per_arch_importance,
+)
+from .importance import (
+    ImportanceRanking,
+    rank_importance,
+    rank_similarity,
+    reduced_model_check,
+)
+from .model import BlackForest, BlackForestFit, induced_counter_ranking
+from .partition import HeterogeneousPartitioner, PartitionPlan
+from .prediction import PredictionReport, ProblemScalingPredictor
+from .report import bottleneck_report, fit_summary, prediction_report_text
+
+__all__ = [
+    "PATTERNS",
+    "BottleneckFinding",
+    "BottleneckPattern",
+    "detect_bottlenecks",
+    "CounterModel",
+    "CounterModelSet",
+    "HardwareScalingPredictor",
+    "HardwareScalingResult",
+    "common_predictors",
+    "importance_similarity",
+    "mixed_variable_set",
+    "per_arch_importance",
+    "ImportanceRanking",
+    "rank_importance",
+    "rank_similarity",
+    "reduced_model_check",
+    "BlackForest",
+    "BlackForestFit",
+    "induced_counter_ranking",
+    "HeterogeneousPartitioner",
+    "PartitionPlan",
+    "PredictionReport",
+    "ProblemScalingPredictor",
+    "bottleneck_report",
+    "fit_summary",
+    "prediction_report_text",
+]

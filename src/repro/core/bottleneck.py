@@ -1,0 +1,236 @@
+"""Bottleneck detection: from variable importance to performance patterns.
+
+"Variable importance can be correlated to performance patterns,
+enabling us to provide systematic bottleneck detection and analysis, as
+well as suggest potential elimination strategies" (paper Section 1).
+Each known pattern is described by the counters that witness it; a
+pattern *fires* when its witnesses rank highly in the importance
+analysis (and, where meaningful, their partial dependence shows the
+tell-tale direction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .importance import ImportanceRanking
+
+__all__ = ["BottleneckPattern", "BottleneckFinding", "PATTERNS", "detect_bottlenecks"]
+
+
+@dataclass(frozen=True)
+class BottleneckPattern:
+    """A recognizable performance-limiting pattern.
+
+    ``generic`` marks volume *symptoms* (lots of memory requests, high
+    bandwidth) as opposed to specific *pathologies* (bank conflicts,
+    divergence, uncoalesced access): when both fire at similar ranks,
+    the pathology is the actionable finding and is reported first.
+    """
+
+    key: str
+    description: str
+    witnesses: tuple[str, ...]      # counters implicating this pattern
+    remedy: str
+    generic: bool = False
+
+
+PATTERNS: list[BottleneckPattern] = [
+    BottleneckPattern(
+        key="shared_bank_conflicts",
+        description="shared memory bank conflicts serialize warp accesses "
+        "(replays waste issue slots and bandwidth)",
+        witnesses=(
+            "shared_replay_overhead",
+            "l1_shared_bank_conflict",
+            "shared_load_replay",
+            "shared_store_replay",
+        ),
+        remedy="pad shared-memory arrays or use sequential addressing so "
+        "consecutive lanes hit distinct banks (cf. reduce1 -> reduce2)",
+    ),
+    BottleneckPattern(
+        key="uncoalesced_access",
+        description="global memory requests split into many transactions "
+        "(address patterns violate coalescing rules)",
+        witnesses=(
+            "global_replay_overhead",
+            "gld_efficiency",
+            "gst_efficiency",
+            "global_store_transaction",
+        ),
+        remedy="restructure data layout / indexing so a warp touches one "
+        "contiguous aligned segment per request",
+    ),
+    BottleneckPattern(
+        key="cache_misses",
+        description="poor locality: L1/L2 misses force long-latency DRAM trips",
+        witnesses=(
+            "l1_global_load_miss",
+            "l2_read_transactions",
+            "l2_write_transactions",
+        ),
+        remedy="tile working sets into shared memory or reorder traversal "
+        "for reuse before eviction",
+    ),
+    BottleneckPattern(
+        key="low_occupancy",
+        description="not enough resident warps to hide memory/pipeline latency",
+        witnesses=("achieved_occupancy",),
+        remedy="increase block size / reduce per-thread registers and "
+        "shared memory so more warps fit per SM",
+    ),
+    BottleneckPattern(
+        key="divergence",
+        description="branch divergence idles lanes within warps",
+        witnesses=("divergent_branch", "warp_execution_efficiency"),
+        remedy="re-map work to threads so whole warps take the same path "
+        "(cf. reduce0 -> reduce1 interleaved->strided indexing)",
+    ),
+    BottleneckPattern(
+        key="bandwidth",
+        description="DRAM bandwidth saturated: the kernel moves more bytes "
+        "than the memory system can stream",
+        witnesses=(
+            "dram_read_throughput",
+            "dram_write_throughput",
+            "gld_throughput",
+            "gst_throughput",
+            "gld_requested_throughput",
+            "gst_requested_throughput",
+            "l2_read_throughput",
+            "l2_write_throughput",
+        ),
+        remedy="reduce traffic (fuse kernels, increase arithmetic per byte, "
+        "cache blocking); a bandwidth-bound kernel at peak throughput is "
+        "already optimal (cf. reduce6)",
+        generic=True,
+    ),
+    BottleneckPattern(
+        key="instruction_replay",
+        description="issued instructions greatly exceed executed ones "
+        "(serialization of any origin)",
+        witnesses=("inst_replay_overhead",),
+        remedy="inspect shared/global replay overheads to attribute the "
+        "serialization, then apply the matching remedy",
+        generic=True,
+    ),
+    BottleneckPattern(
+        key="memory_requests",
+        description="execution time tracks raw memory request/transaction "
+        "volume: the kernel is memory-operation-bound",
+        witnesses=(
+            "gld_request",
+            "gst_request",
+            "shared_load",
+            "shared_store",
+            "ldst_fu_utilization",
+        ),
+        remedy="process multiple elements per thread and widen loads "
+        "(float4) to amortize per-request overhead (cf. reduce6)",
+        generic=True,
+    ),
+    # ---- CPU patterns (the Section 7 "BF on CPUs" extension) ----
+    BottleneckPattern(
+        key="cpu_cache_misses",
+        description="poor locality on the CPU: L1/LLC misses force DRAM trips",
+        witnesses=("cache_misses", "l1_dcache_load_misses",
+                   "cpu_llc_miss_rate", "cache_references"),
+        remedy="block loops for the cache hierarchy and keep working sets "
+        "within the LLC",
+    ),
+    BottleneckPattern(
+        key="cpu_branch_misprediction",
+        description="mispredicted branches flush the CPU pipeline",
+        witnesses=("branch_misses",),
+        remedy="make hot branches predictable (sort inputs, use branchless "
+        "selects) or vectorize the loop body",
+    ),
+    BottleneckPattern(
+        key="cpu_vectorization",
+        description="execution time tracks SIMD instruction volume: the "
+        "vector units are the busy resource",
+        witnesses=("simd_instructions", "cpu_vectorization_ratio"),
+        remedy="if the vector units saturate the kernel is compute-bound; "
+        "reduce arithmetic or improve instruction-level parallelism",
+    ),
+    BottleneckPattern(
+        key="cpu_bandwidth",
+        description="the CPU's memory bus is saturated",
+        witnesses=("cpu_mem_bandwidth",),
+        remedy="improve reuse before eviction or split the working set "
+        "across NUMA domains",
+        generic=True,
+    ),
+    BottleneckPattern(
+        key="cpu_scaling",
+        description="parallel efficiency limits multicore scaling "
+        "(serial fractions, load imbalance or fork/join overhead)",
+        witnesses=("cpu_parallel_efficiency",),
+        remedy="shrink serial regions and use coarser-grained parallel "
+        "work distribution",
+    ),
+    BottleneckPattern(
+        key="cpu_instruction_volume",
+        description="execution time tracks retired instruction volume",
+        witnesses=("instructions", "l1_dcache_loads", "branches", "cpu_ipc"),
+        remedy="strength-reduce the inner loop and eliminate redundant "
+        "address arithmetic",
+        generic=True,
+    ),
+]
+
+
+@dataclass
+class BottleneckFinding:
+    """One detected pattern with its evidence."""
+
+    pattern: BottleneckPattern
+    evidence: list[str]          # witnesses found among the top predictors
+    best_rank: int               # best (lowest) rank of any witness
+    score: float                 # importance score of that witness
+
+    def describe(self) -> str:
+        ev = ", ".join(self.evidence)
+        return (
+            f"[{self.pattern.key}] {self.pattern.description}\n"
+            f"  evidence: {ev} (best rank #{self.best_rank + 1}, "
+            f"importance {self.score:.2f})\n"
+            f"  remedy: {self.pattern.remedy}"
+        )
+
+
+def detect_bottlenecks(
+    ranking: ImportanceRanking,
+    top_k: int = 8,
+    min_patterns: int = 1,
+) -> list[BottleneckFinding]:
+    """Match the top-k important predictors against the pattern library.
+
+    Findings are ordered by the rank of their strongest witness, so the
+    first finding is the primary bottleneck.
+    """
+    if top_k < 1:
+        raise ValueError("top_k must be >= 1")
+    top = ranking.top(top_k)
+    findings: list[BottleneckFinding] = []
+    for pattern in PATTERNS:
+        evidence = [w for w in pattern.witnesses if w in top]
+        if not evidence:
+            continue
+        best = min(ranking.rank_of(w) for w in evidence)
+        witness = ranking.names[best]
+        findings.append(
+            BottleneckFinding(
+                pattern=pattern,
+                evidence=evidence,
+                best_rank=best,
+                score=ranking.score_of(witness),
+            )
+        )
+    # Specific pathologies outrank generic volume symptoms firing at a
+    # comparable depth (a 2-rank handicap for generic patterns).
+    findings.sort(key=lambda f: f.best_rank + (2 if f.pattern.generic else 0))
+    if len(findings) < min_patterns and top_k < len(ranking.names):
+        return detect_bottlenecks(ranking, top_k=top_k + 4, min_patterns=min_patterns)
+    return findings

@@ -1,0 +1,196 @@
+"""Counter models: regress each retained counter on problem characteristics.
+
+Stage 5 of the pipeline ("Results interpretation", Section 4.2): "we
+model those parameters in terms of typical characteristics of either
+the problem in hand or both the problem and hardware type, so that
+predictions can be made solely based on the latter."
+
+For a single problem characteristic, small (generalized) linear models
+are tried first (Fig. 5c's MM models); when their fit is poor — or when
+asked — MARS takes over ("we use MARS regressions to take into account
+nonlinearities and parameter interactions", the Fig. 6c NW models built
+with R's *earth*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.glm import GaussianGLM, fit_best_polynomial
+from repro.ml.mars import Mars
+from repro.profiling.campaign import CampaignResult
+
+__all__ = ["CounterModel", "CounterModelSet"]
+
+
+@dataclass
+class CounterModel:
+    """One counter regressed on the problem characteristic(s)."""
+
+    counter: str
+    kind: str                     # "glm" | "mars"
+    model: object
+    r_squared: float
+    residual_deviance: float
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if self.kind == "glm":
+            return self.model.predict(np.atleast_1d(x.ravel() if x.ndim > 1 else x))
+        if x.ndim == 0:
+            x = x[None]
+        return self.model.predict(x[:, None] if x.ndim == 1 else x)
+
+
+@dataclass
+class CounterModelSet:
+    """Models for every retained predictor of a fitted BlackForest.
+
+    Parameters of :meth:`fit`:
+
+    * ``campaign`` — the collected data;
+    * ``counters`` — the retained important predictors to model;
+    * ``characteristic`` — the problem characteristic(s) to regress on:
+      a name (e.g. ``"size"``) or a list of names. With several
+      characteristics the models are MARS with interactions (the paper
+      uses MARS exactly "to take into account nonlinearities and
+      parameter interactions");
+    * ``prefer_mars`` — skip the GLM stage (the NW treatment);
+    * ``glm_r2_threshold`` — GLM quality below which MARS is used.
+    """
+
+    characteristic: str | list[str] = "size"
+    prefer_mars: bool = False
+    glm_r2_threshold: float = 0.95
+    mars_max_degree: int = 1
+    models: dict[str, CounterModel] = field(default_factory=dict)
+
+    @property
+    def characteristics(self) -> list[str]:
+        if isinstance(self.characteristic, str):
+            return [self.characteristic]
+        return list(self.characteristic)
+
+    def fit(self, campaign: CampaignResult, counters: list[str]) -> "CounterModelSet":
+        chars = self.characteristics
+        x = np.array(
+            [[r.characteristics[c] for c in chars] for r in campaign.records]
+        )
+        series = {
+            c: np.array([r.counters[c] for r in campaign.records])
+            for c in counters
+            if c not in chars
+        }
+        return self.fit_arrays(x, series)
+
+    def fit_arrays(
+        self, x: np.ndarray, series: dict[str, np.ndarray]
+    ) -> "CounterModelSet":
+        """Fit from raw arrays (e.g. the training partition's columns,
+        avoiding leakage of test observations into the counter models).
+
+        ``x`` is 1-D for a single characteristic, or (n, k) for k
+        characteristics.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x[:, None]
+        if x.shape[1] != len(self.characteristics):
+            raise ValueError(
+                f"x has {x.shape[1]} columns for "
+                f"{len(self.characteristics)} characteristics"
+            )
+        for counter, y in series.items():
+            if counter in self.characteristics:
+                continue  # characteristics predict themselves
+            self.models[counter] = self._fit_one(counter, x, np.asarray(y, dtype=float))
+        return self
+
+    def _fit_one(self, counter: str, x: np.ndarray, y: np.ndarray) -> CounterModel:
+        multi = x.shape[1] > 1
+        if np.ptp(y) == 0.0 and not multi:
+            # Constant counter: a degree-1 GLM fits it exactly.
+            glm = GaussianGLM(degree=1).fit(x[:, 0], y)
+            return CounterModel(counter, "glm", glm, 1.0, 0.0)
+        glm = None
+        if not multi and not self.prefer_mars:
+            try:
+                glm = fit_best_polynomial(x[:, 0], y, max_degree=3)
+            except (ValueError, np.linalg.LinAlgError):
+                glm = None
+        if glm is not None and glm.r_squared_ >= self.glm_r2_threshold:
+            return CounterModel(
+                counter, "glm", glm, glm.r_squared_, glm.residual_deviance_
+            )
+        # Several characteristics require interaction terms.
+        degree = max(self.mars_max_degree, 2) if multi else self.mars_max_degree
+        mars = Mars(max_degree=degree).fit(x, y, names=self.characteristics)
+        if glm is not None and glm.r_squared_ > mars.r_squared_:
+            return CounterModel(
+                counter, "glm", glm, glm.r_squared_, glm.residual_deviance_
+            )
+        fitted = mars.predict(x)
+        return CounterModel(
+            counter, "mars", mars, mars.r_squared_,
+            float(np.sum((y - fitted) ** 2)),
+        )
+
+    # -- use ------------------------------------------------------------------
+
+    def _as_points(self, x: float | np.ndarray) -> np.ndarray:
+        """Normalize input to an (n_points, n_characteristics) array."""
+        x = np.asarray(x, dtype=float)
+        k = len(self.characteristics)
+        if x.ndim == 0:
+            x = x[None]
+        if x.ndim == 1:
+            if k == 1:
+                x = x[:, None]
+            else:
+                x = x[None, :]
+        if x.shape[1] != k:
+            raise ValueError(
+                f"expected {k} characteristic columns, got {x.shape[1]}"
+            )
+        return x
+
+    def predict_counters(self, x: float | np.ndarray) -> dict[str, np.ndarray]:
+        """Predicted counter values for unseen problem characteristic(s)."""
+        pts = self._as_points(x)
+        arg = pts[:, 0] if len(self.characteristics) == 1 else pts
+        return {name: m.predict(arg) for name, m in self.models.items()}
+
+    def predictor_rows(self, x: float | np.ndarray, feature_names: list[str]) -> np.ndarray:
+        """Full predictor matrix for the forest, in ``feature_names`` order.
+
+        Problem-characteristic columns (if present among the feature
+        names) are filled with the requested values themselves; every
+        other column comes from its counter model.
+        """
+        pts = self._as_points(x)
+        cols = []
+        predicted = self.predict_counters(pts)
+        chars = self.characteristics
+        for name in feature_names:
+            if name in chars:
+                cols.append(pts[:, chars.index(name)])
+            elif name in predicted:
+                cols.append(predicted[name])
+            else:
+                raise KeyError(f"no counter model for predictor {name!r}")
+        return np.column_stack(cols)
+
+    @property
+    def average_r_squared(self) -> float:
+        if not self.models:
+            raise ValueError("no fitted models")
+        return float(np.mean([m.r_squared for m in self.models.values()]))
+
+    def quality_table(self) -> list[tuple[str, str, float, float]]:
+        """(counter, kind, R^2, residual deviance) rows, Fig. 5c/6c style."""
+        return [
+            (name, m.kind, m.r_squared, m.residual_deviance)
+            for name, m in sorted(self.models.items())
+        ]

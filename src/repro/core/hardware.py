@@ -1,0 +1,239 @@
+"""Hardware scaling: predict performance on a different (similar) GPU.
+
+Section 6.2 of the paper: characterize the application *and* the
+training hardware, inject machine characteristics (Table 2) as extra
+predictors, and use the model trained on one GPU to predict execution
+times measured on another.
+
+The paper's findings, all reproducible here:
+
+* "sufficiently similar hardware" is hardware where the variable
+  importance ranking is similar — :func:`importance_similarity` is the
+  similarity test Section 7 calls for;
+* for MM the approach "works straightforwardly" (GTX580 -> K20m, same
+  importance ranking, good accuracy, Fig. 7);
+* for NW the important predictors differ across families (caching
+  counters matter on Fermi, not on Kepler, Fig. 8a/8b), straightforward
+  transfer fails, and the workaround is training on a **mixture of
+  important variables from both architectures** (Fig. 8c);
+* counters that exist on only one family (``l1_global_load_miss``,
+  ``l1_shared_bank_conflict`` vs ``shared_*_replay``) are excluded
+  automatically by intersecting the campaigns' counter sets (the
+  Section 7 counter-evolution problem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.preprocessing import train_test_split
+from repro.profiling.campaign import CampaignResult
+
+from .importance import ImportanceRanking, rank_similarity
+from .model import BlackForest
+from .prediction import PredictionReport
+
+__all__ = [
+    "common_predictors",
+    "per_arch_importance",
+    "importance_similarity",
+    "mixed_variable_set",
+    "HardwareScalingPredictor",
+]
+
+
+def common_predictors(a: CampaignResult, b: CampaignResult) -> list[str]:
+    """Predictor counters available on both campaigns' architectures."""
+    return a.merged_with(b).predictor_names
+
+
+def per_arch_importance(
+    campaign: CampaignResult,
+    n_trees: int = 300,
+    repeats: int = 1,
+    rng: np.random.Generator | int | None = None,
+) -> ImportanceRanking:
+    """Importance ranking of one architecture's own campaign (Fig. 8a/8b).
+
+    ``repeats`` averages the permutation importances over several
+    forest fits (rankings among correlated counters are unstable for a
+    single forest).
+    """
+    fit = BlackForest(
+        n_trees=n_trees, use_pca=False, importance_repeats=repeats, rng=rng
+    ).fit(campaign, include_characteristics=True)
+    return fit.importance
+
+
+def importance_similarity(
+    a: ImportanceRanking,
+    b: ImportanceRanking,
+    k: int = 10,
+    restrict_to_shared: bool = False,
+) -> float:
+    """The paper's "similarity test": average overlap of the top-k
+    importance prefixes.
+
+    By default the *raw* rankings are compared, so a counter that tops
+    one architecture but does not exist (or is unimportant) on the
+    other counts as disagreement — exactly the Fig. 8 situation where
+    Fermi's caching counters have no Kepler counterpart.
+    ``restrict_to_shared`` first drops counters unknown to either side
+    (useful to ask "do the architectures agree about the counters they
+    both have?").
+    """
+    if restrict_to_shared:
+        shared = set(a.names) & set(b.names)
+        a = ImportanceRanking(
+            names=[n for n in a.names if n in shared],
+            scores=np.array([a.score_of(n) for n in a.names if n in shared]),
+        )
+        b = ImportanceRanking(
+            names=[n for n in b.names if n in shared],
+            scores=np.array([b.score_of(n) for n in b.names if n in shared]),
+        )
+    return rank_similarity(a, b, k=k)
+
+
+def mixed_variable_set(
+    a: ImportanceRanking,
+    b: ImportanceRanking,
+    k: int = 4,
+    always: tuple[str, ...] = ("size",),
+    common: list[str] | None = None,
+) -> list[str]:
+    """The Fig. 8c workaround: union of both architectures' top-k
+    important variables (restricted to mutually available predictors),
+    plus the problem characteristics."""
+    allowed = set(common) if common is not None else (set(a.names) & set(b.names))
+    merged: list[str] = []
+    for name in list(always) + a.top(2 * k) + b.top(2 * k):
+        if name in merged:
+            continue
+        if name in allowed or name in always:
+            merged.append(name)
+    # Keep `always` + top-k of each: cap at always + 2k variables.
+    cap = len(always) + 2 * k
+    return merged[:cap]
+
+
+@dataclass
+class HardwareScalingResult:
+    """Assessment of a cross-architecture prediction (Fig. 7 / Fig. 8c)."""
+
+    report: PredictionReport
+    variables: list[str]
+    train_arch: str
+    test_arch: str
+    similarity: float | None = None
+
+
+class HardwareScalingPredictor:
+    """Train on one GPU's campaign, predict times measured on another.
+
+    The predictor learns the counters->time mapping on the training
+    architecture (optionally over a restricted variable set) and is
+    assessed on the *test* architecture's held-out runs: counter values
+    measured there (plus its machine metrics / problem sizes) go in,
+    predicted times come out, compared against the measured times —
+    exactly the paper's protocol ("the test set is used to assess the
+    random forest trained on the GTX580").
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 300,
+        min_samples_leaf: int = 5,
+        test_fraction: float = 0.2,
+        include_machine: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.n_trees = n_trees
+        self.min_samples_leaf = min_samples_leaf
+        self.test_fraction = test_fraction
+        self.include_machine = include_machine
+        self._rng = np.random.default_rng(rng)
+
+    def fit(
+        self,
+        train: CampaignResult,
+        variables: list[str] | None = None,
+        common: list[str] | None = None,
+    ) -> "HardwareScalingPredictor":
+        """Fit on the training campaign.
+
+        ``common`` restricts the counter set (pass
+        :func:`common_predictors` of train/test so the model never uses
+        an architecture-specific counter); ``variables`` further
+        restricts to an explicit predictor list (the mixed-variable
+        workaround).
+        """
+        counters = common if common is not None else train.predictor_names
+        X, y, names = train.matrix(
+            counters=counters,
+            include_characteristics=True,
+            include_machine=self.include_machine,
+        )
+        if variables is not None:
+            missing = [v for v in variables if v not in names]
+            if missing:
+                raise ValueError(f"unknown variables {missing}")
+            keep = [names.index(v) for v in variables]
+            X, names = X[:, keep], list(variables)
+        else:
+            # Machine metrics are constant within a single-arch training
+            # campaign; keep their *columns* anyway so cross-arch feature
+            # vectors align, but constants cannot influence the forest.
+            pass
+
+        self.names_ = names
+        self.train_arch_ = train.arch
+        X_train, _, y_train, _ = train_test_split(
+            X, y, test_fraction=self.test_fraction, rng=self._rng
+        )
+        self.forest_ = RandomForestRegressor(
+            n_trees=self.n_trees,
+            min_samples_leaf=self.min_samples_leaf,
+            importance=False,
+            rng=self._rng,
+        ).fit(X_train, y_train, feature_names=names)
+        return self
+
+    def assess(self, test: CampaignResult) -> HardwareScalingResult:
+        """Predict the test campaign's held-out runs and compare."""
+        counters = [n for n in self.names_ if n in test.counter_names]
+        X, y, names = test.matrix(
+            counters=counters,
+            include_characteristics=True,
+            include_machine=self.include_machine,
+        )
+        keep = []
+        for v in self.names_:
+            if v not in names:
+                raise ValueError(
+                    f"test campaign lacks predictor {v!r} "
+                    f"(restrict fit() to common_predictors first)"
+                )
+            keep.append(names.index(v))
+        X = X[:, keep]
+        _, X_eval, _, y_eval, _, problems_eval = train_test_split(
+            X,
+            y,
+            np.array([r.characteristics.get("size", np.nan) for r in test.records]),
+            test_fraction=self.test_fraction,
+            rng=self._rng,
+        )
+        report = PredictionReport(
+            problems=problems_eval,
+            predicted_s=self.forest_.predict(X_eval),
+            measured_s=y_eval,
+        )
+        return HardwareScalingResult(
+            report=report,
+            variables=list(self.names_),
+            train_arch=self.train_arch_,
+            test_arch=test.arch,
+        )

@@ -1,0 +1,275 @@
+"""The BlackForest model: the paper's five-stage pipeline (Section 4.2).
+
+1. **data collection** — done by :mod:`repro.profiling` (the campaign
+   passed to :meth:`BlackForest.fit`);
+2. **random forest construction and validation** — 80:20 random split,
+   forest fit on the training partition, validated via OOB error /
+   explained variance and the held-out test set;
+3. **variable importance analysis** — permutation importance ranking
+   plus partial dependence directions for the leaders;
+4. **refinement with PCA** (optional, recommended) — principal
+   components with varimax-rotated factor loadings over the counter
+   matrix, used to interpret correlated variable groups;
+5. **results interpretation** — bottleneck detection against the
+   performance-pattern library and the reduced-model retention check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.metrics import explained_variance, mse
+from repro.ml.pca import PCA
+from repro.ml.preprocessing import drop_constant_columns, train_test_split
+from repro.profiling.campaign import CampaignResult
+
+from .bottleneck import BottleneckFinding, detect_bottlenecks
+from .importance import ImportanceRanking, rank_importance, reduced_model_check
+
+__all__ = ["BlackForest", "BlackForestFit", "induced_counter_ranking"]
+
+
+def induced_counter_ranking(component_ranking, pca: PCA) -> ImportanceRanking:
+    """Map a ranking over principal components back onto counters.
+
+    Each counter's induced score is the importance of every component
+    weighted by the counter's absolute factor loading on it — the
+    "easy interpretation of random forest outcome" the paper's Section 7
+    expects from the PCA-first pipeline.
+    """
+    loadings = pca.loadings
+    scores = np.zeros(len(loadings.names))
+    for comp_idx, comp in enumerate(loadings.components):
+        if comp not in component_ranking.names:
+            continue
+        imp = max(component_ranking.score_of(comp), 0.0)
+        scores += imp * np.abs(loadings.values[:, comp_idx])
+    order = np.argsort(scores)[::-1]
+    return ImportanceRanking(
+        names=[loadings.names[j] for j in order],
+        scores=scores[order],
+    )
+
+
+@dataclass
+class BlackForestFit:
+    """Everything produced by one run of the pipeline."""
+
+    kernel: str
+    arch: str
+    forest: RandomForestRegressor
+    feature_names: list[str]
+    X_train: np.ndarray
+    y_train: np.ndarray
+    X_test: np.ndarray
+    y_test: np.ndarray
+    oob_mse: float
+    oob_explained_variance: float
+    test_mse: float
+    test_explained_variance: float
+    importance: ImportanceRanking
+    bottlenecks: list[BottleneckFinding]
+    pca: PCA | None = None
+    reduced_forest: RandomForestRegressor | None = None
+    reduced_feature_names: list[str] = field(default_factory=list)
+    reduced_retains_power: bool | None = None
+    reduced_test_explained_variance: float | None = None
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict execution times from full predictor vectors."""
+        return self.forest.predict(X)
+
+    def predict_from_dict(self, rows: list[dict[str, float]]) -> np.ndarray:
+        """Predict from name->value mappings (missing keys are an error)."""
+        X = np.array([[row[name] for name in self.feature_names] for row in rows])
+        return self.forest.predict(X)
+
+    @property
+    def top_predictors(self) -> list[str]:
+        return self.importance.names[:8]
+
+    @property
+    def primary_bottleneck(self) -> BottleneckFinding | None:
+        return self.bottlenecks[0] if self.bottlenecks else None
+
+
+class BlackForest:
+    """Configurable pipeline front-end.
+
+    Parameters
+    ----------
+    n_trees:
+        Forest size (the R default of 500 is accurate but slow; 300
+        keeps campaign-scale analyses interactive with no measurable
+        ranking change on <=129-run datasets).
+    test_fraction:
+        Held-out fraction of the campaign (paper: 20%).
+    top_k:
+        Predictors retained for the reduced model ("usually, between 6
+        and 8", Section 6.1.1).
+    use_pca:
+        Run the stage-4 PCA refinement (rotated factor loadings).
+    pca_variance:
+        Variance fraction the retained components must explain; the
+        paper's use cases retain 4 components covering >96-97%.
+    importance_repeats:
+        Forests fitted (with fresh bootstrap/permutation randomness) to
+        *average* the permutation importances. Importance rankings among
+        highly correlated counters are unstable for a single forest
+        (Strobl et al., the paper's [19]); averaging a few fits
+        stabilizes the ranking at proportional cost. 1 = single fit.
+    pca_first:
+        The paper's Section 7 plan: "first applying PCA onto the data to
+        both remove correlated variables and reduce dimensionality ...
+        leading to easy interpretation of random forest outcome". The
+        counter columns are replaced by their varimax-rotated principal
+        component *scores* before the forest is fitted; importance is
+        then over components, and the bottleneck analysis works on a
+        counter ranking induced through the factor loadings.
+    rng:
+        Seed for the split, the forest and the permutations.
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 300,
+        test_fraction: float = 0.2,
+        top_k: int = 6,
+        use_pca: bool = True,
+        pca_variance: float = 0.96,
+        min_samples_leaf: int = 5,
+        importance_repeats: int = 1,
+        pca_first: bool = False,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if importance_repeats < 1:
+            raise ValueError("importance_repeats must be >= 1")
+        self.n_trees = n_trees
+        self.test_fraction = test_fraction
+        self.top_k = top_k
+        self.use_pca = use_pca
+        self.pca_variance = pca_variance
+        self.min_samples_leaf = min_samples_leaf
+        self.importance_repeats = importance_repeats
+        self.pca_first = pca_first
+        self._rng = np.random.default_rng(rng)
+
+    def fit(
+        self,
+        campaign: CampaignResult,
+        include_characteristics: bool = True,
+        include_machine: bool = False,
+        counters: list[str] | None = None,
+        response: str = "time",
+    ) -> BlackForestFit:
+        """Run stages 2-5 on a collected campaign.
+
+        ``response`` selects the modeled quantity — "time" (default) or
+        "power", the paper's Section 7 extension ("one could use other
+        metrics of interest, such as power, as response variable").
+        """
+        X, y, names = campaign.matrix(
+            counters=counters,
+            include_characteristics=include_characteristics,
+            include_machine=include_machine,
+            response=response,
+        )
+        # Constant columns (e.g. machine metrics on a single-arch campaign,
+        # counters that never fire) carry no signal and bias nothing.
+        X, kept, names = drop_constant_columns(X, names)
+        if X.shape[1] == 0:
+            raise ValueError("no varying predictors in campaign")
+
+        X_train, X_test, y_train, y_test = train_test_split(
+            X, y, test_fraction=self.test_fraction, rng=self._rng
+        )
+
+        pca = None
+        induced_from: PCA | None = None
+        counter_names_used: list[str] = []
+        if self.pca_first:
+            # Replace the counter columns with rotated component scores
+            # (problem/machine characteristics stay as-is).
+            from repro.gpusim.counters import CATALOGUE
+
+            counter_cols = [
+                j for j, n in enumerate(names) if n in CATALOGUE
+            ]
+            other_cols = [j for j in range(len(names)) if j not in counter_cols]
+            if len(counter_cols) < 2:
+                raise ValueError("pca_first needs at least two counters")
+            counter_names_used = [names[j] for j in counter_cols]
+            pca = PCA(n_components=self.pca_variance, rotate=True)
+            pca.fit(X_train[:, counter_cols], names=counter_names_used)
+            comp_names = [f"PC{i + 1}" for i in range(pca.n_components_)]
+
+            def to_scores(M):
+                scores = pca.transform(M[:, counter_cols])
+                return np.column_stack([scores, M[:, other_cols]])
+
+            X_train = to_scores(X_train)
+            X_test = to_scores(X_test)
+            names = comp_names + [names[j] for j in other_cols]
+            induced_from = pca
+
+        forest = RandomForestRegressor(
+            n_trees=self.n_trees,
+            min_samples_leaf=self.min_samples_leaf,
+            importance=True,
+            rng=self._rng,
+        ).fit(X_train, y_train, feature_names=names)
+
+        if self.importance_repeats > 1:
+            averaged = forest.importance_.copy()
+            for _ in range(self.importance_repeats - 1):
+                extra = RandomForestRegressor(
+                    n_trees=self.n_trees,
+                    min_samples_leaf=self.min_samples_leaf,
+                    importance=True,
+                    rng=self._rng,
+                ).fit(X_train, y_train, feature_names=names)
+                averaged += extra.importance_
+            forest.importance_ = averaged / self.importance_repeats
+
+        ranking = rank_importance(forest, X_train, top_k_dependence=max(8, self.top_k))
+        if induced_from is not None:
+            induced = induced_counter_ranking(ranking, induced_from)
+            bottlenecks = detect_bottlenecks(induced, top_k=max(8, self.top_k))
+        else:
+            bottlenecks = detect_bottlenecks(ranking, top_k=max(8, self.top_k))
+
+        if pca is None and self.use_pca:
+            pca = PCA(n_components=self.pca_variance, rotate=True)
+            pca.fit(X_train, names=names)
+
+        reduced, retains, full_ev, reduced_ev = reduced_model_check(
+            forest, ranking, X_train, y_train, X_test, y_test,
+            k=min(self.top_k, len(names)), rng=self._rng,
+        )
+
+        return BlackForestFit(
+            kernel=campaign.kernel,
+            arch=campaign.arch,
+            forest=forest,
+            feature_names=names,
+            X_train=X_train,
+            y_train=y_train,
+            X_test=X_test,
+            y_test=y_test,
+            oob_mse=forest.oob_mse_,
+            oob_explained_variance=forest.oob_explained_variance_,
+            test_mse=mse(y_test, forest.predict(X_test)),
+            test_explained_variance=explained_variance(
+                y_test, forest.predict(X_test)
+            ),
+            importance=ranking,
+            bottlenecks=bottlenecks,
+            pca=pca,
+            reduced_forest=reduced,
+            reduced_feature_names=ranking.top(min(self.top_k, len(names))),
+            reduced_retains_power=retains,
+            reduced_test_explained_variance=reduced_ev,
+        )

@@ -1,0 +1,114 @@
+"""Heterogeneous CPU+GPU workload partitioning from BlackForest models.
+
+The paper's closing argument (Section 7): "we believe our approach is
+very useful in the context of emerging CPU+GPUs heterogeneous systems,
+where performance modeling is key to determine workload partitioning
+... As BF is equally applicable for all processing units in the
+platform, we can provide a unified modeling approach for heterogeneous
+platforms" (citing Glinda and StarPU).
+
+This module implements that use case: two problem-scaling predictors —
+one trained on a CPU campaign, one on a GPU campaign of the same
+data-parallel kernel — drive the static split of a workload so both
+devices finish together (minimizing ``max(t_cpu, t_gpu)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PartitionPlan", "HeterogeneousPartitioner"]
+
+
+@dataclass
+class PartitionPlan:
+    """The chosen split for one total problem size."""
+
+    total: float
+    cpu_share: float              # fraction of the work given to the CPU
+    cpu_time_s: float
+    gpu_time_s: float
+    best_single_device_s: float   # the better of all-CPU / all-GPU
+
+    @property
+    def makespan_s(self) -> float:
+        return max(self.cpu_time_s, self.gpu_time_s)
+
+    @property
+    def speedup_vs_best_device(self) -> float:
+        if self.makespan_s <= 0:
+            return 1.0
+        return self.best_single_device_s / self.makespan_s
+
+
+class HeterogeneousPartitioner:
+    """Static splitter over two fitted problem-scaling predictors.
+
+    Parameters
+    ----------
+    cpu_predictor / gpu_predictor:
+        Objects with ``predict(sizes) -> times`` (e.g.
+        :class:`~repro.core.prediction.ProblemScalingPredictor` fitted on
+        the device's campaign of the same kernel).
+    min_chunk:
+        Smallest work assignment considered per device (below this the
+        device is left idle — launching a GPU for a sliver of work costs
+        more than it saves).
+    resolution:
+        Number of candidate splits evaluated.
+    """
+
+    def __init__(self, cpu_predictor, gpu_predictor,
+                 min_chunk: float = 1.0, resolution: int = 101) -> None:
+        if resolution < 3:
+            raise ValueError("resolution must be >= 3")
+        if min_chunk < 0:
+            raise ValueError("min_chunk must be >= 0")
+        self.cpu_predictor = cpu_predictor
+        self.gpu_predictor = gpu_predictor
+        self.min_chunk = min_chunk
+        self.resolution = resolution
+
+    def _time(self, predictor, sizes: np.ndarray) -> np.ndarray:
+        """Predicted time per size; zero-size assignments take no time."""
+        sizes = np.asarray(sizes, dtype=float)
+        out = np.zeros_like(sizes)
+        live = sizes >= max(self.min_chunk, 1e-12)
+        if np.any(live):
+            out[live] = predictor.predict(sizes[live])
+        return out
+
+    def plan(self, total: float) -> PartitionPlan:
+        """Choose the CPU share minimizing the makespan for ``total``."""
+        if total <= 0:
+            raise ValueError("total work must be positive")
+        shares = np.linspace(0.0, 1.0, self.resolution)
+        cpu_work = shares * total
+        gpu_work = (1.0 - shares) * total
+        # assignments below min_chunk collapse to zero (device idle)
+        cpu_work = np.where(cpu_work < self.min_chunk, 0.0, cpu_work)
+        gpu_work = np.where(gpu_work < self.min_chunk, 0.0, gpu_work)
+        # the idle device's work goes to the other one
+        cpu_work = np.where(gpu_work == 0.0, total, cpu_work)
+        gpu_work = np.where(cpu_work == 0.0, total, gpu_work)
+
+        t_cpu = self._time(self.cpu_predictor, cpu_work)
+        t_gpu = self._time(self.gpu_predictor, gpu_work)
+        makespan = np.maximum(t_cpu, t_gpu)
+        best = int(np.argmin(makespan))
+
+        all_cpu = float(self._time(self.cpu_predictor, np.array([total]))[0])
+        all_gpu = float(self._time(self.gpu_predictor, np.array([total]))[0])
+        return PartitionPlan(
+            total=float(total),
+            cpu_share=float(cpu_work[best] / total),
+            cpu_time_s=float(t_cpu[best]),
+            gpu_time_s=float(t_gpu[best]),
+            best_single_device_s=min(all_cpu, all_gpu),
+        )
+
+    def sweep(self, totals: list[float]) -> list[PartitionPlan]:
+        """Plans across a range of total sizes (the Glinda-style curve)."""
+        return [self.plan(t) for t in totals]

@@ -1,0 +1,144 @@
+"""Problem scaling: predict execution time for unseen problem sizes.
+
+Section 6.1 of the paper: after the important variables are identified
+and modeled in terms of the problem characteristic, "these models,
+combined with the random forest, allow us to predict the execution
+times for unseen matrix sizes on the same hardware" (Fig. 5b, Fig. 6b).
+
+The flow implemented by :class:`ProblemScalingPredictor`:
+
+1. fit BlackForest on a training campaign (counters + characteristic);
+2. reduce to the top-k predictors, validating retention;
+3. fit counter models (GLM/MARS) for the retained predictors;
+4. for an unseen problem size, generate predicted counter values and
+   feed them to the reduced forest to obtain the predicted time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.metrics import explained_variance, mse
+from repro.profiling.campaign import CampaignResult
+
+from .counter_models import CounterModelSet
+from .model import BlackForest, BlackForestFit
+
+__all__ = ["PredictionReport", "ProblemScalingPredictor"]
+
+
+@dataclass
+class PredictionReport:
+    """Predicted vs. measured times for a set of problems (Fig. 5b/6b)."""
+
+    problems: np.ndarray
+    predicted_s: np.ndarray
+    measured_s: np.ndarray
+
+    @property
+    def mse(self) -> float:
+        return mse(self.measured_s, self.predicted_s)
+
+    @property
+    def explained_variance(self) -> float:
+        return explained_variance(self.measured_s, self.predicted_s)
+
+    @property
+    def mean_relative_error(self) -> float:
+        return float(
+            np.mean(np.abs(self.predicted_s - self.measured_s) / self.measured_s)
+        )
+
+    def rows(self) -> list[tuple[float, float, float]]:
+        return [
+            (float(p), float(pr), float(me))
+            for p, pr, me in zip(self.problems, self.predicted_s, self.measured_s)
+        ]
+
+
+class ProblemScalingPredictor:
+    """Predicts times for unseen problem characteristics on one GPU."""
+
+    def __init__(
+        self,
+        blackforest: BlackForest | None = None,
+        characteristic: str | list[str] = "size",
+        prefer_mars: bool = False,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.blackforest = blackforest if blackforest is not None else BlackForest(rng=rng)
+        self.characteristic = characteristic
+        self.prefer_mars = prefer_mars
+        self._rng = np.random.default_rng(rng)
+
+    @property
+    def characteristics(self) -> list[str]:
+        if isinstance(self.characteristic, str):
+            return [self.characteristic]
+        return list(self.characteristic)
+
+    def fit(self, campaign: CampaignResult) -> "ProblemScalingPredictor":
+        self.fit_: BlackForestFit = self.blackforest.fit(
+            campaign, include_characteristics=True
+        )
+        retained = list(self.fit_.reduced_feature_names)
+        for char in self.characteristics:
+            if char in self.fit_.feature_names and char not in retained:
+                retained.append(char)
+        self.retained_ = retained
+
+        # Forest over the retained predictors only (the paper's reduced
+        # model), refit on the full training partition.
+        cols = [self.fit_.feature_names.index(n) for n in retained]
+        self.forest_ = RandomForestRegressor(
+            n_trees=self.blackforest.n_trees,
+            min_samples_leaf=self.blackforest.min_samples_leaf,
+            importance=False,
+            rng=self._rng,
+        ).fit(self.fit_.X_train[:, cols], self.fit_.y_train, feature_names=retained)
+
+        # Counter models are fit on the training partition only, so the
+        # held-out problems stay genuinely unseen.
+        names = self.fit_.feature_names
+        for char in self.characteristics:
+            if char not in names:
+                raise ValueError(
+                    f"campaign has no problem characteristic {char!r}"
+                )
+        xs = np.column_stack(
+            [self.fit_.X_train[:, names.index(c)] for c in self.characteristics]
+        )
+        series = {
+            n: self.fit_.X_train[:, names.index(n)]
+            for n in retained
+            if n not in self.characteristics
+        }
+        self.counter_models_ = CounterModelSet(
+            characteristic=self.characteristic, prefer_mars=self.prefer_mars
+        ).fit_arrays(xs, series)
+        return self
+
+    def predict(self, problems: np.ndarray) -> np.ndarray:
+        """Predicted execution times for unseen problem characteristics."""
+        X = self.counter_models_.predictor_rows(problems, self.retained_)
+        return self.forest_.predict(X)
+
+    def report(self, campaign: CampaignResult) -> PredictionReport:
+        """Predict an evaluation campaign's problems and compare."""
+        chars = self.characteristics
+        if len(chars) == 1:
+            problems = np.array(
+                [r.characteristics[chars[0]] for r in campaign.records]
+            )
+        else:
+            problems = np.array(
+                [[r.characteristics[c] for c in chars] for r in campaign.records]
+            )
+        return PredictionReport(
+            problems=problems[:, 0] if problems.ndim > 1 else problems,
+            predicted_s=self.predict(problems),
+            measured_s=campaign.times(),
+        )

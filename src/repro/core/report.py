@@ -1,0 +1,82 @@
+"""Human-readable analysis reports.
+
+The end-product of the toolchain ("enhanced with visualization and
+reporting capabilities", Section 4.3): a single text report per analysis
+combining model validation, the importance figure, partial dependence
+directions, PCA loadings, detected bottlenecks and remedies.
+"""
+
+from __future__ import annotations
+
+from repro.viz.text import (
+    dependence_plot,
+    importance_chart,
+    loadings_table,
+    prediction_table,
+    table,
+)
+
+from .model import BlackForestFit
+
+__all__ = ["bottleneck_report", "prediction_report_text", "fit_summary"]
+
+
+def fit_summary(fit: BlackForestFit) -> str:
+    """Stage-2 validation numbers (OOB + held-out test)."""
+    rows = [
+        ("kernel", fit.kernel),
+        ("architecture", fit.arch),
+        ("training runs", len(fit.y_train)),
+        ("test runs", len(fit.y_test)),
+        ("predictors", len(fit.feature_names)),
+        ("OOB MSE", f"{fit.oob_mse:.4g}"),
+        ("OOB explained variance", f"{100 * fit.oob_explained_variance:.1f}%"),
+        ("test MSE", f"{fit.test_mse:.4g}"),
+        ("test explained variance", f"{100 * fit.test_explained_variance:.1f}%"),
+    ]
+    if fit.reduced_retains_power is not None:
+        rows.append(
+            (
+                f"reduced model ({len(fit.reduced_feature_names)} vars)",
+                f"{100 * fit.reduced_test_explained_variance:.1f}% "
+                + ("(retains predictive power)" if fit.reduced_retains_power
+                   else "(LOSES predictive power)"),
+            )
+        )
+    return table(["quantity", "value"], rows, title="Random forest validation")
+
+
+def bottleneck_report(fit: BlackForestFit, top_k: int = 10) -> str:
+    """The full bottleneck-analysis report for one campaign."""
+    parts = [
+        f"=== BlackForest bottleneck analysis: {fit.kernel} on {fit.arch} ===",
+        "",
+        fit_summary(fit),
+        "",
+        importance_chart(fit.importance, k=top_k),
+    ]
+    leader = fit.importance.names[0]
+    pd = fit.importance.dependence.get(leader)
+    if pd is not None:
+        parts += ["", dependence_plot(pd)]
+    if fit.pca is not None:
+        variance = 100 * float(fit.pca.explained_variance_ratio_.sum())
+        parts += [
+            "",
+            f"PCA refinement: {fit.pca.n_components_} components, "
+            f"{variance:.1f}% of variance",
+            loadings_table(fit.pca.loadings),
+        ]
+    parts.append("")
+    if fit.bottlenecks:
+        parts.append("Detected bottleneck patterns (primary first):")
+        for finding in fit.bottlenecks:
+            parts += ["", finding.describe()]
+    else:
+        parts.append("No known bottleneck pattern matched the important variables.")
+    return "\n".join(parts)
+
+
+def prediction_report_text(report, title: str) -> str:
+    """Predicted-vs-measured table with accuracy summary."""
+    return prediction_table(report, title=title)

@@ -1,0 +1,19 @@
+"""CPU performance substrate (the paper's Section 7 CPU extension).
+
+Multicore architecture descriptions, perf-style counters and a timing
+model, so the BlackForest pipeline runs unchanged on CPU campaigns —
+and so heterogeneous CPU+GPU workload partitioning (the Glinda/StarPU
+use case the paper cites) can be driven by two BlackForest models.
+"""
+
+from .arch import I7_SANDY, XEON_E5, CPUArchitecture
+from .simulator import CPUSimulator, CPUWorkload, cpu_average_power_w
+
+__all__ = [
+    "I7_SANDY",
+    "XEON_E5",
+    "CPUArchitecture",
+    "CPUSimulator",
+    "CPUWorkload",
+    "cpu_average_power_w",
+]

@@ -1,0 +1,98 @@
+"""CPU architecture descriptions for the Section 7 CPU extension.
+
+"We plan to empirically validate this assumption, by first proving BF's
+usability on CPUs" — the statistical method only needs counter vectors
+plus times, so a CPU substrate slots in beside the GPU one: a multicore
+description (cores, SMT, vector width, cache hierarchy, bandwidth) and
+a perf-style counter interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CPUArchitecture", "XEON_E5", "I7_SANDY"]
+
+
+@dataclass(frozen=True)
+class CPUArchitecture:
+    """Static description of a multicore CPU for the performance model."""
+
+    name: str
+    family: str = "cpu"
+
+    n_cores: int = 8
+    smt: int = 2                      # hardware threads per core
+    clock_ghz: float = 2.6
+    #: SIMD lanes for 4-byte elements (AVX = 8).
+    vector_width: int = 8
+    #: Sustained instructions per cycle per core (superscalar width).
+    ipc_peak: float = 4.0
+
+    l1_kb: int = 32
+    l2_kb: int = 256
+    llc_mb: int = 20
+    mem_bandwidth_gbs: float = 51.2
+    mem_latency_ns: float = 80.0
+    llc_latency_ns: float = 15.0
+
+    #: Per-thread fork/join overhead for a parallel region (us).
+    parallel_overhead_us: float = 8.0
+
+    # energy model (per-instruction / per-byte, nJ) and static draw (W)
+    energy_per_instruction_nj: float = 0.8
+    energy_per_dram_byte_nj: float = 0.25
+    static_power_w: float = 30.0
+    tdp_w: float = 115.0
+
+    @property
+    def peak_gflops_sp(self) -> float:
+        """FMA peak: 2 flops x vector width per core cycle."""
+        return 2.0 * self.vector_width * self.n_cores * self.clock_ghz
+
+    def bytes_per_cycle(self) -> float:
+        return self.mem_bandwidth_gbs / self.clock_ghz
+
+    def machine_metrics(self) -> dict[str, float]:
+        """Machine characteristics injected for hardware scaling,
+        mirroring the paper's Table 2 role."""
+        return {
+            "cores": float(self.n_cores),
+            "smt": float(self.smt),
+            "freq": self.clock_ghz,
+            "simd": float(self.vector_width),
+            "mbw": self.mem_bandwidth_gbs,
+            "llc": float(self.llc_mb * 1024),  # KB, comparable to l2c
+        }
+
+    def with_overrides(self, **kwargs) -> "CPUArchitecture":
+        return replace(self, **kwargs)
+
+
+#: A Sandy Bridge-EP server part (contemporary with the paper's GPUs).
+XEON_E5 = CPUArchitecture(
+    name="XeonE5-2670",
+    n_cores=8,
+    smt=2,
+    clock_ghz=2.6,
+    vector_width=8,
+    l1_kb=32,
+    l2_kb=256,
+    llc_mb=20,
+    mem_bandwidth_gbs=51.2,
+)
+
+#: A desktop quad-core of the same generation.
+I7_SANDY = CPUArchitecture(
+    name="i7-2600",
+    n_cores=4,
+    smt=2,
+    clock_ghz=3.4,
+    vector_width=8,
+    l1_kb=32,
+    l2_kb=256,
+    llc_mb=8,
+    mem_bandwidth_gbs=21.0,
+    parallel_overhead_us=5.0,
+    tdp_w=95.0,
+)

@@ -1,0 +1,201 @@
+"""CPU performance simulator: the multicore counterpart of `gpusim`.
+
+Prices a :class:`CPUWorkload` with the same bound structure the GPU
+model uses — instruction throughput, memory bandwidth, and a
+miss-latency bound overlapped by memory-level parallelism — plus
+Amdahl-style scaling over cores with a fork/join overhead. Counters
+follow `perf stat` conventions; the same :class:`Perturbation` model
+supplies run-to-run variance so the statistical pipeline sees realistic
+data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpusim.counters import CounterSet
+from repro.gpusim.noise import Perturbation
+
+from .arch import CPUArchitecture
+
+__all__ = ["CPUWorkload", "CPUSimulator", "cpu_average_power_w"]
+
+
+@dataclass
+class CPUWorkload:
+    """One parallel region, as seen by the CPU model.
+
+    Instruction counts are totals over the whole region (all threads).
+    """
+
+    name: str
+    #: Scalar retired instructions (address math, control, scalar FP).
+    scalar_instructions: float
+    #: Packed SIMD instructions (each processes `vector_width` lanes).
+    simd_instructions: float = 0.0
+    branches: float = 0.0
+    branch_miss_rate: float = 0.01
+    #: L1 data loads and the fraction missing L1 / the LLC.
+    l1_loads: float = 0.0
+    l1_miss_fraction: float = 0.02
+    llc_miss_fraction: float = 0.3   # of L1 misses
+    #: Distinct bytes touched (drives the LLC-capacity adjustment).
+    working_set_bytes: float = 0.0
+    #: Fraction of the work that parallelizes (Amdahl).
+    parallel_fraction: float = 1.0
+    #: Independent outstanding misses per thread (MLP).
+    memory_ilp: float = 4.0
+
+    def __post_init__(self) -> None:
+        for name in ("scalar_instructions", "simd_instructions", "branches",
+                     "l1_loads", "working_set_bytes"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        for name in ("branch_miss_rate", "l1_miss_fraction",
+                     "llc_miss_fraction", "parallel_fraction"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.memory_ilp < 1.0:
+            raise ValueError("memory_ilp must be >= 1")
+
+    @property
+    def instructions(self) -> float:
+        return self.scalar_instructions + self.simd_instructions + self.branches
+
+
+class CPUSimulator:
+    """Multicore timing + perf-counter model."""
+
+    def __init__(
+        self,
+        arch: CPUArchitecture,
+        noise_sigma: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.arch = arch
+        self.noise_sigma = noise_sigma
+        self._rng = np.random.default_rng(rng)
+
+    def _resolve(self, wl: CPUWorkload, pert: Perturbation) -> dict[str, float]:
+        arch = self.arch
+        l1_misses = wl.l1_loads * wl.l1_miss_fraction / min(pert.cache_factor, 2.0)
+        # LLC capacity adjustment: working sets beyond the LLC miss more.
+        llc_bytes = arch.llc_mb * (1 << 20)
+        capacity_factor = 1.0
+        if wl.working_set_bytes > llc_bytes > 0:
+            capacity_factor = min(3.0, wl.working_set_bytes / llc_bytes)
+        llc_misses = min(
+            l1_misses,
+            l1_misses * wl.llc_miss_fraction * capacity_factor
+            / min(pert.cache_factor, 2.0),
+        )
+        dram_bytes = llc_misses * 64.0  # line fills
+
+        # --- per-core cycle bounds for the parallel part ---
+        threads = arch.n_cores  # one worker per core (SMT feeds the pipe)
+        par = wl.parallel_fraction
+        instr_par = wl.instructions * par / threads
+        issue_cycles = instr_par / (arch.ipc_peak * pert.sched_efficiency)
+        branch_cycles = (
+            wl.branches * par / threads * wl.branch_miss_rate * 15.0
+        )
+        miss_lat_cycles = arch.mem_latency_ns * arch.clock_ghz
+        llc_lat_cycles = arch.llc_latency_ns * arch.clock_ghz
+        lat_cycles = (
+            (llc_misses * miss_lat_cycles + (l1_misses - llc_misses) * llc_lat_cycles)
+            * par / threads / wl.memory_ilp
+        )
+        bw_cycles = (
+            dram_bytes * par
+            / (arch.bytes_per_cycle() * pert.dram_efficiency)
+        )  # bandwidth is shared: no /threads
+        par_cycles = max(issue_cycles + branch_cycles, lat_cycles, bw_cycles)
+
+        # --- serial remainder on one core ---
+        instr_ser = wl.instructions * (1.0 - par)
+        ser_cycles = (
+            instr_ser / (arch.ipc_peak * pert.sched_efficiency)
+            + (l1_misses * (1.0 - par)) * miss_lat_cycles / wl.memory_ilp
+        )
+
+        total_cycles = par_cycles + ser_cycles
+        time_s = total_cycles / (arch.clock_ghz * 1e9)
+        time_s += arch.parallel_overhead_us * 1e-6
+        time_s *= pert.time_jitter
+
+        serial_time = (
+            wl.instructions / arch.ipc_peak
+            + l1_misses * miss_lat_cycles / wl.memory_ilp
+        ) / (arch.clock_ghz * 1e9)
+        speedup = serial_time / time_s if time_s > 0 else 1.0
+
+        return {
+            "instructions": wl.instructions,
+            "cpu_cycles": total_cycles * threads,
+            "cache_references": l1_misses,       # LLC accesses = L1 misses
+            "cache_misses": llc_misses,
+            "l1_dcache_loads": wl.l1_loads,
+            "l1_dcache_load_misses": l1_misses,
+            "branches": wl.branches,
+            "branch_misses": wl.branches * wl.branch_miss_rate,
+            "simd_instructions": wl.simd_instructions,
+            "_time_s": time_s,
+            "_dram_bytes": dram_bytes,
+            "_speedup": min(speedup, float(threads)),
+        }
+
+    def run(
+        self,
+        workloads: list[CPUWorkload],
+        perturbation: Perturbation | None = None,
+    ) -> tuple[CounterSet, float]:
+        """Simulate a run (a sequence of parallel regions)."""
+        if not workloads:
+            raise ValueError("at least one workload region required")
+        pert = (
+            perturbation
+            if perturbation is not None
+            else Perturbation.draw(self._rng, scale=self.noise_sigma)
+        )
+        totals: dict[str, float] = {}
+        for wl in workloads:
+            for key, value in self._resolve(wl, pert).items():
+                totals[key] = totals.get(key, 0.0) + value
+
+        time_s = totals.pop("_time_s")
+        dram_bytes = totals.pop("_dram_bytes")
+        speedup = totals.pop("_speedup") / len(workloads)
+        cycles = totals["cpu_cycles"]
+
+        values = dict(totals)
+        values["cpu_ipc"] = (
+            totals["instructions"] / cycles * self.arch.n_cores
+            if cycles > 0 else 0.0
+        )
+        values["cpu_llc_miss_rate"] = (
+            totals["cache_misses"] / totals["cache_references"]
+            if totals["cache_references"] > 0 else 0.0
+        )
+        values["cpu_mem_bandwidth"] = dram_bytes / time_s / 1e9 if time_s > 0 else 0.0
+        values["cpu_vectorization_ratio"] = (
+            totals["simd_instructions"] / totals["instructions"]
+            if totals["instructions"] > 0 else 0.0
+        )
+        values["cpu_parallel_efficiency"] = speedup / self.arch.n_cores
+        return CounterSet("cpu", values), time_s
+
+
+def cpu_average_power_w(
+    arch: CPUArchitecture, instructions: float, dram_bytes: float, time_s: float
+) -> float:
+    """Average package power over a run, clipped to TDP."""
+    if time_s <= 0:
+        return arch.static_power_w
+    dynamic = 1e-9 * (
+        instructions * arch.energy_per_instruction_nj
+        + dram_bytes * arch.energy_per_dram_byte_nj
+    )
+    return float(min(arch.static_power_w + dynamic / time_s, arch.tdp_w))

@@ -1,0 +1,208 @@
+"""GPU architecture descriptions (the paper's Table 2, plus geometry).
+
+The paper trains on an NVIDIA GTX580 (Fermi, CC 2.0) and predicts on a
+Tesla K20m (Kepler, CC 3.5); Table 2 also lists the GTX480. Besides the
+Table 2 machine metrics (warp schedulers, clock, SM count, cores/SM,
+memory bandwidth, registers, L2 size), the simulator needs cache and
+scheduling geometry, which is taken from the CUDA C Programming Guide
+occupancy tables for the respective compute capabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["CacheGeometry", "GPUArchitecture", "GTX480", "GTX580", "K20M", "TABLE2_METRICS"]
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Set-associative cache geometry."""
+
+    size_bytes: int
+    line_bytes: int
+    associativity: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.line_bytes * self.associativity) != 0:
+            raise ValueError("cache size must be a multiple of line*associativity")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+@dataclass(frozen=True)
+class GPUArchitecture:
+    """Static description of a GPU for the performance simulator.
+
+    The seven Table 2 metrics are exposed with the paper's names via
+    :meth:`machine_metrics`; the remaining fields parameterize the
+    occupancy, memory and timing models.
+    """
+
+    name: str
+    family: str  # "fermi" | "kepler"
+    compute_capability: tuple[int, int]
+
+    # --- Table 2 metrics ---
+    warp_schedulers: int        # wsched
+    clock_ghz: float            # freq
+    n_sms: int                  # smp
+    cores_per_sm: int           # rco
+    mem_bandwidth_gbs: float    # mbw
+    max_registers_per_thread: int  # the paper's "registers" row
+    l2_size_kb: int             # l2c
+
+    # --- scheduling / occupancy geometry ---
+    warp_size: int = 32
+    max_warps_per_sm: int = 48
+    max_blocks_per_sm: int = 8
+    max_threads_per_block: int = 1024
+    registers_per_sm: int = 32768
+    register_alloc_granularity: int = 64   # registers, allocated per warp
+    shared_mem_per_sm: int = 49152
+    shared_mem_granularity: int = 128      # bytes
+    shared_banks: int = 32
+    dispatch_units_per_scheduler: int = 1
+    #: load/store units per SM (Fermi GF110: 16 -> a warp shared
+    #: access occupies the LSU pipe for 2 cycles; GK110: 32).
+    lsu_units: int = 16
+
+    # --- memory system ---
+    l1: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(16 * 1024, 128, 4)
+    )
+    l1_caches_global_loads: bool = True   # Fermi yes; Kepler GK110 no (L2 only)
+    global_mem_segment_bytes: int = 128   # coalescing segment at the caching level
+    l2_line_bytes: int = 32
+    dram_latency_cycles: float = 440.0
+    l2_latency_cycles: float = 230.0
+    shared_latency_cycles: float = 28.0
+
+    # --- timing model knobs ---
+    issue_cycles_per_instruction: float = 1.0
+    departure_delay_coalesced: float = 4.0    # cycles between transactions
+    kernel_launch_overhead_us: float = 5.0
+
+    # --- energy model (for the Section 7 power-response extension) ---
+    #: Dynamic energy per issued warp instruction (nJ); ~40nm/28nm-class.
+    energy_per_instruction_nj: float = 6.0
+    #: Dynamic energy per DRAM byte moved (nJ/B).
+    energy_per_dram_byte_nj: float = 0.35
+    #: Dynamic energy per 32B L2 transaction (nJ).
+    energy_per_l2_transaction_nj: float = 2.0
+    #: Dynamic energy per shared-memory transaction (nJ).
+    energy_per_shared_transaction_nj: float = 0.8
+    #: Constant (idle/leakage/fan) power draw while the kernel runs (W).
+    static_power_w: float = 45.0
+    #: Board thermal design power; reported averages are clipped to it.
+    tdp_w: float = 244.0
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def max_threads_per_sm(self) -> int:
+        return self.max_warps_per_sm * self.warp_size
+
+    @property
+    def peak_gflops_sp(self) -> float:
+        """Single-precision FMA peak (2 flops per core per cycle)."""
+        return 2.0 * self.cores_per_sm * self.n_sms * self.clock_ghz
+
+    @property
+    def l2(self) -> CacheGeometry:
+        return CacheGeometry(self.l2_size_kb * 1024, self.l2_line_bytes, 16)
+
+    def bytes_per_cycle(self) -> float:
+        """Device DRAM bandwidth expressed in bytes per core cycle."""
+        return self.mem_bandwidth_gbs / self.clock_ghz
+
+    def machine_metrics(self) -> dict[str, float]:
+        """The Table 2 predictor vector injected for hardware scaling."""
+        return {
+            "wsched": float(self.warp_schedulers),
+            "freq": self.clock_ghz,
+            "smp": float(self.n_sms),
+            "rco": float(self.cores_per_sm),
+            "mbw": self.mem_bandwidth_gbs,
+            "l1c": float(self.max_registers_per_thread),
+            "l2c": float(self.l2_size_kb),
+        }
+
+    def with_overrides(self, **kwargs) -> "GPUArchitecture":
+        """A modified copy — convenient for what-if architecture studies."""
+        return replace(self, **kwargs)
+
+
+# Table 2 of the paper lists GTX480 and K20m; the text trains on a GTX580
+# (same Fermi GF110 family as the GTX480, one more SM and higher clock).
+
+GTX480 = GPUArchitecture(
+    name="GTX480",
+    family="fermi",
+    compute_capability=(2, 0),
+    warp_schedulers=2,
+    clock_ghz=1.40,
+    n_sms=15,
+    cores_per_sm=32,
+    mem_bandwidth_gbs=177.4,
+    max_registers_per_thread=63,
+    l2_size_kb=768,
+    energy_per_instruction_nj=7.0,   # GF100: leakier than the GF110 respin
+    static_power_w=55.0,
+    tdp_w=250.0,
+)
+
+GTX580 = GPUArchitecture(
+    name="GTX580",
+    family="fermi",
+    compute_capability=(2, 0),
+    warp_schedulers=2,
+    clock_ghz=1.544,
+    n_sms=16,
+    cores_per_sm=32,
+    mem_bandwidth_gbs=192.4,
+    max_registers_per_thread=63,
+    l2_size_kb=768,
+)
+
+K20M = GPUArchitecture(
+    name="K20m",
+    family="kepler",
+    compute_capability=(3, 5),
+    warp_schedulers=4,
+    clock_ghz=0.71,
+    n_sms=13,
+    cores_per_sm=192,
+    mem_bandwidth_gbs=208.0,
+    max_registers_per_thread=255,
+    l2_size_kb=1280,
+    max_warps_per_sm=64,
+    max_blocks_per_sm=16,
+    registers_per_sm=65536,
+    register_alloc_granularity=256,
+    l1=CacheGeometry(16 * 1024, 128, 4),
+    l1_caches_global_loads=False,      # GK110: global loads served by L2
+    global_mem_segment_bytes=32,       # 32B L2 transactions
+    dram_latency_cycles=301.0,
+    l2_latency_cycles=175.0,
+    shared_latency_cycles=31.0,
+    dispatch_units_per_scheduler=2,
+    lsu_units=32,
+    departure_delay_coalesced=1.0,
+    kernel_launch_overhead_us=4.0,
+    # 28nm GK110 energy profile and board limits.
+    energy_per_instruction_nj=3.5,
+    energy_per_dram_byte_nj=0.30,
+    energy_per_l2_transaction_nj=1.5,
+    energy_per_shared_transaction_nj=0.6,
+    static_power_w=38.0,
+    tdp_w=225.0,
+)
+
+#: The exact Table 2 rows, for the Table 2 regeneration bench.
+TABLE2_METRICS: dict[str, dict[str, float]] = {
+    "GTX480": GTX480.machine_metrics(),
+    "K20m": K20M.machine_metrics(),
+}

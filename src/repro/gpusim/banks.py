@@ -1,0 +1,65 @@
+"""Shared-memory bank conflict model.
+
+Shared memory on Fermi/Kepler is organized in 32 banks of 4-byte words;
+a warp access where k lanes fall into the same bank serializes into k
+transactions — k-1 *replays* of the instruction. This is the mechanism
+the reduce1 use case exposes (paper Section 5.2): strided shared-memory
+indexing produces high-degree conflicts whose replays dominate the
+kernel's execution time.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["conflict_degree_for_stride", "conflict_degree_from_lanes", "replay_count"]
+
+
+def conflict_degree_for_stride(
+    stride_words: int, active_lanes: int = 32, banks: int = 32
+) -> float:
+    """Conflict degree of a strided warp access to shared memory.
+
+    Lanes ``i`` access word index ``i * stride_words``; the bank of a
+    word is ``index % banks``. The degree is the maximum number of
+    active lanes hitting the same bank (hardware serializes on the
+    worst bank). A stride of 0 is a broadcast (degree 1 — hardware
+    broadcasts a single word).
+    """
+    if active_lanes < 1 or active_lanes > 32:
+        raise ValueError("active_lanes must be in [1, 32]")
+    if stride_words < 0:
+        raise ValueError("stride_words must be >= 0")
+    if stride_words == 0:
+        return 1.0
+    distinct_banks = banks // math.gcd(stride_words, banks)
+    # Lanes cycle through `distinct_banks` banks; worst bank receives
+    # ceil(active / distinct_banks) lanes.
+    return float(math.ceil(active_lanes / distinct_banks))
+
+
+def conflict_degree_from_lanes(word_indices: np.ndarray, banks: int = 32) -> float:
+    """Conflict degree of an arbitrary lane->word mapping.
+
+    ``word_indices``: 4-byte word index accessed per active lane.
+    Lanes accessing the *same word* are broadcast (no conflict); lanes
+    accessing different words in the same bank serialize.
+    """
+    word_indices = np.asarray(word_indices, dtype=np.int64).ravel()
+    if word_indices.size == 0:
+        return 1.0
+    degree = 1
+    bank_of = word_indices % banks
+    for bank in np.unique(bank_of):
+        words = np.unique(word_indices[bank_of == bank])
+        degree = max(degree, int(words.size))
+    return float(degree)
+
+
+def replay_count(requests: float, conflict_degree: float) -> float:
+    """Replayed warp instructions caused by bank conflicts."""
+    if conflict_degree < 1.0:
+        raise ValueError("conflict_degree must be >= 1.0")
+    return requests * (conflict_degree - 1.0)

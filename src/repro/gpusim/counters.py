@@ -1,0 +1,183 @@
+"""Hardware performance counter / metric catalogue.
+
+Defines the working set of nvprof events and metrics this toolchain
+collects — Table 1 of the paper plus the additional counters its use
+cases reference (l2/dram transactions, efficiencies, utilizations).
+
+Counter availability differs per architecture family, which is a core
+difficulty for the paper's hardware scaling (Section 7): Fermi exposes
+``l1_shared_bank_conflict`` while Kepler instead has
+``shared_load_replay`` / ``shared_store_replay``; Kepler does not cache
+global loads in L1, so the Fermi L1 hit/miss events are absent there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+__all__ = [
+    "CounterSpec",
+    "CATALOGUE",
+    "TABLE1_COUNTERS",
+    "available_counters",
+    "predictor_counters",
+    "counters_for",
+    "CounterSet",
+]
+
+_BOTH = ("fermi", "kepler")
+_FERMI = ("fermi",)
+_KEPLER = ("kepler",)
+_CPU = ("cpu",)
+
+
+@dataclass(frozen=True)
+class CounterSpec:
+    """One profiler event or derived metric."""
+
+    name: str
+    meaning: str
+    kind: str                  # "event" | "metric"
+    families: tuple[str, ...]  # architecture families exposing it
+    unit: str = "count"
+    #: Usable as a model predictor. False for counters that are direct
+    #: proxies of the response (elapsed cycles), which would let the
+    #: forest "predict" time from time.
+    predictor: bool = True
+
+    def available_on(self, family: str) -> bool:
+        return family in self.families
+
+
+_SPECS: list[CounterSpec] = [
+    # ---- events (raw counts) ----
+    CounterSpec("shared_load", "number of executed shared load instructions, increments per warp on a multiprocessor", "event", _BOTH),
+    CounterSpec("shared_store", "number of executed shared store instructions, increments per warp on a multiprocessor", "event", _BOTH),
+    CounterSpec("gld_request", "number of executed global load instructions, increments per warp on a multiprocessor", "event", _BOTH),
+    CounterSpec("gst_request", "similar to gld_request for store instructions", "event", _BOTH),
+    CounterSpec("global_store_transaction", "number of global store transactions; increments per transaction which can be 32,64,96 or 128 bytes", "event", _BOTH),
+    CounterSpec("l1_global_load_hit", "number of cache lines that hit in L1 for global memory load accesses", "event", _FERMI),
+    CounterSpec("l1_global_load_miss", "number of cache lines that miss in L1 for global memory load accesses", "event", _FERMI),
+    CounterSpec("l1_shared_bank_conflict", "number of shared memory bank conflicts", "event", _FERMI),
+    CounterSpec("shared_load_replay", "replays of shared load instructions due to bank conflicts", "event", _KEPLER),
+    CounterSpec("shared_store_replay", "replays of shared store instructions due to bank conflicts", "event", _KEPLER),
+    CounterSpec("l2_read_transactions", "memory read transactions at L2 cache", "event", _BOTH),
+    CounterSpec("l2_write_transactions", "memory write transactions at L2 cache", "event", _BOTH),
+    CounterSpec("inst_issued", "instructions issued, including replays", "event", _BOTH),
+    CounterSpec("inst_executed", "instructions executed, not including replays", "event", _BOTH),
+    CounterSpec("branch", "number of branch instructions executed per warp on a multiprocessor", "event", _BOTH),
+    CounterSpec("divergent_branch", "number of divergent branches within a warp", "event", _BOTH),
+    CounterSpec("active_cycles", "cycles an SM has at least one active warp", "event", _BOTH, predictor=False),
+    CounterSpec("active_warps", "accumulated active warps per cycle", "event", _BOTH, predictor=False),
+    # ---- derived metrics ----
+    CounterSpec("ipc", "number of instructions executed per cycle", "metric", _BOTH, "inst/cycle"),
+    CounterSpec("achieved_occupancy", "ratio of average active warps per active cycle to the maximum number of warps per SM", "metric", _BOTH, "ratio"),
+    CounterSpec("issue_slot_utilization", "percentage of issue slots that issued at least one instruction, averaged across all cycles", "metric", _BOTH, "percent"),
+    CounterSpec("inst_replay_overhead", "average number of replays for each instruction executed", "metric", _BOTH, "ratio"),
+    CounterSpec("shared_replay_overhead", "average number of replays due to shared memory conflicts for each instruction executed", "metric", _BOTH, "ratio"),
+    CounterSpec("global_replay_overhead", "average number of replays due to global memory accesses for each instruction executed", "metric", _BOTH, "ratio"),
+    CounterSpec("warp_execution_efficiency", "ratio of the average active threads per warp to the maximum number of threads per warp supported by the multiprocessor", "metric", _BOTH, "percent"),
+    CounterSpec("gld_requested_throughput", "requested global memory load throughput", "metric", _BOTH, "GB/s"),
+    CounterSpec("gst_requested_throughput", "requested global memory store throughput", "metric", _BOTH, "GB/s"),
+    CounterSpec("gld_throughput", "global memory load throughput", "metric", _BOTH, "GB/s"),
+    CounterSpec("gst_throughput", "global memory store throughput", "metric", _BOTH, "GB/s"),
+    CounterSpec("gld_efficiency", "ratio of requested to actual global load throughput", "metric", _BOTH, "percent"),
+    CounterSpec("gst_efficiency", "ratio of requested to actual global store throughput", "metric", _BOTH, "percent"),
+    CounterSpec("l2_read_throughput", "memory read throughput at L2 cache", "metric", _BOTH, "GB/s"),
+    CounterSpec("l2_write_throughput", "memory write throughput at L2 cache", "metric", _BOTH, "GB/s"),
+    CounterSpec("dram_read_throughput", "device memory read throughput", "metric", _BOTH, "GB/s"),
+    CounterSpec("dram_write_throughput", "device memory write throughput", "metric", _BOTH, "GB/s"),
+    CounterSpec("ldst_fu_utilization", "utilization level of the load/store function units on a scale of 0 to 10", "metric", _BOTH, "level"),
+    CounterSpec("shared_efficiency", "ratio of requested to required shared memory throughput", "metric", _BOTH, "percent"),
+    CounterSpec("sm_efficiency", "percentage of time at least one warp is active on an SM", "metric", _BOTH, "percent", predictor=False),
+    # ---- CPU (perf-style) events and metrics, for the Section 7 CPU
+    # extension; names follow `perf stat` conventions ----
+    CounterSpec("instructions", "retired instructions", "event", _CPU),
+    CounterSpec("cpu_cycles", "core clock cycles elapsed", "event", _CPU, predictor=False),
+    CounterSpec("cache_references", "last-level cache accesses", "event", _CPU),
+    CounterSpec("cache_misses", "last-level cache misses", "event", _CPU),
+    CounterSpec("l1_dcache_loads", "L1 data cache load accesses", "event", _CPU),
+    CounterSpec("l1_dcache_load_misses", "L1 data cache load misses", "event", _CPU),
+    CounterSpec("branches", "retired branch instructions", "event", _CPU),
+    CounterSpec("branch_misses", "mispredicted branches", "event", _CPU),
+    CounterSpec("simd_instructions", "retired packed SIMD instructions", "event", _CPU),
+    CounterSpec("cpu_ipc", "retired instructions per cycle per core", "metric", _CPU, "inst/cycle"),
+    CounterSpec("cpu_llc_miss_rate", "LLC misses per reference", "metric", _CPU, "ratio"),
+    CounterSpec("cpu_mem_bandwidth", "sustained memory bandwidth", "metric", _CPU, "GB/s"),
+    CounterSpec("cpu_vectorization_ratio", "fraction of retired instructions that are packed SIMD", "metric", _CPU, "ratio"),
+    CounterSpec("cpu_parallel_efficiency", "speedup achieved over serial divided by core count", "metric", _CPU, "ratio"),
+]
+
+CATALOGUE: dict[str, CounterSpec] = {spec.name: spec for spec in _SPECS}
+
+#: The sample shown in the paper's Table 1, in its row order.
+TABLE1_COUNTERS: list[str] = [
+    "shared_replay_overhead",
+    "shared_load",
+    "shared_store",
+    "inst_replay_overhead",
+    "l1_global_load_hit",
+    "l1_global_load_miss",
+    "gld_request",
+    "gst_request",
+    "global_store_transaction",
+    "gld_requested_throughput",
+    "achieved_occupancy",
+    "l2_read_throughput",
+    "l2_write_transactions",
+    "ipc",
+    "issue_slot_utilization",
+    "warp_execution_efficiency",
+]
+
+
+def available_counters(family: str, kind: str | None = None) -> list[str]:
+    """Counter names an architecture family exposes, in catalogue order."""
+    return [
+        s.name
+        for s in _SPECS
+        if s.available_on(family) and (kind is None or s.kind == kind)
+    ]
+
+
+def predictor_counters(family: str) -> list[str]:
+    """Counters admissible as model predictors on a family (excludes
+    direct response proxies such as elapsed cycles)."""
+    return [s.name for s in _SPECS if s.available_on(family) and s.predictor]
+
+
+def counters_for(arch) -> list[str]:
+    """Counters available on a :class:`~repro.gpusim.arch.GPUArchitecture`."""
+    return available_counters(arch.family)
+
+
+class CounterSet(Mapping[str, float]):
+    """An immutable named counter vector validated against the catalogue."""
+
+    def __init__(self, family: str, values: Mapping[str, float]) -> None:
+        if family not in ("fermi", "kepler", "cpu"):
+            raise ValueError(f"unknown architecture family {family!r}")
+        for name in values:
+            spec = CATALOGUE.get(name)
+            if spec is None:
+                raise KeyError(f"unknown counter {name!r}")
+            if not spec.available_on(family):
+                raise KeyError(f"counter {name!r} not available on {family}")
+        self.family = family
+        self._values = dict(values)
+
+    def __getitem__(self, name: str) -> float:
+        return self._values[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return f"CounterSet({self.family}, {len(self)} counters)"
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._values)

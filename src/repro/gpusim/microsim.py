@@ -1,0 +1,205 @@
+"""Cycle-level SM micro-simulator — the analytic timing model's referee.
+
+The production path (:class:`repro.gpusim.timing.TimingModel`) prices a
+launch with closed-form bounds. This module provides an independent
+*event-driven* model of one streaming multiprocessor — warps, a
+round-robin dual-issue scheduler, scoreboarded latencies, an LSU pipe
+and a bounded memory system — so the analytic bounds can be
+cross-checked on small synthetic programs (see
+``tests/gpusim/test_microsim.py``). It is intentionally not used for
+data collection (it is orders of magnitude slower); its job is to keep
+the fast model honest.
+
+A *program* is a per-warp instruction list; each instruction has an
+issue port, a result latency, and a dependency flag:
+
+* ``alu``    — arithmetic; issues on the scheduler ports.
+* ``sld``/``sst`` — shared memory; occupies the LSU pipe for
+  ``lsu_cycles`` and returns after the shared latency (conflict degree
+  multiplies both).
+* ``gld``    — global load; occupies a memory-request slot (bounded
+  in-flight concurrency, the micro analogue of MWP) and returns after
+  the memory latency.
+* ``gst``    — global store; fire-and-forget (pipe occupancy only).
+* ``sync``   — barrier across all warps of the block (modeled here as
+  all warps of the SM, which matches single-block test programs).
+
+``dependent=True`` makes the instruction wait for the previous
+instruction's result (a serial chain); otherwise only issue-order is
+preserved (back-to-back issue, latency overlapped).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from .arch import GPUArchitecture
+
+__all__ = ["Instruction", "MicroSim", "MicroResult"]
+
+_PORTS = ("alu", "sld", "sst", "gld", "gst", "sync")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One warp-level instruction of a micro program."""
+
+    port: str
+    #: Wait for the previous instruction's *result* (true dependency)
+    #: rather than just its issue slot.
+    dependent: bool = False
+    #: Shared-memory conflict degree (sld/sst only).
+    conflict_degree: int = 1
+
+    def __post_init__(self) -> None:
+        if self.port not in _PORTS:
+            raise ValueError(f"unknown port {self.port!r}")
+        if self.conflict_degree < 1:
+            raise ValueError("conflict_degree must be >= 1")
+
+
+@dataclass
+class MicroResult:
+    """Outcome of a micro simulation."""
+
+    cycles: int
+    instructions_issued: int
+    #: Per-warp completion cycles.
+    completion: list[int] = field(default_factory=list)
+
+    def ipc(self, n_warps: int) -> float:
+        return self.instructions_issued / self.cycles if self.cycles else 0.0
+
+
+class MicroSim:
+    """Event-driven single-SM simulator.
+
+    Parameters
+    ----------
+    arch:
+        Supplies latencies, issue width and LSU width.
+    max_outstanding_loads:
+        Memory requests in flight per SM (the MWP analogue); defaults to
+        ``mem_latency / departure_delay`` like the analytic model.
+    """
+
+    def __init__(
+        self,
+        arch: GPUArchitecture,
+        max_outstanding_loads: int | None = None,
+    ) -> None:
+        self.arch = arch
+        self.issue_width = int(
+            min(
+                arch.warp_schedulers * arch.dispatch_units_per_scheduler,
+                max(arch.cores_per_sm // arch.warp_size, 1),
+            )
+        )
+        self.lsu_cycles = max(1, arch.warp_size // arch.lsu_units)
+        self.mem_latency = int(arch.dram_latency_cycles)
+        self.shared_latency = int(arch.shared_latency_cycles)
+        if max_outstanding_loads is None:
+            max_outstanding_loads = max(
+                1, int(arch.dram_latency_cycles / arch.departure_delay_coalesced)
+            )
+        self.max_outstanding = max_outstanding_loads
+
+    def run(self, program: list[Instruction], n_warps: int,
+            max_cycles: int = 10_000_000) -> MicroResult:
+        """Execute ``n_warps`` copies of ``program`` to completion."""
+        if n_warps < 1:
+            raise ValueError("n_warps must be >= 1")
+        if not program:
+            return MicroResult(cycles=0, instructions_issued=0,
+                               completion=[0] * n_warps)
+
+        pc = [0] * n_warps                  # next instruction index
+        issue_ready = [0] * n_warps         # cycle the warp may issue again
+        result_ready = [0] * n_warps        # cycle the last result lands
+        completion = [0] * n_warps
+        waiting_sync = [False] * n_warps
+
+        lsu_free = 0                        # cycle the LSU pipe frees up
+        inflight: list[int] = []            # heap of load completion cycles
+        issued = 0
+        n_done = 0
+        cycle = 0
+        rr = 0                              # round-robin pointer
+
+        n_instr = len(program)
+
+        while n_done < n_warps:
+            if cycle > max_cycles:
+                raise RuntimeError("micro simulation exceeded max_cycles")
+
+            # retire completed loads
+            while inflight and inflight[0] <= cycle:
+                heapq.heappop(inflight)
+
+            # barrier release: when every live warp waits, release all
+            if all(waiting_sync[w] or pc[w] >= n_instr for w in range(n_warps)) \
+                    and any(waiting_sync):
+                for w in range(n_warps):
+                    if waiting_sync[w]:
+                        waiting_sync[w] = False
+                        pc[w] += 1
+                        issue_ready[w] = cycle + 1
+                        if pc[w] >= n_instr:
+                            completion[w] = cycle
+                            n_done += 1
+
+            slots = self.issue_width
+            scanned = 0
+            while slots > 0 and scanned < n_warps:
+                w = (rr + scanned) % n_warps
+                scanned += 1
+                if pc[w] >= n_instr or waiting_sync[w]:
+                    continue
+                if issue_ready[w] > cycle:
+                    continue
+                instr = program[pc[w]]
+                if instr.dependent and result_ready[w] > cycle:
+                    continue
+
+                if instr.port == "sync":
+                    # only enter the barrier once the warp's results are in
+                    if result_ready[w] > cycle:
+                        continue
+                    waiting_sync[w] = True
+                    issued += 1
+                    slots -= 1
+                    continue
+
+                if instr.port in ("sld", "sst"):
+                    if lsu_free > cycle:
+                        continue
+                    occupancy = self.lsu_cycles * instr.conflict_degree
+                    lsu_free = cycle + occupancy
+                    if instr.port == "sld":
+                        result_ready[w] = cycle + self.shared_latency + occupancy
+                    issue_ready[w] = cycle + 1
+                elif instr.port == "gld":
+                    if len(inflight) >= self.max_outstanding:
+                        continue
+                    heapq.heappush(inflight, cycle + self.mem_latency)
+                    result_ready[w] = cycle + self.mem_latency
+                    issue_ready[w] = cycle + 1
+                elif instr.port == "gst":
+                    issue_ready[w] = cycle + 1
+                else:  # alu
+                    result_ready[w] = cycle + 18  # SP pipeline depth
+                    issue_ready[w] = cycle + 1
+
+                pc[w] += 1
+                issued += 1
+                slots -= 1
+                if pc[w] >= n_instr:
+                    completion[w] = cycle
+                    n_done += 1
+            rr = (rr + 1) % n_warps
+            cycle += 1
+
+        return MicroResult(
+            cycles=cycle, instructions_issued=issued, completion=completion
+        )

@@ -1,0 +1,84 @@
+"""Run-to-run perturbation model.
+
+Real GPU runs are not deterministic: warp scheduling order, DRAM
+refresh/contention, cache state and the conflict interleaving all vary
+between otherwise identical executions, which moves *both* the measured
+time and the affected hardware counters. BlackForest's statistical
+machinery feeds on exactly this covariance — the counter watching the
+*binding* mechanism tracks the run's time residual, while unrelated
+counters only carry their own jitter.
+
+:class:`Perturbation` captures one run's draw of these mechanism
+efficiencies; :meth:`Perturbation.draw` samples them from calibrated
+distributions (magnitudes chosen to match the few-percent run-to-run
+variance typical of wall-clock GPU measurements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Perturbation"]
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """Mechanism-level multipliers for one application run."""
+
+    #: Scales the replays caused by each shared-memory bank conflict
+    #: (conflict interleaving luck); applied to (degree - 1).
+    conflict_factor: float = 1.0
+    #: Scheduler efficiency in (0, 1]: fraction of resident warps
+    #: effectively contributing to latency hiding this run.
+    sched_efficiency: float = 1.0
+    #: Usable fraction of peak DRAM bandwidth this run (refresh,
+    #: row-buffer locality, contention).
+    dram_efficiency: float = 1.0
+    #: Scales cache hit fractions (cache state luck).
+    cache_factor: float = 1.0
+    #: Residual multiplicative measurement noise on the reported time.
+    time_jitter: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("conflict_factor", "sched_efficiency", "dram_efficiency",
+                     "cache_factor", "time_jitter"):
+            v = getattr(self, name)
+            if not v > 0:
+                raise ValueError(f"{name} must be positive, got {v}")
+        if self.sched_efficiency > 1.0:
+            raise ValueError("sched_efficiency cannot exceed 1.0")
+        if self.dram_efficiency > 1.0:
+            raise ValueError("dram_efficiency cannot exceed 1.0")
+
+    @staticmethod
+    def draw(
+        rng: np.random.Generator | int | None = None, scale: float = 1.0
+    ) -> "Perturbation":
+        """Sample one run's perturbation.
+
+        ``scale`` multiplies all dispersion parameters (0 reproduces the
+        deterministic :meth:`none` draw).
+        """
+        if scale < 0:
+            raise ValueError("scale must be >= 0")
+        if scale == 0:
+            return Perturbation()
+        rng = np.random.default_rng(rng)
+        return Perturbation(
+            conflict_factor=float(np.exp(rng.normal(0.0, 0.06 * scale))),
+            sched_efficiency=float(
+                np.clip(1.0 - np.abs(rng.normal(0.0, 0.05 * scale)), 0.6, 1.0)
+            ),
+            dram_efficiency=float(
+                np.clip(0.95 * np.exp(rng.normal(0.0, 0.04 * scale)), 0.6, 1.0)
+            ),
+            cache_factor=float(np.exp(rng.normal(0.0, 0.08 * scale))),
+            time_jitter=float(np.exp(rng.normal(0.0, 0.01 * scale))),
+        )
+
+    @staticmethod
+    def none() -> "Perturbation":
+        """The deterministic (noise-free) run."""
+        return Perturbation()

@@ -1,0 +1,112 @@
+"""CUDA occupancy calculator.
+
+Computes, per streaming multiprocessor, the number of concurrently
+resident thread blocks as limited by (a) the warp-slot budget, (b) the
+register file, (c) shared memory, and (d) the hardware block limit —
+the same logic as NVIDIA's occupancy calculator spreadsheet. Occupancy
+("ratio of active warps per active cycle to the maximum number of warps
+per SM", Table 1) is the central parallelism metric of the paper's
+Section 3.1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .arch import GPUArchitecture
+
+__all__ = ["OccupancyResult", "occupancy"]
+
+
+def _ceil_to(value: int, granularity: int) -> int:
+    if value == 0:
+        return 0
+    return ((value + granularity - 1) // granularity) * granularity
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Occupancy limits for a kernel launch configuration."""
+
+    warps_per_block: int
+    active_blocks_per_sm: int
+    active_warps_per_sm: int
+    theoretical_occupancy: float
+    limited_by: str  # "warps" | "registers" | "shared_memory" | "blocks"
+    limit_warps: int
+    limit_registers: int
+    limit_shared_memory: int
+    limit_blocks: int
+
+
+def occupancy(
+    arch: GPUArchitecture,
+    threads_per_block: int,
+    regs_per_thread: int,
+    shared_mem_per_block: int,
+) -> OccupancyResult:
+    """Theoretical occupancy of a launch configuration on ``arch``.
+
+    Raises ValueError when the configuration cannot run at all (zero
+    resident blocks) — e.g. a block needing more shared memory than an
+    SM has.
+    """
+    if threads_per_block < 1 or threads_per_block > arch.max_threads_per_block:
+        raise ValueError(
+            f"threads_per_block must be in [1, {arch.max_threads_per_block}]"
+        )
+    if regs_per_thread < 0 or shared_mem_per_block < 0:
+        raise ValueError("resource usage must be non-negative")
+    if regs_per_thread > arch.max_registers_per_thread:
+        raise ValueError(
+            f"{regs_per_thread} registers/thread exceeds the architecture "
+            f"limit of {arch.max_registers_per_thread}"
+        )
+
+    warps_per_block = math.ceil(threads_per_block / arch.warp_size)
+
+    limit_warps = arch.max_warps_per_sm // warps_per_block
+
+    # Registers are allocated per warp at a fixed granularity.
+    regs_per_warp = _ceil_to(regs_per_thread * arch.warp_size,
+                             arch.register_alloc_granularity)
+    if regs_per_warp == 0:
+        limit_regs = arch.max_blocks_per_sm
+    else:
+        regs_per_block = regs_per_warp * warps_per_block
+        limit_regs = arch.registers_per_sm // regs_per_block
+
+    smem_per_block = _ceil_to(shared_mem_per_block, arch.shared_mem_granularity)
+    if smem_per_block == 0:
+        limit_smem = arch.max_blocks_per_sm
+    else:
+        limit_smem = arch.shared_mem_per_sm // smem_per_block
+
+    limit_blocks = arch.max_blocks_per_sm
+
+    limits = {
+        "warps": limit_warps,
+        "registers": limit_regs,
+        "shared_memory": limit_smem,
+        "blocks": limit_blocks,
+    }
+    limiting = min(limits, key=limits.get)
+    active_blocks = limits[limiting]
+    if active_blocks < 1:
+        raise ValueError(
+            f"launch configuration does not fit on an SM (limited by {limiting})"
+        )
+
+    active_warps = active_blocks * warps_per_block
+    return OccupancyResult(
+        warps_per_block=warps_per_block,
+        active_blocks_per_sm=active_blocks,
+        active_warps_per_sm=active_warps,
+        theoretical_occupancy=active_warps / arch.max_warps_per_sm,
+        limited_by=limiting,
+        limit_warps=limit_warps,
+        limit_registers=limit_regs,
+        limit_shared_memory=limit_smem,
+        limit_blocks=limit_blocks,
+    )

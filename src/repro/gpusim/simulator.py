@@ -1,0 +1,351 @@
+"""The GPU performance simulator: workloads in, counters + time out.
+
+:class:`GPUSimulator` glues the occupancy calculator, the memory system
+model, the bank-conflict model and the timing model together. For every
+:class:`~repro.gpusim.workload.KernelWorkload` (one kernel launch) it
+produces a :class:`LaunchProfile` holding raw event accumulators and the
+timing breakdown; :func:`aggregate_launches` folds the launches of one
+application run into the final nvprof-style counter vector
+(:class:`~repro.gpusim.counters.CounterSet`) plus the measured execution
+time — the observation unit of the paper's data-collection stage.
+
+A seeded multiplicative noise model perturbs the reported time (and the
+throughput metrics derived from it), mimicking run-to-run measurement
+variance; raw event counts stay deterministic, as they do on real
+hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .arch import GPUArchitecture
+from .banks import replay_count
+from .counters import CounterSet
+from .memory import MemoryAccessResult, resolve_access
+from .noise import Perturbation
+from .occupancy import OccupancyResult, occupancy
+from .timing import LaunchTiming, TimingModel
+from .workload import KernelWorkload
+
+__all__ = ["LaunchProfile", "GPUSimulator", "aggregate_launches", "sum_raw", "finalize_counters", "average_power_w"]
+
+
+@dataclass
+class LaunchProfile:
+    """Raw simulation output for one kernel launch."""
+
+    workload: KernelWorkload
+    occupancy: OccupancyResult
+    timing: LaunchTiming
+    memory: list[MemoryAccessResult]
+    raw: dict[str, float] = field(default_factory=dict)
+
+
+class GPUSimulator:
+    """Performance simulator for one GPU architecture.
+
+    Parameters
+    ----------
+    arch:
+        The simulated architecture.
+    noise_sigma:
+        Dispersion scale of the run perturbation model (see
+        :class:`~repro.gpusim.noise.Perturbation`); 0 disables noise,
+        1.0 is the calibrated default of the profiling layer.
+    rng:
+        Seed or generator for the noise model.
+    """
+
+    def __init__(
+        self,
+        arch: GPUArchitecture,
+        noise_sigma: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if noise_sigma < 0:
+            raise ValueError("noise_sigma must be >= 0")
+        self.arch = arch
+        self.noise_sigma = noise_sigma
+        self._rng = np.random.default_rng(rng)
+        self._timing = TimingModel(arch)
+
+    # -- single launch -------------------------------------------------------
+
+    def launch(
+        self, wl: KernelWorkload, perturbation: Perturbation | None = None
+    ) -> LaunchProfile:
+        """Simulate one kernel launch under an optional run perturbation."""
+        arch = self.arch
+        pert = perturbation if perturbation is not None else Perturbation.none()
+        occ = occupancy(
+            arch, wl.threads_per_block, wl.regs_per_thread, wl.shared_mem_per_block
+        )
+
+        mem = [
+            resolve_access(a, arch, cache_factor=pert.cache_factor)
+            for a in wl.global_accesses
+        ]
+
+        shared_loads = sum(s.requests for s in wl.loads("shared"))
+        shared_stores = sum(s.requests for s in wl.stores("shared"))
+        shared_load_replays = pert.conflict_factor * sum(
+            replay_count(s.requests, s.conflict_degree) for s in wl.loads("shared")
+        )
+        shared_store_replays = pert.conflict_factor * sum(
+            replay_count(s.requests, s.conflict_degree) for s in wl.stores("shared")
+        )
+        shared_replays = shared_load_replays + shared_store_replays
+        shared_transactions = shared_loads + shared_stores + shared_replays
+
+        global_replays = sum(m.replays for m in mem)
+        inst_executed = wl.executed_instructions
+        inst_issued = inst_executed + shared_replays + global_replays
+
+        dram_bytes = sum(m.dram_bytes for m in mem)
+        issued_per_warp = inst_issued / wl.total_warps
+
+        timing = self._timing.evaluate(
+            grid_blocks=wl.grid_blocks,
+            warps_per_block=wl.warps_per_block,
+            occ=occ,
+            issued_per_warp=issued_per_warp,
+            mem=mem,
+            total_warps=wl.total_warps,
+            dram_bytes=dram_bytes,
+            shared_transactions=shared_transactions,
+            memory_ilp=wl.memory_ilp,
+            critical_path_cycles=wl.critical_path_cycles,
+            sched_efficiency=pert.sched_efficiency,
+            dram_efficiency=pert.dram_efficiency,
+        )
+
+        loads = [m for m in mem if m.kind == "load"]
+        stores = [m for m in mem if m.kind == "store"]
+
+        raw = {
+            # events
+            "shared_load": float(shared_loads),
+            "shared_store": float(shared_stores),
+            "gld_request": float(sum(m.requests for m in loads)),
+            "gst_request": float(sum(m.requests for m in stores)),
+            "global_store_transaction": float(sum(m.transactions for m in stores)),
+            "l1_global_load_hit": float(sum(m.l1_hits for m in loads)),
+            "l1_global_load_miss": float(sum(m.l1_misses for m in loads)),
+            "l2_read_transactions": float(sum(m.l2_transactions for m in loads)),
+            "l2_write_transactions": float(sum(m.l2_transactions for m in stores)),
+            "inst_executed": float(inst_executed),
+            "inst_issued": float(inst_issued),
+            "branch": float(wl.branches),
+            "divergent_branch": float(wl.divergent_branches),
+            "active_cycles": timing.cycles,
+            "active_warps": timing.avg_resident_warps * timing.cycles,
+            # replay decomposition
+            "shared_replays": shared_replays,
+            "shared_load_replays": shared_load_replays,
+            "shared_store_replays": shared_store_replays,
+            "global_replays": global_replays,
+            # byte flows for throughput metrics
+            "gld_requested_bytes": float(sum(m.requested_bytes for m in loads)),
+            "gst_requested_bytes": float(sum(m.requested_bytes for m in stores)),
+            "gld_transaction_bytes": float(
+                sum(m.transactions * m.transaction_bytes for m in loads)
+            ),
+            "gst_transaction_bytes": float(
+                sum(m.transactions * m.transaction_bytes for m in stores)
+            ),
+            "l2_read_bytes": float(
+                sum(m.l2_transactions * self.arch.l2_line_bytes for m in loads)
+            ),
+            "l2_write_bytes": float(
+                sum(m.l2_transactions * self.arch.l2_line_bytes for m in stores)
+            ),
+            "dram_read_bytes": float(sum(m.dram_bytes for m in loads)),
+            "dram_write_bytes": float(sum(m.dram_bytes for m in stores)),
+            # weighted utilization inputs
+            "active_thread_instructions": wl.avg_active_threads * inst_executed,
+            "ldst_instructions": float(wl.ldst_instructions),
+            "shared_transactions": shared_transactions,
+            "sm_cycles_weighted": timing.cycles * timing.n_active_sms,
+            "time_s": timing.time_s,
+            "launches": 1.0,
+            # dynamic energy (J) for the power-response extension (paper
+            # Section 7: power draw as an alternative response variable)
+            "dynamic_energy_j": 1e-9 * (
+                inst_issued * arch.energy_per_instruction_nj
+                + dram_bytes * arch.energy_per_dram_byte_nj
+                + sum(m.l2_transactions for m in mem)
+                * arch.energy_per_l2_transaction_nj
+                + shared_transactions * arch.energy_per_shared_transaction_nj
+            ),
+        }
+        return LaunchProfile(
+            workload=wl, occupancy=occ, timing=timing, memory=mem, raw=raw
+        )
+
+    # -- full application run --------------------------------------------------
+
+    def run(
+        self,
+        workloads: list[KernelWorkload],
+        perturbation: Perturbation | None = None,
+    ) -> tuple[CounterSet, float, list[LaunchProfile]]:
+        """Simulate an application run (a sequence of launches).
+
+        Returns the aggregated counter vector, the (noisy) total
+        execution time in seconds, and the per-launch profiles. When no
+        perturbation is given, one is drawn from the simulator's noise
+        model (``noise_sigma`` scales its dispersion; 0 = deterministic).
+        """
+        if not workloads:
+            raise ValueError("at least one kernel launch required")
+        if perturbation is None:
+            perturbation = Perturbation.draw(self._rng, scale=self.noise_sigma)
+        profiles = [self.launch(wl, perturbation) for wl in workloads]
+        counters, time_s = aggregate_launches(
+            self.arch, profiles, time_scale=perturbation.time_jitter
+        )
+        return counters, time_s, profiles
+
+
+def sum_raw(profiles: list[LaunchProfile]) -> dict[str, float]:
+    """Sum the raw per-launch accumulators of an application run.
+
+    The summed totals are a compact, cacheable representation: the
+    final counter vector can be (re-)derived from them with any noise
+    factor via :func:`finalize_counters`.
+    """
+    if not profiles:
+        raise ValueError("no launches to aggregate")
+    total: dict[str, float] = {}
+    for p in profiles:
+        for key, value in p.raw.items():
+            total[key] = total.get(key, 0.0) + value
+    return total
+
+
+def aggregate_launches(
+    arch: GPUArchitecture,
+    profiles: list[LaunchProfile],
+    time_scale: float = 1.0,
+) -> tuple[CounterSet, float]:
+    """Fold per-launch raw accumulators into the final counter vector."""
+    return finalize_counters(arch, sum_raw(profiles), time_scale)
+
+
+def average_power_w(
+    arch: GPUArchitecture, total: dict[str, float], time_s: float
+) -> float:
+    """Average board power over a run: static draw plus dynamic energy
+    spread over the wall time, clipped to the board TDP."""
+    if time_s <= 0:
+        return arch.static_power_w
+    power = arch.static_power_w + total.get("dynamic_energy_j", 0.0) / time_s
+    return float(min(power, arch.tdp_w))
+
+
+def finalize_counters(
+    arch: GPUArchitecture,
+    total: dict[str, float],
+    time_scale: float = 1.0,
+) -> tuple[CounterSet, float]:
+    """Derive the nvprof-style counter vector from summed raw totals."""
+    time_s = total["time_s"] * time_scale
+    cycles = total["active_cycles"]
+    sm_cycles = total["sm_cycles_weighted"]
+    inst_exec = total["inst_executed"]
+    inst_issued = total["inst_issued"]
+
+    values: dict[str, float] = {
+        "shared_load": total["shared_load"],
+        "shared_store": total["shared_store"],
+        "gld_request": total["gld_request"],
+        "gst_request": total["gst_request"],
+        "global_store_transaction": total["global_store_transaction"],
+        "l2_read_transactions": total["l2_read_transactions"],
+        "l2_write_transactions": total["l2_write_transactions"],
+        "inst_issued": inst_issued,
+        "inst_executed": inst_exec,
+        "branch": total["branch"],
+        "divergent_branch": total["divergent_branch"],
+        "active_cycles": cycles,
+        "active_warps": total["active_warps"],
+    }
+
+    if arch.family == "fermi":
+        values["l1_global_load_hit"] = total["l1_global_load_hit"]
+        values["l1_global_load_miss"] = total["l1_global_load_miss"]
+        values["l1_shared_bank_conflict"] = total["shared_replays"]
+    else:
+        values["shared_load_replay"] = total["shared_load_replays"]
+        values["shared_store_replay"] = total["shared_store_replays"]
+
+    # ---- derived metrics ----
+    gbs = lambda nbytes: nbytes / time_s / 1e9 if time_s > 0 else 0.0
+
+    max_warps = arch.max_warps_per_sm
+    values["ipc"] = inst_exec / sm_cycles if sm_cycles > 0 else 0.0
+    values["issue_slot_utilization"] = (
+        100.0 * inst_issued / (sm_cycles * arch.warp_schedulers)
+        if sm_cycles > 0
+        else 0.0
+    )
+    values["achieved_occupancy"] = (
+        total["active_warps"] / (cycles * max_warps) if cycles > 0 else 0.0
+    )
+    values["inst_replay_overhead"] = (
+        (inst_issued - inst_exec) / inst_exec if inst_exec > 0 else 0.0
+    )
+    values["shared_replay_overhead"] = (
+        total["shared_replays"] / inst_exec if inst_exec > 0 else 0.0
+    )
+    values["global_replay_overhead"] = (
+        total["global_replays"] / inst_exec if inst_exec > 0 else 0.0
+    )
+    values["warp_execution_efficiency"] = (
+        100.0 * total["active_thread_instructions"] / (inst_exec * 32.0)
+        if inst_exec > 0
+        else 0.0
+    )
+    values["gld_requested_throughput"] = gbs(total["gld_requested_bytes"])
+    values["gst_requested_throughput"] = gbs(total["gst_requested_bytes"])
+    values["gld_throughput"] = gbs(total["gld_transaction_bytes"])
+    values["gst_throughput"] = gbs(total["gst_transaction_bytes"])
+    values["gld_efficiency"] = (
+        100.0 * total["gld_requested_bytes"] / total["gld_transaction_bytes"]
+        if total["gld_transaction_bytes"] > 0
+        else 100.0
+    )
+    values["gst_efficiency"] = (
+        100.0 * total["gst_requested_bytes"] / total["gst_transaction_bytes"]
+        if total["gst_transaction_bytes"] > 0
+        else 100.0
+    )
+    values["l2_read_throughput"] = gbs(total["l2_read_bytes"])
+    values["l2_write_throughput"] = gbs(total["l2_write_bytes"])
+    values["dram_read_throughput"] = gbs(total["dram_read_bytes"])
+    values["dram_write_throughput"] = gbs(total["dram_write_bytes"])
+
+    # LSU utilization on nvprof's 0-10 scale: transactions per cycle per SM
+    # against one transaction/cycle capacity.
+    lsu_rate = (
+        (total["shared_transactions"] + total["gld_request"] + total["gst_request"])
+        / sm_cycles
+        if sm_cycles > 0
+        else 0.0
+    )
+    values["ldst_fu_utilization"] = float(min(10.0, 10.0 * lsu_rate))
+
+    shared_total = total["shared_load"] + total["shared_store"]
+    values["shared_efficiency"] = (
+        100.0 * shared_total / total["shared_transactions"]
+        if total["shared_transactions"] > 0
+        else 100.0
+    )
+    values["sm_efficiency"] = 100.0 * min(
+        1.0, sm_cycles / (cycles * arch.n_sms) if cycles > 0 else 0.0
+    )
+
+    return CounterSet(arch.family, values), time_s

@@ -1,0 +1,58 @@
+"""GPU kernel models: functional numpy ports + simulator workload models.
+
+The paper's three use cases — CUDA SDK parallel reduction (7 variants),
+CUDA SDK tiled matrix multiplication, Rodinia Needleman–Wunsch — plus
+extra validation workloads (vector add, matrix transpose).
+"""
+
+from .base import Kernel, WorkloadAccumulator
+from .cpu import (
+    CpuMatMulKernel,
+    CpuReductionKernel,
+    CpuStencilKernel,
+    CpuVectorAddKernel,
+)
+from .extra import TransposeKernel, VectorAddKernel
+from .jacobi import JacobiSolverKernel
+from .matmul import MatMulKernel
+from .needleman_wunsch import NeedlemanWunschKernel
+from .reduction import REDUCTION_VARIANTS, ReductionKernel
+from .stencil import StencilKernel
+
+__all__ = [
+    "Kernel",
+    "CpuMatMulKernel",
+    "CpuReductionKernel",
+    "CpuStencilKernel",
+    "CpuVectorAddKernel",
+    "WorkloadAccumulator",
+    "TransposeKernel",
+    "VectorAddKernel",
+    "JacobiSolverKernel",
+    "MatMulKernel",
+    "NeedlemanWunschKernel",
+    "REDUCTION_VARIANTS",
+    "ReductionKernel",
+    "StencilKernel",
+]
+
+
+def kernel_registry() -> dict[str, Kernel]:
+    """All predefined kernel models by name."""
+    registry: dict[str, Kernel] = dict(REDUCTION_VARIANTS)
+    for k in (
+        CpuMatMulKernel(),
+        CpuReductionKernel(),
+        CpuStencilKernel(),
+        CpuVectorAddKernel(),
+        JacobiSolverKernel(),
+        MatMulKernel(),
+        NeedlemanWunschKernel(),
+        StencilKernel(),
+        VectorAddKernel(),
+        TransposeKernel("naive"),
+        TransposeKernel("tiled"),
+        TransposeKernel("tiled", padded=False),
+    ):
+        registry[k.name] = k
+    return registry

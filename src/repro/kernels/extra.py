@@ -1,0 +1,149 @@
+"""Additional workload models beyond the paper's three use cases.
+
+These widen the validation surface of the toolchain (the paper's §7
+"more applications" future work): a trivially bandwidth-bound vector
+add, and the classic matrix-transpose pair whose naive variant is the
+textbook uncoalesced-access bottleneck.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.gpusim.arch import GPUArchitecture
+from repro.gpusim.banks import conflict_degree_for_stride
+from repro.gpusim.workload import KernelWorkload
+
+from .base import Kernel, WorkloadAccumulator
+
+__all__ = ["VectorAddKernel", "TransposeKernel"]
+
+_BLOCK = 256
+
+
+class VectorAddKernel(Kernel):
+    """c = a + b, one element per thread; the canonical streaming kernel."""
+
+    name = "vectorAdd"
+
+    def _make_inputs(self, n: int, rng):
+        rng = np.random.default_rng(rng if rng is not None else n)
+        return rng.random(n), rng.random(n)
+
+    def reference(self, problem: int, rng=None) -> np.ndarray:
+        a, b = self._make_inputs(int(problem), rng)
+        return a + b
+
+    def run(self, problem: int, rng=None) -> np.ndarray:
+        a, b = self._make_inputs(int(problem), rng)
+        out = np.empty_like(a)
+        blocks = math.ceil(a.size / _BLOCK)
+        for blk in range(blocks):  # per-block grid walk, as the kernel does
+            s = slice(blk * _BLOCK, min((blk + 1) * _BLOCK, a.size))
+            out[s] = a[s] + b[s]
+        return out
+
+    def workloads(self, problem: int, arch: GPUArchitecture) -> list[KernelWorkload]:
+        n = int(problem)
+        if n < 1:
+            raise ValueError("need at least one element")
+        blocks = math.ceil(n / _BLOCK)
+        warps_pb = _BLOCK // 32
+        acc = WorkloadAccumulator(
+            name=f"{self.name}(n={n})", grid_blocks=blocks,
+            threads_per_block=_BLOCK, regs_per_thread=10, shared_mem_per_block=0,
+        )
+        acc.set_memory_ilp(2.0)
+        acc.arith(warps_pb * 3)
+        acc.branch(warps_pb)
+        acc.global_access("load", 2 * warps_pb, word_bytes=8, unique_bytes=2 * n * 8)
+        acc.global_access("store", warps_pb, word_bytes=8, unique_bytes=n * 8)
+        return [acc.build()]
+
+    def characteristics(self, problem: int) -> dict[str, float]:
+        return {"size": float(problem)}
+
+    def default_sweep(self) -> list[int]:
+        return [int(s) for s in np.unique(
+            np.round(np.logspace(14, 24, 60, base=2.0)).astype(int))]
+
+
+class TransposeKernel(Kernel):
+    """Matrix transpose: naive (uncoalesced stores) or shared-memory tiled.
+
+    ``variant``: "naive" reads rows and writes columns (stride-n global
+    stores); "tiled" stages a 32x32 tile in shared memory so both the
+    read and the write are coalesced — with an optional bank-conflict
+    bug when ``padded=False`` (the canonical +1 padding lesson).
+    """
+
+    def __init__(self, variant: str = "naive", padded: bool = True,
+                 tile: int = 32) -> None:
+        if variant not in ("naive", "tiled"):
+            raise ValueError("variant must be 'naive' or 'tiled'")
+        self.variant = variant
+        self.padded = padded
+        self.tile = tile
+        self.name = f"transpose-{variant}" + ("" if padded or variant == "naive" else "-conflict")
+
+    def _make_input(self, n: int, rng) -> np.ndarray:
+        rng = np.random.default_rng(rng if rng is not None else n)
+        return rng.random((n, n))
+
+    def reference(self, problem: int, rng=None) -> np.ndarray:
+        return self._make_input(int(problem), rng).T.copy()
+
+    def run(self, problem: int, rng=None) -> np.ndarray:
+        n = int(problem)
+        self._check(n)
+        a = self._make_input(n, rng)
+        t = self.tile
+        out = np.empty_like(a)
+        for by in range(0, n, t):
+            for bx in range(0, n, t):
+                out[bx : bx + t, by : by + t] = a[by : by + t, bx : bx + t].T
+        return out
+
+    def _check(self, n: int) -> None:
+        if n < self.tile or n % self.tile:
+            raise ValueError(f"matrix size must be a positive multiple of {self.tile}")
+
+    def workloads(self, problem: int, arch: GPUArchitecture) -> list[KernelWorkload]:
+        n = int(problem)
+        self._check(n)
+        t = self.tile
+        blocks = (n // t) ** 2
+        threads = t * 8  # t x 8 thread blocks, 4 rows per thread (SDK shape)
+        warps_pb = max(1, threads // 32)
+        rows_per_warp = t // 4  # each warp covers 32 lanes => 32/t tile rows x4
+        acc = WorkloadAccumulator(
+            name=f"{self.name}(n={n})", grid_blocks=blocks,
+            threads_per_block=threads, regs_per_thread=12,
+            shared_mem_per_block=(t * (t + 1) * 4 if self.variant == "tiled" else 0),
+        )
+        loads_per_warp = 4  # 4 row-chunks per warp
+        acc.set_memory_ilp(4.0)
+        acc.arith(warps_pb * 6)
+        acc.branch(warps_pb)
+        acc.global_access("load", warps_pb * loads_per_warp, stride_words=1,
+                          unique_bytes=n * n * 4)
+        if self.variant == "naive":
+            # column-major stores: lanes n words apart
+            acc.global_access("store", warps_pb * loads_per_warp, stride_words=n,
+                              unique_bytes=n * n * 4)
+        else:
+            degree = 1.0 if self.padded else conflict_degree_for_stride(t, 32)
+            acc.shared("store", warps_pb * loads_per_warp)
+            acc.sync(warps_pb)
+            acc.shared("load", warps_pb * loads_per_warp, conflict_degree=degree)
+            acc.global_access("store", warps_pb * loads_per_warp, stride_words=1,
+                              unique_bytes=n * n * 4)
+        return [acc.build()]
+
+    def characteristics(self, problem: int) -> dict[str, float]:
+        return {"size": float(problem)}
+
+    def default_sweep(self) -> list[int]:
+        return [self.tile * k for k in (8, 12, 16, 24, 32, 48, 64, 96, 128)]

@@ -1,0 +1,128 @@
+"""Iterative Jacobi solver — a *two-characteristic* workload.
+
+The paper's data-collection stage says problem characteristics
+"typically include different input parameters", and its choice of MARS
+is motivated by "nonlinearities and parameter interactions" — which
+only arise with more than one characteristic. This kernel provides
+that case: a problem is the pair ``(size, iterations)`` and the
+execution time is (roughly) their product, so counter models must
+capture an interaction term.
+
+Implementation-wise the solver launches the 2-D 5-point stencil sweep
+(:class:`repro.kernels.stencil.StencilKernel`) ``iterations`` times,
+ping-ponging between two grids — the standard GPU Jacobi loop with one
+kernel launch per sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.arch import GPUArchitecture
+from repro.gpusim.workload import KernelWorkload
+
+from .base import Kernel
+from .stencil import StencilKernel
+
+__all__ = ["JacobiSolverKernel"]
+
+
+class JacobiSolverKernel(Kernel):
+    """``problem`` is ``(grid_size, iterations)``."""
+
+    name = "jacobi"
+
+    def __init__(self, coeff: float = 0.25, center: float = 0.0) -> None:
+        self._sweep = StencilKernel(coeff=coeff, center=center)
+
+    @staticmethod
+    def _unpack(problem) -> tuple[int, int]:
+        try:
+            n, iters = problem
+        except (TypeError, ValueError):
+            raise ValueError(
+                "jacobi problems are (grid_size, iterations) pairs"
+            ) from None
+        n, iters = int(n), int(iters)
+        if iters < 1:
+            raise ValueError("iterations must be >= 1")
+        return n, iters
+
+    # ------------------------------------------------------------------
+    # functional implementation
+    # ------------------------------------------------------------------
+
+    def reference(self, problem, rng=None) -> np.ndarray:
+        n, iters = self._unpack(problem)
+        a = self._sweep._make_input(n, rng)
+        for _ in range(iters):
+            interior = (
+                self._sweep.coeff * (
+                    a[:-2, 1:-1] + a[2:, 1:-1] + a[1:-1, :-2] + a[1:-1, 2:]
+                )
+                + self._sweep.center * a[1:-1, 1:-1]
+            )
+            a = a.copy()
+            a[1:-1, 1:-1] = interior
+        return a[1:-1, 1:-1]
+
+    def run(self, problem, rng=None) -> np.ndarray:
+        """Ping-pong sweeps in launch order (delegating each sweep to
+        the stencil kernel's blocked traversal semantics)."""
+        n, iters = self._unpack(problem)
+        a = self._sweep._make_input(n, rng)
+        for _ in range(iters):
+            out = np.empty((n, n))
+            # one full sweep (the stencil's blocked walk, inlined over
+            # the current grid state)
+            out[:, :] = (
+                self._sweep.coeff * (
+                    a[:-2, 1:-1] + a[2:, 1:-1] + a[1:-1, :-2] + a[1:-1, 2:]
+                )
+                + self._sweep.center * a[1:-1, 1:-1]
+            )
+            a = a.copy()
+            a[1:-1, 1:-1] = out
+        return a[1:-1, 1:-1]
+
+    # ------------------------------------------------------------------
+    # workload model
+    # ------------------------------------------------------------------
+
+    def workloads(self, problem, arch: GPUArchitecture) -> list[KernelWorkload]:
+        n, iters = self._unpack(problem)
+        sweep = self._sweep.workloads(n, arch)[0]
+        launches = []
+        for it in range(iters):
+            launches.append(
+                KernelWorkload(
+                    name=f"{self.name}(n={n},it={it})",
+                    grid_blocks=sweep.grid_blocks,
+                    threads_per_block=sweep.threads_per_block,
+                    regs_per_thread=sweep.regs_per_thread,
+                    shared_mem_per_block=sweep.shared_mem_per_block,
+                    arithmetic_instructions=sweep.arithmetic_instructions,
+                    fma_instructions=sweep.fma_instructions,
+                    branches=sweep.branches,
+                    divergent_branches=sweep.divergent_branches,
+                    other_instructions=sweep.other_instructions,
+                    avg_active_threads=sweep.avg_active_threads,
+                    global_accesses=sweep.global_accesses,
+                    shared_accesses=sweep.shared_accesses,
+                    memory_ilp=sweep.memory_ilp,
+                    critical_path_cycles=sweep.critical_path_cycles,
+                )
+            )
+        return launches
+
+    # ------------------------------------------------------------------
+
+    def characteristics(self, problem) -> dict[str, float]:
+        n, iters = self._unpack(problem)
+        return {"size": float(n), "iterations": float(iters)}
+
+    def default_sweep(self) -> list[tuple[int, int]]:
+        """A (size x iterations) grid: 8 sizes x 6 iteration counts."""
+        sizes = [128, 192, 256, 384, 512, 768, 1024, 1536]
+        iterations = [1, 2, 4, 8, 16, 32]
+        return [(n, it) for n in sizes for it in iterations]

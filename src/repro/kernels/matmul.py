@@ -1,0 +1,152 @@
+"""Tiled matrix multiplication (CUDA SDK ``matrixMul``).
+
+The Section 6.1.1 use case: C = A x B for n x n matrices using b x b
+shared-memory tiles (b = 16). A grid of (n/b)^2 thread blocks is
+launched; each block walks n/b tile *phases*, loading one tile of A and
+one of B into shared memory, multiplying them, and finally storing its
+C tile. The kernel "performs O(n^3) computations and O(n^2) data
+accesses" and is bandwidth-limited at large sizes; loads outnumber
+stores by a factor of the block size, which is why store-throughput
+counters surface as the bottleneck in the paper's Fig. 5a.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.arch import GPUArchitecture
+from repro.gpusim.memory import estimate_hit_fraction
+from repro.gpusim.workload import KernelWorkload
+
+from .base import Kernel, WorkloadAccumulator
+
+__all__ = ["MatMulKernel"]
+
+
+class MatMulKernel(Kernel):
+    """Shared-memory tiled SGEMM-style kernel model.
+
+    ``problem`` is the matrix dimension ``n`` (must be a multiple of the
+    tile size).
+    """
+
+    name = "matrixMul"
+
+    def __init__(self, tile: int = 16) -> None:
+        if tile < 4 or tile & (tile - 1):
+            raise ValueError("tile must be a power of two >= 4")
+        self.tile = tile
+
+    # ------------------------------------------------------------------
+    # functional implementation
+    # ------------------------------------------------------------------
+
+    def _make_inputs(self, n: int, rng) -> tuple[np.ndarray, np.ndarray]:
+        rng = np.random.default_rng(rng if rng is not None else n)
+        return rng.random((n, n)), rng.random((n, n))
+
+    def reference(self, problem: int, rng=None) -> np.ndarray:
+        a, b = self._make_inputs(int(problem), rng)
+        return a @ b
+
+    def run(self, problem: int, rng=None) -> np.ndarray:
+        """Tile-phase walk mirroring the CUDA kernel's loop structure."""
+        n = int(problem)
+        self._check(n)
+        a, bmat = self._make_inputs(n, rng)
+        t = self.tile
+        c = np.zeros((n, n))
+        phases = n // t
+        for by in range(phases):
+            for bx in range(phases):
+                acc = np.zeros((t, t))
+                for ph in range(phases):
+                    a_tile = a[by * t : (by + 1) * t, ph * t : (ph + 1) * t]
+                    b_tile = bmat[ph * t : (ph + 1) * t, bx * t : (bx + 1) * t]
+                    acc += a_tile @ b_tile
+                c[by * t : (by + 1) * t, bx * t : (bx + 1) * t] = acc
+        return c
+
+    def _check(self, n: int) -> None:
+        if n < self.tile or n % self.tile:
+            raise ValueError(f"matrix size must be a positive multiple of {self.tile}")
+
+    # ------------------------------------------------------------------
+    # workload model
+    # ------------------------------------------------------------------
+
+    def workloads(self, problem: int, arch: GPUArchitecture) -> list[KernelWorkload]:
+        n = int(problem)
+        self._check(n)
+        t = self.tile
+        phases = n // t
+        blocks = phases * phases
+        threads = t * t
+        warps_pb = max(1, threads // 32)
+        rows_per_warp = max(1, 32 // t)  # threads of one warp span this many rows
+
+        acc = WorkloadAccumulator(
+            name=f"{self.name}(n={n})",
+            grid_blocks=blocks,
+            threads_per_block=threads,
+            regs_per_thread=min(20, arch.max_registers_per_thread),
+            shared_mem_per_block=2 * t * t * 4,
+        )
+
+        # Each phase issues two independent tile loads per warp row;
+        # the accumulator's FMA recurrence is the dependent chain
+        # (nominal SP FMA latency ~18 cycles, shared load ~28).
+        acc.set_memory_ilp(4.0)
+        acc.chain(phases * (2 * 28.0 + t * 18.0 / 4.0))
+
+        # Tiles are single-use per block: no intra-L1 reuse; cross-block
+        # reuse (each A-row tile is read by `phases` blocks) is L2's job.
+        matrix_bytes = 2 * n * n * 4
+        total_load_requests = blocks * warps_pb * phases * 2 * rows_per_warp
+        l2_tx_per_request = 128 // arch.l2_line_bytes
+        l2_hit = estimate_hit_fraction(
+            total_load_requests * l2_tx_per_request,
+            matrix_bytes,
+            arch.l2_line_bytes,
+            arch.l2.size_bytes,
+        )
+
+        per_warp_loads = phases * 2 * rows_per_warp  # A and B, one row segment each
+        acc.global_access(
+            "load", warps_pb * per_warp_loads, lanes=t, stride_words=1,
+            unique_bytes=matrix_bytes, l1_hit_fraction=0.0, l2_hit_fraction=l2_hit,
+        )
+        # address arithmetic + loop control per phase
+        acc.arith(warps_pb * 4 * phases)
+        acc.branch(warps_pb * phases)
+        acc.sync(warps_pb * 2 * phases)  # two __syncthreads per phase
+        # tile staging into shared memory
+        acc.shared("store", warps_pb * 2 * phases)
+        # inner product: per phase, t iterations of (2 shared loads, 1 FMA)
+        acc.shared("load", warps_pb * 2 * t * phases)
+        acc.arith(warps_pb * t * phases, fma=True)
+        # C tile store: one row segment per warp-row
+        acc.global_access(
+            "store", warps_pb * rows_per_warp, lanes=t, stride_words=1,
+            unique_bytes=n * n * 4,
+        )
+        acc.arith(warps_pb * 2)
+        return [acc.build()]
+
+    # ------------------------------------------------------------------
+
+    def characteristics(self, problem: int) -> dict[str, float]:
+        return {"size": float(problem)}
+
+    def default_sweep(self) -> list[int]:
+        """24 matrix sizes, log-spaced over 2^5 .. 2^11 and rounded to
+        tile multiples — "We vary the matrix size from 2^5 to 2^11
+        (i.e., 24 runs)"."""
+        raw = np.logspace(5, 11, 24, base=2.0)
+        sizes: list[int] = []
+        for s in raw:
+            v = max(self.tile, int(round(s / self.tile)) * self.tile)
+            while v in sizes:  # keep exactly 24 distinct runs
+                v += self.tile
+            sizes.append(v)
+        return sorted(sizes)

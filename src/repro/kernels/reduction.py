@@ -1,0 +1,322 @@
+"""CUDA SDK parallel reduction kernels (reduce0 .. reduce6).
+
+The SDK's reduction benchmark is "an educational example to showcase
+various CUDA optimization techniques" (paper Section 5.1); each variant
+fixes the bottleneck the previous one exposed:
+
+==========  ===========================================================
+reduce0     interleaved addressing, divergent branching and expensive
+            modulo arithmetic
+reduce1     interleaved addressing with strided shared-memory indexing;
+            removes the modulo but introduces **shared-memory bank
+            conflicts** (the Section 5.2 use case)
+reduce2     sequential addressing; conflict-free but half the threads
+            idle from the first tree level (Section 5.3)
+reduce3     first add during global load (halves the block count)
+reduce4     unrolls the last warp (no syncs/branches below 32 threads)
+reduce5     completely unrolled tree
+reduce6     grid-stride loop, multiple elements per thread — maximal
+            bandwidth utilization (Section 5.4)
+==========  ===========================================================
+
+Reducing a large array takes multiple kernel launches ("there should be
+multiple kernel launches to serve as synchronization points"): each
+launch reduces N elements to one partial sum per thread block, and the
+kernel is re-launched on the partials until one value remains.
+
+Every variant has a functional numpy implementation that mirrors the
+kernel's exact combination tree (validated against ``np.sum``) and a
+workload model that walks the same loop structure to count warp
+instructions, shared-memory conflict degrees and global traffic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.gpusim.arch import GPUArchitecture
+from repro.gpusim.banks import conflict_degree_for_stride
+from repro.gpusim.workload import KernelWorkload
+
+from .base import Kernel, WorkloadAccumulator
+
+__all__ = ["ReductionKernel", "REDUCTION_VARIANTS"]
+
+_BLOCK = 256
+#: Instruction cost of a software integer modulo on Fermi/Kepler-class
+#: hardware (no hardware modulo unit) — reduce0's "expensive modulo".
+_MODULO_COST = 12
+
+
+def _next_pow2(n: int) -> int:
+    return 1 << max(0, (n - 1).bit_length())
+
+
+class ReductionKernel(Kernel):
+    """One variant of the SDK reduction benchmark.
+
+    ``problem`` is the array length ``n`` (int); inputs are generated
+    deterministically from the problem seed so repeated runs profile the
+    same computation.
+    """
+
+    def __init__(self, variant: int, block_size: int = _BLOCK) -> None:
+        if not 0 <= variant <= 6:
+            raise ValueError("variant must be in 0..6")
+        if block_size < 32 or block_size & (block_size - 1):
+            raise ValueError("block_size must be a power of two >= 32")
+        self.variant = variant
+        self.block_size = block_size
+        self.name = f"reduce{variant}"
+
+    # ------------------------------------------------------------------
+    # functional implementation
+    # ------------------------------------------------------------------
+
+    def _make_input(self, n: int, rng) -> np.ndarray:
+        rng = np.random.default_rng(rng if rng is not None else n)
+        return rng.random(n)
+
+    def reference(self, problem: int, rng=None) -> float:
+        return float(np.sum(self._make_input(int(problem), rng)))
+
+    def _launch_geometry(self, n: int) -> tuple[int, int]:
+        """(blocks, threads) for a launch over ``n`` elements."""
+        b = min(self.block_size, max(32, _next_pow2(n)))
+        if self.variant <= 2:
+            blocks = math.ceil(n / b)
+        elif self.variant <= 5:
+            blocks = max(1, math.ceil(n / (2 * b)))
+        else:
+            blocks = min(64, max(1, math.ceil(n / (2 * b))))
+        return blocks, b
+
+    def _reduce_once(self, x: np.ndarray) -> np.ndarray:
+        """One kernel launch: array -> per-block partial sums."""
+        n = x.size
+        blocks, b = self._launch_geometry(n)
+        if self.variant <= 2:
+            data = np.zeros(blocks * b)
+            data[:n] = x
+            sdata = data.reshape(blocks, b)
+        elif self.variant <= 5:
+            data = np.zeros(blocks * 2 * b)
+            data[:n] = x
+            pairs = data.reshape(blocks, 2, b)
+            sdata = pairs[:, 0, :] + pairs[:, 1, :]
+        else:
+            grid_stride = blocks * 2 * b
+            sdata = np.zeros((blocks, b))
+            for start in range(0, n, grid_stride):
+                chunk = np.zeros(grid_stride)
+                take = min(grid_stride, n - start)
+                chunk[:take] = x[start : start + take]
+                pairs = chunk.reshape(blocks, 2, b)
+                sdata = sdata + pairs[:, 0, :] + pairs[:, 1, :]
+        sdata = sdata.copy()
+
+        if self.variant <= 1:
+            # interleaved addressing: identical combination tree for the
+            # modulo (reduce0) and strided-index (reduce1) formulations
+            s = 1
+            while s < b:
+                sdata[:, :: 2 * s] += sdata[:, s :: 2 * s]
+                s *= 2
+        else:
+            # sequential addressing
+            s = b // 2
+            while s >= 1:
+                sdata[:, :s] += sdata[:, s : 2 * s]
+                s //= 2
+        return sdata[:, 0].copy()
+
+    def run(self, problem: int, rng=None) -> float:
+        x = self._make_input(int(problem), rng)
+        while x.size > 1:
+            x = self._reduce_once(x)
+        return float(x[0])
+
+    # ------------------------------------------------------------------
+    # workload model
+    # ------------------------------------------------------------------
+
+    # Nominal pipeline latencies for the dependent-chain estimate
+    # (Fermi/Kepler-class shared-memory load and barrier costs).
+    _SHARED_LAT = 28.0
+    _SYNC_COST = 20.0
+
+    def _tree_phase(self, acc: WorkloadAccumulator, b: int) -> None:
+        """Record the in-block combination tree for one launch.
+
+        Each tree level depends on the previous one, so besides the
+        throughput counts the walk accumulates the per-warp dependent
+        chain: one shared-memory round-trip, the add, the barrier and
+        the serialized conflict replays per level.
+        """
+        v = self.variant
+        warps_pb = max(1, b // 32)
+
+        def level_chain(degree: float = 1.0, synced: bool = True) -> None:
+            acc.chain(self._SHARED_LAT + 4.0 + 2.0 * (degree - 1.0)
+                      + (self._SYNC_COST if synced else 0.0))
+
+        if v == 0:
+            s = 1
+            while s < b:
+                stride_t = 2 * s
+                active_threads = b // stride_t
+                # every thread evaluates the modulo and the branch
+                acc.arith(warps_pb * _MODULO_COST)
+                if stride_t <= 32:
+                    lanes = 32 // stride_t
+                    active_warps = warps_pb
+                    divergent = warps_pb
+                else:
+                    lanes = 1
+                    active_warps = max(1, active_threads)
+                    divergent = active_warps
+                acc.branch(warps_pb, divergent=divergent)
+                acc.shared("load", 2 * active_warps, lanes=lanes)
+                acc.shared("store", active_warps, lanes=lanes)
+                acc.arith(active_warps, lanes=lanes)  # the add
+                acc.sync(warps_pb)
+                level_chain()
+                s *= 2
+        elif v == 1:
+            s = 1
+            while s < b:
+                active_threads = b // (2 * s)
+                active_warps = max(1, math.ceil(active_threads / 32))
+                lanes = min(32, active_threads)
+                degree = conflict_degree_for_stride(2 * s, active_lanes=lanes)
+                acc.arith(warps_pb * 2)                     # index computation
+                acc.branch(warps_pb, divergent=1.0 if lanes < 32 else 0.0)
+                acc.shared("load", 2 * active_warps, lanes=lanes,
+                           conflict_degree=degree)
+                acc.shared("store", active_warps, lanes=lanes,
+                           conflict_degree=degree)
+                acc.arith(active_warps, lanes=lanes)
+                acc.sync(warps_pb)
+                level_chain(degree)
+                s *= 2
+        elif v in (2, 3):
+            s = b // 2
+            while s >= 1:
+                active_warps = max(1, math.ceil(s / 32))
+                lanes = min(32, s)
+                acc.arith(warps_pb)                          # index tid + s
+                acc.branch(warps_pb, divergent=1.0 if 0 < s < 32 else 0.0)
+                acc.shared("load", 2 * active_warps, lanes=lanes)
+                acc.shared("store", active_warps, lanes=lanes)
+                acc.arith(active_warps, lanes=lanes)
+                acc.sync(warps_pb)
+                level_chain()
+                s //= 2
+        else:  # 4, 5, 6: (partially) unrolled
+            looped = v == 4  # reduce4 still runs a loop above warp level
+            s = b // 2
+            while s >= 32:
+                active_warps = max(1, math.ceil(s / 32))
+                lanes = min(32, s)
+                if looped:
+                    acc.arith(warps_pb)
+                    acc.branch(warps_pb)
+                acc.shared("load", 2 * active_warps, lanes=lanes)
+                acc.shared("store", active_warps, lanes=lanes)
+                acc.arith(active_warps, lanes=lanes)
+                acc.sync(warps_pb)
+                level_chain()
+                s //= 2
+            # warp-synchronous unrolled tail: one warp, no syncs/branches
+            acc.branch(warps_pb, divergent=1.0)  # if (tid < 32)
+            tail_levels = min(6, int(math.log2(max(2, min(b, 64)))))
+            for _ in range(tail_levels):
+                acc.shared("load", 2, lanes=32)
+                acc.shared("store", 1, lanes=32)
+                acc.arith(1, lanes=32)
+                level_chain(synced=False)
+
+    def _load_phase(self, acc: WorkloadAccumulator, n: int, blocks: int,
+                    b: int) -> None:
+        v = self.variant
+        warps_pb = max(1, b // 32)
+        stream_bytes = n * 8  # float64 words in the numpy port; 8B loads
+        if v <= 2:
+            acc.arith(warps_pb * 2)
+            acc.global_access("load", warps_pb, word_bytes=8,
+                              unique_bytes=stream_bytes)
+            acc.shared("store", warps_pb)
+            acc.sync(warps_pb)
+        elif v <= 5:
+            acc.arith(warps_pb * 4)
+            acc.global_access("load", 2 * warps_pb, word_bytes=8,
+                              unique_bytes=stream_bytes)
+            acc.arith(warps_pb)
+            acc.shared("store", warps_pb)
+            acc.sync(warps_pb)
+        else:
+            grid_stride = blocks * 2 * b
+            iters = max(1, math.ceil(n / grid_stride))
+            acc.arith(warps_pb * 3 * iters)
+            acc.branch(warps_pb * iters)
+            acc.global_access("load", 2 * warps_pb * iters, word_bytes=8,
+                              unique_bytes=stream_bytes)
+            acc.arith(warps_pb * 2 * iters)
+            acc.shared("store", warps_pb)
+            acc.sync(warps_pb)
+
+    def _launch_workload(self, n: int, arch: GPUArchitecture) -> KernelWorkload:
+        blocks, b = self._launch_geometry(n)
+        acc = WorkloadAccumulator(
+            name=f"{self.name}(n={n})",
+            grid_blocks=blocks,
+            threads_per_block=b,
+            regs_per_thread=min(18, arch.max_registers_per_thread),
+            shared_mem_per_block=b * 8,
+        )
+        acc.set_memory_ilp(2.0 if self.variant >= 3 else 1.5)
+        self._load_phase(acc, n, blocks, b)
+        self._tree_phase(acc, b)
+        # thread 0 writes the block partial
+        acc.branch(1, lanes=32, divergent=1.0)
+        acc.global_access("store", 1, lanes=1, word_bytes=8)
+        return acc.build()
+
+    def workloads(self, problem: int, arch: GPUArchitecture) -> list[KernelWorkload]:
+        n = int(problem)
+        if n < 2:
+            raise ValueError("reduction needs at least 2 elements")
+        launches = []
+        while n > 1:
+            wl = self._launch_workload(n, arch)
+            launches.append(wl)
+            n = wl.grid_blocks
+            if n == 1:
+                break
+        return launches
+
+    # ------------------------------------------------------------------
+
+    def characteristics(self, problem: int) -> dict[str, float]:
+        return {"size": float(problem)}
+
+    def default_sweep(self) -> list[int]:
+        """~80 array lengths, log-spaced over 2^14 .. 2^24.
+
+        The paper collects "less than 100 data samples (training and
+        test set, combined)" per kernel.
+        """
+        sizes = np.unique(
+            np.round(np.logspace(np.log2(1 << 14), np.log2(1 << 24), 80, base=2.0))
+            .astype(int)
+        )
+        return [int(s) for s in sizes]
+
+
+#: The three variants analyzed in the paper's Section 5 plus the rest of
+#: the SDK family for completeness.
+REDUCTION_VARIANTS: dict[str, ReductionKernel] = {
+    f"reduce{v}": ReductionKernel(v) for v in range(7)
+}

@@ -1,0 +1,62 @@
+"""Statistics / machine-learning substrate for BlackForest.
+
+Self-contained reimplementations (numpy only) of the R components the
+paper's toolchain uses: ``randomForest`` (:class:`RandomForestRegressor`),
+``prcomp``/``varimax`` (:class:`PCA`), ``earth`` (:class:`Mars`),
+``glm`` (:class:`GaussianGLM`, :class:`PoissonGLM`), k-means clustering
+(:class:`KMeans`), and partial dependence plots.
+"""
+
+from .cluster import KMeans
+from .forest import RandomForestRegressor
+from .glm import GaussianGLM, PoissonGLM, fit_best_polynomial
+from .mars import BasisFunction, HingeTerm, Mars
+from .metrics import (
+    explained_variance,
+    mae,
+    median_absolute_error,
+    median_absolute_percentage_error,
+    mse,
+    r2_score,
+    residual_deviance,
+    rmse,
+)
+from .partial_dependence import PartialDependence, dependence_direction, partial_dependence
+from .pca import PCA, FactorLoadings, varimax
+from .preprocessing import (
+    StandardScaler,
+    drop_constant_columns,
+    polynomial_features,
+    train_test_split,
+)
+from .tree import RegressionTree
+
+__all__ = [
+    "KMeans",
+    "RandomForestRegressor",
+    "GaussianGLM",
+    "PoissonGLM",
+    "fit_best_polynomial",
+    "BasisFunction",
+    "HingeTerm",
+    "Mars",
+    "explained_variance",
+    "mae",
+    "median_absolute_error",
+    "median_absolute_percentage_error",
+    "mse",
+    "r2_score",
+    "residual_deviance",
+    "rmse",
+    "PartialDependence",
+    "dependence_direction",
+    "partial_dependence",
+    "PCA",
+    "FactorLoadings",
+    "varimax",
+    "StandardScaler",
+    "drop_constant_columns",
+    "polynomial_features",
+    "train_test_split",
+    "RegressionTree",
+]

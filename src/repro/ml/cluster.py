@@ -1,0 +1,100 @@
+"""K-means clustering (Lloyd's algorithm with k-means++ seeding).
+
+The paper's toolchain description (Section 4.3) lists "randomForest for
+RF and clustering" among its R components; BlackForest uses clustering
+to group profiling runs with similar counter signatures (e.g. separating
+kernel-launch regimes before modeling). This module provides the
+clustering substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KMeans"]
+
+
+class KMeans:
+    """Standard k-means with k-means++ initialization and restarts."""
+
+    def __init__(
+        self,
+        n_clusters: int,
+        n_init: int = 4,
+        max_iter: int = 100,
+        tol: float = 1e-8,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self._rng = np.random.default_rng(rng)
+
+    def _init_centers(self, X: np.ndarray) -> np.ndarray:
+        n = X.shape[0]
+        centers = np.empty((self.n_clusters, X.shape[1]))
+        centers[0] = X[self._rng.integers(n)]
+        d2 = np.sum((X - centers[0]) ** 2, axis=1)
+        for k in range(1, self.n_clusters):
+            total = d2.sum()
+            if total <= 0:  # all points identical to chosen centers
+                centers[k:] = X[self._rng.integers(n, size=self.n_clusters - k)]
+                break
+            probs = d2 / total
+            centers[k] = X[self._rng.choice(n, p=probs)]
+            d2 = np.minimum(d2, np.sum((X - centers[k]) ** 2, axis=1))
+        return centers
+
+    @staticmethod
+    def _assign(X: np.ndarray, centers: np.ndarray) -> tuple[np.ndarray, float]:
+        # Pairwise squared distances via the expansion trick (no copies of X).
+        d2 = (
+            np.sum(X**2, axis=1)[:, None]
+            - 2.0 * X @ centers.T
+            + np.sum(centers**2, axis=1)[None, :]
+        )
+        labels = np.argmin(d2, axis=1)
+        inertia = float(np.sum(d2[np.arange(X.shape[0]), labels]))
+        return labels, max(inertia, 0.0)
+
+    def fit(self, X: np.ndarray) -> "KMeans":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        n = X.shape[0]
+        if n < self.n_clusters:
+            raise ValueError("fewer observations than clusters")
+
+        best_inertia = np.inf
+        best_labels = None
+        best_centers = None
+        for _ in range(self.n_init):
+            centers = self._init_centers(X)
+            labels, inertia = self._assign(X, centers)
+            for _ in range(self.max_iter):
+                new_centers = centers.copy()
+                for k in range(self.n_clusters):
+                    members = X[labels == k]
+                    if members.size:
+                        new_centers[k] = members.mean(axis=0)
+                labels, new_inertia = self._assign(X, new_centers)
+                shift = float(np.max(np.abs(new_centers - centers)))
+                centers = new_centers
+                if shift < self.tol or abs(inertia - new_inertia) < self.tol:
+                    inertia = new_inertia
+                    break
+                inertia = new_inertia
+            if inertia < best_inertia:
+                best_inertia, best_labels, best_centers = inertia, labels, centers
+
+        self.cluster_centers_ = best_centers
+        self.labels_ = best_labels
+        self.inertia_ = best_inertia
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        labels, _ = self._assign(np.asarray(X, dtype=float), self.cluster_centers_)
+        return labels

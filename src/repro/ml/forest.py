@@ -1,0 +1,211 @@
+"""Random forest regression with the interpretation tools BlackForest relies on.
+
+Follows Breiman's algorithm as summarized in Section 4.1.1 of the paper:
+
+1. compose ``n_trees`` bootstrap samples from the original data,
+2. for each sample grow an unpruned regression tree, choosing at each
+   node a random subset of ``mtry`` predictors,
+3. predict new data by averaging the predictions of the trees.
+
+Two interpretation tools are provided (paper Section 4.1.1):
+
+* **variable importance** — estimated by permuting a variable's values
+  in each tree's out-of-bag (OOB) sample and measuring the increase in
+  prediction error, carried out tree by tree as the forest is built
+  (R ``randomForest``'s ``%IncMSE``), plus the impurity-decrease
+  importance (``IncNodePurity``);
+* **partial dependence** — see :mod:`repro.ml.partial_dependence`.
+
+OOB aggregates give the validation quantities the paper reports:
+``mse_oob`` and "% Var explained".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .metrics import explained_variance, mse
+from .tree import RegressionTree
+
+__all__ = ["RandomForestRegressor"]
+
+
+class RandomForestRegressor:
+    """Bagged ensemble of CART regression trees.
+
+    Parameters
+    ----------
+    n_trees:
+        Number of trees (R default: 500).
+    max_features:
+        ``mtry``; None uses the R regression default ``max(p // 3, 1)``.
+    min_samples_leaf:
+        Terminal node size (R regression default 5).
+    max_depth:
+        Optional depth cap; None grows unpruned trees.
+    importance:
+        When True (default), permutation importance is computed tree by
+        tree during :meth:`fit`, as in R with ``importance=TRUE``.
+    n_permutations:
+        OOB permutation repetitions per tree and variable; >1 smooths
+        the importance estimate for tiny OOB samples.
+    rng:
+        Seed or Generator for bootstraps, feature subsampling and
+        permutations.
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 500,
+        max_features: int | None = None,
+        min_samples_leaf: int = 5,
+        max_depth: int | None = None,
+        importance: bool = True,
+        n_permutations: int = 1,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        if n_permutations < 1:
+            raise ValueError("n_permutations must be >= 1")
+        self.n_trees = n_trees
+        self.max_features = max_features
+        self.min_samples_leaf = min_samples_leaf
+        self.max_depth = max_depth
+        self.importance = importance
+        self.n_permutations = n_permutations
+        self._rng = np.random.default_rng(rng)
+
+    # -- fitting ---------------------------------------------------------
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        feature_names: list[str] | None = None,
+    ) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        n, p = X.shape
+        if n != y.size:
+            raise ValueError("X and y length mismatch")
+        if n < 2:
+            raise ValueError("need at least 2 observations")
+        if feature_names is not None and len(feature_names) != p:
+            raise ValueError("feature_names length mismatch")
+
+        mtry = self.max_features if self.max_features is not None else max(p // 3, 1)
+
+        self.trees_: list[RegressionTree] = []
+        oob_sum = np.zeros(n)
+        oob_count = np.zeros(n, dtype=np.intp)
+
+        # Per-tree accumulators for permutation importance (Breiman 2001):
+        # importance_j = mean over trees of (MSE_oob_permuted_j - MSE_oob),
+        # later normalized by the standard error across trees (%IncMSE).
+        perm_delta = np.zeros((self.n_trees, p)) if self.importance else None
+
+        for t in range(self.n_trees):
+            boot = self._rng.integers(0, n, size=n)
+            oob_mask = np.ones(n, dtype=bool)
+            oob_mask[boot] = False
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=mtry,
+                rng=self._rng,
+            ).fit(X[boot], y[boot])
+            self.trees_.append(tree)
+
+            oob_idx = np.where(oob_mask)[0]
+            if oob_idx.size == 0:
+                continue
+            X_oob = X[oob_idx]
+            pred_oob = tree.predict(X_oob)
+            oob_sum[oob_idx] += pred_oob
+            oob_count[oob_idx] += 1
+
+            if self.importance:
+                base_err = np.mean((pred_oob - y[oob_idx]) ** 2)
+                for j in range(p):
+                    col = X_oob[:, j]
+                    if np.ptp(col) == 0.0:
+                        continue  # permuting a constant changes nothing
+                    delta = 0.0
+                    X_perm = X_oob.copy()
+                    for _ in range(self.n_permutations):
+                        X_perm[:, j] = self._rng.permutation(col)
+                        err = np.mean((tree.predict(X_perm) - y[oob_idx]) ** 2)
+                        delta += err - base_err
+                    perm_delta[t, j] = delta / self.n_permutations
+
+        self.n_features_ = p
+        self.feature_names_ = (
+            list(feature_names)
+            if feature_names is not None
+            else [f"x{j}" for j in range(p)]
+        )
+        self._X_train = X
+        self._y_train = y
+
+        seen = oob_count > 0
+        self.oob_prediction_ = np.full(n, np.nan)
+        self.oob_prediction_[seen] = oob_sum[seen] / oob_count[seen]
+        if np.any(seen):
+            self.oob_mse_ = mse(y[seen], self.oob_prediction_[seen])
+            self.oob_explained_variance_ = explained_variance(
+                y[seen], self.oob_prediction_[seen]
+            )
+        else:  # pathological: every sample in-bag for every tree
+            self.oob_mse_ = np.nan
+            self.oob_explained_variance_ = np.nan
+
+        if self.importance:
+            mean_delta = perm_delta.mean(axis=0)
+            sd = perm_delta.std(axis=0, ddof=1) if self.n_trees > 1 else np.ones(p)
+            sd = np.where(sd > 0.0, sd, 1.0)
+            # %IncMSE: mean increase normalized by its standard error.
+            self.importance_ = mean_delta / (sd / np.sqrt(self.n_trees))
+            self.importance_raw_ = mean_delta
+        else:
+            self.importance_ = None
+            self.importance_raw_ = None
+
+        purity = np.zeros(p)
+        for tree in self.trees_:
+            purity += tree.impurity_decrease_
+        self.impurity_importance_ = purity / self.n_trees
+        return self
+
+    # -- prediction ------------------------------------------------------
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Average of the per-tree predictions."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X must be 2-D with {self.n_features_} columns, got {X.shape}"
+            )
+        acc = np.zeros(X.shape[0])
+        for tree in self.trees_:
+            acc += tree.predict(X)
+        return acc / len(self.trees_)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Explained variance on a held-out set (paper's validation check)."""
+        return explained_variance(y, self.predict(X))
+
+    # -- interpretation ----------------------------------------------------
+
+    def ranked_importance(self) -> list[tuple[str, float]]:
+        """Features sorted by decreasing permutation importance."""
+        if self.importance_ is None:
+            raise RuntimeError("fit with importance=True first")
+        order = np.argsort(self.importance_)[::-1]
+        return [(self.feature_names_[j], float(self.importance_[j])) for j in order]
+
+    def top_features(self, k: int) -> list[str]:
+        """Names of the ``k`` most important predictors."""
+        return [name for name, _ in self.ranked_importance()[:k]]

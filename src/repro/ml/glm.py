@@ -1,0 +1,175 @@
+"""Generalized linear models for counter-vs-problem-size regression.
+
+The paper models the retained important counters "in terms of typical
+characteristics of either the problem in hand or both the problem and
+hardware type" (Section 4.2). For "trivial cases (e.g., single problem
+characteristics such as matrix size in matrix multiply) ... (generalized)
+linear models are adequate" — Fig. 5c's models are GLMs whose quality
+is reported as *residual deviance*.
+
+Two families are provided:
+
+* Gaussian / identity link with polynomial features (ordinary least
+  squares via QR) — the Fig. 5c models;
+* Poisson / log link via iteratively reweighted least squares — natural
+  for count-valued counters, used when the Gaussian fit is poor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .metrics import r2_score
+from .preprocessing import polynomial_features
+
+__all__ = ["GaussianGLM", "PoissonGLM", "fit_best_polynomial"]
+
+
+class GaussianGLM:
+    """Least-squares polynomial regression of a response on one predictor.
+
+    Parameters
+    ----------
+    degree:
+        Polynomial degree of the design matrix (1 = straight line).
+    log_x, log_y:
+        Optional log-transforms; counters frequently grow polynomially
+        in the problem size, so a log-log line is often the best simple
+        model (slope = growth exponent).
+    """
+
+    def __init__(self, degree: int = 1, log_x: bool = False, log_y: bool = False) -> None:
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+        self.log_x = log_x
+        self.log_y = log_y
+
+    def _tx(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float).ravel()
+        if self.log_x:
+            if np.any(x <= 0):
+                raise ValueError("log_x requires positive x")
+            x = np.log(x)
+        return x
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianGLM":
+        x = self._tx(x)
+        y_raw = np.asarray(y, dtype=float).ravel()
+        if x.size != y_raw.size:
+            raise ValueError("x and y length mismatch")
+        if x.size <= self.degree:
+            raise ValueError("not enough observations for the requested degree")
+        y_fit = y_raw
+        if self.log_y:
+            if np.any(y_raw <= 0):
+                raise ValueError("log_y requires positive y")
+            y_fit = np.log(y_raw)
+        B = polynomial_features(x, self.degree)
+        self.coef_, _, _, _ = np.linalg.lstsq(B, y_fit, rcond=None)
+        fitted = B @ self.coef_
+        if self.log_y:
+            fitted = np.exp(fitted)
+        self.residual_deviance_ = float(np.sum((y_raw - fitted) ** 2))
+        self.null_deviance_ = float(np.sum((y_raw - y_raw.mean()) ** 2))
+        self.r_squared_ = r2_score(y_raw, fitted)
+        n, k = x.size, self.degree + 1
+        rss = max(self.residual_deviance_, np.finfo(float).tiny)
+        self.aic_ = float(n * np.log(rss / n) + 2 * k)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = self._tx(x)
+        B = polynomial_features(x, self.degree)
+        out = B @ self.coef_
+        return np.exp(out) if self.log_y else out
+
+
+class PoissonGLM:
+    """Poisson regression with log link, fitted by IRLS.
+
+    Response values must be non-negative. Useful for raw event counts
+    (transactions, requests) whose variance scales with the mean.
+    """
+
+    def __init__(self, degree: int = 1, max_iter: int = 50, tol: float = 1e-8) -> None:
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+        self.max_iter = max_iter
+        self.tol = tol
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "PoissonGLM":
+        x = np.asarray(x, dtype=float).ravel()
+        y = np.asarray(y, dtype=float).ravel()
+        if x.size != y.size:
+            raise ValueError("x and y length mismatch")
+        if np.any(y < 0):
+            raise ValueError("Poisson response must be non-negative")
+        B = polynomial_features(x, self.degree)
+        # Initialize from a log-linear least-squares fit.
+        eta = np.log(np.maximum(y, 0.5))
+        beta, _, _, _ = np.linalg.lstsq(B, eta, rcond=None)
+        for _ in range(self.max_iter):
+            eta = np.clip(B @ beta, -30.0, 30.0)
+            mu = np.exp(eta)
+            # IRLS working response and weights for log link: W = mu.
+            z = eta + (y - mu) / mu
+            W = mu
+            BW = B * W[:, None]
+            beta_new = np.linalg.solve(B.T @ BW + 1e-12 * np.eye(B.shape[1]), BW.T @ z)
+            if np.max(np.abs(beta_new - beta)) < self.tol:
+                beta = beta_new
+                break
+            beta = beta_new
+        self.coef_ = beta
+        mu = np.exp(np.clip(B @ beta, -30.0, 30.0))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            term = np.where(y > 0, y * np.log(y / mu), 0.0)
+        self.residual_deviance_ = float(2.0 * np.sum(term - (y - mu)))
+        self.r_squared_ = r2_score(y, mu)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float).ravel()
+        B = polynomial_features(x, self.degree)
+        return np.exp(np.clip(B @ self.coef_, -30.0, 30.0))
+
+
+def fit_best_polynomial(
+    x: np.ndarray,
+    y: np.ndarray,
+    max_degree: int = 3,
+    try_log: bool = True,
+) -> GaussianGLM:
+    """Model selection over small polynomial GLMs by AIC.
+
+    Tries degrees 1..max_degree in linear space, and (when the data
+    allow) log-x / log-y / log-log variants, returning the AIC-best
+    model. This implements the paper's "(generalized) linear models are
+    adequate [for trivial cases]" step without hand-tuning per counter.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    candidates: list[GaussianGLM] = []
+    log_opts = [(False, False)]
+    if try_log:
+        if np.all(x > 0):
+            log_opts.append((True, False))
+        if np.all(y > 0):
+            log_opts.append((False, True))
+        if np.all(x > 0) and np.all(y > 0):
+            log_opts.append((True, True))
+    for degree in range(1, max_degree + 1):
+        if x.size <= degree + 1:
+            break
+        for log_x, log_y in log_opts:
+            try:
+                candidates.append(
+                    GaussianGLM(degree=degree, log_x=log_x, log_y=log_y).fit(x, y)
+                )
+            except (ValueError, np.linalg.LinAlgError):
+                continue
+    if not candidates:
+        raise ValueError("no polynomial model could be fitted")
+    return min(candidates, key=lambda m: m.aic_)

@@ -1,0 +1,271 @@
+"""Multivariate adaptive regression splines (MARS, Friedman 1991).
+
+Reimplements the subset of R's ``earth`` package the paper uses to model
+performance counters in terms of problem characteristics (Section 4.2
+"Results interpretation" and Fig. 6c, where the NW counter models are
+"built using *earth* ... with average R-squared of 0.99").
+
+The model is paper Eq. 4: ``f(x) = sum_i c_i * B_i(x)`` where each
+``B_i`` is the intercept, a hinge ``max(x_v - t, 0)`` / ``max(t - x_v, 0)``,
+or a product of hinges (interactions). Fitting is the classic two-pass
+procedure:
+
+* **forward pass** — greedily add hinge-function *pairs* (both signs of
+  a (parent basis, variable, knot) candidate) minimizing the residual
+  sum of squares, until ``max_terms`` is reached or the relative RSS
+  improvement stalls;
+* **backward pass** — prune terms one at a time, keeping the subset with
+  the best generalized cross-validation (GCV) score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .metrics import r2_score
+
+__all__ = ["Mars", "HingeTerm", "BasisFunction"]
+
+
+@dataclass(frozen=True)
+class HingeTerm:
+    """One hinge factor ``max(sign * (x[var] - knot), 0)``."""
+
+    var: int
+    knot: float
+    sign: int  # +1 -> max(x - knot, 0); -1 -> max(knot - x, 0)
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        return np.maximum(self.sign * (X[:, self.var] - self.knot), 0.0)
+
+    def describe(self, names: list[str]) -> str:
+        name = names[self.var]
+        if self.sign > 0:
+            return f"h({name} - {self.knot:g})"
+        return f"h({self.knot:g} - {name})"
+
+
+@dataclass(frozen=True)
+class BasisFunction:
+    """Product of hinge terms; the empty product is the intercept."""
+
+    terms: tuple[HingeTerm, ...] = ()
+
+    @property
+    def degree(self) -> int:
+        return len(self.terms)
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        out = np.ones(X.shape[0])
+        for term in self.terms:
+            out *= term.evaluate(X)
+        return out
+
+    def involves(self, var: int) -> bool:
+        return any(t.var == var for t in self.terms)
+
+    def extended(self, term: HingeTerm) -> "BasisFunction":
+        return BasisFunction(self.terms + (term,))
+
+    def describe(self, names: list[str]) -> str:
+        if not self.terms:
+            return "(intercept)"
+        return " * ".join(t.describe(names) for t in self.terms)
+
+
+def _gcv(rss: float, n: int, n_terms: int, penalty: float) -> float:
+    """Generalized cross-validation criterion (Friedman 1991, Eq. 30)."""
+    c = n_terms + penalty * max(n_terms - 1, 0) / 2.0
+    denom = (1.0 - c / n) ** 2
+    if denom <= 0.0:
+        return np.inf
+    return (rss / n) / denom
+
+
+def _lstsq_rss(B: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, float]:
+    coef, _, _, _ = np.linalg.lstsq(B, y, rcond=None)
+    resid = y - B @ coef
+    return coef, float(resid @ resid)
+
+
+class Mars:
+    """MARS regression model.
+
+    Parameters
+    ----------
+    max_terms:
+        Cap on basis functions after the forward pass (including the
+        intercept). ``earth`` default is ``min(200, max(20, 2p+1)) + 1``;
+        a small fixed default suits the paper's <=129-sample campaigns.
+    max_degree:
+        Maximum interaction degree (1 = additive model, ``earth``
+        default).
+    penalty:
+        GCV knot penalty; ``earth`` uses 3 for interactions, 2 additive.
+        None selects by ``max_degree``.
+    n_knots:
+        Candidate knots per variable, taken at evenly spaced quantiles
+        of the observed values (None = every distinct value, like earth's
+        ``minspan=1`` on small data).
+    min_rss_decrease:
+        Relative RSS improvement below which the forward pass stops.
+    """
+
+    def __init__(
+        self,
+        max_terms: int = 21,
+        max_degree: int = 1,
+        penalty: float | None = None,
+        n_knots: int | None = 32,
+        min_rss_decrease: float = 1e-5,
+    ) -> None:
+        if max_terms < 1:
+            raise ValueError("max_terms must be >= 1")
+        if max_degree < 1:
+            raise ValueError("max_degree must be >= 1")
+        self.max_terms = max_terms
+        self.max_degree = max_degree
+        self.penalty = penalty if penalty is not None else (2.0 if max_degree == 1 else 3.0)
+        self.n_knots = n_knots
+        self.min_rss_decrease = min_rss_decrease
+
+    # -- fitting ---------------------------------------------------------
+
+    def _candidate_knots(self, col: np.ndarray) -> np.ndarray:
+        values = np.unique(col)
+        if values.size <= 2:
+            return values[:-1] if values.size == 2 else np.empty(0)
+        # Knots at interior values; quantile-subsample when many.
+        interior = values[:-1]
+        if self.n_knots is not None and interior.size > self.n_knots:
+            q = np.linspace(0, 100, self.n_knots)
+            interior = np.unique(np.percentile(interior, q, method="nearest"))
+        return interior
+
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, names: list[str] | None = None
+    ) -> "Mars":
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[:, None]
+        y = np.asarray(y, dtype=float).ravel()
+        n, p = X.shape
+        if n != y.size:
+            raise ValueError("X and y length mismatch")
+        if n < 3:
+            raise ValueError("need at least 3 observations")
+        self.names_ = list(names) if names is not None else [f"x{j}" for j in range(p)]
+        if len(self.names_) != p:
+            raise ValueError("names length mismatch")
+
+        knots = [self._candidate_knots(X[:, j]) for j in range(p)]
+
+        basis: list[BasisFunction] = [BasisFunction()]
+        B = np.ones((n, 1))
+        coef, rss = _lstsq_rss(B, y)
+        baseline_rss = rss
+
+        # ---- forward pass ----
+        while len(basis) + 2 <= self.max_terms:
+            if rss <= 1e-12 * max(baseline_rss, 1.0):
+                break  # already an (essentially) exact fit
+            best = None  # (rss, parent_idx, term_plus, term_minus, B_new)
+            for parent_idx, parent in enumerate(basis):
+                if parent.degree >= self.max_degree:
+                    continue
+                parent_col = B[:, parent_idx]
+                active = parent_col > 0.0
+                if np.count_nonzero(active) < 3:
+                    continue
+                for var in range(p):
+                    if parent.involves(var):
+                        continue
+                    for knot in knots[var]:
+                        tp = HingeTerm(var, float(knot), +1)
+                        tm = HingeTerm(var, float(knot), -1)
+                        col_p = parent_col * tp.evaluate(X)
+                        col_m = parent_col * tm.evaluate(X)
+                        if np.ptp(col_p) == 0.0 and np.ptp(col_m) == 0.0:
+                            continue
+                        B_new = np.column_stack([B, col_p, col_m])
+                        _, rss_new = _lstsq_rss(B_new, y)
+                        if best is None or rss_new < best[0]:
+                            best = (rss_new, parent_idx, tp, tm, B_new)
+            if best is None:
+                break
+            rss_new, parent_idx, tp, tm, B_new = best
+            denom = rss if rss > 0 else max(baseline_rss, np.finfo(float).tiny)
+            if rss - rss_new < self.min_rss_decrease * denom:
+                break
+            parent = basis[parent_idx]
+            basis.extend([parent.extended(tp), parent.extended(tm)])
+            B = B_new
+            rss = rss_new
+            if rss <= 1e-12 * max(baseline_rss, 1.0):
+                break
+
+        # ---- backward pass ----
+        keep = list(range(len(basis)))
+        coef, rss = _lstsq_rss(B[:, keep], y)
+        best_keep = list(keep)
+        best_gcv = _gcv(rss, n, len(keep), self.penalty)
+        while len(keep) > 1:
+            trial_best = None  # (gcv, removed_position)
+            for pos in range(1, len(keep)):  # never drop the intercept
+                subset = keep[:pos] + keep[pos + 1 :]
+                _, rss_t = _lstsq_rss(B[:, subset], y)
+                g = _gcv(rss_t, n, len(subset), self.penalty)
+                if trial_best is None or g < trial_best[0]:
+                    trial_best = (g, pos)
+            g, pos = trial_best
+            del keep[pos]
+            # <= : prefer the smaller model on ties (constant responses)
+            if g <= best_gcv:
+                best_gcv = g
+                best_keep = list(keep)
+
+        self.basis_ = [basis[i] for i in best_keep]
+        B_final = B[:, best_keep]
+        self.coef_, rss_final = _lstsq_rss(B_final, y)
+        self.gcv_ = _gcv(rss_final, n, len(best_keep), self.penalty)
+        self.rss_ = rss_final
+        fitted = B_final @ self.coef_
+        self.r_squared_ = r2_score(y, fitted)
+        # GRSq, earth's GCV-normalized R^2.
+        gcv_null = _gcv(float(np.sum((y - y.mean()) ** 2)), n, 1, self.penalty)
+        self.grsq_ = 1.0 - self.gcv_ / gcv_null if gcv_null > 0 else np.nan
+        return self
+
+    # -- prediction ------------------------------------------------------
+
+    def _design(self, X: np.ndarray) -> np.ndarray:
+        return np.column_stack([b.evaluate(X) for b in self.basis_])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[:, None]
+        if X.shape[1] != len(self.names_):
+            raise ValueError(
+                f"X must have {len(self.names_)} columns, got {X.shape[1]}"
+            )
+        return self._design(X) @ self.coef_
+
+    # -- introspection ----------------------------------------------------
+
+    def summary(self) -> str:
+        """earth-style text summary of the selected model."""
+        lines = ["MARS model:"]
+        for b, c in zip(self.basis_, self.coef_):
+            lines.append(f"  {c:+.6g} * {b.describe(self.names_)}")
+        lines.append(
+            f"  terms={len(self.basis_)}  RSS={self.rss_:.6g}  "
+            f"GCV={self.gcv_:.6g}  R^2={self.r_squared_:.4f}  GRSq={self.grsq_:.4f}"
+        )
+        return "\n".join(lines)
+
+    @property
+    def n_terms(self) -> int:
+        return len(self.basis_)

@@ -1,0 +1,111 @@
+"""Regression quality metrics used throughout the BlackForest pipeline.
+
+These mirror the quantities reported in the paper: mean squared error
+(Fig. 5b/6b prediction accuracy), explained variance (the random-forest
+"% Var explained" figure printed by R's ``randomForest``), R-squared
+(MARS model quality, Fig. 6c) and the median absolute (percentage)
+error used by the Zhang et al. baseline the paper compares against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mse",
+    "rmse",
+    "mae",
+    "r2_score",
+    "explained_variance",
+    "median_absolute_error",
+    "median_absolute_percentage_error",
+    "residual_deviance",
+]
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_pred = np.asarray(y_pred, dtype=float).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("empty arrays")
+    return y_true, y_pred
+
+
+def mse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean squared error."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(y_true, y_pred)))
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination.
+
+    Returns 1.0 for a perfect fit; can be negative for models worse than
+    predicting the mean. For a constant ``y_true`` the score is 1.0 when
+    predictions are exact and 0.0 otherwise (degenerate case).
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def explained_variance(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of response variance explained by the predictions.
+
+    Matches R's ``randomForest`` "% Var explained" convention when the
+    predictions are OOB predictions: ``1 - mse / var(y)`` with the
+    population variance. Expressed as a fraction in [~-inf, 1].
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    var = float(np.var(y_true))
+    if var == 0.0:
+        return 1.0 if np.allclose(y_true, y_pred) else 0.0
+    return 1.0 - mse(y_true, y_pred) / var
+
+
+def median_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Median of absolute errors (robust accuracy summary)."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.median(np.abs(y_true - y_pred)))
+
+
+def median_absolute_percentage_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Median absolute percentage error, as used by Zhang et al. [21].
+
+    Entries with a zero true value are excluded; raises if all are zero.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    nonzero = y_true != 0.0
+    if not np.any(nonzero):
+        raise ValueError("all true values are zero; percentage error undefined")
+    rel = np.abs((y_pred[nonzero] - y_true[nonzero]) / y_true[nonzero])
+    return float(np.median(rel) * 100.0)
+
+
+def residual_deviance(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Gaussian residual deviance (residual sum of squares).
+
+    For a Gaussian GLM with identity link the deviance reduces to the
+    RSS, which is the quantity the paper quotes for the Fig. 5c counter
+    models ("low residual deviance, between 0 and 2.7").
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.sum((y_true - y_pred) ** 2))

@@ -1,0 +1,118 @@
+"""Dataset preparation: standardization, train/test splits, polynomial features.
+
+The BlackForest methodology randomly samples the collected profiling data
+into a training set (80%) and a test set (20%); :func:`train_test_split`
+implements exactly that protocol with a seedable generator so campaigns
+are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "StandardScaler",
+    "train_test_split",
+    "polynomial_features",
+    "drop_constant_columns",
+]
+
+
+@dataclass
+class StandardScaler:
+    """Column-wise standardization to zero mean / unit variance.
+
+    Constant columns are scaled by 1.0 instead of 0.0 so transforming
+    them yields zeros rather than NaNs (counters that never vary across
+    a sweep are common — e.g. ``branch`` counts on branch-free kernels).
+    """
+
+    with_mean: bool = True
+    with_std: bool = True
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            std = X.std(axis=0)
+            std[std == 0.0] = 1.0
+            self.scale_ = std
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, Z: np.ndarray) -> np.ndarray:
+        Z = np.asarray(Z, dtype=float)
+        return Z * self.scale_ + self.mean_
+
+
+def train_test_split(
+    *arrays: np.ndarray,
+    test_fraction: float = 0.2,
+    rng: np.random.Generator | int | None = None,
+) -> list[np.ndarray]:
+    """Uniform random split into train/test partitions (default 80:20).
+
+    Returns ``[a_train, a_test, b_train, b_test, ...]`` for the input
+    arrays, all split along axis 0 with a shared permutation.
+    """
+    if not arrays:
+        raise ValueError("at least one array required")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(rng)
+    n = len(arrays[0])
+    for a in arrays:
+        if len(a) != n:
+            raise ValueError("all arrays must share the same length")
+    n_test = max(1, int(round(n * test_fraction)))
+    if n_test >= n:
+        raise ValueError(f"split leaves no training data (n={n})")
+    perm = rng.permutation(n)
+    test_idx, train_idx = perm[:n_test], perm[n_test:]
+    out: list[np.ndarray] = []
+    for a in arrays:
+        a = np.asarray(a)
+        out.extend((a[train_idx], a[test_idx]))
+    return out
+
+
+def polynomial_features(
+    x: np.ndarray, degree: int, include_bias: bool = True
+) -> np.ndarray:
+    """Vandermonde-style polynomial design matrix for a single predictor.
+
+    Used by the GLM counter models which regress a counter on (powers of)
+    the problem size.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+    powers = np.arange(0 if include_bias else 1, degree + 1)
+    return x[:, None] ** powers[None, :]
+
+
+def drop_constant_columns(
+    X: np.ndarray, names: list[str] | None = None
+) -> tuple[np.ndarray, list[int], list[str] | None]:
+    """Remove zero-variance columns.
+
+    Returns the filtered matrix, the indices of the kept columns, and the
+    filtered names (or None). Constant counters carry no information for
+    the forest and break PCA standardization.
+    """
+    X = np.asarray(X, dtype=float)
+    keep = np.where(X.std(axis=0) > 0.0)[0]
+    kept_names = [names[i] for i in keep] if names is not None else None
+    return X[:, keep], keep.tolist(), kept_names

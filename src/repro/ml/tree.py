@@ -1,0 +1,248 @@
+"""CART regression trees (Breiman et al.), the building block of the forest.
+
+Implements the greedy variance-minimizing binary splitting described in
+Section 4.1.1 of the paper: at each node the algorithm scans candidate
+(variable, split point) pairs and picks the pair minimizing the summed
+within-region sum of squares (paper Eq. 3), with the region prediction
+being the region mean (paper Eq. 1).
+
+The split search is vectorized: for every candidate feature the node's
+values are sorted once and all split points are evaluated with prefix
+sums, so a node costs O(p' * n log n) where p' is the feature subsample
+size (``max_features``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RegressionTree"]
+
+_LEAF = -1
+
+
+def _best_split_for_feature(
+    x: np.ndarray, y: np.ndarray, min_samples_leaf: int
+) -> tuple[float, float, float] | None:
+    """Best split of sorted-scannable feature ``x`` against response ``y``.
+
+    Returns ``(sse_total, threshold, improvement_proxy)`` for the best
+    valid split, or None when no split separates distinct values under
+    the leaf-size constraint. ``sse_total`` is the post-split sum of the
+    two regions' sums of squared deviations.
+    """
+    n = x.size
+    order = np.argsort(x, kind="stable")
+    xs = x[order]
+    ys = y[order]
+
+    # Prefix sums let us evaluate every split position in O(1).
+    csum = np.cumsum(ys)
+    csum2 = np.cumsum(ys * ys)
+    total_sum = csum[-1]
+    total_sum2 = csum2[-1]
+
+    # Candidate split after position i (0-based): left = [0..i], right = [i+1..].
+    i = np.arange(n - 1)
+    n_left = i + 1.0
+    n_right = n - n_left
+    valid = (
+        (xs[:-1] != xs[1:])
+        & (n_left >= min_samples_leaf)
+        & (n_right >= min_samples_leaf)
+    )
+    if not np.any(valid):
+        return None
+
+    sum_left = csum[:-1]
+    sum2_left = csum2[:-1]
+    sse_left = sum2_left - sum_left * sum_left / n_left
+    sum_right = total_sum - sum_left
+    sse_right = (total_sum2 - sum2_left) - sum_right * sum_right / n_right
+    sse = sse_left + sse_right
+    sse[~valid] = np.inf
+
+    best = int(np.argmin(sse))
+    threshold = 0.5 * (xs[best] + xs[best + 1])
+    # Guard against midpoint rounding onto the right value for adjacent floats.
+    if threshold <= xs[best]:
+        threshold = xs[best]
+    return float(sse[best]), float(threshold), float(total_sum2 - total_sum**2 / n)
+
+
+class RegressionTree:
+    """A single unpruned CART regression tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth; None grows until the stopping rules fire.
+    min_samples_leaf:
+        Minimum observations in a terminal node (R's ``nodesize``,
+        default 5 for regression forests per the paper's Section 4.1.1).
+    min_samples_split:
+        Minimum observations required to attempt a split.
+    max_features:
+        Number of features examined per node (``mtry``). None uses all.
+    rng:
+        Generator or seed controlling the per-node feature subsample.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 5,
+        min_samples_split: int | None = None,
+        max_features: int | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_samples_split = (
+            min_samples_split if min_samples_split is not None else 2 * min_samples_leaf
+        )
+        self.max_features = max_features
+        self._rng = np.random.default_rng(rng)
+
+    # -- fitting ---------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if X.shape[0] != y.size:
+            raise ValueError("X and y length mismatch")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on empty data")
+
+        n, p = X.shape
+        mtry = p if self.max_features is None else min(self.max_features, p)
+        if mtry < 1:
+            raise ValueError("max_features must be >= 1")
+
+        # Growable node arrays; children indices of _LEAF mark terminals.
+        feature: list[int] = []
+        threshold: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        value: list[float] = []
+        n_samples: list[int] = []
+        impurity_decrease = np.zeros(p)
+
+        stack: list[tuple[np.ndarray, int, int]] = []  # (indices, node_id, depth)
+
+        def new_node(idx: np.ndarray) -> int:
+            node_id = len(feature)
+            feature.append(_LEAF)
+            threshold.append(np.nan)
+            left.append(_LEAF)
+            right.append(_LEAF)
+            value.append(float(y[idx].mean()))
+            n_samples.append(int(idx.size))
+            return node_id
+
+        root = new_node(np.arange(n))
+        stack.append((np.arange(n), root, 0))
+
+        while stack:
+            idx, node_id, depth = stack.pop()
+            if (
+                idx.size < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)
+            ):
+                continue
+            y_node = y[idx]
+            if np.ptp(y_node) == 0.0:
+                continue  # pure node
+
+            node_sse = float(np.sum((y_node - y_node.mean()) ** 2))
+            candidates = self._rng.permutation(p)
+            best_sse = np.inf
+            best_feat = _LEAF
+            best_thr = np.nan
+            examined = 0
+            for j in candidates:
+                col = X[idx, j]
+                if col[0] == col[-1] and np.ptp(col) == 0.0:
+                    continue  # constant feature in this node
+                res = _best_split_for_feature(col, y_node, self.min_samples_leaf)
+                examined += 1
+                if res is not None and res[0] < best_sse:
+                    best_sse, best_thr = res[0], res[1]
+                    best_feat = int(j)
+                # mtry counts *examined* candidates, mirroring R's behaviour
+                # of retrying when a drawn variable cannot split.
+                if examined >= mtry and best_feat != _LEAF:
+                    break
+
+            if best_feat == _LEAF or best_sse >= node_sse:
+                continue
+
+            mask = X[idx, best_feat] <= best_thr
+            left_idx, right_idx = idx[mask], idx[~mask]
+            if left_idx.size == 0 or right_idx.size == 0:
+                continue
+
+            feature[node_id] = best_feat
+            threshold[node_id] = best_thr
+            impurity_decrease[best_feat] += node_sse - best_sse
+            lid = new_node(left_idx)
+            rid = new_node(right_idx)
+            left[node_id], right[node_id] = lid, rid
+            stack.append((left_idx, lid, depth + 1))
+            stack.append((right_idx, rid, depth + 1))
+
+        self.n_features_ = p
+        self.feature_ = np.asarray(feature, dtype=np.intp)
+        self.threshold_ = np.asarray(threshold, dtype=float)
+        self.left_ = np.asarray(left, dtype=np.intp)
+        self.right_ = np.asarray(right, dtype=np.intp)
+        self.value_ = np.asarray(value, dtype=float)
+        self.n_node_samples_ = np.asarray(n_samples, dtype=np.intp)
+        self.impurity_decrease_ = impurity_decrease
+        return self
+
+    # -- prediction ------------------------------------------------------
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf index reached by every row of ``X`` (vectorized descent)."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X must be 2-D with {self.n_features_} columns, got {X.shape}"
+            )
+        node = np.zeros(X.shape[0], dtype=np.intp)
+        active = self.feature_[node] != _LEAF
+        while np.any(active):
+            idx = np.where(active)[0]
+            cur = node[idx]
+            go_left = X[idx, self.feature_[cur]] <= self.threshold_[cur]
+            node[idx] = np.where(go_left, self.left_[cur], self.right_[cur])
+            active[idx] = self.feature_[node[idx]] != _LEAF
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted response: mean of the training responses in the leaf."""
+        return self.value_[self.apply(X)]
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.feature_.size)
+
+    @property
+    def n_leaves(self) -> int:
+        return int(np.sum(self.feature_ == _LEAF))
+
+    @property
+    def depth(self) -> int:
+        depth = np.zeros(self.n_nodes, dtype=int)
+        for node_id in range(self.n_nodes):
+            if self.feature_[node_id] != _LEAF:
+                for child in (self.left_[node_id], self.right_[node_id]):
+                    depth[child] = depth[node_id] + 1
+        return int(depth.max()) if self.n_nodes else 0

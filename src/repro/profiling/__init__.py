@@ -1,0 +1,13 @@
+"""Profiling layer: the nvprof-equivalent data-collection toolchain.
+
+:class:`Profiler` plays nvprof's role over the simulator,
+:class:`Campaign` drives problem-characteristic sweeps, and
+:class:`Repository` is the paper's "structured repository" for the
+collected data.
+"""
+
+from .campaign import Campaign, CampaignResult
+from .profiler import Profiler, RunRecord
+from .repository import Repository
+
+__all__ = ["Campaign", "CampaignResult", "Profiler", "RunRecord", "Repository"]

@@ -1,0 +1,163 @@
+"""Data-collection campaigns: sweep a kernel over problem instances.
+
+"We perform data collection by running the application multiple times
+(typically, tens to hundreds) on the architecture of interest, with
+different problem characteristics" (paper Section 4.2). A
+:class:`Campaign` is one such experiment; its result is a rectangular
+dataset ready for the statistical pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.gpusim.arch import GPUArchitecture
+from repro.kernels.base import Kernel
+
+from .profiler import Profiler, RunRecord
+
+__all__ = ["CampaignResult", "Campaign"]
+
+
+@dataclass
+class CampaignResult:
+    """The collected observations of one campaign."""
+
+    kernel: str
+    arch: str
+    family: str
+    records: list[RunRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def counter_names(self) -> list[str]:
+        """Counter names common to every record, in first-record order."""
+        if not self.records:
+            return []
+        names = list(self.records[0].counters)
+        common = set(names)
+        for r in self.records[1:]:
+            common &= set(r.counters)
+        return [n for n in names if n in common]
+
+    @property
+    def predictor_names(self) -> list[str]:
+        """Counters admissible as predictors (drops response proxies
+        such as ``active_cycles``; intersects availability when the
+        campaign mixes architecture families)."""
+        from repro.gpusim.counters import CATALOGUE
+
+        return [n for n in self.counter_names if CATALOGUE[n].predictor]
+
+    @property
+    def characteristic_names(self) -> list[str]:
+        return sorted(self.records[0].characteristics) if self.records else []
+
+    def matrix(
+        self,
+        counters: Sequence[str] | None = None,
+        include_characteristics: bool = True,
+        include_machine: bool = False,
+        response: str = "time",
+    ) -> tuple[np.ndarray, np.ndarray, list[str]]:
+        """Predictor matrix X, response y, and column names.
+
+        ``response`` selects the modeled quantity: ``"time"`` (paper
+        default) or ``"power"`` (the Section 7 extension — requires a
+        platform with a power interface, i.e. Kepler campaigns).
+        """
+        if not self.records:
+            raise ValueError("empty campaign")
+        if response not in ("time", "power"):
+            raise ValueError("response must be 'time' or 'power'")
+        if response == "power" and any(r.power_w is None for r in self.records):
+            raise ValueError(
+                "campaign has runs without power readings (power draw is "
+                "only readable on the Kepler platform, paper Section 7)"
+            )
+        counter_names = list(counters) if counters is not None else self.predictor_names
+        rows = []
+        names: list[str] | None = None
+        for r in self.records:
+            row_names, values = r.predictors(
+                counter_names,
+                include_characteristics=include_characteristics,
+                include_machine=include_machine,
+            )
+            if names is None:
+                names = row_names
+            rows.append(values)
+        X = np.vstack(rows)
+        if response == "power":
+            y = np.array([r.power_w for r in self.records])
+        else:
+            y = np.array([r.time_s for r in self.records])
+        return X, y, list(names)
+
+    def times(self) -> np.ndarray:
+        return np.array([r.time_s for r in self.records])
+
+    def powers(self) -> np.ndarray:
+        """Average power per run (W); raises if any run lacks a reading."""
+        if any(r.power_w is None for r in self.records):
+            raise ValueError("campaign has runs without power readings")
+        return np.array([r.power_w for r in self.records])
+
+    def problems(self) -> list:
+        return [r.problem for r in self.records]
+
+    def merged_with(self, other: "CampaignResult") -> "CampaignResult":
+        """Concatenate two campaigns (e.g. runs on two architectures).
+
+        Kernel must match; arch metadata becomes 'mixed' when they
+        differ, mirroring the paper's hardware-scaling datasets that mix
+        GTX580 and K20m observations.
+        """
+        if self.kernel != other.kernel:
+            raise ValueError("cannot merge campaigns of different kernels")
+        arch = self.arch if self.arch == other.arch else "mixed"
+        family = self.family if self.family == other.family else "mixed"
+        return CampaignResult(
+            kernel=self.kernel,
+            arch=arch,
+            family=family,
+            records=self.records + other.records,
+        )
+
+
+class Campaign:
+    """Sweep driver for one kernel on one architecture."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        arch: GPUArchitecture,
+        noise_scale: float = 1.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.arch = arch
+        self.profiler = Profiler(arch, noise_scale=noise_scale, rng=rng)
+
+    def run(
+        self,
+        problems: Sequence | None = None,
+        replicates: int = 1,
+    ) -> CampaignResult:
+        """Profile every problem instance (default: the paper's sweep)."""
+        problems = list(problems) if problems is not None else self.kernel.default_sweep()
+        if not problems:
+            raise ValueError("no problem instances to run")
+        result = CampaignResult(
+            kernel=self.kernel.name, arch=self.arch.name, family=self.arch.family
+        )
+        for problem in problems:
+            result.records.extend(
+                self.profiler.profile(self.kernel, problem, replicates=replicates)
+            )
+        return result

@@ -1,0 +1,191 @@
+"""nvprof-style profiler façade over the GPU simulator.
+
+"Performance counter data are collected using nvprof" (paper Section
+4.2); here the same role is played by :class:`Profiler`, which launches
+a kernel model's workloads on a :class:`~repro.gpusim.GPUSimulator`,
+aggregates the per-launch events into one counter vector per
+application run, and reports the measured execution time.
+
+Each replicate is a fresh simulated execution under its own
+mechanism-perturbation draw plus per-counter measurement error, like
+back-to-back nvprof runs of the same binary; only the (deterministic)
+workload construction is cached per (kernel, problem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpusim.arch import GPUArchitecture
+from repro.gpusim.noise import Perturbation
+from repro.gpusim.simulator import (
+    GPUSimulator,
+    average_power_w,
+    finalize_counters,
+    sum_raw,
+)
+from repro.gpusim.workload import KernelWorkload
+from repro.kernels.base import Kernel
+
+__all__ = ["RunRecord", "Profiler"]
+
+
+@dataclass
+class RunRecord:
+    """One profiled application run — a row of the experimental dataset."""
+
+    kernel: str
+    arch: str
+    family: str
+    problem: object
+    characteristics: dict[str, float]
+    counters: dict[str, float]
+    time_s: float
+    replicate: int = 0
+    machine: dict[str, float] = field(default_factory=dict)
+    #: Average board power during the run (W); None when the platform
+    #: has no power interface (the paper reads power via nvidia-smi "on
+    #: the Kepler architecture", so Fermi runs record None).
+    power_w: float | None = None
+
+    def predictors(
+        self,
+        counter_names: list[str],
+        include_characteristics: bool = True,
+        include_machine: bool = False,
+    ) -> tuple[list[str], np.ndarray]:
+        """Assemble this run's predictor vector in a stable column order."""
+        names: list[str] = list(counter_names)
+        values = [self.counters[c] for c in counter_names]
+        if include_characteristics:
+            for key in sorted(self.characteristics):
+                names.append(key)
+                values.append(self.characteristics[key])
+        if include_machine:
+            for key in sorted(self.machine):
+                names.append(key)
+                values.append(self.machine[key])
+        return names, np.asarray(values, dtype=float)
+
+
+class Profiler:
+    """Collects counter data for kernel models on one architecture.
+
+    Parameters
+    ----------
+    arch:
+        The (simulated) GPU to profile on.
+    noise_scale:
+        Dispersion scale of the per-run perturbation draws
+        (:class:`~repro.gpusim.noise.Perturbation`); 1.0 is calibrated
+        to typical few-percent GPU run-to-run variance, 0 disables all
+        nondeterminism.
+    measurement_sigma:
+        Per-counter multiplicative measurement error (multi-pass
+        counter multiplexing); disabled when ``noise_scale`` is 0.
+    rng:
+        Seed/generator for the perturbation draws.
+    """
+
+    def __init__(
+        self,
+        arch,
+        noise_scale: float = 1.0,
+        measurement_sigma: float = 0.02,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if measurement_sigma < 0:
+            raise ValueError("measurement_sigma must be >= 0")
+        self.arch = arch
+        self.noise_scale = noise_scale
+        self.measurement_sigma = measurement_sigma * (1.0 if noise_scale > 0 else 0.0)
+        self._rng = np.random.default_rng(rng)
+        if arch.family == "cpu":
+            from repro.cpusim.simulator import CPUSimulator
+
+            self._sim = CPUSimulator(arch)
+        else:
+            self._sim = GPUSimulator(arch)
+        self._workload_cache: dict[tuple[str, object], list] = {}
+
+    def _workloads(self, kernel: Kernel, problem: object) -> list[KernelWorkload]:
+        key = (kernel.name, problem)
+        workloads = self._workload_cache.get(key)
+        if workloads is None:
+            try:
+                workloads = kernel.workloads(problem, self.arch)
+            except AttributeError as exc:
+                raise ValueError(
+                    f"kernel {kernel.name!r} cannot run on architecture "
+                    f"{self.arch.name!r} ({self.arch.family}): {exc}"
+                ) from None
+            self._workload_cache[key] = workloads
+        return workloads
+
+    def profile(
+        self, kernel: Kernel, problem: object, replicates: int = 1
+    ) -> list[RunRecord]:
+        """Profile ``replicates`` runs of one kernel/problem pair.
+
+        Each replicate is a fresh simulated execution under its own
+        perturbation draw, like back-to-back nvprof runs.
+        """
+        if replicates < 1:
+            raise ValueError("replicates must be >= 1")
+        workloads = self._workloads(kernel, problem)
+        records = []
+        machine = self.arch.machine_metrics()
+        for rep in range(replicates):
+            pert = Perturbation.draw(self._rng, scale=self.noise_scale)
+            if self.arch.family == "cpu":
+                from repro.cpusim.simulator import cpu_average_power_w
+
+                counters, time_s = self._sim.run(workloads, pert)
+                # package power is readable on CPUs (RAPL)
+                power_w = cpu_average_power_w(
+                    self.arch,
+                    counters["instructions"],
+                    counters["cpu_mem_bandwidth"] * time_s * 1e9,
+                    time_s,
+                )
+            else:
+                profiles = [self._sim.launch(wl, pert) for wl in workloads]
+                totals = sum_raw(profiles)
+                counters, time_s = finalize_counters(
+                    self.arch, totals, time_scale=pert.time_jitter
+                )
+                power_w = (
+                    average_power_w(self.arch, totals, time_s)
+                    if self.arch.family == "kepler"
+                    else None
+                )
+            values = counters.as_dict()
+            if self.measurement_sigma > 0:
+                # nvprof collects counter groups in separate replayed
+                # passes (counter multiplexing); values observed for one
+                # "run" therefore carry independent per-counter
+                # measurement error on top of the mechanism perturbation.
+                for name in values:
+                    values[name] *= float(
+                        np.exp(self._rng.normal(0.0, self.measurement_sigma))
+                    )
+            records.append(
+                RunRecord(
+                    kernel=kernel.name,
+                    arch=self.arch.name,
+                    family=self.arch.family,
+                    problem=problem,
+                    characteristics=kernel.characteristics(problem),
+                    counters=values,
+                    time_s=time_s,
+                    replicate=rep,
+                    machine=machine,
+                    power_w=power_w,
+                )
+            )
+        return records
+
+    def clear_cache(self) -> None:
+        self._workload_cache.clear()

@@ -1,0 +1,146 @@
+"""Structured on-disk repository for profiling campaigns.
+
+The paper stores collected data "in either a database or a structured
+repository (we used the latter)" (Section 4.3). This module implements
+that structured repository: one directory per campaign holding a CSV
+table of runs and a JSON metadata sidecar, addressable by
+(kernel, architecture) and safely round-trippable.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from .campaign import CampaignResult
+from .profiler import RunRecord
+
+__all__ = ["Repository"]
+
+_META = "meta.json"
+_DATA = "runs.csv"
+
+
+def _campaign_dir(kernel: str, arch: str) -> str:
+    safe = lambda s: "".join(c if c.isalnum() or c in "-_." else "_" for c in s)
+    return f"{safe(kernel)}__{safe(arch)}"
+
+
+class Repository:
+    """Filesystem-backed store of :class:`CampaignResult` objects."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- write ---------------------------------------------------------------
+
+    def save(self, result: CampaignResult, tag: str | None = None) -> Path:
+        """Persist a campaign; returns its directory."""
+        if not result.records:
+            raise ValueError("refusing to save an empty campaign")
+        name = _campaign_dir(result.kernel, result.arch)
+        if tag:
+            name += f"__{tag}"
+        cdir = self.root / name
+        cdir.mkdir(parents=True, exist_ok=True)
+
+        counter_names = result.counter_names
+        char_names = result.characteristic_names
+        machine_names = sorted(result.records[0].machine)
+
+        meta = {
+            "kernel": result.kernel,
+            "arch": result.arch,
+            "family": result.family,
+            "n_runs": len(result.records),
+            "counters": counter_names,
+            "characteristics": char_names,
+            "machine_metrics": machine_names,
+        }
+        (cdir / _META).write_text(json.dumps(meta, indent=2))
+
+        header = (
+            ["problem", "replicate", "time_s", "power_w"]
+            + [f"char:{c}" for c in char_names]
+            + [f"counter:{c}" for c in counter_names]
+            + [f"machine:{m}" for m in machine_names]
+        )
+        with open(cdir / _DATA, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(header)
+            for r in result.records:
+                writer.writerow(
+                    [json.dumps(r.problem), r.replicate, repr(r.time_s),
+                     "" if r.power_w is None else repr(r.power_w)]
+                    + [repr(r.characteristics[c]) for c in char_names]
+                    + [repr(r.counters[c]) for c in counter_names]
+                    + [repr(r.machine[m]) for m in machine_names]
+                )
+        return cdir
+
+    # -- read ----------------------------------------------------------------
+
+    def list_campaigns(self) -> list[dict]:
+        """Metadata of every stored campaign."""
+        out = []
+        for meta_path in sorted(self.root.glob(f"*/{_META}")):
+            out.append(json.loads(meta_path.read_text()))
+        return out
+
+    def load(self, kernel: str, arch: str, tag: str | None = None) -> CampaignResult:
+        name = _campaign_dir(kernel, arch)
+        if tag:
+            name += f"__{tag}"
+        cdir = self.root / name
+        meta_path = cdir / _META
+        if not meta_path.exists():
+            raise FileNotFoundError(f"no campaign stored for {kernel!r} on {arch!r}")
+        meta = json.loads(meta_path.read_text())
+
+        result = CampaignResult(
+            kernel=meta["kernel"], arch=meta["arch"], family=meta["family"]
+        )
+        with open(cdir / _DATA, newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader)
+            for row in reader:
+                rec = dict(zip(header, row))
+                result.records.append(
+                    RunRecord(
+                        kernel=meta["kernel"],
+                        arch=meta["arch"],
+                        family=meta["family"],
+                        problem=json.loads(rec["problem"]),
+                        replicate=int(rec["replicate"]),
+                        time_s=float(rec["time_s"]),
+                        power_w=(
+                            float(rec["power_w"])
+                            if rec.get("power_w") not in (None, "")
+                            else None
+                        ),
+                        characteristics={
+                            c: float(rec[f"char:{c}"]) for c in meta["characteristics"]
+                        },
+                        counters={
+                            c: float(rec[f"counter:{c}"]) for c in meta["counters"]
+                        },
+                        machine={
+                            m: float(rec[f"machine:{m}"])
+                            for m in meta["machine_metrics"]
+                        },
+                    )
+                )
+        if len(result.records) != meta["n_runs"]:
+            raise ValueError(
+                f"repository corrupt: expected {meta['n_runs']} runs, "
+                f"found {len(result.records)}"
+            )
+        return result
+
+    def has(self, kernel: str, arch: str, tag: str | None = None) -> bool:
+        name = _campaign_dir(kernel, arch)
+        if tag:
+            name += f"__{tag}"
+        return (self.root / name / _META).exists()

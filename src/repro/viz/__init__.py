@@ -1,0 +1,21 @@
+"""Plain-text visualization of the toolchain's figures."""
+
+from .text import (
+    bar_chart,
+    dependence_plot,
+    importance_chart,
+    line_plot,
+    loadings_table,
+    prediction_table,
+    table,
+)
+
+__all__ = [
+    "bar_chart",
+    "dependence_plot",
+    "importance_chart",
+    "line_plot",
+    "loadings_table",
+    "prediction_table",
+    "table",
+]

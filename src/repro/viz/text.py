@@ -1,0 +1,175 @@
+"""Plain-text rendering of the paper's figure types.
+
+Keeps every visual artifact inspectable in a terminal/CI log: variable
+importance bars (Figs. 2a/3a/4a/5a/6a/8a/8b), partial dependence curves
+(Figs. 2b/3b/4b), PCA loading tables (Figs. 2c/3c), predicted-vs-
+measured tables (Figs. 5b/6b/7/8c) and counter-model quality tables
+(Figs. 5c/6c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bar_chart",
+    "line_plot",
+    "table",
+    "importance_chart",
+    "dependence_plot",
+    "loadings_table",
+    "prediction_table",
+]
+
+_BAR = "#"
+
+
+def bar_chart(
+    labels: list[str],
+    values: np.ndarray,
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Horizontal ASCII bar chart, one row per label."""
+    values = np.asarray(values, dtype=float)
+    if len(labels) != values.size:
+        raise ValueError("labels/values length mismatch")
+    lines = [title] if title else []
+    if values.size == 0:
+        return "\n".join(lines + ["(empty)"])
+    label_w = max(len(l) for l in labels)
+    vmax = float(np.max(np.abs(values))) or 1.0
+    for label, v in zip(labels, values):
+        n = int(round(abs(v) / vmax * width))
+        lines.append(f"{label:<{label_w}} | {_BAR * n} {v:.3g}")
+    return "\n".join(lines)
+
+
+def line_plot(
+    x: np.ndarray,
+    y: np.ndarray,
+    height: int = 12,
+    width: int = 60,
+    title: str | None = None,
+) -> str:
+    """Scatter/line rendering on a character grid."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size != y.size or x.size == 0:
+        raise ValueError("x and y must be non-empty and equally long")
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = float(x.min()), float(x.max())
+    y_lo, y_hi = float(y.min()), float(y.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    for xi, yi in zip(x, y):
+        col = int((xi - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((yi - y_lo) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = [title] if title else []
+    lines.append(f"{y_hi:.3g}".rjust(10))
+    lines.extend("          |" + "".join(row) for row in grid)
+    lines.append(f"{y_lo:.3g}".rjust(10) + " +" + "-" * width)
+    lines.append(" " * 12 + f"{x_lo:.3g}".ljust(width // 2) + f"{x_hi:.3g}".rjust(width // 2))
+    return "\n".join(lines)
+
+
+def table(headers: list[str], rows: list[tuple], title: str | None = None) -> str:
+    """Fixed-width text table."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [title] if title else []
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+def importance_chart(ranking, k: int = 12, title: str | None = None) -> str:
+    """Variable-importance figure (paper Figs. 2a etc.)."""
+    rows = ranking.as_rows()[:k]
+    return bar_chart(
+        [r[0] for r in rows],
+        np.array([r[1] for r in rows]),
+        title=title or "Variable importance (%IncMSE)",
+    )
+
+
+def dependence_plot(pd, title: str | None = None) -> str:
+    """Partial dependence figure (paper Figs. 2b etc.).
+
+    When the dependence carries a confidence band (the Section 7
+    extension), the band edges are overlaid as '.' rows around the '*'
+    mean curve.
+    """
+    base_title = title or (
+        f"Partial dependence of time on {pd.feature} ({pd.direction()})"
+    )
+    if not getattr(pd, "has_band", False):
+        return line_plot(pd.grid, pd.values, title=base_title)
+
+    height, width = 12, 60
+    y_lo = float(min(pd.lower.min(), pd.values.min()))
+    y_hi = float(max(pd.upper.max(), pd.values.max()))
+    x_lo, x_hi = float(pd.grid.min()), float(pd.grid.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid_chars = [[" "] * width for _ in range(height)]
+
+    def put(x, y, ch, keep="*"):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        if grid_chars[row][col] != keep:
+            grid_chars[row][col] = ch
+
+    for x, lo, hi in zip(pd.grid, pd.lower, pd.upper):
+        put(x, lo, ".")
+        put(x, hi, ".")
+    for x, y in zip(pd.grid, pd.values):
+        put(x, y, "*", keep="")
+
+    lines = [base_title + "  ('.' = confidence band)"]
+    lines.append(f"{y_hi:.3g}".rjust(10))
+    lines.extend("          |" + "".join(row) for row in grid_chars)
+    lines.append(f"{y_lo:.3g}".rjust(10) + " +" + "-" * width)
+    lines.append(" " * 12 + f"{x_lo:.3g}".ljust(width // 2)
+                 + f"{x_hi:.3g}".rjust(width // 2))
+    return "\n".join(lines)
+
+
+def loadings_table(loadings, threshold: float = 0.3, title: str | None = None) -> str:
+    """Rotated factor loadings (paper Figs. 2c/3c); small loadings blanked."""
+    headers = ["variable"] + loadings.components
+    rows = []
+    for i, name in enumerate(loadings.names):
+        row = [name]
+        for j in range(len(loadings.components)):
+            v = loadings.values[i, j]
+            row.append(f"{v:+.2f}" if abs(v) >= threshold else "")
+        rows.append(tuple(row))
+    return table(headers, rows, title=title or "PCA factor loadings (varimax)")
+
+
+def prediction_table(report, title: str | None = None) -> str:
+    """Predicted vs measured execution times (paper Figs. 5b/6b/7/8c)."""
+    rows = [
+        (p, f"{pred * 1e3:.4g} ms", f"{meas * 1e3:.4g} ms",
+         f"{100 * (pred - meas) / meas:+.1f}%")
+        for p, pred, meas in report.rows()
+    ]
+    body = table(["problem", "predicted", "measured", "error"], rows, title=title)
+    return (
+        body
+        + f"\nMSE={report.mse:.4g}  explained variance="
+        + f"{100 * report.explained_variance:.1f}%"
+    )

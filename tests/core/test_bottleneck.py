@@ -1,0 +1,107 @@
+"""Tests for bottleneck pattern detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.bottleneck import PATTERNS, detect_bottlenecks
+from repro.core.importance import ImportanceRanking
+
+
+def ranking_of(names):
+    return ImportanceRanking(
+        names=list(names), scores=np.arange(len(names), 0, -1, dtype=float)
+    )
+
+
+class TestPatternLibrary:
+    def test_patterns_have_witnesses_and_remedies(self):
+        for p in PATTERNS:
+            assert p.witnesses
+            assert p.remedy
+            assert p.description
+
+    def test_pattern_keys_unique(self):
+        keys = [p.key for p in PATTERNS]
+        assert len(keys) == len(set(keys))
+
+    def test_all_witnesses_are_known_counters_or_size(self):
+        from repro.gpusim.counters import CATALOGUE
+
+        for p in PATTERNS:
+            for w in p.witnesses:
+                assert w in CATALOGUE, w
+
+
+class TestDetection:
+    def test_bank_conflict_detection(self):
+        ranking = ranking_of(
+            ["shared_replay_overhead", "inst_replay_overhead", "ipc",
+             "gld_request", "branch", "shared_load", "gst_request",
+             "divergent_branch"]
+        )
+        findings = detect_bottlenecks(ranking, top_k=3)
+        assert findings[0].pattern.key == "shared_bank_conflicts"
+        assert "shared_replay_overhead" in findings[0].evidence
+
+    def test_occupancy_detection(self):
+        ranking = ranking_of(
+            ["achieved_occupancy", "ipc", "gld_request", "branch",
+             "shared_load", "gst_request"]
+        )
+        findings = detect_bottlenecks(ranking, top_k=2)
+        assert findings[0].pattern.key == "low_occupancy"
+
+    def test_bandwidth_detection(self):
+        ranking = ranking_of(
+            ["dram_read_throughput", "gst_throughput", "ipc",
+             "branch", "shared_load", "divergent_branch"]
+        )
+        findings = detect_bottlenecks(ranking, top_k=2)
+        assert findings[0].pattern.key == "bandwidth"
+
+    def test_findings_ordered_by_effective_rank(self):
+        ranking = ranking_of(
+            ["divergent_branch", "l1_global_load_miss", "gld_request",
+             "achieved_occupancy", "ipc", "branch"]
+        )
+        findings = detect_bottlenecks(ranking, top_k=4)
+        keys = [f.best_rank + (2 if f.pattern.generic else 0) for f in findings]
+        assert keys == sorted(keys)
+        assert findings[0].pattern.key == "divergence"
+
+    def test_specific_pathology_beats_generic_symptom(self):
+        # generic volume pattern at rank 0, pathology at rank 1: the
+        # pathology is the actionable primary finding
+        ranking = ranking_of(
+            ["shared_store", "shared_replay_overhead", "ipc", "branch",
+             "gld_request", "inst_executed"]
+        )
+        findings = detect_bottlenecks(ranking, top_k=2)
+        assert findings[0].pattern.key == "shared_bank_conflicts"
+
+    def test_widens_search_when_nothing_matches(self):
+        # top-1 is not a witness of anything -> recursion widens top_k
+        ranking = ranking_of(
+            ["inst_executed", "branch", "divergent_branch", "gld_request"]
+        )
+        findings = detect_bottlenecks(ranking, top_k=1)
+        assert findings  # found something deeper in the ranking
+
+    def test_describe_is_readable(self):
+        ranking = ranking_of(["shared_replay_overhead", "ipc", "branch",
+                              "gld_request", "shared_load", "gst_request"])
+        text = detect_bottlenecks(ranking)[0].describe()
+        assert "shared_bank_conflicts" in text
+        assert "remedy" in text
+
+    def test_top_k_validation(self):
+        with pytest.raises(ValueError):
+            detect_bottlenecks(ranking_of(["ipc"]), top_k=0)
+
+    def test_kepler_replay_witnesses(self):
+        ranking = ranking_of(
+            ["shared_load_replay", "shared_store_replay", "ipc",
+             "gld_request", "branch", "inst_executed"]
+        )
+        findings = detect_bottlenecks(ranking, top_k=2)
+        assert findings[0].pattern.key == "shared_bank_conflicts"

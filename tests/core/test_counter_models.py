@@ -1,0 +1,98 @@
+"""Tests for the GLM/MARS counter models."""
+
+import numpy as np
+import pytest
+
+from repro.core.counter_models import CounterModelSet
+
+
+def synthetic_series(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.linspace(64, 4096, n)
+    return x, {
+        "linear_counter": 3.0 * x + 100.0,
+        "cubic_counter": x**3 / 1e6,
+        "saturating_counter": 50.0 * x / (x + 500.0),  # needs MARS/hinges
+        "constant_counter": np.full(n, 7.0),
+        "noisy_counter": 2 * x + 10 * rng.normal(size=n),
+    }
+
+
+class TestFitting:
+    def test_all_counters_modeled(self):
+        x, series = synthetic_series()
+        cms = CounterModelSet().fit_arrays(x, series)
+        assert set(cms.models) == set(series)
+
+    def test_polynomials_get_glm(self):
+        x, series = synthetic_series()
+        cms = CounterModelSet().fit_arrays(x, series)
+        assert cms.models["linear_counter"].kind == "glm"
+        assert cms.models["cubic_counter"].kind == "glm"
+        assert cms.models["linear_counter"].r_squared > 0.999
+
+    def test_constant_counter_exact(self):
+        x, series = synthetic_series()
+        cms = CounterModelSet().fit_arrays(x, series)
+        m = cms.models["constant_counter"]
+        assert m.r_squared == 1.0
+        assert np.allclose(m.predict(np.array([100.0, 9999.0])), 7.0)
+
+    def test_prefer_mars_mode(self):
+        x, series = synthetic_series()
+        cms = CounterModelSet(prefer_mars=True).fit_arrays(x, series)
+        kinds = {m.kind for m in cms.models.values() if m.counter != "constant_counter"}
+        assert "mars" in kinds
+
+    def test_characteristic_not_modeled(self):
+        x, series = synthetic_series()
+        series["size"] = x.copy()
+        cms = CounterModelSet(characteristic="size").fit_arrays(x, series)
+        assert "size" not in cms.models
+
+    def test_quality_table(self):
+        x, series = synthetic_series()
+        rows = CounterModelSet().fit_arrays(x, series).quality_table()
+        assert len(rows) == len(series)
+        names = [r[0] for r in rows]
+        assert names == sorted(names)
+
+    def test_average_r_squared(self):
+        x, series = synthetic_series()
+        cms = CounterModelSet().fit_arrays(x, series)
+        assert 0.9 < cms.average_r_squared <= 1.0
+
+    def test_average_requires_models(self):
+        with pytest.raises(ValueError):
+            CounterModelSet().average_r_squared
+
+
+class TestPrediction:
+    def test_interpolation_accurate(self):
+        x, series = synthetic_series()
+        cms = CounterModelSet().fit_arrays(x, series)
+        probe = np.array([1000.0, 2000.0])
+        pred = cms.predict_counters(probe)
+        assert np.allclose(pred["linear_counter"], 3 * probe + 100, rtol=0.01)
+        assert np.allclose(pred["cubic_counter"], probe**3 / 1e6, rtol=0.05)
+
+    def test_predictor_rows_order(self):
+        x, series = synthetic_series()
+        cms = CounterModelSet(characteristic="size").fit_arrays(x, series)
+        rows = cms.predictor_rows(
+            np.array([512.0]), ["linear_counter", "size", "cubic_counter"]
+        )
+        assert rows.shape == (1, 3)
+        assert rows[0, 1] == 512.0
+
+    def test_predictor_rows_missing_model(self):
+        x, series = synthetic_series()
+        cms = CounterModelSet().fit_arrays(x, series)
+        with pytest.raises(KeyError):
+            cms.predictor_rows(np.array([1.0]), ["unmodeled"])
+
+    def test_scalar_input(self):
+        x, series = synthetic_series()
+        cms = CounterModelSet().fit_arrays(x, series)
+        pred = cms.predict_counters(777.0)
+        assert pred["linear_counter"].shape == (1,)

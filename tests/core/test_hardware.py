@@ -1,0 +1,141 @@
+"""Tests for hardware scaling (the Fig. 7 / Fig. 8 flow)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hardware import (
+    HardwareScalingPredictor,
+    common_predictors,
+    importance_similarity,
+    mixed_variable_set,
+    per_arch_importance,
+)
+from repro.core.importance import ImportanceRanking
+
+
+class TestCommonPredictors:
+    def test_drops_arch_specific_counters(self, nw_campaign, nw_campaign_k20m):
+        common = common_predictors(nw_campaign, nw_campaign_k20m)
+        assert "l1_global_load_miss" not in common
+        assert "l1_shared_bank_conflict" not in common
+        assert "shared_load_replay" not in common
+        assert "gld_request" in common
+        assert "achieved_occupancy" in common
+
+
+class TestPerArchImportance:
+    def test_fermi_nw_features_caching_counters(self, nw_campaign):
+        ranking = per_arch_importance(nw_campaign, n_trees=120, rng=5)
+        # "caching related variables ... are among the most influential
+        # predictors for the GTX580" (Fig. 8a)
+        caching = {"l1_global_load_miss", "l1_shared_bank_conflict",
+                   "l2_read_transactions", "l2_write_transactions"}
+        assert set(ranking.top(8)) & caching
+
+    def test_kepler_nw_lacks_fermi_caching_counters(self, nw_campaign_k20m):
+        ranking = per_arch_importance(nw_campaign_k20m, n_trees=120, rng=5)
+        # "these same variables are ... totally unimportant for K20m"
+        # (Fig. 8b) — here structurally absent from the counter set.
+        assert "l1_global_load_miss" not in ranking.names
+        assert "l1_shared_bank_conflict" not in ranking.names
+
+
+class TestSimilarity:
+    def make(self, names):
+        return ImportanceRanking(
+            names=list(names), scores=np.arange(len(names), 0, -1, dtype=float)
+        )
+
+    def test_restricted_mode_ignores_arch_specific(self):
+        a = self.make(["fermi_only", "x", "y", "z"])
+        b = self.make(["x", "y", "z", "kepler_only"])
+        s = importance_similarity(a, b, k=3, restrict_to_shared=True)
+        assert s == pytest.approx(1.0)  # identical once restricted
+
+    def test_raw_mode_counts_arch_specific_as_disagreement(self):
+        a = self.make(["fermi_only", "x", "y", "z"])
+        b = self.make(["x", "y", "z", "kepler_only"])
+        raw = importance_similarity(a, b, k=3)
+        restricted = importance_similarity(a, b, k=3, restrict_to_shared=True)
+        assert raw < restricted
+
+    def test_disagreement_detected(self):
+        a = self.make(["x", "y", "z", "w"])
+        b = self.make(["w", "z", "y", "x"])
+        assert importance_similarity(a, b, k=4) < 0.7
+
+
+class TestMixedVariables:
+    def make(self, names):
+        return ImportanceRanking(
+            names=list(names), scores=np.arange(len(names), 0, -1, dtype=float)
+        )
+
+    def test_union_of_tops_with_size(self):
+        a = self.make(["p", "q", "r", "s"])
+        b = self.make(["r", "t", "u", "v"])
+        mixed = mixed_variable_set(a, b, k=2, common=["p", "q", "r", "t", "u"])
+        assert mixed[0] == "size"
+        assert "p" in mixed and "r" in mixed and "t" in mixed
+
+    def test_respects_common_restriction(self):
+        a = self.make(["fermi_specific", "x", "y"])
+        b = self.make(["x", "y", "z"])
+        mixed = mixed_variable_set(a, b, k=2, common=["x", "y", "z"])
+        assert "fermi_specific" not in mixed
+
+    def test_cap(self):
+        a = self.make([f"a{i}" for i in range(10)])
+        b = self.make([f"b{i}" for i in range(10)])
+        mixed = mixed_variable_set(
+            a, b, k=3,
+            common=[f"a{i}" for i in range(10)] + [f"b{i}" for i in range(10)],
+        )
+        assert len(mixed) <= 1 + 2 * 3
+
+
+class TestEndToEnd:
+    def test_mm_transfer_fermi_to_k20m(
+        self, matmul_campaign, matmul_campaign_gtx480, matmul_campaign_k20m
+    ):
+        # Fig. 7 protocol: inject "values of machine characteristics ...
+        # for different GPU architectures" — training data spans both
+        # Fermi cards so the machine metrics vary and the forest learns
+        # which counters transfer.
+        train = matmul_campaign.merged_with(matmul_campaign_gtx480)
+        common = common_predictors(train, matmul_campaign_k20m)
+        hw = HardwareScalingPredictor(n_trees=150, rng=3).fit(
+            train, common=common
+        )
+        result = hw.assess(matmul_campaign_k20m)
+        # "the predictions mostly match the measured execution times"
+        assert result.report.explained_variance > 0.7
+        assert result.test_arch == "K20m"
+
+    def test_nw_mixed_variables_work(self, nw_campaign, nw_campaign_k20m):
+        common = common_predictors(nw_campaign, nw_campaign_k20m)
+        ia = per_arch_importance(nw_campaign, n_trees=100, rng=5)
+        ib = per_arch_importance(nw_campaign_k20m, n_trees=100, rng=5)
+        mixed = mixed_variable_set(ia, ib, k=3, common=common)
+        hw = HardwareScalingPredictor(n_trees=120, rng=3).fit(
+            nw_campaign, variables=mixed, common=common
+        )
+        result = hw.assess(nw_campaign_k20m)
+        assert result.report.explained_variance > 0.3  # "less accurate"
+        assert result.variables == mixed
+
+    def test_unknown_variable_rejected(self, matmul_campaign):
+        with pytest.raises(ValueError, match="unknown variables"):
+            HardwareScalingPredictor(n_trees=10, rng=0).fit(
+                matmul_campaign, variables=["not_a_counter"]
+            )
+
+    def test_arch_specific_training_variables_rejected_at_assess(
+        self, nw_campaign, nw_campaign_k20m
+    ):
+        # training on a Fermi-only counter must fail when assessing K20m
+        hw = HardwareScalingPredictor(n_trees=10, rng=0).fit(
+            nw_campaign, variables=["size", "l1_global_load_miss"]
+        )
+        with pytest.raises(ValueError, match="lacks predictor"):
+            hw.assess(nw_campaign_k20m)

@@ -1,0 +1,126 @@
+"""Tests for importance ranking, reduced-model checks and similarity."""
+
+import numpy as np
+import pytest
+
+from repro.core.importance import (
+    ImportanceRanking,
+    rank_importance,
+    rank_similarity,
+    reduced_model_check,
+)
+from repro.ml.forest import RandomForestRegressor
+
+
+def fitted_forest(seed=0, n=120):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 5))
+    y = 5 * X[:, 0] + 2 * X[:, 3] + 0.1 * rng.normal(size=n)
+    rf = RandomForestRegressor(n_trees=60, rng=1).fit(
+        X, y, feature_names=["a", "b", "c", "d", "e"]
+    )
+    return rf, X, y
+
+
+class TestRanking:
+    def test_signal_features_lead(self):
+        rf, X, _ = fitted_forest()
+        ranking = rank_importance(rf, X)
+        assert set(ranking.top(2)) == {"a", "d"}
+
+    def test_scores_sorted(self):
+        rf, X, _ = fitted_forest()
+        ranking = rank_importance(rf, X)
+        assert list(ranking.scores) == sorted(ranking.scores, reverse=True)
+
+    def test_dependence_directions(self):
+        rf, X, _ = fitted_forest()
+        ranking = rank_importance(rf, X)
+        assert ranking.direction_of("a") == "positive"
+        assert ranking.direction_of("d") == "positive"
+
+    def test_dependence_only_for_leaders(self):
+        rf, X, _ = fitted_forest()
+        ranking = rank_importance(rf, X, top_k_dependence=2)
+        assert len(ranking.dependence) == 2
+        assert ranking.direction_of(ranking.names[-1]) == "unknown"
+
+    def test_rank_and_score_lookup(self):
+        rf, X, _ = fitted_forest()
+        ranking = rank_importance(rf, X)
+        leader = ranking.names[0]
+        assert ranking.rank_of(leader) == 0
+        assert ranking.score_of(leader) == ranking.scores[0]
+        with pytest.raises(ValueError):
+            ranking.rank_of("missing")
+
+    def test_as_rows(self):
+        rf, X, _ = fitted_forest()
+        rows = rank_importance(rf, X).as_rows()
+        assert len(rows) == 5
+        assert all(len(r) == 3 for r in rows)
+
+
+class TestReducedModel:
+    def test_top2_retains_power(self):
+        rf, X, y = fitted_forest(n=200)
+        ranking = rank_importance(rf, X)
+        reduced, retains, full, small = reduced_model_check(
+            rf, ranking, X[:160], y[:160], X[160:], y[160:], k=2, rng=0
+        )
+        assert retains
+        assert small > 0.8
+
+    def test_single_noise_feature_loses_power(self):
+        rf, X, y = fitted_forest(n=200)
+        ranking = rank_importance(rf, X)
+        # force the worst feature only
+        worst = ImportanceRanking(
+            names=list(reversed(ranking.names)),
+            scores=ranking.scores[::-1],
+        )
+        _, retains, _, small = reduced_model_check(
+            rf, worst, X[:160], y[:160], X[160:], y[160:], k=1, rng=0
+        )
+        assert not retains
+
+    def test_k_validation(self):
+        rf, X, y = fitted_forest()
+        ranking = rank_importance(rf, X)
+        with pytest.raises(ValueError):
+            reduced_model_check(rf, ranking, X, y, X, y, k=0)
+
+
+class TestRankSimilarity:
+    def make(self, names):
+        return ImportanceRanking(
+            names=list(names), scores=np.arange(len(names), 0, -1, dtype=float)
+        )
+
+    def test_identical_rankings(self):
+        a = self.make("abcde")
+        assert rank_similarity(a, a, k=5) == pytest.approx(1.0)
+
+    def test_disjoint_rankings(self):
+        a = self.make("abcde")
+        b = self.make("vwxyz")
+        assert rank_similarity(a, b, k=5) == 0.0
+
+    def test_partial_overlap_in_between(self):
+        a = self.make("abcde")
+        b = self.make("abxyz")
+        s = rank_similarity(a, b, k=5)
+        assert 0.0 < s < 1.0
+
+    def test_order_sensitivity(self):
+        a = self.make("abcde")
+        same_set_same_order = self.make("abcde")
+        same_set_reversed = self.make("edcba")
+        assert rank_similarity(a, same_set_same_order, k=5) > rank_similarity(
+            a, same_set_reversed, k=5
+        )
+
+    def test_k_validation(self):
+        a = self.make("ab")
+        with pytest.raises(ValueError):
+            rank_similarity(a, a, k=0)

@@ -1,0 +1,105 @@
+"""Tests for the BlackForest five-stage pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import BlackForest
+
+
+@pytest.fixture(scope="module")
+def reduce1_fit(reduce1_campaign):
+    return BlackForest(n_trees=150, rng=1).fit(
+        reduce1_campaign, include_characteristics=False
+    )
+
+
+class TestStage2Validation:
+    def test_oob_and_test_scores_high(self, reduce1_fit):
+        assert reduce1_fit.oob_explained_variance > 0.75
+        assert reduce1_fit.test_explained_variance > 0.8
+
+    def test_split_is_80_20(self, reduce1_fit):
+        n = len(reduce1_fit.y_train) + len(reduce1_fit.y_test)
+        assert len(reduce1_fit.y_test) == round(0.2 * n)
+
+    def test_constant_predictors_dropped(self, reduce1_fit):
+        # reduce1 on one arch: machine metrics not included, and any
+        # all-constant counters must be gone
+        X = np.vstack([reduce1_fit.X_train, reduce1_fit.X_test])
+        assert (X.std(axis=0) > 0).all()
+
+    def test_predict_from_dict(self, reduce1_fit):
+        rows = [
+            dict(zip(reduce1_fit.feature_names, reduce1_fit.X_test[0])),
+            dict(zip(reduce1_fit.feature_names, reduce1_fit.X_test[1])),
+        ]
+        pred = reduce1_fit.predict_from_dict(rows)
+        direct = reduce1_fit.predict(reduce1_fit.X_test[:2])
+        assert np.allclose(pred, direct)
+
+
+class TestStage3Importance:
+    def test_ranking_covers_all_predictors(self, reduce1_fit):
+        assert set(reduce1_fit.importance.names) == set(reduce1_fit.feature_names)
+
+    def test_replay_family_ranks_top(self, reduce1_fit):
+        # the reduce1 story: bank-conflict replays dominate
+        replay_family = {
+            "l1_shared_bank_conflict",
+            "shared_replay_overhead",
+            "inst_replay_overhead",
+            "inst_issued",
+        }
+        top5 = set(reduce1_fit.importance.top(5))
+        assert top5 & replay_family
+
+    def test_partial_dependence_for_leaders(self, reduce1_fit):
+        leader = reduce1_fit.importance.names[0]
+        pd = reduce1_fit.importance.dependence[leader]
+        assert pd.grid.size >= 2
+        assert pd.direction() in ("positive", "negative", "mixed")
+
+
+class TestStage4PCA:
+    def test_pca_present_and_variance_explained(self, reduce1_fit):
+        assert reduce1_fit.pca is not None
+        assert reduce1_fit.pca.explained_variance_ratio_.sum() >= 0.9
+
+    def test_loadings_cover_predictors(self, reduce1_fit):
+        assert reduce1_fit.pca.loadings.names == reduce1_fit.feature_names
+
+    def test_pca_optional(self, reduce1_campaign):
+        fit = BlackForest(n_trees=40, use_pca=False, rng=0).fit(reduce1_campaign)
+        assert fit.pca is None
+
+
+class TestStage5Interpretation:
+    def test_bottlenecks_detected(self, reduce1_fit):
+        assert reduce1_fit.bottlenecks
+        keys = [b.pattern.key for b in reduce1_fit.bottlenecks]
+        assert "shared_bank_conflicts" in keys
+
+    def test_reduced_model_retains_power(self, reduce1_fit):
+        assert reduce1_fit.reduced_retains_power
+        assert len(reduce1_fit.reduced_feature_names) == 6
+        assert reduce1_fit.reduced_test_explained_variance > 0.7
+
+
+class TestConfiguration:
+    def test_custom_counter_subset(self, reduce1_campaign):
+        fit = BlackForest(n_trees=30, use_pca=False, rng=0).fit(
+            reduce1_campaign, counters=["ipc", "gld_request", "inst_issued"]
+        )
+        assert set(fit.feature_names) <= {"ipc", "gld_request", "inst_issued", "size"}
+
+    def test_include_characteristics(self, reduce1_campaign):
+        fit = BlackForest(n_trees=30, use_pca=False, rng=0).fit(
+            reduce1_campaign, include_characteristics=True
+        )
+        assert "size" in fit.feature_names
+
+    def test_seed_reproducibility(self, reduce1_campaign):
+        a = BlackForest(n_trees=30, use_pca=False, rng=7).fit(reduce1_campaign)
+        b = BlackForest(n_trees=30, use_pca=False, rng=7).fit(reduce1_campaign)
+        assert a.importance.names == b.importance.names
+        assert a.test_mse == b.test_mse

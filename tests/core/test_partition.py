@@ -1,0 +1,104 @@
+"""Tests for heterogeneous CPU+GPU workload partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import HeterogeneousPartitioner, PartitionPlan
+
+
+class LinearDevice:
+    """Stand-in predictor: time = overhead + work / rate."""
+
+    def __init__(self, rate, overhead=0.0):
+        self.rate = rate
+        self.overhead = overhead
+
+    def predict(self, sizes):
+        sizes = np.asarray(sizes, dtype=float)
+        return self.overhead + sizes / self.rate
+
+
+class TestPlanning:
+    def test_equal_devices_split_in_half(self):
+        part = HeterogeneousPartitioner(LinearDevice(100.0), LinearDevice(100.0))
+        plan = part.plan(1000.0)
+        assert plan.cpu_share == pytest.approx(0.5, abs=0.02)
+
+    def test_split_proportional_to_rates(self):
+        # GPU 4x faster -> CPU gets ~1/5 of the work
+        part = HeterogeneousPartitioner(LinearDevice(100.0), LinearDevice(400.0))
+        plan = part.plan(1000.0)
+        assert plan.cpu_share == pytest.approx(0.2, abs=0.03)
+
+    def test_makespan_beats_best_single_device(self):
+        part = HeterogeneousPartitioner(LinearDevice(100.0), LinearDevice(300.0))
+        plan = part.plan(10_000.0)
+        assert plan.makespan_s < plan.best_single_device_s
+        assert plan.speedup_vs_best_device > 1.2
+
+    def test_overhead_pushes_small_work_to_one_device(self):
+        # the GPU has a large fixed launch overhead: tiny workloads
+        # should run entirely on the CPU
+        part = HeterogeneousPartitioner(
+            LinearDevice(100.0, overhead=0.0),
+            LinearDevice(10_000.0, overhead=10.0),
+            min_chunk=1.0,
+        )
+        plan = part.plan(50.0)
+        assert plan.cpu_share == pytest.approx(1.0)
+        assert plan.gpu_time_s == 0.0
+
+    def test_min_chunk_collapses_slivers(self):
+        part = HeterogeneousPartitioner(
+            LinearDevice(1.0), LinearDevice(1000.0), min_chunk=100.0
+        )
+        plan = part.plan(150.0)
+        # a <100-unit CPU sliver is not worth scheduling
+        assert plan.cpu_share in (0.0, 1.0) or plan.cpu_share * 150.0 >= 100.0
+
+    def test_sweep(self):
+        part = HeterogeneousPartitioner(LinearDevice(100.0), LinearDevice(200.0))
+        plans = part.sweep([100.0, 1000.0, 10_000.0])
+        assert len(plans) == 3
+        assert all(isinstance(p, PartitionPlan) for p in plans)
+
+    def test_validation(self):
+        part = HeterogeneousPartitioner(LinearDevice(1.0), LinearDevice(1.0))
+        with pytest.raises(ValueError):
+            part.plan(0.0)
+        with pytest.raises(ValueError):
+            HeterogeneousPartitioner(None, None, resolution=2)
+        with pytest.raises(ValueError):
+            HeterogeneousPartitioner(None, None, min_chunk=-1.0)
+
+
+class TestEndToEnd:
+    def test_cpu_gpu_stencil_partition(self):
+        """Real models: CPU and GPU stencil campaigns drive the split."""
+        from repro import BlackForest, Campaign, GTX580, XEON_E5
+        from repro.core.prediction import ProblemScalingPredictor
+        from repro.kernels import StencilKernel
+        from repro.kernels.cpu import CpuStencilKernel
+
+        sizes = [128, 192, 256, 384, 512, 768, 1024, 1536, 2048]
+        gpu_campaign = Campaign(StencilKernel(), GTX580, rng=0).run(
+            problems=sizes, replicates=2
+        )
+        cpu_campaign = Campaign(CpuStencilKernel(), XEON_E5, rng=1).run(
+            problems=sizes, replicates=2
+        )
+        gpu_pred = ProblemScalingPredictor(
+            BlackForest(n_trees=80, use_pca=False, min_samples_leaf=3, rng=2),
+            rng=3,
+        ).fit(gpu_campaign)
+        cpu_pred = ProblemScalingPredictor(
+            BlackForest(n_trees=80, use_pca=False, min_samples_leaf=3, rng=4),
+            rng=5,
+        ).fit(cpu_campaign)
+
+        part = HeterogeneousPartitioner(cpu_pred, gpu_pred, min_chunk=128.0)
+        plan = part.plan(1536.0)
+        # the GPU is the faster device for stencils: it gets the bulk,
+        # but the CPU contribution is nonzero at this size
+        assert plan.cpu_share < 0.5
+        assert plan.makespan_s <= plan.best_single_device_s * 1.05

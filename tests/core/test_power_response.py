@@ -1,0 +1,101 @@
+"""Tests for the power-response extension (paper Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro import BlackForest, Campaign, GTX580, K20M, ReductionKernel, VectorAddKernel
+from repro.gpusim import GPUSimulator
+from repro.gpusim.simulator import average_power_w, sum_raw
+
+
+@pytest.fixture(scope="module")
+def k20m_campaign():
+    sizes = [int(s) for s in np.round(np.logspace(16, 23, 30, base=2.0))]
+    return Campaign(ReductionKernel(6), K20M, rng=0).run(problems=sizes)
+
+
+class TestPowerModel:
+    def test_power_between_static_and_tdp(self, k20m_campaign):
+        powers = k20m_campaign.powers()
+        assert np.all(powers >= K20M.static_power_w)
+        assert np.all(powers <= K20M.tdp_w)
+
+    def test_busy_kernel_draws_more_than_idle(self):
+        sim = GPUSimulator(K20M)
+        wl = VectorAddKernel().workloads(1 << 24, K20M)
+        _, t, profs = sim.run(wl)
+        power = average_power_w(K20M, sum_raw(profs), t)
+        assert power > K20M.static_power_w + 10.0
+
+    def test_bandwidth_bound_power_grows_with_utilization(self):
+        # larger streaming runs amortize launch overhead -> higher
+        # average utilization -> higher average draw
+        sim = GPUSimulator(K20M)
+        k = VectorAddKernel()
+        powers = []
+        for n in (1 << 16, 1 << 20, 1 << 24):
+            _, t, profs = sim.run(k.workloads(n, K20M))
+            powers.append(average_power_w(K20M, sum_raw(profs), t))
+        assert powers[0] < powers[1] < powers[2]
+
+    def test_zero_time_returns_static(self):
+        assert average_power_w(K20M, {}, 0.0) == K20M.static_power_w
+
+    def test_clipped_at_tdp(self):
+        absurd = {"dynamic_energy_j": 1e9}
+        assert average_power_w(K20M, absurd, 1.0) == K20M.tdp_w
+
+
+class TestPowerRecords:
+    def test_kepler_records_power(self, k20m_campaign):
+        assert all(r.power_w is not None for r in k20m_campaign.records)
+
+    def test_fermi_records_none(self):
+        c = Campaign(ReductionKernel(6), GTX580, rng=0).run(problems=[1 << 18])
+        assert c.records[0].power_w is None
+        with pytest.raises(ValueError, match="power"):
+            c.powers()
+        with pytest.raises(ValueError, match="power"):
+            c.matrix(response="power")
+
+    def test_power_response_matrix(self, k20m_campaign):
+        X, y, names = k20m_campaign.matrix(response="power")
+        assert np.array_equal(y, k20m_campaign.powers())
+        Xt, yt, _ = k20m_campaign.matrix(response="time")
+        assert np.array_equal(X, Xt)
+        assert not np.array_equal(y, yt)
+
+    def test_invalid_response_rejected(self, k20m_campaign):
+        with pytest.raises(ValueError, match="response"):
+            k20m_campaign.matrix(response="temperature")
+
+
+class TestPowerPipeline:
+    def test_blackforest_power_fit(self, k20m_campaign):
+        fit = BlackForest(n_trees=120, rng=1).fit(
+            k20m_campaign, response="power"
+        )
+        assert fit.oob_explained_variance > 0.7
+
+    def test_power_importance_activity_driven(self, k20m_campaign):
+        fit = BlackForest(n_trees=150, importance_repeats=2, rng=1).fit(
+            k20m_campaign, response="power"
+        )
+        rate_family = {
+            "gst_requested_throughput", "gld_requested_throughput",
+            "gst_throughput", "gld_throughput", "dram_read_throughput",
+            "dram_write_throughput", "l2_read_throughput",
+            "l2_write_throughput", "ipc", "issue_slot_utilization",
+        }
+        top4 = set(fit.importance.top(4))
+        assert top4 & rate_family, f"power not rate-driven: {top4}"
+
+    def test_power_vs_time_models_differ(self, k20m_campaign):
+        time_fit = BlackForest(n_trees=80, rng=1).fit(k20m_campaign)
+        power_fit = BlackForest(n_trees=80, rng=1).fit(
+            k20m_campaign, response="power"
+        )
+        assert not np.allclose(
+            time_fit.forest.predict(time_fit.X_test),
+            power_fit.forest.predict(power_fit.X_test),
+        )

@@ -1,0 +1,73 @@
+"""Tests for problem-scaling prediction (the Fig. 5b / 6b flow)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import BlackForest
+from repro.core.prediction import PredictionReport, ProblemScalingPredictor
+from repro.gpusim import GTX580
+from repro.kernels import MatMulKernel
+from repro.profiling import Campaign
+
+
+@pytest.fixture(scope="module")
+def mm_predictor(matmul_campaign):
+    return ProblemScalingPredictor(
+        BlackForest(n_trees=150, rng=1), rng=2
+    ).fit(matmul_campaign)
+
+
+class TestPredictionReport:
+    def test_metrics(self):
+        rep = PredictionReport(
+            problems=np.array([1.0, 2.0]),
+            predicted_s=np.array([1.0, 2.2]),
+            measured_s=np.array([1.0, 2.0]),
+        )
+        assert rep.mse == pytest.approx(0.02)
+        assert 0 < rep.explained_variance <= 1.0
+        assert rep.mean_relative_error == pytest.approx(0.05)
+        assert len(rep.rows()) == 2
+
+
+class TestProblemScaling:
+    def test_retained_includes_characteristic(self, mm_predictor):
+        assert "size" in mm_predictor.retained_
+
+    def test_counter_models_cover_retained(self, mm_predictor):
+        modeled = set(mm_predictor.counter_models_.models)
+        needed = set(mm_predictor.retained_) - {"size"}
+        assert needed <= modeled
+
+    def test_unseen_sizes_predicted_well(self, mm_predictor):
+        # sizes inside the training range but never collected
+        eval_camp = Campaign(MatMulKernel(), GTX580, rng=99).run(
+            problems=[96, 256, 448, 640, 896], replicates=1
+        )
+        report = mm_predictor.report(eval_camp)
+        assert report.explained_variance > 0.8
+
+    def test_predict_monotone_in_size(self, mm_predictor):
+        times = mm_predictor.predict(np.array([64.0, 256.0, 768.0]))
+        assert times[0] < times[1] < times[2]
+
+    def test_report_on_training_campaign_is_excellent(
+        self, mm_predictor, matmul_campaign
+    ):
+        report = mm_predictor.report(matmul_campaign)
+        assert report.explained_variance > 0.9
+
+    def test_missing_characteristic_rejected(self, matmul_campaign):
+        with pytest.raises(ValueError, match="characteristic"):
+            ProblemScalingPredictor(
+                BlackForest(n_trees=20, use_pca=False, rng=0),
+                characteristic="wavelength",
+            ).fit(matmul_campaign)
+
+    def test_mars_mode(self, matmul_campaign):
+        pred = ProblemScalingPredictor(
+            BlackForest(n_trees=60, use_pca=False, rng=1),
+            prefer_mars=True, rng=2,
+        ).fit(matmul_campaign)
+        report = pred.report(matmul_campaign)
+        assert report.explained_variance > 0.85

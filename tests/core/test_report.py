@@ -1,0 +1,121 @@
+"""Tests for report rendering and the viz layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import BlackForest
+from repro.core.prediction import PredictionReport
+from repro.core.report import bottleneck_report, fit_summary, prediction_report_text
+from repro.viz.text import bar_chart, line_plot, loadings_table, table
+from repro.ml.pca import FactorLoadings
+
+
+@pytest.fixture(scope="module")
+def small_fit(reduce1_campaign):
+    return BlackForest(n_trees=60, rng=1).fit(
+        reduce1_campaign, include_characteristics=False
+    )
+
+
+class TestFitSummary:
+    def test_contains_validation_numbers(self, small_fit):
+        text = fit_summary(small_fit)
+        assert "OOB explained variance" in text
+        assert "reduce1" in text
+        assert "%" in text
+
+    def test_reports_reduced_model(self, small_fit):
+        assert "reduced model" in fit_summary(small_fit)
+
+
+class TestBottleneckReport:
+    def test_complete_report(self, small_fit):
+        text = bottleneck_report(small_fit)
+        assert "BlackForest bottleneck analysis" in text
+        assert "Variable importance" in text
+        assert "Partial dependence" in text
+        assert "PCA refinement" in text
+        assert "remedy:" in text
+
+    def test_top_k_respected(self, small_fit):
+        short = bottleneck_report(small_fit, top_k=3)
+        long = bottleneck_report(small_fit, top_k=12)
+        assert len(long) > len(short)
+
+
+class TestPredictionText:
+    def test_table_rows_and_accuracy(self):
+        rep = PredictionReport(
+            problems=np.array([64.0, 128.0]),
+            predicted_s=np.array([1e-3, 2e-3]),
+            measured_s=np.array([1.1e-3, 1.9e-3]),
+        )
+        text = prediction_report_text(rep, title="MM predictions")
+        assert "MM predictions" in text
+        assert "explained variance" in text
+        assert text.count("ms") >= 4
+
+
+class TestVizPrimitives:
+    def test_bar_chart_scales(self):
+        out = bar_chart(["a", "bb"], np.array([1.0, 2.0]))
+        lines = out.splitlines()
+        assert lines[1].count("#") == 2 * lines[0].count("#")
+
+    def test_bar_chart_empty(self):
+        assert "(empty)" in bar_chart([], np.array([]))
+
+    def test_bar_chart_validates(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], np.array([1.0, 2.0]))
+
+    def test_line_plot_contains_points(self):
+        out = line_plot(np.arange(10.0), np.arange(10.0) ** 2)
+        assert out.count("*") >= 5
+
+    def test_line_plot_validates(self):
+        with pytest.raises(ValueError):
+            line_plot(np.array([]), np.array([]))
+
+    def test_table_alignment(self):
+        out = table(["col", "value"], [("x", 1.5), ("longer", 2.0)])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines if l.strip()}) <= 2
+
+    def test_loadings_table_blanks_small(self):
+        fl = FactorLoadings(
+            names=["v1", "v2"], components=["PC1"],
+            values=np.array([[0.9], [0.05]]),
+        )
+        out = loadings_table(fl, threshold=0.3)
+        assert "+0.90" in out
+        assert "0.05" not in out
+
+
+class TestBandPlot:
+    def test_dependence_plot_with_band(self):
+        from repro.ml import RandomForestRegressor
+        from repro.ml.partial_dependence import partial_dependence
+        from repro.viz.text import dependence_plot
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(120, 2))
+        y = 3 * X[:, 0]
+        rf = RandomForestRegressor(n_trees=40, importance=False, rng=1).fit(X, y)
+        pd = partial_dependence(rf, X, 0, confidence=0.9, feature_name="f0")
+        out = dependence_plot(pd)
+        assert "confidence band" in out
+        assert out.count(".") > 5
+
+    def test_dependence_plot_without_band_unchanged(self):
+        from repro.ml import RandomForestRegressor
+        from repro.ml.partial_dependence import partial_dependence
+        from repro.viz.text import dependence_plot
+
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(80, 2))
+        rf = RandomForestRegressor(n_trees=20, importance=False, rng=1).fit(
+            X, X[:, 0]
+        )
+        pd = partial_dependence(rf, X, 0)
+        assert "confidence band" not in dependence_plot(pd)

@@ -1,0 +1,188 @@
+"""Tests for the CPU substrate (architectures, simulator, kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.cpusim import I7_SANDY, XEON_E5, CPUSimulator, CPUWorkload, cpu_average_power_w
+from repro.gpusim.counters import CATALOGUE, predictor_counters
+from repro.gpusim.noise import Perturbation
+from repro.kernels.cpu import (
+    CpuMatMulKernel,
+    CpuReductionKernel,
+    CpuStencilKernel,
+    CpuVectorAddKernel,
+)
+
+DET = Perturbation()
+
+
+def simple_workload(**overrides):
+    kwargs = dict(
+        name="w",
+        scalar_instructions=1e7,
+        simd_instructions=2e7,
+        branches=1e6,
+        l1_loads=1e7,
+        l1_miss_fraction=0.05,
+        llc_miss_fraction=0.5,
+        working_set_bytes=1e7,
+        parallel_fraction=0.99,
+    )
+    kwargs.update(overrides)
+    return CPUWorkload(**kwargs)
+
+
+class TestArchitecture:
+    def test_peak_flops(self):
+        # 8 cores x 8 lanes x 2 flops x 2.6 GHz
+        assert XEON_E5.peak_gflops_sp == pytest.approx(332.8)
+
+    def test_machine_metrics(self):
+        m = XEON_E5.machine_metrics()
+        assert m["cores"] == 8 and m["simd"] == 8
+        assert m["mbw"] == pytest.approx(51.2)
+
+    def test_family(self):
+        assert XEON_E5.family == "cpu"
+
+    def test_with_overrides(self):
+        fat = XEON_E5.with_overrides(n_cores=16)
+        assert fat.n_cores == 16 and XEON_E5.n_cores == 8
+
+
+class TestCounters:
+    def test_cpu_counters_in_catalogue(self):
+        for name in ("instructions", "cache_misses", "cpu_ipc",
+                     "cpu_mem_bandwidth"):
+            assert CATALOGUE[name].available_on("cpu")
+            assert not CATALOGUE[name].available_on("fermi")
+
+    def test_cycles_not_a_predictor(self):
+        preds = predictor_counters("cpu")
+        assert "cpu_cycles" not in preds
+        assert "instructions" in preds
+
+
+class TestSimulator:
+    def test_counters_and_time(self):
+        counters, t = CPUSimulator(XEON_E5).run([simple_workload()], DET)
+        assert t > 0
+        assert counters["instructions"] == pytest.approx(3.1e7)
+        assert 0 < counters["cpu_ipc"] <= XEON_E5.ipc_peak * XEON_E5.n_cores
+
+    def test_more_cores_faster_for_compute(self):
+        wl = simple_workload(l1_loads=0.0, l1_miss_fraction=0.0)
+        _, t8 = CPUSimulator(XEON_E5).run([wl], DET)
+        _, t16 = CPUSimulator(XEON_E5.with_overrides(n_cores=16)).run([wl], DET)
+        assert t16 < t8
+
+    def test_amdahl_serial_fraction_limits_scaling(self):
+        par = simple_workload(parallel_fraction=1.0)
+        ser = simple_workload(parallel_fraction=0.5)
+        _, t_par = CPUSimulator(XEON_E5).run([par], DET)
+        _, t_ser = CPUSimulator(XEON_E5).run([ser], DET)
+        assert t_ser > 2 * t_par
+
+    def test_bandwidth_not_scaled_by_cores(self):
+        # a fully bandwidth-bound region is no faster with more cores
+        # enough MLP that latency is hidden and DRAM bandwidth binds
+        wl = simple_workload(
+            scalar_instructions=1e5, simd_instructions=1e5, branches=0.0,
+            l1_loads=5e7, l1_miss_fraction=1.0, llc_miss_fraction=1.0,
+            working_set_bytes=5e9, memory_ilp=16.0,
+        )
+        _, t8 = CPUSimulator(XEON_E5).run([wl], DET)
+        _, t16 = CPUSimulator(XEON_E5.with_overrides(n_cores=16)).run([wl], DET)
+        assert t16 == pytest.approx(t8, rel=0.05)
+
+    def test_cache_misses_cost_time(self):
+        good = simple_workload(l1_miss_fraction=0.01)
+        bad = simple_workload(l1_miss_fraction=0.5, llc_miss_fraction=1.0,
+                              working_set_bytes=1e9)
+        _, t_good = CPUSimulator(XEON_E5).run([good], DET)
+        _, t_bad = CPUSimulator(XEON_E5).run([bad], DET)
+        assert t_bad > 2 * t_good
+
+    def test_perturbations_move_time(self):
+        sim = CPUSimulator(XEON_E5)
+        _, base = sim.run([simple_workload()], Perturbation())
+        _, slow = sim.run([simple_workload()], Perturbation(sched_efficiency=0.7))
+        assert slow > base
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CPUSimulator(XEON_E5).run([], DET)
+        with pytest.raises(ValueError):
+            CPUWorkload(name="x", scalar_instructions=-1.0)
+        with pytest.raises(ValueError):
+            simple_workload(parallel_fraction=1.5)
+
+    def test_power_model(self):
+        p = cpu_average_power_w(XEON_E5, 1e9, 1e8, 0.01)
+        assert XEON_E5.static_power_w < p <= XEON_E5.tdp_w
+        assert cpu_average_power_w(XEON_E5, 0, 0, 0) == XEON_E5.static_power_w
+
+
+class TestCpuKernels:
+    @pytest.mark.parametrize("kernel_cls,probe", [
+        (CpuVectorAddKernel, 100_000),
+        (CpuReductionKernel, 100_000),
+        (CpuStencilKernel, 256),
+        (CpuMatMulKernel, 192),
+    ])
+    def test_functional(self, kernel_cls, probe):
+        k = kernel_cls()
+        assert np.allclose(k.run(probe), k.reference(probe), rtol=1e-5)
+
+    def test_time_monotone_in_size(self):
+        sim = CPUSimulator(XEON_E5)
+        k = CpuStencilKernel()
+        _, t1 = sim.run(k.workloads(256, XEON_E5), DET)
+        _, t2 = sim.run(k.workloads(1024, XEON_E5), DET)
+        assert t2 > t1
+
+    def test_vectoradd_bandwidth_bound(self):
+        sim = CPUSimulator(XEON_E5)
+        n = 1 << 24
+        counters, t = sim.run(CpuVectorAddKernel().workloads(n, XEON_E5), DET)
+        assert counters["cpu_mem_bandwidth"] > 0.3 * XEON_E5.mem_bandwidth_gbs
+
+    def test_matmul_compute_bound(self):
+        sim = CPUSimulator(XEON_E5)
+        n = 1024
+        counters, t = sim.run(CpuMatMulKernel().workloads(n, XEON_E5), DET)
+        gflops = 2 * n**3 / t / 1e9
+        assert gflops > 0.2 * XEON_E5.peak_gflops_sp
+
+    def test_i7_slower_than_xeon_at_bandwidth(self):
+        k = CpuVectorAddKernel()
+        n = 1 << 24
+        _, t_xeon = CPUSimulator(XEON_E5).run(k.workloads(n, XEON_E5), DET)
+        _, t_i7 = CPUSimulator(I7_SANDY).run(k.workloads(n, I7_SANDY), DET)
+        assert t_i7 > t_xeon  # 21 vs 51.2 GB/s
+
+    def test_matmul_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            CpuMatMulKernel().workloads(100, XEON_E5)
+
+
+class TestCpuPipeline:
+    def test_blackforest_on_cpu_campaign(self):
+        from repro import BlackForest, Campaign
+
+        campaign = Campaign(CpuStencilKernel(), XEON_E5, rng=0).run(replicates=2)
+        fit = BlackForest(n_trees=100, rng=1).fit(campaign)
+        assert fit.oob_explained_variance > 0.6
+        assert all(
+            n in set(predictor_counters("cpu")) | {"size"}
+            for n in fit.feature_names
+        )
+
+    def test_cpu_records_power(self):
+        from repro import Campaign
+
+        c = Campaign(CpuVectorAddKernel(), XEON_E5, rng=0).run(
+            problems=[1 << 20]
+        )
+        assert c.records[0].power_w is not None
+        assert c.records[0].power_w >= XEON_E5.static_power_w

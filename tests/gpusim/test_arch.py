@@ -1,0 +1,81 @@
+"""Unit tests for GPU architecture descriptions."""
+
+import pytest
+
+from repro.gpusim.arch import GTX480, GTX580, K20M, TABLE2_METRICS, CacheGeometry
+
+
+class TestTable2:
+    """The exact hardware metric values of the paper's Table 2."""
+
+    def test_gtx480_row(self):
+        m = TABLE2_METRICS["GTX480"]
+        assert m["wsched"] == 2
+        assert m["freq"] == pytest.approx(1.4)
+        assert m["smp"] == 15
+        assert m["rco"] == 32
+        assert m["mbw"] == pytest.approx(177.4)
+        assert m["l1c"] == 63
+        assert m["l2c"] == 768
+
+    def test_k20m_row(self):
+        m = TABLE2_METRICS["K20m"]
+        assert m["wsched"] == 4
+        assert m["freq"] == pytest.approx(0.71)
+        assert m["smp"] == 13
+        assert m["rco"] == 192
+        assert m["mbw"] == pytest.approx(208.0)
+        assert m["l1c"] == 255
+        assert m["l2c"] == 1280
+
+    def test_metric_names_match_paper(self):
+        assert set(TABLE2_METRICS["GTX480"]) == {
+            "wsched", "freq", "smp", "rco", "mbw", "l1c", "l2c"
+        }
+
+
+class TestArchitectures:
+    def test_families(self):
+        assert GTX480.family == GTX580.family == "fermi"
+        assert K20M.family == "kepler"
+
+    def test_compute_capabilities(self):
+        assert GTX580.compute_capability == (2, 0)
+        assert K20M.compute_capability == (3, 5)
+
+    def test_fermi_caches_global_loads_kepler_does_not(self):
+        assert GTX580.l1_caches_global_loads
+        assert not K20M.l1_caches_global_loads
+
+    def test_peak_flops_sane(self):
+        # GTX580: 512 cores * 2 * 1.544 GHz ~ 1.58 TFLOPS
+        assert GTX580.peak_gflops_sp == pytest.approx(1581, rel=0.01)
+        # K20m: 2496 cores * 2 * 0.706 GHz ~ 3.5 TFLOPS
+        assert K20M.peak_gflops_sp == pytest.approx(3544, rel=0.01)
+
+    def test_bytes_per_cycle(self):
+        assert GTX580.bytes_per_cycle() == pytest.approx(192.4 / 1.544)
+
+    def test_max_threads_per_sm(self):
+        assert GTX580.max_threads_per_sm == 1536
+        assert K20M.max_threads_per_sm == 2048
+
+    def test_with_overrides(self):
+        fat = GTX580.with_overrides(n_sms=32)
+        assert fat.n_sms == 32
+        assert GTX580.n_sms == 16  # original untouched
+        assert fat.family == "fermi"
+
+
+class TestCacheGeometry:
+    def test_n_sets(self):
+        g = CacheGeometry(16 * 1024, 128, 4)
+        assert g.n_sets == 32
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1000, 128, 4)
+
+    def test_l2_property(self):
+        assert GTX580.l2.size_bytes == 768 * 1024
+        assert GTX580.l2.line_bytes == 32

@@ -1,0 +1,83 @@
+"""Unit tests for the shared-memory bank conflict model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.banks import (
+    conflict_degree_for_stride,
+    conflict_degree_from_lanes,
+    replay_count,
+)
+
+
+class TestStrideConflicts:
+    def test_unit_stride_conflict_free(self):
+        assert conflict_degree_for_stride(1) == 1.0
+
+    def test_odd_strides_conflict_free(self):
+        for stride in (3, 5, 7, 9, 17, 31):
+            assert conflict_degree_for_stride(stride) == 1.0
+
+    def test_stride_two_is_two_way(self):
+        assert conflict_degree_for_stride(2) == 2.0
+
+    def test_powers_of_two_ladder(self):
+        # the reduce1 ladder: stride 2s at tree level s
+        assert conflict_degree_for_stride(4) == 4.0
+        assert conflict_degree_for_stride(8) == 8.0
+        assert conflict_degree_for_stride(16) == 16.0
+        assert conflict_degree_for_stride(32) == 32.0
+
+    def test_broadcast_stride_zero(self):
+        assert conflict_degree_for_stride(0) == 1.0
+
+    def test_partial_warp_reduces_degree(self):
+        # 8 active lanes stride 32: all in bank 0 -> degree 8
+        assert conflict_degree_for_stride(32, active_lanes=8) == 8.0
+        # 8 active lanes stride 4: 8 distinct banks -> no conflict
+        assert conflict_degree_for_stride(4, active_lanes=8) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            conflict_degree_for_stride(1, active_lanes=0)
+        with pytest.raises(ValueError):
+            conflict_degree_for_stride(-1)
+
+
+class TestLaneConflicts:
+    def test_distinct_banks(self):
+        assert conflict_degree_from_lanes(np.arange(32)) == 1.0
+
+    def test_same_word_broadcast(self):
+        assert conflict_degree_from_lanes(np.zeros(32, dtype=int)) == 1.0
+
+    def test_same_bank_different_words(self):
+        words = np.arange(4) * 32  # all bank 0, distinct words
+        assert conflict_degree_from_lanes(words) == 4.0
+
+    def test_nw_diagonal_pattern(self):
+        # NW tile: lane t accesses word t*17 + (d - t) = 16t + d
+        for d in range(16):
+            width = d + 1
+            lanes = np.arange(width)
+            words = lanes * 17 + (d - lanes)
+            expected = int(np.ceil(width / 2))  # stride 16 -> 2 banks
+            assert conflict_degree_from_lanes(words) == float(expected)
+
+    def test_empty_is_one(self):
+        assert conflict_degree_from_lanes(np.array([], dtype=int)) == 1.0
+
+
+class TestReplayCount:
+    def test_no_conflicts_no_replays(self):
+        assert replay_count(100, 1.0) == 0.0
+
+    def test_k_way_conflict(self):
+        assert replay_count(100, 8.0) == 700.0
+
+    def test_fractional_degree(self):
+        assert replay_count(10, 1.5) == pytest.approx(5.0)
+
+    def test_rejects_degree_below_one(self):
+        with pytest.raises(ValueError):
+            replay_count(10, 0.5)

@@ -1,0 +1,95 @@
+"""Unit tests for the counter catalogue and CounterSet."""
+
+import pytest
+
+from repro.gpusim.counters import (
+    CATALOGUE,
+    TABLE1_COUNTERS,
+    CounterSet,
+    available_counters,
+    counters_for,
+    predictor_counters,
+)
+from repro.gpusim.arch import GTX580, K20M
+
+
+class TestCatalogue:
+    def test_table1_counters_all_defined(self):
+        for name in TABLE1_COUNTERS:
+            assert name in CATALOGUE, name
+
+    def test_table1_meanings_match_paper(self):
+        assert "replays due to shared memory conflicts" in CATALOGUE[
+            "shared_replay_overhead"
+        ].meaning
+        assert "ratio of average active warps" in CATALOGUE[
+            "achieved_occupancy"
+        ].meaning
+        assert "issue slots" in CATALOGUE["issue_slot_utilization"].meaning
+
+    def test_fermi_only_counters(self):
+        for name in ("l1_global_load_hit", "l1_global_load_miss",
+                     "l1_shared_bank_conflict"):
+            assert CATALOGUE[name].available_on("fermi")
+            assert not CATALOGUE[name].available_on("kepler")
+
+    def test_kepler_only_counters(self):
+        for name in ("shared_load_replay", "shared_store_replay"):
+            assert CATALOGUE[name].available_on("kepler")
+            assert not CATALOGUE[name].available_on("fermi")
+
+    def test_counters_for_arch(self):
+        fermi = counters_for(GTX580)
+        kepler = counters_for(K20M)
+        assert "l1_shared_bank_conflict" in fermi
+        assert "l1_shared_bank_conflict" not in kepler
+        assert "shared_load_replay" in kepler
+        assert "shared_load_replay" not in fermi
+
+    def test_events_vs_metrics(self):
+        events = available_counters("fermi", kind="event")
+        metrics = available_counters("fermi", kind="metric")
+        assert "gld_request" in events
+        assert "ipc" in metrics
+        assert set(events).isdisjoint(metrics)
+
+    def test_response_proxies_not_predictors(self):
+        preds = predictor_counters("fermi")
+        assert "active_cycles" not in preds
+        assert "active_warps" not in preds
+        assert "ipc" in preds  # paper Table 1 uses ipc as a predictor
+
+    def test_predictors_subset_of_available(self):
+        for fam in ("fermi", "kepler"):
+            assert set(predictor_counters(fam)) <= set(available_counters(fam))
+
+
+class TestCounterSet:
+    def test_valid_construction(self):
+        cs = CounterSet("fermi", {"ipc": 1.2, "gld_request": 100.0})
+        assert cs["ipc"] == 1.2
+        assert len(cs) == 2
+        assert set(cs) == {"ipc", "gld_request"}
+
+    def test_rejects_unknown_counter(self):
+        with pytest.raises(KeyError, match="unknown counter"):
+            CounterSet("fermi", {"made_up": 1.0})
+
+    def test_rejects_unavailable_counter(self):
+        with pytest.raises(KeyError, match="not available"):
+            CounterSet("kepler", {"l1_shared_bank_conflict": 1.0})
+
+    def test_rejects_unknown_family(self):
+        with pytest.raises(ValueError):
+            CounterSet("amd", {})
+
+    def test_as_dict_is_copy(self):
+        cs = CounterSet("fermi", {"ipc": 1.0})
+        d = cs.as_dict()
+        d["ipc"] = 99.0
+        assert cs["ipc"] == 1.0
+
+    def test_mapping_protocol(self):
+        cs = CounterSet("fermi", {"ipc": 1.0})
+        assert "ipc" in cs
+        assert dict(cs) == {"ipc": 1.0}

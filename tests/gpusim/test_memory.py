@@ -1,0 +1,197 @@
+"""Unit tests for coalescing, the cache simulator and traffic resolution."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.arch import GTX580, K20M, CacheGeometry
+from repro.gpusim.memory import (
+    CacheSim,
+    estimate_hit_fraction,
+    resolve_access,
+    transactions_from_trace,
+    transactions_per_request,
+)
+from repro.gpusim.workload import GlobalAccessPattern
+
+
+class TestCoalescingRules:
+    def test_unit_stride_float_is_one_128b_transaction(self):
+        assert transactions_per_request(1, 4, 32, 128) == 1
+
+    def test_unit_stride_double_is_two_transactions(self):
+        assert transactions_per_request(1, 8, 32, 128) == 2
+
+    def test_broadcast_is_one(self):
+        assert transactions_per_request(0, 4, 32, 128) == 1
+
+    def test_stride_two_doubles_segments(self):
+        assert transactions_per_request(2, 4, 32, 128) == 2
+
+    def test_large_stride_fully_scattered(self):
+        assert transactions_per_request(32, 4, 32, 128) == 32
+
+    def test_capped_at_active_lanes(self):
+        assert transactions_per_request(1000, 4, 16, 128) == 16
+
+    def test_32b_segments_for_kepler_loads(self):
+        assert transactions_per_request(1, 4, 32, 32) == 4
+
+    def test_partial_warp(self):
+        # 16 lanes x 4B unit stride: 64B -> one 128B segment
+        assert transactions_per_request(1, 4, 16, 128) == 1
+
+    def test_word_larger_than_segment_rejected(self):
+        with pytest.raises(ValueError):
+            transactions_per_request(1, 8, 32, 4)
+
+
+class TestTraceTransactions:
+    def test_coalesced_trace(self):
+        addrs = np.arange(32)[None, :] * 4
+        assert transactions_from_trace(addrs, 128).tolist() == [1]
+
+    def test_scattered_trace(self):
+        addrs = (np.arange(32)[None, :] * 128)
+        assert transactions_from_trace(addrs, 128).tolist() == [32]
+
+    def test_inactive_lanes_ignored(self):
+        addrs = np.full((1, 32), -1, dtype=np.int64)
+        addrs[0, :4] = [0, 4, 8, 12]
+        assert transactions_from_trace(addrs, 128).tolist() == [1]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            transactions_from_trace(np.zeros((3, 16)), 128)
+
+
+class TestCacheSim:
+    def test_cold_miss_then_hit(self):
+        sim = CacheSim(CacheGeometry(1024, 64, 2))
+        assert sim.access_line(5) is False
+        assert sim.access_line(5) is True
+        assert sim.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_order(self):
+        # 2-way set: fill both ways, touch the first, insert a third ->
+        # the least recently used (second) is evicted.
+        geom = CacheGeometry(2 * 64, 64, 2)  # a single set
+        sim = CacheSim(geom)
+        sim.access_line(0)
+        sim.access_line(1)
+        sim.access_line(0)      # refresh line 0
+        sim.access_line(2)      # evicts line 1
+        assert sim.access_line(0) is True
+        assert sim.access_line(1) is False
+
+    def test_streaming_never_hits(self):
+        sim = CacheSim(CacheGeometry(4096, 64, 4))
+        hits = sim.access(np.arange(0, 1 << 16, 64))
+        assert not hits.any()
+
+    def test_working_set_within_capacity_all_hits_second_pass(self):
+        geom = CacheGeometry(4096, 64, 4)
+        sim = CacheSim(geom)
+        addrs = np.arange(0, 2048, 64)
+        sim.access(addrs)
+        assert sim.access(addrs).all()
+
+    def test_reset(self):
+        sim = CacheSim(CacheGeometry(1024, 64, 2))
+        sim.access_line(1)
+        sim.reset()
+        assert sim.hits == sim.misses == 0
+        assert sim.access_line(1) is False
+
+    def test_warm_trace_hit_rate_with_reuse(self):
+        geom = CacheGeometry(16 * 1024, 128, 4)
+        sim = CacheSim(geom)
+        row = np.arange(32) * 4
+        trace = np.vstack([row, row + 128, row, row + 128])  # revisit both lines
+        rate = sim.warm_trace_hit_rate(trace, 128)
+        assert rate == pytest.approx(0.5)
+
+
+class TestHitEstimate:
+    def test_streaming_is_zero(self):
+        assert estimate_hit_fraction(1000, None, 128, 16 * 1024) == 0.0
+
+    def test_no_reuse_is_zero(self):
+        assert estimate_hit_fraction(100, 100 * 128, 128, 1 << 20) == 0.0
+
+    def test_high_reuse_fitting_cache(self):
+        # 10x reuse of a 1KB footprint in a 16KB cache -> ~0.9
+        frac = estimate_hit_fraction(80, 1024, 128, 16 * 1024)
+        assert frac == pytest.approx(1 - 1 / 10, rel=0.01)
+
+    def test_capacity_degrades_hit_rate(self):
+        # 80k x 128B transactions over a 1 MiB footprint: ~10x reuse.
+        small = estimate_hit_fraction(80_000, 1 << 20, 128, 16 * 1024)
+        big = estimate_hit_fraction(80_000, 1 << 20, 128, 1 << 20)
+        assert 0.0 < small < big
+
+    def test_zero_transactions(self):
+        assert estimate_hit_fraction(0, 100, 128, 1024) == 0.0
+
+
+class TestResolveAccess:
+    def test_fermi_load_miss_expands_to_l2(self):
+        acc = GlobalAccessPattern("load", requests=100, stride_words=1)
+        res = resolve_access(acc, GTX580)
+        assert res.transactions == 100           # 128B lines
+        assert res.l1_misses == 100              # streaming
+        assert res.l2_transactions == 400        # 4 x 32B per line
+
+    def test_kepler_load_bypasses_l1(self):
+        acc = GlobalAccessPattern("load", requests=100, stride_words=1)
+        res = resolve_access(acc, K20M)
+        assert res.l1_hits == 0.0
+        assert res.transactions == 400           # direct 32B transactions
+
+    def test_store_coalesces_at_32b(self):
+        acc = GlobalAccessPattern("store", requests=10, stride_words=1)
+        res = resolve_access(acc, GTX580)
+        assert res.transactions == 40
+
+    def test_hit_fraction_override(self):
+        acc = GlobalAccessPattern(
+            "load", requests=100, stride_words=1, l1_hit_fraction=0.75
+        )
+        res = resolve_access(acc, GTX580)
+        assert res.l1_hits == pytest.approx(75.0)
+
+    def test_dram_bytes_zero_when_l2_hits(self):
+        acc = GlobalAccessPattern(
+            "load", requests=100, stride_words=1, l2_hit_fraction=1.0
+        )
+        res = resolve_access(acc, GTX580)
+        assert res.dram_bytes == 0.0
+
+    def test_cache_factor_scales_hits(self):
+        acc = GlobalAccessPattern(
+            "load", requests=100, stride_words=1, l1_hit_fraction=0.5
+        )
+        base = resolve_access(acc, GTX580, cache_factor=1.0)
+        boosted = resolve_access(acc, GTX580, cache_factor=1.2)
+        assert boosted.l1_hits == pytest.approx(base.l1_hits * 1.2)
+
+    def test_cache_factor_clipped_at_one(self):
+        acc = GlobalAccessPattern(
+            "load", requests=100, stride_words=1, l1_hit_fraction=0.9
+        )
+        res = resolve_access(acc, GTX580, cache_factor=5.0)
+        assert res.l1_hits <= res.transactions
+
+    def test_replays_from_uncoalesced(self):
+        acc = GlobalAccessPattern("load", requests=10, stride_words=32)
+        res = resolve_access(acc, GTX580)
+        assert res.replays == pytest.approx(10 * 32 - 10)
+
+    def test_trace_driven_transactions(self):
+        addrs = np.tile(np.arange(32) * 4, (5, 1))
+        acc = GlobalAccessPattern("load", requests=50, addresses=addrs)
+        res = resolve_access(acc, GTX580)
+        assert res.transactions == pytest.approx(50.0)
+
+    def test_requested_bytes(self):
+        acc = GlobalAccessPattern("load", requests=10, active_lanes=16, word_bytes=8)
+        assert acc.requested_bytes == 10 * 16 * 8

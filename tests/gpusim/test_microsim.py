@@ -1,0 +1,142 @@
+"""The micro-simulator itself, and its cross-check of the analytic model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.arch import GTX580, K20M
+from repro.gpusim.memory import resolve_access
+from repro.gpusim.microsim import Instruction, MicroSim
+from repro.gpusim.occupancy import occupancy
+from repro.gpusim.timing import TimingModel
+from repro.gpusim.workload import GlobalAccessPattern
+
+
+def alu(n, dependent=False):
+    return [Instruction("alu", dependent=dependent)] * n
+
+
+class TestMicroSimBasics:
+    def test_empty_program(self):
+        res = MicroSim(GTX580).run([], n_warps=4)
+        assert res.cycles == 0
+
+    def test_single_warp_independent_alu(self):
+        # 100 independent ALU ops issue back to back: ~100 cycles
+        res = MicroSim(GTX580).run(alu(100), n_warps=1)
+        assert 100 <= res.cycles <= 130
+
+    def test_single_warp_dependent_alu_chain(self):
+        # a dependency chain pays the 18-cycle pipeline per hop
+        # (19 waits between 20 instructions)
+        res = MicroSim(GTX580).run(alu(20, dependent=True), n_warps=1)
+        assert res.cycles >= 19 * 18
+
+    def test_issue_width_throughput(self):
+        # Fermi issues 1 warp-inst/cycle: N warps x I instructions ~ N*I
+        res = MicroSim(GTX580).run(alu(50), n_warps=8)
+        assert res.cycles == pytest.approx(8 * 50, rel=0.1)
+
+    def test_kepler_wider_issue(self):
+        f = MicroSim(GTX580).run(alu(60), n_warps=12).cycles
+        k = MicroSim(K20M).run(alu(60), n_warps=12).cycles
+        assert k < f / 3  # issue width 6 vs 1
+
+    def test_warps_hide_memory_latency(self):
+        prog = [Instruction("gld"), Instruction("alu", dependent=True)]
+        solo = MicroSim(GTX580).run(prog * 10, n_warps=1).cycles
+        many = MicroSim(GTX580).run(prog * 10, n_warps=16).cycles
+        # 16 warps take far less than 16x the single warp's time
+        assert many < 4 * solo
+
+    def test_outstanding_load_cap_throttles(self):
+        prog = [Instruction("gld")] * 20
+        free = MicroSim(GTX580, max_outstanding_loads=1000).run(
+            prog, n_warps=16
+        ).cycles
+        capped = MicroSim(GTX580, max_outstanding_loads=2).run(
+            prog, n_warps=16
+        ).cycles
+        assert capped > 2 * free
+
+    def test_bank_conflicts_serialize_lsu(self):
+        clean = [Instruction("sld")] * 30
+        dirty = [Instruction("sld", conflict_degree=8)] * 30
+        t_clean = MicroSim(GTX580).run(clean, n_warps=8).cycles
+        t_dirty = MicroSim(GTX580).run(dirty, n_warps=8).cycles
+        assert t_dirty > 4 * t_clean
+
+    def test_sync_barrier_aligns_warps(self):
+        # without barrier, warps drift; with it, all finish together
+        prog = alu(30) + [Instruction("sync")] + alu(5)
+        res = MicroSim(GTX580).run(prog, n_warps=6)
+        spread = max(res.completion) - min(res.completion)
+        assert spread <= 6 + 1  # one issue round after the barrier
+
+    def test_runaway_guard(self):
+        with pytest.raises(RuntimeError):
+            MicroSim(GTX580).run(alu(10_000), n_warps=48, max_cycles=100)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            Instruction("fpu")
+        with pytest.raises(ValueError):
+            Instruction("sld", conflict_degree=0)
+        with pytest.raises(ValueError):
+            MicroSim(GTX580).run(alu(1), n_warps=0)
+
+
+class TestCrossValidation:
+    """The analytic TimingModel against the event-driven reference.
+
+    One wave of warps on one SM; the analytic per-wave cycles must land
+    within a factor-of-two band of the micro simulation (they use the
+    same latencies but idealize scheduling differently).
+    """
+
+    def analytic_wave_cycles(self, arch, n_warps, issued_per_warp,
+                             load_requests_per_warp=0):
+        occ = occupancy(arch, 32 * n_warps, 16, 0)
+        mem = []
+        total_warps = n_warps
+        if load_requests_per_warp:
+            mem = [resolve_access(
+                GlobalAccessPattern("load", load_requests_per_warp * n_warps,
+                                    stride_words=1),
+                arch,
+            )]
+        timing = TimingModel(arch).evaluate(
+            grid_blocks=1,
+            warps_per_block=n_warps,
+            occ=occ,
+            issued_per_warp=issued_per_warp,
+            mem=mem,
+            total_warps=total_warps,
+            dram_bytes=sum(m.dram_bytes for m in mem),
+        )
+        return timing.cycles
+
+    @pytest.mark.parametrize("n_warps", [4, 8, 16])
+    def test_compute_bound_agreement(self, n_warps):
+        n_instr = 200
+        micro = MicroSim(GTX580).run(alu(n_instr), n_warps=n_warps).cycles
+        analytic = self.analytic_wave_cycles(GTX580, n_warps, float(n_instr))
+        assert 0.5 < analytic / micro < 2.0, (analytic, micro)
+
+    @pytest.mark.parametrize("n_warps", [8, 16])
+    def test_memory_bound_agreement(self, n_warps):
+        n_loads = 40
+        prog = [Instruction("gld"), Instruction("alu", dependent=True)] * n_loads
+        micro = MicroSim(GTX580).run(prog, n_warps=n_warps).cycles
+        analytic = self.analytic_wave_cycles(
+            GTX580, n_warps, 2.0 * n_loads, load_requests_per_warp=n_loads
+        )
+        assert 0.4 < analytic / micro < 2.5, (analytic, micro)
+
+    def test_latency_chain_agreement(self):
+        # a single warp's dependent global-load chain: both models must
+        # charge ~latency per load
+        n_loads = 30
+        prog = [Instruction("gld", dependent=True)] * n_loads
+        micro = MicroSim(GTX580).run(prog, n_warps=1).cycles
+        expected = n_loads * GTX580.dram_latency_cycles
+        assert micro == pytest.approx(expected, rel=0.15)

@@ -1,0 +1,63 @@
+"""Focused tests for the run-perturbation model and its statistics."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.noise import Perturbation
+
+
+class TestDistributions:
+    def test_draws_centered_near_nominal(self):
+        rng = np.random.default_rng(0)
+        draws = [Perturbation.draw(rng) for _ in range(500)]
+        conflict = np.array([d.conflict_factor for d in draws])
+        assert abs(np.median(conflict) - 1.0) < 0.02
+        sched = np.array([d.sched_efficiency for d in draws])
+        assert 0.9 < np.median(sched) <= 1.0
+        dram = np.array([d.dram_efficiency for d in draws])
+        assert 0.88 < np.median(dram) <= 1.0
+
+    def test_scale_widens_dispersion(self):
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(1)
+        narrow = [Perturbation.draw(rng_a, scale=0.5) for _ in range(300)]
+        wide = [Perturbation.draw(rng_b, scale=2.0) for _ in range(300)]
+        std_n = np.std([d.conflict_factor for d in narrow])
+        std_w = np.std([d.conflict_factor for d in wide])
+        assert std_w > 2 * std_n
+
+    def test_bounds_always_respected(self):
+        rng = np.random.default_rng(2)
+        for _ in range(300):
+            d = Perturbation.draw(rng, scale=3.0)
+            assert 0.6 <= d.sched_efficiency <= 1.0
+            assert 0.6 <= d.dram_efficiency <= 1.0
+            assert d.conflict_factor > 0
+            assert d.cache_factor > 0
+
+    def test_none_is_identity(self):
+        d = Perturbation.none()
+        assert d.conflict_factor == 1.0
+        assert d.sched_efficiency == 1.0
+        assert d.dram_efficiency == 1.0
+        assert d.cache_factor == 1.0
+        assert d.time_jitter == 1.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("conflict_factor", 0.0),
+        ("sched_efficiency", -0.1),
+        ("dram_efficiency", 1.2),
+        ("sched_efficiency", 1.01),
+        ("cache_factor", 0.0),
+        ("time_jitter", 0.0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            Perturbation(**{field: value})
+
+    def test_frozen(self):
+        d = Perturbation()
+        with pytest.raises(AttributeError):
+            d.conflict_factor = 2.0

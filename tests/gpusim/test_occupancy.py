@@ -1,0 +1,101 @@
+"""Unit tests for the CUDA occupancy calculator.
+
+Expected values cross-checked against NVIDIA's occupancy calculator
+tables for compute capability 2.0 and 3.5.
+"""
+
+import pytest
+
+from repro.gpusim.arch import GTX580, K20M
+from repro.gpusim.occupancy import occupancy
+
+
+class TestFermiOccupancy:
+    def test_full_occupancy_config(self):
+        # 256 threads, 16 regs, little shared memory: 6 blocks = 48 warps.
+        occ = occupancy(GTX580, 256, 16, 2048)
+        assert occ.active_blocks_per_sm == 6
+        assert occ.theoretical_occupancy == pytest.approx(1.0)
+
+    def test_block_limit_binds_for_tiny_blocks(self):
+        # 16-thread blocks (the NW case): 8 blocks max -> 8 warps of 48.
+        occ = occupancy(GTX580, 16, 20, 2048)
+        assert occ.limited_by == "blocks"
+        assert occ.active_blocks_per_sm == 8
+        assert occ.theoretical_occupancy == pytest.approx(8 / 48)
+
+    def test_register_limit(self):
+        # 63 regs/thread, 256 threads: per-warp alloc = ceil(63*32/64)*64
+        # = 2048 regs -> per block 16384 -> 2 blocks of 32768.
+        occ = occupancy(GTX580, 256, 63, 0)
+        assert occ.limited_by == "registers"
+        assert occ.active_blocks_per_sm == 2
+
+    def test_shared_memory_limit(self):
+        # 20 KB shared per block on a 48 KB SM -> 2 blocks.
+        occ = occupancy(GTX580, 256, 16, 20 * 1024)
+        assert occ.limited_by == "shared_memory"
+        assert occ.active_blocks_per_sm == 2
+
+    def test_warp_limit_with_huge_blocks(self):
+        # 1024-thread blocks: 32 warps each; 48 warps max -> 1 block.
+        occ = occupancy(GTX580, 1024, 16, 0)
+        assert occ.active_blocks_per_sm == 1
+        assert occ.active_warps_per_sm == 32
+        assert occ.theoretical_occupancy == pytest.approx(32 / 48)
+
+
+class TestKeplerOccupancy:
+    def test_full_occupancy(self):
+        occ = occupancy(K20M, 256, 32, 2048)
+        assert occ.theoretical_occupancy == pytest.approx(1.0)
+        assert occ.active_blocks_per_sm == 8
+
+    def test_sixteen_block_limit(self):
+        occ = occupancy(K20M, 32, 16, 0)
+        assert occ.limit_blocks == 16
+        assert occ.active_blocks_per_sm == 16
+
+    def test_register_granularity_is_256(self):
+        # 100 regs/thread -> per warp ceil(3200/256)*256 = 3328.
+        occ = occupancy(K20M, 256, 100, 0)
+        expected_blocks = 65536 // (3328 * 8)
+        assert occ.active_blocks_per_sm == expected_blocks
+
+
+class TestValidation:
+    def test_rejects_excess_registers(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            occupancy(GTX580, 256, 64, 0)
+
+    def test_rejects_oversize_block(self):
+        with pytest.raises(ValueError):
+            occupancy(GTX580, 2048, 16, 0)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            occupancy(GTX580, 0, 16, 0)
+
+    def test_rejects_unschedulable_shared_memory(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            occupancy(GTX580, 256, 16, 64 * 1024)
+
+    def test_negative_resources_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(GTX580, 256, -1, 0)
+
+
+class TestConsistency:
+    def test_active_warps_consistent(self):
+        occ = occupancy(GTX580, 192, 20, 1024)
+        assert occ.active_warps_per_sm == occ.active_blocks_per_sm * occ.warps_per_block
+
+    def test_warps_per_block_rounds_up(self):
+        occ = occupancy(GTX580, 33, 16, 0)
+        assert occ.warps_per_block == 2
+
+    def test_occupancy_monotone_in_block_size_resources(self):
+        # fewer registers can never *reduce* occupancy
+        low = occupancy(GTX580, 256, 16, 0)
+        high = occupancy(GTX580, 256, 40, 0)
+        assert low.theoretical_occupancy >= high.theoretical_occupancy

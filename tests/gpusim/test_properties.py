@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) for the GPU simulator invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.arch import GTX580, K20M
+from repro.gpusim.banks import conflict_degree_for_stride, replay_count
+from repro.gpusim.memory import estimate_hit_fraction, transactions_per_request
+from repro.gpusim.noise import Perturbation
+from repro.gpusim.occupancy import occupancy
+from repro.gpusim.simulator import GPUSimulator
+from repro.gpusim.workload import GlobalAccessPattern, KernelWorkload
+
+ARCHS = [GTX580, K20M]
+
+
+class TestCoalescingProperties:
+    @given(st.integers(0, 64), st.sampled_from([1, 2, 4, 8]),
+           st.integers(1, 32), st.sampled_from([32, 64, 128]))
+    def test_transactions_bounded(self, stride, word, lanes, seg):
+        if seg < word:
+            return
+        t = transactions_per_request(stride, word, lanes, seg)
+        assert 1 <= t <= lanes
+
+    @given(st.integers(1, 32), st.sampled_from([32, 128]))
+    def test_monotone_in_stride(self, lanes, seg):
+        results = [
+            transactions_per_request(s, 4, lanes, seg) for s in (1, 2, 4, 8, 16, 32)
+        ]
+        assert results == sorted(results)
+
+
+class TestBankProperties:
+    @given(st.integers(0, 128), st.integers(1, 32))
+    def test_degree_in_valid_range(self, stride, lanes):
+        d = conflict_degree_for_stride(stride, lanes)
+        assert 1.0 <= d <= lanes
+
+    @given(st.floats(0, 1e6), st.floats(1.0, 32.0))
+    def test_replays_nonnegative(self, requests, degree):
+        assert replay_count(requests, degree) >= 0.0
+
+
+class TestHitFractionProperties:
+    @given(st.floats(1, 1e9), st.floats(1, 1e12), st.sampled_from([32, 128]),
+           st.integers(1024, 1 << 24))
+    def test_in_unit_interval(self, tx, unique, seg, cache):
+        f = estimate_hit_fraction(tx, unique, seg, cache)
+        assert 0.0 <= f <= 1.0
+
+    @given(st.floats(1e3, 1e6), st.sampled_from([32, 128]))
+    def test_monotone_in_cache_size(self, tx, seg):
+        unique = 1 << 20
+        fractions = [
+            estimate_hit_fraction(tx, unique, seg, c)
+            for c in (1 << 14, 1 << 17, 1 << 20, 1 << 23)
+        ]
+        assert fractions == sorted(fractions)
+
+
+class TestOccupancyProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.sampled_from(ARCHS), st.integers(1, 1024), st.integers(0, 63),
+           st.integers(0, 32 * 1024))
+    def test_occupancy_in_unit_interval(self, arch, threads, regs, smem):
+        try:
+            occ = occupancy(arch, threads, regs, smem)
+        except ValueError:
+            return  # unschedulable configs may be rejected
+        assert 0.0 < occ.theoretical_occupancy <= 1.0
+        assert occ.active_blocks_per_sm >= 1
+        assert occ.active_warps_per_sm <= arch.max_warps_per_sm
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(ARCHS), st.integers(32, 512))
+    def test_limit_is_minimum(self, arch, threads):
+        occ = occupancy(arch, threads, 16, 1024)
+        limits = [occ.limit_warps, occ.limit_registers,
+                  occ.limit_shared_memory, occ.limit_blocks]
+        assert occ.active_blocks_per_sm == min(limits)
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.sampled_from(ARCHS), st.integers(10, 16384), st.integers(1, 200),
+           st.integers(0, 500))
+    def test_time_positive_and_finite(self, arch, blocks, arith, loads):
+        warps = blocks * 8
+        wl = KernelWorkload(
+            name="w", grid_blocks=blocks, threads_per_block=256,
+            regs_per_thread=16,
+            arithmetic_instructions=warps * arith,
+            global_accesses=(
+                [GlobalAccessPattern("load", max(1, warps * loads // 10))]
+                if loads else []
+            ),
+        )
+        _, t, profs = GPUSimulator(arch).run([wl])
+        assert np.isfinite(t) and t > 0
+        assert profs[0].timing.cycles >= 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 100))
+    def test_time_monotone_in_work(self, scale):
+        def wl(mult):
+            warps = 1024 * 8
+            return KernelWorkload(
+                name="w", grid_blocks=1024, threads_per_block=256,
+                regs_per_thread=16,
+                arithmetic_instructions=warps * 10 * mult,
+            )
+        sim = GPUSimulator(GTX580)
+        _, t1, _ = sim.run([wl(1)])
+        _, t2, _ = sim.run([wl(1 + scale)])
+        assert t2 >= t1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_counters_nonnegative(self, seed):
+        rng = np.random.default_rng(seed)
+        warps = 512 * 8
+        wl = KernelWorkload(
+            name="w", grid_blocks=512, threads_per_block=256,
+            regs_per_thread=16,
+            arithmetic_instructions=warps * int(rng.integers(1, 100)),
+            global_accesses=[
+                GlobalAccessPattern(
+                    "load", warps, stride_words=int(rng.integers(1, 33))
+                )
+            ],
+        )
+        counters, _, _ = GPUSimulator(GTX580).run(
+            [wl], Perturbation.draw(rng, scale=1.0)
+        )
+        for name, value in counters.items():
+            assert value >= 0.0, name
+            assert np.isfinite(value), name
+
+
+class TestPerturbationProperties:
+    @given(st.integers(0, 100_000), st.floats(0.0, 2.0))
+    def test_draw_always_valid(self, seed, scale):
+        p = Perturbation.draw(seed, scale=scale)
+        assert 0 < p.sched_efficiency <= 1.0
+        assert 0 < p.dram_efficiency <= 1.0
+        assert p.conflict_factor > 0
+        assert p.cache_factor > 0
+        assert p.time_jitter > 0

@@ -1,0 +1,93 @@
+"""Tests for the roofline analysis utility."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GTX580, K20M
+from repro.gpusim.roofline import (
+    RooflinePoint,
+    attainable_gflops,
+    roofline_chart,
+    roofline_point,
+)
+from repro.kernels import MatMulKernel, ReductionKernel, VectorAddKernel
+
+
+class TestAttainable:
+    def test_bandwidth_region(self):
+        # at intensity 0.1, attainable = 0.1 * bandwidth
+        assert attainable_gflops(GTX580, 0.1) == pytest.approx(19.24)
+
+    def test_compute_region(self):
+        assert attainable_gflops(GTX580, 1e6) == pytest.approx(
+            GTX580.peak_gflops_sp
+        )
+
+    def test_ridge_point_continuity(self):
+        ridge = GTX580.peak_gflops_sp / GTX580.mem_bandwidth_gbs
+        assert attainable_gflops(GTX580, ridge) == pytest.approx(
+            GTX580.peak_gflops_sp, rel=1e-9
+        )
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            attainable_gflops(GTX580, -1.0)
+
+
+class TestRooflinePoints:
+    def test_reduction_is_bandwidth_bound(self):
+        p = roofline_point(ReductionKernel(6), 1 << 24, GTX580)
+        assert p.bound == "bandwidth"
+        assert p.operational_intensity < 1.0
+
+    def test_matmul_intensity_grows_with_n(self):
+        small = roofline_point(MatMulKernel(), 128, GTX580)
+        # large matrices spill out of L2 -> DRAM bytes grow ~ O(n^3/16),
+        # so intensity saturates near the tile reuse factor; it must at
+        # least stay positive and finite
+        big = roofline_point(MatMulKernel(), 1024, GTX580)
+        assert np.isfinite(small.operational_intensity)
+        assert np.isfinite(big.operational_intensity)
+        assert big.achieved_gflops > small.achieved_gflops
+
+    def test_achieved_below_attainable(self):
+        for kernel, problem in ((ReductionKernel(6), 1 << 22),
+                                (VectorAddKernel(), 1 << 22),
+                                (MatMulKernel(), 512)):
+            p = roofline_point(kernel, problem, GTX580)
+            assert p.achieved_gflops <= p.attainable_gflops * 1.05, p
+
+    def test_bandwidth_kernel_near_ceiling(self):
+        p = roofline_point(ReductionKernel(6), 1 << 24, GTX580)
+        assert p.ceiling_fraction > 0.7
+
+    def test_k20m_higher_roof(self):
+        p_f = roofline_point(MatMulKernel(), 512, GTX580)
+        p_k = roofline_point(MatMulKernel(), 512, K20M)
+        assert p_k.peak_gflops > p_f.peak_gflops
+
+
+class TestChart:
+    def test_chart_renders(self):
+        points = [
+            roofline_point(ReductionKernel(6), 1 << 22, GTX580),
+            roofline_point(MatMulKernel(), 512, GTX580),
+        ]
+        chart = roofline_chart(points, GTX580)
+        assert "Roofline: GTX580" in chart
+        assert "A:" in chart and "B:" in chart
+        assert "bound" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            roofline_chart([], GTX580)
+
+    def test_point_bound_labels(self):
+        p = RooflinePoint("x", operational_intensity=0.5,
+                          achieved_gflops=10, attainable_gflops=96,
+                          peak_gflops=1581, ridge_intensity=8.2)
+        assert p.bound == "bandwidth"
+        p2 = RooflinePoint("y", operational_intensity=100,
+                           achieved_gflops=800, attainable_gflops=1581,
+                           peak_gflops=1581, ridge_intensity=8.2)
+        assert p2.bound == "compute"

@@ -1,0 +1,200 @@
+"""Unit tests for the simulator and counter aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.arch import GTX580, K20M
+from repro.gpusim.noise import Perturbation
+from repro.gpusim.simulator import (
+    GPUSimulator,
+    aggregate_launches,
+    finalize_counters,
+    sum_raw,
+)
+from repro.gpusim.workload import (
+    GlobalAccessPattern,
+    KernelWorkload,
+    SharedAccessPattern,
+)
+
+
+def streaming_workload(n=1 << 20):
+    warps = n // 32
+    return KernelWorkload(
+        name="stream",
+        grid_blocks=n // 256,
+        threads_per_block=256,
+        regs_per_thread=10,
+        arithmetic_instructions=warps * 4,
+        branches=warps,
+        global_accesses=[
+            GlobalAccessPattern("load", warps * 2, stride_words=1),
+            GlobalAccessPattern("store", warps, stride_words=1),
+        ],
+    )
+
+
+def conflict_workload(n=1 << 20, degree=8.0):
+    warps = n // 32
+    return KernelWorkload(
+        name="conflicted",
+        grid_blocks=n // 256,
+        threads_per_block=256,
+        regs_per_thread=10,
+        shared_mem_per_block=4096,
+        arithmetic_instructions=warps * 8,
+        shared_accesses=[
+            SharedAccessPattern("load", warps * 8, conflict_degree=degree),
+            SharedAccessPattern("store", warps * 4, conflict_degree=degree),
+        ],
+        global_accesses=[GlobalAccessPattern("load", warps, stride_words=1)],
+    )
+
+
+class TestLaunch:
+    def test_event_counters_match_workload(self):
+        wl = streaming_workload()
+        prof = GPUSimulator(GTX580).launch(wl)
+        assert prof.raw["gld_request"] == wl.total_warps * 2
+        assert prof.raw["gst_request"] == wl.total_warps
+        assert prof.raw["branch"] == wl.branches
+        assert prof.raw["inst_executed"] == wl.executed_instructions
+
+    def test_inst_issued_includes_replays(self):
+        wl = conflict_workload(degree=4.0)
+        prof = GPUSimulator(GTX580).launch(wl)
+        expected_replays = wl.total_warps * 12 * 3.0  # (8+4) reqs x (4-1)
+        assert prof.raw["inst_issued"] - prof.raw["inst_executed"] == pytest.approx(
+            expected_replays
+        )
+
+    def test_streaming_near_peak_bandwidth(self):
+        _, t, profs = GPUSimulator(GTX580).run([streaming_workload()])
+        assert profs[0].timing.binding == "bandwidth"
+        n_bytes = (1 << 20) * 12
+        assert t == pytest.approx(n_bytes / 192.4e9, rel=0.25)
+
+    def test_conflicts_slow_execution(self):
+        sim = GPUSimulator(GTX580)
+        clean = sim.launch(conflict_workload(degree=1.0)).timing.cycles
+        dirty = sim.launch(conflict_workload(degree=8.0)).timing.cycles
+        assert dirty > 2 * clean
+
+
+class TestCounterAggregation:
+    def test_fermi_exposes_l1_and_bank_counters(self):
+        counters, _, _ = GPUSimulator(GTX580).run([conflict_workload()])
+        assert "l1_shared_bank_conflict" in counters
+        assert "l1_global_load_miss" in counters
+        assert "shared_load_replay" not in counters
+
+    def test_kepler_exposes_replay_split(self):
+        counters, _, _ = GPUSimulator(K20M).run([conflict_workload()])
+        assert "shared_load_replay" in counters
+        assert "shared_store_replay" in counters
+        assert "l1_shared_bank_conflict" not in counters
+
+    def test_replay_overheads_consistent(self):
+        counters, _, _ = GPUSimulator(GTX580).run([conflict_workload(degree=4.0)])
+        assert counters["inst_replay_overhead"] == pytest.approx(
+            counters["shared_replay_overhead"]
+            + counters["global_replay_overhead"],
+            rel=1e-9,
+        )
+
+    def test_occupancy_in_unit_interval(self):
+        counters, _, _ = GPUSimulator(GTX580).run([streaming_workload()])
+        assert 0.0 < counters["achieved_occupancy"] <= 1.0
+
+    def test_warp_execution_efficiency_percent(self):
+        counters, _, _ = GPUSimulator(GTX580).run([streaming_workload()])
+        assert 0.0 < counters["warp_execution_efficiency"] <= 100.0
+
+    def test_gld_efficiency_100_for_coalesced(self):
+        counters, _, _ = GPUSimulator(GTX580).run([streaming_workload()])
+        assert counters["gld_efficiency"] == pytest.approx(100.0)
+
+    def test_multi_launch_events_sum(self):
+        sim = GPUSimulator(GTX580)
+        wl = streaming_workload()
+        single, _, _ = sim.run([wl])
+        double, _, _ = sim.run([wl, wl])
+        assert double["gld_request"] == pytest.approx(2 * single["gld_request"])
+
+    def test_multi_launch_time_sums(self):
+        sim = GPUSimulator(GTX580)
+        wl = streaming_workload()
+        _, t1, _ = sim.run([wl])
+        _, t2, _ = sim.run([wl, wl])
+        assert t2 == pytest.approx(2 * t1, rel=1e-9)
+
+    def test_throughputs_consistent_with_time(self):
+        counters, t, profs = GPUSimulator(GTX580).run([streaming_workload()])
+        total = sum_raw(profs)
+        assert counters["dram_read_throughput"] == pytest.approx(
+            total["dram_read_bytes"] / t / 1e9
+        )
+
+
+class TestPerturbations:
+    def test_deterministic_without_noise(self):
+        sim = GPUSimulator(GTX580)
+        _, t1, _ = sim.run([streaming_workload()])
+        _, t2, _ = sim.run([streaming_workload()])
+        assert t1 == t2
+
+    def test_noise_varies_time(self):
+        sim = GPUSimulator(GTX580, noise_sigma=1.0, rng=0)
+        times = {sim.run([streaming_workload()])[1] for _ in range(5)}
+        assert len(times) == 5
+
+    def test_explicit_perturbation_applied(self):
+        sim = GPUSimulator(GTX580)
+        base = sim.run([conflict_workload()], Perturbation())[0]
+        bumped = sim.run(
+            [conflict_workload()], Perturbation(conflict_factor=1.5)
+        )[0]
+        assert bumped["l1_shared_bank_conflict"] == pytest.approx(
+            1.5 * base["l1_shared_bank_conflict"]
+        )
+
+    def test_dram_efficiency_slows_streaming(self):
+        sim = GPUSimulator(GTX580)
+        _, fast, _ = sim.run([streaming_workload()], Perturbation())
+        _, slow, _ = sim.run(
+            [streaming_workload()], Perturbation(dram_efficiency=0.7)
+        )
+        assert slow > fast
+
+    def test_perturbation_validation(self):
+        with pytest.raises(ValueError):
+            Perturbation(sched_efficiency=1.2)
+        with pytest.raises(ValueError):
+            Perturbation(conflict_factor=0.0)
+        with pytest.raises(ValueError):
+            Perturbation.draw(scale=-1.0)
+
+    def test_zero_scale_draw_is_identity(self):
+        p = Perturbation.draw(rng=0, scale=0.0)
+        assert p == Perturbation()
+
+    def test_draw_reproducible(self):
+        assert Perturbation.draw(rng=5) == Perturbation.draw(rng=5)
+
+
+class TestValidation:
+    def test_empty_run_rejected(self):
+        with pytest.raises(ValueError):
+            GPUSimulator(GTX580).run([])
+
+    def test_empty_aggregation_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_launches(GTX580, [])
+
+    def test_finalize_matches_aggregate(self):
+        sim = GPUSimulator(GTX580)
+        profs = [sim.launch(streaming_workload())]
+        c1, t1 = aggregate_launches(GTX580, profs)
+        c2, t2 = finalize_counters(GTX580, sum_raw(profs))
+        assert t1 == t2
+        assert c1.as_dict() == c2.as_dict()

@@ -1,0 +1,126 @@
+"""Unit tests for the analytical timing model."""
+
+import pytest
+
+from repro.gpusim.arch import GTX580, K20M
+from repro.gpusim.memory import resolve_access
+from repro.gpusim.occupancy import occupancy
+from repro.gpusim.timing import TimingModel
+from repro.gpusim.workload import GlobalAccessPattern
+
+
+def evaluate(arch, grid=4096, warps_pb=8, issued_per_warp=20.0,
+             load_requests=None, dram_bytes=None, sched=1.0, dram_eff=1.0,
+             regs=16, threads=256, smem=0, shared_tx=0.0):
+    occ = occupancy(arch, threads, regs, smem)
+    total_warps = grid * warps_pb
+    mem = []
+    if load_requests:
+        mem = [resolve_access(
+            GlobalAccessPattern("load", load_requests, stride_words=1), arch)]
+    if dram_bytes is None:
+        dram_bytes = sum(m.dram_bytes for m in mem)
+    return TimingModel(arch).evaluate(
+        grid_blocks=grid, warps_per_block=warps_pb, occ=occ,
+        issued_per_warp=issued_per_warp, mem=mem, total_warps=total_warps,
+        dram_bytes=dram_bytes, shared_transactions=shared_tx,
+        sched_efficiency=sched, dram_efficiency=dram_eff,
+    )
+
+
+class TestIssueRate:
+    def test_fermi_is_one_warp_inst_per_cycle(self):
+        assert TimingModel(GTX580).issue_rate == 1.0
+
+    def test_kepler_is_six(self):
+        assert TimingModel(K20M).issue_rate == 6.0
+
+
+class TestBounds:
+    def test_pure_compute_kernel_is_compute_bound(self):
+        t = evaluate(GTX580, issued_per_warp=5000.0)
+        assert t.binding == "compute"
+
+    def test_streaming_kernel_is_bandwidth_bound(self):
+        t = evaluate(GTX580, issued_per_warp=5.0,
+                     load_requests=4096 * 8 * 4)
+        assert t.binding == "bandwidth"
+
+    def test_tiny_low_occupancy_launch_latency_dominated(self):
+        t = evaluate(GTX580, grid=4, warps_pb=1, threads=16,
+                     issued_per_warp=50.0, load_requests=64)
+        assert t.binding in ("latency", "serial")
+
+    def test_compute_time_matches_hand_calculation(self):
+        # 4096 blocks/16 SMs = 256 blocks; 6 resident -> 43 waves.
+        # pure compute: each wave wave_blocks*8 warps * 100 cycles.
+        t = evaluate(GTX580, issued_per_warp=100.0)
+        expected = 256 * 8 * 100.0  # total warp-cycles per SM at rate 1
+        assert t.cycles == pytest.approx(expected, rel=0.01)
+
+    def test_bandwidth_time_matches_bandwidth(self):
+        n_bytes = 1 << 26
+        t = evaluate(GTX580, issued_per_warp=1.0, load_requests=n_bytes // 128,
+                     dram_bytes=n_bytes)
+        seconds = t.cycles / (GTX580.clock_ghz * 1e9)
+        assert seconds == pytest.approx(n_bytes / (192.4e9), rel=0.1)
+
+
+class TestPerturbationResponse:
+    def test_sched_efficiency_slows_compute(self):
+        fast = evaluate(GTX580, issued_per_warp=1000.0, sched=1.0)
+        slow = evaluate(GTX580, issued_per_warp=1000.0, sched=0.8)
+        assert slow.cycles == pytest.approx(fast.cycles / 0.8, rel=1e-6)
+
+    def test_sched_efficiency_does_not_touch_bandwidth(self):
+        kw = dict(issued_per_warp=1.0, load_requests=(1 << 26) // 128,
+                  dram_bytes=1 << 26)
+        a = evaluate(GTX580, sched=1.0, **kw)
+        b = evaluate(GTX580, sched=0.9, **kw)
+        assert b.cycles == pytest.approx(a.cycles, rel=0.01)
+
+    def test_dram_efficiency_slows_bandwidth(self):
+        kw = dict(issued_per_warp=1.0, load_requests=(1 << 26) // 128,
+                  dram_bytes=1 << 26)
+        a = evaluate(GTX580, dram_eff=1.0, **kw)
+        b = evaluate(GTX580, dram_eff=0.8, **kw)
+        assert b.cycles == pytest.approx(a.cycles / 0.8, rel=0.01)
+
+    def test_occupancy_reporting_scales_with_sched(self):
+        a = evaluate(GTX580, issued_per_warp=100.0, sched=1.0)
+        b = evaluate(GTX580, issued_per_warp=100.0, sched=0.9)
+        assert b.avg_resident_warps == pytest.approx(
+            a.avg_resident_warps * 0.9, rel=1e-6
+        )
+
+
+class TestWaves:
+    def test_wave_count(self):
+        t = evaluate(GTX580, grid=16 * 6 * 3, issued_per_warp=10.0)
+        assert t.waves == 3
+
+    def test_partial_last_wave_cheaper_than_full(self):
+        full = evaluate(GTX580, grid=16 * 6 * 2, issued_per_warp=100.0)
+        partial = evaluate(GTX580, grid=16 * 6 + 16, issued_per_warp=100.0)
+        assert partial.cycles < full.cycles
+
+    def test_n_active_sms_capped_by_grid(self):
+        t = evaluate(GTX580, grid=4, warps_pb=1, threads=32,
+                     issued_per_warp=10.0)
+        assert t.n_active_sms == 4
+
+
+class TestMonotonicity:
+    def test_more_instructions_never_faster(self):
+        a = evaluate(GTX580, issued_per_warp=100.0)
+        b = evaluate(GTX580, issued_per_warp=200.0)
+        assert b.cycles >= a.cycles
+
+    def test_more_dram_traffic_never_faster(self):
+        a = evaluate(GTX580, issued_per_warp=10.0, load_requests=10000)
+        b = evaluate(GTX580, issued_per_warp=10.0, load_requests=40000)
+        assert b.cycles >= a.cycles
+
+    def test_launch_overhead_in_wall_time(self):
+        t = evaluate(GTX580, issued_per_warp=10.0)
+        assert t.time_s >= GTX580.kernel_launch_overhead_us * 1e-6

@@ -1,0 +1,112 @@
+"""Unit tests for the workload IR."""
+
+import pytest
+
+from repro.gpusim.workload import (
+    GlobalAccessPattern,
+    KernelWorkload,
+    SharedAccessPattern,
+)
+
+
+def simple_workload(**overrides):
+    kwargs = dict(
+        name="k",
+        grid_blocks=10,
+        threads_per_block=256,
+        arithmetic_instructions=1000,
+        branches=100,
+        divergent_branches=10,
+        other_instructions=50,
+        global_accesses=[
+            GlobalAccessPattern("load", 200),
+            GlobalAccessPattern("store", 80),
+        ],
+        shared_accesses=[
+            SharedAccessPattern("load", 300, conflict_degree=2.0),
+            SharedAccessPattern("store", 150),
+        ],
+    )
+    kwargs.update(overrides)
+    return KernelWorkload(**kwargs)
+
+
+class TestDerivedCounts:
+    def test_warps_per_block(self):
+        assert simple_workload().warps_per_block == 8
+        assert simple_workload(threads_per_block=16).warps_per_block == 1
+        assert simple_workload(threads_per_block=33).warps_per_block == 2
+
+    def test_total_warps_and_threads(self):
+        wl = simple_workload()
+        assert wl.total_warps == 80
+        assert wl.total_threads == 2560
+
+    def test_ldst_instructions(self):
+        assert simple_workload().ldst_instructions == 200 + 80 + 300 + 150
+
+    def test_executed_excludes_replays(self):
+        wl = simple_workload()
+        assert wl.executed_instructions == 1000 + 100 + 50 + 730
+
+    def test_loads_stores_selectors(self):
+        wl = simple_workload()
+        assert [a.requests for a in wl.loads("global")] == [200]
+        assert [a.requests for a in wl.stores("global")] == [80]
+        assert [a.requests for a in wl.loads("shared")] == [300]
+        assert [a.requests for a in wl.stores("shared")] == [150]
+
+
+class TestSharedPattern:
+    def test_replays(self):
+        assert SharedAccessPattern("load", 100, conflict_degree=3.0).replays == 200.0
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            SharedAccessPattern("read", 1)
+
+    def test_rejects_degree_below_one(self):
+        with pytest.raises(ValueError):
+            SharedAccessPattern("load", 1, conflict_degree=0.9)
+
+
+class TestGlobalPattern:
+    def test_requested_bytes(self):
+        acc = GlobalAccessPattern("load", 10, word_bytes=4, active_lanes=32)
+        assert acc.requested_bytes == 1280
+
+    def test_rejects_bad_lane_count(self):
+        with pytest.raises(ValueError):
+            GlobalAccessPattern("load", 1, active_lanes=33)
+
+    def test_rejects_bad_word(self):
+        with pytest.raises(ValueError):
+            GlobalAccessPattern("load", 1, word_bytes=3)
+
+    def test_rejects_bad_hit_fraction(self):
+        with pytest.raises(ValueError):
+            GlobalAccessPattern("load", 1, l1_hit_fraction=1.5)
+
+    def test_rejects_negative_stride(self):
+        with pytest.raises(ValueError):
+            GlobalAccessPattern("load", 1, stride_words=-2)
+
+
+class TestWorkloadValidation:
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ValueError):
+            simple_workload(grid_blocks=0)
+
+    def test_rejects_divergent_exceeding_branches(self):
+        with pytest.raises(ValueError):
+            simple_workload(branches=5, divergent_branches=6)
+
+    def test_rejects_bad_active_threads(self):
+        with pytest.raises(ValueError):
+            simple_workload(avg_active_threads=40.0)
+        with pytest.raises(ValueError):
+            simple_workload(avg_active_threads=0.0)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            simple_workload(arithmetic_instructions=-1)

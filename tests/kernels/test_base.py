@@ -1,0 +1,94 @@
+"""Tests for the kernel base interface and the workload accumulator."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.base import WorkloadAccumulator
+
+
+def make_acc(**overrides):
+    kwargs = dict(name="k", grid_blocks=10, threads_per_block=256,
+                  regs_per_thread=16, shared_mem_per_block=1024)
+    kwargs.update(overrides)
+    return WorkloadAccumulator(**kwargs)
+
+
+class TestAccumulator:
+    def test_counts_scale_by_grid(self):
+        acc = make_acc()
+        acc.arith(5)
+        acc.branch(2, divergent=1)
+        acc.sync(1)
+        wl = acc.build()
+        assert wl.arithmetic_instructions == 50
+        assert wl.branches == 20
+        assert wl.divergent_branches == 10
+        assert wl.other_instructions == 10
+
+    def test_build_for_grid_rescales(self):
+        acc = make_acc()
+        acc.arith(3)
+        small = acc.build_for_grid(2)
+        big = acc.build_for_grid(200, name="custom")
+        assert small.arithmetic_instructions == 6
+        assert big.arithmetic_instructions == 600
+        assert big.name == "custom"
+        assert small.name == "k"
+
+    def test_shared_buckets_by_conflict_degree(self):
+        acc = make_acc()
+        acc.shared("load", 4, conflict_degree=1.0)
+        acc.shared("load", 2, conflict_degree=8.0)
+        acc.shared("store", 1, conflict_degree=8.0)
+        wl = acc.build()
+        degrees = sorted((s.kind, s.conflict_degree) for s in wl.shared_accesses)
+        assert degrees == [("load", 1.0), ("load", 8.0), ("store", 8.0)]
+
+    def test_warp_efficiency_from_lane_counts(self):
+        acc = make_acc()
+        acc.arith(1, lanes=32.0)
+        acc.arith(1, lanes=16.0)
+        wl = acc.build()
+        assert wl.avg_active_threads == pytest.approx(24.0)
+
+    def test_fma_flag(self):
+        acc = make_acc()
+        acc.arith(4, fma=True)
+        acc.arith(6)
+        wl = acc.build()
+        assert wl.fma_instructions == 40
+        assert wl.arithmetic_instructions == 100
+
+    def test_memory_ilp_and_chain_propagate(self):
+        acc = make_acc()
+        acc.set_memory_ilp(4.0)
+        acc.chain(100.0)
+        acc.chain(50.0)
+        acc.arith(1)
+        wl = acc.build()
+        assert wl.memory_ilp == 4.0
+        assert wl.critical_path_cycles == 150.0
+
+    def test_global_access_passthrough(self):
+        acc = make_acc()
+        acc.global_access("load", 3, lanes=16, stride_words=2,
+                          word_bytes=8, unique_bytes=4096,
+                          l1_hit_fraction=0.5)
+        wl = acc.build()
+        (access,) = wl.global_accesses
+        assert access.requests == 30
+        assert access.active_lanes == 16
+        assert access.stride_words == 2
+        assert access.word_bytes == 8
+        assert access.l1_hit_fraction == 0.5
+
+    def test_minimum_one_request_after_rounding(self):
+        acc = make_acc(grid_blocks=1)
+        acc.global_access("store", 0.2)  # rounds to >= 1
+        wl = acc.build()
+        assert wl.global_accesses[0].requests == 1
+
+    def test_kernel_repr(self):
+        from repro.kernels import ReductionKernel
+
+        assert "reduce3" in repr(ReductionKernel(3))

@@ -1,0 +1,99 @@
+"""Tests for the extra kernels (vector add, transpose) and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GTX580, GPUSimulator
+from repro.kernels import kernel_registry
+from repro.kernels.extra import TransposeKernel, VectorAddKernel
+
+
+class TestVectorAdd:
+    @pytest.mark.parametrize("n", [1, 255, 256, 1000, 4096])
+    def test_matches_reference(self, n):
+        k = VectorAddKernel()
+        assert np.allclose(k.run(n), k.reference(n))
+
+    def test_bandwidth_bound(self):
+        _, _, profs = GPUSimulator(GTX580).run(
+            VectorAddKernel().workloads(1 << 22, GTX580)
+        )
+        assert profs[0].timing.binding == "bandwidth"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            VectorAddKernel().workloads(0, GTX580)
+
+
+class TestTranspose:
+    @pytest.mark.parametrize("variant", ["naive", "tiled"])
+    def test_matches_reference(self, variant):
+        k = TransposeKernel(variant)
+        assert np.allclose(k.run(64), k.reference(64))
+
+    def test_naive_stores_uncoalesced(self):
+        counters, _, _ = GPUSimulator(GTX580).run(
+            TransposeKernel("naive").workloads(1024, GTX580)
+        )
+        assert counters["gst_efficiency"] < 50.0
+
+    def test_tiled_stores_coalesced(self):
+        counters, _, _ = GPUSimulator(GTX580).run(
+            TransposeKernel("tiled").workloads(1024, GTX580)
+        )
+        assert counters["gst_efficiency"] == pytest.approx(100.0)
+
+    def test_tiled_faster_than_naive(self):
+        sim = GPUSimulator(GTX580)
+        _, t_naive, _ = sim.run(TransposeKernel("naive").workloads(2048, GTX580))
+        _, t_tiled, _ = sim.run(TransposeKernel("tiled").workloads(2048, GTX580))
+        assert t_tiled < t_naive / 2
+
+    def test_unpadded_tile_has_conflicts(self):
+        counters, _, _ = GPUSimulator(GTX580).run(
+            TransposeKernel("tiled", padded=False).workloads(1024, GTX580)
+        )
+        assert counters["shared_replay_overhead"] > 0.0
+
+    def test_padded_tile_conflict_free(self):
+        counters, _, _ = GPUSimulator(GTX580).run(
+            TransposeKernel("tiled", padded=True).workloads(1024, GTX580)
+        )
+        assert counters["shared_replay_overhead"] == 0.0
+
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            TransposeKernel("blocked")
+
+
+class TestRegistry:
+    def test_contains_all_paper_kernels(self):
+        reg = kernel_registry()
+        for name in ("reduce1", "reduce2", "reduce6", "matrixMul",
+                     "needleman-wunsch"):
+            assert name in reg
+
+    def test_every_kernel_has_sweep_and_characteristics(self):
+        for name, kernel in kernel_registry().items():
+            sweep = kernel.default_sweep()
+            assert len(sweep) >= 5, name
+            chars = kernel.characteristics(sweep[0])
+            assert "size" in chars, name
+
+    def test_every_kernel_simulates(self):
+        from repro.cpusim import XEON_E5, CPUSimulator
+        from repro.gpusim import Perturbation
+
+        gpu_sim = GPUSimulator(GTX580)
+        cpu_sim = CPUSimulator(XEON_E5)
+        for name, kernel in kernel_registry().items():
+            problem = kernel.default_sweep()[0]
+            if name.startswith("cpu-"):
+                counters, t = cpu_sim.run(
+                    kernel.workloads(problem, XEON_E5), Perturbation()
+                )
+                assert counters["instructions"] > 0, name
+            else:
+                counters, t, _ = gpu_sim.run(kernel.workloads(problem, GTX580))
+                assert counters["inst_executed"] > 0, name
+            assert t > 0, name

@@ -1,0 +1,92 @@
+"""Tests for the two-characteristic Jacobi solver workload."""
+
+import numpy as np
+import pytest
+
+from repro import BlackForest, Campaign, GTX580, JacobiSolverKernel
+from repro.core.prediction import ProblemScalingPredictor
+from repro.gpusim import GPUSimulator
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("iters", [1, 3, 7])
+    def test_matches_reference(self, iters):
+        k = JacobiSolverKernel()
+        assert np.allclose(k.run((96, iters)), k.reference((96, iters)))
+
+    def test_iterations_change_result(self):
+        k = JacobiSolverKernel()
+        assert not np.allclose(k.run((96, 1)), k.run((96, 5)))
+
+    def test_bad_problems_rejected(self):
+        k = JacobiSolverKernel()
+        with pytest.raises(ValueError):
+            k.run(128)           # not a pair
+        with pytest.raises(ValueError):
+            k.run((128, 0))      # no iterations
+
+
+class TestWorkloadStructure:
+    def test_one_launch_per_iteration(self):
+        wls = JacobiSolverKernel().workloads((256, 6), GTX580)
+        assert len(wls) == 6
+        assert all(w.grid_blocks == wls[0].grid_blocks for w in wls)
+
+    def test_time_scales_with_both_characteristics(self):
+        sim = GPUSimulator(GTX580)
+        k = JacobiSolverKernel()
+        _, t_base, _ = sim.run(k.workloads((512, 4), GTX580))
+        _, t_iter, _ = sim.run(k.workloads((512, 8), GTX580))
+        _, t_size, _ = sim.run(k.workloads((1024, 4), GTX580))
+        assert t_iter == pytest.approx(2 * t_base, rel=0.05)
+        assert t_size > 2.5 * t_base  # ~4x work, some fixed overhead
+
+    def test_characteristics(self):
+        chars = JacobiSolverKernel().characteristics((512, 8))
+        assert chars == {"size": 512.0, "iterations": 8.0}
+
+    def test_default_sweep_is_grid(self):
+        sweep = JacobiSolverKernel().default_sweep()
+        sizes = {n for n, _ in sweep}
+        iters = {i for _, i in sweep}
+        assert len(sweep) == len(sizes) * len(iters)
+
+
+class TestTwoCharacteristicPrediction:
+    @pytest.fixture(scope="class")
+    def predictor(self):
+        campaign = Campaign(JacobiSolverKernel(), GTX580, rng=0).run()
+        return ProblemScalingPredictor(
+            BlackForest(n_trees=120, use_pca=False, rng=1),
+            characteristic=["size", "iterations"],
+            rng=2,
+        ).fit(campaign)
+
+    def test_both_characteristics_retained(self, predictor):
+        assert "size" in predictor.retained_
+        assert "iterations" in predictor.retained_
+
+    def test_counter_models_capture_interaction(self, predictor):
+        # with size x iterations driving the counts, at least one MARS
+        # model needs a degree-2 (interaction) basis function
+        has_interaction = any(
+            m.kind == "mars" and any(b.degree == 2 for b in m.model.basis_)
+            for m in predictor.counter_models_.models.values()
+        )
+        assert has_interaction
+
+    def test_unseen_pairs_predicted(self, predictor):
+        unseen = Campaign(JacobiSolverKernel(), GTX580, rng=77).run(
+            problems=[(320, 3), (640, 12), (896, 24), (1280, 6)]
+        )
+        report = predictor.report(unseen)
+        assert report.explained_variance > 0.6
+
+    def test_prediction_monotone_in_iterations(self, predictor):
+        probs = np.array([[512.0, 2.0], [512.0, 8.0], [512.0, 24.0]])
+        times = predictor.predict(probs)
+        assert times[0] < times[1] < times[2]
+
+    def test_wrong_width_rejected(self, predictor):
+        with pytest.raises(ValueError):
+            predictor.counter_models_.predict_counters(np.zeros((3, 5)))

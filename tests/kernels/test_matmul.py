@@ -1,0 +1,127 @@
+"""Tests for the tiled matrix-multiply kernel model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GTX580, K20M, GPUSimulator
+from repro.kernels.matmul import MatMulKernel
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("n", [16, 32, 64, 80])
+    def test_matches_reference(self, n):
+        k = MatMulKernel()
+        assert np.allclose(k.run(n), k.reference(n))
+
+    def test_other_tile_size(self):
+        k = MatMulKernel(tile=8)
+        assert np.allclose(k.run(32), k.reference(32))
+
+    def test_rejects_non_multiple(self):
+        with pytest.raises(ValueError):
+            MatMulKernel().run(50)
+
+    def test_rejects_bad_tile(self):
+        with pytest.raises(ValueError):
+            MatMulKernel(tile=12)
+
+
+class TestWorkloadStructure:
+    def test_single_launch(self):
+        assert len(MatMulKernel().workloads(256, GTX580)) == 1
+
+    def test_grid_and_block_geometry(self):
+        wl = MatMulKernel().workloads(512, GTX580)[0]
+        assert wl.grid_blocks == (512 // 16) ** 2
+        assert wl.threads_per_block == 256
+
+    def test_fma_count_matches_n_cubed(self):
+        n = 256
+        wl = MatMulKernel().workloads(n, GTX580)[0]
+        # n^3 thread-level FMAs at warp granularity
+        assert wl.fma_instructions == pytest.approx(n**3 / 32, rel=0.01)
+
+    def test_load_store_ratio_is_block_size(self):
+        # "a ratio of block size loads per store" (paper Section 6.1.1)
+        n = 512
+        wl = MatMulKernel().workloads(n, GTX580)[0]
+        loads = sum(a.requests for a in wl.loads("global"))
+        stores = sum(a.requests for a in wl.stores("global"))
+        assert loads / stores == pytest.approx(2 * n / 16, rel=0.05)
+
+    def test_shared_memory_two_tiles(self):
+        wl = MatMulKernel().workloads(256, GTX580)[0]
+        assert wl.shared_mem_per_block == 2 * 16 * 16 * 4
+
+
+class TestScalingBehaviour:
+    def test_time_scales_cubically(self):
+        sim = GPUSimulator(GTX580)
+        k = MatMulKernel()
+        _, t1, _ = sim.run(k.workloads(512, GTX580))
+        _, t2, _ = sim.run(k.workloads(1024, GTX580))
+        assert t2 / t1 == pytest.approx(8.0, rel=0.35)
+
+    def test_bandwidth_pressure_grows_with_n(self):
+        # "this version of MM is compute intensive and bandwidth-limited
+        # for large matrix sizes": the DRAM-bandwidth bound approaches
+        # the compute bound as n grows (L2 stops containing the tiles).
+        sim = GPUSimulator(GTX580)
+        ratios = []
+        for n in (256, 1024, 2048):
+            _, _, profs = sim.run(MatMulKernel().workloads(n, GTX580))
+            t = profs[0].timing
+            ratios.append(t.bandwidth_bound_cycles / t.compute_bound_cycles)
+        assert ratios[0] < ratios[1] < ratios[2]
+        assert ratios[2] > 0.8
+
+    def test_small_sizes_not_bandwidth_limited(self):
+        sim = GPUSimulator(GTX580)
+        _, _, profs = sim.run(MatMulKernel().workloads(256, GTX580))
+        assert profs[0].timing.binding != "bandwidth"
+
+    def test_gst_requested_throughput_decreases_with_n(self):
+        # the store-bottleneck signature behind Fig. 5a
+        sim = GPUSimulator(GTX580)
+        k = MatMulKernel()
+        values = []
+        for n in (256, 512, 1024):
+            counters, _, _ = sim.run(k.workloads(n, GTX580))
+            values.append(counters["gst_requested_throughput"])
+        assert values[0] > values[1] > values[2]
+
+    def test_achievable_gflops_sane(self):
+        sim = GPUSimulator(GTX580)
+        _, t, _ = sim.run(MatMulKernel().workloads(1024, GTX580))
+        gflops = 2 * 1024**3 / t / 1e9
+        # tiled SGEMM on Fermi: well below peak, far above scalar
+        assert 100 < gflops < 1581
+
+    def test_k20m_competitive_at_midsize(self):
+        # The SDK's naive tiled kernel is shared-memory-throughput bound,
+        # so the K20m's peak-FLOP advantage does not materialize; it
+        # must however stay in the same performance class.
+        k = MatMulKernel()
+        _, t_fermi, _ = GPUSimulator(GTX580).run(k.workloads(1024, GTX580))
+        _, t_kepler, _ = GPUSimulator(K20M).run(k.workloads(1024, K20M))
+        assert t_kepler < 1.6 * t_fermi
+
+    def test_k20m_wins_where_bandwidth_rules(self):
+        # 208 vs 192.4 GB/s: a bandwidth-bound kernel must be faster on
+        # the K20m.
+        from repro.kernels import VectorAddKernel
+
+        k = VectorAddKernel()
+        _, t_fermi, _ = GPUSimulator(GTX580).run(k.workloads(1 << 24, GTX580))
+        _, t_kepler, _ = GPUSimulator(K20M).run(k.workloads(1 << 24, K20M))
+        assert t_kepler < t_fermi
+
+
+class TestSweep:
+    def test_paper_24_runs(self):
+        sweep = MatMulKernel().default_sweep()
+        assert len(sweep) == 24
+        assert sweep[0] == 32
+        assert sweep[-1] == 2048
+        assert all(s % 16 == 0 for s in sweep)
+        assert len(set(sweep)) == 24

@@ -1,0 +1,117 @@
+"""Tests for the Needleman-Wunsch kernel model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GTX580, K20M, GPUSimulator
+from repro.kernels.needleman_wunsch import NeedlemanWunschKernel
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("L", [16, 32, 48, 96])
+    def test_wavefront_matches_rowwise_dp(self, L):
+        k = NeedlemanWunschKernel()
+        assert k.run(L) == k.reference(L)
+
+    @pytest.mark.parametrize("L", [16, 32, 64])
+    def test_blocked_traversal_equivalent(self, L):
+        # the GPU tile order must preserve the DP recurrence
+        k = NeedlemanWunschKernel()
+        assert k.run_blocked(L) == k.run(L)
+
+    def test_penalty_changes_score(self):
+        assert NeedlemanWunschKernel(penalty=1).run(32) >= NeedlemanWunschKernel(
+            penalty=20
+        ).run(32)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            NeedlemanWunschKernel().workloads(100, GTX580)
+
+    def test_rejects_bad_penalty(self):
+        with pytest.raises(ValueError):
+            NeedlemanWunschKernel(penalty=0)
+
+
+class TestLaunchStructure:
+    def test_two_diagonal_sweeps(self):
+        # L=256 -> B=16 block diagonals: kernel1 d=1..16, kernel2 d=15..1
+        wls = NeedlemanWunschKernel().workloads(256, GTX580)
+        assert len(wls) == 2 * 16 - 1
+        grids = [w.grid_blocks for w in wls]
+        assert grids == list(range(1, 17)) + list(range(15, 0, -1))
+
+    def test_total_blocks_cover_matrix(self):
+        L = 512
+        wls = NeedlemanWunschKernel().workloads(L, GTX580)
+        assert sum(w.grid_blocks for w in wls) == (L // 16) ** 2
+
+    def test_sixteen_thread_blocks(self):
+        # "For maximum occupancy, each TB only has 16 threads"
+        wls = NeedlemanWunschKernel().workloads(128, GTX580)
+        assert all(w.threads_per_block == 16 for w in wls)
+
+    def test_kernel_names_distinguish_passes(self):
+        wls = NeedlemanWunschKernel().workloads(128, GTX580)
+        assert any("kernel1" in w.name for w in wls)
+        assert any("kernel2" in w.name for w in wls)
+
+
+class TestBottleneckStructure:
+    def test_low_occupancy(self):
+        counters, _, _ = GPUSimulator(GTX580).run(
+            NeedlemanWunschKernel().workloads(1024, GTX580)
+        )
+        assert counters["achieved_occupancy"] < 0.2
+
+    def test_bank_conflicts_present_on_fermi(self):
+        counters, _, _ = GPUSimulator(GTX580).run(
+            NeedlemanWunschKernel().workloads(512, GTX580)
+        )
+        assert counters["l1_shared_bank_conflict"] > 0
+
+    def test_l1_misses_present_on_fermi(self):
+        counters, _, _ = GPUSimulator(GTX580).run(
+            NeedlemanWunschKernel().workloads(512, GTX580)
+        )
+        assert counters["l1_global_load_miss"] > 0
+
+    def test_uncoalesced_west_halo_hurts_efficiency(self):
+        counters, _, _ = GPUSimulator(GTX580).run(
+            NeedlemanWunschKernel().workloads(512, GTX580)
+        )
+        assert counters["gld_efficiency"] < 100.0
+
+    def test_idle_lanes_reduce_warp_efficiency(self):
+        counters, _, _ = GPUSimulator(GTX580).run(
+            NeedlemanWunschKernel().workloads(512, GTX580)
+        )
+        # 16-thread blocks can never exceed 50% of a 32-lane warp
+        assert counters["warp_execution_efficiency"] < 50.0
+
+    def test_time_grows_superlinearly(self):
+        sim = GPUSimulator(GTX580)
+        k = NeedlemanWunschKernel()
+        _, t1, _ = sim.run(k.workloads(512, GTX580))
+        _, t2, _ = sim.run(k.workloads(2048, GTX580))
+        assert t2 > 3.5 * t1  # ~quadratic work, partially amortized
+
+
+class TestOnKepler:
+    def test_replay_counters_instead_of_bank_conflicts(self):
+        counters, _, _ = GPUSimulator(K20M).run(
+            NeedlemanWunschKernel().workloads(512, K20M)
+        )
+        assert counters["shared_load_replay"] > 0
+        assert "l1_shared_bank_conflict" not in counters
+        assert "l1_global_load_miss" not in counters
+
+
+class TestSweep:
+    def test_129_trials(self):
+        # "We vary the sequence length from 64 to 8192 with a pitch of
+        # 64, generating 129 trials"
+        sweep = NeedlemanWunschKernel().default_sweep()
+        assert len(sweep) == 129
+        assert sweep[0] == 64
+        assert all(b - a == 64 for a, b in zip(sweep, sweep[1:]))

@@ -1,0 +1,102 @@
+"""Property-based tests (hypothesis) over the kernel models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import GTX580, K20M, GPUSimulator
+from repro.kernels import (
+    MatMulKernel,
+    NeedlemanWunschKernel,
+    ReductionKernel,
+    StencilKernel,
+    VectorAddKernel,
+)
+
+SIM = GPUSimulator(GTX580)
+
+
+class TestFunctionalProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 6), st.integers(2, 200_000))
+    def test_reduction_always_matches_sum(self, variant, n):
+        k = ReductionKernel(variant)
+        assert k.run(n) == pytest.approx(k.reference(n), rel=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 6))
+    def test_matmul_matches_reference(self, mult):
+        n = 16 * mult
+        k = MatMulKernel()
+        assert np.allclose(k.run(n), k.reference(n))
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(1, 6), st.integers(0, 100))
+    def test_nw_wavefront_equals_rowwise(self, mult, seed):
+        L = 16 * mult
+        k = NeedlemanWunschKernel()
+        assert k.run(L, rng=seed) == k.reference(L, rng=seed)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 500_000))
+    def test_vectoradd_matches(self, n):
+        k = VectorAddKernel()
+        assert np.allclose(k.run(n), k.reference(n))
+
+
+class TestSimulationProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 6), st.integers(10, 22))
+    def test_reduction_time_finite_positive(self, variant, log_n):
+        wls = ReductionKernel(variant).workloads(1 << log_n, GTX580)
+        _, t, _ = SIM.run(wls)
+        assert np.isfinite(t) and t > 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 6), st.integers(12, 20))
+    def test_reduction_time_monotone_in_size(self, variant, log_n):
+        k = ReductionKernel(variant)
+        _, t1, _ = SIM.run(k.workloads(1 << log_n, GTX580))
+        _, t2, _ = SIM.run(k.workloads(1 << (log_n + 2), GTX580))
+        assert t2 > t1
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.sampled_from([GTX580, K20M]), st.integers(1, 40))
+    def test_matmul_counters_nonnegative(self, arch, mult):
+        n = 16 * mult
+        counters, t, _ = GPUSimulator(arch).run(
+            MatMulKernel().workloads(n, arch)
+        )
+        assert t > 0
+        for name, value in counters.items():
+            assert value >= 0.0, name
+            assert np.isfinite(value), name
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 20))
+    def test_gld_requests_proportional_to_work(self, mult):
+        # doubling the vector length doubles the load requests exactly
+        k = VectorAddKernel()
+        n = 4096 * mult
+        c1, _, _ = SIM.run(k.workloads(n, GTX580))
+        c2, _, _ = SIM.run(k.workloads(2 * n, GTX580))
+        assert c2["gld_request"] == pytest.approx(2 * c1["gld_request"], rel=1e-6)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(2, 24))
+    def test_stencil_hit_rate_bounded(self, mult):
+        n = 32 * mult  # multiple of both block dimensions
+        counters, _, _ = SIM.run(StencilKernel().workloads(n, GTX580))
+        hits = counters["l1_global_load_hit"]
+        misses = counters["l1_global_load_miss"]
+        assert 0.0 <= hits / (hits + misses) <= 1.0
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(1, 30), st.integers(0, 10_000))
+    def test_nw_launch_count_invariant(self, mult, _seed):
+        L = 16 * mult
+        wls = NeedlemanWunschKernel().workloads(L, GTX580)
+        B = L // 16
+        assert len(wls) == max(1, 2 * B - 1)
+        assert sum(w.grid_blocks for w in wls) == B * B

@@ -1,0 +1,149 @@
+"""Tests for the reduction kernel family (functional + workload model)."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GTX580, K20M, GPUSimulator
+from repro.kernels.reduction import REDUCTION_VARIANTS, ReductionKernel
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("variant", range(7))
+    def test_matches_reference_sum(self, variant):
+        k = ReductionKernel(variant)
+        for n in (2, 100, 1024, 100_000):
+            assert k.run(n) == pytest.approx(k.reference(n), rel=1e-10)
+
+    def test_non_power_of_two_sizes(self):
+        k = ReductionKernel(6)
+        for n in (3, 777, 65_537):
+            assert k.run(n) == pytest.approx(k.reference(n), rel=1e-10)
+
+    def test_input_deterministic_per_problem(self):
+        k = ReductionKernel(0)
+        assert k.run(5000) == k.run(5000)
+
+    def test_explicit_rng_changes_input(self):
+        k = ReductionKernel(0)
+        assert k.run(5000, rng=1) != k.run(5000, rng=2)
+
+    def test_rejects_sub_two_elements(self):
+        with pytest.raises(ValueError):
+            ReductionKernel(1).workloads(1, GTX580)
+
+
+class TestLaunchStructure:
+    def test_multiple_launches_until_single_value(self):
+        wls = ReductionKernel(2).workloads(1 << 20, GTX580)
+        assert len(wls) >= 2
+        assert wls[0].grid_blocks == (1 << 20) // 256
+        assert wls[-1].grid_blocks >= 1
+
+    def test_first_add_during_load_halves_blocks(self):
+        n = 1 << 20
+        v2 = ReductionKernel(2).workloads(n, GTX580)[0]
+        v3 = ReductionKernel(3).workloads(n, GTX580)[0]
+        assert v3.grid_blocks == v2.grid_blocks // 2
+
+    def test_reduce6_grid_capped(self):
+        wl = ReductionKernel(6).workloads(1 << 24, GTX580)[0]
+        assert wl.grid_blocks == 64
+
+    def test_small_array_single_block(self):
+        wls = ReductionKernel(2).workloads(128, GTX580)
+        assert len(wls) == 1
+        assert wls[0].grid_blocks == 1
+
+
+class TestBottleneckStructure:
+    """Each variant must carry its documented bottleneck signature."""
+
+    def test_reduce0_diverges(self):
+        wl = ReductionKernel(0).workloads(1 << 20, GTX580)[0]
+        assert wl.divergent_branches > 0.3 * wl.branches
+
+    def test_reduce0_modulo_cost_dominates_arithmetic(self):
+        v0 = ReductionKernel(0).workloads(1 << 20, GTX580)[0]
+        v1 = ReductionKernel(1).workloads(1 << 20, GTX580)[0]
+        assert v0.arithmetic_instructions > 2 * v1.arithmetic_instructions
+
+    def test_only_reduce1_has_bank_conflicts(self):
+        n = 1 << 20
+        for variant in range(7):
+            wl = ReductionKernel(variant).workloads(n, GTX580)[0]
+            max_degree = max(
+                (s.conflict_degree for s in wl.shared_accesses), default=1.0
+            )
+            if variant == 1:
+                assert max_degree > 4.0
+            else:
+                assert max_degree == 1.0
+
+    def test_optimization_ladder_monotone_time(self):
+        """The SDK's documented speedup ladder: each optimization step
+        is at least as fast as the previous (reduce0 slowest)."""
+        sim = GPUSimulator(GTX580)
+        times = []
+        for variant in range(7):
+            wls = ReductionKernel(variant).workloads(1 << 22, GTX580)
+            _, t, _ = sim.run(wls)
+            times.append(t)
+        assert all(t_next <= t_prev * 1.02
+                   for t_prev, t_next in zip(times, times[1:]))
+        assert times[0] > 2 * times[6]
+
+    def test_reduce1_shared_replay_overhead_positive(self):
+        counters, _, _ = GPUSimulator(GTX580).run(
+            ReductionKernel(1).workloads(1 << 22, GTX580)
+        )
+        assert counters["shared_replay_overhead"] > 0.1
+
+    def test_reduce2_conflict_free(self):
+        counters, _, _ = GPUSimulator(GTX580).run(
+            ReductionKernel(2).workloads(1 << 22, GTX580)
+        )
+        assert counters["shared_replay_overhead"] == 0.0
+
+    def test_reduce6_near_peak_bandwidth(self):
+        counters, t, profs = GPUSimulator(GTX580).run(
+            ReductionKernel(6).workloads(1 << 24, GTX580)
+        )
+        read_gbs = counters["dram_read_throughput"]
+        assert read_gbs > 0.85 * GTX580.mem_bandwidth_gbs
+
+    def test_gld_requests_scale_with_size(self):
+        k = ReductionKernel(2)
+        sim = GPUSimulator(GTX580)
+        c_small, _, _ = sim.run(k.workloads(1 << 18, GTX580))
+        c_big, _, _ = sim.run(k.workloads(1 << 20, GTX580))
+        assert c_big["gld_request"] == pytest.approx(
+            4 * c_small["gld_request"], rel=0.05
+        )
+
+
+class TestOnKepler:
+    def test_workloads_build_on_k20m(self):
+        wls = ReductionKernel(1).workloads(1 << 20, K20M)
+        counters, t, _ = GPUSimulator(K20M).run(wls)
+        assert t > 0
+        assert counters["shared_load_replay"] > 0
+
+
+class TestRegistry:
+    def test_all_seven_variants(self):
+        assert set(REDUCTION_VARIANTS) == {f"reduce{v}" for v in range(7)}
+
+    def test_characteristics(self):
+        assert ReductionKernel(1).characteristics(4096) == {"size": 4096.0}
+
+    def test_default_sweep_under_100_samples(self):
+        # paper: "collections of less than 100 data samples"
+        sweep = ReductionKernel(1).default_sweep()
+        assert 50 <= len(sweep) < 100
+        assert sweep == sorted(sweep)
+
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            ReductionKernel(7)
+        with pytest.raises(ValueError):
+            ReductionKernel(1, block_size=100)

@@ -1,0 +1,66 @@
+"""Unit tests for k-means clustering."""
+
+import numpy as np
+import pytest
+
+from repro.ml.cluster import KMeans
+
+
+def three_blobs(seed=0, n=60):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    X = np.vstack([c + 0.5 * rng.normal(size=(n, 2)) for c in centers])
+    labels = np.repeat(np.arange(3), n)
+    return X, labels
+
+
+class TestKMeans:
+    def test_recovers_blobs(self):
+        X, truth = three_blobs()
+        km = KMeans(3, rng=0).fit(X)
+        # each true blob maps to exactly one cluster
+        for blob in range(3):
+            found = km.labels_[truth == blob]
+            assert len(set(found.tolist())) == 1
+        assert len(set(km.labels_.tolist())) == 3
+
+    def test_centers_near_truth(self):
+        X, _ = three_blobs()
+        km = KMeans(3, rng=0).fit(X)
+        expected = {(0, 0), (10, 0), (0, 10)}
+        for c in km.cluster_centers_:
+            assert any(np.linalg.norm(c - e) < 1.0 for e in map(np.array, expected))
+
+    def test_inertia_decreases_with_k(self):
+        X, _ = three_blobs()
+        inertias = [KMeans(k, rng=0).fit(X).inertia_ for k in (1, 2, 3)]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_predict_consistent_with_fit(self):
+        X, _ = three_blobs()
+        km = KMeans(3, rng=0).fit(X)
+        assert np.array_equal(km.predict(X), km.labels_)
+
+    def test_single_cluster_center_is_mean(self):
+        X, _ = three_blobs()
+        km = KMeans(1, rng=0).fit(X)
+        assert np.allclose(km.cluster_centers_[0], X.mean(axis=0))
+
+    def test_duplicate_points_ok(self):
+        X = np.zeros((10, 2))
+        km = KMeans(2, rng=0).fit(X)
+        assert km.inertia_ == pytest.approx(0.0)
+
+    def test_rejects_more_clusters_than_points(self):
+        with pytest.raises(ValueError):
+            KMeans(5).fit(np.zeros((3, 2)))
+
+    def test_rejects_zero_clusters(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+
+    def test_reproducible(self):
+        X, _ = three_blobs()
+        a = KMeans(3, rng=11).fit(X).labels_
+        b = KMeans(3, rng=11).fit(X).labels_
+        assert np.array_equal(a, b)

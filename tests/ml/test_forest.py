@@ -1,0 +1,136 @@
+"""Unit tests for the random forest regressor."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+
+
+def linear_data(n=150, p=6, seed=0, noise=0.1):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, p))
+    y = 4.0 * X[:, 0] - 2.0 * X[:, 2] + noise * rng.normal(size=n)
+    return X, y
+
+
+class TestFit:
+    def test_predicts_signal(self):
+        X, y = linear_data()
+        rf = RandomForestRegressor(n_trees=80, rng=0).fit(X, y)
+        assert rf.score(X, y) > 0.85
+
+    def test_oob_explained_variance_positive(self):
+        X, y = linear_data()
+        rf = RandomForestRegressor(n_trees=80, rng=0).fit(X, y)
+        assert 0.3 < rf.oob_explained_variance_ <= 1.0
+
+    def test_oob_mse_worse_than_train_mse(self):
+        X, y = linear_data()
+        rf = RandomForestRegressor(n_trees=80, rng=0).fit(X, y)
+        train_mse = np.mean((rf.predict(X) - y) ** 2)
+        assert rf.oob_mse_ > train_mse
+
+    def test_prediction_is_tree_average(self):
+        X, y = linear_data(n=50)
+        rf = RandomForestRegressor(n_trees=10, rng=1).fit(X, y)
+        manual = np.mean([t.predict(X) for t in rf.trees_], axis=0)
+        assert np.allclose(rf.predict(X), manual)
+
+    def test_default_mtry_is_p_over_3(self):
+        X, y = linear_data(p=9)
+        rf = RandomForestRegressor(n_trees=5, rng=0).fit(X, y)
+        assert rf.n_features_ == 9  # mtry applied internally; fit succeeds
+
+    def test_feature_names_default(self):
+        X, y = linear_data(p=3)
+        rf = RandomForestRegressor(n_trees=5, rng=0).fit(X, y)
+        assert rf.feature_names_ == ["x0", "x1", "x2"]
+
+    def test_reproducible_with_seed(self):
+        X, y = linear_data()
+        a = RandomForestRegressor(n_trees=20, rng=9).fit(X, y).predict(X[:10])
+        b = RandomForestRegressor(n_trees=20, rng=9).fit(X, y).predict(X[:10])
+        assert np.allclose(a, b)
+
+
+class TestImportance:
+    def test_informative_features_rank_top(self):
+        X, y = linear_data()
+        rf = RandomForestRegressor(n_trees=100, rng=0).fit(
+            X, y, feature_names=[f"f{i}" for i in range(6)]
+        )
+        top2 = set(rf.top_features(2))
+        assert top2 == {"f0", "f2"}
+
+    def test_noise_features_near_zero(self):
+        X, y = linear_data()
+        rf = RandomForestRegressor(n_trees=100, rng=0).fit(X, y)
+        noise_scores = [rf.importance_[j] for j in (1, 3, 4, 5)]
+        signal_scores = [rf.importance_[0], rf.importance_[2]]
+        assert max(noise_scores) < min(signal_scores)
+
+    def test_importance_disabled(self):
+        X, y = linear_data(n=40)
+        rf = RandomForestRegressor(n_trees=5, importance=False, rng=0).fit(X, y)
+        assert rf.importance_ is None
+        with pytest.raises(RuntimeError):
+            rf.ranked_importance()
+
+    def test_ranked_importance_sorted(self):
+        X, y = linear_data()
+        rf = RandomForestRegressor(n_trees=40, rng=0).fit(X, y)
+        scores = [s for _, s in rf.ranked_importance()]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_impurity_importance_agrees_on_leader(self):
+        X, y = linear_data(noise=0.01)
+        rf = RandomForestRegressor(n_trees=60, rng=0).fit(X, y)
+        assert np.argmax(rf.impurity_importance_) in (0, 2)
+
+    def test_multiple_permutations_smooths(self):
+        X, y = linear_data(n=60)
+        rf = RandomForestRegressor(n_trees=30, n_permutations=3, rng=0).fit(X, y)
+        assert rf.importance_ is not None
+
+
+class TestValidation:
+    def test_rejects_single_observation(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_trees=2).fit(np.zeros((1, 2)), np.zeros(1))
+
+    def test_rejects_zero_trees(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_trees=0)
+
+    def test_rejects_bad_feature_names(self):
+        X, y = linear_data(n=20)
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_trees=2).fit(X, y, feature_names=["only_one"])
+
+    def test_predict_wrong_width(self):
+        X, y = linear_data(n=30)
+        rf = RandomForestRegressor(n_trees=3, rng=0).fit(X, y)
+        with pytest.raises(ValueError):
+            rf.predict(np.zeros((4, 2)))
+
+
+class TestEdgeCases:
+    def test_constant_response(self):
+        X = np.random.default_rng(0).normal(size=(40, 3))
+        y = np.full(40, 3.0)
+        rf = RandomForestRegressor(n_trees=10, rng=0).fit(X, y)
+        assert np.allclose(rf.predict(X), 3.0)
+
+    def test_constant_feature_gets_zero_importance(self):
+        rng = np.random.default_rng(1)
+        X = np.column_stack([rng.normal(size=60), np.ones(60)])
+        y = X[:, 0]
+        rf = RandomForestRegressor(n_trees=30, rng=0).fit(X, y)
+        assert rf.importance_[1] == 0.0
+
+    def test_predictions_bounded_by_training_response(self):
+        X, y = linear_data()
+        rf = RandomForestRegressor(n_trees=20, rng=0).fit(X, y)
+        far = np.random.default_rng(5).normal(size=(50, 6)) * 100
+        pred = rf.predict(far)
+        assert pred.min() >= y.min() and pred.max() <= y.max()

@@ -1,0 +1,109 @@
+"""Additional forest behaviours: depth caps, permutation smoothing,
+interaction with the importance-averaging workflow."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.tree import RegressionTree
+
+
+def friedman_data(n=200, seed=0):
+    """The classic Friedman #1 benchmark surface (5 informative of 8)."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n, 8))
+    y = (
+        10 * np.sin(np.pi * X[:, 0] * X[:, 1])
+        + 20 * (X[:, 2] - 0.5) ** 2
+        + 10 * X[:, 3]
+        + 5 * X[:, 4]
+        + 0.5 * rng.normal(size=n)
+    )
+    return X, y
+
+
+class TestDepthControl:
+    def test_max_depth_limits_tree_size(self):
+        X, y = friedman_data()
+        shallow = RandomForestRegressor(n_trees=10, max_depth=2,
+                                        importance=False, rng=0).fit(X, y)
+        deep = RandomForestRegressor(n_trees=10, importance=False,
+                                     rng=0).fit(X, y)
+        assert max(t.depth for t in shallow.trees_) <= 2
+        assert max(t.depth for t in deep.trees_) > 2
+
+    def test_deeper_fits_training_better(self):
+        X, y = friedman_data()
+        shallow = RandomForestRegressor(n_trees=30, max_depth=2,
+                                        importance=False, rng=0).fit(X, y)
+        deep = RandomForestRegressor(n_trees=30, importance=False,
+                                     rng=0).fit(X, y)
+        mse_shallow = np.mean((shallow.predict(X) - y) ** 2)
+        mse_deep = np.mean((deep.predict(X) - y) ** 2)
+        assert mse_deep < mse_shallow
+
+
+class TestFriedmanBenchmark:
+    def test_informative_features_found(self):
+        X, y = friedman_data(n=300)
+        rf = RandomForestRegressor(n_trees=120, rng=0).fit(
+            X, y, feature_names=[f"x{i}" for i in range(8)]
+        )
+        top5 = set(rf.top_features(5))
+        # x3 and x0/x1 (the strongest effects) must surface
+        assert "x3" in top5
+        assert {"x0", "x1"} & top5
+
+    def test_noise_features_rank_last(self):
+        X, y = friedman_data(n=300)
+        rf = RandomForestRegressor(n_trees=120, rng=0).fit(X, y)
+        ranking = np.argsort(rf.importance_)[::-1]
+        assert set(ranking[-2:]) <= {5, 6, 7}
+
+    def test_forest_beats_single_tree_oob(self):
+        X, y = friedman_data(n=250)
+        rf = RandomForestRegressor(n_trees=100, importance=False, rng=0).fit(X, y)
+        tree = RegressionTree(rng=0).fit(X[:200], y[:200])
+        tree_mse = np.mean((tree.predict(X[200:]) - y[200:]) ** 2)
+        assert rf.oob_mse_ < tree_mse
+
+
+class TestPermutationSmoothing:
+    def test_repeated_permutations_keep_signal(self):
+        # extra permutation rounds must not change the qualitative
+        # outcome: the informative features still lead
+        X, y = friedman_data(n=150)
+        rf = RandomForestRegressor(n_trees=40, n_permutations=4, rng=0).fit(
+            X, y, feature_names=[f"x{i}" for i in range(8)]
+        )
+        assert "x3" in rf.top_features(4)
+
+    def test_raw_importance_scale_comparable(self):
+        # averaged deltas estimate the same quantity regardless of the
+        # number of permutation rounds (same order of magnitude)
+        X, y = friedman_data(n=150)
+        a = RandomForestRegressor(n_trees=40, n_permutations=1, rng=0).fit(X, y)
+        b = RandomForestRegressor(n_trees=40, n_permutations=4, rng=0).fit(X, y)
+        assert b.importance_raw_.max() == pytest.approx(
+            a.importance_raw_.max(), rel=0.5
+        )
+
+
+class TestMtry:
+    def test_mtry_one_still_learns(self):
+        X, y = friedman_data()
+        rf = RandomForestRegressor(n_trees=80, max_features=1,
+                                   importance=False, rng=0).fit(X, y)
+        assert rf.oob_explained_variance_ > 0.3
+
+    def test_full_mtry_reduces_tree_diversity(self):
+        X, y = friedman_data(n=150)
+        bagged = RandomForestRegressor(n_trees=30, max_features=8,
+                                       importance=False, rng=0).fit(X, y)
+        rf = RandomForestRegressor(n_trees=30, max_features=2,
+                                   importance=False, rng=0).fit(X, y)
+        # prediction spread across trees is larger with feature subsampling
+        def tree_spread(model):
+            preds = np.array([t.predict(X) for t in model.trees_])
+            return float(np.mean(preds.std(axis=0)))
+        assert tree_spread(rf) > tree_spread(bagged)

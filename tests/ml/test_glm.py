@@ -1,0 +1,117 @@
+"""Unit tests for the GLM counter models."""
+
+import numpy as np
+import pytest
+
+from repro.ml.glm import GaussianGLM, PoissonGLM, fit_best_polynomial
+
+
+class TestGaussianGLM:
+    def test_exact_quadratic(self):
+        x = np.linspace(1, 10, 30)
+        y = 2.0 * x**2 - 3.0 * x + 7.0
+        glm = GaussianGLM(degree=2).fit(x, y)
+        assert glm.residual_deviance_ == pytest.approx(0.0, abs=1e-12)
+        assert np.allclose(glm.coef_, [7.0, -3.0, 2.0])
+
+    def test_matches_lstsq(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 5, 50)
+        y = 3 * x + rng.normal(size=50)
+        glm = GaussianGLM(degree=1).fit(x, y)
+        B = np.column_stack([np.ones(50), x])
+        expected, _, _, _ = np.linalg.lstsq(B, y, rcond=None)
+        assert np.allclose(glm.coef_, expected)
+
+    def test_log_log_recovers_power_law(self):
+        x = np.logspace(1, 4, 25)
+        y = 0.5 * x**3
+        glm = GaussianGLM(degree=1, log_x=True, log_y=True).fit(x, y)
+        assert glm.coef_[1] == pytest.approx(3.0, rel=1e-9)  # exponent
+        assert glm.r_squared_ == pytest.approx(1.0)
+
+    def test_log_y_predicts_positive(self):
+        x = np.linspace(1, 10, 20)
+        y = np.exp(0.3 * x)
+        glm = GaussianGLM(degree=1, log_y=True).fit(x, y)
+        assert np.all(glm.predict(x) > 0)
+
+    def test_residual_deviance_is_rss(self):
+        x = np.arange(10.0)
+        y = x + np.array([0.0, 1.0] * 5)
+        glm = GaussianGLM(degree=1).fit(x, y)
+        fitted = glm.predict(x)
+        assert glm.residual_deviance_ == pytest.approx(np.sum((y - fitted) ** 2))
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            GaussianGLM(log_x=True).fit(np.array([0.0, 1.0, 2.0]), np.arange(3.0))
+
+    def test_log_y_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            GaussianGLM(log_y=True).fit(np.arange(3.0) + 1, np.array([1.0, -1.0, 2.0]))
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            GaussianGLM(degree=3).fit(np.arange(3.0), np.arange(3.0))
+
+
+class TestPoissonGLM:
+    def test_recovers_log_linear_rate(self):
+        rng = np.random.default_rng(1)
+        x = np.linspace(0, 2, 300)
+        mu = np.exp(1.0 + 1.5 * x)
+        y = rng.poisson(mu).astype(float)
+        glm = PoissonGLM(degree=1).fit(x, y)
+        assert glm.coef_[0] == pytest.approx(1.0, abs=0.15)
+        assert glm.coef_[1] == pytest.approx(1.5, abs=0.1)
+
+    def test_prediction_positive(self):
+        x = np.linspace(0, 2, 50)
+        y = np.exp(x)
+        glm = PoissonGLM().fit(x, y)
+        assert np.all(glm.predict(np.linspace(-1, 3, 10)) > 0)
+
+    def test_deviance_zero_for_exact_fit(self):
+        x = np.linspace(0, 2, 30)
+        y = np.exp(2.0 + 0.5 * x)
+        glm = PoissonGLM(degree=1).fit(x, y)
+        assert glm.residual_deviance_ == pytest.approx(0.0, abs=1e-6)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            PoissonGLM().fit(np.arange(5.0), np.array([1.0, -2.0, 3.0, 4.0, 5.0]))
+
+    def test_handles_zero_counts(self):
+        x = np.linspace(0, 3, 40)
+        y = np.round(np.exp(x) - 1.0)
+        glm = PoissonGLM().fit(x, y)
+        assert glm.r_squared_ > 0.9
+
+
+class TestModelSelection:
+    def test_picks_adequate_degree(self):
+        x = np.linspace(1, 20, 40)
+        y = 5 * x**2 + 1
+        best = fit_best_polynomial(x, y, max_degree=3)
+        assert best.r_squared_ > 0.9999
+
+    def test_cubic_counter_growth(self):
+        # an O(n^3) counter (e.g. FMA count of MM) vs matrix size
+        n = np.array([32, 64, 128, 256, 512, 1024], dtype=float)
+        y = n**3 / 32
+        best = fit_best_polynomial(n, y)
+        assert best.r_squared_ > 0.999
+        pred = best.predict(np.array([768.0]))
+        assert pred[0] == pytest.approx(768.0**3 / 32, rel=0.25)
+
+    def test_prefers_parsimonious_on_linear(self):
+        rng = np.random.default_rng(2)
+        x = np.linspace(0, 10, 60)
+        y = 2 * x + rng.normal(0, 0.5, size=60)
+        best = fit_best_polynomial(x, y, try_log=False)
+        assert best.degree == 1
+
+    def test_raises_when_nothing_fits(self):
+        with pytest.raises(ValueError):
+            fit_best_polynomial(np.array([1.0]), np.array([2.0]))

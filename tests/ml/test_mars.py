@@ -1,0 +1,133 @@
+"""Unit tests for MARS."""
+
+import numpy as np
+import pytest
+
+from repro.ml.mars import BasisFunction, HingeTerm, Mars
+
+
+class TestHingeTerm:
+    def test_positive_hinge(self):
+        t = HingeTerm(var=0, knot=2.0, sign=+1)
+        X = np.array([[1.0], [2.0], [5.0]])
+        assert np.allclose(t.evaluate(X), [0.0, 0.0, 3.0])
+
+    def test_negative_hinge(self):
+        t = HingeTerm(var=0, knot=2.0, sign=-1)
+        X = np.array([[1.0], [2.0], [5.0]])
+        assert np.allclose(t.evaluate(X), [1.0, 0.0, 0.0])
+
+    def test_describe(self):
+        assert HingeTerm(0, 3.0, +1).describe(["x"]) == "h(x - 3)"
+        assert HingeTerm(0, 3.0, -1).describe(["x"]) == "h(3 - x)"
+
+
+class TestBasisFunction:
+    def test_intercept_is_ones(self):
+        b = BasisFunction()
+        assert np.allclose(b.evaluate(np.zeros((4, 2))), 1.0)
+        assert b.describe(["x", "y"]) == "(intercept)"
+
+    def test_product_of_hinges(self):
+        b = BasisFunction((HingeTerm(0, 0.0, +1), HingeTerm(1, 0.0, +1)))
+        X = np.array([[2.0, 3.0], [2.0, -1.0]])
+        assert np.allclose(b.evaluate(X), [6.0, 0.0])
+
+    def test_involves(self):
+        b = BasisFunction((HingeTerm(1, 0.0, +1),))
+        assert b.involves(1) and not b.involves(0)
+
+
+class TestMarsFitting:
+    def test_exact_on_single_hinge_truth(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-2, 2, size=120)
+        y = 3.0 * np.maximum(x - 0.5, 0.0) + 1.0
+        m = Mars().fit(x[:, None], y)
+        assert m.r_squared_ > 0.999
+        pred = m.predict(np.array([[-1.0], [0.5], [1.5]]))
+        assert np.allclose(pred, [1.0, 1.0, 4.0], atol=0.05)
+
+    def test_piecewise_linear_v_shape(self):
+        x = np.linspace(-3, 3, 100)
+        y = np.abs(x)
+        m = Mars().fit(x[:, None], y)
+        assert m.r_squared_ > 0.99
+
+    def test_additive_two_variables(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-1, 1, size=(150, 2))
+        y = 2 * np.maximum(X[:, 0], 0) + np.maximum(-X[:, 1], 0)
+        m = Mars().fit(X, y)
+        assert m.r_squared_ > 0.99
+        used = {t.var for b in m.basis_ for t in b.terms}
+        assert used == {0, 1}
+
+    def test_interactions_need_degree_two(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0, 1, size=(200, 2))
+        y = X[:, 0] * X[:, 1]
+        additive = Mars(max_degree=1).fit(X, y)
+        interact = Mars(max_degree=2).fit(X, y)
+        assert interact.r_squared_ >= additive.r_squared_ - 1e-9
+        assert max(b.degree for b in interact.basis_) == 2
+
+    def test_smooth_nonlinear_counter_model(self):
+        # the Fig. 6c scenario: counter value vs problem size
+        size = np.arange(64, 4096, 64, dtype=float)
+        counter = 1e-3 * size**1.5 + 40.0
+        m = Mars().fit(size[:, None], counter, names=["size"])
+        assert m.r_squared_ > 0.99
+        assert "size" in m.summary()
+
+    def test_backward_pass_prunes_noise_terms(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, size=80)
+        y = 2.0 * x + rng.normal(0, 0.01, size=80)
+        m = Mars(max_terms=21).fit(x[:, None], y)
+        # a linear truth needs very few hinge pairs
+        assert m.n_terms <= 7
+
+    def test_constant_response(self):
+        x = np.linspace(0, 1, 30)
+        m = Mars().fit(x[:, None], np.full(30, 5.0))
+        assert m.n_terms == 1
+        assert np.allclose(m.predict(x[:, None]), 5.0)
+
+    def test_1d_input_accepted(self):
+        x = np.linspace(0, 1, 50)
+        m = Mars().fit(x, x**2)
+        assert m.r_squared_ > 0.98
+
+
+class TestMarsValidation:
+    def test_rejects_tiny_data(self):
+        with pytest.raises(ValueError):
+            Mars().fit(np.zeros((2, 1)), np.zeros(2))
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            Mars().fit(np.zeros((5, 1)), np.zeros(4))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Mars(max_terms=0)
+        with pytest.raises(ValueError):
+            Mars(max_degree=0)
+
+    def test_predict_checks_width(self):
+        m = Mars().fit(np.linspace(0, 1, 30)[:, None], np.arange(30.0))
+        with pytest.raises(ValueError):
+            m.predict(np.zeros((3, 2)))
+
+
+class TestGCV:
+    def test_gcv_positive(self):
+        x = np.linspace(0, 1, 40)
+        m = Mars().fit(x[:, None], np.sin(3 * x))
+        assert m.gcv_ >= 0.0
+
+    def test_grsq_at_most_one(self):
+        x = np.linspace(0, 1, 40)
+        m = Mars().fit(x[:, None], np.sin(3 * x))
+        assert m.grsq_ <= 1.0 + 1e-12

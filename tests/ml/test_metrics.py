@@ -1,0 +1,103 @@
+"""Unit tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    explained_variance,
+    mae,
+    median_absolute_error,
+    median_absolute_percentage_error,
+    mse,
+    r2_score,
+    residual_deviance,
+    rmse,
+)
+
+
+class TestMSE:
+    def test_perfect_prediction_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert mse(y, y) == 0.0
+
+    def test_known_value(self):
+        assert mse([0.0, 0.0], [1.0, 3.0]) == pytest.approx(5.0)
+
+    def test_rmse_is_sqrt_of_mse(self):
+        y, p = np.array([0.0, 0.0]), np.array([1.0, 3.0])
+        assert rmse(y, p) == pytest.approx(np.sqrt(mse(y, p)))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            mse([1.0, 2.0], [1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            mse([], [])
+
+    def test_accepts_2d_column_vector(self):
+        assert mse(np.array([[1.0], [2.0]]), np.array([1.0, 2.0])) == 0.0
+
+
+class TestMAE:
+    def test_known_value(self):
+        assert mae([0.0, 0.0], [1.0, -3.0]) == pytest.approx(2.0)
+
+    def test_median_absolute_error(self):
+        assert median_absolute_error([0, 0, 0], [1, 2, 9]) == pytest.approx(2.0)
+
+
+class TestR2:
+    def test_perfect_fit(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_mean_prediction_gives_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, y.mean())) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.array([10.0, -5.0, 20.0])) < 0.0
+
+    def test_constant_target_exact(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+
+    def test_constant_target_inexact(self):
+        assert r2_score([2.0, 2.0], [2.0, 3.0]) == 0.0
+
+
+class TestExplainedVariance:
+    def test_matches_r_randomforest_convention(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        pred = y + 0.1
+        expected = 1.0 - mse(y, pred) / np.var(y)
+        assert explained_variance(y, pred) == pytest.approx(expected)
+
+    def test_perfect(self):
+        y = np.array([1.0, 5.0])
+        assert explained_variance(y, y) == 1.0
+
+
+class TestPercentageError:
+    def test_median_of_relative_errors(self):
+        y = np.array([10.0, 100.0, 1000.0])
+        p = np.array([11.0, 90.0, 1000.0])
+        # relative errors: 10%, 10%, 0% -> median 10%
+        assert median_absolute_percentage_error(y, p) == pytest.approx(10.0)
+
+    def test_zero_entries_excluded(self):
+        y = np.array([0.0, 10.0])
+        p = np.array([5.0, 11.0])
+        assert median_absolute_percentage_error(y, p) == pytest.approx(10.0)
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ValueError, match="zero"):
+            median_absolute_percentage_error([0.0], [1.0])
+
+
+class TestResidualDeviance:
+    def test_is_rss(self):
+        y = np.array([1.0, 2.0])
+        p = np.array([0.0, 0.0])
+        assert residual_deviance(y, p) == pytest.approx(5.0)

@@ -1,0 +1,157 @@
+"""Unit tests for PCA, varimax rotation and factor loadings."""
+
+import numpy as np
+import pytest
+
+from repro.ml.pca import PCA, FactorLoadings, varimax
+
+
+def correlated_data(n=300, seed=0):
+    """Two latent factors driving 6 observed variables."""
+    rng = np.random.default_rng(seed)
+    f1 = rng.normal(size=n)
+    f2 = rng.normal(size=n)
+    X = np.column_stack([
+        f1 + 0.05 * rng.normal(size=n),
+        f1 * 2 + 0.05 * rng.normal(size=n),
+        -f1 + 0.05 * rng.normal(size=n),
+        f2 + 0.05 * rng.normal(size=n),
+        f2 * 3 + 0.05 * rng.normal(size=n),
+        0.5 * f2 + 0.05 * rng.normal(size=n),
+    ])
+    return X
+
+
+class TestPCABasics:
+    def test_explained_variance_ratios_sum_to_one(self):
+        X = correlated_data()
+        pca = PCA().fit(X)
+        assert pca.explained_variance_ratio_.sum() == pytest.approx(1.0)
+
+    def test_ratios_decreasing(self):
+        X = correlated_data()
+        r = PCA().fit(X).explained_variance_ratio_
+        assert np.all(np.diff(r) <= 1e-12)
+
+    def test_two_latents_explain_almost_everything(self):
+        X = correlated_data()
+        pca = PCA(n_components=2).fit(X)
+        assert pca.explained_variance_ratio_.sum() > 0.98
+
+    def test_fractional_n_components(self):
+        X = correlated_data()
+        pca = PCA(n_components=0.95).fit(X)
+        assert pca.n_components_ == 2
+
+    def test_axes_orthonormal(self):
+        X = correlated_data()
+        pca = PCA().fit(X)
+        G = pca.components_ @ pca.components_.T
+        assert np.allclose(G, np.eye(pca.n_components_), atol=1e-10)
+
+    def test_scores_uncorrelated(self):
+        X = correlated_data()
+        scores = PCA(n_components=3).fit_transform(X)
+        C = np.corrcoef(scores.T)
+        off = C - np.diag(np.diag(C))
+        assert np.max(np.abs(off)) < 1e-8
+
+    def test_inverse_transform_reconstructs(self):
+        X = correlated_data()
+        pca = PCA(n_components=2).fit(X)
+        Xr = pca.inverse_transform(pca.transform(X))
+        # 2 latents -> near-perfect rank-2 reconstruction
+        rel = np.linalg.norm(X - Xr) / np.linalg.norm(X)
+        assert rel < 0.1
+
+    def test_recovered_eigvals_on_known_covariance(self):
+        rng = np.random.default_rng(3)
+        # diagonal covariance: variances 9, 4, 1 (unstandardized PCA)
+        X = rng.normal(size=(5000, 3)) * np.array([3.0, 2.0, 1.0])
+        pca = PCA(standardize=False).fit(X)
+        assert np.allclose(pca.explained_variance_, [9.0, 4.0, 1.0], rtol=0.15)
+
+
+class TestValidation:
+    def test_rejects_single_row(self):
+        with pytest.raises(ValueError):
+            PCA().fit(np.zeros((1, 3)))
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            PCA(n_components=1.5).fit(correlated_data())
+
+    def test_rejects_wrong_names_length(self):
+        with pytest.raises(ValueError):
+            PCA().fit(correlated_data(), names=["a"])
+
+
+class TestVarimax:
+    def test_rotation_is_orthogonal(self):
+        X = correlated_data()
+        pca = PCA(n_components=2, rotate=True).fit(X)
+        R = pca.rotation_
+        assert np.allclose(R @ R.T, np.eye(2), atol=1e-8)
+
+    def test_rotation_preserves_communalities(self):
+        X = correlated_data()
+        raw = PCA(n_components=2, rotate=False).fit(X).loadings_values_
+        rot = PCA(n_components=2, rotate=True).fit(X).loadings_values_
+        assert np.allclose((raw**2).sum(axis=1), (rot**2).sum(axis=1), atol=1e-8)
+
+    def test_rotation_increases_loading_variance(self):
+        X = correlated_data(seed=5)
+        raw, R = varimax(PCA(n_components=2).fit(X).loadings_values_)
+        # varimax criterion: column variance of squared loadings
+        def crit(L):
+            sq = L**2
+            return np.sum(np.var(sq, axis=0))
+        original = PCA(n_components=2).fit(X).loadings_values_
+        assert crit(raw) >= crit(original) - 1e-9
+
+    def test_single_component_untouched(self):
+        L = np.arange(5.0)[:, None]
+        rotated, R = varimax(L)
+        assert np.allclose(rotated, L)
+        assert np.allclose(R, np.eye(1))
+
+    def test_simple_structure_recovered(self):
+        # After varimax each variable should load mainly on one factor.
+        X = correlated_data()
+        pca = PCA(n_components=2, rotate=True).fit(
+            X, names=[f"v{i}" for i in range(6)]
+        )
+        L = np.abs(pca.loadings_values_)
+        dominant = L.max(axis=1)
+        secondary = L.min(axis=1)
+        assert np.all(dominant > 3 * secondary)
+
+
+class TestFactorLoadings:
+    def test_loading_lookup(self):
+        fl = FactorLoadings(
+            names=["a", "b"], components=["PC1", "PC2"],
+            values=np.array([[0.9, 0.1], [-0.2, 0.8]]),
+        )
+        assert fl.loading("a", "PC1") == pytest.approx(0.9)
+        assert fl.sign("b", "PC1") == -1
+
+    def test_strong_filter_sorted(self):
+        fl = FactorLoadings(
+            names=["a", "b", "c"], components=["PC1"],
+            values=np.array([[0.4], [-0.9], [0.6]]),
+        )
+        strong = fl.strong("PC1", threshold=0.5)
+        assert strong == [("b", pytest.approx(-0.9)), ("c", pytest.approx(0.6))]
+
+    def test_grouping_matches_latents(self):
+        X = correlated_data()
+        names = [f"v{i}" for i in range(6)]
+        pca = PCA(n_components=2, rotate=True).fit(X, names=names)
+        fl = pca.loadings
+        group1 = {n for n, _ in fl.strong("PC1", 0.5)}
+        group2 = {n for n, _ in fl.strong("PC2", 0.5)}
+        assert {frozenset(group1), frozenset(group2)} == {
+            frozenset({"v0", "v1", "v2"}),
+            frozenset({"v3", "v4", "v5"}),
+        }

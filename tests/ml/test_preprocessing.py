@@ -1,0 +1,125 @@
+"""Unit tests for repro.ml.preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.ml.preprocessing import (
+    StandardScaler,
+    drop_constant_columns,
+    polynomial_features,
+    train_test_split,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(3.0, 5.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_column_maps_to_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+        assert np.all(np.isfinite(Z))
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 3)) * [1.0, 10.0, 100.0] + [5, -2, 0]
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_without_std(self):
+        X = np.array([[1.0, 2.0], [3.0, 6.0]])
+        Z = StandardScaler(with_std=False).fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0)
+        assert not np.allclose(Z.std(axis=0), 1.0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.arange(5.0))
+
+
+class TestTrainTestSplit:
+    def test_default_80_20(self):
+        X = np.arange(100.0)[:, None]
+        y = np.arange(100.0)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, rng=0)
+        assert len(X_te) == 20 and len(X_tr) == 80
+        assert len(y_te) == 20 and len(y_tr) == 80
+
+    def test_partition_is_exact(self):
+        y = np.arange(50.0)
+        y_tr, y_te = train_test_split(y, rng=0)
+        assert sorted(np.concatenate([y_tr, y_te]).tolist()) == y.tolist()
+
+    def test_shared_permutation_across_arrays(self):
+        X = np.arange(40.0)[:, None]
+        y = np.arange(40.0)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, rng=3)
+        assert np.allclose(X_tr[:, 0], y_tr)
+        assert np.allclose(X_te[:, 0], y_te)
+
+    def test_seed_reproducibility(self):
+        y = np.arange(30.0)
+        a = train_test_split(y, rng=7)[1]
+        b = train_test_split(y, rng=7)[1]
+        assert np.array_equal(a, b)
+
+    def test_at_least_one_test_sample(self):
+        y = np.arange(4.0)
+        _, y_te = train_test_split(y, test_fraction=0.01, rng=0)
+        assert len(y_te) == 1
+
+    def test_bad_fraction_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(10.0), test_fraction=1.5)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError, match="same length"):
+            train_test_split(np.arange(10.0), np.arange(5.0))
+
+    def test_no_training_data_raises(self):
+        with pytest.raises(ValueError, match="no training data"):
+            train_test_split(np.arange(2.0), test_fraction=0.9)
+
+
+class TestPolynomialFeatures:
+    def test_degree_two_columns(self):
+        x = np.array([1.0, 2.0, 3.0])
+        B = polynomial_features(x, 2)
+        assert B.shape == (3, 3)
+        assert np.allclose(B[:, 0], 1.0)
+        assert np.allclose(B[:, 1], x)
+        assert np.allclose(B[:, 2], x**2)
+
+    def test_no_bias(self):
+        B = polynomial_features(np.array([2.0]), 2, include_bias=False)
+        assert np.allclose(B, [[2.0, 4.0]])
+
+    def test_degree_zero_raises(self):
+        with pytest.raises(ValueError):
+            polynomial_features(np.arange(3.0), 0)
+
+
+class TestDropConstantColumns:
+    def test_drops_only_constants(self):
+        X = np.column_stack([np.ones(5), np.arange(5.0), np.full(5, 7.0)])
+        Xf, kept, names = drop_constant_columns(X, ["a", "b", "c"])
+        assert kept == [1]
+        assert names == ["b"]
+        assert Xf.shape == (5, 1)
+
+    def test_no_names(self):
+        X = np.column_stack([np.ones(5), np.arange(5.0)])
+        _, kept, names = drop_constant_columns(X)
+        assert kept == [1] and names is None
+
+    def test_all_varying_kept(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(10, 3))
+        Xf, kept, _ = drop_constant_columns(X)
+        assert kept == [0, 1, 2]
+        assert np.array_equal(Xf, X)

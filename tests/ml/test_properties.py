@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) for the ML substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.mars import Mars
+from repro.ml.metrics import explained_variance, mse, r2_score
+from repro.ml.pca import PCA, varimax
+from repro.ml.preprocessing import StandardScaler, train_test_split
+from repro.ml.tree import RegressionTree
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+def data_matrix(min_rows=8, max_rows=40, min_cols=1, max_cols=5):
+    return st.integers(min_rows, max_rows).flatmap(
+        lambda n: st.integers(min_cols, max_cols).flatmap(
+            lambda p: arrays(np.float64, (n, p), elements=finite)
+        )
+    )
+
+
+@st.composite
+def regression_problem(draw):
+    n = draw(st.integers(10, 40))
+    p = draw(st.integers(1, 4))
+    X = draw(arrays(np.float64, (n, p), elements=st.floats(-100, 100)))
+    y = draw(arrays(np.float64, (n,), elements=st.floats(-100, 100)))
+    return X, y
+
+
+class TestMetricsProperties:
+    @given(arrays(np.float64, 10, elements=finite))
+    def test_mse_of_self_is_zero(self, y):
+        assert mse(y, y) == 0.0
+
+    @given(arrays(np.float64, 12, elements=st.floats(-1e3, 1e3)),
+           arrays(np.float64, 12, elements=st.floats(-1e3, 1e3)))
+    def test_mse_nonnegative_and_symmetric(self, a, b):
+        assert mse(a, b) >= 0.0
+        assert mse(a, b) == mse(b, a)
+
+    @given(arrays(np.float64, 15, elements=st.floats(-1e3, 1e3)))
+    def test_r2_of_self_is_one(self, y):
+        assert r2_score(y, y) == 1.0
+
+    @given(arrays(np.float64, 15, elements=st.floats(-1e3, 1e3)))
+    def test_explained_variance_at_most_one(self, y):
+        rng = np.random.default_rng(0)
+        pred = y + rng.normal(size=y.size)
+        assert explained_variance(y, pred) <= 1.0 + 1e-12
+
+
+class TestTreeProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(regression_problem())
+    def test_predictions_within_response_range(self, prob):
+        X, y = prob
+        tree = RegressionTree(min_samples_leaf=2).fit(X, y)
+        pred = tree.predict(X)
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(regression_problem())
+    def test_stump_predicts_mean(self, prob):
+        X, y = prob
+        tree = RegressionTree(max_depth=0).fit(X, y)
+        assert np.allclose(tree.predict(X), y.mean())
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000), st.floats(1.0, 100.0))
+    def test_response_scaling_equivariance(self, seed, scale):
+        # Continuous (tie-free) data: with tied split candidates the
+        # winning split may legitimately differ after scaling.
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(30, 3))
+        y = rng.normal(size=30)
+        t1 = RegressionTree(min_samples_leaf=2, rng=0).fit(X, y)
+        t2 = RegressionTree(min_samples_leaf=2, rng=0).fit(X, y * scale)
+        assert np.allclose(t2.predict(X), t1.predict(X) * scale, rtol=1e-6, atol=1e-6)
+
+
+class TestForestProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(regression_problem())
+    def test_forest_prediction_in_range(self, prob):
+        X, y = prob
+        rf = RandomForestRegressor(n_trees=10, importance=False, rng=0).fit(X, y)
+        pred = rf.predict(X)
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_importance_invariant_to_feature_order(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(60, 3))
+        y = 3 * X[:, 0] + 0.05 * rng.normal(size=60)
+        rf_a = RandomForestRegressor(n_trees=40, rng=1).fit(X, y)
+        # reverse the columns; the informative feature must still win
+        rf_b = RandomForestRegressor(n_trees=40, rng=1).fit(X[:, ::-1], y)
+        assert np.argmax(rf_a.importance_) == 0
+        assert np.argmax(rf_b.importance_) == 2
+
+
+class TestPCAProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(data_matrix(min_rows=5, max_cols=4))
+    def test_axes_orthonormal(self, X):
+        if np.allclose(X.std(axis=0), 0.0):
+            return  # fully constant matrix: nothing to decompose
+        pca = PCA().fit(X)
+        G = pca.components_ @ pca.components_.T
+        assert np.allclose(G, np.eye(pca.n_components_), atol=1e-8)
+
+    @settings(max_examples=20, deadline=None)
+    @given(data_matrix(min_rows=5, max_cols=4))
+    def test_variance_ratios_valid(self, X):
+        pca = PCA().fit(X)
+        r = pca.explained_variance_ratio_
+        assert np.all(r >= -1e-12)
+        assert r.sum() <= 1.0 + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(arrays(np.float64, (6, 3), elements=st.floats(-5, 5)))
+    def test_varimax_orthogonal_and_norm_preserving(self, L):
+        rotated, R = varimax(L)
+        assert np.allclose(R @ R.T, np.eye(3), atol=1e-6)
+        assert np.allclose(
+            np.linalg.norm(rotated, "fro"), np.linalg.norm(L, "fro"), atol=1e-6
+        )
+
+
+class TestPreprocessingProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(data_matrix(min_rows=3))
+    def test_scaler_roundtrip(self, X):
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X,
+                           rtol=1e-9, atol=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(5, 200), st.floats(0.05, 0.5), st.integers(0, 1000))
+    def test_split_partitions_exactly(self, n, frac, seed):
+        y = np.arange(float(n))
+        tr, te = train_test_split(y, test_fraction=frac, rng=seed)
+        assert len(tr) + len(te) == n
+        assert sorted(np.concatenate([tr, te]).tolist()) == y.tolist()
+
+
+class TestMarsProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 5000))
+    def test_fit_never_worse_than_mean_model(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-2, 2, size=40)
+        y = rng.normal(size=40)
+        m = Mars().fit(x[:, None], y)
+        assert m.rss_ <= np.sum((y - y.mean()) ** 2) + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(-10, 10), st.floats(0.1, 5))
+    def test_affine_truth_recovered(self, intercept, slope):
+        x = np.linspace(-1, 1, 50)
+        y = intercept + slope * x
+        m = Mars().fit(x[:, None], y)
+        assert m.r_squared_ > 0.999

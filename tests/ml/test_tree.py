@@ -1,0 +1,144 @@
+"""Unit tests for the CART regression tree."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import RegressionTree
+
+
+def step_data(n=100, threshold=0.0, lo=1.0, hi=5.0, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 1))
+    y = np.where(X[:, 0] <= threshold, lo, hi)
+    return X, y
+
+
+class TestSingleSplit:
+    def test_recovers_step_function(self):
+        X, y = step_data()
+        tree = RegressionTree(min_samples_leaf=1).fit(X, y)
+        pred = tree.predict(X)
+        assert np.allclose(pred, y)
+
+    def test_split_threshold_near_truth(self):
+        X, y = step_data(n=500)
+        tree = RegressionTree(min_samples_leaf=1).fit(X, y)
+        root_thr = tree.threshold_[0]
+        assert abs(root_thr) < 0.05
+
+    def test_leaf_value_is_region_mean(self):
+        # Paper Eq. 1: the best constant per region is the mean.
+        X = np.array([[0.0], [0.0], [1.0], [1.0]])
+        y = np.array([1.0, 3.0, 10.0, 20.0])
+        tree = RegressionTree(min_samples_leaf=2).fit(X, y)
+        preds = set(np.round(tree.predict(X), 6))
+        assert preds == {2.0, 15.0}
+
+
+class TestStoppingRules:
+    def test_max_depth_zero_gives_stump(self):
+        X, y = step_data()
+        tree = RegressionTree(max_depth=0).fit(X, y)
+        assert tree.n_nodes == 1
+        assert np.allclose(tree.predict(X), y.mean())
+
+    def test_min_samples_leaf_respected(self):
+        X, y = step_data(n=60)
+        tree = RegressionTree(min_samples_leaf=10).fit(X, y)
+        leaves = tree.feature_ == -1
+        assert np.all(tree.n_node_samples_[leaves] >= 10)
+
+    def test_pure_node_not_split(self):
+        X = np.arange(20.0)[:, None]
+        y = np.zeros(20)
+        tree = RegressionTree(min_samples_leaf=1).fit(X, y)
+        assert tree.n_nodes == 1
+
+    def test_constant_feature_not_split(self):
+        X = np.ones((20, 1))
+        y = np.arange(20.0)
+        tree = RegressionTree(min_samples_leaf=1).fit(X, y)
+        assert tree.n_nodes == 1
+
+    def test_depth_property(self):
+        X, y = step_data()
+        deep = RegressionTree(min_samples_leaf=1).fit(X, y)
+        assert deep.depth >= 1
+        stump = RegressionTree(max_depth=0).fit(X, y)
+        assert stump.depth == 0
+
+
+class TestPrediction:
+    def test_predictions_within_training_range(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(80, 3))
+        y = rng.normal(size=80)
+        tree = RegressionTree().fit(X, y)
+        pred = tree.predict(rng.normal(size=(200, 3)) * 10)
+        assert pred.min() >= y.min() - 1e-12
+        assert pred.max() <= y.max() + 1e-12
+
+    def test_apply_returns_leaves(self):
+        X, y = step_data()
+        tree = RegressionTree(min_samples_leaf=1).fit(X, y)
+        leaves = tree.apply(X)
+        assert np.all(tree.feature_[leaves] == -1)
+
+    def test_wrong_width_raises(self):
+        X, y = step_data()
+        tree = RegressionTree().fit(X, y)
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((3, 2)))
+
+
+class TestMultiFeature:
+    def test_picks_informative_feature(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(-1, 1, size=(300, 5))
+        y = np.where(X[:, 3] <= 0.2, 0.0, 1.0)
+        tree = RegressionTree(min_samples_leaf=1).fit(X, y)
+        assert tree.feature_[0] == 3
+
+    def test_impurity_decrease_concentrated(self):
+        rng = np.random.default_rng(4)
+        X = rng.uniform(-1, 1, size=(300, 4))
+        y = 3.0 * (X[:, 1] > 0)
+        tree = RegressionTree(min_samples_leaf=5).fit(X, y)
+        assert np.argmax(tree.impurity_decrease_) == 1
+
+    def test_max_features_subsampling_still_fits(self):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(-1, 1, size=(200, 6))
+        y = X[:, 0] + 0.01 * rng.normal(size=200)
+        tree = RegressionTree(max_features=2, rng=1).fit(X, y)
+        # a subsampled tree still reduces error well below variance
+        assert np.mean((tree.predict(X) - y) ** 2) < np.var(y) / 2
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_rejects_1d_X(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros(5), np.zeros(5))
+
+    def test_rejects_bad_leaf_size(self):
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_leaf=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_tree(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(100, 4))
+        y = rng.normal(size=100)
+        t1 = RegressionTree(max_features=2, rng=42).fit(X, y)
+        t2 = RegressionTree(max_features=2, rng=42).fit(X, y)
+        assert np.array_equal(t1.feature_, t2.feature_)
+        assert np.allclose(t1.threshold_, t2.threshold_, equal_nan=True)

@@ -1,0 +1,86 @@
+"""Tests for campaigns and their dataset assembly."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GTX580, K20M
+from repro.kernels import VectorAddKernel
+from repro.profiling.campaign import Campaign, CampaignResult
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    return Campaign(VectorAddKernel(), GTX580, rng=0).run(
+        problems=[1 << 14, 1 << 15, 1 << 16, 1 << 17], replicates=2
+    )
+
+
+class TestCampaign:
+    def test_row_count(self, small_campaign):
+        assert len(small_campaign) == 8
+
+    def test_uses_default_sweep_when_unspecified(self):
+        c = Campaign(VectorAddKernel(), GTX580, rng=0).run()
+        assert len(c) == len(VectorAddKernel().default_sweep())
+
+    def test_rejects_empty_problem_list(self):
+        with pytest.raises(ValueError):
+            Campaign(VectorAddKernel(), GTX580).run(problems=[])
+
+    def test_matrix_shape_and_names(self, small_campaign):
+        X, y, names = small_campaign.matrix()
+        assert X.shape == (8, len(names))
+        assert y.shape == (8,)
+        assert "size" in names
+        assert "gld_request" in names
+
+    def test_matrix_excludes_response_proxies(self, small_campaign):
+        _, _, names = small_campaign.matrix()
+        assert "active_cycles" not in names
+        assert "active_warps" not in names
+
+    def test_matrix_counter_subset(self, small_campaign):
+        X, _, names = small_campaign.matrix(counters=["ipc", "gld_request"])
+        assert names == ["ipc", "gld_request", "size"]
+
+    def test_machine_metrics_columns(self, small_campaign):
+        _, _, names = small_campaign.matrix(include_machine=True)
+        for m in ("wsched", "freq", "smp", "rco", "mbw", "l1c", "l2c"):
+            assert m in names
+
+    def test_times_and_problems(self, small_campaign):
+        assert len(small_campaign.times()) == 8
+        assert small_campaign.problems()[0] == 1 << 14
+
+
+class TestMerging:
+    def test_cross_arch_merge_intersects_counters(self):
+        a = Campaign(VectorAddKernel(), GTX580, rng=0).run(problems=[1 << 14])
+        b = Campaign(VectorAddKernel(), K20M, rng=1).run(problems=[1 << 14])
+        merged = a.merged_with(b)
+        assert merged.arch == "mixed"
+        assert merged.family == "mixed"
+        names = merged.predictor_names
+        assert "l1_global_load_miss" not in names   # fermi-only
+        assert "shared_load_replay" not in names    # kepler-only
+        assert "gld_request" in names
+
+    def test_same_arch_merge_keeps_arch(self):
+        a = Campaign(VectorAddKernel(), GTX580, rng=0).run(problems=[1 << 14])
+        b = Campaign(VectorAddKernel(), GTX580, rng=1).run(problems=[1 << 15])
+        merged = a.merged_with(b)
+        assert merged.arch == "GTX580"
+        assert len(merged) == 2
+
+    def test_rejects_kernel_mismatch(self):
+        from repro.kernels import ReductionKernel
+
+        a = CampaignResult(kernel="a", arch="x", family="fermi")
+        b = CampaignResult(kernel="b", arch="x", family="fermi")
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+    def test_empty_matrix_rejected(self):
+        empty = CampaignResult(kernel="k", arch="x", family="fermi")
+        with pytest.raises(ValueError):
+            empty.matrix()

@@ -1,0 +1,96 @@
+"""Tests for the structured on-disk repository."""
+
+import pytest
+
+from repro.gpusim import GTX580
+from repro.kernels import VectorAddKernel
+from repro.profiling.campaign import Campaign, CampaignResult
+from repro.profiling.repository import Repository
+
+
+@pytest.fixture()
+def campaign():
+    return Campaign(VectorAddKernel(), GTX580, rng=0).run(
+        problems=[1 << 14, 1 << 15], replicates=2
+    )
+
+
+class TestRoundtrip:
+    def test_save_and_load(self, campaign, tmp_path):
+        repo = Repository(tmp_path)
+        repo.save(campaign)
+        loaded = repo.load("vectorAdd", "GTX580")
+        assert len(loaded) == len(campaign)
+        assert loaded.kernel == campaign.kernel
+        assert loaded.family == "fermi"
+
+    def test_values_bit_exact(self, campaign, tmp_path):
+        repo = Repository(tmp_path)
+        repo.save(campaign)
+        loaded = repo.load("vectorAdd", "GTX580")
+        for orig, back in zip(campaign.records, loaded.records):
+            assert back.time_s == orig.time_s
+            assert back.problem == orig.problem
+            assert back.counters == orig.counters
+            assert back.machine == orig.machine
+
+    def test_matrix_identical_after_roundtrip(self, campaign, tmp_path):
+        repo = Repository(tmp_path)
+        repo.save(campaign)
+        loaded = repo.load("vectorAdd", "GTX580")
+        X1, y1, n1 = campaign.matrix()
+        X2, y2, n2 = loaded.matrix()
+        assert n1 == n2
+        assert (X1 == X2).all()
+        assert (y1 == y2).all()
+
+    def test_tagging(self, campaign, tmp_path):
+        repo = Repository(tmp_path)
+        repo.save(campaign, tag="trial1")
+        assert repo.has("vectorAdd", "GTX580", tag="trial1")
+        assert not repo.has("vectorAdd", "GTX580")
+        loaded = repo.load("vectorAdd", "GTX580", tag="trial1")
+        assert len(loaded) == len(campaign)
+
+
+class TestManagement:
+    def test_list_campaigns(self, campaign, tmp_path):
+        repo = Repository(tmp_path)
+        repo.save(campaign)
+        metas = repo.list_campaigns()
+        assert len(metas) == 1
+        assert metas[0]["kernel"] == "vectorAdd"
+        assert metas[0]["n_runs"] == 4
+
+    def test_missing_campaign_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Repository(tmp_path).load("nothing", "here")
+
+    def test_refuses_empty_campaign(self, tmp_path):
+        empty = CampaignResult(kernel="k", arch="x", family="fermi")
+        with pytest.raises(ValueError):
+            Repository(tmp_path).save(empty)
+
+    def test_overwrite_replaces(self, campaign, tmp_path):
+        repo = Repository(tmp_path)
+        repo.save(campaign)
+        shorter = CampaignResult(
+            kernel=campaign.kernel, arch=campaign.arch,
+            family=campaign.family, records=campaign.records[:2],
+        )
+        repo.save(shorter)
+        assert len(repo.load("vectorAdd", "GTX580")) == 2
+
+    def test_creates_root_directory(self, tmp_path):
+        root = tmp_path / "deep" / "repo"
+        Repository(root)
+        assert root.is_dir()
+
+    def test_corruption_detected(self, campaign, tmp_path):
+        repo = Repository(tmp_path)
+        cdir = repo.save(campaign)
+        # truncate the CSV: drop the last data row
+        data = (cdir / "runs.csv").read_text().rstrip("\n").splitlines()
+        (cdir / "runs.csv").write_text("\n".join(data[:-1]) + "\n")
+        with pytest.raises(ValueError, match="corrupt"):
+            repo.load("vectorAdd", "GTX580")

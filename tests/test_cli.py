@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_defaults(self):
+        args = build_parser().parse_args(["analyze", "reduce1"])
+        assert args.arch == "GTX580"
+        assert args.response == "time"
+        assert args.repeats == 3
+
+    def test_predict_requires_sizes(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["predict", "matrixMul"])
+
+
+class TestCommands:
+    def test_list_kernels(self, capsys):
+        assert main(["list-kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "reduce1" in out
+        assert "matrixMul" in out
+        assert "needleman-wunsch" in out
+
+    def test_list_archs(self, capsys):
+        assert main(["list-archs"]) == 0
+        out = capsys.readouterr().out
+        assert "GTX580" in out and "K20m" in out
+        assert "mbw" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "vectorAdd", "65536"]) == 0
+        out = capsys.readouterr().out
+        assert "gld_request" in out
+        assert "execution time" in out
+
+    def test_profile_kepler_reports_power(self, capsys):
+        assert main(["profile", "vectorAdd", "65536", "--arch", "K20m"]) == 0
+        out = capsys.readouterr().out
+        assert "average power" in out
+
+    def test_analyze_small(self, capsys):
+        rc = main([
+            "analyze", "reduce2", "--sizes",
+            ",".join(str(1 << p) for p in range(14, 23)),
+            "--replicates", "2", "--trees", "40", "--repeats", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Variable importance" in out
+        assert "bottleneck" in out
+
+    def test_predict_small(self, capsys):
+        rc = main([
+            "predict", "vectorAdd", "--sizes", "100000,400000",
+            "--trees", "40", "--replicates", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "predicted time" in out
+        assert "ms" in out
+
+    def test_unknown_kernel_exits(self):
+        with pytest.raises(SystemExit, match="unknown kernel"):
+            main(["profile", "nonexistent", "100"])
+
+    def test_unknown_arch_exits(self):
+        with pytest.raises(SystemExit, match="unknown architecture"):
+            main(["profile", "vectorAdd", "100", "--arch", "RTX9090"])
+
+    def test_bad_sizes_exit(self):
+        with pytest.raises(SystemExit, match="could not parse"):
+            main(["predict", "vectorAdd", "--sizes", "abc"])

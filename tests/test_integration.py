@@ -1,0 +1,129 @@
+"""End-to-end integration tests across the whole toolchain."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BlackForest,
+    Campaign,
+    GTX580,
+    K20M,
+    ProblemScalingPredictor,
+    Repository,
+    VectorAddKernel,
+    bottleneck_report,
+    kernel_registry,
+)
+from repro.core.hardware import HardwareScalingPredictor, common_predictors
+from repro.kernels import ReductionKernel
+
+
+class TestFullWorkflow:
+    """Collect -> persist -> reload -> analyze -> report -> predict."""
+
+    def test_time_response_workflow(self, tmp_path, reduce2_campaign):
+        repo = Repository(tmp_path)
+        repo.save(reduce2_campaign)
+        reloaded = repo.load(reduce2_campaign.kernel, reduce2_campaign.arch)
+
+        fit = BlackForest(n_trees=80, rng=1).fit(
+            reloaded, include_characteristics=False
+        )
+        report = bottleneck_report(fit)
+        assert fit.kernel in report
+        assert fit.oob_explained_variance > 0.7
+
+        # the fitted forest predicts the reloaded campaign's own rows
+        pred = fit.forest.predict(fit.X_test)
+        assert np.corrcoef(pred, fit.y_test)[0, 1] > 0.9
+
+    def test_power_response_workflow(self, tmp_path):
+        sizes = [int(s) for s in np.round(np.logspace(16, 22, 25, base=2.0))]
+        campaign = Campaign(ReductionKernel(6), K20M, rng=0).run(problems=sizes)
+        repo = Repository(tmp_path)
+        repo.save(campaign, tag="power")
+        reloaded = repo.load("reduce6", "K20m", tag="power")
+
+        # power survives the repository roundtrip
+        assert np.allclose(reloaded.powers(), campaign.powers())
+
+        fit = BlackForest(n_trees=80, rng=1).fit(reloaded, response="power")
+        assert fit.oob_explained_variance > 0.6
+
+    def test_problem_scaling_workflow(self):
+        # a dense sweep: piecewise-constant forests need nearby training
+        # sizes to interpolate a steep monotone response well
+        sizes = [int(s) for s in np.round(np.logspace(15, 23.5, 30, base=2.0))]
+        campaign = Campaign(VectorAddKernel(), GTX580, rng=0).run(
+            problems=sizes, replicates=2
+        )
+        predictor = ProblemScalingPredictor(
+            BlackForest(n_trees=80, use_pca=False, min_samples_leaf=3, rng=1),
+            rng=2,
+        ).fit(campaign)
+        # unseen sizes inside the trained range (forests do not
+        # extrapolate beyond their training response)
+        unseen = Campaign(VectorAddKernel(), GTX580, rng=50).run(
+            problems=[100_000, 1_000_000, 5_000_000]
+        )
+        report = predictor.report(unseen)
+        assert report.explained_variance > 0.8
+
+    def test_cross_arch_workflow(self):
+        kernel = VectorAddKernel()
+        sizes = [int(s) for s in np.round(np.logspace(15, 24, 30, base=2.0))]
+        fermi = Campaign(kernel, GTX580, rng=0).run(problems=sizes, replicates=2)
+        kepler = Campaign(kernel, K20M, rng=1).run(problems=sizes, replicates=2)
+        common = common_predictors(fermi, kepler)
+        hw = HardwareScalingPredictor(
+            n_trees=100, min_samples_leaf=3, rng=3
+        ).fit(fermi, common=common)
+        result = hw.assess(kepler)
+        # a trivially bandwidth-bound kernel transfers across GPUs:
+        # predictions track the measured times tightly in rank/shape
+        corr = np.corrcoef(
+            result.report.predicted_s, result.report.measured_s
+        )[0, 1]
+        assert corr > 0.9
+        assert result.report.explained_variance > 0.5
+
+
+class TestRegistryWideAnalysis:
+    """Every registered kernel must survive a mini end-to-end analysis."""
+
+    @pytest.mark.parametrize("name", sorted(kernel_registry()))
+    def test_kernel_analyzes(self, name):
+        from repro import XEON_E5
+
+        kernel = kernel_registry()[name]
+        arch = XEON_E5 if name.startswith("cpu-") else GTX580
+        sweep = kernel.default_sweep()
+        probe = sweep[:: max(1, len(sweep) // 10)][:10]
+        campaign = Campaign(kernel, arch, rng=0).run(
+            problems=probe, replicates=2
+        )
+        fit = BlackForest(
+            n_trees=40, use_pca=False, top_k=4, rng=1
+        ).fit(campaign)
+        assert fit.importance.names
+        assert np.isfinite(fit.oob_mse)
+        assert fit.bottlenecks  # something is always detected
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_campaigns(self):
+        a = Campaign(VectorAddKernel(), GTX580, rng=42).run(problems=[1 << 16])
+        b = Campaign(VectorAddKernel(), GTX580, rng=42).run(problems=[1 << 16])
+        assert a.records[0].time_s == b.records[0].time_s
+        assert a.records[0].counters == b.records[0].counters
+
+    def test_different_archs_different_counters(self):
+        a = Campaign(VectorAddKernel(), GTX580, rng=0).run(problems=[1 << 18])
+        b = Campaign(VectorAddKernel(), K20M, rng=0).run(problems=[1 << 18])
+        # same requests, different transaction geometry
+        assert (a.records[0].counters["gld_request"]
+                == pytest.approx(b.records[0].counters["gld_request"], rel=0.1))
+        # but per-cycle metrics differ (different clocks/widths)
+        assert a.records[0].counters["ipc"] != pytest.approx(
+            b.records[0].counters["ipc"], rel=0.05
+        )

@@ -1,0 +1,29 @@
+"""Package-level sanity checks."""
+
+import repro
+
+
+def test_version_string():
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
+
+
+def test_public_api_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_subpackage_alls_resolve():
+    import repro.core
+    import repro.cpusim
+    import repro.gpusim
+    import repro.kernels
+    import repro.ml
+    import repro.profiling
+    import repro.viz
+
+    for mod in (repro.core, repro.cpusim, repro.gpusim, repro.kernels,
+                repro.ml, repro.profiling, repro.viz):
+        for name in mod.__all__:
+            assert getattr(mod, name, None) is not None, (mod.__name__, name)
