@@ -34,6 +34,10 @@ Subpackages
     Rodinia Needleman–Wunsch, and extras.
 ``repro.profiling``
     nvprof-equivalent data collection: profiler, campaigns, repository.
+``repro.analysis``
+    Static analysis: counter-invariant linter, workload/arch validator,
+    AST source lint (the ``repro lint`` CLI and the profiler's
+    sanitizer mode).
 ``repro.viz``
     Plain-text figures.
 """
@@ -77,6 +81,12 @@ from .kernels import (
     kernel_registry,
 )
 from .cpusim import CPUArchitecture, CPUSimulator, I7_SANDY, XEON_E5
+from .analysis import (
+    Finding,
+    InvariantViolation,
+    Severity,
+    lint_tree,
+)
 from .profiling import Campaign, CampaignResult, Profiler, Repository, RunRecord
 
 __version__ = "1.0.0"
@@ -123,5 +133,9 @@ __all__ = [
     "Profiler",
     "Repository",
     "RunRecord",
+    "Finding",
+    "InvariantViolation",
+    "Severity",
+    "lint_tree",
     "__version__",
 ]

@@ -1,0 +1,78 @@
+"""Static analysis: counter-invariant linter and workload sanitizer.
+
+The statistical pipeline is only as trustworthy as the counter vectors
+and workload models feeding it — a mislabeled counter family or an
+out-of-range access pattern silently corrupts every downstream
+importance ranking and prediction. This subpackage is the fail-fast
+correctness layer:
+
+* :mod:`~repro.analysis.catalogue` — internal consistency of the
+  counter catalogue (family tags, units, predictor flags, metric
+  dependencies);
+* :mod:`~repro.analysis.workload` — invariants over kernel workload
+  models and finalized counter vectors;
+* :mod:`~repro.analysis.arch` — architecture-description validation;
+* :mod:`~repro.analysis.source` — AST lint over the package source
+  (unknown counter literals, unguarded metric divisions, float
+  equality in timing paths);
+* :mod:`~repro.analysis.runner` — whole-tree orchestration behind the
+  ``repro lint`` CLI and the CI gate.
+
+Rules are registered :class:`Rule` objects with stable ``BFxxx`` ids
+(see ``docs/analysis.md``); the profiler re-runs the workload and
+counter rules per launch in sanitizer mode (``Profiler(...,
+sanitize=True)``) and raises :class:`InvariantViolation` on ERROR
+findings.
+"""
+
+from . import arch as _arch_rules  # noqa: F401 — import registers rules
+from . import catalogue as _catalogue_rules  # noqa: F401
+from . import source as _source_rules  # noqa: F401
+from . import workload as _workload_rules  # noqa: F401
+from .arch import lint_arch
+from .catalogue import lint_catalogue
+from .findings import (
+    Finding,
+    InvariantViolation,
+    Rule,
+    Severity,
+    all_rules,
+    get_rule,
+    max_severity,
+    rule,
+    rules_for,
+    run_rules,
+)
+from .runner import (
+    as_json,
+    lint_kernel_launches,
+    lint_tree,
+    rule_table,
+    summarize,
+)
+from .source import lint_source_file, lint_source_tree
+from .workload import lint_counters, lint_workload
+
+__all__ = [
+    "Finding",
+    "InvariantViolation",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "max_severity",
+    "rule",
+    "rules_for",
+    "run_rules",
+    "lint_arch",
+    "lint_catalogue",
+    "lint_counters",
+    "lint_workload",
+    "lint_source_file",
+    "lint_source_tree",
+    "lint_tree",
+    "lint_kernel_launches",
+    "as_json",
+    "summarize",
+    "rule_table",
+]

@@ -1,0 +1,181 @@
+"""GPU-architecture description validator (rules BF201–BF206).
+
+An architecture description is the other half of every simulation
+input: a GTX580 with a zero memory bandwidth or an inconsistent cache
+geometry corrupts every counter vector collected on it just as surely
+as a bad workload. These rules validate a
+:class:`~repro.gpusim.arch.GPUArchitecture` in isolation — Table 2
+scalars, occupancy geometry, cache shapes, and the family-specific
+memory-path flags.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.gpusim.arch import GPUArchitecture
+
+from .findings import Severity, rule
+
+__all__ = ["lint_arch"]
+
+_GPU_FAMILIES = ("fermi", "kepler")
+
+
+def _positive(value) -> bool:
+    try:
+        v = float(value)
+    except (TypeError, ValueError):
+        return False
+    return math.isfinite(v) and v > 0
+
+
+@rule("BF201", Severity.ERROR, "arch",
+      "architecture family is a known GPU family")
+def check_family(r, arch: GPUArchitecture):
+    if arch.family not in _GPU_FAMILIES:
+        yield r.finding(
+            f"family {arch.family!r} is not one of {_GPU_FAMILIES}",
+            subject=arch.name,
+        )
+
+
+@rule("BF202", Severity.ERROR, "arch",
+      "Table 2 machine metrics are positive and finite")
+def check_table2_scalars(r, arch: GPUArchitecture):
+    scalars = {
+        "warp_schedulers": arch.warp_schedulers,
+        "clock_ghz": arch.clock_ghz,
+        "n_sms": arch.n_sms,
+        "cores_per_sm": arch.cores_per_sm,
+        "mem_bandwidth_gbs": arch.mem_bandwidth_gbs,
+        "max_registers_per_thread": arch.max_registers_per_thread,
+        "l2_size_kb": arch.l2_size_kb,
+    }
+    for label, value in scalars.items():
+        if not _positive(value):
+            yield r.finding(f"{label}={value!r} must be positive and finite",
+                            subject=arch.name)
+
+
+@rule("BF203", Severity.ERROR, "arch",
+      "scheduling/occupancy geometry is internally consistent")
+def check_geometry(r, arch: GPUArchitecture):
+    if arch.warp_size != 32:
+        yield r.finding(
+            f"warp_size={arch.warp_size}; every supported CUDA "
+            "architecture schedules 32-lane warps", subject=arch.name,
+        )
+    for label, value in (
+        ("max_warps_per_sm", arch.max_warps_per_sm),
+        ("max_blocks_per_sm", arch.max_blocks_per_sm),
+        ("registers_per_sm", arch.registers_per_sm),
+        ("register_alloc_granularity", arch.register_alloc_granularity),
+        ("shared_mem_per_sm", arch.shared_mem_per_sm),
+        ("shared_mem_granularity", arch.shared_mem_granularity),
+        ("shared_banks", arch.shared_banks),
+        ("dispatch_units_per_scheduler", arch.dispatch_units_per_scheduler),
+        ("lsu_units", arch.lsu_units),
+    ):
+        if not _positive(value):
+            yield r.finding(f"{label}={value!r} must be positive",
+                            subject=arch.name)
+    if arch.max_threads_per_block < arch.warp_size:
+        yield r.finding(
+            f"max_threads_per_block={arch.max_threads_per_block} is "
+            f"below one warp ({arch.warp_size})", subject=arch.name,
+        )
+    if arch.max_threads_per_block > arch.max_threads_per_sm:
+        yield r.finding(
+            f"max_threads_per_block={arch.max_threads_per_block} "
+            f"exceeds the SM thread budget {arch.max_threads_per_sm} — "
+            "no legal block could ever be resident", subject=arch.name,
+        )
+
+
+@rule("BF204", Severity.ERROR, "arch",
+      "cache and coalescing geometry are consistent")
+def check_memory_geometry(r, arch: GPUArchitecture):
+    for label, geom in (("l1", arch.l1), ("l2", arch.l2)):
+        if geom.n_sets < 1:
+            yield r.finding(f"{label} cache has {geom.n_sets} sets",
+                            subject=arch.name)
+        if geom.line_bytes < 1 or geom.line_bytes & (geom.line_bytes - 1):
+            yield r.finding(
+                f"{label} line size {geom.line_bytes} is not a power of two",
+                subject=arch.name,
+            )
+    if arch.global_mem_segment_bytes > arch.l1.line_bytes:
+        yield r.finding(
+            f"coalescing segment ({arch.global_mem_segment_bytes} B) "
+            f"larger than the L1 line ({arch.l1.line_bytes} B)",
+            subject=arch.name,
+        )
+    for label, value in (
+        ("dram_latency_cycles", arch.dram_latency_cycles),
+        ("l2_latency_cycles", arch.l2_latency_cycles),
+        ("shared_latency_cycles", arch.shared_latency_cycles),
+    ):
+        if not _positive(value):
+            yield r.finding(f"{label}={value!r} must be positive",
+                            subject=arch.name)
+    if _positive(arch.dram_latency_cycles) and _positive(
+        arch.l2_latency_cycles
+    ) and arch.l2_latency_cycles > arch.dram_latency_cycles:
+        yield r.finding(
+            f"L2 latency ({arch.l2_latency_cycles} cy) exceeds DRAM "
+            f"latency ({arch.dram_latency_cycles} cy) — the cache would "
+            "slow misses down", subject=arch.name,
+        )
+
+
+@rule("BF205", Severity.ERROR, "arch",
+      "machine_metrics() exposes the complete Table 2 vector")
+def check_machine_metrics(r, arch: GPUArchitecture):
+    expected = {"wsched", "freq", "smp", "rco", "mbw", "l1c", "l2c"}
+    try:
+        metrics = arch.machine_metrics()
+    except Exception as exc:  # noqa: BLE001 — a lint rule must not raise
+        yield r.finding(f"machine_metrics() raised: {exc}", subject=arch.name)
+        return
+    missing = expected - metrics.keys()
+    extra = metrics.keys() - expected
+    if missing:
+        yield r.finding(f"missing machine metrics {sorted(missing)}",
+                        subject=arch.name)
+    if extra:
+        yield r.finding(f"unexpected machine metrics {sorted(extra)}",
+                        subject=arch.name)
+    for key, value in metrics.items():
+        if not (isinstance(value, (int, float)) and math.isfinite(value)):
+            yield r.finding(f"machine metric {key}={value!r} not finite",
+                            subject=arch.name)
+
+
+@rule("BF206", Severity.WARNING, "arch",
+      "family-specific memory-path flags and power envelope are plausible")
+def check_family_flags(r, arch: GPUArchitecture):
+    if arch.family == "kepler" and arch.l1_caches_global_loads:
+        yield r.finding(
+            "Kepler GK-class parts serve global loads from L2; "
+            "l1_caches_global_loads=True is the hardware-model analog "
+            "of a Fermi counter leaking into a Kepler run",
+            subject=arch.name,
+        )
+    if arch.static_power_w < 0 or arch.tdp_w <= 0:
+        yield r.finding(
+            f"power envelope invalid (static={arch.static_power_w} W, "
+            f"tdp={arch.tdp_w} W)", subject=arch.name,
+        )
+    elif arch.static_power_w >= arch.tdp_w:
+        yield r.finding(
+            f"static power ({arch.static_power_w} W) at or above the "
+            f"board TDP ({arch.tdp_w} W)", subject=arch.name,
+        )
+
+
+def lint_arch(arch: GPUArchitecture):
+    """Run all architecture rules on one description."""
+    from .findings import run_rules
+
+    return run_rules("arch", arch)

@@ -1,0 +1,208 @@
+"""Counter-catalogue linter (rules BF001–BF008).
+
+Verifies the internal consistency of
+:data:`repro.gpusim.counters.CATALOGUE` — the contract every other
+stage (simulator, profiler, statistical pipeline) builds on. A single
+mislabeled family tag or predictor flag here silently corrupts every
+downstream importance ranking, so these rules are all ERROR severity.
+
+Every check takes the catalogue mapping as an argument (defaulting to
+the shipped one via the runner) so tests can drive rules against
+deliberately corrupted catalogues.
+"""
+
+from __future__ import annotations
+
+import keyword
+from typing import Mapping
+
+from repro.gpusim.counters import (
+    CounterSpec,
+    EXCLUSIVE_FAMILY_COUNTERS,
+    FAMILIES,
+    METRIC_DEPENDENCIES,
+    REPLAY_COUNTER_PAIRING,
+    RESPONSE_PROXY_COUNTERS,
+    TABLE1_COUNTERS,
+    UNIT_VOCABULARY,
+)
+
+from .findings import Severity, rule
+
+__all__ = ["lint_catalogue"]
+
+Catalogue = Mapping[str, CounterSpec]
+
+
+@rule("BF001", Severity.ERROR, "catalogue",
+      "counter family tags are valid and mutually consistent")
+def check_family_tags(r, catalogue: Catalogue):
+    for name, spec in catalogue.items():
+        if not spec.families:
+            yield r.finding("family tuple is empty", subject=name)
+            continue
+        unknown = [f for f in spec.families if f not in FAMILIES]
+        if unknown:
+            yield r.finding(
+                f"unknown families {unknown}", subject=name,
+                families=list(spec.families),
+            )
+        if len(set(spec.families)) != len(spec.families):
+            yield r.finding("duplicate family tags", subject=name,
+                            families=list(spec.families))
+        if "cpu" in spec.families and len(set(spec.families)) > 1:
+            yield r.finding(
+                "cpu counters cannot be shared with GPU families",
+                subject=name, families=list(spec.families),
+            )
+
+
+@rule("BF002", Severity.ERROR, "catalogue",
+      "counter kind is 'event' or 'metric'")
+def check_kind(r, catalogue: Catalogue):
+    for name, spec in catalogue.items():
+        if spec.kind not in ("event", "metric"):
+            yield r.finding(f"invalid kind {spec.kind!r}", subject=name)
+
+
+@rule("BF003", Severity.ERROR, "catalogue",
+      "units come from the closed vocabulary; events are raw counts")
+def check_units(r, catalogue: Catalogue):
+    for name, spec in catalogue.items():
+        if spec.unit not in UNIT_VOCABULARY:
+            yield r.finding(
+                f"unit {spec.unit!r} not in vocabulary "
+                f"{sorted(UNIT_VOCABULARY)}", subject=name,
+            )
+        elif spec.kind == "event" and spec.unit != "count":
+            yield r.finding(
+                f"event counters increment raw counts, got unit {spec.unit!r}",
+                subject=name,
+            )
+
+
+@rule("BF004", Severity.ERROR, "catalogue",
+      "family-exclusive counters carry the right tag and their "
+      "cross-family counterparts exist")
+def check_family_exclusives(r, catalogue: Catalogue):
+    for name, family in EXCLUSIVE_FAMILY_COUNTERS.items():
+        spec = catalogue.get(name)
+        if spec is None:
+            continue  # absence is legal; mistagging is not
+        if tuple(spec.families) != (family,):
+            yield r.finding(
+                f"must be exclusive to {family!r} "
+                f"(got {list(spec.families)}) — e.g. a Kepler-tagged "
+                f"l1_global_load_hit would leak Fermi L1 events into "
+                f"Kepler feature vectors",
+                subject=name, expected=family, families=list(spec.families),
+            )
+    # The bank-conflict counter renames must travel together: shipping
+    # one side of the pairing without the other breaks hardware scaling.
+    sides = {
+        fam: [n for n in names if n in catalogue]
+        for fam, names in REPLAY_COUNTER_PAIRING.items()
+    }
+    if any(sides.values()) and not all(
+        len(sides[fam]) == len(names)
+        for fam, names in REPLAY_COUNTER_PAIRING.items()
+    ):
+        yield r.finding(
+            "incomplete bank-conflict counter pairing: "
+            f"fermi side {sides.get('fermi', [])} vs kepler side "
+            f"{sides.get('kepler', [])}",
+            subject="replay pairing",
+        )
+
+
+@rule("BF005", Severity.ERROR, "catalogue",
+      "response-proxy counters are not flagged as predictors (and "
+      "vice versa)")
+def check_predictor_flags(r, catalogue: Catalogue):
+    for name, spec in catalogue.items():
+        if name in RESPONSE_PROXY_COUNTERS and spec.predictor:
+            yield r.finding(
+                "direct response proxy must have predictor=False "
+                "(would let the forest predict time from time)",
+                subject=name,
+            )
+        elif spec.predictor is False and name not in RESPONSE_PROXY_COUNTERS:
+            yield r.finding(
+                "predictor=False but not a declared response proxy; "
+                "either flag it in RESPONSE_PROXY_COUNTERS or make it "
+                "a predictor",
+                subject=name,
+            )
+
+
+@rule("BF006", Severity.ERROR, "catalogue",
+      "derived metrics reference only defined events available on the "
+      "same family")
+def check_metric_dependencies(r, catalogue: Catalogue):
+    for name, spec in catalogue.items():
+        if spec.kind != "metric":
+            if name in METRIC_DEPENDENCIES:
+                yield r.finding(
+                    "event counters must not declare metric dependencies",
+                    subject=name,
+                )
+            continue
+        groups = METRIC_DEPENDENCIES.get(name)
+        if groups is None:
+            yield r.finding(
+                "derived metric has no METRIC_DEPENDENCIES entry",
+                subject=name,
+            )
+            continue
+        for group in groups:
+            undefined = [dep for dep in group if dep not in catalogue]
+            if undefined:
+                yield r.finding(
+                    f"formula references undefined counters {undefined}",
+                    subject=name,
+                )
+            resolvable = [dep for dep in group if dep in catalogue]
+            for family in spec.families:
+                if not any(
+                    catalogue[dep].available_on(family) for dep in resolvable
+                ):
+                    yield r.finding(
+                        f"no event of dependency group {list(group)} is "
+                        f"available on {family!r}",
+                        subject=name, family=family,
+                    )
+
+
+@rule("BF007", Severity.ERROR, "catalogue",
+      "the Table 1 sample references only catalogued counters")
+def check_table1(r, catalogue: Catalogue, table1: list[str] | None = None):
+    names = TABLE1_COUNTERS if table1 is None else table1
+    for name in names:
+        if name not in catalogue:
+            yield r.finding("Table 1 counter missing from catalogue",
+                            subject=name)
+
+
+@rule("BF008", Severity.WARNING, "catalogue",
+      "counter names are lowercase identifiers with a documented meaning")
+def check_hygiene(r, catalogue: Catalogue):
+    for name, spec in catalogue.items():
+        if (not name.isidentifier() or name != name.lower()
+                or keyword.iskeyword(name)):
+            yield r.finding("name is not a lowercase identifier", subject=name)
+        if spec.name != name:
+            yield r.finding(
+                f"catalogue key disagrees with spec name {spec.name!r}",
+                subject=name,
+            )
+        if not spec.meaning.strip():
+            yield r.finding("meaning is empty", subject=name)
+
+
+def lint_catalogue(catalogue: Catalogue | None = None):
+    """Run all catalogue rules; defaults to the shipped CATALOGUE."""
+    from repro.gpusim.counters import CATALOGUE
+
+    from .findings import run_rules
+
+    return run_rules("catalogue", CATALOGUE if catalogue is None else catalogue)

@@ -1,0 +1,213 @@
+"""Shared finding/rule framework for the static-analysis subsystem.
+
+Every check the linter performs is a registered :class:`Rule` with a
+stable identifier (``BF001``...), a default :class:`Severity` and a
+*domain* that fixes its check signature:
+
+===========  =============================================  ==================
+domain       subject                                        check signature
+===========  =============================================  ==================
+catalogue    the counter catalogue                          ``check(catalogue)``
+workload     one kernel launch on one architecture          ``check(wl, arch)``
+arch         a :class:`~repro.gpusim.arch.GPUArchitecture`  ``check(arch)``
+counters     a finalized counter vector                     ``check(values, family)``
+source       one parsed module of the package               ``check(tree, path)``
+===========  =============================================  ==================
+
+Checks *yield or return* :class:`Finding` objects; they never raise on
+bad input — raising is the sanitizer's job (:class:`InvariantViolation`
+wraps the findings of a failed launch). Rules register themselves via
+the :func:`rule` decorator at import time, which keeps the catalogue
+introspectable (``repro lint --list-rules``, the docs table) and lets
+tests drive single rules against corrupted fixtures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "Rule",
+    "rule",
+    "rules_for",
+    "all_rules",
+    "get_rule",
+    "run_rules",
+    "max_severity",
+    "InvariantViolation",
+]
+
+
+class Severity(enum.IntEnum):
+    """Finding severity, ordered so comparisons mean "at least as bad"."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; choose from "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, pinned to the object (or source line) at fault."""
+
+    rule: str
+    severity: Severity
+    message: str
+    #: What the finding is about — a counter name, a kernel launch,
+    #: an architecture, or a ``path:line`` source location.
+    subject: str = ""
+    #: Free-form structured context (values observed, limits exceeded).
+    context: Mapping[str, object] = field(default_factory=dict)
+
+    def format(self) -> str:
+        loc = f" [{self.subject}]" if self.subject else ""
+        return f"{self.severity.name:7s} {self.rule}{loc} {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.name.lower(),
+            "message": self.message,
+            "subject": self.subject,
+            "context": {k: v for k, v in self.context.items()},
+        }
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered invariant check."""
+
+    id: str
+    severity: Severity
+    domain: str
+    summary: str
+    check: Callable[..., Iterable[Finding] | None]
+
+    def finding(
+        self, message: str, subject: str = "", severity: Severity | None = None,
+        **context,
+    ) -> Finding:
+        """Build a finding attributed to this rule (at its default severity)."""
+        return Finding(
+            rule=self.id,
+            severity=self.severity if severity is None else severity,
+            message=message,
+            subject=subject,
+            context=context,
+        )
+
+    def run(self, *args) -> list[Finding]:
+        result = self.check(self, *args)
+        return [] if result is None else list(result)
+
+
+_DOMAINS = ("catalogue", "workload", "arch", "counters", "source")
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(rule_id: str, severity: Severity, domain: str, summary: str):
+    """Class-level decorator registering a check function as a rule.
+
+    The decorated function receives the owning :class:`Rule` as its
+    first argument (use ``rule.finding(...)`` to emit findings) followed
+    by the domain's subject arguments.
+    """
+    if domain not in _DOMAINS:
+        raise ValueError(f"unknown rule domain {domain!r}")
+    if rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+
+    def register(check: Callable) -> Rule:
+        registered = Rule(
+            id=rule_id, severity=severity, domain=domain,
+            summary=summary, check=check,
+        )
+        _REGISTRY[rule_id] = registered
+        return registered
+
+    return register
+
+
+def rules_for(domain: str) -> list[Rule]:
+    """All registered rules of one domain, in id order."""
+    if domain not in _DOMAINS:
+        raise ValueError(f"unknown rule domain {domain!r}")
+    return sorted(
+        (r for r in _REGISTRY.values() if r.domain == domain),
+        key=lambda r: r.id,
+    )
+
+
+def all_rules() -> list[Rule]:
+    return sorted(_REGISTRY.values(), key=lambda r: r.id)
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(f"unknown rule {rule_id!r}") from None
+
+
+def run_rules(domain: str, *args, select: Iterable[str] | None = None) -> list[Finding]:
+    """Run every rule of ``domain`` against one subject.
+
+    ``select`` optionally restricts to rule ids (or id prefixes, so
+    ``"BF1"`` selects the whole workload block).
+    """
+    findings: list[Finding] = []
+    for r in rules_for(domain):
+        if select is not None and not any(r.id.startswith(s) for s in select):
+            continue
+        findings.extend(r.run(*args))
+    return findings
+
+
+def max_severity(findings: Iterable[Finding]) -> Severity | None:
+    worst: Severity | None = None
+    for f in findings:
+        if worst is None or f.severity > worst:
+            worst = f.severity
+    return worst
+
+
+class InvariantViolation(RuntimeError):
+    """A sanitized simulation hit ERROR-severity invariant findings.
+
+    Raised by :class:`~repro.profiling.profiler.Profiler` in sanitizer
+    mode; carries the structured findings so callers (and tests) can
+    inspect exactly which rule fired on what.
+    """
+
+    def __init__(self, findings: Iterable[Finding], subject: str = "") -> None:
+        self.findings: list[Finding] = list(findings)
+        self.subject = subject
+        head = "; ".join(f.format() for f in self.findings[:3])
+        more = len(self.findings) - 3
+        if more > 0:
+            head += f" (+{more} more)"
+        where = f" in {subject}" if subject else ""
+        super().__init__(f"invariant violation{where}: {head}")
+
+    def rules(self) -> list[str]:
+        return sorted({f.rule for f in self.findings})
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)

@@ -1,0 +1,182 @@
+"""AST linter over the ``repro`` package source (rules BF301–BF303).
+
+Complements the object-level validators with source-level checks that
+catch classes of defects *before* anything runs:
+
+* **BF301** — string-literal counter names that are not in the
+  catalogue. Typos like ``counters["gld_requests"]`` otherwise surface
+  as ``KeyError`` deep inside a campaign (or worse, silently miss a
+  column in a hand-built list).
+* **BF302** — unguarded divisions in derived-metric / efficiency code,
+  where an empty launch turns into ``ZeroDivisionError`` or a NaN that
+  poisons a whole feature matrix.
+* **BF303** — float ``==`` / ``!=`` comparisons in simulator timing
+  paths, which break under the noise model's perturbation factors.
+
+All checks run on parsed module ASTs (``check(tree, path)``), so tests
+can feed source snippets without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.gpusim.counters import CATALOGUE
+
+from .findings import Finding, Severity, rule, run_rules
+
+__all__ = ["lint_source_file", "lint_source_tree", "parse_module"]
+
+#: Variable / attribute names whose string subscripts are counter names.
+_COUNTER_CONTAINERS = {"counters"}
+
+#: Assignment targets whose list/tuple elements are counter names.
+_COUNTER_LIST_SUFFIX = "COUNTERS"
+
+#: Function-name fragments marking derived-metric / efficiency code
+#: (the scope of the unguarded-division rule).
+_METRIC_FUNCTION_MARKERS = (
+    "finalize_counters", "efficien", "overhead", "utilization",
+)
+
+#: Modules whose comparisons constitute the simulator timing path.
+_TIMING_PATH_MODULES = (
+    "gpusim/timing.py", "gpusim/simulator.py", "gpusim/microsim.py",
+    "gpusim/memory.py", "cpusim/simulator.py",
+)
+
+
+def _subscript_container_name(node: ast.Subscript) -> str | None:
+    value = node.value
+    if isinstance(value, ast.Name):
+        return value.id
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    return None
+
+
+@rule("BF301", Severity.ERROR, "source",
+      "string-literal counter names exist in the catalogue")
+def check_counter_literals(r, tree: ast.AST, path: str):
+    def unknown(name: str) -> bool:
+        return isinstance(name, str) and name not in CATALOGUE
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Subscript):
+            container = _subscript_container_name(node)
+            if container not in _COUNTER_CONTAINERS:
+                continue
+            key = node.slice
+            if isinstance(key, ast.Constant) and unknown(key.value):
+                yield r.finding(
+                    f"counter name {key.value!r} not in the catalogue",
+                    subject=f"{path}:{key.lineno}", name=key.value,
+                )
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            named = [
+                t.id for t in targets
+                if isinstance(t, ast.Name) and t.id.endswith(_COUNTER_LIST_SUFFIX)
+            ]
+            if not named or not isinstance(node.value, (ast.List, ast.Tuple)):
+                continue
+            for element in node.value.elts:
+                if isinstance(element, ast.Constant) and unknown(element.value):
+                    yield r.finding(
+                        f"counter name {element.value!r} in {named[0]} not "
+                        "in the catalogue",
+                        subject=f"{path}:{element.lineno}", name=element.value,
+                    )
+
+
+def _is_guarded_division(div: ast.BinOp, ancestors: list[ast.AST]) -> bool:
+    """A division counts as guarded when a conditional dominates it or
+    the denominator cannot be zero by construction."""
+    right = div.right
+    if isinstance(right, ast.Constant) and right.value:
+        return True
+    # `x / max(1, y)`-style denominators are structurally non-zero.
+    if (isinstance(right, ast.Call) and isinstance(right.func, ast.Name)
+            and right.func.id == "max"):
+        return True
+    return any(isinstance(a, (ast.If, ast.IfExp, ast.Try)) for a in ancestors)
+
+
+@rule("BF302", Severity.WARNING, "source",
+      "divisions in derived-metric/efficiency code are guarded against "
+      "zero denominators")
+def check_unguarded_divisions(r, tree: ast.AST, path: str):
+    findings: list[Finding] = []
+
+    def visit(node: ast.AST, ancestors: list[ast.AST]) -> None:
+        if (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div)
+                and not _is_guarded_division(node, ancestors)):
+            findings.append(r.finding(
+                "unguarded division — an all-zero launch turns this "
+                "into ZeroDivisionError/NaN",
+                subject=f"{path}:{node.lineno}",
+            ))
+        ancestors.append(node)
+        for child in ast.iter_child_nodes(node):
+            visit(child, ancestors)
+        ancestors.pop()
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and any(
+            marker in node.name for marker in _METRIC_FUNCTION_MARKERS
+        ):
+            visit(node, [])
+    return findings
+
+
+@rule("BF303", Severity.WARNING, "source",
+      "simulator timing paths avoid float equality comparisons")
+def check_float_equality(r, tree: ast.AST, path: str):
+    normalized = path.replace("\\", "/")
+    if not any(normalized.endswith(m) for m in _TIMING_PATH_MODULES):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        sides = [node.left, *node.comparators]
+        if any(isinstance(s, ast.Constant) and isinstance(s.value, float)
+               for s in sides):
+            yield r.finding(
+                "float equality in a timing path — perturbation factors "
+                "make exact float matches unreliable; compare with a "
+                "tolerance or restructure as an inequality",
+                subject=f"{path}:{node.lineno}",
+            )
+
+
+# ---------------------------------------------------------------------------
+
+
+def parse_module(path: str | Path) -> ast.AST:
+    return ast.parse(Path(path).read_text(encoding="utf-8"), filename=str(path))
+
+
+def lint_source_file(path: str | Path) -> list[Finding]:
+    """Run all source rules on one Python file."""
+    path = Path(path)
+    try:
+        tree = parse_module(path)
+    except SyntaxError as exc:
+        from .findings import get_rule
+
+        return [get_rule("BF301").finding(
+            f"cannot parse: {exc}", subject=str(path),
+            severity=Severity.ERROR,
+        )]
+    return run_rules("source", tree, str(path))
+
+
+def lint_source_tree(root: str | Path) -> list[Finding]:
+    """Run all source rules over every ``*.py`` file under ``root``."""
+    findings: list[Finding] = []
+    for path in sorted(Path(root).rglob("*.py")):
+        findings.extend(lint_source_file(path))
+    return findings

@@ -1,0 +1,392 @@
+"""Workload-model and counter-vector invariants (rules BF101–BF125).
+
+Two rule blocks:
+
+* **workload** rules (BF10x) validate one :class:`KernelWorkload`
+  against the architecture it is about to launch on — geometry, access
+  pattern shapes, instruction-mix arithmetic, and the per-SM resource
+  budgets of the paper's Table 2 (via the occupancy calculator).
+* **counters** rules (BF12x) validate a finalized counter vector —
+  cross-counter sanity such as ``transactions >= requests`` (a warp
+  request always costs at least one transaction), issue/execute
+  ordering, and family membership (the "``l1_global_load_hit`` leaking
+  into a Kepler run" failure mode).
+
+The counter rules are what :class:`~repro.profiling.profiler.Profiler`
+runs in sanitizer mode *before* simulated measurement error is applied:
+they check the simulator's physics, not the (deliberately noisy)
+measurement model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from repro.gpusim.arch import GPUArchitecture
+from repro.gpusim.counters import CATALOGUE, EXCLUSIVE_FAMILY_COUNTERS
+from repro.gpusim.occupancy import occupancy
+from repro.gpusim.workload import KernelWorkload
+
+from .findings import Severity, rule
+
+__all__ = ["lint_workload", "lint_counters"]
+
+#: Slack for float comparisons between exactly-derived quantities.
+_RTOL = 1e-6
+
+
+def _is_finite_number(value) -> bool:
+    try:
+        return math.isfinite(float(value))
+    except (TypeError, ValueError):
+        return False
+
+
+# ---------------------------------------------------------------------------
+# workload rules: check(rule, wl: KernelWorkload, arch: GPUArchitecture)
+# ---------------------------------------------------------------------------
+
+
+@rule("BF101", Severity.ERROR, "workload",
+      "launch geometry is positive and within the block-size limit")
+def check_geometry(r, wl: KernelWorkload, arch: GPUArchitecture):
+    if wl.grid_blocks < 1:
+        yield r.finding(f"grid_blocks={wl.grid_blocks} must be >= 1",
+                        subject=wl.name)
+    if wl.threads_per_block < 1:
+        yield r.finding(
+            f"threads_per_block={wl.threads_per_block} must be >= 1",
+            subject=wl.name,
+        )
+    elif wl.threads_per_block > arch.max_threads_per_block:
+        yield r.finding(
+            f"threads_per_block={wl.threads_per_block} exceeds "
+            f"{arch.name}'s limit of {arch.max_threads_per_block}",
+            subject=wl.name, limit=arch.max_threads_per_block,
+        )
+
+
+@rule("BF102", Severity.ERROR, "workload",
+      "global access patterns are well-shaped (kind, lanes, stride, "
+      "word size)")
+def check_global_shapes(r, wl: KernelWorkload, arch: GPUArchitecture):
+    for i, a in enumerate(wl.global_accesses):
+        where = f"{wl.name}.global[{i}]"
+        if a.kind not in ("load", "store"):
+            yield r.finding(f"kind={a.kind!r} invalid", subject=where)
+        if a.requests < 0:
+            yield r.finding(f"requests={a.requests} negative", subject=where)
+        if not 1 <= a.active_lanes <= arch.warp_size:
+            yield r.finding(
+                f"active_lanes={a.active_lanes} outside "
+                f"[1, {arch.warp_size}]", subject=where,
+            )
+        if a.stride_words < 0:
+            yield r.finding(f"stride_words={a.stride_words} negative",
+                            subject=where)
+        if a.word_bytes not in (1, 2, 4, 8, 16):
+            yield r.finding(
+                f"word_bytes={a.word_bytes} not a power of two <= 16",
+                subject=where,
+            )
+
+
+@rule("BF103", Severity.ERROR, "workload",
+      "cache-hit fractions lie in [0, 1] and footprints are non-negative")
+def check_hit_fractions(r, wl: KernelWorkload, arch: GPUArchitecture):
+    for i, a in enumerate(wl.global_accesses):
+        where = f"{wl.name}.global[{i}]"
+        for label, frac in (("l1_hit_fraction", a.l1_hit_fraction),
+                            ("l2_hit_fraction", a.l2_hit_fraction)):
+            if frac is None:
+                continue
+            if not _is_finite_number(frac) or not 0.0 <= frac <= 1.0:
+                yield r.finding(f"{label}={frac} outside [0, 1]",
+                                subject=where)
+        if a.unique_bytes is not None and a.unique_bytes < 0:
+            yield r.finding(f"unique_bytes={a.unique_bytes} negative",
+                            subject=where)
+
+
+@rule("BF104", Severity.ERROR, "workload",
+      "sampled address traces have shape (n, 32)")
+def check_address_traces(r, wl: KernelWorkload, arch: GPUArchitecture):
+    for i, a in enumerate(wl.global_accesses):
+        if a.addresses is None:
+            continue
+        where = f"{wl.name}.global[{i}]"
+        trace = np.asarray(a.addresses)
+        if trace.ndim != 2 or trace.shape[1] != arch.warp_size:
+            yield r.finding(
+                f"addresses shape {trace.shape} is not "
+                f"(n, {arch.warp_size})", subject=where,
+            )
+        elif trace.size and trace.min() < -1:
+            yield r.finding(
+                "addresses below -1 (the inactive-lane marker)",
+                subject=where,
+            )
+
+
+@rule("BF105", Severity.ERROR, "workload",
+      "shared access patterns have valid kinds and conflict degrees "
+      "within the bank count")
+def check_shared_shapes(r, wl: KernelWorkload, arch: GPUArchitecture):
+    for i, s in enumerate(wl.shared_accesses):
+        where = f"{wl.name}.shared[{i}]"
+        if s.kind not in ("load", "store"):
+            yield r.finding(f"kind={s.kind!r} invalid", subject=where)
+        if s.requests < 0:
+            yield r.finding(f"requests={s.requests} negative", subject=where)
+        if s.word_bytes not in (1, 2, 4, 8, 16):
+            yield r.finding(
+                f"word_bytes={s.word_bytes} not a power of two <= 16",
+                subject=where,
+            )
+        if not _is_finite_number(s.conflict_degree) or not (
+            1.0 <= s.conflict_degree <= arch.shared_banks
+        ):
+            yield r.finding(
+                f"conflict_degree={s.conflict_degree} outside "
+                f"[1, {arch.shared_banks}] (a {arch.shared_banks}-bank "
+                f"SM cannot serialize further)", subject=where,
+            )
+
+
+@rule("BF106", Severity.ERROR, "workload",
+      "instruction mix is arithmetically consistent")
+def check_instruction_mix(r, wl: KernelWorkload, arch: GPUArchitecture):
+    counts = {
+        "arithmetic_instructions": wl.arithmetic_instructions,
+        "fma_instructions": wl.fma_instructions,
+        "branches": wl.branches,
+        "divergent_branches": wl.divergent_branches,
+        "other_instructions": wl.other_instructions,
+    }
+    for label, count in counts.items():
+        if count < 0:
+            yield r.finding(f"{label}={count} negative", subject=wl.name)
+    if wl.divergent_branches > wl.branches:
+        yield r.finding(
+            f"divergent_branches={wl.divergent_branches} exceeds "
+            f"branches={wl.branches}", subject=wl.name,
+        )
+    if wl.fma_instructions > wl.arithmetic_instructions:
+        yield r.finding(
+            f"fma_instructions={wl.fma_instructions} exceeds "
+            f"arithmetic_instructions={wl.arithmetic_instructions} "
+            "(FMAs are a subset of arithmetic)", subject=wl.name,
+        )
+    if not (
+        _is_finite_number(wl.avg_active_threads)
+        and 0.0 < wl.avg_active_threads <= arch.warp_size
+    ):
+        yield r.finding(
+            f"avg_active_threads={wl.avg_active_threads} outside "
+            f"(0, {arch.warp_size}]", subject=wl.name,
+        )
+
+
+@rule("BF107", Severity.ERROR, "workload",
+      "per-block resources fit the architecture's Table 2 budgets and "
+      "the launch achieves a legal occupancy")
+def check_resources(r, wl: KernelWorkload, arch: GPUArchitecture):
+    if wl.regs_per_thread < 0:
+        yield r.finding(f"regs_per_thread={wl.regs_per_thread} negative",
+                        subject=wl.name)
+        return
+    if wl.shared_mem_per_block < 0:
+        yield r.finding(
+            f"shared_mem_per_block={wl.shared_mem_per_block} negative",
+            subject=wl.name,
+        )
+        return
+    if wl.regs_per_thread > arch.max_registers_per_thread:
+        yield r.finding(
+            f"regs_per_thread={wl.regs_per_thread} exceeds "
+            f"{arch.name}'s limit of {arch.max_registers_per_thread}",
+            subject=wl.name, limit=arch.max_registers_per_thread,
+        )
+        return
+    if wl.shared_mem_per_block > arch.shared_mem_per_sm:
+        yield r.finding(
+            f"shared_mem_per_block={wl.shared_mem_per_block} exceeds "
+            f"{arch.name}'s {arch.shared_mem_per_sm} B per SM",
+            subject=wl.name, limit=arch.shared_mem_per_sm,
+        )
+        return
+    if not 1 <= wl.threads_per_block <= arch.max_threads_per_block:
+        return  # BF101's finding; occupancy() would raise on this input
+    try:
+        occ = occupancy(arch, wl.threads_per_block, wl.regs_per_thread,
+                        wl.shared_mem_per_block)
+    except ValueError as exc:
+        yield r.finding(f"launch cannot run: {exc}", subject=wl.name)
+        return
+    if occ.active_warps_per_sm > arch.max_warps_per_sm:
+        yield r.finding(
+            f"occupancy result {occ.active_warps_per_sm} warps/SM "
+            f"exceeds the hardware limit {arch.max_warps_per_sm}",
+            subject=wl.name,
+        )
+    if not 0.0 < occ.theoretical_occupancy <= 1.0 + _RTOL:
+        yield r.finding(
+            f"theoretical occupancy {occ.theoretical_occupancy:.3f} "
+            f"outside (0, 1]", subject=wl.name,
+        )
+
+
+@rule("BF108", Severity.ERROR, "workload",
+      "a launch issues at least one instruction (sum of events > 0)")
+def check_nonempty(r, wl: KernelWorkload, arch: GPUArchitecture):
+    try:
+        executed = wl.executed_instructions
+    except TypeError:
+        yield r.finding("instruction counts are not numeric", subject=wl.name)
+        return
+    if executed <= 0:
+        yield r.finding(
+            "workload executes zero instructions — every counter of "
+            "this launch would be 0", subject=wl.name,
+        )
+
+
+@rule("BF109", Severity.ERROR, "workload",
+      "latency-model knobs are finite and in range")
+def check_latency_knobs(r, wl: KernelWorkload, arch: GPUArchitecture):
+    if not _is_finite_number(wl.memory_ilp) or wl.memory_ilp < 1.0:
+        yield r.finding(f"memory_ilp={wl.memory_ilp} must be >= 1",
+                        subject=wl.name)
+    if (not _is_finite_number(wl.critical_path_cycles)
+            or wl.critical_path_cycles < 0.0):
+        yield r.finding(
+            f"critical_path_cycles={wl.critical_path_cycles} must be >= 0",
+            subject=wl.name,
+        )
+
+
+# ---------------------------------------------------------------------------
+# counter-vector rules: check(rule, values: Mapping[str, float], family: str)
+# ---------------------------------------------------------------------------
+
+
+@rule("BF120", Severity.ERROR, "counters",
+      "transaction counts respect the coalescing minimum "
+      "(>= one transaction per warp request)")
+def check_transaction_floor(r, values: Mapping[str, float], family: str):
+    floors = [("global_store_transaction", "gst_request")]
+    if family == "fermi":
+        # Every global load touches at least one L1 line: hits + misses
+        # can never undercount the requests that produced them.
+        floors.append(("l1_global_load_hit+l1_global_load_miss",
+                       "gld_request"))
+    for trans_expr, req_name in floors:
+        req = values.get(req_name)
+        if req is None or req <= 0:
+            continue
+        parts = [values.get(p) for p in trans_expr.split("+")]
+        if any(p is None for p in parts):
+            continue
+        trans = sum(parts)
+        if trans < req * (1.0 - _RTOL):
+            yield r.finding(
+                f"{trans_expr}={trans:g} below the coalescing floor of "
+                f"{req_name}={req:g} (a warp request is at least one "
+                f"transaction)", subject=trans_expr,
+            )
+
+
+@rule("BF121", Severity.ERROR, "counters",
+      "issued instruction count is at least the executed count")
+def check_issue_order(r, values: Mapping[str, float], family: str):
+    issued, executed = values.get("inst_issued"), values.get("inst_executed")
+    if issued is None or executed is None:
+        return
+    if issued < executed * (1.0 - _RTOL):
+        yield r.finding(
+            f"inst_issued={issued:g} < inst_executed={executed:g} "
+            "(replays can only add issue slots)", subject="inst_issued",
+        )
+
+
+@rule("BF122", Severity.ERROR, "counters",
+      "divergent branches do not exceed total branches")
+def check_divergence(r, values: Mapping[str, float], family: str):
+    branch, divergent = values.get("branch"), values.get("divergent_branch")
+    if branch is None or divergent is None:
+        return
+    if divergent > branch * (1.0 + _RTOL):
+        yield r.finding(
+            f"divergent_branch={divergent:g} exceeds branch={branch:g}",
+            subject="divergent_branch",
+        )
+
+
+@rule("BF123", Severity.ERROR, "counters",
+      "all counter values are finite and non-negative")
+def check_value_range(r, values: Mapping[str, float], family: str):
+    for name, value in values.items():
+        if not _is_finite_number(value):
+            yield r.finding(f"value {value!r} is not a finite number",
+                            subject=name)
+        elif value < 0:
+            yield r.finding(f"value {value:g} is negative", subject=name)
+
+
+@rule("BF124", Severity.ERROR, "counters",
+      "every counter in the vector exists and is available on the "
+      "run's architecture family")
+def check_family_membership(r, values: Mapping[str, float], family: str):
+    for name in values:
+        spec = CATALOGUE.get(name)
+        if spec is None:
+            yield r.finding("counter not in the catalogue", subject=name)
+        elif not spec.available_on(family):
+            hint = ""
+            if EXCLUSIVE_FAMILY_COUNTERS.get(name, family) != family:
+                hint = (f" — {name} is "
+                        f"{EXCLUSIVE_FAMILY_COUNTERS[name]}-only")
+            yield r.finding(
+                f"counter not available on family {family!r}{hint}",
+                subject=name, family=family,
+            )
+
+
+@rule("BF125", Severity.WARNING, "counters",
+      "ratio-style metrics stay within their physical ranges")
+def check_metric_ranges(r, values: Mapping[str, float], family: str):
+    bounded = {
+        "achieved_occupancy": 1.0,
+        "warp_execution_efficiency": 100.0,
+        "shared_efficiency": 100.0,
+        "sm_efficiency": 100.0,
+        "issue_slot_utilization": 100.0,
+        "ldst_fu_utilization": 10.0,
+    }
+    for name, upper in bounded.items():
+        value = values.get(name)
+        if value is not None and value > upper * (1.0 + 1e-3):
+            yield r.finding(
+                f"{name}={value:g} exceeds its ceiling of {upper:g}",
+                subject=name, ceiling=upper,
+            )
+
+
+# ---------------------------------------------------------------------------
+
+
+def lint_workload(wl: KernelWorkload, arch: GPUArchitecture):
+    """Run all workload rules on one launch/arch pair."""
+    from .findings import run_rules
+
+    return run_rules("workload", wl, arch)
+
+
+def lint_counters(values: Mapping[str, float], family: str):
+    """Run all cross-counter sanity rules on one finalized vector."""
+    from .findings import run_rules
+
+    return run_rules("counters", values, family)

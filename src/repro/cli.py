@@ -9,6 +9,7 @@ kernel and get readable feedback from; this module is that front end::
     python -m repro analyze reduce1 --arch GTX580
     python -m repro predict matrixMul --sizes 96,416,1936
     python -m repro transfer matrixMul --train GTX580 --test K20m
+    python -m repro lint --format json
 """
 
 from __future__ import annotations
@@ -164,6 +165,40 @@ def cmd_transfer(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis import (
+        Severity,
+        as_json,
+        lint_tree,
+        max_severity,
+        rule_table,
+        summarize,
+    )
+
+    if args.list_rules:
+        print(table(
+            ["rule", "severity", "domain", "summary"], rule_table(),
+            title="Lint rule catalogue (see docs/analysis.md)",
+        ))
+        return 0
+    select = (
+        [tok.strip() for tok in args.select.split(",") if tok.strip()]
+        if args.select else None
+    )
+    findings = lint_tree(
+        select=select,
+        include_launches=not args.no_launches,
+        include_source=not args.no_source,
+    )
+    if args.format == "json":
+        print(as_json(findings))
+    else:
+        print(summarize(findings))
+    worst = max_severity(findings)
+    fail_on = Severity.parse(args.fail_on)
+    return 1 if worst is not None and worst >= fail_on else 0
+
+
 # ---------------------------------------------------------------------------
 
 
@@ -207,6 +242,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="force MARS counter models")
     p.add_argument("--seed", type=int, default=0)
 
+    p = sub.add_parser(
+        "lint",
+        help="run the counter-invariant / workload-model static analysis",
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--fail-on", choices=("info", "warning", "error"),
+                   default="warning",
+                   help="lowest severity that makes the exit code 1")
+    p.add_argument("--select",
+                   help="comma-separated rule ids or prefixes (e.g. "
+                   "BF001,BF1)")
+    p.add_argument("--no-launches", action="store_true",
+                   help="skip the simulated kernel-launch checks")
+    p.add_argument("--no-source", action="store_true",
+                   help="skip the AST source lint")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+
     p = sub.add_parser("transfer", help="cross-architecture prediction")
     p.add_argument("kernel")
     p.add_argument("--train", default="GTX580")
@@ -225,6 +278,7 @@ _COMMANDS = {
     "analyze": cmd_analyze,
     "predict": cmd_predict,
     "transfer": cmd_transfer,
+    "lint": cmd_lint,
 }
 
 

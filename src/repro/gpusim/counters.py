@@ -20,6 +20,12 @@ __all__ = [
     "CounterSpec",
     "CATALOGUE",
     "TABLE1_COUNTERS",
+    "FAMILIES",
+    "UNIT_VOCABULARY",
+    "RESPONSE_PROXY_COUNTERS",
+    "EXCLUSIVE_FAMILY_COUNTERS",
+    "REPLAY_COUNTER_PAIRING",
+    "METRIC_DEPENDENCIES",
     "available_counters",
     "predictor_counters",
     "counters_for",
@@ -30,6 +36,88 @@ _BOTH = ("fermi", "kepler")
 _FERMI = ("fermi",)
 _KEPLER = ("kepler",)
 _CPU = ("cpu",)
+
+#: Architecture families counters may be tagged with.
+FAMILIES = ("fermi", "kepler", "cpu")
+
+#: Closed vocabulary of counter units; events are always raw counts,
+#: metrics pick from the rest (checked by lint rule BF003).
+UNIT_VOCABULARY = frozenset(
+    {"count", "ratio", "percent", "GB/s", "inst/cycle", "level"}
+)
+
+#: Counters that are direct proxies of the response variable (elapsed
+#: cycles / wall time). These must carry ``predictor=False`` — feeding
+#: them to the forest would let it "predict" time from time (checked by
+#: lint rule BF005).
+RESPONSE_PROXY_COUNTERS = frozenset(
+    {"active_cycles", "active_warps", "sm_efficiency", "cpu_cycles"}
+)
+
+#: Counters that exist on exactly one GPU family (paper Section 7: the
+#: hardware-scaling stage must intersect these away). A Kepler run
+#: reporting ``l1_global_load_hit`` is the canonical corrupted-vector
+#: symptom the sanitizer exists to catch.
+EXCLUSIVE_FAMILY_COUNTERS: dict[str, str] = {
+    "l1_global_load_hit": "fermi",
+    "l1_global_load_miss": "fermi",
+    "l1_shared_bank_conflict": "fermi",
+    "shared_load_replay": "kepler",
+    "shared_store_replay": "kepler",
+}
+
+#: The bank-conflict replay counter renames across families: Fermi's
+#: single conflict counter corresponds to Kepler's load/store replay
+#: pair. If either side of the pairing is catalogued, the other side
+#: must be too, with the mirrored family tag (lint rule BF004).
+REPLAY_COUNTER_PAIRING = {
+    "fermi": ("l1_shared_bank_conflict",),
+    "kepler": ("shared_load_replay", "shared_store_replay"),
+}
+
+#: Which events each derived metric is computed from. Each value is a
+#: tuple of *any-of* groups: the metric is well-defined on a family iff
+#: every group has at least one member available there (so
+#: ``shared_replay_overhead`` resolves to the bank-conflict counter on
+#: Fermi and to the replay pair on Kepler). This is the "validated,
+#: architecture-consistent feature set" contract: lint rule BF006
+#: verifies every metric against it, and it documents the provenance of
+#: each column the statistical pipeline consumes.
+METRIC_DEPENDENCIES: dict[str, tuple[tuple[str, ...], ...]] = {
+    "ipc": (("inst_executed",), ("active_cycles",)),
+    "achieved_occupancy": (("active_warps",), ("active_cycles",)),
+    "issue_slot_utilization": (("inst_issued",), ("active_cycles",)),
+    "inst_replay_overhead": (("inst_issued",), ("inst_executed",)),
+    "shared_replay_overhead": (
+        ("l1_shared_bank_conflict", "shared_load_replay", "shared_store_replay"),
+        ("inst_executed",),
+    ),
+    "global_replay_overhead": (
+        ("gld_request", "gst_request"),
+        ("inst_executed",),
+    ),
+    "warp_execution_efficiency": (("inst_executed",),),
+    "gld_requested_throughput": (("gld_request",),),
+    "gst_requested_throughput": (("gst_request",),),
+    "gld_throughput": (("gld_request",),),
+    "gst_throughput": (("global_store_transaction",),),
+    "gld_efficiency": (("gld_request",),),
+    "gst_efficiency": (("gst_request",), ("global_store_transaction",)),
+    "l2_read_throughput": (("l2_read_transactions",),),
+    "l2_write_throughput": (("l2_write_transactions",),),
+    "dram_read_throughput": (("l2_read_transactions",),),
+    "dram_write_throughput": (("l2_write_transactions",),),
+    "ldst_fu_utilization": (
+        ("gld_request",), ("gst_request",), ("shared_load",), ("shared_store",),
+    ),
+    "shared_efficiency": (("shared_load",), ("shared_store",)),
+    "sm_efficiency": (("active_cycles",),),
+    "cpu_ipc": (("instructions",), ("cpu_cycles",)),
+    "cpu_llc_miss_rate": (("cache_misses",), ("cache_references",)),
+    "cpu_mem_bandwidth": (("cache_misses",),),
+    "cpu_vectorization_ratio": (("simd_instructions",), ("instructions",)),
+    "cpu_parallel_efficiency": (("instructions",), ("cpu_cycles",)),
+}
 
 
 @dataclass(frozen=True)
@@ -156,7 +244,7 @@ class CounterSet(Mapping[str, float]):
     """An immutable named counter vector validated against the catalogue."""
 
     def __init__(self, family: str, values: Mapping[str, float]) -> None:
-        if family not in ("fermi", "kepler", "cpu"):
+        if family not in FAMILIES:
             raise ValueError(f"unknown architecture family {family!r}")
         for name in values:
             spec = CATALOGUE.get(name)

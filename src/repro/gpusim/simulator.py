@@ -287,10 +287,12 @@ def finalize_counters(
 
     max_warps = arch.max_warps_per_sm
     values["ipc"] = inst_exec / sm_cycles if sm_cycles > 0 else 0.0
+    # An issue slot fits dispatch_units_per_scheduler instructions
+    # (Kepler dual-dispatches); like nvprof, the utilization of the
+    # slots cannot exceed 100%.
+    issue_slots = sm_cycles * arch.warp_schedulers * arch.dispatch_units_per_scheduler
     values["issue_slot_utilization"] = (
-        100.0 * inst_issued / (sm_cycles * arch.warp_schedulers)
-        if sm_cycles > 0
-        else 0.0
+        min(100.0, 100.0 * inst_issued / issue_slots) if sm_cycles > 0 else 0.0
     )
     values["achieved_occupancy"] = (
         total["active_warps"] / (cycles * max_warps) if cycles > 0 else 0.0

@@ -80,6 +80,19 @@ class GlobalAccessPattern:
         for frac in (self.l1_hit_fraction, self.l2_hit_fraction):
             if frac is not None and not 0.0 <= frac <= 1.0:
                 raise ValueError("hit fractions must be in [0, 1]")
+        if self.unique_bytes is not None and self.unique_bytes < 0:
+            raise ValueError("unique_bytes must be non-negative")
+        if self.addresses is not None:
+            trace = np.asarray(self.addresses)
+            if trace.ndim != 2 or trace.shape[1] != 32:
+                raise ValueError(
+                    f"addresses must have shape (n_requests, 32), "
+                    f"got {trace.shape}"
+                )
+            if trace.size and trace.min() < -1:
+                raise ValueError(
+                    "addresses must be >= -1 (-1 marks inactive lanes)"
+                )
 
     @property
     def requested_bytes(self) -> int:
@@ -108,8 +121,10 @@ class SharedAccessPattern:
             raise ValueError(f"kind must be 'load' or 'store', got {self.kind!r}")
         if self.requests < 0:
             raise ValueError("requests must be non-negative")
-        if self.conflict_degree < 1.0:
-            raise ValueError("conflict_degree must be >= 1.0")
+        if self.word_bytes not in (1, 2, 4, 8, 16):
+            raise ValueError("word_bytes must be a power of two <= 16")
+        if not math.isfinite(self.conflict_degree) or self.conflict_degree < 1.0:
+            raise ValueError("conflict_degree must be finite and >= 1.0")
 
     @property
     def replays(self) -> float:
@@ -156,6 +171,10 @@ class KernelWorkload:
             raise ValueError("grid_blocks must be >= 1")
         if self.threads_per_block < 1:
             raise ValueError("threads_per_block must be >= 1")
+        if self.regs_per_thread < 0:
+            raise ValueError("regs_per_thread must be non-negative")
+        if self.shared_mem_per_block < 0:
+            raise ValueError("shared_mem_per_block must be non-negative")
         if not 0.0 < self.avg_active_threads <= 32.0:
             raise ValueError("avg_active_threads must be in (0, 32]")
         if self.memory_ilp < 1.0:
@@ -173,6 +192,11 @@ class KernelWorkload:
                 raise ValueError("instruction counts must be non-negative")
         if self.divergent_branches > self.branches:
             raise ValueError("divergent_branches cannot exceed branches")
+        if self.fma_instructions > self.arithmetic_instructions:
+            raise ValueError(
+                "fma_instructions cannot exceed arithmetic_instructions "
+                "(FMAs are a subset of the arithmetic mix)"
+            )
 
     # -- derived -------------------------------------------------------------
 

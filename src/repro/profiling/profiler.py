@@ -18,6 +18,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis import (
+    InvariantViolation,
+    Severity,
+    lint_counters,
+    lint_workload,
+)
 from repro.gpusim.arch import GPUArchitecture
 from repro.gpusim.noise import Perturbation
 from repro.gpusim.simulator import (
@@ -87,6 +93,13 @@ class Profiler:
         counter multiplexing); disabled when ``noise_scale`` is 0.
     rng:
         Seed/generator for the perturbation draws.
+    sanitize:
+        Run the static-analysis invariants (``repro.analysis`` workload
+        rules on every launch, cross-counter rules on every finalized
+        vector *before* measurement error) and raise
+        :class:`~repro.analysis.InvariantViolation` on ERROR findings.
+        Opt-in: corrupted workload models fail fast and loudly instead
+        of silently skewing the downstream statistics.
     """
 
     def __init__(
@@ -95,10 +108,12 @@ class Profiler:
         noise_scale: float = 1.0,
         measurement_sigma: float = 0.02,
         rng: np.random.Generator | int | None = None,
+        sanitize: bool = False,
     ) -> None:
         if measurement_sigma < 0:
             raise ValueError("measurement_sigma must be >= 0")
         self.arch = arch
+        self.sanitize = sanitize
         self.noise_scale = noise_scale
         self.measurement_sigma = measurement_sigma * (1.0 if noise_scale > 0 else 0.0)
         self._rng = np.random.default_rng(rng)
@@ -124,6 +139,11 @@ class Profiler:
             self._workload_cache[key] = workloads
         return workloads
 
+    def _check(self, findings, subject: str) -> None:
+        errors = [f for f in findings if f.severity >= Severity.ERROR]
+        if errors:
+            raise InvariantViolation(errors, subject=subject)
+
     def profile(
         self, kernel: Kernel, problem: object, replicates: int = 1
     ) -> list[RunRecord]:
@@ -135,6 +155,15 @@ class Profiler:
         if replicates < 1:
             raise ValueError("replicates must be >= 1")
         workloads = self._workloads(kernel, problem)
+        if self.sanitize and self.arch.family != "cpu":
+            # Re-checked per profile() call, not per cache fill: a
+            # workload model corrupted after construction must still
+            # fail fast.
+            for wl in workloads:
+                self._check(
+                    lint_workload(wl, self.arch),
+                    f"workload {wl.name!r} of kernel {kernel.name!r}",
+                )
         records = []
         machine = self.arch.machine_metrics()
         for rep in range(replicates):
@@ -162,6 +191,15 @@ class Profiler:
                     else None
                 )
             values = counters.as_dict()
+            if self.sanitize:
+                # Checked before measurement error on purpose: these
+                # rules validate the simulator's physics, not the
+                # (deliberately noisy) nvprof measurement model.
+                self._check(
+                    lint_counters(values, self.arch.family),
+                    f"counters of kernel {kernel.name!r} "
+                    f"(problem={problem!r}, replicate={rep})",
+                )
             if self.measurement_sigma > 0:
                 # nvprof collects counter groups in separate replayed
                 # passes (counter multiplexing); values observed for one

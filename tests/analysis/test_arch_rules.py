@@ -1,0 +1,72 @@
+"""Per-rule tests for the architecture-description validator (BF2xx)."""
+
+from repro.analysis import lint_arch
+from repro.gpusim import GTX480, GTX580, K20M
+
+
+def rules_fired(arch):
+    return {f.rule for f in lint_arch(arch)}
+
+
+class TestShippedArchs:
+    def test_all_clean(self):
+        for arch in (GTX480, GTX580, K20M):
+            assert lint_arch(arch) == [], arch.name
+
+
+class TestBF201Family:
+    def test_unknown_family(self):
+        assert "BF201" in rules_fired(GTX580.with_overrides(family="maxwell"))
+
+
+class TestBF202Table2:
+    def test_zero_bandwidth(self):
+        assert "BF202" in rules_fired(
+            GTX580.with_overrides(mem_bandwidth_gbs=0.0)
+        )
+
+    def test_negative_clock(self):
+        assert "BF202" in rules_fired(GTX580.with_overrides(clock_ghz=-1.4))
+
+
+class TestBF203Geometry:
+    def test_nonstandard_warp_size(self):
+        assert "BF203" in rules_fired(GTX580.with_overrides(warp_size=64))
+
+    def test_block_larger_than_sm(self):
+        bad = GTX580.with_overrides(max_threads_per_block=4096)
+        assert "BF203" in rules_fired(bad)
+
+    def test_zero_shared_banks(self):
+        assert "BF203" in rules_fired(GTX580.with_overrides(shared_banks=0))
+
+
+class TestBF204MemoryGeometry:
+    def test_segment_larger_than_line(self):
+        bad = GTX580.with_overrides(global_mem_segment_bytes=256)
+        assert "BF204" in rules_fired(bad)
+
+    def test_l2_slower_than_dram(self):
+        bad = GTX580.with_overrides(l2_latency_cycles=500.0)
+        assert "BF204" in rules_fired(bad)
+
+
+class TestBF205MachineMetrics:
+    def test_shipped_vector_complete(self):
+        for arch in (GTX480, GTX580, K20M):
+            assert set(arch.machine_metrics()) == {
+                "wsched", "freq", "smp", "rco", "mbw", "l1c", "l2c"
+            }
+
+
+class TestBF206FamilyFlags:
+    def test_kepler_with_l1_global_caching(self):
+        bad = K20M.with_overrides(l1_caches_global_loads=True)
+        assert "BF206" in rules_fired(bad)
+
+    def test_static_power_above_tdp(self):
+        bad = GTX580.with_overrides(static_power_w=300.0)
+        assert "BF206" in rules_fired(bad)
+
+    def test_fermi_l1_caching_is_fine(self):
+        assert "BF206" not in rules_fired(GTX580)

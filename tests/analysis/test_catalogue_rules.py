@@ -1,0 +1,130 @@
+"""Per-rule tests for the counter-catalogue linter (BF001-BF008).
+
+Each rule gets a positive fixture (the shipped catalogue is clean) and
+negative fixtures built by corrupting a copy of CATALOGUE.
+"""
+
+from dataclasses import replace
+
+from repro.analysis import lint_catalogue
+from repro.gpusim.counters import CATALOGUE, CounterSpec
+
+
+def corrupted(name, **changes):
+    bad = dict(CATALOGUE)
+    bad[name] = replace(bad[name], **changes)
+    return bad
+
+
+def rules_fired(catalogue):
+    return {f.rule for f in lint_catalogue(catalogue)}
+
+
+class TestShippedCatalogue:
+    def test_is_clean(self):
+        assert lint_catalogue() == []
+        assert lint_catalogue(CATALOGUE) == []
+
+
+class TestBF001FamilyTags:
+    def test_unknown_family(self):
+        assert "BF001" in rules_fired(corrupted("ipc", families=("maxwell",)))
+
+    def test_empty_families(self):
+        assert "BF001" in rules_fired(corrupted("ipc", families=()))
+
+    def test_duplicate_families(self):
+        assert "BF001" in rules_fired(
+            corrupted("ipc", families=("fermi", "fermi"))
+        )
+
+    def test_cpu_mixed_with_gpu(self):
+        assert "BF001" in rules_fired(
+            corrupted("instructions", families=("cpu", "fermi"))
+        )
+
+
+class TestBF002Kind:
+    def test_invalid_kind(self):
+        bad = corrupted("shared_load", kind="gauge")
+        assert "BF002" in rules_fired(bad)
+
+
+class TestBF003Units:
+    def test_unit_outside_vocabulary(self):
+        assert "BF003" in rules_fired(corrupted("gld_throughput", unit="MB/s"))
+
+    def test_event_with_metric_unit(self):
+        assert "BF003" in rules_fired(corrupted("gld_request", unit="percent"))
+
+
+class TestBF004FamilyExclusives:
+    def test_kepler_tagged_l1_hit_counter(self):
+        # The acceptance-criteria defect: a Fermi L1 event leaking into
+        # Kepler feature vectors.
+        bad = corrupted("l1_global_load_hit", families=("kepler",))
+        assert "BF004" in rules_fired(bad)
+
+    def test_bank_conflict_counter_tagged_both(self):
+        bad = corrupted("l1_shared_bank_conflict",
+                        families=("fermi", "kepler"))
+        assert "BF004" in rules_fired(bad)
+
+    def test_incomplete_replay_pairing(self):
+        bad = dict(CATALOGUE)
+        del bad["shared_store_replay"]
+        assert "BF004" in rules_fired(bad)
+
+
+class TestBF005PredictorFlags:
+    def test_response_proxy_flagged_predictor(self):
+        assert "BF005" in rules_fired(corrupted("active_cycles",
+                                                predictor=True))
+
+    def test_undeclared_predictor_exclusion(self):
+        assert "BF005" in rules_fired(corrupted("ipc", predictor=False))
+
+
+class TestBF006MetricDependencies:
+    def test_metric_without_dependency_entry(self):
+        bad = dict(CATALOGUE)
+        bad["mystery_metric"] = CounterSpec(
+            "mystery_metric", "made up", "metric", ("fermi",), "ratio"
+        )
+        assert "BF006" in rules_fired(bad)
+
+    def test_dependency_not_available_on_family(self):
+        # Narrow inst_executed to Fermi: every both-family metric that
+        # depends on it loses its Kepler leg.
+        bad = corrupted("inst_executed", families=("fermi",))
+        assert "BF006" in rules_fired(bad)
+
+    def test_event_with_dependency_entry(self):
+        bad = dict(CATALOGUE)
+        bad["ipc"] = replace(bad["ipc"], kind="event", unit="count")
+        assert "BF006" in rules_fired(bad)
+
+
+class TestBF007Table1:
+    def test_missing_table1_counter(self):
+        bad = dict(CATALOGUE)
+        del bad["achieved_occupancy"]
+        fired = rules_fired(bad)
+        assert "BF007" in fired
+
+
+class TestBF008Hygiene:
+    def test_uppercase_name(self):
+        bad = dict(CATALOGUE)
+        spec = CounterSpec("IPC", "shouty", "metric", ("fermi",), "ratio")
+        bad["IPC"] = spec
+        fired = {f.rule for f in lint_catalogue(bad)}
+        assert "BF008" in fired
+
+    def test_empty_meaning(self):
+        assert "BF008" in rules_fired(corrupted("branch", meaning="  "))
+
+    def test_key_spec_mismatch(self):
+        bad = dict(CATALOGUE)
+        bad["branch"] = replace(bad["branch"], name="branches_gpu")
+        assert "BF008" in rules_fired(bad)

@@ -1,0 +1,89 @@
+"""Tests for the finding/rule framework."""
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    InvariantViolation,
+    Severity,
+    all_rules,
+    get_rule,
+    max_severity,
+    rules_for,
+)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_parse(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse(" Warning ") is Severity.WARNING
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+class TestFinding:
+    def test_format_includes_rule_and_subject(self):
+        f = Finding("BF001", Severity.ERROR, "boom", subject="ipc")
+        assert "BF001" in f.format()
+        assert "[ipc]" in f.format()
+        assert "ERROR" in f.format()
+
+    def test_as_dict_roundtrips_severity_lowercase(self):
+        f = Finding("BF101", Severity.WARNING, "m", context={"limit": 32})
+        d = f.as_dict()
+        assert d["severity"] == "warning"
+        assert d["context"] == {"limit": 32}
+
+
+class TestRegistry:
+    def test_rule_ids_are_unique_and_sorted(self):
+        ids = [r.id for r in all_rules()]
+        assert len(ids) == len(set(ids))
+        assert ids == sorted(ids)
+
+    def test_every_domain_has_rules(self):
+        for domain in ("catalogue", "workload", "arch", "counters", "source"):
+            assert rules_for(domain), f"no rules registered for {domain}"
+
+    def test_get_rule(self):
+        assert get_rule("BF001").domain == "catalogue"
+        with pytest.raises(KeyError):
+            get_rule("BF999")
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ValueError):
+            rules_for("quantum")
+
+
+class TestMaxSeverity:
+    def test_empty_is_none(self):
+        assert max_severity([]) is None
+
+    def test_picks_worst(self):
+        findings = [
+            Finding("a", Severity.INFO, "i"),
+            Finding("b", Severity.ERROR, "e"),
+            Finding("c", Severity.WARNING, "w"),
+        ]
+        assert max_severity(findings) is Severity.ERROR
+
+
+class TestInvariantViolation:
+    def test_carries_findings_and_rules(self):
+        findings = [
+            Finding("BF102", Severity.ERROR, "lanes"),
+            Finding("BF106", Severity.ERROR, "mix"),
+        ]
+        exc = InvariantViolation(findings, subject="wl")
+        assert exc.rules() == ["BF102", "BF106"]
+        assert list(exc) == findings
+        assert "wl" in str(exc) and "BF102" in str(exc)
+
+    def test_message_truncates_long_lists(self):
+        findings = [Finding("BF102", Severity.ERROR, f"f{i}") for i in range(7)]
+        assert "(+4 more)" in str(InvariantViolation(findings))

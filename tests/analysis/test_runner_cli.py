@@ -1,0 +1,109 @@
+"""Whole-tree runner and `repro lint` CLI tests."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import lint_tree, rule_table, summarize
+from repro.cli import main
+from repro.gpusim.counters import CATALOGUE
+
+
+class TestLintTree:
+    def test_shipped_tree_is_clean(self):
+        assert lint_tree() == []
+
+    def test_select_restricts_rules(self):
+        # BF1xx selection with a seeded catalogue defect: the defect is
+        # outside the selection, so the run stays clean.
+        findings = lint_tree(select=["BF9"])
+        assert findings == []
+
+    def test_seeded_catalogue_defect_found(self, monkeypatch):
+        monkeypatch.setitem(
+            CATALOGUE, "l1_global_load_hit",
+            replace(CATALOGUE["l1_global_load_hit"], families=("kepler",)),
+        )
+        findings = lint_tree(include_launches=False, include_source=False)
+        assert "BF004" in {f.rule for f in findings}
+
+    def test_findings_sorted_most_severe_first(self, monkeypatch):
+        monkeypatch.setitem(
+            CATALOGUE, "branch",
+            replace(CATALOGUE["branch"], meaning="", families=("maxwell",)),
+        )
+        findings = lint_tree(include_launches=False, include_source=False)
+        severities = [f.severity for f in findings]
+        assert severities == sorted(severities, reverse=True)
+
+
+class TestSummarize:
+    def test_clean_summary(self):
+        assert "clean: 0 findings" in summarize([])
+
+    def test_rule_table_covers_all_rules(self):
+        rows = rule_table()
+        assert len(rows) >= 20
+        assert all(rid.startswith("BF") for rid, *_ in rows)
+
+
+class TestLintCLI:
+    def test_shipped_tree_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        assert main(["lint", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["max_severity"] is None
+        assert payload["rules_run"] >= 20
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "BF001" in out and "BF301" in out
+
+    def test_seeded_defect_exits_one_with_rule_id(self, capsys, monkeypatch):
+        # Acceptance criteria: a Kepler-tagged l1_global_load_hit makes
+        # `repro lint` exit 1 and report BF004.
+        monkeypatch.setitem(
+            CATALOGUE, "l1_global_load_hit",
+            replace(CATALOGUE["l1_global_load_hit"], families=("kepler",)),
+        )
+        rc = main(["lint", "--format", "json", "--no-launches", "--no-source"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["max_severity"] == "error"
+        assert "BF004" in {f["rule"] for f in payload["findings"]}
+
+    def test_fail_on_error_ignores_warnings(self, capsys, monkeypatch):
+        monkeypatch.setitem(
+            CATALOGUE, "branch",
+            replace(CATALOGUE["branch"], meaning=""),  # BF008, a warning
+        )
+        assert main(["lint", "--no-launches", "--no-source",
+                     "--fail-on", "error"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--no-launches", "--no-source"]) == 1
+
+    def test_select_filters(self, capsys, monkeypatch):
+        monkeypatch.setitem(
+            CATALOGUE, "branch",
+            replace(CATALOGUE["branch"], meaning=""),  # BF008 only
+        )
+        assert main(["lint", "--no-launches", "--no-source",
+                     "--select", "BF00"]) == 1
+        capsys.readouterr()
+        assert main(["lint", "--no-launches", "--no-source",
+                     "--select", "BF2"]) == 0
+
+
+@pytest.mark.parametrize("fmt", ["text", "json"])
+def test_lint_parser_defaults(fmt):
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["lint", "--format", fmt])
+    assert args.fail_on == "warning"
+    assert args.format == fmt

@@ -1,0 +1,123 @@
+"""Tests for the AST source linter (BF301-BF303)."""
+
+import ast
+import textwrap
+from pathlib import Path
+
+import repro
+from repro.analysis import lint_source_file, lint_source_tree
+from repro.analysis.findings import run_rules
+
+
+def lint_snippet(code, path="src/repro/somemodule.py"):
+    tree = ast.parse(textwrap.dedent(code))
+    return run_rules("source", tree, path)
+
+
+def rules_fired(code, path="src/repro/somemodule.py"):
+    return {f.rule for f in lint_snippet(code, path)}
+
+
+class TestBF301CounterLiterals:
+    def test_unknown_counter_subscript(self):
+        findings = lint_snippet("x = record.counters['gld_requests']")
+        assert [f.rule for f in findings] == ["BF301"]
+        assert "gld_requests" in findings[0].message
+
+    def test_known_counter_subscript_clean(self):
+        assert rules_fired("x = record.counters['gld_request']") == set()
+
+    def test_bare_counters_dict(self):
+        assert "BF301" in rules_fired("y = counters['not_a_counter']")
+
+    def test_unrelated_dicts_ignored(self):
+        assert rules_fired("z = totals['time_s']") == set()
+
+    def test_counter_list_assignment(self):
+        code = "MY_COUNTERS = ['ipc', 'definitely_fake']"
+        findings = lint_snippet(code)
+        assert [f.rule for f in findings] == ["BF301"]
+        assert "definitely_fake" in findings[0].message
+
+    def test_line_number_in_subject(self):
+        findings = lint_snippet("\n\nx = counters['nope']")
+        assert findings[0].subject.endswith(":3")
+
+
+class TestBF302UnguardedDivisions:
+    def test_unguarded_division_in_efficiency_function(self):
+        code = """
+        def gld_efficiency(requested, actual):
+            return 100.0 * requested / actual
+        """
+        assert "BF302" in rules_fired(code)
+
+    def test_ifexp_guard_is_clean(self):
+        code = """
+        def gld_efficiency(requested, actual):
+            return 100.0 * requested / actual if actual > 0 else 0.0
+        """
+        assert rules_fired(code) == set()
+
+    def test_if_statement_guard_is_clean(self):
+        code = """
+        def shared_efficiency(a, b):
+            if b > 0:
+                return a / b
+            return 0.0
+        """
+        assert rules_fired(code) == set()
+
+    def test_max_denominator_is_clean(self):
+        code = """
+        def inst_replay_overhead(issued, executed):
+            return (issued - executed) / max(1, executed)
+        """
+        assert rules_fired(code) == set()
+
+    def test_constant_denominator_is_clean(self):
+        code = """
+        def l2_read_throughput(nbytes):
+            return nbytes / 1e9
+        """
+        assert rules_fired(code) == set()
+
+    def test_functions_outside_scope_ignored(self):
+        code = """
+        def resize(a, b):
+            return a / b
+        """
+        assert rules_fired(code) == set()
+
+
+class TestBF303FloatEquality:
+    TIMING_PATH = "src/repro/gpusim/timing.py"
+
+    def test_float_equality_in_timing_module(self):
+        assert "BF303" in rules_fired("done = t == 0.0", self.TIMING_PATH)
+
+    def test_not_equal_also_flagged(self):
+        assert "BF303" in rules_fired("busy = t != 1.0", self.TIMING_PATH)
+
+    def test_int_comparison_is_clean(self):
+        assert rules_fired("done = n == 0", self.TIMING_PATH) == set()
+
+    def test_other_modules_not_in_scope(self):
+        assert rules_fired("done = t == 0.0", "src/repro/ml/metrics.py") == set()
+
+
+class TestTreeLint:
+    def test_shipped_package_is_clean(self):
+        root = Path(repro.__file__).parent
+        assert lint_source_tree(root) == []
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def oops(:\n")
+        findings = lint_source_file(bad)
+        assert len(findings) == 1
+        assert "cannot parse" in findings[0].message
+
+    def test_lint_file_accepts_path(self):
+        target = Path(repro.__file__).parent / "gpusim" / "counters.py"
+        assert lint_source_file(target) == []

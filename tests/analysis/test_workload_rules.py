@@ -1,0 +1,196 @@
+"""Per-rule tests for workload-model and counter-vector invariants.
+
+Workload corruption fixtures mutate fields *after* construction —
+``__post_init__`` rejects them at build time (see test_workload.py),
+but the linter/sanitizer must still catch models corrupted later.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GTX580, K20M, VectorAddKernel
+from repro.analysis import lint_counters, lint_workload
+from repro.gpusim.noise import Perturbation
+from repro.gpusim.simulator import GPUSimulator, finalize_counters, sum_raw
+from repro.gpusim.workload import (
+    GlobalAccessPattern,
+    KernelWorkload,
+    SharedAccessPattern,
+)
+
+
+@pytest.fixture
+def wl():
+    return KernelWorkload(
+        name="fixture",
+        grid_blocks=64,
+        threads_per_block=256,
+        regs_per_thread=20,
+        shared_mem_per_block=4096,
+        arithmetic_instructions=4096,
+        fma_instructions=1024,
+        branches=512,
+        divergent_branches=16,
+        other_instructions=64,
+        global_accesses=[GlobalAccessPattern("load", 2048)],
+        shared_accesses=[SharedAccessPattern("load", 1024,
+                                             conflict_degree=2.0)],
+    )
+
+
+def rules_fired(wl, arch=GTX580):
+    return {f.rule for f in lint_workload(wl, arch)}
+
+
+class TestCleanWorkloads:
+    def test_fixture_is_clean(self, wl):
+        assert lint_workload(wl, GTX580) == []
+        assert lint_workload(wl, K20M) == []
+
+    def test_every_registered_kernel_is_clean(self):
+        from repro.kernels import kernel_registry
+
+        for arch in (GTX580, K20M):
+            for kernel in kernel_registry().values():
+                try:
+                    workloads = kernel.workloads(
+                        kernel.default_sweep()[0], arch
+                    )
+                except (AttributeError, ValueError):
+                    continue
+                for w in workloads:
+                    assert lint_workload(w, arch) == [], (kernel.name, w.name)
+
+
+class TestWorkloadRules:
+    def test_bf101_zero_blocks(self, wl):
+        wl.grid_blocks = 0
+        assert "BF101" in rules_fired(wl)
+
+    def test_bf101_oversized_block(self, wl):
+        wl.threads_per_block = 2048
+        assert "BF101" in rules_fired(wl)
+
+    def test_bf102_active_lanes_33(self, wl):
+        # The acceptance-criteria defect.
+        wl.global_accesses[0].active_lanes = 33
+        assert "BF102" in rules_fired(wl)
+
+    def test_bf102_negative_stride(self, wl):
+        wl.global_accesses[0].stride_words = -1
+        assert "BF102" in rules_fired(wl)
+
+    def test_bf102_bad_word_bytes(self, wl):
+        wl.global_accesses[0].word_bytes = 3
+        assert "BF102" in rules_fired(wl)
+
+    def test_bf103_hit_fraction_above_one(self, wl):
+        wl.global_accesses[0].l1_hit_fraction = 1.5
+        assert "BF103" in rules_fired(wl)
+
+    def test_bf103_negative_footprint(self, wl):
+        wl.global_accesses[0].unique_bytes = -4
+        assert "BF103" in rules_fired(wl)
+
+    def test_bf104_bad_trace_shape(self, wl):
+        wl.global_accesses[0].addresses = np.zeros((4, 16), dtype=np.int64)
+        assert "BF104" in rules_fired(wl)
+
+    def test_bf105_conflict_degree_above_banks(self, wl):
+        wl.shared_accesses[0].conflict_degree = 64.0
+        assert "BF105" in rules_fired(wl)
+
+    def test_bf106_divergent_exceeds_branches(self, wl):
+        wl.divergent_branches = wl.branches + 1
+        assert "BF106" in rules_fired(wl)
+
+    def test_bf106_fma_exceeds_arithmetic(self, wl):
+        wl.fma_instructions = wl.arithmetic_instructions + 1
+        assert "BF106" in rules_fired(wl)
+
+    def test_bf106_nan_active_threads(self, wl):
+        wl.avg_active_threads = float("nan")
+        assert "BF106" in rules_fired(wl)
+
+    def test_bf107_register_budget(self, wl):
+        wl.regs_per_thread = GTX580.max_registers_per_thread + 1
+        assert "BF107" in rules_fired(wl)
+
+    def test_bf107_shared_memory_budget(self, wl):
+        wl.shared_mem_per_block = GTX580.shared_mem_per_sm + 1
+        assert "BF107" in rules_fired(wl)
+
+    def test_bf108_empty_launch(self, wl):
+        wl.arithmetic_instructions = 0
+        wl.fma_instructions = 0
+        wl.branches = 0
+        wl.divergent_branches = 0
+        wl.other_instructions = 0
+        wl.global_accesses = []
+        wl.shared_accesses = []
+        assert "BF108" in rules_fired(wl)
+
+    def test_bf109_memory_ilp_below_one(self, wl):
+        wl.memory_ilp = 0.5
+        assert "BF109" in rules_fired(wl)
+
+
+class TestCounterRules:
+    @pytest.fixture
+    def vector(self):
+        wls = VectorAddKernel().workloads(65536, GTX580)
+        sim = GPUSimulator(GTX580)
+        profiles = [sim.launch(w, Perturbation.none()) for w in wls]
+        values, _ = finalize_counters(GTX580, sum_raw(profiles))
+        return dict(values)
+
+    def test_simulated_vector_is_clean(self, vector):
+        assert lint_counters(vector, "fermi") == []
+
+    def test_bf120_transactions_below_requests(self, vector):
+        vector["global_store_transaction"] = vector["gst_request"] / 2
+        fired = {f.rule for f in lint_counters(vector, "fermi")}
+        assert "BF120" in fired
+
+    def test_bf120_l1_lines_below_loads(self, vector):
+        vector["l1_global_load_hit"] = 0.0
+        vector["l1_global_load_miss"] = 0.0
+        fired = {f.rule for f in lint_counters(vector, "fermi")}
+        assert "BF120" in fired
+
+    def test_bf121_issued_below_executed(self, vector):
+        vector["inst_issued"] = vector["inst_executed"] - 1
+        fired = {f.rule for f in lint_counters(vector, "fermi")}
+        assert "BF121" in fired
+
+    def test_bf122_divergent_exceeds_branch(self, vector):
+        vector["divergent_branch"] = vector["branch"] + 1
+        fired = {f.rule for f in lint_counters(vector, "fermi")}
+        assert "BF122" in fired
+
+    def test_bf123_negative_and_nan(self, vector):
+        vector["shared_load"] = -1.0
+        vector["ipc"] = float("nan")
+        findings = [f for f in lint_counters(vector, "fermi")
+                    if f.rule == "BF123"]
+        assert {f.subject for f in findings} == {"shared_load", "ipc"}
+
+    def test_bf124_fermi_counter_in_kepler_run(self, vector):
+        # The motivating failure mode: l1_global_load_hit leaking into
+        # a Kepler feature vector.
+        findings = [f for f in lint_counters(vector, "kepler")
+                    if f.rule == "BF124"]
+        assert any("l1_global_load_hit" == f.subject for f in findings)
+
+    def test_bf124_unknown_counter(self, vector):
+        vector["gld_requests"] = 1.0  # typo'd name
+        fired = {f.rule for f in lint_counters(vector, "fermi")}
+        assert "BF124" in fired
+
+    def test_bf125_occupancy_above_one(self, vector):
+        vector["achieved_occupancy"] = 1.2
+        findings = lint_counters(vector, "fermi")
+        assert any(f.rule == "BF125" for f in findings)
+        # range breaches are warnings, not errors
+        assert all(f.severity.name == "WARNING" for f in findings
+                   if f.rule == "BF125")
