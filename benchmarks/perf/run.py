@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Standalone driver for the hot-path micro-benchmark suite.
+
+Equivalent to ``python -m repro bench``; exists so the benchmarks can be
+run without installing the package::
+
+    python benchmarks/perf/run.py [--quick] [--out BENCH_core.json]
+
+See benchmarks/perf/README.md and docs/performance.md.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+)
+
+from repro.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

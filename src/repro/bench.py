@@ -1,0 +1,408 @@
+"""Micro-benchmark harness for the pipeline's hot paths (``repro bench``).
+
+Times the three paths the perf pass vectorized — trace coalescing /
+cache replay (gpusim), forest fitting (ml) and campaign sweeps
+(profiling) — **against the retained pre-vectorization implementations**
+(the ``*_scalar`` oracles, :mod:`repro.ml._reference`, and memoization
+disabled), so the recorded speedups compare real code rather than
+remembered numbers. Results land in ``BENCH_core.json``.
+
+Every benchmark first checks that fast and baseline paths agree on the
+workload being timed; a divergence makes the harness fail loudly rather
+than publish a meaningless speedup.
+
+Run it as::
+
+    python -m repro bench [--quick] [--ops cache_trace_replay,...]
+    python benchmarks/perf/run.py        # same suite, standalone driver
+
+See docs/performance.md for how to read the output.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+__all__ = ["BenchResult", "run_benchmarks", "write_report", "format_results"]
+
+#: Schema tag written into the JSON report.
+SCHEMA = "repro-bench/1"
+
+
+@dataclass
+class BenchResult:
+    """One benchmarked operation: fast path vs. pre-PR baseline."""
+
+    op: str
+    n: int                      #: work items processed per timed call
+    unit: str                   #: what one work item is
+    wall_s: float               #: best wall time of the fast path
+    throughput: float           #: items per second, fast path
+    baseline_wall_s: float | None = None
+    baseline_throughput: float | None = None
+    speedup: float | None = None
+    detail: dict = field(default_factory=dict)
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall time over ``repeats`` calls (noise-robust)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _result(
+    op: str,
+    n: int,
+    unit: str,
+    fast_s: float,
+    baseline_s: float | None,
+    detail: dict,
+) -> BenchResult:
+    return BenchResult(
+        op=op,
+        n=n,
+        unit=unit,
+        wall_s=fast_s,
+        throughput=n / fast_s if fast_s > 0 else float("inf"),
+        baseline_wall_s=baseline_s,
+        baseline_throughput=(
+            n / baseline_s if baseline_s and baseline_s > 0 else None
+        ),
+        speedup=baseline_s / fast_s if baseline_s and fast_s > 0 else None,
+        detail=detail,
+    )
+
+
+def _mixed_trace(rng: np.random.Generator, rows: int, segment_bytes: int) -> np.ndarray:
+    """A (rows, 32) lane-address trace mixing locality regimes.
+
+    Thirds of the requests are coalesced-sequential (1 segment),
+    strided (several segments) and scattered-with-reuse (pressure on
+    the replacement policy) — roughly the spread the kernel models
+    produce, so neither path gets a best-case workload.
+    """
+    lanes = np.arange(32)
+    trace = np.empty((rows, 32), dtype=np.int64)
+    for i in range(rows):
+        mode = i % 3
+        if mode == 0:  # unit-stride: one segment per request
+            base = int(rng.integers(0, 1 << 18)) * segment_bytes
+            trace[i] = base + lanes * 4
+        elif mode == 1:  # strided: several segments
+            base = int(rng.integers(0, 1 << 14)) * segment_bytes
+            trace[i] = base + lanes * segment_bytes // 2
+        else:  # scattered over a reused window
+            trace[i] = rng.integers(0, 64 * segment_bytes, size=32)
+        if rng.random() < 0.2:  # partially active warps
+            trace[i, rng.integers(1, 32):] = -1
+    return trace
+
+
+class _TraceSweepKernel:
+    """Synthetic trace-bearing kernel for the campaign benchmark.
+
+    Its load pattern carries a sampled ``(n_requests, 32)`` address
+    trace, so every profiled run pays the trace-simulation cost that
+    :func:`repro.gpusim.resolve_access` memoizes — the access class the
+    memoization targets (the library kernels currently model their
+    traffic analytically or pre-compute hit rates themselves).
+    Implements the :class:`repro.kernels.base.Kernel` interface.
+    """
+
+    name = "benchTraceSweep"
+
+    def __init__(self, sample_requests: int = 1024) -> None:
+        self.sample_requests = sample_requests
+
+    def run(self, problem, rng=None):
+        return float(problem)
+
+    def reference(self, problem, rng=None):
+        return float(problem)
+
+    def characteristics(self, problem) -> dict:
+        return {"n": float(problem)}
+
+    def default_sweep(self) -> list:
+        return [1 << k for k in range(14, 22)]
+
+    def workloads(self, problem, arch) -> list:
+        from dataclasses import replace
+
+        from repro.kernels.base import WorkloadAccumulator
+
+        n = int(problem)
+        acc = WorkloadAccumulator(
+            self.name,
+            grid_blocks=max(n // 256, 1),
+            threads_per_block=256,
+            regs_per_thread=18,
+            shared_mem_per_block=0,
+        )
+        warps = 8.0  # per block: 256 threads / 32
+        acc.arith(6 * warps, fma=True)
+        acc.global_access("load", warps)
+        acc.global_access("store", warps)
+        wl = acc.build()
+        # Same trace for a given (problem, arch): replicates re-resolve
+        # the identical pattern, which is what the sweep memoizes.
+        trace = _mixed_trace(
+            np.random.default_rng(n),
+            self.sample_requests,
+            arch.global_mem_segment_bytes,
+        )
+        wl.global_accesses[0] = replace(wl.global_accesses[0], addresses=trace)
+        return [wl]
+
+
+# -- individual benchmarks --------------------------------------------------
+
+
+def bench_trace_transactions(quick: bool = False) -> BenchResult:
+    """Per-request transaction counting: row-sort vs. per-row np.unique."""
+    from repro.gpusim.memory import (
+        transactions_from_trace,
+        transactions_from_trace_scalar,
+    )
+
+    rows = 2_000 if quick else 20_000
+    seg = 128
+    trace = _mixed_trace(np.random.default_rng(0), rows, seg)
+
+    fast = transactions_from_trace(trace, seg)
+    base = transactions_from_trace_scalar(trace, seg)
+    if not np.array_equal(fast, base):
+        raise AssertionError("vectorized transaction counts diverge from oracle")
+
+    fast_s = _best_of(lambda: transactions_from_trace(trace, seg), 5)
+    base_s = _best_of(lambda: transactions_from_trace_scalar(trace, seg), 2)
+    return _result(
+        "trace_transactions", rows, "requests", fast_s, base_s,
+        {"segment_bytes": seg},
+    )
+
+
+def bench_cache_trace_replay(quick: bool = False) -> BenchResult:
+    """Warm L1 replay: set-partitioned batch sweep vs. per-probe access."""
+    from repro.gpusim import GTX580
+    from repro.gpusim.memory import CacheSim, coalesce_trace
+
+    rows = 1_500 if quick else 6_000
+    geometry = GTX580.l1
+    trace = _mixed_trace(np.random.default_rng(1), rows, geometry.line_bytes)
+    probes = int(coalesce_trace(trace, geometry.line_bytes).size)
+
+    sim_fast = CacheSim(geometry)
+    sim_base = CacheSim(geometry)
+    rate_fast = sim_fast.warm_trace_hit_rate(trace)
+    rate_base = sim_base.warm_trace_hit_rate_scalar(trace)
+    if rate_fast != rate_base:
+        raise AssertionError("batched cache replay diverges from oracle")
+
+    def run_fast():
+        sim_fast.reset()
+        sim_fast.warm_trace_hit_rate(trace)
+
+    def run_base():
+        sim_base.reset()
+        sim_base.warm_trace_hit_rate_scalar(trace)
+
+    fast_s = _best_of(run_fast, 5)
+    base_s = _best_of(run_base, 2)
+    return _result(
+        "cache_trace_replay", probes, "probes", fast_s, base_s,
+        {
+            "requests": rows,
+            "hit_rate": rate_fast,
+            "geometry": f"{geometry.size_bytes}B/{geometry.associativity}way",
+        },
+    )
+
+
+def bench_forest_fit(quick: bool = False) -> BenchResult:
+    """Paper-scale forest fit: block split scan + batched OOB importance
+    vs. the per-feature / per-variable reference."""
+    from repro.ml._reference import ReferenceRandomForestRegressor
+    from repro.ml.forest import RandomForestRegressor
+
+    # Paper scale: "tens to hundreds" of runs (129 in the use cases)
+    # with a Table-1-sized predictor set.
+    n, p = 129, 36
+    trees = 20 if quick else 60
+    rng = np.random.default_rng(2)
+    X = rng.normal(size=(n, p))
+    y = X[:, 0] * 2.0 + np.sin(X[:, 1]) + rng.normal(scale=0.3, size=n)
+
+    def run_fast():
+        RandomForestRegressor(
+            n_trees=trees, importance=True, rng=np.random.default_rng(3)
+        ).fit(X, y)
+
+    def run_base():
+        ReferenceRandomForestRegressor(
+            n_trees=trees, importance=True, rng=np.random.default_rng(3)
+        ).fit(X, y)
+
+    fast_s = _best_of(run_fast, 3)
+    base_s = _best_of(run_base, 1 if quick else 2)
+    return _result(
+        "forest_fit", trees, "trees", fast_s, base_s,
+        {"n_samples": n, "n_features": p, "importance": True},
+    )
+
+
+def bench_campaign_sweep(quick: bool = False) -> BenchResult:
+    """End-to-end campaign sweep: memoized resolve_access vs. disabled.
+
+    Uses a trace-bearing kernel (:class:`_TraceSweepKernel`): sampled
+    address traces are the access class whose resolution the
+    memoization was built for — replicates re-resolve the identical
+    pattern and skip the trace simulation.
+    """
+    from repro.gpusim import GTX580, clear_resolve_access_cache
+    from repro.gpusim.memory import resolve_access_memoization
+    from repro.profiling import Campaign
+
+    kernel = _TraceSweepKernel(sample_requests=256 if quick else 1024)
+    problems = kernel.default_sweep()[: 3 if quick else 6]
+    replicates = 2 if quick else 3
+
+    def collect():
+        return Campaign(kernel, GTX580, rng=4).run(
+            problems=problems, replicates=replicates
+        )
+
+    with resolve_access_memoization(False):
+        reference = collect()
+    clear_resolve_access_cache()
+    memoized = collect()
+    for a, b in zip(reference.records, memoized.records):
+        if a.time_s != b.time_s or a.counters != b.counters:
+            raise AssertionError("memoized campaign diverges from unmemoized")
+
+    def run_fast():
+        clear_resolve_access_cache()
+        collect()
+
+    def run_base():
+        with resolve_access_memoization(False):
+            collect()
+
+    runs = len(problems) * replicates
+    fast_s = _best_of(run_fast, 3)
+    base_s = _best_of(run_base, 2)
+    return _result(
+        "campaign_sweep", runs, "profiled runs", fast_s, base_s,
+        {
+            "kernel": kernel.name,
+            "arch": "GTX580",
+            "problems": len(problems),
+            "replicates": replicates,
+        },
+    )
+
+
+BENCHMARKS = {
+    "trace_transactions": bench_trace_transactions,
+    "cache_trace_replay": bench_cache_trace_replay,
+    "forest_fit": bench_forest_fit,
+    "campaign_sweep": bench_campaign_sweep,
+}
+
+
+def run_benchmarks(
+    ops: list[str] | None = None,
+    quick: bool = False,
+    log=None,
+) -> list[BenchResult]:
+    """Run the selected benchmarks (default: all), in catalogue order."""
+    selected = list(BENCHMARKS) if ops is None else list(ops)
+    unknown = [op for op in selected if op not in BENCHMARKS]
+    if unknown:
+        raise ValueError(
+            f"unknown benchmark op(s) {unknown}; choose from {list(BENCHMARKS)}"
+        )
+    results = []
+    for op in selected:
+        if log is not None:
+            log(f"running {op} ({'quick' if quick else 'full'})...")
+        results.append(BENCHMARKS[op](quick=quick))
+    return results
+
+
+def write_report(
+    results: list[BenchResult], path: str, quick: bool = False
+) -> dict:
+    """Serialize results (plus environment metadata) to ``path``."""
+    payload = {
+        "schema": SCHEMA,
+        "quick": quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": [asdict(r) for r in results],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return payload
+
+
+def format_results(results: list[BenchResult]) -> str:
+    """Human-readable table of the per-op timings and speedups."""
+    from repro.viz import table
+
+    rows = []
+    for r in results:
+        rows.append((
+            r.op,
+            f"{r.n} {r.unit}",
+            f"{r.wall_s * 1e3:.2f} ms",
+            f"{r.throughput:,.0f}/s",
+            f"{r.baseline_wall_s * 1e3:.2f} ms" if r.baseline_wall_s else "-",
+            f"{r.speedup:.1f}x" if r.speedup else "-",
+        ))
+    return table(
+        ["op", "workload", "fast", "throughput", "baseline", "speedup"],
+        rows,
+        title="repro bench (baselines: pre-vectorization scalar paths)",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (``benchmarks/perf/run.py`` delegates here)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads (CI smoke sizes)")
+    parser.add_argument("--out", default="BENCH_core.json",
+                        help="JSON report path (default: BENCH_core.json)")
+    parser.add_argument("--ops", help="comma-separated subset of: "
+                        + ",".join(BENCHMARKS))
+    args = parser.parse_args(argv)
+    ops = (
+        [tok.strip() for tok in args.ops.split(",") if tok.strip()]
+        if args.ops else None
+    )
+    results = run_benchmarks(
+        ops=ops, quick=args.quick,
+        log=lambda msg: print(msg, file=sys.stderr),
+    )
+    write_report(results, args.out, quick=args.quick)
+    print(format_results(results))
+    print(f"\nreport written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,7 @@ kernel and get readable feedback from; this module is that front end::
     python -m repro predict matrixMul --sizes 96,416,1936
     python -m repro transfer matrixMul --train GTX580 --test K20m
     python -m repro lint --format json
+    python -m repro bench --quick
 """
 
 from __future__ import annotations
@@ -112,10 +113,11 @@ def cmd_analyze(args) -> int:
     print(f"collecting campaign for {kernel.name} on {arch.name}...",
           file=sys.stderr)
     campaign = Campaign(kernel, arch, rng=args.seed).run(
-        problems=problems, replicates=args.replicates
+        problems=problems, replicates=args.replicates, n_jobs=args.jobs
     )
     fit = BlackForest(
-        n_trees=args.trees, importance_repeats=args.repeats, rng=args.seed + 1
+        n_trees=args.trees, importance_repeats=args.repeats,
+        n_jobs=args.jobs, rng=args.seed + 1,
     ).fit(campaign, response=args.response)
     print(bottleneck_report(fit, top_k=args.top))
     return 0
@@ -162,6 +164,26 @@ def cmd_transfer(args) -> int:
         result.report,
         title=f"{kernel.name}: {train_arch.name} -> {test_arch.name}",
     ))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.bench import BENCHMARKS, format_results, run_benchmarks, write_report
+
+    ops = (
+        [tok.strip() for tok in args.ops.split(",") if tok.strip()]
+        if args.ops else None
+    )
+    try:
+        results = run_benchmarks(
+            ops=ops, quick=args.quick,
+            log=lambda msg: print(msg, file=sys.stderr),
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    write_report(results, args.out, quick=args.quick)
+    print(format_results(results))
+    print(f"\nreport written to {args.out}")
     return 0
 
 
@@ -230,6 +252,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="forests averaged for the importance ranking")
     p.add_argument("--top", type=int, default=10)
     p.add_argument("--response", choices=("time", "power"), default="time")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the campaign sweep and "
+                   "forest fits (-1 = all cores); results are identical "
+                   "for any value")
     p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser("predict", help="predict times for unseen sizes")
@@ -260,6 +286,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
 
+    p = sub.add_parser(
+        "bench",
+        help="run the hot-path micro-benchmarks, write BENCH_core.json",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="smaller workloads (CI smoke sizes)")
+    p.add_argument("--out", default="BENCH_core.json",
+                   help="JSON report path (default: BENCH_core.json)")
+    p.add_argument("--ops",
+                   help="comma-separated subset of benchmark ops "
+                   "(default: all)")
+
     p = sub.add_parser("transfer", help="cross-architecture prediction")
     p.add_argument("kernel")
     p.add_argument("--train", default="GTX580")
@@ -279,6 +317,7 @@ _COMMANDS = {
     "predict": cmd_predict,
     "transfer": cmd_transfer,
     "lint": cmd_lint,
+    "bench": cmd_bench,
 }
 
 

@@ -90,6 +90,7 @@ def reduced_model_check(
         n_trees=forest.n_trees,
         min_samples_leaf=forest.min_samples_leaf,
         importance=False,
+        n_jobs=forest.n_jobs,
         rng=rng,
     ).fit(X_train[:, cols], y_train, feature_names=ranking.top(k))
     full_score = forest.score(X_test, y_test)

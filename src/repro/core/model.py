@@ -129,6 +129,10 @@ class BlackForest:
         component *scores* before the forest is fitted; importance is
         then over components, and the bottleneck analysis works on a
         counter ranking induced through the factor loadings.
+    n_jobs:
+        Worker processes for the forest fits; 1 (default) stays
+        in-process, -1 uses every core. The fitted model is bit-for-bit
+        independent of ``n_jobs`` (per-tree spawned RNG streams).
     rng:
         Seed for the split, the forest and the permutations.
     """
@@ -143,6 +147,7 @@ class BlackForest:
         min_samples_leaf: int = 5,
         importance_repeats: int = 1,
         pca_first: bool = False,
+        n_jobs: int = 1,
         rng: np.random.Generator | int | None = None,
     ) -> None:
         if importance_repeats < 1:
@@ -155,6 +160,7 @@ class BlackForest:
         self.min_samples_leaf = min_samples_leaf
         self.importance_repeats = importance_repeats
         self.pca_first = pca_first
+        self.n_jobs = n_jobs
         self._rng = np.random.default_rng(rng)
 
     def fit(
@@ -219,6 +225,7 @@ class BlackForest:
             n_trees=self.n_trees,
             min_samples_leaf=self.min_samples_leaf,
             importance=True,
+            n_jobs=self.n_jobs,
             rng=self._rng,
         ).fit(X_train, y_train, feature_names=names)
 
@@ -229,6 +236,7 @@ class BlackForest:
                     n_trees=self.n_trees,
                     min_samples_leaf=self.min_samples_leaf,
                     importance=True,
+                    n_jobs=self.n_jobs,
                     rng=self._rng,
                 ).fit(X_train, y_train, feature_names=names)
                 averaged += extra.importance_

@@ -22,9 +22,13 @@ from .microsim import Instruction, MicroResult, MicroSim
 from .memory import (
     CacheSim,
     MemoryAccessResult,
+    clear_resolve_access_cache,
+    coalesce_trace,
     estimate_hit_fraction,
     resolve_access,
+    resolve_access_memoization,
     transactions_from_trace,
+    transactions_from_trace_scalar,
     transactions_per_request,
 )
 from .noise import Perturbation
@@ -63,9 +67,13 @@ __all__ = [
     "MicroResult",
     "MicroSim",
     "MemoryAccessResult",
+    "clear_resolve_access_cache",
+    "coalesce_trace",
     "estimate_hit_fraction",
     "resolve_access",
+    "resolve_access_memoization",
     "transactions_from_trace",
+    "transactions_from_trace_scalar",
     "transactions_per_request",
     "Perturbation",
     "OccupancyResult",

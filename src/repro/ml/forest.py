@@ -18,16 +18,123 @@ Two interpretation tools are provided (paper Section 4.1.1):
 
 OOB aggregates give the validation quantities the paper reports:
 ``mse_oob`` and "% Var explained".
+
+Determinism and parallelism
+---------------------------
+
+Every tree draws its bootstrap, per-node feature subsamples and OOB
+permutations from its *own* RNG stream, spawned from the forest's
+generator with ``SeedSequence.spawn`` semantics (``Generator.spawn``).
+Tree ``t`` therefore sees the same stream whether the forest is fitted
+serially or across a process pool, and aggregation runs in tree order —
+so ``n_jobs > 1`` is **bit-for-bit identical** to ``n_jobs=1`` for a
+fixed seed (pinned by ``tests/ml/test_forest_parallel.py``).
+
+The OOB permutation importance is evaluated with one batched
+``tree.predict`` over all (variable, repetition) permuted copies per
+tree, with the permutations themselves drawn as a single matrix op
+(``Generator.permuted``), instead of one predict call per variable. The
+pre-vectorization implementation is preserved in
+:mod:`repro.ml._reference` as the oracle and benchmark baseline.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.parallel import chunk_bounds, resolve_n_jobs, spawn_streams
+
 from .metrics import explained_variance, mse
 from .tree import RegressionTree
 
 __all__ = ["RandomForestRegressor"]
+
+# Cap on the stacked permuted-OOB matrix built per tree for the batched
+# importance predict; larger jobs fall back to per-variable chunks.
+_IMPORTANCE_BATCH_BYTES = 16 << 20
+
+
+def _permutation_deltas(
+    tree: RegressionTree,
+    X_oob: np.ndarray,
+    y_oob: np.ndarray,
+    base_err: float,
+    active: np.ndarray,
+    n_permutations: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """OOB error increase per active variable, batched.
+
+    Builds one stacked matrix holding a permuted copy of ``X_oob`` per
+    (variable, repetition) — the permutations drawn in a single
+    ``rng.permuted`` matrix op — and runs *one* tree predict over the
+    stack, instead of a predict per variable as the scalar reference
+    does. Variables are chunked only to bound peak memory.
+    """
+    m, p = X_oob.shape
+    reps = n_permutations
+    deltas = np.empty(active.size)
+    per_var_bytes = reps * m * p * 8
+    chunk = max(1, int(_IMPORTANCE_BATCH_BYTES // max(per_var_bytes, 1)))
+    for lo in range(0, active.size, chunk):
+        vars_ = active[lo : lo + chunk]
+        k = vars_.size * reps
+        # One matrix op: row (a, r) is an independent permutation of
+        # variable vars_[a]'s OOB column.
+        perms = rng.permuted(np.repeat(X_oob[:, vars_].T, reps, axis=0), axis=1)
+        stack = np.tile(X_oob, (k, 1))
+        for a, j in enumerate(vars_):
+            for r in range(reps):
+                row = a * reps + r
+                stack[row * m : (row + 1) * m, j] = perms[row]
+        errs = ((tree.predict(stack).reshape(k, m) - y_oob) ** 2).mean(axis=1)
+        deltas[lo : lo + vars_.size] = (
+            errs.reshape(vars_.size, reps).mean(axis=1) - base_err
+        )
+    return deltas
+
+
+def _fit_forest_tree(
+    X: np.ndarray, y: np.ndarray, cfg: dict, rng: np.random.Generator
+) -> tuple[RegressionTree, np.ndarray, np.ndarray | None, np.ndarray]:
+    """Grow one tree from its own stream; returns OOB artifacts too.
+
+    Pure function of ``(X, y, cfg, rng state)`` — the property that
+    makes process-pool fits bit-identical to serial ones.
+    """
+    n, p = X.shape
+    boot = rng.integers(0, n, size=n)
+    oob_mask = np.ones(n, dtype=bool)
+    oob_mask[boot] = False
+    tree = RegressionTree(
+        max_depth=cfg["max_depth"],
+        min_samples_leaf=cfg["min_samples_leaf"],
+        max_features=cfg["mtry"],
+        rng=rng,
+    ).fit(X[boot], y[boot])
+
+    oob_idx = np.where(oob_mask)[0]
+    pred_oob: np.ndarray | None = None
+    perm_row = np.zeros(p)
+    if oob_idx.size:
+        X_oob = X[oob_idx]
+        pred_oob = tree.predict(X_oob)
+        if cfg["importance"]:
+            y_oob = y[oob_idx]
+            base_err = float(np.mean((pred_oob - y_oob) ** 2))
+            # Permuting a constant column changes nothing; skip it.
+            active = np.flatnonzero(np.ptp(X_oob, axis=0) != 0.0)
+            if active.size:
+                perm_row[active] = _permutation_deltas(
+                    tree, X_oob, y_oob, base_err, active,
+                    cfg["n_permutations"], rng,
+                )
+    return tree, oob_idx, pred_oob, perm_row
+
+
+def _fit_forest_chunk(args) -> list[tuple]:
+    X, y, cfg, rngs = args
+    return [_fit_forest_tree(X, y, cfg, rng) for rng in rngs]
 
 
 class RandomForestRegressor:
@@ -49,9 +156,13 @@ class RandomForestRegressor:
     n_permutations:
         OOB permutation repetitions per tree and variable; >1 smooths
         the importance estimate for tiny OOB samples.
+    n_jobs:
+        Worker processes for :meth:`fit`; 1 (default) fits in-process,
+        -1 uses every core. Results are bit-for-bit independent of
+        ``n_jobs`` (per-tree spawned RNG streams, ordered aggregation).
     rng:
-        Seed or Generator for bootstraps, feature subsampling and
-        permutations.
+        Seed or Generator; per-tree child streams are spawned from it
+        for bootstraps, feature subsampling and permutations.
     """
 
     def __init__(
@@ -62,6 +173,7 @@ class RandomForestRegressor:
         max_depth: int | None = None,
         importance: bool = True,
         n_permutations: int = 1,
+        n_jobs: int = 1,
         rng: np.random.Generator | int | None = None,
     ) -> None:
         if n_trees < 1:
@@ -74,6 +186,7 @@ class RandomForestRegressor:
         self.max_depth = max_depth
         self.importance = importance
         self.n_permutations = n_permutations
+        self.n_jobs = resolve_n_jobs(n_jobs)
         self._rng = np.random.default_rng(rng)
 
     # -- fitting ---------------------------------------------------------
@@ -97,49 +210,47 @@ class RandomForestRegressor:
             raise ValueError("feature_names length mismatch")
 
         mtry = self.max_features if self.max_features is not None else max(p // 3, 1)
+        cfg = {
+            "mtry": mtry,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_depth": self.max_depth,
+            "importance": self.importance,
+            "n_permutations": self.n_permutations,
+        }
 
+        streams = spawn_streams(self._rng, self.n_trees)
+        jobs = min(self.n_jobs, self.n_trees)
+        if jobs > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            bounds = chunk_bounds(self.n_trees, jobs)
+            tasks = [
+                (X, y, cfg, streams[lo:hi])
+                for lo, hi in zip(bounds[:-1], bounds[1:])
+                if hi > lo
+            ]
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                results = [out for chunk in pool.map(_fit_forest_chunk, tasks)
+                           for out in chunk]
+        else:
+            results = [_fit_forest_tree(X, y, cfg, rng) for rng in streams]
+
+        # Aggregate in tree order — float sums land in the same order
+        # regardless of worker scheduling.
         self.trees_: list[RegressionTree] = []
         oob_sum = np.zeros(n)
         oob_count = np.zeros(n, dtype=np.intp)
-
         # Per-tree accumulators for permutation importance (Breiman 2001):
         # importance_j = mean over trees of (MSE_oob_permuted_j - MSE_oob),
         # later normalized by the standard error across trees (%IncMSE).
         perm_delta = np.zeros((self.n_trees, p)) if self.importance else None
-
-        for t in range(self.n_trees):
-            boot = self._rng.integers(0, n, size=n)
-            oob_mask = np.ones(n, dtype=bool)
-            oob_mask[boot] = False
-            tree = RegressionTree(
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=mtry,
-                rng=self._rng,
-            ).fit(X[boot], y[boot])
+        for t, (tree, oob_idx, pred_oob, perm_row) in enumerate(results):
             self.trees_.append(tree)
-
-            oob_idx = np.where(oob_mask)[0]
-            if oob_idx.size == 0:
-                continue
-            X_oob = X[oob_idx]
-            pred_oob = tree.predict(X_oob)
-            oob_sum[oob_idx] += pred_oob
-            oob_count[oob_idx] += 1
-
+            if pred_oob is not None:
+                oob_sum[oob_idx] += pred_oob
+                oob_count[oob_idx] += 1
             if self.importance:
-                base_err = np.mean((pred_oob - y[oob_idx]) ** 2)
-                for j in range(p):
-                    col = X_oob[:, j]
-                    if np.ptp(col) == 0.0:
-                        continue  # permuting a constant changes nothing
-                    delta = 0.0
-                    X_perm = X_oob.copy()
-                    for _ in range(self.n_permutations):
-                        X_perm[:, j] = self._rng.permutation(col)
-                        err = np.mean((tree.predict(X_perm) - y[oob_idx]) ** 2)
-                        delta += err - base_err
-                    perm_delta[t, j] = delta / self.n_permutations
+                perm_delta[t] = perm_row
 
         self.n_features_ = p
         self.feature_names_ = (

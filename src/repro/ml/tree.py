@@ -6,10 +6,20 @@ Section 4.1.1 of the paper: at each node the algorithm scans candidate
 within-region sum of squares (paper Eq. 3), with the region prediction
 being the region mean (paper Eq. 1).
 
-The split search is vectorized: for every candidate feature the node's
-values are sorted once and all split points are evaluated with prefix
-sums, so a node costs O(p' * n log n) where p' is the feature subsample
-size (``max_features``).
+The split search is vectorized *across candidate features*: a node
+gathers its candidate block as one matrix, sorts every column with a
+single stable argsort, and evaluates all split positions of all
+candidates with 2-D prefix sums — one set of numpy calls per block
+instead of per feature. The selection (examined-candidate counting,
+``mtry`` stopping, strict-improvement tie-breaking) replays the scalar
+algorithm exactly, so a fitted tree is bit-for-bit identical to the
+per-feature reference implementation
+(:class:`repro.ml._reference.ReferenceRegressionTree`) under the same
+RNG state — a property the equivalence tests pin.
+
+Prediction is an iterative array-based descent: a node-index array is
+advanced one tree level per iteration for all rows at once
+(:meth:`RegressionTree.apply`), with no per-sample recursion.
 """
 
 from __future__ import annotations
@@ -19,6 +29,35 @@ import numpy as np
 __all__ = ["RegressionTree"]
 
 _LEAF = -1
+
+# Tiny read-only helpers reused across every node of every tree: the
+# per-node numpy-call overhead is what the block split scan exists to
+# amortize, so even arange allocations are worth caching.
+_ARANGE_CACHE: dict[int, np.ndarray] = {}
+_LEFT_COUNT_CACHE: dict[int, np.ndarray] = {}
+
+
+def _cached_arange(k: int) -> np.ndarray:
+    out = _ARANGE_CACHE.get(k)
+    if out is None:
+        out = np.arange(k)
+        out.setflags(write=False)
+        _ARANGE_CACHE[k] = out
+        if len(_ARANGE_CACHE) > 4096:
+            _ARANGE_CACHE.clear()
+    return out
+
+
+def _cached_left_counts(n: int) -> np.ndarray:
+    """Column vector [1.0, 2.0, ..., n-1] of left-region sizes."""
+    out = _LEFT_COUNT_CACHE.get(n)
+    if out is None:
+        out = (np.arange(n - 1) + 1.0)[:, None]
+        out.setflags(write=False)
+        _LEFT_COUNT_CACHE[n] = out
+        if len(_LEFT_COUNT_CACHE) > 4096:
+            _LEFT_COUNT_CACHE.clear()
+    return out
 
 
 def _best_split_for_feature(
@@ -30,6 +69,9 @@ def _best_split_for_feature(
     valid split, or None when no split separates distinct values under
     the leaf-size constraint. ``sse_total`` is the post-split sum of the
     two regions' sums of squared deviations.
+
+    Scalar single-feature form of :func:`_best_splits_for_block`; kept
+    for the reference implementation and as the test oracle.
     """
     n = x.size
     order = np.argsort(x, kind="stable")
@@ -68,6 +110,75 @@ def _best_split_for_feature(
     if threshold <= xs[best]:
         threshold = xs[best]
     return float(sse[best]), float(threshold), float(total_sum2 - total_sum**2 / n)
+
+
+def _best_splits_for_block(
+    Xb: np.ndarray, y: np.ndarray, min_samples_leaf: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Best split of every column of ``Xb`` against ``y``, in one pass.
+
+    Returns ``(sse, threshold, constant, has_split)`` arrays of length
+    ``Xb.shape[1]``. Each column's numbers are bit-identical to
+    :func:`_best_split_for_feature` on that column: the stable argsort,
+    prefix sums and SSE arithmetic run per column in the same order,
+    only batched along axis 1.
+    """
+    n, b = Xb.shape
+    if n < 2:
+        return (
+            np.full(b, np.inf),
+            np.full(b, np.nan),
+            np.ones(b, dtype=bool),
+            np.zeros(b, dtype=bool),
+        )
+
+    # The leaf-size constraint makes split positions outside
+    # [msl-1, n-msl) invalid regardless of the data, so the scan only
+    # materializes that window — near the leaves this is a single row.
+    lo_i = min_samples_leaf - 1
+    hi_i = n - min_samples_leaf
+    if hi_i <= lo_i:
+        constant = Xb.max(axis=0) == Xb.min(axis=0)
+        return (
+            np.full(b, np.inf),
+            np.full(b, np.nan),
+            constant,
+            np.zeros(b, dtype=bool),
+        )
+
+    cols = _cached_arange(b)
+    order = Xb.argsort(axis=0, kind="stable")
+    xs = Xb[order, cols]
+    ys = y[order]
+
+    constant = xs[0] == xs[-1]
+
+    csum = ys.cumsum(axis=0)
+    csum2 = (ys * ys).cumsum(axis=0)
+    total_sum = csum[-1]
+    total_sum2 = csum2[-1]
+
+    valid = xs[lo_i:hi_i] != xs[lo_i + 1 : hi_i + 1]
+    has_split = valid.any(axis=0)
+
+    sum_left = csum[lo_i:hi_i]
+    sum2_left = csum2[lo_i:hi_i]
+    n_left = _cached_left_counts(n)[lo_i:hi_i]
+    n_right = n - n_left
+    sse = sum2_left - sum_left * sum_left / n_left
+    sum_right = total_sum - sum_left
+    sse += (total_sum2 - sum2_left) - sum_right * sum_right / n_right
+    sse[~valid] = np.inf
+
+    best = sse.argmin(axis=0)
+    lo = xs[best + lo_i, cols]
+    thr = 0.5 * (lo + xs[best + lo_i + 1, cols])
+    # Guard against midpoint rounding onto the right value for adjacent floats.
+    thr = np.where(thr <= lo, lo, thr)
+
+    sse_best = np.where(has_split, sse[best, cols], np.inf)
+    thr_best = np.where(has_split, thr, np.nan)
+    return sse_best, thr_best, constant, has_split
 
 
 class RegressionTree:
@@ -140,7 +251,10 @@ class RegressionTree:
             threshold.append(np.nan)
             left.append(_LEAF)
             right.append(_LEAF)
-            value.append(float(y[idx].mean()))
+            # add.reduce is ndarray.mean's internal summation (pairwise
+            # umr_sum), so this equals y[idx].mean() bit for bit while
+            # skipping the wrapper overhead — this runs once per node.
+            value.append(np.add.reduce(y[idx]) / idx.size)
             n_samples.append(int(idx.size))
             return node_id
 
@@ -155,33 +269,46 @@ class RegressionTree:
             ):
                 continue
             y_node = y[idx]
-            if np.ptp(y_node) == 0.0:
+            if y_node.max() == y_node.min():
                 continue  # pure node
 
-            node_sse = float(np.sum((y_node - y_node.mean()) ** 2))
+            dev = y_node - np.add.reduce(y_node) / y_node.size
+            node_sse = float(np.add.reduce(dev * dev))
+            Xn = X.take(idx, axis=0)
             candidates = self._rng.permutation(p)
             best_sse = np.inf
             best_feat = _LEAF
             best_thr = np.nan
             examined = 0
-            for j in candidates:
-                col = X[idx, j]
-                if col[0] == col[-1] and np.ptp(col) == 0.0:
-                    continue  # constant feature in this node
-                res = _best_split_for_feature(col, y_node, self.min_samples_leaf)
-                examined += 1
-                if res is not None and res[0] < best_sse:
-                    best_sse, best_thr = res[0], res[1]
-                    best_feat = int(j)
-                # mtry counts *examined* candidates, mirroring R's behaviour
-                # of retrying when a drawn variable cannot split.
-                if examined >= mtry and best_feat != _LEAF:
-                    break
+            # Candidates are evaluated in blocks: mtry counts *examined*
+            # (non-constant) candidates, mirroring R's behaviour of
+            # retrying when a drawn variable cannot split, so the first
+            # block holds mtry candidates and follow-up blocks cover the
+            # constant-feature / unsplittable-feature retries.
+            i = 0
+            while i < p and not (examined >= mtry and best_feat != _LEAF):
+                block = candidates[i : i + max(mtry - examined, 1)]
+                i += block.size
+                sse_b, thr_b, const_b, has_b = _best_splits_for_block(
+                    Xn.take(block, axis=1), y_node, self.min_samples_leaf
+                )
+                const_b = const_b.tolist()
+                has_b = has_b.tolist()
+                sse_l = sse_b.tolist()
+                for k, j in enumerate(block.tolist()):
+                    if const_b[k]:
+                        continue  # constant feature in this node
+                    examined += 1
+                    if has_b[k] and sse_l[k] < best_sse:
+                        best_sse, best_thr = sse_l[k], float(thr_b[k])
+                        best_feat = j
+                    if examined >= mtry and best_feat != _LEAF:
+                        break
 
             if best_feat == _LEAF or best_sse >= node_sse:
                 continue
 
-            mask = X[idx, best_feat] <= best_thr
+            mask = Xn[:, best_feat] <= best_thr
             left_idx, right_idx = idx[mask], idx[~mask]
             if left_idx.size == 0 or right_idx.size == 0:
                 continue
@@ -208,20 +335,25 @@ class RegressionTree:
     # -- prediction ------------------------------------------------------
 
     def apply(self, X: np.ndarray) -> np.ndarray:
-        """Leaf index reached by every row of ``X`` (vectorized descent)."""
+        """Leaf index reached by every row of ``X`` (vectorized descent).
+
+        Maintains a node-index array and a shrinking active-row index
+        array; each iteration advances every still-internal row one
+        level, so the loop runs ``depth`` times regardless of row count.
+        """
         X = np.asarray(X, dtype=float)
         if X.ndim != 2 or X.shape[1] != self.n_features_:
             raise ValueError(
                 f"X must be 2-D with {self.n_features_} columns, got {X.shape}"
             )
         node = np.zeros(X.shape[0], dtype=np.intp)
-        active = self.feature_[node] != _LEAF
-        while np.any(active):
-            idx = np.where(active)[0]
+        idx = np.flatnonzero(self.feature_[node] != _LEAF)
+        while idx.size:
             cur = node[idx]
             go_left = X[idx, self.feature_[cur]] <= self.threshold_[cur]
-            node[idx] = np.where(go_left, self.left_[cur], self.right_[cur])
-            active[idx] = self.feature_[node[idx]] != _LEAF
+            nxt = np.where(go_left, self.left_[cur], self.right_[cur])
+            node[idx] = nxt
+            idx = idx[self.feature_[nxt] != _LEAF]
         return node
 
     def predict(self, X: np.ndarray) -> np.ndarray:

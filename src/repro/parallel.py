@@ -1,0 +1,55 @@
+"""Shared helpers for deterministic multi-process fan-out.
+
+Both the forest fit (:mod:`repro.ml.forest`) and the profiling campaign
+sweep (:mod:`repro.profiling.campaign`) parallelize over independent
+work items (trees, problem instances) while guaranteeing that the
+result is bit-for-bit identical to the serial path. The recipe is the
+same in both places and lives here:
+
+* :func:`spawn_streams` gives every work item its *own* child RNG
+  stream derived with ``SeedSequence.spawn`` semantics, so item ``i``
+  consumes the same random numbers no matter which process runs it or
+  in what order;
+* :func:`resolve_n_jobs` normalizes the user-facing ``n_jobs`` knob
+  (``-1`` = all cores, ``0`` rejected);
+* :func:`chunk_bounds` splits ``n`` items into at most ``jobs``
+  contiguous chunks, so per-process results can be concatenated back in
+  item order.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["chunk_bounds", "resolve_n_jobs", "spawn_streams"]
+
+
+def resolve_n_jobs(n_jobs: int) -> int:
+    """Worker-count for an ``n_jobs`` knob: ``-1`` means all CPUs."""
+    if n_jobs == 0:
+        raise ValueError("n_jobs must be >= 1 or -1")
+    if n_jobs < 0:
+        return max(os.cpu_count() or 1, 1)
+    return n_jobs
+
+
+def spawn_streams(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """``n`` independent child streams (SeedSequence.spawn semantics).
+
+    Child ``i`` is a deterministic function of the parent's seed
+    sequence and ``i`` alone — not of how many numbers the parent has
+    produced since, nor of which process asks — which is what makes
+    serial and parallel execution replay identically.
+    """
+    if hasattr(rng, "spawn"):  # numpy >= 1.25
+        return rng.spawn(n)
+    seeds = rng.bit_generator.seed_seq.spawn(n)  # type: ignore[attr-defined]
+    return [np.random.default_rng(s) for s in seeds]
+
+
+def chunk_bounds(n_items: int, jobs: int) -> np.ndarray:
+    """Boundaries of at most ``jobs`` contiguous, near-equal chunks."""
+    jobs = max(1, min(jobs, n_items))
+    return np.linspace(0, n_items, jobs + 1).astype(int)

@@ -16,10 +16,32 @@ import numpy as np
 
 from repro.gpusim.arch import GPUArchitecture
 from repro.kernels.base import Kernel
+from repro.parallel import chunk_bounds, resolve_n_jobs, spawn_streams
 
 from .profiler import Profiler, RunRecord
 
 __all__ = ["CampaignResult", "Campaign"]
+
+
+def _profile_chunk(args) -> list[list[RunRecord]]:
+    """Worker: profile a contiguous slice of a campaign's problems.
+
+    Rebuilds the profiler from its picklable configuration; passing the
+    (already noise-gated) ``measurement_sigma`` back through the
+    constructor is idempotent. Each problem uses its pre-spawned child
+    stream, so the records match the serial sweep bit for bit.
+    """
+    arch, noise_scale, measurement_sigma, sanitize, kernel, replicates, items = args
+    profiler = Profiler(
+        arch,
+        noise_scale=noise_scale,
+        measurement_sigma=measurement_sigma,
+        sanitize=sanitize,
+    )
+    return [
+        profiler.profile(kernel, problem, replicates=replicates, rng=stream)
+        for problem, stream in items
+    ]
 
 
 @dataclass
@@ -148,16 +170,50 @@ class Campaign:
         self,
         problems: Sequence | None = None,
         replicates: int = 1,
+        n_jobs: int = 1,
     ) -> CampaignResult:
-        """Profile every problem instance (default: the paper's sweep)."""
+        """Profile every problem instance (default: the paper's sweep).
+
+        ``n_jobs`` fans the sweep out over worker processes (-1 = all
+        cores). Every problem draws its noise from its own child stream
+        spawned from the campaign RNG — in the serial path too — so the
+        collected dataset is bit-for-bit identical for any ``n_jobs``
+        (pinned by ``tests/profiling/test_campaign_parallel.py``).
+        """
         problems = list(problems) if problems is not None else self.kernel.default_sweep()
         if not problems:
             raise ValueError("no problem instances to run")
         result = CampaignResult(
             kernel=self.kernel.name, arch=self.arch.name, family=self.arch.family
         )
-        for problem in problems:
-            result.records.extend(
-                self.profiler.profile(self.kernel, problem, replicates=replicates)
-            )
+        streams = spawn_streams(self.profiler._rng, len(problems))
+        jobs = min(resolve_n_jobs(n_jobs), len(problems))
+        if jobs > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            bounds = chunk_bounds(len(problems), jobs)
+            tasks = [
+                (
+                    self.arch,
+                    self.profiler.noise_scale,
+                    self.profiler.measurement_sigma,
+                    self.profiler.sanitize,
+                    self.kernel,
+                    replicates,
+                    list(zip(problems[lo:hi], streams[lo:hi])),
+                )
+                for lo, hi in zip(bounds[:-1], bounds[1:])
+                if hi > lo
+            ]
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                for chunk in pool.map(_profile_chunk, tasks):
+                    for records in chunk:
+                        result.records.extend(records)
+        else:
+            for problem, stream in zip(problems, streams):
+                result.records.extend(
+                    self.profiler.profile(
+                        self.kernel, problem, replicates=replicates, rng=stream
+                    )
+                )
         return result

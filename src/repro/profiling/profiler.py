@@ -145,15 +145,26 @@ class Profiler:
             raise InvariantViolation(errors, subject=subject)
 
     def profile(
-        self, kernel: Kernel, problem: object, replicates: int = 1
+        self,
+        kernel: Kernel,
+        problem: object,
+        replicates: int = 1,
+        rng: np.random.Generator | None = None,
     ) -> list[RunRecord]:
         """Profile ``replicates`` runs of one kernel/problem pair.
 
         Each replicate is a fresh simulated execution under its own
         perturbation draw, like back-to-back nvprof runs.
+
+        ``rng`` overrides the profiler's own stream for this call; a
+        campaign passes one spawned child stream per problem so the
+        collected dataset does not depend on which process profiles
+        which problem (see :meth:`repro.profiling.Campaign.run`).
         """
         if replicates < 1:
             raise ValueError("replicates must be >= 1")
+        if rng is None:
+            rng = self._rng
         workloads = self._workloads(kernel, problem)
         if self.sanitize and self.arch.family != "cpu":
             # Re-checked per profile() call, not per cache fill: a
@@ -167,7 +178,7 @@ class Profiler:
         records = []
         machine = self.arch.machine_metrics()
         for rep in range(replicates):
-            pert = Perturbation.draw(self._rng, scale=self.noise_scale)
+            pert = Perturbation.draw(rng, scale=self.noise_scale)
             if self.arch.family == "cpu":
                 from repro.cpusim.simulator import cpu_average_power_w
 
@@ -207,7 +218,7 @@ class Profiler:
                 # measurement error on top of the mechanism perturbation.
                 for name in values:
                     values[name] *= float(
-                        np.exp(self._rng.normal(0.0, self.measurement_sigma))
+                        np.exp(rng.normal(0.0, self.measurement_sigma))
                     )
             records.append(
                 RunRecord(

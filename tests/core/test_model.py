@@ -8,7 +8,10 @@ from repro.core.model import BlackForest
 
 @pytest.fixture(scope="module")
 def reduce1_fit(reduce1_campaign):
-    return BlackForest(n_trees=150, rng=1).fit(
+    # Paper-scale forest (Section 4.1.1: 500 trees). At 150 trees the
+    # permutation-importance ranking swings with the seed; at 500 the
+    # replay-family story and the bank-conflict bottleneck are stable.
+    return BlackForest(n_trees=500, rng=1).fit(
         reduce1_campaign, include_characteristics=False
     )
 

@@ -1,0 +1,173 @@
+"""Determinism and equivalence pins for the fast forest.
+
+Two properties keep the vectorized rewrite honest:
+
+* a fitted :class:`RegressionTree` is **bit-for-bit identical** to the
+  retained per-feature reference implementation under the same RNG
+  state (the block split scan changes the arithmetic layout, not one
+  number);
+* a forest fitted with ``n_jobs > 1`` is **bit-for-bit identical** to
+  the serial fit for a fixed seed (per-tree spawned streams, ordered
+  aggregation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml._reference import (
+    ReferenceRandomForestRegressor,
+    ReferenceRegressionTree,
+)
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.tree import RegressionTree
+from repro.parallel import chunk_bounds, resolve_n_jobs, spawn_streams
+
+
+def _dataset(rng, n, p):
+    """Random regression data with ties, rounded columns and constants."""
+    X = rng.normal(size=(n, p))
+    for j in range(p):
+        r = rng.random()
+        if r < 0.15:
+            X[:, j] = rng.normal()  # constant feature
+        elif r < 0.5:
+            X[:, j] = np.round(X[:, j], int(rng.integers(0, 2)))  # ties
+    y = X[:, 0] + rng.normal(size=n)
+    return X, y
+
+
+class TestTreeMatchesReference:
+    def test_bit_identical_over_random_trials(self):
+        rng = np.random.default_rng(0)
+        for _ in range(12):
+            n = int(rng.integers(12, 200))
+            p = int(rng.integers(2, 30))
+            X, y = _dataset(rng, n, p)
+            mtry = int(rng.integers(1, p + 1))
+            msl = int(rng.integers(1, 8))
+            seed = int(rng.integers(0, 2**31))
+            fast = RegressionTree(
+                min_samples_leaf=msl, max_features=mtry,
+                rng=np.random.default_rng(seed),
+            ).fit(X, y)
+            ref = ReferenceRegressionTree(
+                min_samples_leaf=msl, max_features=mtry,
+                rng=np.random.default_rng(seed),
+            ).fit(X, y)
+            np.testing.assert_array_equal(fast.feature_, ref.feature_)
+            np.testing.assert_array_equal(fast.left_, ref.left_)
+            np.testing.assert_array_equal(fast.right_, ref.right_)
+            np.testing.assert_array_equal(
+                fast.threshold_, ref.threshold_
+            )
+            np.testing.assert_array_equal(fast.value_, ref.value_)
+            np.testing.assert_array_equal(
+                fast.impurity_decrease_, ref.impurity_decrease_
+            )
+            np.testing.assert_array_equal(fast.predict(X), ref.predict(X))
+
+    def test_apply_matches_reference_routing(self):
+        rng = np.random.default_rng(1)
+        X, y = _dataset(rng, 150, 8)
+        fast = RegressionTree(rng=np.random.default_rng(3)).fit(X, y)
+        ref = ReferenceRegressionTree(rng=np.random.default_rng(3)).fit(X, y)
+        X_new = rng.normal(size=(400, 8))
+        np.testing.assert_array_equal(fast.apply(X_new), ref.apply(X_new))
+
+
+class TestForestParallelDeterminism:
+    @pytest.mark.parametrize("n_jobs", [2, 3, -1])
+    def test_parallel_bit_identical_to_serial(self, n_jobs):
+        rng = np.random.default_rng(2)
+        X, y = _dataset(rng, 90, 10)
+        serial = RandomForestRegressor(
+            n_trees=10, importance=True, n_jobs=1,
+            rng=np.random.default_rng(7),
+        ).fit(X, y)
+        parallel = RandomForestRegressor(
+            n_trees=10, importance=True, n_jobs=n_jobs,
+            rng=np.random.default_rng(7),
+        ).fit(X, y)
+        np.testing.assert_array_equal(
+            serial.oob_prediction_, parallel.oob_prediction_
+        )
+        np.testing.assert_array_equal(serial.importance_, parallel.importance_)
+        np.testing.assert_array_equal(
+            serial.importance_raw_, parallel.importance_raw_
+        )
+        np.testing.assert_array_equal(
+            serial.impurity_importance_, parallel.impurity_importance_
+        )
+        assert serial.oob_mse_ == parallel.oob_mse_
+        X_new = rng.normal(size=(50, 10))
+        np.testing.assert_array_equal(
+            serial.predict(X_new), parallel.predict(X_new)
+        )
+
+    def test_more_jobs_than_trees(self):
+        rng = np.random.default_rng(3)
+        X, y = _dataset(rng, 40, 4)
+        a = RandomForestRegressor(
+            n_trees=2, n_jobs=8, rng=np.random.default_rng(1)
+        ).fit(X, y)
+        b = RandomForestRegressor(
+            n_trees=2, n_jobs=1, rng=np.random.default_rng(1)
+        ).fit(X, y)
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))
+
+    def test_n_jobs_zero_rejected(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_jobs=0)
+
+
+class TestForestQualityVsReference:
+    def test_comparable_oob_quality(self):
+        # Stream structure differs (spawned vs shared), so the pin is
+        # statistical: the fast forest models the data as well as the
+        # reference on the same split.
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(120, 8))
+        y = 2.0 * X[:, 0] + np.sin(X[:, 1]) + rng.normal(scale=0.2, size=120)
+        fast = RandomForestRegressor(
+            n_trees=60, rng=np.random.default_rng(5)
+        ).fit(X, y)
+        ref = ReferenceRandomForestRegressor(
+            n_trees=60, rng=np.random.default_rng(5)
+        ).fit(X, y)
+        assert fast.oob_explained_variance_ == pytest.approx(
+            ref.oob_explained_variance_, abs=0.05
+        )
+        # both rank the linear driver first
+        assert int(np.argmax(fast.importance_)) == 0
+        assert int(np.argmax(ref.importance_)) == 0
+
+
+class TestParallelHelpers:
+    def test_spawn_streams_deterministic(self):
+        a = spawn_streams(np.random.default_rng(11), 5)
+        b = spawn_streams(np.random.default_rng(11), 5)
+        for x, y in zip(a, b):
+            assert x.integers(0, 1 << 30) == y.integers(0, 1 << 30)
+
+    def test_spawn_streams_independent_of_parent_consumption(self):
+        # Children are defined by the seed sequence's spawn counter, not
+        # by how many numbers the parent produced — the property that
+        # makes worker processes replay the serial streams exactly.
+        r1 = np.random.default_rng(12)
+        r2 = np.random.default_rng(12)
+        r2.normal(size=10)
+        a = spawn_streams(r1, 2)[0].integers(0, 1 << 30)
+        b = spawn_streams(r2, 2)[0].integers(0, 1 << 30)
+        assert a == b
+
+    def test_resolve_n_jobs(self):
+        assert resolve_n_jobs(3) == 3
+        assert resolve_n_jobs(-1) >= 1
+        with pytest.raises(ValueError):
+            resolve_n_jobs(0)
+
+    def test_chunk_bounds_cover_everything(self):
+        bounds = chunk_bounds(10, 3)
+        assert bounds[0] == 0 and bounds[-1] == 10
+        assert all(b2 >= b1 for b1, b2 in zip(bounds[:-1], bounds[1:]))
+        assert len(chunk_bounds(2, 8)) == 3  # jobs clamped to items

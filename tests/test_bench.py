@@ -1,0 +1,71 @@
+"""Smoke tests for the micro-benchmark harness (``repro bench``)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCHMARKS,
+    SCHEMA,
+    bench_trace_transactions,
+    format_results,
+    run_benchmarks,
+    write_report,
+)
+
+
+class TestBenchHarness:
+    def test_single_op_result_shape(self):
+        result = bench_trace_transactions(quick=True)
+        assert result.op == "trace_transactions"
+        assert result.n > 0 and result.wall_s > 0
+        assert result.throughput == pytest.approx(result.n / result.wall_s)
+        assert result.baseline_wall_s > 0
+        assert result.speedup == pytest.approx(
+            result.baseline_wall_s / result.wall_s
+        )
+
+    def test_run_benchmarks_selects_ops(self):
+        results = run_benchmarks(ops=["trace_transactions"], quick=True)
+        assert [r.op for r in results] == ["trace_transactions"]
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            run_benchmarks(ops=["no_such_op"], quick=True)
+
+    def test_catalogue_covers_the_three_paths(self):
+        assert {"trace_transactions", "cache_trace_replay",
+                "forest_fit", "campaign_sweep"} <= set(BENCHMARKS)
+
+    def test_write_report_json(self, tmp_path):
+        results = run_benchmarks(ops=["trace_transactions"], quick=True)
+        out = tmp_path / "BENCH_core.json"
+        payload = write_report(results, str(out), quick=True)
+        on_disk = json.loads(out.read_text())
+        assert on_disk == payload
+        assert on_disk["schema"] == SCHEMA
+        assert on_disk["quick"] is True
+        (entry,) = on_disk["results"]
+        assert entry["op"] == "trace_transactions"
+        assert set(entry) >= {
+            "op", "n", "unit", "wall_s", "throughput",
+            "baseline_wall_s", "speedup",
+        }
+
+    def test_format_results_renders_table(self):
+        results = run_benchmarks(ops=["trace_transactions"], quick=True)
+        text = format_results(results)
+        assert "trace_transactions" in text
+        assert "speedup" in text
+
+    def test_cli_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "bench.json"
+        code = main([
+            "bench", "--quick", "--ops", "trace_transactions",
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+        assert "trace_transactions" in capsys.readouterr().out
