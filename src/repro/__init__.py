@@ -46,9 +46,13 @@ from .core import (
     BlackForest,
     HeterogeneousPartitioner,
     BlackForestFit,
+    FitArtifact,
+    HardwareScalingFit,
     HardwareScalingPredictor,
     ImportanceRanking,
     PredictionReport,
+    Predictor,
+    ProblemScalingFit,
     ProblemScalingPredictor,
     bottleneck_report,
     common_predictors,
@@ -87,17 +91,28 @@ from .analysis import (
     Severity,
     lint_tree,
 )
-from .profiling import Campaign, CampaignResult, Profiler, Repository, RunRecord
+from .profiling import (
+    Campaign,
+    CampaignKey,
+    CampaignResult,
+    Profiler,
+    ProfileRepository,
+    RunRecord,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BlackForest",
     "BlackForestFit",
+    "FitArtifact",
+    "Predictor",
     "HeterogeneousPartitioner",
+    "HardwareScalingFit",
     "HardwareScalingPredictor",
     "ImportanceRanking",
     "PredictionReport",
+    "ProblemScalingFit",
     "ProblemScalingPredictor",
     "bottleneck_report",
     "common_predictors",
@@ -129,9 +144,10 @@ __all__ = [
     "I7_SANDY",
     "XEON_E5",
     "Campaign",
+    "CampaignKey",
     "CampaignResult",
     "Profiler",
-    "Repository",
+    "ProfileRepository",
     "RunRecord",
     "Finding",
     "InvariantViolation",
@@ -139,3 +155,16 @@ __all__ = [
     "lint_tree",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    if name == "Repository":
+        from repro._compat import warn_once
+
+        warn_once(
+            "Repository",
+            "repro.Repository was renamed to ProfileRepository; "
+            "the old name will be removed",
+        )
+        return ProfileRepository
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,32 @@
+"""Deprecation plumbing for the unified public API.
+
+Every legacy call surface kept alive after the API redesign (old
+positional signatures, renamed classes/methods) funnels through
+:func:`warn_once`, which emits exactly one :class:`DeprecationWarning`
+per distinct shim per process — loud enough to notice, quiet enough not
+to drown a campaign loop in repeats. ``tests/test_deprecations.py``
+pins both the single warning and the delegation; CI additionally runs
+the non-shim test suite under ``-W error::DeprecationWarning`` so
+internal code never calls its own deprecated surfaces.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_once", "reset_deprecation_warnings"]
+
+_WARNED: set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``message`` as a DeprecationWarning, once per ``key``."""
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which shims already warned (test isolation helper)."""
+    _WARNED.clear()

@@ -4,18 +4,26 @@ The paper's pitch is a tool a performance engineer can point at a
 kernel and get readable feedback from; this module is that front end::
 
     python -m repro list-kernels
-    python -m repro list-archs
+    python -m repro list-archs --format json
     python -m repro profile reduce1 1048576 --arch GTX580
-    python -m repro analyze reduce1 --arch GTX580
+    python -m repro analyze reduce1 --arch GTX580 --trace
     python -m repro predict matrixMul --sizes 96,416,1936
     python -m repro transfer matrixMul --train GTX580 --test K20m
+    python -m repro trace analyze reduce1 --arch GTX580
     python -m repro lint --format json
     python -m repro bench --quick
+
+Every data-producing subcommand takes ``--format {text,json}``; the
+sweep-driving ones share ``--seed`` and ``--jobs``. ``--trace`` (on
+``analyze``/``predict``/``transfer``) and the ``trace`` wrapper
+subcommand record a hierarchical span tree of the run (see
+docs/api.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -64,28 +72,87 @@ def _parse_sizes(text: str) -> list[int]:
         raise SystemExit(f"could not parse sizes {text!r} (expected e.g. 96,416)")
 
 
+def _span_dicts(records) -> list[dict]:
+    return [
+        {
+            "name": r.name,
+            "span_id": r.span_id,
+            "parent_id": r.parent_id,
+            "duration_s": r.duration_s,
+            "pid": r.pid,
+            "labels": r.labels,
+        }
+        for r in records
+    ]
+
+
+def _emit(args, payload: dict, text: str) -> None:
+    """Print a command's result in the selected format.
+
+    When ``--trace`` was active, the recorded span tree is attached:
+    under a ``trace`` key (span list + Chrome-trace events) in JSON
+    mode, as a rendered tree after the report in text mode.
+    """
+    tracer = getattr(args, "_tracer", None)
+    registry = getattr(args, "_registry", None)
+    if getattr(args, "format", "text") == "json":
+        if tracer is not None:
+            from repro.obs import to_chrome_trace
+
+            payload["trace"] = {
+                "spans": _span_dicts(tracer.records),
+                "chrome_trace": to_chrome_trace(tracer.records),
+            }
+        if registry is not None:
+            payload["metrics"] = registry.snapshot()
+        print(json.dumps(payload, indent=2))
+    else:
+        print(text)
+        if tracer is not None:
+            from repro.obs import render_text_tree
+
+            print()
+            print(render_text_tree(tracer.records))
+
+
 # ---------------------------------------------------------------------------
 
 
-def cmd_list_kernels(_args) -> int:
+def cmd_list_kernels(args) -> int:
     rows = []
+    payload = []
     for name, kernel in sorted(kernel_registry().items()):
         doc = (kernel.__class__.__doc__ or "").strip().splitlines()[0]
         sweep = kernel.default_sweep()
         rows.append((name, f"{len(sweep)} sizes "
                      f"[{sweep[0]}..{sweep[-1]}]", doc[:60]))
-    print(table(["kernel", "default sweep", "description"], rows))
+        payload.append({
+            "kernel": name,
+            "sweep_sizes": len(sweep),
+            "sweep_min": sweep[0] if np.isscalar(sweep[0]) else list(sweep[0]),
+            "sweep_max": sweep[-1] if np.isscalar(sweep[-1]) else list(sweep[-1]),
+            "description": doc,
+        })
+    _emit(args, {"kernels": payload},
+          table(["kernel", "default sweep", "description"], rows))
     return 0
 
 
-def cmd_list_archs(_args) -> int:
+def cmd_list_archs(args) -> int:
     rows = []
+    payload = []
     for a in ARCHS.values():
         metrics = ", ".join(
             f"{k}={v:g}" for k, v in sorted(a.machine_metrics().items())
         )
         rows.append((a.name, a.family, metrics))
-    print(table(["arch", "family", "machine metrics"], rows,
+        payload.append({
+            "arch": a.name,
+            "family": a.family,
+            "machine_metrics": a.machine_metrics(),
+        })
+    _emit(args, {"archs": payload},
+          table(["arch", "family", "machine metrics"], rows,
                 title="Architectures (Table 2-style metrics)"))
     return 0
 
@@ -98,11 +165,19 @@ def cmd_profile(args) -> int:
     except ValueError as exc:
         raise SystemExit(f"cannot profile {kernel.name!r}: {exc}")
     rows = sorted(record.counters.items())
-    print(table(["counter", "value"], rows,
-                title=f"{kernel.name} (problem={args.problem}) on {arch.name}"))
-    print(f"\nexecution time: {record.time_s * 1e3:.4g} ms")
+    text = table(["counter", "value"], rows,
+                 title=f"{kernel.name} (problem={args.problem}) on {arch.name}")
+    text += f"\n\nexecution time: {record.time_s * 1e3:.4g} ms"
     if record.power_w is not None:
-        print(f"average power : {record.power_w:.1f} W")
+        text += f"\naverage power : {record.power_w:.1f} W"
+    _emit(args, {
+        "kernel": kernel.name,
+        "arch": arch.name,
+        "problem": args.problem,
+        "time_s": record.time_s,
+        "power_w": record.power_w,
+        "counters": dict(sorted(record.counters.items())),
+    }, text)
     return 0
 
 
@@ -119,7 +194,20 @@ def cmd_analyze(args) -> int:
         n_trees=args.trees, importance_repeats=args.repeats,
         n_jobs=args.jobs, rng=args.seed + 1,
     ).fit(campaign, response=args.response)
-    print(bottleneck_report(fit, top_k=args.top))
+    _emit(args, {
+        "kernel": kernel.name,
+        "arch": arch.name,
+        "response": args.response,
+        "n_runs": len(campaign),
+        "oob_explained_variance": fit.oob_explained_variance,
+        "test_explained_variance": fit.test_explained_variance,
+        "top_predictors": fit.importance.names[:args.top],
+        "bottlenecks": [
+            {"pattern": b.pattern.key, "score": b.score,
+             "evidence": list(b.evidence)}
+            for b in fit.bottlenecks
+        ],
+    }, bottleneck_report(fit, top_k=args.top))
     return 0
 
 
@@ -130,16 +218,23 @@ def cmd_predict(args) -> int:
     print(f"training problem-scaling model for {kernel.name} on "
           f"{arch.name}...", file=sys.stderr)
     campaign = Campaign(kernel, arch, rng=args.seed).run(
-        replicates=args.replicates
+        replicates=args.replicates, n_jobs=args.jobs
     )
     predictor = ProblemScalingPredictor(
-        BlackForest(n_trees=args.trees, rng=args.seed + 1),
+        BlackForest(n_trees=args.trees, n_jobs=args.jobs, rng=args.seed + 1),
         prefer_mars=args.mars, rng=args.seed + 2,
     ).fit(campaign)
     times = predictor.predict(np.array(sizes, dtype=float))
     rows = [(s, f"{t * 1e3:.4g} ms") for s, t in zip(sizes, times)]
-    print(table(["size", "predicted time"], rows,
-                title=f"{kernel.name} on {arch.name}"))
+    _emit(args, {
+        "kernel": kernel.name,
+        "arch": arch.name,
+        "predictions": [
+            {"size": s, "predicted_time_s": float(t)}
+            for s, t in zip(sizes, times)
+        ],
+    }, table(["size", "predicted time"], rows,
+             title=f"{kernel.name} on {arch.name}"))
     return 0
 
 
@@ -150,17 +245,27 @@ def cmd_transfer(args) -> int:
     print(f"profiling {kernel.name} on {train_arch.name} and "
           f"{test_arch.name}...", file=sys.stderr)
     train = Campaign(kernel, train_arch, rng=args.seed).run(
-        replicates=args.replicates
+        replicates=args.replicates, n_jobs=args.jobs
     )
     test = Campaign(kernel, test_arch, rng=args.seed + 1).run(
-        replicates=args.replicates
+        replicates=args.replicates, n_jobs=args.jobs
     )
     common = common_predictors(train, test)
-    hw = HardwareScalingPredictor(n_trees=args.trees, rng=args.seed + 2).fit(
-        train, common=common
-    )
+    hw = HardwareScalingPredictor(n_trees=args.trees, rng=args.seed + 2)
+    hw.fit(train, common=common)
     result = hw.assess(test)
-    print(prediction_report_text(
+    _emit(args, {
+        "kernel": kernel.name,
+        "train_arch": train_arch.name,
+        "test_arch": test_arch.name,
+        "variables": result.variables,
+        "explained_variance": result.report.explained_variance,
+        "mean_relative_error": result.report.mean_relative_error,
+        "rows": [
+            {"problem": p, "predicted_s": pr, "measured_s": me}
+            for p, pr, me in result.report.rows()
+        ],
+    }, prediction_report_text(
         result.report,
         title=f"{kernel.name}: {train_arch.name} -> {test_arch.name}",
     ))
@@ -168,7 +273,7 @@ def cmd_transfer(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from repro.bench import BENCHMARKS, format_results, run_benchmarks, write_report
+    from repro.bench import format_results, run_benchmarks, write_report
 
     ops = (
         [tok.strip() for tok in args.ops.split(",") if tok.strip()]
@@ -182,8 +287,11 @@ def cmd_bench(args) -> int:
     except ValueError as exc:
         raise SystemExit(str(exc))
     write_report(results, args.out, quick=args.quick)
-    print(format_results(results))
-    print(f"\nreport written to {args.out}")
+    if getattr(args, "format", "text") == "json":
+        print(json.dumps({"results": [r.__dict__ for r in results]}, indent=2))
+    else:
+        print(format_results(results))
+        print(f"\nreport written to {args.out}")
     return 0
 
 
@@ -221,7 +329,44 @@ def cmd_lint(args) -> int:
     return 1 if worst is not None and worst >= fail_on else 0
 
 
+def cmd_trace(args) -> int:
+    """Run any subcommand under tracing and print/export its span tree."""
+    from repro.obs import collect, render_text_tree, to_chrome_trace, trace
+
+    wrapped = list(args.wrapped)
+    if wrapped and wrapped[0] == "--":
+        wrapped = wrapped[1:]
+    if not wrapped:
+        raise SystemExit("usage: repro trace <subcommand> [options...]")
+    if wrapped[0] == "trace":
+        raise SystemExit("cannot nest 'repro trace'")
+    sub_args = build_parser().parse_args(wrapped)
+    with trace() as tracer, collect() as registry:
+        rc = _COMMANDS[sub_args.command](sub_args)
+    if args.format == "json":
+        out = json.dumps({
+            "command": wrapped,
+            "spans": _span_dicts(tracer.records),
+            "chrome_trace": to_chrome_trace(tracer.records),
+            "metrics": registry.snapshot(),
+        }, indent=2)
+    else:
+        out = render_text_tree(tracer.records)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(out + "\n")
+        print(f"trace written to {args.out}", file=sys.stderr)
+    else:
+        print(out)
+    return rc
+
+
 # ---------------------------------------------------------------------------
+
+
+def _add_format(p) -> None:
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output format (default: text)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -232,14 +377,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list-kernels", help="available kernel models")
-    sub.add_parser("list-archs", help="available architectures")
+    p = sub.add_parser("list-kernels", help="available kernel models")
+    _add_format(p)
+    p = sub.add_parser("list-archs", help="available architectures")
+    _add_format(p)
 
     p = sub.add_parser("profile", help="profile one run, print all counters")
     p.add_argument("kernel")
     p.add_argument("problem", type=int)
     p.add_argument("--arch", default="GTX580")
     p.add_argument("--seed", type=int, default=0)
+    _add_format(p)
 
     p = sub.add_parser("analyze", help="full bottleneck analysis")
     p.add_argument("kernel")
@@ -257,6 +405,10 @@ def build_parser() -> argparse.ArgumentParser:
                    "forest fits (-1 = all cores); results are identical "
                    "for any value")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", action="store_true",
+                   help="record a span tree of the run (text: appended; "
+                   "json: under the 'trace' key)")
+    _add_format(p)
 
     p = sub.add_parser("predict", help="predict times for unseen sizes")
     p.add_argument("kernel")
@@ -266,7 +418,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trees", type=int, default=300)
     p.add_argument("--mars", action="store_true",
                    help="force MARS counter models")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (-1 = all cores)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", action="store_true",
+                   help="record a span tree of the run")
+    _add_format(p)
 
     p = sub.add_parser(
         "lint",
@@ -297,6 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ops",
                    help="comma-separated subset of benchmark ops "
                    "(default: all)")
+    _add_format(p)
 
     p = sub.add_parser("transfer", help="cross-architecture prediction")
     p.add_argument("kernel")
@@ -304,7 +462,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--test", default="K20m")
     p.add_argument("--replicates", type=int, default=3)
     p.add_argument("--trees", type=int, default=300)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (-1 = all cores)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", action="store_true",
+                   help="record a span tree of the run")
+    _add_format(p)
+
+    p = sub.add_parser(
+        "trace",
+        help="run another subcommand under tracing, print its span tree",
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="text tree or Chrome-trace-compatible JSON")
+    p.add_argument("--out", help="write the trace to a file")
+    p.add_argument("wrapped", nargs=argparse.REMAINDER,
+                   help="the subcommand (and its options) to trace")
 
     return parser
 
@@ -318,11 +491,19 @@ _COMMANDS = {
     "transfer": cmd_transfer,
     "lint": cmd_lint,
     "bench": cmd_bench,
+    "trace": cmd_trace,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "trace", False) and args.command != "trace":
+        from repro.obs import collect, trace
+
+        with trace() as tracer, collect() as registry:
+            args._tracer = tracer
+            args._registry = registry
+            return _COMMANDS[args.command](args)
     return _COMMANDS[args.command](args)
 
 

@@ -5,6 +5,7 @@ analysis, bottleneck detection, counter models, problem-scaling
 prediction, hardware-scaling prediction and reporting.
 """
 
+from .api import FitArtifact, Predictor
 from .bottleneck import (
     PATTERNS,
     BottleneckFinding,
@@ -13,6 +14,7 @@ from .bottleneck import (
 )
 from .counter_models import CounterModel, CounterModelSet
 from .hardware import (
+    HardwareScalingFit,
     HardwareScalingPredictor,
     HardwareScalingResult,
     common_predictors,
@@ -28,16 +30,23 @@ from .importance import (
 )
 from .model import BlackForest, BlackForestFit, induced_counter_ranking
 from .partition import HeterogeneousPartitioner, PartitionPlan
-from .prediction import PredictionReport, ProblemScalingPredictor
+from .prediction import (
+    PredictionReport,
+    ProblemScalingFit,
+    ProblemScalingPredictor,
+)
 from .report import bottleneck_report, fit_summary, prediction_report_text
 
 __all__ = [
+    "Predictor",
+    "FitArtifact",
     "PATTERNS",
     "BottleneckFinding",
     "BottleneckPattern",
     "detect_bottlenecks",
     "CounterModel",
     "CounterModelSet",
+    "HardwareScalingFit",
     "HardwareScalingPredictor",
     "HardwareScalingResult",
     "common_predictors",
@@ -54,6 +63,7 @@ __all__ = [
     "HeterogeneousPartitioner",
     "PartitionPlan",
     "PredictionReport",
+    "ProblemScalingFit",
     "ProblemScalingPredictor",
     "bottleneck_report",
     "fit_summary",

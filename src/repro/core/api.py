@@ -1,0 +1,47 @@
+"""The unified predictor protocol: one call surface for the pipeline.
+
+The toolchain grew three predictor front-ends — :class:`BlackForest`
+(bottleneck analysis), :class:`ProblemScalingPredictor` (unseen sizes,
+Section 6.1) and :class:`HardwareScalingPredictor` (cross-architecture,
+Section 6.2) — each with its own fit/assess conventions. This module
+pins the one protocol they all implement now (see docs/api.md):
+
+* ``fit(campaign, ...) -> Fit`` — all configuration keyword-only; the
+  returned *fit artifact* carries everything the fit produced **and**
+  the ``predict``/``assess`` methods, so results travel as one value;
+* ``predict(...)`` — available on both the predictor (delegating to
+  its most recent fit) and the fit artifact;
+* ``assess(campaign, ...)`` — score against a measured campaign,
+  returning a report with ``explained_variance`` /
+  ``mean_relative_error``.
+
+Old call surfaces (positional config args, the ``report()`` name) keep
+working for one release through :func:`repro._compat.warn_once`
+deprecation shims.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Predictor", "FitArtifact"]
+
+
+@runtime_checkable
+class FitArtifact(Protocol):
+    """What ``Predictor.fit`` returns: results plus predict/assess."""
+
+    def predict(self, X): ...
+
+    def assess(self, campaign, **config): ...
+
+
+@runtime_checkable
+class Predictor(Protocol):
+    """The unified three-method surface of every pipeline predictor."""
+
+    def fit(self, campaign, **config) -> FitArtifact: ...
+
+    def predict(self, X): ...
+
+    def assess(self, campaign, **config): ...

@@ -28,8 +28,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._compat import warn_once
 from repro.ml.forest import RandomForestRegressor
 from repro.ml.preprocessing import train_test_split
+from repro.obs import span
 from repro.profiling.campaign import CampaignResult
 
 from .importance import ImportanceRanking, rank_similarity
@@ -41,6 +43,7 @@ __all__ = [
     "per_arch_importance",
     "importance_similarity",
     "mixed_variable_set",
+    "HardwareScalingFit",
     "HardwareScalingPredictor",
 ]
 
@@ -131,6 +134,32 @@ class HardwareScalingResult:
     similarity: float | None = None
 
 
+@dataclass
+class HardwareScalingFit:
+    """Fit artifact of :class:`HardwareScalingPredictor` (protocol type).
+
+    ``assess`` delegates back to the predictor so the evaluation split
+    keeps drawing from the predictor's RNG stream — a fit followed by
+    assessments consumes exactly the randomness the pre-protocol API
+    did, preserving pinned results.
+    """
+
+    predictor: "HardwareScalingPredictor"
+    forest: RandomForestRegressor
+    variables: list[str]
+    train_arch: str
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict times from aligned predictor vectors."""
+        return self.forest.predict(X)
+
+    def assess(
+        self, test: CampaignResult, *, eval_fraction: float | None = None
+    ) -> HardwareScalingResult:
+        """Predict the test campaign's held-out runs and compare."""
+        return self.predictor.assess(test, eval_fraction=eval_fraction)
+
+
 class HardwareScalingPredictor:
     """Train on one GPU's campaign, predict times measured on another.
 
@@ -160,50 +189,84 @@ class HardwareScalingPredictor:
     def fit(
         self,
         train: CampaignResult,
+        *args,
         variables: list[str] | None = None,
         common: list[str] | None = None,
-    ) -> "HardwareScalingPredictor":
+    ) -> HardwareScalingFit:
         """Fit on the training campaign.
 
         ``common`` restricts the counter set (pass
         :func:`common_predictors` of train/test so the model never uses
         an architecture-specific counter); ``variables`` further
         restricts to an explicit predictor list (the mixed-variable
-        workaround).
+        workaround). Both are keyword-only (unified predictor protocol).
         """
-        counters = common if common is not None else train.predictor_names
-        X, y, names = train.matrix(
-            counters=counters,
-            include_characteristics=True,
-            include_machine=self.include_machine,
-        )
-        if variables is not None:
-            missing = [v for v in variables if v not in names]
-            if missing:
-                raise ValueError(f"unknown variables {missing}")
-            keep = [names.index(v) for v in variables]
-            X, names = X[:, keep], list(variables)
-        else:
-            # Machine metrics are constant within a single-arch training
-            # campaign; keep their *columns* anyway so cross-arch feature
-            # vectors align, but constants cannot influence the forest.
-            pass
+        if args:
+            # Legacy positional order: (variables, common).
+            warn_once(
+                "HardwareScalingPredictor.fit:positional",
+                "passing HardwareScalingPredictor.fit configuration "
+                "positionally is deprecated; use keyword arguments "
+                "(variables=..., common=...)",
+            )
+            legacy = ("variables", "common")
+            if len(args) > len(legacy):
+                raise TypeError(
+                    f"fit() takes at most {len(legacy)} configuration "
+                    f"arguments ({len(args)} given)"
+                )
+            defaults = {"variables": variables, "common": common}
+            defaults.update(dict(zip(legacy, args)))
+            variables = defaults["variables"]
+            common = defaults["common"]
+        with span(
+            "hardware_scaling.fit", kernel=train.kernel, arch=train.arch
+        ):
+            counters = common if common is not None else train.predictor_names
+            X, y, names = train.matrix(
+                counters=counters,
+                include_characteristics=True,
+                include_machine=self.include_machine,
+            )
+            if variables is not None:
+                missing = [v for v in variables if v not in names]
+                if missing:
+                    raise ValueError(f"unknown variables {missing}")
+                keep = [names.index(v) for v in variables]
+                X, names = X[:, keep], list(variables)
+            else:
+                # Machine metrics are constant within a single-arch training
+                # campaign; keep their *columns* anyway so cross-arch feature
+                # vectors align, but constants cannot influence the forest.
+                pass
 
-        self.names_ = names
-        self.train_arch_ = train.arch
-        X_train, _, y_train, _ = train_test_split(
-            X, y, test_fraction=self.test_fraction, rng=self._rng
+            self.names_ = names
+            self.train_arch_ = train.arch
+            X_train, _, y_train, _ = train_test_split(
+                X, y, test_fraction=self.test_fraction, rng=self._rng
+            )
+            self.forest_ = RandomForestRegressor(
+                n_trees=self.n_trees,
+                min_samples_leaf=self.min_samples_leaf,
+                importance=False,
+                rng=self._rng,
+            ).fit(X_train, y_train, feature_names=names)
+        self.last_fit_ = HardwareScalingFit(
+            predictor=self,
+            forest=self.forest_,
+            variables=list(names),
+            train_arch=self.train_arch_,
         )
-        self.forest_ = RandomForestRegressor(
-            n_trees=self.n_trees,
-            min_samples_leaf=self.min_samples_leaf,
-            importance=False,
-            rng=self._rng,
-        ).fit(X_train, y_train, feature_names=names)
-        return self
+        return self.last_fit_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict times with the most recent fit's forest."""
+        if getattr(self, "forest_", None) is None:
+            raise RuntimeError("call fit() before predict()/assess()")
+        return self.forest_.predict(X)
 
     def assess(
-        self, test: CampaignResult, eval_fraction: float | None = None
+        self, test: CampaignResult, *, eval_fraction: float | None = None
     ) -> HardwareScalingResult:
         """Predict the test campaign's held-out runs and compare.
 
@@ -215,44 +278,49 @@ class HardwareScalingPredictor:
         20% subsample can hold only a handful of problems and the
         explained variance swings wildly with which sizes are drawn.
         """
-        if eval_fraction is None:
-            eval_fraction = self.test_fraction
-        counters = [n for n in self.names_ if n in test.counter_names]
-        X, y, names = test.matrix(
-            counters=counters,
-            include_characteristics=True,
-            include_machine=self.include_machine,
-        )
-        keep = []
-        for v in self.names_:
-            if v not in names:
-                raise ValueError(
-                    f"test campaign lacks predictor {v!r} "
-                    f"(restrict fit() to common_predictors first)"
-                )
-            keep.append(names.index(v))
-        X = X[:, keep]
-        problems = np.array(
-            [r.characteristics.get("size", np.nan) for r in test.records]
-        )
-        if eval_fraction >= 1.0:
-            X_eval, y_eval, problems_eval = X, y, problems
-        else:
-            _, X_eval, _, y_eval, _, problems_eval = train_test_split(
-                X,
-                y,
-                problems,
-                test_fraction=eval_fraction,
-                rng=self._rng,
+        if getattr(self, "forest_", None) is None:
+            raise RuntimeError("call fit() before predict()/assess()")
+        with span(
+            "hardware_scaling.assess", kernel=test.kernel, arch=test.arch
+        ):
+            if eval_fraction is None:
+                eval_fraction = self.test_fraction
+            counters = [n for n in self.names_ if n in test.counter_names]
+            X, y, names = test.matrix(
+                counters=counters,
+                include_characteristics=True,
+                include_machine=self.include_machine,
             )
-        report = PredictionReport(
-            problems=problems_eval,
-            predicted_s=self.forest_.predict(X_eval),
-            measured_s=y_eval,
-        )
-        return HardwareScalingResult(
-            report=report,
-            variables=list(self.names_),
-            train_arch=self.train_arch_,
-            test_arch=test.arch,
-        )
+            keep = []
+            for v in self.names_:
+                if v not in names:
+                    raise ValueError(
+                        f"test campaign lacks predictor {v!r} "
+                        f"(restrict fit() to common_predictors first)"
+                    )
+                keep.append(names.index(v))
+            X = X[:, keep]
+            problems = np.array(
+                [r.characteristics.get("size", np.nan) for r in test.records]
+            )
+            if eval_fraction >= 1.0:
+                X_eval, y_eval, problems_eval = X, y, problems
+            else:
+                _, X_eval, _, y_eval, _, problems_eval = train_test_split(
+                    X,
+                    y,
+                    problems,
+                    test_fraction=eval_fraction,
+                    rng=self._rng,
+                )
+            report = PredictionReport(
+                problems=problems_eval,
+                predicted_s=self.forest_.predict(X_eval),
+                measured_s=y_eval,
+            )
+            return HardwareScalingResult(
+                report=report,
+                variables=list(self.names_),
+                train_arch=self.train_arch_,
+                test_arch=test.arch,
+            )

@@ -20,10 +20,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro._compat import warn_once
 from repro.ml.forest import RandomForestRegressor
 from repro.ml.metrics import explained_variance, mse
 from repro.ml.pca import PCA
 from repro.ml.preprocessing import drop_constant_columns, train_test_split
+from repro.obs import span
 from repro.profiling.campaign import CampaignResult
 
 from .bottleneck import BottleneckFinding, detect_bottlenecks
@@ -77,10 +79,67 @@ class BlackForestFit:
     reduced_feature_names: list[str] = field(default_factory=list)
     reduced_retains_power: bool | None = None
     reduced_test_explained_variance: float | None = None
+    #: Matrix options the fit was made with — what :meth:`assess` needs
+    #: to build comparable predictor vectors from a fresh campaign.
+    response: str = "time"
+    counters_used: list[str] | None = None
+    include_characteristics: bool = True
+    include_machine: bool = False
+    pca_first: bool = False
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predict execution times from full predictor vectors."""
         return self.forest.predict(X)
+
+    def assess(self, campaign: CampaignResult):
+        """Score this fit against a measured campaign (protocol method).
+
+        Builds the campaign's predictor matrix with the same options the
+        fit used (column-aligned by name; PCA-first fits project counter
+        columns through the fitted rotation) and compares predictions to
+        the measured response. Returns a
+        :class:`~repro.core.prediction.PredictionReport`.
+        """
+        from .prediction import PredictionReport
+
+        with span("blackforest.assess", kernel=campaign.kernel):
+            X, y, names = campaign.matrix(
+                counters=self.counters_used,
+                include_characteristics=self.include_characteristics,
+                include_machine=self.include_machine,
+                response=self.response,
+            )
+            if self.pca_first:
+                if self.pca is None:
+                    raise ValueError("pca_first fit without a fitted PCA")
+                counter_order = list(self.pca.loadings.names)
+                absent = [n for n in counter_order if n not in names]
+                if absent:
+                    raise ValueError(
+                        f"campaign lacks PCA input counters {absent}"
+                    )
+                counter_cols = [names.index(n) for n in counter_order]
+                in_pca = set(counter_cols)
+                other_cols = [j for j in range(len(names)) if j not in in_pca]
+                scores = self.pca.transform(X[:, counter_cols])
+                X = np.column_stack([scores, X[:, other_cols]])
+                names = [
+                    f"PC{i + 1}" for i in range(self.pca.n_components_)
+                ] + [names[j] for j in other_cols]
+            missing = [n for n in self.feature_names if n not in names]
+            if missing:
+                raise ValueError(
+                    f"campaign lacks fitted predictors {missing}"
+                )
+            X = X[:, [names.index(n) for n in self.feature_names]]
+            problems = np.array(
+                [r.characteristics.get("size", np.nan) for r in campaign.records]
+            )
+            return PredictionReport(
+                problems=problems,
+                predicted_s=self.forest.predict(X),
+                measured_s=y,
+            )
 
     def predict_from_dict(self, rows: list[dict[str, float]]) -> np.ndarray:
         """Predict from name->value mappings (missing keys are an error)."""
@@ -166,6 +225,7 @@ class BlackForest:
     def fit(
         self,
         campaign: CampaignResult,
+        *args,
         include_characteristics: bool = True,
         include_machine: bool = False,
         counters: list[str] | None = None,
@@ -173,10 +233,78 @@ class BlackForest:
     ) -> BlackForestFit:
         """Run stages 2-5 on a collected campaign.
 
-        ``response`` selects the modeled quantity — "time" (default) or
-        "power", the paper's Section 7 extension ("one could use other
-        metrics of interest, such as power, as response variable").
+        All configuration is keyword-only (the unified predictor
+        protocol, see docs/api.md). ``response`` selects the modeled
+        quantity — "time" (default) or "power", the paper's Section 7
+        extension ("one could use other metrics of interest, such as
+        power, as response variable").
         """
+        if args:
+            # Legacy positional order: (include_characteristics,
+            # include_machine, counters, response).
+            warn_once(
+                "BlackForest.fit:positional",
+                "passing BlackForest.fit configuration positionally is "
+                "deprecated; use keyword arguments "
+                "(include_characteristics=..., include_machine=..., "
+                "counters=..., response=...)",
+            )
+            legacy = ("include_characteristics", "include_machine",
+                      "counters", "response")
+            if len(args) > len(legacy):
+                raise TypeError(
+                    f"fit() takes at most {len(legacy)} configuration "
+                    f"arguments ({len(args)} given)"
+                )
+            defaults = {
+                "include_characteristics": include_characteristics,
+                "include_machine": include_machine,
+                "counters": counters,
+                "response": response,
+            }
+            defaults.update(dict(zip(legacy, args)))
+            include_characteristics = defaults["include_characteristics"]
+            include_machine = defaults["include_machine"]
+            counters = defaults["counters"]
+            response = defaults["response"]
+        with span(
+            "blackforest.fit",
+            kernel=campaign.kernel,
+            arch=campaign.arch,
+            response=response,
+        ):
+            fit = self._fit_impl(
+                campaign,
+                include_characteristics=include_characteristics,
+                include_machine=include_machine,
+                counters=counters,
+                response=response,
+            )
+        self.last_fit_ = fit
+        return fit
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict with the most recent fit (protocol convenience)."""
+        return self._require_fit().predict(X)
+
+    def assess(self, campaign: CampaignResult):
+        """Score the most recent fit against a measured campaign."""
+        return self._require_fit().assess(campaign)
+
+    def _require_fit(self) -> BlackForestFit:
+        fit = getattr(self, "last_fit_", None)
+        if fit is None:
+            raise RuntimeError("call fit() before predict()/assess()")
+        return fit
+
+    def _fit_impl(
+        self,
+        campaign: CampaignResult,
+        include_characteristics: bool,
+        include_machine: bool,
+        counters: list[str] | None,
+        response: str,
+    ) -> BlackForestFit:
         X, y, names = campaign.matrix(
             counters=counters,
             include_characteristics=include_characteristics,
@@ -230,19 +358,26 @@ class BlackForest:
         ).fit(X_train, y_train, feature_names=names)
 
         if self.importance_repeats > 1:
-            averaged = forest.importance_.copy()
-            for _ in range(self.importance_repeats - 1):
-                extra = RandomForestRegressor(
-                    n_trees=self.n_trees,
-                    min_samples_leaf=self.min_samples_leaf,
-                    importance=True,
-                    n_jobs=self.n_jobs,
-                    rng=self._rng,
-                ).fit(X_train, y_train, feature_names=names)
-                averaged += extra.importance_
-            forest.importance_ = averaged / self.importance_repeats
+            with span(
+                "blackforest.importance_repeats",
+                repeats=self.importance_repeats,
+            ):
+                averaged = forest.importance_.copy()
+                for _ in range(self.importance_repeats - 1):
+                    extra = RandomForestRegressor(
+                        n_trees=self.n_trees,
+                        min_samples_leaf=self.min_samples_leaf,
+                        importance=True,
+                        n_jobs=self.n_jobs,
+                        rng=self._rng,
+                    ).fit(X_train, y_train, feature_names=names)
+                    averaged += extra.importance_
+                forest.importance_ = averaged / self.importance_repeats
 
-        ranking = rank_importance(forest, X_train, top_k_dependence=max(8, self.top_k))
+        with span("blackforest.importance"):
+            ranking = rank_importance(
+                forest, X_train, top_k_dependence=max(8, self.top_k)
+            )
         if induced_from is not None:
             induced = induced_counter_ranking(ranking, induced_from)
             bottlenecks = detect_bottlenecks(induced, top_k=max(8, self.top_k))
@@ -250,13 +385,15 @@ class BlackForest:
             bottlenecks = detect_bottlenecks(ranking, top_k=max(8, self.top_k))
 
         if pca is None and self.use_pca:
-            pca = PCA(n_components=self.pca_variance, rotate=True)
-            pca.fit(X_train, names=names)
+            with span("blackforest.pca"):
+                pca = PCA(n_components=self.pca_variance, rotate=True)
+                pca.fit(X_train, names=names)
 
-        reduced, retains, full_ev, reduced_ev = reduced_model_check(
-            forest, ranking, X_train, y_train, X_test, y_test,
-            k=min(self.top_k, len(names)), rng=self._rng,
-        )
+        with span("blackforest.reduced_check", k=min(self.top_k, len(names))):
+            reduced, retains, full_ev, reduced_ev = reduced_model_check(
+                forest, ranking, X_train, y_train, X_test, y_test,
+                k=min(self.top_k, len(names)), rng=self._rng,
+            )
 
         return BlackForestFit(
             kernel=campaign.kernel,
@@ -280,4 +417,9 @@ class BlackForest:
             reduced_feature_names=ranking.top(min(self.top_k, len(names))),
             reduced_retains_power=retains,
             reduced_test_explained_variance=reduced_ev,
+            response=response,
+            counters_used=list(counters) if counters is not None else None,
+            include_characteristics=include_characteristics,
+            include_machine=include_machine,
+            pca_first=self.pca_first,
         )

@@ -20,14 +20,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._compat import warn_once
 from repro.ml.forest import RandomForestRegressor
 from repro.ml.metrics import explained_variance, mse
+from repro.obs import span
 from repro.profiling.campaign import CampaignResult
 
 from .counter_models import CounterModelSet
 from .model import BlackForest, BlackForestFit
 
-__all__ = ["PredictionReport", "ProblemScalingPredictor"]
+__all__ = ["PredictionReport", "ProblemScalingFit", "ProblemScalingPredictor"]
 
 
 @dataclass
@@ -59,16 +61,127 @@ class PredictionReport:
         ]
 
 
+@dataclass
+class ProblemScalingFit:
+    """Fit artifact of :class:`ProblemScalingPredictor` (protocol type).
+
+    Carries the underlying BlackForest fit, the retained predictor set,
+    the reduced forest, and the counter models — plus the ``predict`` /
+    ``assess`` methods, so a fit travels as one self-sufficient value.
+    """
+
+    blackforest_fit: BlackForestFit
+    retained: list[str]
+    forest: RandomForestRegressor
+    counter_models: CounterModelSet
+    characteristic: str | list[str]
+
+    @property
+    def characteristics(self) -> list[str]:
+        if isinstance(self.characteristic, str):
+            return [self.characteristic]
+        return list(self.characteristic)
+
+    def predict(self, problems: np.ndarray) -> np.ndarray:
+        """Predicted execution times for unseen problem characteristics."""
+        X = self.counter_models.predictor_rows(problems, self.retained)
+        return self.forest.predict(X)
+
+    def assess(self, campaign: CampaignResult) -> PredictionReport:
+        """Predict an evaluation campaign's problems and compare."""
+        with span("problem_scaling.assess", kernel=campaign.kernel):
+            chars = self.characteristics
+            if len(chars) == 1:
+                problems = np.array(
+                    [r.characteristics[chars[0]] for r in campaign.records]
+                )
+            else:
+                problems = np.array(
+                    [[r.characteristics[c] for c in chars] for r in campaign.records]
+                )
+            return PredictionReport(
+                problems=problems[:, 0] if problems.ndim > 1 else problems,
+                predicted_s=self.predict(problems),
+                measured_s=campaign.times(),
+            )
+
+    def report(self, campaign: CampaignResult) -> PredictionReport:
+        """Deprecated alias of :meth:`assess`."""
+        warn_once(
+            "ProblemScalingFit.report",
+            "ProblemScalingFit.report() is deprecated; use assess()",
+        )
+        return self.assess(campaign)
+
+    # Aliases for the pre-protocol fitted-state attribute names (the
+    # chained ``predictor.fit(...)`` value used to be the predictor).
+    @property
+    def fit_(self) -> BlackForestFit:
+        warn_once(
+            "ProblemScalingFit.fit_",
+            "the fit_ attribute is deprecated; use blackforest_fit",
+        )
+        return self.blackforest_fit
+
+    @property
+    def retained_(self) -> list[str]:
+        warn_once(
+            "ProblemScalingFit.retained_",
+            "the retained_ attribute is deprecated; use retained",
+        )
+        return self.retained
+
+    @property
+    def forest_(self) -> RandomForestRegressor:
+        warn_once(
+            "ProblemScalingFit.forest_",
+            "the forest_ attribute is deprecated; use forest",
+        )
+        return self.forest
+
+    @property
+    def counter_models_(self) -> CounterModelSet:
+        warn_once(
+            "ProblemScalingFit.counter_models_",
+            "the counter_models_ attribute is deprecated; use counter_models",
+        )
+        return self.counter_models
+
+
 class ProblemScalingPredictor:
     """Predicts times for unseen problem characteristics on one GPU."""
 
     def __init__(
         self,
         blackforest: BlackForest | None = None,
+        *args,
         characteristic: str | list[str] = "size",
         prefer_mars: bool = False,
         rng: np.random.Generator | int | None = None,
     ) -> None:
+        if args:
+            # Legacy positional order: (characteristic, prefer_mars, rng).
+            warn_once(
+                "ProblemScalingPredictor:positional",
+                "passing ProblemScalingPredictor configuration positionally "
+                "is deprecated; use keyword arguments (characteristic=..., "
+                "prefer_mars=..., rng=...)",
+            )
+            legacy = ("characteristic", "prefer_mars", "rng")
+            if len(args) > len(legacy):
+                raise TypeError(
+                    f"__init__() takes at most {len(legacy)} configuration "
+                    f"arguments ({len(args)} given)"
+                )
+            defaults = {
+                "characteristic": characteristic,
+                "prefer_mars": prefer_mars,
+                "rng": rng,
+            }
+            defaults.update(dict(zip(legacy, args)))
+            characteristic = defaults["characteristic"]
+            prefer_mars = defaults["prefer_mars"]
+            rng = defaults["rng"]
         self.blackforest = blackforest if blackforest is not None else BlackForest(rng=rng)
         self.characteristic = characteristic
         self.prefer_mars = prefer_mars
@@ -80,65 +193,78 @@ class ProblemScalingPredictor:
             return [self.characteristic]
         return list(self.characteristic)
 
-    def fit(self, campaign: CampaignResult) -> "ProblemScalingPredictor":
-        self.fit_: BlackForestFit = self.blackforest.fit(
-            campaign, include_characteristics=True
+    def fit(self, campaign: CampaignResult) -> ProblemScalingFit:
+        with span("problem_scaling.fit", kernel=campaign.kernel):
+            fit = self.blackforest.fit(campaign, include_characteristics=True)
+            retained = list(fit.reduced_feature_names)
+            for char in self.characteristics:
+                if char in fit.feature_names and char not in retained:
+                    retained.append(char)
+
+            # Forest over the retained predictors only (the paper's reduced
+            # model), refit on the full training partition.
+            cols = [fit.feature_names.index(n) for n in retained]
+            forest = RandomForestRegressor(
+                n_trees=self.blackforest.n_trees,
+                min_samples_leaf=self.blackforest.min_samples_leaf,
+                importance=False,
+                rng=self._rng,
+            ).fit(fit.X_train[:, cols], fit.y_train, feature_names=retained)
+
+            # Counter models are fit on the training partition only, so the
+            # held-out problems stay genuinely unseen.
+            names = fit.feature_names
+            for char in self.characteristics:
+                if char not in names:
+                    raise ValueError(
+                        f"campaign has no problem characteristic {char!r}"
+                    )
+            xs = np.column_stack(
+                [fit.X_train[:, names.index(c)] for c in self.characteristics]
+            )
+            series = {
+                n: fit.X_train[:, names.index(n)]
+                for n in retained
+                if n not in self.characteristics
+            }
+            counter_models = CounterModelSet(
+                characteristic=self.characteristic, prefer_mars=self.prefer_mars
+            ).fit_arrays(xs, series)
+
+        artifact = ProblemScalingFit(
+            blackforest_fit=fit,
+            retained=retained,
+            forest=forest,
+            counter_models=counter_models,
+            characteristic=self.characteristic,
         )
-        retained = list(self.fit_.reduced_feature_names)
-        for char in self.characteristics:
-            if char in self.fit_.feature_names and char not in retained:
-                retained.append(char)
+        # Fitted state mirrored on the predictor: protocol-level
+        # predict/assess delegate to the most recent fit.
+        self.last_fit_ = artifact
+        self.fit_ = fit
         self.retained_ = retained
+        self.forest_ = forest
+        self.counter_models_ = counter_models
+        return artifact
 
-        # Forest over the retained predictors only (the paper's reduced
-        # model), refit on the full training partition.
-        cols = [self.fit_.feature_names.index(n) for n in retained]
-        self.forest_ = RandomForestRegressor(
-            n_trees=self.blackforest.n_trees,
-            min_samples_leaf=self.blackforest.min_samples_leaf,
-            importance=False,
-            rng=self._rng,
-        ).fit(self.fit_.X_train[:, cols], self.fit_.y_train, feature_names=retained)
-
-        # Counter models are fit on the training partition only, so the
-        # held-out problems stay genuinely unseen.
-        names = self.fit_.feature_names
-        for char in self.characteristics:
-            if char not in names:
-                raise ValueError(
-                    f"campaign has no problem characteristic {char!r}"
-                )
-        xs = np.column_stack(
-            [self.fit_.X_train[:, names.index(c)] for c in self.characteristics]
-        )
-        series = {
-            n: self.fit_.X_train[:, names.index(n)]
-            for n in retained
-            if n not in self.characteristics
-        }
-        self.counter_models_ = CounterModelSet(
-            characteristic=self.characteristic, prefer_mars=self.prefer_mars
-        ).fit_arrays(xs, series)
-        return self
+    def _require_fit(self) -> ProblemScalingFit:
+        fit = getattr(self, "last_fit_", None)
+        if fit is None:
+            raise RuntimeError("call fit() before predict()/assess()")
+        return fit
 
     def predict(self, problems: np.ndarray) -> np.ndarray:
         """Predicted execution times for unseen problem characteristics."""
-        X = self.counter_models_.predictor_rows(problems, self.retained_)
-        return self.forest_.predict(X)
+        return self._require_fit().predict(problems)
+
+    def assess(self, campaign: CampaignResult) -> PredictionReport:
+        """Predict an evaluation campaign's problems and compare."""
+        return self._require_fit().assess(campaign)
 
     def report(self, campaign: CampaignResult) -> PredictionReport:
-        """Predict an evaluation campaign's problems and compare."""
-        chars = self.characteristics
-        if len(chars) == 1:
-            problems = np.array(
-                [r.characteristics[chars[0]] for r in campaign.records]
-            )
-        else:
-            problems = np.array(
-                [[r.characteristics[c] for c in chars] for r in campaign.records]
-            )
-        return PredictionReport(
-            problems=problems[:, 0] if problems.ndim > 1 else problems,
-            predicted_s=self.predict(problems),
-            measured_s=campaign.times(),
+        """Deprecated alias of :meth:`assess`."""
+        warn_once(
+            "ProblemScalingPredictor.report",
+            "ProblemScalingPredictor.report() is deprecated; use assess()",
         )
+        return self.assess(campaign)

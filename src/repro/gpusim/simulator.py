@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import span
+
 from .arch import GPUArchitecture
 from .banks import replay_count
 from .counters import CounterSet
@@ -78,6 +80,12 @@ class GPUSimulator:
         self, wl: KernelWorkload, perturbation: Perturbation | None = None
     ) -> LaunchProfile:
         """Simulate one kernel launch under an optional run perturbation."""
+        with span("gpusim.launch", workload=wl.name):
+            return self._launch(wl, perturbation)
+
+    def _launch(
+        self, wl: KernelWorkload, perturbation: Perturbation | None = None
+    ) -> LaunchProfile:
         arch = self.arch
         pert = perturbation if perturbation is not None else Perturbation.none()
         occ = occupancy(

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import child_trace, collect, current_metrics, current_tracer, span
 from repro.parallel import chunk_bounds, resolve_n_jobs, spawn_streams
 
 from .metrics import explained_variance, mse
@@ -106,12 +107,13 @@ def _fit_forest_tree(
     boot = rng.integers(0, n, size=n)
     oob_mask = np.ones(n, dtype=bool)
     oob_mask[boot] = False
-    tree = RegressionTree(
-        max_depth=cfg["max_depth"],
-        min_samples_leaf=cfg["min_samples_leaf"],
-        max_features=cfg["mtry"],
-        rng=rng,
-    ).fit(X[boot], y[boot])
+    with span("forest.tree"):
+        tree = RegressionTree(
+            max_depth=cfg["max_depth"],
+            min_samples_leaf=cfg["min_samples_leaf"],
+            max_features=cfg["mtry"],
+            rng=rng,
+        ).fit(X[boot], y[boot])
 
     oob_idx = np.where(oob_mask)[0]
     pred_oob: np.ndarray | None = None
@@ -132,9 +134,34 @@ def _fit_forest_tree(
     return tree, oob_idx, pred_oob, perm_row
 
 
-def _fit_forest_chunk(args) -> list[tuple]:
-    X, y, cfg, rngs = args
-    return [_fit_forest_tree(X, y, cfg, rng) for rng in rngs]
+def _fit_forest_chunk(args) -> tuple[list[tuple], list | None, object]:
+    """Worker: fit a contiguous run of trees; optionally collect spans.
+
+    When the parent process was tracing (or collecting metrics), the
+    worker records into fresh collectors (not the fork-inherited ones)
+    and returns them for the parent to merge under ``forest.fit``.
+    """
+    X, y, cfg, rngs, traced, metered = args
+
+    def grow():
+        return [_fit_forest_tree(X, y, cfg, rng) for rng in rngs]
+
+    spans = metrics = None
+    if traced and metered:
+        with child_trace() as tracer, collect() as registry:
+            out = grow()
+        spans, metrics = tracer.records, registry
+    elif traced:
+        with child_trace() as tracer:
+            out = grow()
+        spans = tracer.records
+    elif metered:
+        with collect() as registry:
+            out = grow()
+        metrics = registry
+    else:
+        out = grow()
+    return out, spans, metrics
 
 
 class RandomForestRegressor:
@@ -220,20 +247,37 @@ class RandomForestRegressor:
 
         streams = spawn_streams(self._rng, self.n_trees)
         jobs = min(self.n_jobs, self.n_trees)
-        if jobs > 1:
-            from concurrent.futures import ProcessPoolExecutor
+        with span(
+            "forest.fit",
+            n_trees=self.n_trees,
+            n_samples=n,
+            n_features=p,
+            n_jobs=jobs,
+        ):
+            if jobs > 1:
+                from concurrent.futures import ProcessPoolExecutor
 
-            bounds = chunk_bounds(self.n_trees, jobs)
-            tasks = [
-                (X, y, cfg, streams[lo:hi])
-                for lo, hi in zip(bounds[:-1], bounds[1:])
-                if hi > lo
-            ]
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                results = [out for chunk in pool.map(_fit_forest_chunk, tasks)
-                           for out in chunk]
-        else:
-            results = [_fit_forest_tree(X, y, cfg, rng) for rng in streams]
+                tracer = current_tracer()
+                registry = current_metrics()
+                bounds = chunk_bounds(self.n_trees, jobs)
+                tasks = [
+                    (X, y, cfg, streams[lo:hi], tracer is not None,
+                     registry is not None)
+                    for lo, hi in zip(bounds[:-1], bounds[1:])
+                    if hi > lo
+                ]
+                results = []
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    for chunk, child_spans, child_metrics in pool.map(
+                        _fit_forest_chunk, tasks
+                    ):
+                        results.extend(chunk)
+                        if child_spans and tracer is not None:
+                            tracer.adopt(child_spans)
+                        if child_metrics is not None and registry is not None:
+                            registry.merge(child_metrics)
+            else:
+                results = [_fit_forest_tree(X, y, cfg, rng) for rng in streams]
 
         # Aggregate in tree order — float sums land in the same order
         # regardless of worker scheduling.

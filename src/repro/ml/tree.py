@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import metrics as _metrics
+
 __all__ = ["RegressionTree"]
 
 _LEAF = -1
@@ -330,6 +332,8 @@ class RegressionTree:
         self.value_ = np.asarray(value, dtype=float)
         self.n_node_samples_ = np.asarray(n_samples, dtype=np.intp)
         self.impurity_decrease_ = impurity_decrease
+        _metrics.inc("tree.nodes", float(self.feature_.size))
+        _metrics.inc("tree.fits")
         return self
 
     # -- prediction ------------------------------------------------------

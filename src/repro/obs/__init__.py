@@ -1,0 +1,81 @@
+"""Observability layer: tracing spans, metrics, manifests, exporters.
+
+PPT-style toolkits make per-stage cost measurable; ``repro.obs`` is
+that substrate for this pipeline. It is **off by default** and its
+disabled fast path is a module-global load plus an ``is None`` check,
+so instrumentation can stay in the hot layers permanently without
+numeric or timing consequences (pinned by ``tests/obs/``).
+
+Three coordinated pieces:
+
+* **spans** (:func:`span`, :func:`trace`) — hierarchical timed spans
+  over the pipeline (``campaign.run`` → ``profile`` →
+  ``gpusim.launch`` → ``gpusim.resolve_access``; ``blackforest.fit`` →
+  ``forest.fit`` → ``forest.tree``), with worker-process span capture
+  (:func:`child_trace`) merged back into the parent trace
+  (:meth:`Tracer.adopt`);
+* **metrics** (:func:`collect`, :func:`inc`, :func:`timer`,
+  :func:`set_gauge`) — labelled counters/timers/gauges, e.g. the
+  ``resolve_access`` memo hit/miss counters;
+* **manifests** (:class:`Manifest`, :func:`build_manifest`) —
+  provenance sidecars (seed, arch, kernel, git rev, config, span
+  timings) written alongside repository artifacts.
+
+Exporters turn a trace into ``repro trace`` text output
+(:func:`render_text_tree`) or Chrome-trace JSON
+(:func:`to_chrome_trace`, loadable in chrome://tracing / Perfetto).
+
+Quickstart::
+
+    from repro import Campaign, GTX580, ReductionKernel, obs
+
+    with obs.trace() as tracer:
+        Campaign(ReductionKernel(1), GTX580, rng=0).run(n_jobs=2)
+    print(obs.render_text_tree(tracer.records))
+"""
+
+from .export import render_text_tree, span_totals, to_chrome_trace
+from .manifest import Manifest, build_manifest, git_revision
+from .metrics import (
+    MetricsRegistry,
+    collect,
+    current_metrics,
+    inc,
+    metrics_enabled,
+    observe,
+    set_gauge,
+    timer,
+)
+from .spans import (
+    SpanRecord,
+    Tracer,
+    child_trace,
+    current_tracer,
+    span,
+    trace,
+    tracing_enabled,
+)
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "span",
+    "trace",
+    "child_trace",
+    "current_tracer",
+    "tracing_enabled",
+    "MetricsRegistry",
+    "collect",
+    "current_metrics",
+    "metrics_enabled",
+    "inc",
+    "set_gauge",
+    "observe",
+    "timer",
+    "Manifest",
+    "build_manifest",
+    "git_revision",
+    "render_text_tree",
+    "to_chrome_trace",
+    "span_totals",
+]

@@ -1,0 +1,126 @@
+"""Trace exporters: text tree, Chrome-trace JSON, per-stage totals.
+
+Three consumers of one span list:
+
+* :func:`render_text_tree` — the human-facing ``repro trace`` output: an
+  indented tree with durations, sibling spans of the same name
+  collapsed into one ``name ×N`` line (a campaign profiles dozens of
+  problems; nobody wants dozens of identical lines);
+* :func:`to_chrome_trace` — ``chrome://tracing`` / Perfetto compatible
+  event list (phase ``"X"`` complete events, microsecond timestamps,
+  worker processes distinguished by ``pid``);
+* :func:`span_totals` — per-span-name aggregate (count, total seconds)
+  used by manifests to record where a run's wall-clock went.
+"""
+
+from __future__ import annotations
+
+from .spans import SpanRecord
+
+__all__ = ["render_text_tree", "to_chrome_trace", "span_totals"]
+
+
+def span_totals(records: list[SpanRecord]) -> dict[str, dict]:
+    """Aggregate ``{name: {count, total_s}}`` over all spans."""
+    totals: dict[str, dict] = {}
+    for rec in records:
+        agg = totals.setdefault(rec.name, {"count": 0, "total_s": 0.0})
+        agg["count"] += 1
+        agg["total_s"] += rec.duration_s
+    return totals
+
+
+def to_chrome_trace(records: list[SpanRecord]) -> list[dict]:
+    """Chrome-trace "complete" events (load via chrome://tracing).
+
+    Timestamps are microseconds relative to the earliest span so the
+    viewer's timeline starts at zero.
+    """
+    if not records:
+        return []
+    origin = min(r.start_s for r in records)
+    events = []
+    for rec in records:
+        args = {str(k): v for k, v in rec.labels.items()}
+        args["span_id"] = rec.span_id
+        if rec.parent_id is not None:
+            args["parent_id"] = rec.parent_id
+        events.append(
+            {
+                "name": rec.name,
+                "ph": "X",
+                "ts": (rec.start_s - origin) * 1e6,
+                "dur": rec.duration_s * 1e6,
+                "pid": rec.pid,
+                "tid": rec.pid,
+                "args": args,
+            }
+        )
+    return events
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.0f} µs"
+
+
+def render_text_tree(records: list[SpanRecord], collapse: bool = True) -> str:
+    """Indented text rendering of the span tree.
+
+    With ``collapse`` (default), sibling spans sharing a name fold into
+    one line showing the call count and the summed duration, and their
+    subtrees are aggregated the same way — a campaign's 30 ``profile``
+    spans render as one ``profile ×30`` line over one aggregated
+    ``gpusim.launch`` line. Spans recorded by worker processes are
+    tagged with their pid.
+    """
+    if not records:
+        return "(empty trace)"
+    by_parent: dict[int | None, list[SpanRecord]] = {}
+    for rec in records:
+        by_parent.setdefault(rec.parent_id, []).append(rec)
+    known_ids = {r.span_id for r in records}
+    roots = [
+        r for r in records
+        if r.parent_id is None or r.parent_id not in known_ids
+    ]
+    main_pid = roots[0].pid if roots else 0
+
+    lines: list[str] = []
+
+    def emit(group: list[SpanRecord], depth: int) -> None:
+        rec = group[0]
+        total_s = sum(r.duration_s for r in group)
+        indent = "  " * depth
+        label = rec.name
+        if len(group) == 1 and rec.labels:
+            # Labels are per-span; a collapsed group would show only the
+            # first sibling's, which misleads — omit them there.
+            inner = ",".join(f"{k}={v}" for k, v in rec.labels.items())
+            label += f"[{inner}]"
+        if len(group) > 1:
+            label += f" ×{len(group)}"
+        pids = {r.pid for r in group}
+        suffix = "" if pids == {main_pid} else f" [pids {sorted(pids)}]"
+        lines.append(f"{indent}{label:<48s} {_format_duration(total_s)}{suffix}")
+        children: list[SpanRecord] = []
+        for r in group:
+            children.extend(by_parent.get(r.span_id, []))
+        walk(children, depth + 1)
+
+    def walk(children: list[SpanRecord], depth: int) -> None:
+        if collapse:
+            groups: dict[str, list[SpanRecord]] = {}
+            for rec in children:
+                groups.setdefault(rec.name, []).append(rec)
+            for name in groups:
+                emit(groups[name], depth)
+        else:
+            for rec in children:
+                emit([rec], depth)
+
+    walk(roots, 0)
+    return "\n".join(lines)

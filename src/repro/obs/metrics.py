@@ -1,0 +1,174 @@
+"""Counter / timer / gauge metrics with label support.
+
+Complements the span tree (:mod:`repro.obs.spans`) with cheap scalar
+accounting: how many times did the ``resolve_access`` memo hit, how many
+tree nodes did a forest grow, what was the peak campaign size. Like
+tracing, collection is **off by default** and the disabled fast path is
+one module-global load plus an ``is None`` check.
+
+Metric identity is ``(name, sorted labels)``; the three instrument
+kinds follow the usual semantics:
+
+* **counter** — monotonically accumulated float (:func:`inc`);
+* **gauge** — last-write-wins float (:func:`set_gauge`);
+* **timer** — accumulated seconds plus an observation count
+  (:func:`observe` or the :func:`timer` context manager).
+
+Use :func:`collect` to gather metrics for a block::
+
+    with collect() as metrics:
+        campaign = Campaign(kernel, arch).run()
+    metrics.snapshot()["counter"]["resolve_access.miss"]
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "MetricsRegistry",
+    "collect",
+    "current_metrics",
+    "metrics_enabled",
+    "inc",
+    "set_gauge",
+    "observe",
+    "timer",
+]
+
+
+def _key(name: str, labels: dict) -> tuple:
+    if not labels:
+        return (name,)
+    return (name,) + tuple(sorted(labels.items()))
+
+
+def _render_key(key: tuple) -> str:
+    name = key[0]
+    if len(key) == 1:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in key[1:])
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """In-memory store for one collection window."""
+
+    def __init__(self) -> None:
+        self.counters: dict[tuple, float] = {}
+        self.gauges: dict[tuple, float] = {}
+        self.timer_totals: dict[tuple, float] = {}
+        self.timer_counts: dict[tuple, int] = {}
+
+    # -- instruments --------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        key = _key(name, labels)
+        self.counters[key] = self.counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        self.gauges[_key(name, labels)] = float(value)
+
+    def observe(self, name: str, seconds: float, **labels) -> None:
+        key = _key(name, labels)
+        self.timer_totals[key] = self.timer_totals.get(key, 0.0) + seconds
+        self.timer_counts[key] = self.timer_counts.get(key, 0) + 1
+
+    @contextmanager
+    def timer(self, name: str, **labels):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - t0, **labels)
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-dict view, rendered ``name{label=value}`` keys."""
+        return {
+            "counter": {
+                _render_key(k): v for k, v in sorted(self.counters.items())
+            },
+            "gauge": {
+                _render_key(k): v for k, v in sorted(self.gauges.items())
+            },
+            "timer": {
+                _render_key(k): {
+                    "total_s": self.timer_totals[k],
+                    "count": self.timer_counts[k],
+                }
+                for k in sorted(self.timer_totals)
+            },
+        }
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold a worker's registry into this one (counters/timers add,
+        gauges last-write-wins in ``other``'s favour)."""
+        for k, v in other.counters.items():
+            self.counters[k] = self.counters.get(k, 0.0) + v
+        for k, v in other.gauges.items():
+            self.gauges[k] = v
+        for k, v in other.timer_totals.items():
+            self.timer_totals[k] = self.timer_totals.get(k, 0.0) + v
+        for k, v in other.timer_counts.items():
+            self.timer_counts[k] = self.timer_counts.get(k, 0) + v
+
+
+# -- module-level collection state ------------------------------------------
+
+_ACTIVE: MetricsRegistry | None = None
+
+
+def current_metrics() -> MetricsRegistry | None:
+    return _ACTIVE
+
+
+def metrics_enabled() -> bool:
+    return _ACTIVE is not None
+
+
+def inc(name: str, value: float = 1.0, **labels) -> None:
+    registry = _ACTIVE
+    if registry is not None:
+        registry.inc(name, value, **labels)
+
+
+def set_gauge(name: str, value: float, **labels) -> None:
+    registry = _ACTIVE
+    if registry is not None:
+        registry.set_gauge(name, value, **labels)
+
+
+def observe(name: str, seconds: float, **labels) -> None:
+    registry = _ACTIVE
+    if registry is not None:
+        registry.observe(name, seconds, **labels)
+
+
+@contextmanager
+def timer(name: str, **labels):
+    """Time a block into a timer metric; no-op when collection is off."""
+    registry = _ACTIVE
+    if registry is None:
+        yield
+        return
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        registry.observe(name, time.perf_counter() - t0, **labels)
+
+
+@contextmanager
+def collect():
+    """Install a fresh registry for the block; restores the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    registry = MetricsRegistry()
+    _ACTIVE = registry
+    try:
+        yield registry
+    finally:
+        _ACTIVE = previous

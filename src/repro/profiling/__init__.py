@@ -2,12 +2,32 @@
 
 :class:`Profiler` plays nvprof's role over the simulator,
 :class:`Campaign` drives problem-characteristic sweeps, and
-:class:`Repository` is the paper's "structured repository" for the
-collected data.
+:class:`ProfileRepository` is the paper's "structured repository" for
+the collected data, addressed by :class:`CampaignKey`.
 """
+
+from repro._compat import warn_once
 
 from .campaign import Campaign, CampaignResult
 from .profiler import Profiler, RunRecord
-from .repository import Repository
+from .repository import CampaignKey, ProfileRepository
 
-__all__ = ["Campaign", "CampaignResult", "Profiler", "RunRecord", "Repository"]
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "Profiler",
+    "RunRecord",
+    "CampaignKey",
+    "ProfileRepository",
+]
+
+
+def __getattr__(name: str):
+    if name == "Repository":
+        warn_once(
+            "Repository",
+            "repro.profiling.Repository was renamed to ProfileRepository; "
+            "the old name will be removed",
+        )
+        return ProfileRepository
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.gpusim.arch import GPUArchitecture
 from repro.kernels.base import Kernel
+from repro.obs import child_trace, collect, current_metrics, current_tracer, span
 from repro.parallel import chunk_bounds, resolve_n_jobs, spawn_streams
 
 from .profiler import Profiler, RunRecord
@@ -23,25 +24,50 @@ from .profiler import Profiler, RunRecord
 __all__ = ["CampaignResult", "Campaign"]
 
 
-def _profile_chunk(args) -> list[list[RunRecord]]:
+def _profile_chunk(args) -> tuple[list[list[RunRecord]], list | None]:
     """Worker: profile a contiguous slice of a campaign's problems.
 
     Rebuilds the profiler from its picklable configuration; passing the
     (already noise-gated) ``measurement_sigma`` back through the
     constructor is idempotent. Each problem uses its pre-spawned child
     stream, so the records match the serial sweep bit for bit.
+
+    When the parent was tracing (or collecting metrics), the worker
+    records its own spans/metrics into fresh collectors (never the
+    fork-inherited ones) and ships them back with the results for the
+    parent to merge.
     """
-    arch, noise_scale, measurement_sigma, sanitize, kernel, replicates, items = args
+    (arch, noise_scale, measurement_sigma, sanitize, kernel, replicates,
+     items, traced, metered) = args
     profiler = Profiler(
         arch,
         noise_scale=noise_scale,
         measurement_sigma=measurement_sigma,
         sanitize=sanitize,
     )
-    return [
-        profiler.profile(kernel, problem, replicates=replicates, rng=stream)
-        for problem, stream in items
-    ]
+
+    def sweep():
+        return [
+            profiler.profile(kernel, problem, replicates=replicates, rng=stream)
+            for problem, stream in items
+        ]
+
+    spans = metrics = None
+    if traced and metered:
+        with child_trace() as tracer, collect() as registry:
+            out = sweep()
+        spans, metrics = tracer.records, registry
+    elif traced:
+        with child_trace() as tracer:
+            out = sweep()
+        spans = tracer.records
+    elif metered:
+        with collect() as registry:
+            out = sweep()
+        metrics = registry
+    else:
+        out = sweep()
+    return out, spans, metrics
 
 
 @dataclass
@@ -188,32 +214,50 @@ class Campaign:
         )
         streams = spawn_streams(self.profiler._rng, len(problems))
         jobs = min(resolve_n_jobs(n_jobs), len(problems))
-        if jobs > 1:
-            from concurrent.futures import ProcessPoolExecutor
+        with span(
+            "campaign.run",
+            kernel=self.kernel.name,
+            arch=self.arch.name,
+            problems=len(problems),
+            n_jobs=jobs,
+        ):
+            if jobs > 1:
+                from concurrent.futures import ProcessPoolExecutor
 
-            bounds = chunk_bounds(len(problems), jobs)
-            tasks = [
-                (
-                    self.arch,
-                    self.profiler.noise_scale,
-                    self.profiler.measurement_sigma,
-                    self.profiler.sanitize,
-                    self.kernel,
-                    replicates,
-                    list(zip(problems[lo:hi], streams[lo:hi])),
-                )
-                for lo, hi in zip(bounds[:-1], bounds[1:])
-                if hi > lo
-            ]
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                for chunk in pool.map(_profile_chunk, tasks):
-                    for records in chunk:
-                        result.records.extend(records)
-        else:
-            for problem, stream in zip(problems, streams):
-                result.records.extend(
-                    self.profiler.profile(
-                        self.kernel, problem, replicates=replicates, rng=stream
+                tracer = current_tracer()
+                registry = current_metrics()
+                bounds = chunk_bounds(len(problems), jobs)
+                tasks = [
+                    (
+                        self.arch,
+                        self.profiler.noise_scale,
+                        self.profiler.measurement_sigma,
+                        self.profiler.sanitize,
+                        self.kernel,
+                        replicates,
+                        list(zip(problems[lo:hi], streams[lo:hi])),
+                        tracer is not None,
+                        registry is not None,
                     )
-                )
+                    for lo, hi in zip(bounds[:-1], bounds[1:])
+                    if hi > lo
+                ]
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    for chunk, child_spans, child_metrics in pool.map(
+                        _profile_chunk, tasks
+                    ):
+                        for records in chunk:
+                            result.records.extend(records)
+                        if child_spans and tracer is not None:
+                            # Graft the worker's spans under campaign.run.
+                            tracer.adopt(child_spans)
+                        if child_metrics is not None and registry is not None:
+                            registry.merge(child_metrics)
+            else:
+                for problem, stream in zip(problems, streams):
+                    result.records.extend(
+                        self.profiler.profile(
+                            self.kernel, problem, replicates=replicates, rng=stream
+                        )
+                    )
         return result

@@ -34,6 +34,7 @@ from repro.gpusim.simulator import (
 )
 from repro.gpusim.workload import KernelWorkload
 from repro.kernels.base import Kernel
+from repro.obs import span
 
 __all__ = ["RunRecord", "Profiler"]
 
@@ -165,6 +166,22 @@ class Profiler:
             raise ValueError("replicates must be >= 1")
         if rng is None:
             rng = self._rng
+        with span(
+            "profile",
+            kernel=kernel.name,
+            arch=self.arch.name,
+            problem=str(problem),
+            replicates=replicates,
+        ):
+            return self._profile(kernel, problem, replicates, rng)
+
+    def _profile(
+        self,
+        kernel: Kernel,
+        problem: object,
+        replicates: int,
+        rng: np.random.Generator,
+    ) -> list[RunRecord]:
         workloads = self._workloads(kernel, problem)
         if self.sanitize and self.arch.family != "cpu":
             # Re-checked per profile() call, not per cache fill: a

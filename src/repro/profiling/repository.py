@@ -3,31 +3,80 @@
 The paper stores collected data "in either a database or a structured
 repository (we used the latter)" (Section 4.3). This module implements
 that structured repository: one directory per campaign holding a CSV
-table of runs and a JSON metadata sidecar, addressable by
-(kernel, architecture) and safely round-trippable.
+table of runs, a JSON metadata sidecar and a provenance manifest
+(:mod:`repro.obs.manifest`), addressable by :class:`CampaignKey` and
+safely round-trippable.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+from dataclasses import dataclass
 from pathlib import Path
+
+from repro._compat import warn_once
+from repro.obs import Manifest, build_manifest
 
 from .campaign import CampaignResult
 from .profiler import RunRecord
 
-__all__ = ["Repository"]
+__all__ = ["CampaignKey", "ProfileRepository"]
 
 _META = "meta.json"
 _DATA = "runs.csv"
+_MANIFEST = "manifest.json"
 
 
-def _campaign_dir(kernel: str, arch: str) -> str:
-    safe = lambda s: "".join(c if c.isalnum() or c in "-_." else "_" for c in s)
-    return f"{safe(kernel)}__{safe(arch)}"
+def _safe(s: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in s)
 
 
-class Repository:
+@dataclass(frozen=True)
+class CampaignKey:
+    """Addresses one stored campaign: (kernel, arch, optional tag)."""
+
+    kernel: str
+    arch: str
+    tag: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.kernel or not self.arch:
+            raise ValueError("CampaignKey needs non-empty kernel and arch")
+
+    @property
+    def dirname(self) -> str:
+        name = f"{_safe(self.kernel)}__{_safe(self.arch)}"
+        if self.tag:
+            name += f"__{_safe(self.tag)}"
+        return name
+
+    def __str__(self) -> str:
+        return self.dirname
+
+
+def _as_key(
+    key: CampaignKey | str, arch: str | None, tag: str | None
+) -> CampaignKey:
+    """Accept the new key object or the legacy positional strings."""
+    if isinstance(key, CampaignKey):
+        if arch is not None or tag is not None:
+            raise TypeError(
+                "pass either a CampaignKey or (kernel, arch, tag) strings, "
+                "not both"
+            )
+        return key
+    warn_once(
+        "ProfileRepository:str-key",
+        "addressing repository campaigns with (kernel, arch, tag) strings "
+        "is deprecated; pass a CampaignKey",
+    )
+    if arch is None:
+        raise TypeError("string-addressed campaigns need kernel and arch")
+    return CampaignKey(kernel=key, arch=arch, tag=tag)
+
+
+class ProfileRepository:
     """Filesystem-backed store of :class:`CampaignResult` objects."""
 
     def __init__(self, root: str | Path) -> None:
@@ -36,14 +85,30 @@ class Repository:
 
     # -- write ---------------------------------------------------------------
 
-    def save(self, result: CampaignResult, tag: str | None = None) -> Path:
-        """Persist a campaign; returns its directory."""
+    def save(
+        self,
+        result: CampaignResult,
+        tag: str | None = None,
+        *,
+        key: CampaignKey | None = None,
+        seed: int | None = None,
+        config: dict | None = None,
+    ) -> Path:
+        """Persist a campaign; returns its directory.
+
+        The campaign is addressed by ``key`` when given, else by a key
+        derived from the result's own (kernel, arch) plus ``tag``. A
+        provenance manifest (seed, config, git revision, any active
+        trace/metrics — :mod:`repro.obs.manifest`) is written alongside
+        the data.
+        """
         if not result.records:
             raise ValueError("refusing to save an empty campaign")
-        name = _campaign_dir(result.kernel, result.arch)
-        if tag:
-            name += f"__{tag}"
-        cdir = self.root / name
+        if key is None:
+            key = CampaignKey(kernel=result.kernel, arch=result.arch, tag=tag)
+        elif tag is not None:
+            raise TypeError("pass the tag inside the CampaignKey")
+        cdir = self.root / key.dirname
         cdir.mkdir(parents=True, exist_ok=True)
 
         counter_names = result.counter_names
@@ -54,6 +119,7 @@ class Repository:
             "kernel": result.kernel,
             "arch": result.arch,
             "family": result.family,
+            "tag": key.tag,
             "n_runs": len(result.records),
             "counters": counter_names,
             "characteristics": char_names,
@@ -78,6 +144,16 @@ class Repository:
                     + [repr(r.counters[c]) for c in counter_names]
                     + [repr(r.machine[m]) for m in machine_names]
                 )
+
+        manifest = build_manifest(
+            kernel=result.kernel,
+            arch=result.arch,
+            tag=key.tag,
+            seed=seed,
+            n_runs=len(result.records),
+            config=config or {},
+        )
+        manifest.write(cdir / _MANIFEST)
         return cdir
 
     # -- read ----------------------------------------------------------------
@@ -89,14 +165,28 @@ class Repository:
             out.append(json.loads(meta_path.read_text()))
         return out
 
-    def load(self, kernel: str, arch: str, tag: str | None = None) -> CampaignResult:
-        name = _campaign_dir(kernel, arch)
-        if tag:
-            name += f"__{tag}"
-        cdir = self.root / name
+    def keys(self) -> list[CampaignKey]:
+        """The :class:`CampaignKey` of every stored campaign."""
+        return [
+            CampaignKey(
+                kernel=m["kernel"], arch=m["arch"], tag=m.get("tag") or None
+            )
+            for m in self.list_campaigns()
+        ]
+
+    def load(
+        self,
+        key: CampaignKey | str,
+        arch: str | None = None,
+        tag: str | None = None,
+    ) -> CampaignResult:
+        key = _as_key(key, arch, tag)
+        cdir = self.root / key.dirname
         meta_path = cdir / _META
         if not meta_path.exists():
-            raise FileNotFoundError(f"no campaign stored for {kernel!r} on {arch!r}")
+            raise FileNotFoundError(
+                f"no campaign stored for {key.kernel!r} on {key.arch!r}"
+            )
         meta = json.loads(meta_path.read_text())
 
         result = CampaignResult(
@@ -139,8 +229,38 @@ class Repository:
             )
         return result
 
-    def has(self, kernel: str, arch: str, tag: str | None = None) -> bool:
-        name = _campaign_dir(kernel, arch)
-        if tag:
-            name += f"__{tag}"
-        return (self.root / name / _META).exists()
+    def has(
+        self,
+        key: CampaignKey | str,
+        arch: str | None = None,
+        tag: str | None = None,
+    ) -> bool:
+        key = _as_key(key, arch, tag)
+        return (self.root / key.dirname / _META).exists()
+
+    def load_manifest(
+        self,
+        key: CampaignKey | str,
+        arch: str | None = None,
+        tag: str | None = None,
+    ) -> Manifest | None:
+        """The provenance manifest of a stored campaign, if present.
+
+        Returns ``None`` for campaigns saved before manifests existed.
+        """
+        key = _as_key(key, arch, tag)
+        path = self.root / key.dirname / _MANIFEST
+        if not path.exists():
+            return None
+        return Manifest.read(path)
+
+
+def __getattr__(name: str):
+    if name == "Repository":
+        warn_once(
+            "Repository",
+            "repro.profiling.repository.Repository was renamed to "
+            "ProfileRepository; the old name will be removed",
+        )
+        return ProfileRepository
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -32,11 +32,11 @@ class TestPredictionReport:
 
 class TestProblemScaling:
     def test_retained_includes_characteristic(self, mm_predictor):
-        assert "size" in mm_predictor.retained_
+        assert "size" in mm_predictor.retained
 
     def test_counter_models_cover_retained(self, mm_predictor):
-        modeled = set(mm_predictor.counter_models_.models)
-        needed = set(mm_predictor.retained_) - {"size"}
+        modeled = set(mm_predictor.counter_models.models)
+        needed = set(mm_predictor.retained) - {"size"}
         assert needed <= modeled
 
     def test_unseen_sizes_predicted_well(self, mm_predictor):
@@ -44,7 +44,7 @@ class TestProblemScaling:
         eval_camp = Campaign(MatMulKernel(), GTX580, rng=99).run(
             problems=[96, 256, 448, 640, 896], replicates=1
         )
-        report = mm_predictor.report(eval_camp)
+        report = mm_predictor.assess(eval_camp)
         assert report.explained_variance > 0.8
 
     def test_predict_monotone_in_size(self, mm_predictor):
@@ -54,7 +54,7 @@ class TestProblemScaling:
     def test_report_on_training_campaign_is_excellent(
         self, mm_predictor, matmul_campaign
     ):
-        report = mm_predictor.report(matmul_campaign)
+        report = mm_predictor.assess(matmul_campaign)
         assert report.explained_variance > 0.9
 
     def test_missing_characteristic_rejected(self, matmul_campaign):
@@ -69,5 +69,5 @@ class TestProblemScaling:
             BlackForest(n_trees=60, use_pca=False, rng=1),
             prefer_mars=True, rng=2,
         ).fit(matmul_campaign)
-        report = pred.report(matmul_campaign)
+        report = pred.assess(matmul_campaign)
         assert report.explained_variance > 0.85

@@ -63,15 +63,15 @@ class TestTwoCharacteristicPrediction:
         ).fit(campaign)
 
     def test_both_characteristics_retained(self, predictor):
-        assert "size" in predictor.retained_
-        assert "iterations" in predictor.retained_
+        assert "size" in predictor.retained
+        assert "iterations" in predictor.retained
 
     def test_counter_models_capture_interaction(self, predictor):
         # with size x iterations driving the counts, at least one MARS
         # model needs a degree-2 (interaction) basis function
         has_interaction = any(
             m.kind == "mars" and any(b.degree == 2 for b in m.model.basis_)
-            for m in predictor.counter_models_.models.values()
+            for m in predictor.counter_models.models.values()
         )
         assert has_interaction
 
@@ -79,7 +79,7 @@ class TestTwoCharacteristicPrediction:
         unseen = Campaign(JacobiSolverKernel(), GTX580, rng=77).run(
             problems=[(320, 3), (640, 12), (896, 24), (1280, 6)]
         )
-        report = predictor.report(unseen)
+        report = predictor.assess(unseen)
         assert report.explained_variance > 0.6
 
     def test_prediction_monotone_in_iterations(self, predictor):
@@ -89,4 +89,4 @@ class TestTwoCharacteristicPrediction:
 
     def test_wrong_width_rejected(self, predictor):
         with pytest.raises(ValueError):
-            predictor.counter_models_.predict_counters(np.zeros((3, 5)))
+            predictor.counter_models.predict_counters(np.zeros((3, 5)))

@@ -1,0 +1,124 @@
+"""Tests for the trace exporters (repro.obs.export)."""
+
+import pytest
+
+from repro.obs import (
+    render_text_tree,
+    span,
+    span_totals,
+    to_chrome_trace,
+    trace,
+)
+from repro.obs.spans import SpanRecord
+
+
+def _rec(span_id, parent_id, name, start, end, pid=100, **labels):
+    return SpanRecord(
+        span_id=span_id, parent_id=parent_id, name=name,
+        start_s=start, end_s=end, labels=labels, pid=pid,
+    )
+
+
+class TestSpanTotals:
+    def test_aggregates_by_name(self):
+        records = [
+            _rec(1, None, "run", 0.0, 10.0),
+            _rec(2, 1, "step", 0.0, 2.0),
+            _rec(3, 1, "step", 2.0, 5.0),
+        ]
+        totals = span_totals(records)
+        assert totals["run"] == {"count": 1, "total_s": pytest.approx(10.0)}
+        assert totals["step"]["count"] == 2
+        assert totals["step"]["total_s"] == pytest.approx(5.0)
+
+    def test_empty(self):
+        assert span_totals([]) == {}
+
+
+class TestChromeTrace:
+    def test_complete_events_relative_to_origin(self):
+        records = [
+            _rec(1, None, "run", 5.0, 6.0),
+            _rec(2, 1, "step", 5.25, 5.75, pid=200),
+        ]
+        events = to_chrome_trace(records)
+        assert [e["ph"] for e in events] == ["X", "X"]
+        assert events[0]["ts"] == pytest.approx(0.0)
+        assert events[1]["ts"] == pytest.approx(0.25e6)
+        assert events[1]["dur"] == pytest.approx(0.5e6)
+        assert events[1]["pid"] == 200
+        assert events[1]["args"]["parent_id"] == 1
+
+    def test_labels_exported_as_args(self):
+        events = to_chrome_trace([_rec(1, None, "op", 0.0, 1.0, kernel="mm")])
+        assert events[0]["args"]["kernel"] == "mm"
+
+    def test_empty(self):
+        assert to_chrome_trace([]) == []
+
+    def test_json_serializable_from_live_trace(self):
+        import json
+
+        with trace() as tracer:
+            with span("a", n=1):
+                with span("b"):
+                    pass
+        json.dumps(to_chrome_trace(tracer.records))
+
+
+class TestTextTree:
+    def test_collapses_same_name_siblings(self):
+        records = [_rec(1, None, "run", 0.0, 10.0)]
+        records += [
+            _rec(2 + i, 1, "profile", float(i), float(i + 1))
+            for i in range(5)
+        ]
+        out = render_text_tree(records)
+        assert "profile ×5" in out
+        assert out.count("profile") == 1
+
+    def test_collapsed_group_sums_durations(self):
+        records = [
+            _rec(1, None, "run", 0.0, 10.0),
+            _rec(2, 1, "step", 0.0, 2.0),
+            _rec(3, 1, "step", 2.0, 4.0),
+        ]
+        out = render_text_tree(records)
+        assert "4.00 s" in out
+
+    def test_collapsed_subtrees_aggregate_across_members(self):
+        # two profile spans, each with one launch child: the collapsed
+        # tree must show launch ×2, not just the first sibling's child
+        records = [
+            _rec(1, None, "run", 0.0, 10.0),
+            _rec(2, 1, "profile", 0.0, 2.0),
+            _rec(3, 1, "profile", 2.0, 4.0),
+            _rec(4, 2, "launch", 0.0, 1.0),
+            _rec(5, 3, "launch", 2.0, 3.0),
+        ]
+        out = render_text_tree(records)
+        assert "launch ×2" in out
+
+    def test_no_collapse_mode(self):
+        records = [
+            _rec(1, None, "run", 0.0, 10.0),
+            _rec(2, 1, "step", 0.0, 2.0),
+            _rec(3, 1, "step", 2.0, 4.0),
+        ]
+        out = render_text_tree(records, collapse=False)
+        assert out.count("step") == 2
+
+    def test_worker_pids_tagged(self):
+        records = [
+            _rec(1, None, "run", 0.0, 10.0, pid=100),
+            _rec(2, 1, "work", 0.0, 1.0, pid=201),
+        ]
+        out = render_text_tree(records)
+        assert "[pids [201]]" in out
+
+    def test_empty(self):
+        assert render_text_tree([]) == "(empty trace)"
+
+    def test_singleton_labels_shown(self):
+        records = [_rec(1, None, "op", 0.0, 1.0, kernel="mm")]
+        assert "kernel=mm" in render_text_tree(records)

@@ -1,0 +1,113 @@
+"""Tests for the counter/gauge/timer metrics (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    collect,
+    current_metrics,
+    inc,
+    metrics_enabled,
+    observe,
+    set_gauge,
+    timer,
+)
+
+
+class TestDisabledDefault:
+    def test_disabled_by_default(self):
+        assert not metrics_enabled()
+        assert current_metrics() is None
+
+    def test_module_instruments_are_noops_when_disabled(self):
+        inc("x")
+        set_gauge("y", 1.0)
+        observe("z", 0.5)
+        with timer("t"):
+            pass
+        assert current_metrics() is None
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("hits")
+        reg.inc("hits", 2.0)
+        assert reg.snapshot()["counter"]["hits"] == pytest.approx(3.0)
+
+    def test_labels_distinguish_series(self):
+        reg = MetricsRegistry()
+        reg.inc("hits", kind="load")
+        reg.inc("hits", kind="store")
+        reg.inc("hits", kind="load")
+        snap = reg.snapshot()["counter"]
+        assert snap["hits{kind=load}"] == pytest.approx(2.0)
+        assert snap["hits{kind=store}"] == pytest.approx(1.0)
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.inc("m", a=1, b=2)
+        reg.inc("m", b=2, a=1)
+        assert reg.snapshot()["counter"]["m{a=1,b=2}"] == pytest.approx(2.0)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("depth", 3)
+        reg.set_gauge("depth", 7)
+        assert reg.snapshot()["gauge"]["depth"] == pytest.approx(7.0)
+
+    def test_timer_totals_and_counts(self):
+        reg = MetricsRegistry()
+        reg.observe("step", 0.25)
+        reg.observe("step", 0.5)
+        snap = reg.snapshot()["timer"]["step"]
+        assert snap["total_s"] == pytest.approx(0.75)
+        assert snap["count"] == 2
+
+    def test_timer_context_manager(self):
+        reg = MetricsRegistry()
+        with reg.timer("block"):
+            pass
+        snap = reg.snapshot()["timer"]["block"]
+        assert snap["count"] == 1
+        assert snap["total_s"] >= 0.0
+
+
+class TestMerge:
+    def test_merge_adds_counters_and_timers(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("n", 1.0)
+        b.inc("n", 2.0)
+        a.observe("t", 0.1)
+        b.observe("t", 0.2)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["counter"]["n"] == pytest.approx(3.0)
+        assert snap["timer"]["t"]["total_s"] == pytest.approx(0.3)
+        assert snap["timer"]["t"]["count"] == 2
+
+    def test_merge_gauges_take_other(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.set_gauge("g", 1.0)
+        b.set_gauge("g", 9.0)
+        a.merge(b)
+        assert a.snapshot()["gauge"]["g"] == pytest.approx(9.0)
+
+
+class TestCollect:
+    def test_collect_installs_and_restores(self):
+        assert current_metrics() is None
+        with collect() as reg:
+            assert current_metrics() is reg
+            inc("inside")
+        assert current_metrics() is None
+        assert reg.snapshot()["counter"]["inside"] == pytest.approx(1.0)
+
+    def test_nested_collect_shadows(self):
+        with collect() as outer:
+            inc("seen")
+            with collect() as inner:
+                inc("seen")
+            inc("seen")
+        assert outer.snapshot()["counter"]["seen"] == pytest.approx(2.0)
+        assert inner.snapshot()["counter"]["seen"] == pytest.approx(1.0)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -78,3 +80,135 @@ class TestCommands:
     def test_bad_sizes_exit(self):
         with pytest.raises(SystemExit, match="could not parse"):
             main(["predict", "vectorAdd", "--sizes", "abc"])
+
+
+SMALL_ANALYZE = [
+    "analyze", "reduce2", "--sizes",
+    ",".join(str(1 << p) for p in range(14, 22)),
+    "--trees", "30", "--repeats", "1",
+]
+
+
+class TestJsonFormat:
+    def test_list_kernels_json(self, capsys):
+        assert main(["list-kernels", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        names = {k["kernel"] for k in data["kernels"]}
+        assert {"reduce1", "matrixMul"} <= names
+
+    def test_list_archs_json(self, capsys):
+        assert main(["list-archs", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        by_name = {a["arch"]: a for a in data["archs"]}
+        assert "GTX580" in by_name
+        assert "mbw" in by_name["GTX580"]["machine_metrics"]
+
+    def test_profile_json(self, capsys):
+        assert main(["profile", "vectorAdd", "65536",
+                     "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kernel"] == "vectorAdd"
+        assert data["time_s"] > 0
+        assert "gld_request" in data["counters"]
+
+    def test_analyze_json(self, capsys):
+        assert main(SMALL_ANALYZE + ["--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kernel"] == "reduce2"
+        assert data["bottlenecks"]
+        assert "trace" not in data
+
+    def test_predict_json(self, capsys):
+        assert main([
+            "predict", "vectorAdd", "--sizes", "100000,400000",
+            "--trees", "30", "--replicates", "2", "--format", "json",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [p["size"] for p in data["predictions"]] == [100000, 400000]
+        assert all(p["predicted_time_s"] > 0 for p in data["predictions"])
+
+
+class TestTracing:
+    def test_analyze_trace_json_has_span_tree(self, capsys):
+        assert main(SMALL_ANALYZE + [
+            "--jobs", "2", "--trace", "--format", "json",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        names = [s["name"] for s in data["trace"]["spans"]]
+        # the acceptance tree: campaign fan-out (merged children),
+        # per-problem profiling, and the forest fit
+        assert "campaign.run" in names
+        assert names.count("profile") == 8
+        assert "forest.fit" in names
+        assert "blackforest.fit" in names
+        # worker spans were merged in from child processes
+        pids = {s["pid"] for s in data["trace"]["spans"]}
+        assert len(pids) > 1
+        assert data["trace"]["chrome_trace"]
+        assert data["metrics"]["counter"]
+
+    def test_analyze_trace_text_appends_tree(self, capsys):
+        assert main(SMALL_ANALYZE + ["--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign.run" in out
+        assert "profile" in out
+
+    def test_trace_wrapper_text(self, capsys):
+        assert main(["trace", "profile", "vectorAdd", "65536"]) == 0
+        out = capsys.readouterr().out
+        assert "gpusim.launch" in out
+
+    def test_trace_wrapper_json_out_file(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        assert main([
+            "trace", "--format", "json", "--out", str(out_file),
+            "profile", "vectorAdd", "65536",
+        ]) == 0
+        data = json.loads(out_file.read_text())
+        assert {"command", "spans", "chrome_trace", "metrics"} <= set(data)
+        assert any(s["name"] == "profile" for s in data["spans"])
+
+    def test_trace_wrapper_rejects_nesting(self):
+        with pytest.raises(SystemExit, match="nest"):
+            main(["trace", "trace", "profile", "vectorAdd", "65536"])
+
+    def test_trace_wrapper_requires_command(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+
+class TestNormalizedFlags:
+    """--seed / --jobs / --format are uniform across subcommands."""
+
+    @pytest.mark.parametrize("argv", [
+        ["profile", "k", "1"],
+        ["analyze", "k"],
+        ["predict", "k", "--sizes", "1"],
+        ["transfer", "k"],
+    ])
+    def test_seed_everywhere(self, argv):
+        args = build_parser().parse_args(argv + ["--seed", "9"])
+        assert args.seed == 9
+
+    @pytest.mark.parametrize("argv", [
+        ["analyze", "k"],
+        ["predict", "k", "--sizes", "1"],
+        ["transfer", "k"],
+    ])
+    def test_jobs_on_sweep_commands(self, argv):
+        args = build_parser().parse_args(argv + ["--jobs", "4"])
+        assert args.jobs == 4
+
+    @pytest.mark.parametrize("argv", [
+        ["list-kernels"],
+        ["list-archs"],
+        ["profile", "k", "1"],
+        ["analyze", "k"],
+        ["predict", "k", "--sizes", "1"],
+        ["transfer", "k"],
+        ["lint"],
+        ["bench"],
+    ])
+    def test_format_everywhere(self, argv):
+        args = build_parser().parse_args(argv + ["--format", "json"])
+        assert args.format == "json"

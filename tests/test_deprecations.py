@@ -1,0 +1,197 @@
+"""Every deprecation shim warns exactly once and delegates faithfully.
+
+This is the one test module that *intentionally* exercises deprecated
+surfaces; the CI deprecation-strict job runs the rest of the suite with
+``-W error::DeprecationWarning`` and skips this file.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+import repro.profiling
+import repro.profiling.repository as repository_module
+from repro import (
+    BlackForest,
+    Campaign,
+    CampaignKey,
+    GTX580,
+    HardwareScalingPredictor,
+    K20M,
+    ProblemScalingPredictor,
+    ProfileRepository,
+    VectorAddKernel,
+)
+from repro._compat import reset_deprecation_warnings
+from repro.kernels import MatMulKernel
+
+
+@pytest.fixture(autouse=True)
+def _fresh_shims():
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+def _deprecations(caught):
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+@pytest.fixture(scope="module")
+def vecadd_campaign():
+    return Campaign(VectorAddKernel(), GTX580, rng=0).run(
+        problems=[1 << 14, 1 << 16, 1 << 18, 1 << 20], replicates=2
+    )
+
+
+@pytest.fixture(scope="module")
+def matmul_small():
+    return Campaign(MatMulKernel(), GTX580, rng=0).run(
+        problems=[96, 160, 256, 384, 512, 640, 768], replicates=2
+    )
+
+
+class TestRepositoryRename:
+    @pytest.mark.parametrize("module", [
+        repro, repro.profiling, repository_module,
+    ], ids=["repro", "repro.profiling", "repro.profiling.repository"])
+    def test_alias_warns_once_and_delegates(self, module):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = module.Repository
+            second = module.Repository
+        assert first is ProfileRepository
+        assert second is ProfileRepository
+        assert len(_deprecations(caught)) == 1
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.profiling.DoesNotExist
+
+
+class TestStringKeyShim:
+    def test_load_by_strings_warns_once_and_delegates(
+        self, vecadd_campaign, tmp_path
+    ):
+        repo = ProfileRepository(tmp_path)
+        repo.save(vecadd_campaign)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            loaded = repo.load("vectorAdd", "GTX580")
+            assert repo.has("vectorAdd", "GTX580")
+        assert len(loaded) == len(vecadd_campaign)
+        assert len(_deprecations(caught)) == 1
+
+    def test_key_and_strings_together_rejected(self, tmp_path):
+        repo = ProfileRepository(tmp_path)
+        with pytest.raises(TypeError):
+            repo.load(CampaignKey("a", "b"), "c")
+
+
+class TestBlackForestPositionalFit:
+    def test_positional_config_warns_once_and_delegates(self, vecadd_campaign):
+        keyword = BlackForest(n_trees=20, rng=1).fit(
+            vecadd_campaign, include_characteristics=False
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            positional = BlackForest(n_trees=20, rng=1).fit(
+                vecadd_campaign, False
+            )
+            BlackForest(n_trees=20, rng=1).fit(vecadd_campaign, False)
+        assert positional.feature_names == keyword.feature_names
+        assert positional.oob_mse == keyword.oob_mse
+        assert len(_deprecations(caught)) == 1
+
+    def test_too_many_positionals_rejected(self, vecadd_campaign):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with pytest.raises(TypeError):
+                BlackForest(n_trees=20, rng=1).fit(
+                    vecadd_campaign, True, False, None, "time", "extra"
+                )
+
+
+class TestProblemScalingShims:
+    def test_positional_init_warns_once_and_delegates(self, matmul_small):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            pred = ProblemScalingPredictor(
+                BlackForest(n_trees=20, use_pca=False, rng=1), "size"
+            )
+        assert pred.characteristic == "size"
+        assert len(_deprecations(caught)) == 1
+
+    def test_report_warns_once_and_matches_assess(self, matmul_small):
+        fit = ProblemScalingPredictor(
+            BlackForest(n_trees=30, use_pca=False, rng=1), rng=2
+        ).fit(matmul_small)
+        assessed = fit.assess(matmul_small)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            reported = fit.report(matmul_small)
+            fit.report(matmul_small)
+        assert np.array_equal(reported.predicted_s, assessed.predicted_s)
+        assert len(_deprecations(caught)) == 1
+
+    def test_predictor_report_shim(self, matmul_small):
+        pred = ProblemScalingPredictor(
+            BlackForest(n_trees=30, use_pca=False, rng=1), rng=2
+        )
+        fit = pred.fit(matmul_small)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            reported = pred.report(matmul_small)
+        assert np.array_equal(
+            reported.predicted_s, fit.assess(matmul_small).predicted_s
+        )
+        assert len(_deprecations(caught)) == 1
+
+    @pytest.mark.parametrize("alias,canonical", [
+        ("fit_", "blackforest_fit"),
+        ("retained_", "retained"),
+        ("forest_", "forest"),
+        ("counter_models_", "counter_models"),
+    ])
+    def test_fitted_state_aliases(self, matmul_small, alias, canonical):
+        fit = ProblemScalingPredictor(
+            BlackForest(n_trees=20, use_pca=False, rng=1), rng=2
+        ).fit(matmul_small)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            value = getattr(fit, alias)
+            getattr(fit, alias)
+        assert value is getattr(fit, canonical)
+        assert len(_deprecations(caught)) == 1
+
+
+class TestHardwareScalingPositionalFit:
+    def test_positional_config_warns_once_and_delegates(self, vecadd_campaign):
+        kepler = Campaign(VectorAddKernel(), K20M, rng=1).run(
+            problems=[1 << 14, 1 << 16, 1 << 18, 1 << 20], replicates=2
+        )
+        from repro import common_predictors
+
+        common = common_predictors(vecadd_campaign, kepler)
+        keyword = HardwareScalingPredictor(n_trees=20, rng=3).fit(
+            vecadd_campaign, common=common
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            positional = HardwareScalingPredictor(n_trees=20, rng=3).fit(
+                vecadd_campaign, None, common
+            )
+        assert positional.variables == keyword.variables
+        assert len(_deprecations(caught)) == 1
+
+
+class TestWarnOncePerProcessSemantics:
+    def test_reset_re_arms_the_warning(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _ = repro.profiling.Repository
+            reset_deprecation_warnings()
+            _ = repro.profiling.Repository
+        assert len(_deprecations(caught)) == 2

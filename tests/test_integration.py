@@ -8,8 +8,9 @@ from repro import (
     Campaign,
     GTX580,
     K20M,
+    CampaignKey,
     ProblemScalingPredictor,
-    Repository,
+    ProfileRepository,
     VectorAddKernel,
     bottleneck_report,
     kernel_registry,
@@ -22,9 +23,11 @@ class TestFullWorkflow:
     """Collect -> persist -> reload -> analyze -> report -> predict."""
 
     def test_time_response_workflow(self, tmp_path, reduce2_campaign):
-        repo = Repository(tmp_path)
+        repo = ProfileRepository(tmp_path)
         repo.save(reduce2_campaign)
-        reloaded = repo.load(reduce2_campaign.kernel, reduce2_campaign.arch)
+        reloaded = repo.load(
+            CampaignKey(reduce2_campaign.kernel, reduce2_campaign.arch)
+        )
 
         fit = BlackForest(n_trees=80, rng=1).fit(
             reloaded, include_characteristics=False
@@ -40,9 +43,9 @@ class TestFullWorkflow:
     def test_power_response_workflow(self, tmp_path):
         sizes = [int(s) for s in np.round(np.logspace(16, 22, 25, base=2.0))]
         campaign = Campaign(ReductionKernel(6), K20M, rng=0).run(problems=sizes)
-        repo = Repository(tmp_path)
+        repo = ProfileRepository(tmp_path)
         repo.save(campaign, tag="power")
-        reloaded = repo.load("reduce6", "K20m", tag="power")
+        reloaded = repo.load(CampaignKey("reduce6", "K20m", tag="power"))
 
         # power survives the repository roundtrip
         assert np.allclose(reloaded.powers(), campaign.powers())
@@ -66,7 +69,7 @@ class TestFullWorkflow:
         unseen = Campaign(VectorAddKernel(), GTX580, rng=50).run(
             problems=[100_000, 1_000_000, 5_000_000]
         )
-        report = predictor.report(unseen)
+        report = predictor.assess(unseen)
         assert report.explained_variance > 0.8
 
     def test_cross_arch_workflow(self):

@@ -1,0 +1,144 @@
+"""Snapshot of the public API surface.
+
+The exported-name lists below are a deliberate contract: adding a name
+is fine (update the snapshot in the same PR, with review), but a name
+disappearing or moving is an API break and must fail loudly here rather
+than in a downstream import.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+import repro.core
+import repro.obs
+import repro.profiling
+
+CORE_EXPORTS = [
+    "BlackForest",
+    "BlackForestFit",
+    "BottleneckFinding",
+    "BottleneckPattern",
+    "CounterModel",
+    "CounterModelSet",
+    "FitArtifact",
+    "HardwareScalingFit",
+    "HardwareScalingPredictor",
+    "HardwareScalingResult",
+    "HeterogeneousPartitioner",
+    "ImportanceRanking",
+    "PATTERNS",
+    "PartitionPlan",
+    "PredictionReport",
+    "Predictor",
+    "ProblemScalingFit",
+    "ProblemScalingPredictor",
+    "bottleneck_report",
+    "common_predictors",
+    "detect_bottlenecks",
+    "fit_summary",
+    "importance_similarity",
+    "induced_counter_ranking",
+    "mixed_variable_set",
+    "per_arch_importance",
+    "prediction_report_text",
+    "rank_importance",
+    "rank_similarity",
+    "reduced_model_check",
+]
+
+PROFILING_EXPORTS = [
+    "Campaign",
+    "CampaignKey",
+    "CampaignResult",
+    "ProfileRepository",
+    "Profiler",
+    "RunRecord",
+]
+
+OBS_EXPORTS = [
+    "Manifest",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Tracer",
+    "build_manifest",
+    "child_trace",
+    "collect",
+    "current_metrics",
+    "current_tracer",
+    "git_revision",
+    "inc",
+    "metrics_enabled",
+    "observe",
+    "render_text_tree",
+    "set_gauge",
+    "span",
+    "span_totals",
+    "timer",
+    "to_chrome_trace",
+    "trace",
+    "tracing_enabled",
+]
+
+
+class TestExportSnapshots:
+    def test_core_exports(self):
+        assert sorted(repro.core.__all__) == CORE_EXPORTS
+
+    def test_profiling_exports(self):
+        assert sorted(repro.profiling.__all__) == PROFILING_EXPORTS
+
+    def test_obs_exports(self):
+        assert sorted(repro.obs.__all__) == OBS_EXPORTS
+
+    @pytest.mark.parametrize("module,names", [
+        (repro.core, CORE_EXPORTS),
+        (repro.profiling, PROFILING_EXPORTS),
+        (repro.obs, OBS_EXPORTS),
+    ], ids=["core", "profiling", "obs"])
+    def test_every_export_resolves(self, module, names):
+        for name in names:
+            assert getattr(module, name) is not None, name
+
+    def test_top_level_reexports_protocol_types(self):
+        for name in ("Predictor", "FitArtifact", "CampaignKey",
+                     "ProfileRepository", "ProblemScalingFit",
+                     "HardwareScalingFit"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_no_deprecated_names_in_all(self):
+        # the Repository shim resolves via __getattr__, not __all__
+        assert "Repository" not in repro.__all__
+        assert "Repository" not in repro.profiling.__all__
+
+
+class TestProtocolConformance:
+    """Every pipeline predictor satisfies the unified protocol shape."""
+
+    @pytest.mark.parametrize("cls", [
+        repro.BlackForest,
+        repro.ProblemScalingPredictor,
+        repro.HardwareScalingPredictor,
+    ])
+    def test_predictor_surface(self, cls):
+        for method in ("fit", "predict", "assess"):
+            assert callable(getattr(cls, method)), (cls.__name__, method)
+
+    @pytest.mark.parametrize("cls", [
+        repro.BlackForestFit,
+        repro.ProblemScalingFit,
+        repro.HardwareScalingFit,
+    ])
+    def test_fit_artifact_surface(self, cls):
+        for method in ("predict", "assess"):
+            assert callable(getattr(cls, method)), (cls.__name__, method)
+
+    def test_star_import_emits_no_warnings(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            namespace: dict = {}
+            exec("from repro import *", namespace)
+        assert "BlackForest" in namespace
+        assert "Repository" not in namespace
