@@ -38,6 +38,10 @@ Subpackages
     Static analysis: counter-invariant linter, workload/arch validator,
     AST source lint (the ``repro lint`` CLI and the profiler's
     sanitizer mode).
+``repro.faults``
+    Deterministic fault injection (chaos plans) and the resilience
+    primitives — retry policies, the recoverable-error taxonomy — that
+    campaigns run under (see docs/robustness.md).
 ``repro.viz``
     Plain-text figures.
 """
@@ -91,12 +95,20 @@ from .analysis import (
     Severity,
     lint_tree,
 )
+from .faults import (
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    fault_injection,
+)
 from .profiling import (
     Campaign,
     CampaignKey,
     CampaignResult,
     Profiler,
     ProfileRepository,
+    QuarantinedRun,
+    RepositoryIntegrityError,
     RunRecord,
 )
 
@@ -146,9 +158,15 @@ __all__ = [
     "Campaign",
     "CampaignKey",
     "CampaignResult",
+    "FaultPlan",
+    "FaultSpec",
     "Profiler",
     "ProfileRepository",
+    "QuarantinedRun",
+    "RepositoryIntegrityError",
+    "RetryPolicy",
     "RunRecord",
+    "fault_injection",
     "Finding",
     "InvariantViolation",
     "Severity",

@@ -12,6 +12,8 @@ kernel and get readable feedback from; this module is that front end::
     python -m repro trace analyze reduce1 --arch GTX580
     python -m repro lint --format json
     python -m repro bench --quick
+    python -m repro chaos reduce1 --launch-rate 0.2 --worker-rate 0.1 --jobs 4
+    python -m repro repo verify ./profiles --quarantine
 
 Every data-producing subcommand takes ``--format {text,json}``; the
 sweep-driving ones share ``--seed`` and ``--jobs``. ``--trace`` (on
@@ -329,6 +331,149 @@ def cmd_lint(args) -> int:
     return 1 if worst is not None and worst >= fail_on else 0
 
 
+def cmd_chaos(args) -> int:
+    """Run a campaign under an injected fault plan; report survivals.
+
+    The point is operational confidence: with faults firing, the sweep
+    must *complete* — failing launches quarantined, crashed workers
+    recovered — instead of crashing. Exit code 0 means the campaign
+    produced records; 1 means nothing survived.
+    """
+    from repro.faults import FaultPlan, FaultSpec, RetryPolicy, fault_injection
+
+    arch = _arch(args.arch)
+    kernel = _kernel(args.kernel)
+    problems = _parse_sizes(args.sizes) if args.sizes else None
+
+    if args.plan:
+        with open(args.plan) as fh:
+            data = json.load(fh)
+        raw = data["specs"] if isinstance(data, dict) else data
+        seed = data.get("seed", args.seed) if isinstance(data, dict) else args.seed
+        try:
+            specs = [
+                FaultSpec(
+                    s["site"], s["mode"], match=s.get("match"),
+                    probability=s.get("probability", 1.0),
+                    payload=s.get("payload"),
+                )
+                for s in raw
+            ]
+        except (KeyError, ValueError, TypeError) as exc:
+            raise SystemExit(f"bad fault plan {args.plan!r}: {exc}")
+        plan = FaultPlan(specs, seed=seed)
+    else:
+        transient = {"times": 1} if args.transient else None
+        specs = []
+        if args.launch_rate > 0:
+            specs.append(FaultSpec("profiler.launch", "raise",
+                                   probability=args.launch_rate,
+                                   payload=transient))
+        if args.nan_rate > 0:
+            specs.append(FaultSpec("profiler.launch", "nan_counters",
+                                   probability=args.nan_rate,
+                                   payload=transient))
+        if args.worker_rate > 0:
+            specs.append(FaultSpec("parallel.worker", "crash",
+                                   probability=args.worker_rate))
+        if args.torn_rate > 0:
+            specs.append(FaultSpec("repository.write", "torn_file",
+                                   probability=args.torn_rate))
+        if not specs:
+            raise SystemExit(
+                "no faults configured; pass --plan FILE or at least one of "
+                "--launch-rate/--nan-rate/--worker-rate/--torn-rate"
+            )
+        plan = FaultPlan(specs, seed=args.seed)
+
+    retry = RetryPolicy(max_attempts=args.retries, timeout_s=args.timeout)
+    print(f"chaos campaign for {kernel.name} on {arch.name} "
+          f"({len(plan.specs)} fault rules)...", file=sys.stderr)
+    with fault_injection(plan):
+        result = Campaign(kernel, arch, rng=args.seed).run(
+            problems=problems, replicates=args.replicates,
+            n_jobs=args.jobs, retry=retry,
+        )
+        repo_findings = None
+        if args.save_to:
+            from repro.profiling import ProfileRepository, CampaignKey
+
+            repo = ProfileRepository(args.save_to)
+            if result.records:
+                repo.save(result, seed=args.seed)
+                key = CampaignKey(result.kernel, result.arch)
+                repo_findings = repo.verify(key)
+
+    quarantined = [q.to_dict() for q in result.quarantined]
+    rows = [(q["problem"], q["stage"], q["attempts"], q["error"][:60])
+            for q in quarantined]
+    text = table(
+        ["problem", "stage", "attempts", "error"], rows,
+        title=f"chaos: {kernel.name} on {arch.name} — "
+        f"{len(result.records)} records kept, "
+        f"{len(result.quarantined)} runs quarantined",
+    ) if rows else (
+        f"chaos: {kernel.name} on {arch.name} — all "
+        f"{len(result.records)} records survived (faults fired: "
+        f"{plan.summary() or 'none'})"
+    )
+    if repo_findings is not None:
+        text += ("\nrepository verify: "
+                 + ("; ".join(repo_findings) if repo_findings else "intact"))
+    _emit(args, {
+        "kernel": kernel.name,
+        "arch": arch.name,
+        "n_records": len(result.records),
+        "n_quarantined": len(result.quarantined),
+        "quarantined": quarantined,
+        "faults_fired": plan.summary(),
+        "repository_findings": repo_findings,
+    }, text)
+    return 0 if result.records else 1
+
+
+def cmd_repo(args) -> int:
+    """Inspect / verify an on-disk profile repository."""
+    from repro.profiling import ProfileRepository
+
+    repo = ProfileRepository(args.root)
+    if args.action == "list":
+        metas = repo.list_campaigns()
+        rows = [(m.get("kernel", "?"), m.get("arch", "?"),
+                 m.get("tag") or "-", m.get("n_runs", "?")) for m in metas]
+        _emit(args, {"campaigns": metas},
+              table(["kernel", "arch", "tag", "runs"], rows,
+                    title=f"repository {args.root}"))
+        return 0
+
+    # action == "verify"
+    findings = repo.verify_all()
+    damaged = {
+        name: probs for name, probs in findings.items()
+        if any("legacy" not in p for p in probs)
+    }
+    moved = {}
+    if args.quarantine:
+        for name in damaged:
+            moved[name] = str(repo._quarantine_dirname(name))
+    rows = []
+    for name in sorted(findings):
+        probs = findings[name]
+        status = ("quarantined" if name in moved
+                  else "DAMAGED" if name in damaged
+                  else "ok" if not probs else "legacy")
+        rows.append((name, status, "; ".join(probs)[:70] or "-"))
+    _emit(args, {
+        "root": str(repo.root),
+        "findings": findings,
+        "damaged": sorted(damaged),
+        "quarantined": moved,
+    }, table(["campaign", "status", "findings"], rows,
+             title=f"verify {args.root}: {len(damaged)} damaged of "
+             f"{len(findings)} campaigns"))
+    return 1 if damaged and not args.quarantine else 0
+
+
 def cmd_trace(args) -> int:
     """Run any subcommand under tracing and print/export its span tree."""
     from repro.obs import collect, render_text_tree, to_chrome_trace, trace
@@ -470,6 +615,54 @@ def build_parser() -> argparse.ArgumentParser:
     _add_format(p)
 
     p = sub.add_parser(
+        "chaos",
+        help="run a campaign under injected faults, report quarantines",
+    )
+    p.add_argument("kernel")
+    p.add_argument("--arch", default="GTX580")
+    p.add_argument("--sizes", help="comma-separated problem sizes "
+                   "(default: the kernel's paper sweep)")
+    p.add_argument("--replicates", type=int, default=1)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes; quarantine decisions are "
+                   "identical for any value")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign RNG seed and fault-plan seed")
+    p.add_argument("--plan",
+                   help="JSON fault plan: a list of specs (or "
+                   "{'seed':..., 'specs':[...]}), each "
+                   "{'site','mode','match','probability','payload'}")
+    p.add_argument("--launch-rate", type=float, default=0.0,
+                   help="probability an individual launch raises")
+    p.add_argument("--nan-rate", type=float, default=0.0,
+                   help="probability a launch returns NaN counters")
+    p.add_argument("--worker-rate", type=float, default=0.0,
+                   help="probability a worker process crashes on an item")
+    p.add_argument("--torn-rate", type=float, default=0.0,
+                   help="probability a repository write is torn "
+                   "(needs --save-to)")
+    p.add_argument("--transient", action="store_true",
+                   help="launch faults fire once per run (retries recover)")
+    p.add_argument("--retries", type=int, default=3,
+                   help="attempts per launch before quarantine")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-launch deadline in seconds")
+    p.add_argument("--save-to",
+                   help="save the surviving campaign into this repository "
+                   "and verify it (exercises repository.write faults)")
+    _add_format(p)
+
+    p = sub.add_parser(
+        "repo",
+        help="inspect/verify an on-disk profile repository",
+    )
+    p.add_argument("action", choices=("verify", "list"))
+    p.add_argument("root", help="repository root directory")
+    p.add_argument("--quarantine", action="store_true",
+                   help="(verify) move damaged campaigns into _quarantine/")
+    _add_format(p)
+
+    p = sub.add_parser(
         "trace",
         help="run another subcommand under tracing, print its span tree",
     )
@@ -491,6 +684,8 @@ _COMMANDS = {
     "transfer": cmd_transfer,
     "lint": cmd_lint,
     "bench": cmd_bench,
+    "chaos": cmd_chaos,
+    "repo": cmd_repo,
     "trace": cmd_trace,
 }
 

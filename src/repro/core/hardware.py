@@ -24,13 +24,14 @@ The paper's findings, all reproducible here:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro._compat import warn_once
 from repro.ml.forest import RandomForestRegressor
-from repro.ml.preprocessing import train_test_split
+from repro.ml.preprocessing import sanitize_matrix, train_test_split
 from repro.obs import span
 from repro.profiling.campaign import CampaignResult
 
@@ -148,6 +149,9 @@ class HardwareScalingFit:
     forest: RandomForestRegressor
     variables: list[str]
     train_arch: str
+    #: ``MatrixSanitation.to_dict()`` of the training-matrix repair, or
+    #: ``None`` for a clean campaign (see ``BlackForestFit.degradation``).
+    degradation: dict | None = None
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predict times from aligned predictor vectors."""
@@ -222,12 +226,23 @@ class HardwareScalingPredictor:
         with span(
             "hardware_scaling.fit", kernel=train.kernel, arch=train.arch
         ):
-            counters = common if common is not None else train.predictor_names
+            counters = (
+                common if common is not None
+                else train.robust_predictor_names
+            )
             X, y, names = train.matrix(
                 counters=counters,
                 include_characteristics=True,
                 include_machine=self.include_machine,
+                missing="nan",
             )
+            X, y, names, sanitation = sanitize_matrix(X, y, names)
+            if sanitation.degraded:
+                warnings.warn(
+                    f"fitting on a degraded campaign: {sanitation.summary()}",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
             if variables is not None:
                 missing = [v for v in variables if v not in names]
                 if missing:
@@ -256,6 +271,7 @@ class HardwareScalingPredictor:
             forest=self.forest_,
             variables=list(names),
             train_arch=self.train_arch_,
+            degradation=sanitation.to_dict() if sanitation.degraded else None,
         )
         return self.last_fit_
 

@@ -16,6 +16,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,7 +25,11 @@ from repro._compat import warn_once
 from repro.ml.forest import RandomForestRegressor
 from repro.ml.metrics import explained_variance, mse
 from repro.ml.pca import PCA
-from repro.ml.preprocessing import drop_constant_columns, train_test_split
+from repro.ml.preprocessing import (
+    drop_constant_columns,
+    sanitize_matrix,
+    train_test_split,
+)
 from repro.obs import span
 from repro.profiling.campaign import CampaignResult
 
@@ -86,6 +91,11 @@ class BlackForestFit:
     include_characteristics: bool = True
     include_machine: bool = False
     pca_first: bool = False
+    #: How the training matrix was degraded-and-repaired (dropped rows/
+    #: columns, imputed cells — ``MatrixSanitation.to_dict()``), or
+    #: ``None`` for a clean campaign. A fit built on partial data
+    #: carries that fact with it.
+    degradation: dict | None = None
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predict execution times from full predictor vectors."""
@@ -306,11 +316,25 @@ class BlackForest:
         response: str,
     ) -> BlackForestFit:
         X, y, names = campaign.matrix(
-            counters=counters,
+            # The robust default keeps a counter column alive when only
+            # some records lost it (the loss becomes NaN cells below).
+            counters=counters if counters is not None
+            else campaign.robust_predictor_names,
             include_characteristics=include_characteristics,
             include_machine=include_machine,
             response=response,
+            missing="nan",
         )
+        # Degraded runs (lost nvprof passes, injected NaN counters) are
+        # repaired explicitly — dropped or imputed, never silently fitted
+        # through — and the repair is recorded on the fit artifact.
+        X, y, names, sanitation = sanitize_matrix(X, y, names)
+        if sanitation.degraded:
+            warnings.warn(
+                f"fitting on a degraded campaign: {sanitation.summary()}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
         # Constant columns (e.g. machine metrics on a single-arch campaign,
         # counters that never fire) carry no signal and bias nothing.
         X, kept, names = drop_constant_columns(X, names)
@@ -422,4 +446,5 @@ class BlackForest:
             include_characteristics=include_characteristics,
             include_machine=include_machine,
             pca_first=self.pca_first,
+            degradation=sanitation.to_dict() if sanitation.degraded else None,
         )

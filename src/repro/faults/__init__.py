@@ -1,0 +1,61 @@
+"""Fault injection and resilience primitives (the chaos layer).
+
+Real profiling campaigns lose runs to hung launches, crashed workers
+and torn repository files; the paper's pipeline assumes none of that
+ever happens. ``repro.faults`` makes those failures injectable *on
+demand and deterministically*, so the resilient execution paths they
+exercise — per-launch retry, quarantine-not-abort, checkpoint/resume,
+repository verification — can be pinned by tests instead of trusted.
+
+Two halves:
+
+* **Injection** (:class:`FaultPlan`, :class:`FaultSpec`,
+  :func:`fault_injection`) — seed-driven rules fired at named sites in
+  the simulator, profiler, parallel workers and repository. Decisions
+  are pure functions of (seed, site, context): independent of call
+  order, ``n_jobs`` and process identity. With no plan installed the
+  hook is one global load plus an ``is None`` check.
+* **Resilience** (:class:`RetryPolicy`, the error taxonomy) — what
+  :meth:`Campaign.run <repro.profiling.Campaign.run>` uses to retry,
+  time out and quarantine launches instead of aborting.
+
+Quickstart::
+
+    from repro import Campaign, GTX580, ReductionKernel
+    from repro.faults import FaultPlan, FaultSpec, fault_injection
+
+    plan = FaultPlan([
+        FaultSpec("profiler.launch", "raise", match={"problem": 65536}),
+    ])
+    with fault_injection(plan):
+        result = Campaign(ReductionKernel(1), GTX580, rng=0).run()
+    assert len(result.quarantined) == 1   # quarantined, not crashed
+
+See docs/robustness.md for the full fault/retry/checkpoint semantics.
+"""
+
+from .errors import FaultError, InjectedFault, LaunchTimeout, WorkerCrash
+from .plan import (
+    SITES,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    fault_injection,
+    should_inject,
+)
+from .retry import RetryPolicy, call_with_retry
+
+__all__ = [
+    "FaultError",
+    "InjectedFault",
+    "LaunchTimeout",
+    "WorkerCrash",
+    "FaultPlan",
+    "FaultSpec",
+    "SITES",
+    "active_plan",
+    "fault_injection",
+    "should_inject",
+    "RetryPolicy",
+    "call_with_retry",
+]

@@ -1,0 +1,46 @@
+"""Exception types raised by injected (and real) execution faults.
+
+The hierarchy mirrors what a real profiling campaign loses runs to:
+
+* :class:`InjectedFault` — a launch that errored outright (nvprof
+  returning non-zero, a driver reset, a crashed binary);
+* :class:`LaunchTimeout` — a launch that hung; the harness cannot tell
+  a hang from slowness, so hangs surface as timeouts;
+* :class:`WorkerCrash` — a parallel worker process dying mid-chunk.
+
+All derive from :class:`FaultError`, which the campaign layer treats as
+*recoverable*: a failed launch is retried under the active
+:class:`~repro.faults.retry.RetryPolicy` and quarantined — never allowed
+to abort the campaign — once its attempts are exhausted.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FaultError", "InjectedFault", "LaunchTimeout", "WorkerCrash"]
+
+
+class FaultError(RuntimeError):
+    """Base class of recoverable execution faults (real or injected)."""
+
+
+class InjectedFault(FaultError):
+    """A launch failure raised by the fault-injection layer."""
+
+
+class LaunchTimeout(FaultError):
+    """A launch exceeded its (cooperative) deadline — or hung.
+
+    Raised both by the real per-launch timeout in
+    :meth:`repro.profiling.Profiler.profile` and by ``mode="hang"``
+    fault specs, which model a hung launch as its inevitable timeout.
+    """
+
+
+class WorkerCrash(FaultError):
+    """A parallel worker process died mid-chunk.
+
+    Injected inside the worker (``site="parallel.worker"``); the
+    campaign recovers by re-running the lost chunk's items in the
+    parent process, which is bit-identical because every problem owns a
+    pre-spawned RNG stream.
+    """

@@ -1,0 +1,102 @@
+"""Bounded retry with deterministic backoff for campaign launches.
+
+The policy object is shared by the serial and parallel campaign paths
+(and pickles into workers), so retry behaviour — like everything else
+in the pipeline — is independent of ``n_jobs``. Backoff durations are
+a pure function of the attempt number (``backoff_s * 2**(attempt-1)``),
+and elapsed-time bookkeeping uses ``time.monotonic()`` so a wall-clock
+jump mid-campaign can neither skip nor stretch a backoff.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from .errors import FaultError
+
+__all__ = ["RetryPolicy", "call_with_retry"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-launch resilience knobs for :meth:`Campaign.run`.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per launch (1 = no retry). Exhausting them
+        quarantines the run instead of aborting the campaign.
+    backoff_s:
+        Base backoff; attempt ``k`` waits ``backoff_s * 2**(k-2)``
+        seconds before running (0, the default, retries immediately —
+        the simulator backend has no transient congestion to wait out).
+    timeout_s:
+        Cooperative per-launch deadline. Checked between kernel launches
+        and between replicates; an overrun raises
+        :class:`~repro.faults.errors.LaunchTimeout`, which is retried
+        and ultimately quarantined like any other fault. ``None``
+        disables the deadline (and its clock reads) entirely.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.0
+    timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Seconds to wait before attempt ``attempt`` (1-based; 0 for
+        the first attempt)."""
+        if attempt <= 1 or self.backoff_s <= 0:
+            return 0.0
+        return self.backoff_s * (2.0 ** (attempt - 2))
+
+    def deadline(self) -> float | None:
+        """Monotonic deadline for a launch starting now, or None."""
+        if self.timeout_s is None:
+            return None
+        return time.monotonic() + self.timeout_s
+
+
+def call_with_retry(
+    fn,
+    policy: RetryPolicy,
+    recoverable: tuple[type[BaseException], ...] = (FaultError,),
+    on_retry=None,
+    sleep=time.sleep,
+):
+    """Run ``fn(attempt)`` under the policy.
+
+    Returns ``(result, None, attempts)`` on success or
+    ``(None, last_exception, attempts)`` once attempts are exhausted.
+    Non-recoverable exceptions propagate immediately — a misconfigured
+    campaign (``ValueError``/``TypeError``) must fail fast, not churn
+    through retries. ``on_retry(attempt, exc)`` is called before each
+    re-attempt (obs accounting hooks in the campaign layer).
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        wait = policy.backoff_for(attempt)
+        if wait > 0:
+            # Monotonic bookkeeping: sleep() can wake early on signals;
+            # top up until the full backoff has elapsed.
+            deadline = time.monotonic() + wait
+            remaining = wait
+            while remaining > 0:
+                sleep(remaining)
+                remaining = deadline - time.monotonic()
+        try:
+            return fn(attempt), None, attempt
+        except recoverable as exc:
+            if attempt >= policy.max_attempts:
+                return None, exc, attempt
+            if on_retry is not None:
+                on_retry(attempt, exc)

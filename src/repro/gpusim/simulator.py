@@ -17,10 +17,13 @@ hardware.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.faults.errors import InjectedFault
+from repro.faults.plan import should_inject
 from repro.obs import span
 
 from .arch import GPUArchitecture
@@ -92,9 +95,21 @@ class GPUSimulator:
             arch, wl.threads_per_block, wl.regs_per_thread, wl.shared_mem_per_block
         )
 
+        accesses = wl.global_accesses
+        fault = should_inject("gpusim.launch", workload=wl.name, arch=arch.name)
+        if fault is not None:
+            if fault.mode == "raise":
+                raise InjectedFault(
+                    f"injected simulator failure launching {wl.name!r} "
+                    f"on {arch.name}"
+                )
+            if fault.mode == "truncate_trace":
+                frac = float(fault.payload_dict.get("fraction", 0.5))
+                accesses = [_truncate_trace(a, frac) for a in accesses]
+
         mem = [
             resolve_access(a, arch, cache_factor=pert.cache_factor)
-            for a in wl.global_accesses
+            for a in accesses
         ]
 
         shared_loads = sum(s.requests for s in wl.loads("shared"))
@@ -216,6 +231,18 @@ class GPUSimulator:
             self.arch, profiles, time_scale=perturbation.time_jitter
         )
         return counters, time_s, profiles
+
+
+def _truncate_trace(access, fraction: float):
+    """A torn sampled address trace: keep the leading ``fraction`` of
+    requests (at least one). Patterns without traces are untouched."""
+    if access.addresses is None:
+        return access
+    trace = np.asarray(access.addresses)
+    keep = max(1, int(math.ceil(trace.shape[0] * fraction)))
+    if keep >= trace.shape[0]:
+        return access
+    return replace(access, addresses=trace[:keep])
 
 
 def sum_raw(profiles: list[LaunchProfile]) -> dict[str, float]:

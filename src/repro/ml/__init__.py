@@ -24,9 +24,11 @@ from .metrics import (
 from .partial_dependence import PartialDependence, dependence_direction, partial_dependence
 from .pca import PCA, FactorLoadings, varimax
 from .preprocessing import (
+    MatrixSanitation,
     StandardScaler,
     drop_constant_columns,
     polynomial_features,
+    sanitize_matrix,
     train_test_split,
 )
 from .tree import RegressionTree
@@ -54,9 +56,11 @@ __all__ = [
     "PCA",
     "FactorLoadings",
     "varimax",
+    "MatrixSanitation",
     "StandardScaler",
     "drop_constant_columns",
     "polynomial_features",
+    "sanitize_matrix",
     "train_test_split",
     "RegressionTree",
 ]

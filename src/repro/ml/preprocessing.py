@@ -17,7 +17,109 @@ __all__ = [
     "train_test_split",
     "polynomial_features",
     "drop_constant_columns",
+    "MatrixSanitation",
+    "sanitize_matrix",
 ]
+
+
+@dataclass
+class MatrixSanitation:
+    """What :func:`sanitize_matrix` did to make a dataset fit-able.
+
+    Attached to fit artifacts (``BlackForestFit.degradation``) so a
+    model trained on degraded data says so instead of quietly fitting
+    through imputed cells.
+    """
+
+    dropped_rows: int = 0
+    dropped_columns: list[str] = None  # type: ignore[assignment]
+    imputed_cells: dict[str, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.dropped_columns is None:
+            self.dropped_columns = []
+        if self.imputed_cells is None:
+            self.imputed_cells = {}
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.dropped_rows or self.dropped_columns or self.imputed_cells)
+
+    def to_dict(self) -> dict:
+        return {
+            "dropped_rows": self.dropped_rows,
+            "dropped_columns": list(self.dropped_columns),
+            "imputed_cells": dict(self.imputed_cells),
+        }
+
+    def summary(self) -> str:
+        parts = []
+        if self.dropped_rows:
+            parts.append(f"dropped {self.dropped_rows} rows with non-finite response")
+        if self.dropped_columns:
+            parts.append(
+                f"dropped all-non-finite columns {self.dropped_columns}"
+            )
+        if self.imputed_cells:
+            total = sum(self.imputed_cells.values())
+            parts.append(
+                f"median-imputed {total} cells in {sorted(self.imputed_cells)}"
+            )
+        return "; ".join(parts) or "clean"
+
+
+def sanitize_matrix(
+    X: np.ndarray, y: np.ndarray, names: list[str]
+) -> tuple[np.ndarray, np.ndarray, list[str], MatrixSanitation]:
+    """Make a possibly degraded predictor matrix safe to fit.
+
+    Degraded campaigns (runs that lost an nvprof pass, injected
+    NaN/dropped counters) surface as non-finite cells. The policy, in
+    order: drop rows whose *response* is non-finite (a run without a
+    time cannot train anything); drop columns with no finite value at
+    all (the counter simply was not collected); median-impute the
+    remaining non-finite cells from the column's finite values.
+
+    Returns ``(X, y, names, MatrixSanitation)``. For fully finite input
+    the arrays are returned **unchanged** (same objects, no copies), so
+    clean pipelines are bit-identical to the pre-sanitation behaviour.
+    Raises ``ValueError`` when nothing trainable survives.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if np.isfinite(X).all() and np.isfinite(y).all():
+        return X, y, list(names), MatrixSanitation()
+
+    report = MatrixSanitation()
+    row_ok = np.isfinite(y)
+    report.dropped_rows = int((~row_ok).sum())
+    X, y = X[row_ok], y[row_ok]
+    if len(y) == 0:
+        raise ValueError(
+            "no usable rows: every run's response is non-finite "
+            "(campaign too degraded to fit)"
+        )
+
+    finite = np.isfinite(X)
+    col_ok = finite.any(axis=0)
+    report.dropped_columns = [n for n, ok in zip(names, col_ok) if not ok]
+    X = X[:, col_ok]
+    finite = finite[:, col_ok]
+    names = [n for n, ok in zip(names, col_ok) if ok]
+    if X.shape[1] == 0:
+        raise ValueError(
+            "no usable predictor columns: every counter is non-finite "
+            "(campaign too degraded to fit)"
+        )
+
+    if not finite.all():
+        X = X.copy()
+        for j, name in enumerate(names):
+            bad = ~finite[:, j]
+            if bad.any():
+                X[bad, j] = np.median(X[finite[:, j], j])
+                report.imputed_cells[name] = int(bad.sum())
+    return X, y, names, report
 
 
 @dataclass

@@ -60,6 +60,10 @@ class Manifest:
     timings: dict = field(default_factory=dict)
     #: Metric snapshot (``MetricsRegistry.snapshot()``), when collected.
     metrics: dict = field(default_factory=dict)
+    #: SHA-256 of sibling artifact files, ``{filename: hexdigest}`` —
+    #: what :meth:`ProfileRepository.verify` checks. Empty for legacy
+    #: manifests (``from_json`` tolerates the missing key).
+    checksums: dict = field(default_factory=dict)
     git_rev: str | None = None
     python: str = ""
     created_unix: float = 0.0
@@ -99,6 +103,7 @@ def build_manifest(
     config: dict | None = None,
     trace_records=None,
     metrics=None,
+    checksums: dict | None = None,
 ) -> Manifest:
     """Assemble a manifest from the pieces the pipeline has at hand.
 
@@ -128,6 +133,7 @@ def build_manifest(
         config=dict(config) if config else {},
         timings=span_totals(trace_records),
         metrics=metrics or {},
+        checksums=dict(checksums) if checksums else {},
         git_rev=git_revision(),
         python=platform.python_version(),
         created_unix=time.time(),

@@ -77,11 +77,14 @@ class MetricsRegistry:
 
     @contextmanager
     def timer(self, name: str, **labels):
-        t0 = time.perf_counter()
+        # monotonic, not perf_counter: timer totals are merged across
+        # worker processes, and monotonic is the one clock guaranteed
+        # consistent under suspend/NTP slew for such wall-time spans.
+        t0 = time.monotonic()
         try:
             yield
         finally:
-            self.observe(name, time.perf_counter() - t0, **labels)
+            self.observe(name, time.monotonic() - t0, **labels)
 
     # -- export -------------------------------------------------------------
 
@@ -154,11 +157,11 @@ def timer(name: str, **labels):
     if registry is None:
         yield
         return
-    t0 = time.perf_counter()
+    t0 = time.monotonic()
     try:
         yield
     finally:
-        registry.observe(name, time.perf_counter() - t0, **labels)
+        registry.observe(name, time.monotonic() - t0, **labels)
 
 
 @contextmanager

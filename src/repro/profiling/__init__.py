@@ -8,17 +8,22 @@ the collected data, addressed by :class:`CampaignKey`.
 
 from repro._compat import warn_once
 
-from .campaign import Campaign, CampaignResult
+from .campaign import Campaign, CampaignResult, QuarantinedRun
+from .checkpoint import CampaignCheckpoint, CheckpointMismatch
 from .profiler import Profiler, RunRecord
-from .repository import CampaignKey, ProfileRepository
+from .repository import CampaignKey, ProfileRepository, RepositoryIntegrityError
 
 __all__ = [
     "Campaign",
+    "CampaignCheckpoint",
     "CampaignResult",
+    "CheckpointMismatch",
     "Profiler",
+    "QuarantinedRun",
     "RunRecord",
     "CampaignKey",
     "ProfileRepository",
+    "RepositoryIntegrityError",
 ]
 
 

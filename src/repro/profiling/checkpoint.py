@@ -1,0 +1,150 @@
+"""Checkpoint/resume for profiling campaigns.
+
+A checkpoint is an append-only JSONL file: a header line identifying
+the campaign (schema tag, kernel/arch, sweep fingerprint, RNG-state
+digest) followed by one line per *completed* problem — either its
+serialized run records or its quarantine record. Appends are flushed
+and fsynced, so an interrupted campaign loses at most the line being
+written; a torn trailing line is detected and discarded on resume.
+
+Resume is bit-identical to an uninterrupted run because (a) every
+problem draws from its own pre-spawned RNG stream (so skipping finished
+problems changes nothing for the rest) and (b) floats survive the JSON
+round-trip exactly (``repr`` encoding). The header fingerprint refuses
+to resume a checkpoint against a different sweep, kernel, architecture,
+replicate count or campaign seed — a silent mixture of two experiments
+is worse than an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from .profiler import RunRecord
+
+__all__ = ["CampaignCheckpoint", "CheckpointMismatch", "campaign_fingerprint"]
+
+#: Schema tag written into every checkpoint header.
+SCHEMA = "repro-checkpoint/1"
+
+
+class CheckpointMismatch(ValueError):
+    """The checkpoint on disk belongs to a different campaign."""
+
+
+def campaign_fingerprint(
+    kernel: str,
+    arch: str,
+    problems: list,
+    replicates: int,
+    rng_state: object,
+) -> dict:
+    """Identity of one campaign run, as stored in the header.
+
+    ``rng_state`` is the campaign generator's bit-generator state at
+    ``run()`` entry; its digest pins the seed (and spawn history), so a
+    resume with a different seed is refused rather than silently mixing
+    two noise draws.
+    """
+    problems_sha = hashlib.sha256(
+        repr([repr(p) for p in problems]).encode()
+    ).hexdigest()
+    rng_sha = hashlib.sha256(repr(rng_state).encode()).hexdigest()
+    return {
+        "kernel": kernel,
+        "arch": arch,
+        "n_problems": len(problems),
+        "replicates": replicates,
+        "problems_sha256": problems_sha,
+        "rng_sha256": rng_sha,
+    }
+
+
+class CampaignCheckpoint:
+    """Append-only completion log for one campaign run."""
+
+    def __init__(self, path: str | Path, fingerprint: dict) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        #: index -> list of record dicts (see RunRecord.to_dict)
+        self.completed: dict[int, list[dict]] = {}
+        #: index -> quarantine dict (see QuarantinedRun.to_dict)
+        self.quarantined: dict[int, dict] = {}
+
+    @classmethod
+    def open(cls, path: str | Path, fingerprint: dict) -> "CampaignCheckpoint":
+        """Load (or create) the checkpoint for a campaign run.
+
+        An existing file must carry a matching header; entry lines are
+        replayed into :attr:`completed`/:attr:`quarantined`. Any
+        undecodable line ends the valid prefix (a torn final append),
+        and everything after it is ignored.
+        """
+        ckpt = cls(path, fingerprint)
+        if ckpt.path.exists() and ckpt.path.stat().st_size > 0:
+            ckpt._load()
+        else:
+            ckpt.path.parent.mkdir(parents=True, exist_ok=True)
+            ckpt._append({"schema": SCHEMA, "fingerprint": fingerprint})
+        return ckpt
+
+    def _load(self) -> None:
+        lines = self.path.read_text().splitlines()
+        try:
+            header = json.loads(lines[0])
+        except (json.JSONDecodeError, IndexError):
+            raise CheckpointMismatch(
+                f"{self.path} is not a campaign checkpoint (bad header)"
+            ) from None
+        if header.get("schema") != SCHEMA:
+            raise CheckpointMismatch(
+                f"{self.path}: unknown checkpoint schema "
+                f"{header.get('schema')!r} (expected {SCHEMA!r})"
+            )
+        theirs = header.get("fingerprint", {})
+        if theirs != self.fingerprint:
+            differing = sorted(
+                k
+                for k in set(theirs) | set(self.fingerprint)
+                if theirs.get(k) != self.fingerprint.get(k)
+            )
+            raise CheckpointMismatch(
+                f"{self.path} was written by a different campaign "
+                f"(fields differing: {differing}); refusing to resume"
+            )
+        for line in lines[1:]:
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn trailing append — discard it and the rest
+            index = int(entry["index"])
+            if "records" in entry:
+                self.completed[index] = entry["records"]
+            elif "quarantined" in entry:
+                self.quarantined[index] = entry["quarantined"]
+
+    def _append(self, obj: dict) -> None:
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(obj) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    # -- recording -----------------------------------------------------------
+
+    def record_result(self, index: int, records: list[RunRecord]) -> None:
+        entry = [r.to_dict() for r in records]
+        self.completed[index] = entry
+        self._append({"index": index, "records": entry})
+
+    def record_quarantine(self, index: int, quarantined: dict) -> None:
+        self.quarantined[index] = quarantined
+        self._append({"index": index, "quarantined": quarantined})
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def done_indices(self) -> set[int]:
+        return set(self.completed) | set(self.quarantined)

@@ -14,6 +14,8 @@ workload construction is cached per (kernel, problem).
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,6 +26,8 @@ from repro.analysis import (
     lint_counters,
     lint_workload,
 )
+from repro.faults.errors import InjectedFault, LaunchTimeout
+from repro.faults.plan import should_inject
 from repro.gpusim.arch import GPUArchitecture
 from repro.gpusim.noise import Perturbation
 from repro.gpusim.simulator import (
@@ -62,10 +66,22 @@ class RunRecord:
         counter_names: list[str],
         include_characteristics: bool = True,
         include_machine: bool = False,
+        missing: str = "raise",
     ) -> tuple[list[str], np.ndarray]:
-        """Assemble this run's predictor vector in a stable column order."""
+        """Assemble this run's predictor vector in a stable column order.
+
+        ``missing`` controls counters absent from this record: ``"raise"``
+        (default) propagates the ``KeyError``; ``"nan"`` fills the cell
+        with NaN so degraded runs (dropped nvprof passes) still produce a
+        row — the fit layer imputes or drops it explicitly.
+        """
+        if missing not in ("raise", "nan"):
+            raise ValueError("missing must be 'raise' or 'nan'")
         names: list[str] = list(counter_names)
-        values = [self.counters[c] for c in counter_names]
+        if missing == "nan":
+            values = [self.counters.get(c, math.nan) for c in counter_names]
+        else:
+            values = [self.counters[c] for c in counter_names]
         if include_characteristics:
             for key in sorted(self.characteristics):
                 names.append(key)
@@ -75,6 +91,44 @@ class RunRecord:
                 names.append(key)
                 values.append(self.machine[key])
         return names, np.asarray(values, dtype=float)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (checkpoint lines; see
+        :mod:`repro.profiling.checkpoint`). kernel/arch/family are
+        carried by the checkpoint header, not repeated per record."""
+        return {
+            "problem": self.problem,
+            "replicate": self.replicate,
+            "time_s": self.time_s,
+            "power_w": self.power_w,
+            "characteristics": self.characteristics,
+            "counters": self.counters,
+            "machine": self.machine,
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: dict, kernel: str, arch: str, family: str
+    ) -> "RunRecord":
+        """Rebuild a record from :meth:`to_dict` output.
+
+        Floats round-trip bit-exactly through JSON (``repr`` encoding),
+        which is what makes checkpoint resume bit-identical.
+        """
+        return cls(
+            kernel=kernel,
+            arch=arch,
+            family=family,
+            problem=data["problem"],
+            replicate=int(data["replicate"]),
+            time_s=float(data["time_s"]),
+            power_w=None if data.get("power_w") is None else float(data["power_w"]),
+            characteristics={
+                k: float(v) for k, v in data["characteristics"].items()
+            },
+            counters={k: float(v) for k, v in data["counters"].items()},
+            machine={k: float(v) for k, v in data.get("machine", {}).items()},
+        )
 
 
 class Profiler:
@@ -151,6 +205,7 @@ class Profiler:
         problem: object,
         replicates: int = 1,
         rng: np.random.Generator | None = None,
+        deadline_s: float | None = None,
     ) -> list[RunRecord]:
         """Profile ``replicates`` runs of one kernel/problem pair.
 
@@ -161,6 +216,13 @@ class Profiler:
         campaign passes one spawned child stream per problem so the
         collected dataset does not depend on which process profiles
         which problem (see :meth:`repro.profiling.Campaign.run`).
+
+        ``deadline_s`` is a cooperative per-call deadline on the
+        ``time.monotonic()`` clock: checked between kernel launches and
+        between replicates, an overrun raises
+        :class:`~repro.faults.LaunchTimeout` (the campaign layer retries
+        and ultimately quarantines it). ``None`` — the default — costs
+        no clock reads.
         """
         if replicates < 1:
             raise ValueError("replicates must be >= 1")
@@ -173,7 +235,14 @@ class Profiler:
             problem=str(problem),
             replicates=replicates,
         ):
-            return self._profile(kernel, problem, replicates, rng)
+            return self._profile(kernel, problem, replicates, rng, deadline_s)
+
+    def _check_deadline(self, deadline_s: float | None, problem: object) -> None:
+        if deadline_s is not None and time.monotonic() > deadline_s:
+            raise LaunchTimeout(
+                f"launch exceeded its deadline while profiling "
+                f"problem {problem!r} on {self.arch.name}"
+            )
 
     def _profile(
         self,
@@ -181,7 +250,27 @@ class Profiler:
         problem: object,
         replicates: int,
         rng: np.random.Generator,
+        deadline_s: float | None = None,
     ) -> list[RunRecord]:
+        fault = should_inject(
+            "profiler.launch",
+            kernel=kernel.name,
+            arch=self.arch.name,
+            problem=problem,
+        )
+        if fault is not None:
+            if fault.mode == "raise":
+                raise InjectedFault(
+                    f"injected launch failure: {kernel.name!r} "
+                    f"problem {problem!r} on {self.arch.name}"
+                )
+            if fault.mode == "hang":
+                # A hung launch is indistinguishable from slowness until
+                # the deadline fires — model it as its timeout.
+                raise LaunchTimeout(
+                    f"injected launch hang: {kernel.name!r} "
+                    f"problem {problem!r} on {self.arch.name}"
+                )
         workloads = self._workloads(kernel, problem)
         if self.sanitize and self.arch.family != "cpu":
             # Re-checked per profile() call, not per cache fill: a
@@ -208,7 +297,13 @@ class Profiler:
                     time_s,
                 )
             else:
-                profiles = [self._sim.launch(wl, pert) for wl in workloads]
+                if deadline_s is None:
+                    profiles = [self._sim.launch(wl, pert) for wl in workloads]
+                else:
+                    profiles = []
+                    for wl in workloads:
+                        self._check_deadline(deadline_s, problem)
+                        profiles.append(self._sim.launch(wl, pert))
                 totals = sum_raw(profiles)
                 counters, time_s = finalize_counters(
                     self.arch, totals, time_scale=pert.time_jitter
@@ -219,6 +314,8 @@ class Profiler:
                     else None
                 )
             values = counters.as_dict()
+            if fault is not None and fault.mode in ("nan_counters", "drop_counters"):
+                values = _corrupt_counters(values, fault)
             if self.sanitize:
                 # Checked before measurement error on purpose: these
                 # rules validate the simulator's physics, not the
@@ -251,7 +348,23 @@ class Profiler:
                     power_w=power_w,
                 )
             )
+            self._check_deadline(deadline_s, problem)
         return records
 
     def clear_cache(self) -> None:
         self._workload_cache.clear()
+
+
+def _corrupt_counters(values: dict[str, float], fault) -> dict[str, float]:
+    """Enact a ``nan_counters``/``drop_counters`` fault on a counter
+    vector — the partial counter sets real multi-pass nvprof collection
+    loses when a replay pass fails."""
+    payload = fault.payload_dict
+    targets = payload.get("counters") or ["ipc"]
+    if fault.mode == "drop_counters":
+        return {k: v for k, v in values.items() if k not in targets}
+    poison = float("inf") if payload.get("value") == "inf" else math.nan
+    for name in targets:
+        if name in values:
+            values[name] = poison
+    return values

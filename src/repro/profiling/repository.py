@@ -6,30 +6,96 @@ that structured repository: one directory per campaign holding a CSV
 table of runs, a JSON metadata sidecar and a provenance manifest
 (:mod:`repro.obs.manifest`), addressable by :class:`CampaignKey` and
 safely round-trippable.
+
+Writes are torn-proof: every artifact is written to a temp file, fsynced
+and renamed into place, so a crash mid-save leaves either the old
+campaign or the new one — never half of each. The manifest carries
+SHA-256 checksums of its sibling files; :meth:`ProfileRepository.verify`
+recomputes them (plus structural checks), and
+:meth:`ProfileRepository.quarantine` moves a damaged campaign aside into
+``_quarantine/`` instead of deleting evidence. Integrity failures raise
+:class:`RepositoryIntegrityError` (a ``ValueError`` whose message always
+says "corrupt"). Fault injection for all of this lives at the
+``repository.write`` site (see :mod:`repro.faults`).
 """
 
 from __future__ import annotations
 
 import csv
+import hashlib
+import io
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro._compat import warn_once
+from repro.faults.plan import should_inject
 from repro.obs import Manifest, build_manifest
 
 from .campaign import CampaignResult
 from .profiler import RunRecord
 
-__all__ = ["CampaignKey", "ProfileRepository"]
+__all__ = ["CampaignKey", "ProfileRepository", "RepositoryIntegrityError"]
 
 _META = "meta.json"
 _DATA = "runs.csv"
 _MANIFEST = "manifest.json"
+#: Sub-directory verify-failed campaigns are moved into. Its campaigns
+#: sit one level deeper than ``<root>/<campaign>/``, so ``glob`` based
+#: listing/loading never sees them.
+_QUARANTINE = "_quarantine"
+
+
+class RepositoryIntegrityError(ValueError):
+    """A stored campaign failed an integrity check (torn or corrupt
+    file, checksum mismatch, row-count mismatch). Subclasses
+    ``ValueError`` so pre-existing ``except ValueError`` handling — and
+    tests matching "corrupt" — keep working."""
 
 
 def _safe(s: str) -> str:
     return "".join(c if c.isalnum() or c in "-_." else "_" for c in s)
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _read_text(path: Path) -> str:
+    """Read a repository file; undecodable bytes mean bit rot."""
+    try:
+        return path.read_text()
+    except UnicodeDecodeError as exc:
+        raise RepositoryIntegrityError(
+            f"repository corrupt: {path.parent.name}/{path.name} is not "
+            f"valid UTF-8 ({exc}); see ProfileRepository.quarantine"
+        ) from None
+
+
+def _atomic_write(path: Path, text: str, campaign: str) -> None:
+    """Write-then-rename with fsync; the ``repository.write`` fault site.
+
+    An injected ``torn_file``/``corrupt_file`` rule damages the payload
+    *after* the caller computed checksums from the intact text — exactly
+    the disk-level damage :meth:`ProfileRepository.verify` exists to
+    catch.
+    """
+    fault = should_inject("repository.write", file=path.name, campaign=campaign)
+    if fault is not None:
+        if fault.mode == "torn_file":
+            fraction = float(fault.payload_dict.get("fraction", 0.5))
+            text = text[: int(len(text) * fraction)]
+        elif fault.mode == "corrupt_file":
+            # Flip a byte mid-file: still the right length, wrong content.
+            middle = len(text) // 2
+            text = text[:middle] + "\x00" + text[middle + 1 :]
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", newline="") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
 
 
 @dataclass(frozen=True)
@@ -98,9 +164,10 @@ class ProfileRepository:
 
         The campaign is addressed by ``key`` when given, else by a key
         derived from the result's own (kernel, arch) plus ``tag``. A
-        provenance manifest (seed, config, git revision, any active
-        trace/metrics — :mod:`repro.obs.manifest`) is written alongside
-        the data.
+        provenance manifest (seed, config, git revision, SHA-256
+        checksums of the data files, any active trace/metrics —
+        :mod:`repro.obs.manifest`) is written alongside the data. All
+        three files are written atomically (temp file + fsync + rename).
         """
         if not result.records:
             raise ValueError("refusing to save an empty campaign")
@@ -125,7 +192,7 @@ class ProfileRepository:
             "characteristics": char_names,
             "machine_metrics": machine_names,
         }
-        (cdir / _META).write_text(json.dumps(meta, indent=2))
+        meta_text = json.dumps(meta, indent=2)
 
         header = (
             ["problem", "replicate", "time_s", "power_w"]
@@ -133,17 +200,27 @@ class ProfileRepository:
             + [f"counter:{c}" for c in counter_names]
             + [f"machine:{m}" for m in machine_names]
         )
-        with open(cdir / _DATA, "w", newline="") as fh:
-            writer = csv.writer(fh)
-            writer.writerow(header)
-            for r in result.records:
-                writer.writerow(
-                    [json.dumps(r.problem), r.replicate, repr(r.time_s),
-                     "" if r.power_w is None else repr(r.power_w)]
-                    + [repr(r.characteristics[c]) for c in char_names]
-                    + [repr(r.counters[c]) for c in counter_names]
-                    + [repr(r.machine[m]) for m in machine_names]
-                )
+        buffer = io.StringIO()
+        # "\n" terminators (not the csv default "\r\n") so the text —
+        # and therefore its checksum — is identical whether read raw or
+        # through universal-newline translation.
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(header)
+        for r in result.records:
+            writer.writerow(
+                [json.dumps(r.problem), r.replicate, repr(r.time_s),
+                 "" if r.power_w is None else repr(r.power_w)]
+                + [repr(r.characteristics[c]) for c in char_names]
+                + [repr(r.counters[c]) for c in counter_names]
+                + [repr(r.machine[m]) for m in machine_names]
+            )
+        data_text = buffer.getvalue()
+
+        # Checksums are of the *intended* content; a write torn on the
+        # way to disk (crash, injected fault) therefore fails verify().
+        checksums = {_META: _sha256(meta_text), _DATA: _sha256(data_text)}
+        _atomic_write(cdir / _META, meta_text, key.dirname)
+        _atomic_write(cdir / _DATA, data_text, key.dirname)
 
         manifest = build_manifest(
             kernel=result.kernel,
@@ -152,17 +229,30 @@ class ProfileRepository:
             seed=seed,
             n_runs=len(result.records),
             config=config or {},
+            checksums=checksums,
         )
-        manifest.write(cdir / _MANIFEST)
+        _atomic_write(cdir / _MANIFEST, manifest.to_json(), key.dirname)
         return cdir
 
     # -- read ----------------------------------------------------------------
 
     def list_campaigns(self) -> list[dict]:
-        """Metadata of every stored campaign."""
+        """Metadata of every stored campaign.
+
+        Campaigns whose ``meta.json`` no longer parses are skipped with
+        a warning (run :meth:`verify`/:meth:`quarantine` on them) so one
+        damaged directory cannot take down enumeration of the rest.
+        """
         out = []
         for meta_path in sorted(self.root.glob(f"*/{_META}")):
-            out.append(json.loads(meta_path.read_text()))
+            try:
+                out.append(json.loads(_read_text(meta_path)))
+            except (json.JSONDecodeError, RepositoryIntegrityError):
+                warn_once(
+                    f"ProfileRepository:unreadable:{meta_path.parent.name}",
+                    f"skipping campaign {meta_path.parent.name!r}: corrupt "
+                    f"meta.json (see ProfileRepository.verify)",
+                )
         return out
 
     def keys(self) -> list[CampaignKey]:
@@ -180,6 +270,15 @@ class ProfileRepository:
         arch: str | None = None,
         tag: str | None = None,
     ) -> CampaignResult:
+        """Load one campaign, verifying integrity on the way.
+
+        Data-file checksums (when the manifest records them) and the
+        meta row count are checked; failures raise
+        :class:`RepositoryIntegrityError`. Legacy entries — no manifest
+        sidecar, or meta files missing keys newer code writes — load
+        with a warning and sensible defaults instead of a bare
+        ``KeyError``.
+        """
         key = _as_key(key, arch, tag)
         cdir = self.root / key.dirname
         meta_path = cdir / _META
@@ -187,47 +286,124 @@ class ProfileRepository:
             raise FileNotFoundError(
                 f"no campaign stored for {key.kernel!r} on {key.arch!r}"
             )
-        meta = json.loads(meta_path.read_text())
+        meta_text = _read_text(meta_path)
+        try:
+            meta = json.loads(meta_text)
+        except json.JSONDecodeError as exc:
+            raise RepositoryIntegrityError(
+                f"repository corrupt: {key.dirname}/{_META} is not valid "
+                f"JSON ({exc})"
+            ) from None
+        data_path = cdir / _DATA
+        if not data_path.exists():
+            raise RepositoryIntegrityError(
+                f"repository corrupt: {key.dirname} has metadata but no "
+                f"{_DATA}"
+            )
+        data_text = _read_text(data_path)
 
+        manifest = self.load_manifest(key)
+        if manifest is None:
+            warn_once(
+                f"ProfileRepository:legacy:{key.dirname}",
+                f"campaign {key.dirname!r} has no provenance manifest "
+                f"(saved by an older version); loading without checksum "
+                f"verification",
+            )
+        else:
+            self._check_checksums(
+                key.dirname,
+                manifest.checksums,
+                {_META: meta_text, _DATA: data_text},
+            )
+
+        meta = self._normalize_meta(key, meta, data_text)
         result = CampaignResult(
             kernel=meta["kernel"], arch=meta["arch"], family=meta["family"]
         )
-        with open(cdir / _DATA, newline="") as fh:
-            reader = csv.reader(fh)
-            header = next(reader)
-            for row in reader:
-                rec = dict(zip(header, row))
-                result.records.append(
-                    RunRecord(
-                        kernel=meta["kernel"],
-                        arch=meta["arch"],
-                        family=meta["family"],
-                        problem=json.loads(rec["problem"]),
-                        replicate=int(rec["replicate"]),
-                        time_s=float(rec["time_s"]),
-                        power_w=(
-                            float(rec["power_w"])
-                            if rec.get("power_w") not in (None, "")
-                            else None
-                        ),
-                        characteristics={
-                            c: float(rec[f"char:{c}"]) for c in meta["characteristics"]
-                        },
-                        counters={
-                            c: float(rec[f"counter:{c}"]) for c in meta["counters"]
-                        },
-                        machine={
-                            m: float(rec[f"machine:{m}"])
-                            for m in meta["machine_metrics"]
-                        },
-                    )
+        reader = csv.reader(data_text.splitlines())
+        header = next(reader)
+        for row in reader:
+            rec = dict(zip(header, row))
+            result.records.append(
+                RunRecord(
+                    kernel=meta["kernel"],
+                    arch=meta["arch"],
+                    family=meta["family"],
+                    problem=json.loads(rec["problem"]),
+                    replicate=int(rec["replicate"]),
+                    time_s=float(rec["time_s"]),
+                    power_w=(
+                        float(rec["power_w"])
+                        if rec.get("power_w") not in (None, "")
+                        else None
+                    ),
+                    characteristics={
+                        c: float(rec[f"char:{c}"]) for c in meta["characteristics"]
+                    },
+                    counters={
+                        c: float(rec[f"counter:{c}"]) for c in meta["counters"]
+                    },
+                    machine={
+                        m: float(rec[f"machine:{m}"])
+                        for m in meta["machine_metrics"]
+                    },
                 )
-        if len(result.records) != meta["n_runs"]:
-            raise ValueError(
+            )
+        if meta["n_runs"] is not None and len(result.records) != meta["n_runs"]:
+            raise RepositoryIntegrityError(
                 f"repository corrupt: expected {meta['n_runs']} runs, "
                 f"found {len(result.records)}"
             )
         return result
+
+    @staticmethod
+    def _check_checksums(
+        dirname: str, expected: dict, actual_texts: dict[str, str]
+    ) -> None:
+        for name, text in actual_texts.items():
+            want = expected.get(name)
+            if want is not None and _sha256(text) != want:
+                raise RepositoryIntegrityError(
+                    f"repository corrupt: checksum mismatch for "
+                    f"{dirname}/{name} (file damaged after save — torn "
+                    f"write or bit rot; see ProfileRepository.quarantine)"
+                )
+
+    @staticmethod
+    def _normalize_meta(key: CampaignKey, meta: dict, data_text: str) -> dict:
+        """Fill keys newer code writes but legacy entries lack.
+
+        Column lists are recovered from the CSV header prefixes
+        (``char:``/``counter:``/``machine:``); a missing ``n_runs``
+        becomes ``None`` (count check skipped). Loud but non-fatal: a
+        years-old campaign is still data.
+        """
+        required = ("family", "tag", "n_runs", "counters",
+                    "characteristics", "machine_metrics")
+        missing = [k for k in required if k not in meta]
+        if missing:
+            warn_once(
+                f"ProfileRepository:legacy-meta:{key.dirname}",
+                f"campaign {key.dirname!r} metadata lacks {missing} (saved "
+                f"by an older version); reconstructing from the data file",
+            )
+            header = data_text.splitlines()[0].split(",") if data_text else []
+            defaults = {
+                "family": "unknown",
+                "tag": None,
+                "n_runs": None,
+                "counters": [h[len("counter:"):] for h in header
+                             if h.startswith("counter:")],
+                "characteristics": [h[len("char:"):] for h in header
+                                    if h.startswith("char:")],
+                "machine_metrics": [h[len("machine:"):] for h in header
+                                    if h.startswith("machine:")],
+            }
+            meta = {**defaults, **meta}
+        meta.setdefault("kernel", key.kernel)
+        meta.setdefault("arch", key.arch)
+        return meta
 
     def has(
         self,
@@ -246,13 +422,132 @@ class ProfileRepository:
     ) -> Manifest | None:
         """The provenance manifest of a stored campaign, if present.
 
-        Returns ``None`` for campaigns saved before manifests existed.
+        Returns ``None`` for campaigns saved before manifests existed;
+        raises :class:`RepositoryIntegrityError` when the file exists
+        but no longer parses.
         """
         key = _as_key(key, arch, tag)
         path = self.root / key.dirname / _MANIFEST
         if not path.exists():
             return None
-        return Manifest.read(path)
+        try:
+            return Manifest.read(path)
+        except (json.JSONDecodeError, ValueError) as exc:
+            raise RepositoryIntegrityError(
+                f"repository corrupt: {key.dirname}/{_MANIFEST} is "
+                f"unreadable ({exc})"
+            ) from None
+
+    # -- integrity -----------------------------------------------------------
+
+    def verify(
+        self,
+        key: CampaignKey | str,
+        arch: str | None = None,
+        tag: str | None = None,
+    ) -> list[str]:
+        """Integrity findings for one stored campaign (empty = intact).
+
+        Checks, without mutating anything: files present and parseable,
+        manifest checksums match the bytes on disk, row count matches
+        the metadata. Designed to be cheap enough to run over a whole
+        repository (``repro repo verify``).
+        """
+        key = _as_key(key, arch, tag)
+        return self._verify_dirname(key.dirname)
+
+    def _verify_dirname(self, dirname: str) -> list[str]:
+        cdir = self.root / dirname
+        findings: list[str] = []
+        if not cdir.is_dir():
+            return [f"{dirname}: campaign directory missing"]
+        texts: dict[str, str] = {}
+        for name in (_META, _DATA):
+            path = cdir / name
+            if not path.exists():
+                findings.append(f"{dirname}/{name}: missing")
+            else:
+                try:
+                    texts[name] = path.read_text()
+                except UnicodeDecodeError:
+                    findings.append(
+                        f"{dirname}/{name}: corrupt (not valid UTF-8)"
+                    )
+        meta = None
+        if _META in texts:
+            try:
+                meta = json.loads(texts[_META])
+            except json.JSONDecodeError:
+                findings.append(f"{dirname}/{_META}: corrupt (not JSON)")
+        manifest_path = cdir / _MANIFEST
+        if not manifest_path.exists():
+            findings.append(
+                f"{dirname}/{_MANIFEST}: missing (legacy campaign — "
+                f"no checksums to verify)"
+            )
+        else:
+            try:
+                manifest = Manifest.read(manifest_path)
+            except (json.JSONDecodeError, ValueError):
+                findings.append(f"{dirname}/{_MANIFEST}: corrupt")
+            else:
+                for name, want in sorted(manifest.checksums.items()):
+                    have = texts.get(name)
+                    if have is not None and _sha256(have) != want:
+                        findings.append(
+                            f"{dirname}/{name}: corrupt (checksum mismatch)"
+                        )
+        if meta is not None and _DATA in texts and meta.get("n_runs") is not None:
+            n_rows = max(len(texts[_DATA].splitlines()) - 1, 0)
+            if n_rows != meta["n_runs"]:
+                findings.append(
+                    f"{dirname}/{_DATA}: corrupt (row count {n_rows} != "
+                    f"meta n_runs {meta['n_runs']})"
+                )
+        return findings
+
+    def verify_all(self) -> dict[str, list[str]]:
+        """:meth:`verify` over every campaign directory (by dirname).
+
+        Enumerates raw directories rather than :meth:`keys` so campaigns
+        whose metadata is too damaged to list still get checked. The
+        quarantine area is skipped — it holds known-bad data.
+        """
+        return {
+            cdir.name: self._verify_dirname(cdir.name)
+            for cdir in sorted(self.root.iterdir())
+            if cdir.is_dir() and cdir.name != _QUARANTINE
+        }
+
+    def quarantine(
+        self,
+        key: CampaignKey | str,
+        arch: str | None = None,
+        tag: str | None = None,
+    ) -> Path:
+        """Move a damaged campaign into ``<root>/_quarantine/``.
+
+        The data is preserved for post-mortem (nothing is deleted) but
+        disappears from :meth:`keys`/:meth:`list_campaigns`/:meth:`load`.
+        Returns the new location.
+        """
+        key = _as_key(key, arch, tag)
+        if not (self.root / key.dirname).is_dir():
+            raise FileNotFoundError(
+                f"no campaign stored for {key.kernel!r} on {key.arch!r}"
+            )
+        return self._quarantine_dirname(key.dirname)
+
+    def _quarantine_dirname(self, dirname: str) -> Path:
+        qdir = self.root / _QUARANTINE
+        qdir.mkdir(exist_ok=True)
+        target = qdir / dirname
+        suffix = 1
+        while target.exists():
+            target = qdir / f"{dirname}.{suffix}"
+            suffix += 1
+        os.replace(self.root / dirname, target)
+        return target
 
 
 def __getattr__(name: str):

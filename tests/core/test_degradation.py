@@ -1,0 +1,93 @@
+"""Graceful predictor degradation on damaged campaigns.
+
+A campaign that lost counters (injected NaNs, dropped nvprof passes)
+must still fit — with a RuntimeWarning and an explicit degradation
+record on the artifact — while clean campaigns fit exactly as before.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import BlackForest, HardwareScalingPredictor
+from repro.faults import FaultPlan, FaultSpec, fault_injection
+from repro.gpusim import GTX580
+from repro.kernels import VectorAddKernel
+from repro.profiling import Campaign
+
+KERNEL = VectorAddKernel()
+PROBLEMS = KERNEL.default_sweep()[:12]
+
+
+def _campaign(plan=None, rng=5):
+    with fault_injection(plan):
+        return Campaign(KERNEL, GTX580, rng=rng).run(
+            problems=PROBLEMS, replicates=2
+        )
+
+
+def _nan_plan():
+    return FaultPlan([
+        FaultSpec(
+            "profiler.launch", "nan_counters",
+            match={"problem": PROBLEMS[2]},
+        )
+    ])
+
+
+class TestBlackForestDegradation:
+    def test_clean_fit_has_no_degradation(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            fit = BlackForest(n_trees=10, rng=1).fit(_campaign())
+        assert fit.degradation is None
+
+    def test_nan_counters_fit_warns_and_records(self):
+        campaign = _campaign(_nan_plan())
+        assert any(
+            not np.isfinite(v)
+            for r in campaign.records
+            for v in r.counters.values()
+        )
+        with pytest.warns(RuntimeWarning, match="degraded campaign"):
+            fit = BlackForest(n_trees=10, rng=1).fit(campaign)
+        assert fit.degradation is not None
+        assert sum(fit.degradation["imputed_cells"].values()) > 0
+        # Degraded or not, the artifact still predicts.
+        assert np.isfinite(fit.predict(fit.X_test)).all()
+
+    def test_dropped_counters_fit_still_works(self):
+        plan = FaultPlan([
+            FaultSpec(
+                "profiler.launch", "drop_counters",
+                match={"problem": PROBLEMS[4]},
+            )
+        ])
+        campaign = _campaign(plan)
+        with pytest.warns(RuntimeWarning, match="degraded campaign"):
+            fit = BlackForest(n_trees=10, rng=1).fit(campaign)
+        assert fit.degradation is not None
+
+    def test_degradation_survives_in_fit_summary_inputs(self):
+        campaign = _campaign(_nan_plan())
+        with pytest.warns(RuntimeWarning):
+            fit = BlackForest(n_trees=10, rng=1).fit(campaign)
+        assert isinstance(fit.degradation, dict)
+        assert set(fit.degradation) == {
+            "dropped_rows", "dropped_columns", "imputed_cells"
+        }
+
+
+class TestHardwareScalingDegradation:
+    def test_clean_fit_has_no_degradation(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            hw = HardwareScalingPredictor(n_trees=10, rng=0).fit(_campaign())
+        assert hw.degradation is None
+
+    def test_degraded_fit_warns_and_records(self):
+        campaign = _campaign(_nan_plan())
+        with pytest.warns(RuntimeWarning, match="degraded campaign"):
+            hw = HardwareScalingPredictor(n_trees=10, rng=0).fit(campaign)
+        assert hw.degradation is not None

@@ -1,0 +1,103 @@
+"""Degenerate inputs for coalescing and the cache simulator.
+
+Edge cases a chaos campaign can produce (a truncated trace, a kernel
+with no memory traffic, a probe stream dwarfing the cache) must behave
+sensibly instead of crashing or returning garbage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.arch import CacheGeometry
+from repro.gpusim.memory import (
+    CacheSim,
+    coalesce_trace,
+    transactions_from_trace,
+)
+
+
+def _tiny_geometry() -> CacheGeometry:
+    # 16 sets x 2 ways x 32B lines = 1 KiB, 32-line capacity.
+    return CacheGeometry(size_bytes=1024, line_bytes=32, associativity=2)
+
+
+class TestCoalesceDegenerate:
+    def test_empty_trace_yields_empty_segment_stream(self):
+        empty = np.empty((0, 32), dtype=np.int64)
+        assert coalesce_trace(empty, 32).size == 0
+        assert transactions_from_trace(empty, 32).size == 0
+
+    def test_broadcast_request_coalesces_to_one_segment(self):
+        trace = np.zeros((1, 32), dtype=np.int64)  # all lanes, one address
+        segments = coalesce_trace(trace, 32)
+        assert segments.tolist() == [0]
+        assert transactions_from_trace(trace, 32).tolist() == [1]
+
+    def test_single_active_lane(self):
+        trace = np.full((1, 32), -1, dtype=np.int64)
+        trace[0, 7] = 96
+        assert coalesce_trace(trace, 32).tolist() == [3]
+
+    def test_fully_inactive_request_produces_no_segments(self):
+        trace = np.full((2, 32), -1, dtype=np.int64)
+        assert coalesce_trace(trace, 32).size == 0
+        assert transactions_from_trace(trace, 32).tolist() == [0, 0]
+
+    def test_wrong_trace_shape_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce_trace(np.zeros((4, 16), dtype=np.int64), 32)
+
+    def test_segment_bytes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            coalesce_trace(np.zeros((1, 32), dtype=np.int64), 0)
+
+
+class TestCacheSimDegenerate:
+    def test_empty_probe_stream(self):
+        sim = CacheSim(_tiny_geometry())
+        hits = sim.access_lines(np.empty(0, dtype=np.int64))
+        assert hits.size == 0 and hits.dtype == bool
+        assert sim.hits == 0 and sim.misses == 0
+        assert sim.hit_rate == 0.0
+
+    def test_single_line_stream(self):
+        sim = CacheSim(_tiny_geometry())
+        first = sim.access_lines(np.array([5]))
+        second = sim.access_lines(np.array([5]))
+        assert not first[0] and second[0]
+        assert (sim.hits, sim.misses) == (1, 1)
+
+    def test_stream_within_capacity_hits_on_reuse(self):
+        geometry = _tiny_geometry()
+        sim = CacheSim(geometry)
+        capacity = geometry.n_sets * geometry.associativity
+        lines = np.arange(capacity)
+        assert not sim.access_lines(lines).any()  # cold misses
+        assert sim.access_lines(lines).all()  # fully resident
+
+    def test_stream_larger_than_cache_thrashes(self):
+        # A cyclic stream of 2x capacity under LRU: every reuse distance
+        # exceeds the cache, so the second pass misses everything too.
+        geometry = _tiny_geometry()
+        sim = CacheSim(geometry)
+        lines = np.arange(2 * geometry.n_sets * geometry.associativity)
+        sim.access_lines(lines)
+        assert not sim.access_lines(lines).any()
+        assert sim.hits == 0
+
+    def test_access_lines_matches_scalar_loop(self):
+        rng = np.random.default_rng(0)
+        lines = rng.integers(0, 200, size=500)
+        vector = CacheSim(_tiny_geometry())
+        scalar = CacheSim(_tiny_geometry())
+        batched = vector.access_lines(lines)
+        looped = np.array([scalar.access_line(int(l)) for l in lines])
+        assert (batched == looped).all()
+        assert (vector.hits, vector.misses) == (scalar.hits, scalar.misses)
+
+    def test_reset_clears_state_and_counters(self):
+        sim = CacheSim(_tiny_geometry())
+        sim.access_lines(np.arange(10))
+        sim.reset()
+        assert (sim.hits, sim.misses) == (0, 0)
+        assert not sim.access_lines(np.arange(10)).any()

@@ -1,0 +1,99 @@
+"""Tests for sanitize_matrix (graceful degradation of fit inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import MatrixSanitation, sanitize_matrix
+
+
+def _clean():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(10, 3))
+    y = rng.normal(size=10)
+    return X, y, ["a", "b", "c"]
+
+
+class TestCleanFastPath:
+    def test_finite_input_returned_unchanged(self):
+        X, y, names = _clean()
+        X2, y2, names2, report = sanitize_matrix(X, y, names)
+        assert X2 is X and y2 is y  # same objects: bit-identity preserved
+        assert names2 == names
+        assert not report.degraded
+        assert report.summary() == "clean"
+
+
+class TestDegradedInputs:
+    def test_nonfinite_response_rows_dropped(self):
+        X, y, names = _clean()
+        y = y.copy()
+        y[3] = np.nan
+        y[7] = np.inf
+        X2, y2, _, report = sanitize_matrix(X, y, names)
+        assert len(y2) == 8 and X2.shape[0] == 8
+        assert report.dropped_rows == 2
+        assert report.degraded
+
+    def test_all_nan_column_dropped(self):
+        X, y, names = _clean()
+        X = X.copy()
+        X[:, 1] = np.nan
+        X2, _, names2, report = sanitize_matrix(X, y, names)
+        assert names2 == ["a", "c"]
+        assert X2.shape[1] == 2
+        assert report.dropped_columns == ["b"]
+
+    def test_sparse_nans_median_imputed(self):
+        X, y, names = _clean()
+        X = X.copy()
+        X[2, 0] = np.nan
+        X[5, 0] = np.nan
+        X2, _, _, report = sanitize_matrix(X, y, names)
+        finite = X[np.isfinite(X[:, 0]), 0]
+        assert X2[2, 0] == pytest.approx(np.median(finite))
+        assert report.imputed_cells == {"a": 2}
+        assert np.isfinite(X2).all()
+
+    def test_combined_damage(self):
+        X, y, names = _clean()
+        X, y = X.copy(), y.copy()
+        y[0] = np.nan  # row drop
+        X[:, 2] = np.nan  # column drop
+        X[4, 0] = np.nan  # imputation
+        X2, y2, names2, report = sanitize_matrix(X, y, names)
+        assert X2.shape == (9, 2)
+        assert names2 == ["a", "b"]
+        assert np.isfinite(X2).all() and np.isfinite(y2).all()
+        parts = report.summary()
+        assert "dropped 1 row" in parts
+        assert "'c'" in parts
+        assert "imputed" in parts
+
+
+class TestTooDegraded:
+    def test_no_usable_rows(self):
+        X, y, names = _clean()
+        with pytest.raises(ValueError, match="no usable rows"):
+            sanitize_matrix(X, np.full_like(y, np.nan), names)
+
+    def test_no_usable_columns(self):
+        X, y, names = _clean()
+        with pytest.raises(ValueError, match="no usable predictor columns"):
+            sanitize_matrix(np.full_like(X, np.nan), y, names)
+
+
+class TestReport:
+    def test_to_dict_shape(self):
+        report = MatrixSanitation(
+            dropped_rows=1, dropped_columns=["b"], imputed_cells={"a": 2}
+        )
+        d = report.to_dict()
+        assert d["dropped_rows"] == 1
+        assert d["dropped_columns"] == ["b"]
+        assert d["imputed_cells"] == {"a": 2}
+
+    def test_degraded_flag(self):
+        assert not MatrixSanitation().degraded
+        assert MatrixSanitation(dropped_rows=1).degraded
+        assert MatrixSanitation(dropped_columns=["x"]).degraded
+        assert MatrixSanitation(imputed_cells={"x": 1}).degraded

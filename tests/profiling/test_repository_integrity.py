@@ -1,0 +1,177 @@
+"""Repository integrity: checksums, verify/quarantine, legacy loads."""
+
+import json
+
+import pytest
+
+from repro._compat import reset_deprecation_warnings
+from repro.faults import FaultPlan, FaultSpec, fault_injection
+from repro.gpusim import GTX580
+from repro.kernels import VectorAddKernel
+from repro.profiling import (
+    Campaign,
+    CampaignKey,
+    ProfileRepository,
+    RepositoryIntegrityError,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    kernel = VectorAddKernel()
+    return Campaign(kernel, GTX580, rng=2).run(
+        problems=kernel.default_sweep()[:3]
+    )
+
+
+def _flip_middle_byte(path) -> None:
+    data = bytearray(path.read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+class TestChecksums:
+    def test_clean_roundtrip_verifies(self, tmp_path, result):
+        repo = ProfileRepository(tmp_path)
+        repo.save(result, seed=2)
+        key = CampaignKey(result.kernel, result.arch)
+        assert repo.verify(key) == []
+        loaded = repo.load(key)
+        assert len(loaded.records) == len(result.records)
+        assert loaded.records[0].counters == result.records[0].counters
+
+    def test_flipped_byte_in_data_fails_load(self, tmp_path, result):
+        repo = ProfileRepository(tmp_path)
+        cdir = repo.save(result)
+        _flip_middle_byte(cdir / "runs.csv")
+        key = CampaignKey(result.kernel, result.arch)
+        with pytest.raises(RepositoryIntegrityError, match="corrupt"):
+            repo.load(key)
+        # Depending on where the byte lands the file is either invalid
+        # UTF-8 or valid text with a wrong checksum; both are "corrupt".
+        assert any("corrupt" in f for f in repo.verify(key))
+
+    def test_corrupt_meta_fails_load(self, tmp_path, result):
+        repo = ProfileRepository(tmp_path)
+        cdir = repo.save(result)
+        (cdir / "meta.json").write_text('{"kernel": "vecto')
+        with pytest.raises(RepositoryIntegrityError, match="corrupt"):
+            repo.load(CampaignKey(result.kernel, result.arch))
+
+    def test_missing_data_file_fails_load(self, tmp_path, result):
+        repo = ProfileRepository(tmp_path)
+        cdir = repo.save(result)
+        (cdir / "runs.csv").unlink()
+        with pytest.raises(RepositoryIntegrityError, match="corrupt"):
+            repo.load(CampaignKey(result.kernel, result.arch))
+
+    def test_manifest_records_data_checksums(self, tmp_path, result):
+        repo = ProfileRepository(tmp_path)
+        repo.save(result)
+        manifest = repo.load_manifest(CampaignKey(result.kernel, result.arch))
+        assert sorted(manifest.checksums) == ["meta.json", "runs.csv"]
+
+
+class TestInjectedWriteFaults:
+    def test_torn_write_is_caught_by_verify(self, tmp_path, result):
+        repo = ProfileRepository(tmp_path)
+        plan = FaultPlan([
+            FaultSpec("repository.write", "torn_file",
+                      match={"file": "runs.csv"})
+        ])
+        with fault_injection(plan):
+            repo.save(result)
+        key = CampaignKey(result.kernel, result.arch)
+        assert any("checksum mismatch" in f for f in repo.verify(key))
+        with pytest.raises(RepositoryIntegrityError, match="corrupt"):
+            repo.load(key)
+
+    def test_corrupt_write_keeps_length_but_fails_checksum(
+        self, tmp_path, result
+    ):
+        repo = ProfileRepository(tmp_path)
+        plan = FaultPlan([
+            FaultSpec("repository.write", "corrupt_file",
+                      match={"file": "runs.csv"})
+        ])
+        with fault_injection(plan):
+            cdir = repo.save(result)
+        clean_len = len(
+            ProfileRepository(tmp_path / "clean").save(result)
+            .joinpath("runs.csv").read_bytes()
+        )
+        assert len((cdir / "runs.csv").read_bytes()) == clean_len
+        assert any(
+            "checksum mismatch" in f
+            for f in repo.verify(CampaignKey(result.kernel, result.arch))
+        )
+
+
+class TestQuarantine:
+    def test_quarantine_moves_damage_aside(self, tmp_path, result):
+        repo = ProfileRepository(tmp_path)
+        cdir = repo.save(result)
+        _flip_middle_byte(cdir / "runs.csv")
+        key = CampaignKey(result.kernel, result.arch)
+        moved = repo.quarantine(key)
+        assert moved.parent.name == "_quarantine"
+        assert (moved / "runs.csv").exists()  # evidence preserved
+        assert not repo.has(key)
+        assert repo.list_campaigns() == []
+        assert repo.verify_all() == {}  # quarantine area is skipped
+        with pytest.raises(FileNotFoundError):
+            repo.load(key)
+
+    def test_quarantine_dedupes_repeat_offenders(self, tmp_path, result):
+        repo = ProfileRepository(tmp_path)
+        key = CampaignKey(result.kernel, result.arch)
+        repo.save(result)
+        first = repo.quarantine(key)
+        repo.save(result)
+        second = repo.quarantine(key)
+        assert first != second and second.name.endswith(".1")
+
+    def test_quarantine_missing_campaign_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ProfileRepository(tmp_path).quarantine(CampaignKey("k", "a"))
+
+
+class TestLegacyEntries:
+    def test_manifestless_campaign_loads_with_warning(self, tmp_path, result):
+        repo = ProfileRepository(tmp_path)
+        cdir = repo.save(result, tag="legacy-nomanifest")
+        (cdir / "manifest.json").unlink()
+        reset_deprecation_warnings()
+        key = CampaignKey(result.kernel, result.arch, tag="legacy-nomanifest")
+        with pytest.warns(DeprecationWarning, match="no provenance manifest"):
+            loaded = repo.load(key)
+        assert len(loaded.records) == len(result.records)
+        findings = repo.verify(key)
+        assert any("legacy" in f for f in findings)
+
+    def test_meta_missing_new_keys_loads_with_warning(self, tmp_path, result):
+        # A campaign saved before family/tag/n_runs/column lists existed
+        # must load (reconstructed from the CSV header), not KeyError.
+        repo = ProfileRepository(tmp_path)
+        cdir = repo.save(result, tag="legacy-meta")
+        meta = json.loads((cdir / "meta.json").read_text())
+        stripped = {"kernel": meta["kernel"], "arch": meta["arch"]}
+        (cdir / "meta.json").write_text(json.dumps(stripped))
+        (cdir / "manifest.json").unlink()  # pre-manifest era too
+        reset_deprecation_warnings()
+        key = CampaignKey(result.kernel, result.arch, tag="legacy-meta")
+        with pytest.warns(DeprecationWarning, match="older version"):
+            loaded = repo.load(key)
+        assert len(loaded.records) == len(result.records)
+        assert loaded.family == "unknown"
+        assert loaded.records[0].counters == result.records[0].counters
+
+    def test_list_campaigns_skips_unparsable_meta(self, tmp_path, result):
+        repo = ProfileRepository(tmp_path)
+        repo.save(result, tag="good")
+        bad = repo.save(result, tag="bad")
+        (bad / "meta.json").write_text("{broken")
+        reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning, match="skipping campaign"):
+            metas = repo.list_campaigns()
+        assert [m["tag"] for m in metas] == ["good"]

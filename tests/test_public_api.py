@@ -12,6 +12,7 @@ import pytest
 
 import repro
 import repro.core
+import repro.faults
 import repro.obs
 import repro.profiling
 
@@ -50,11 +51,30 @@ CORE_EXPORTS = [
 
 PROFILING_EXPORTS = [
     "Campaign",
+    "CampaignCheckpoint",
     "CampaignKey",
     "CampaignResult",
+    "CheckpointMismatch",
     "ProfileRepository",
     "Profiler",
+    "QuarantinedRun",
+    "RepositoryIntegrityError",
     "RunRecord",
+]
+
+FAULTS_EXPORTS = [
+    "FaultError",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "LaunchTimeout",
+    "RetryPolicy",
+    "SITES",
+    "WorkerCrash",
+    "active_plan",
+    "call_with_retry",
+    "fault_injection",
+    "should_inject",
 ]
 
 OBS_EXPORTS = [
@@ -92,11 +112,15 @@ class TestExportSnapshots:
     def test_obs_exports(self):
         assert sorted(repro.obs.__all__) == OBS_EXPORTS
 
+    def test_faults_exports(self):
+        assert sorted(repro.faults.__all__) == FAULTS_EXPORTS
+
     @pytest.mark.parametrize("module,names", [
         (repro.core, CORE_EXPORTS),
         (repro.profiling, PROFILING_EXPORTS),
         (repro.obs, OBS_EXPORTS),
-    ], ids=["core", "profiling", "obs"])
+        (repro.faults, FAULTS_EXPORTS),
+    ], ids=["core", "profiling", "obs", "faults"])
     def test_every_export_resolves(self, module, names):
         for name in names:
             assert getattr(module, name) is not None, name
