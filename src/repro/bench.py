@@ -14,9 +14,17 @@ than publish a meaningless speedup.
 Run it as::
 
     python -m repro bench [--quick] [--ops cache_trace_replay,...]
+    python -m repro bench --quick --check   # regression watchdog
     python benchmarks/perf/run.py        # same suite, standalone driver
 
-See docs/performance.md for how to read the output.
+Each run is appended to the bench-history journal
+(``benchmarks/history.jsonl``, see :mod:`repro.obs.history`) with
+manifest-style provenance; ``--check`` compares the fresh run's per-op
+speedups against the committed ``BENCH_core.json`` baseline and exits
+non-zero when any op regressed past ``--threshold`` percent.
+
+See docs/performance.md and docs/observability.md for how to read the
+output.
 """
 
 from __future__ import annotations
@@ -29,7 +37,19 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-__all__ = ["BenchResult", "run_benchmarks", "write_report", "format_results"]
+__all__ = [
+    "BenchResult",
+    "run_benchmarks",
+    "write_report",
+    "format_results",
+    "check_regressions",
+]
+
+#: Default journal each bench run is appended to.
+HISTORY_PATH = "benchmarks/history.jsonl"
+
+#: Default committed baseline the watchdog compares against.
+BASELINE_PATH = "BENCH_core.json"
 
 #: Schema tag written into the JSON report.
 SCHEMA = "repro-bench/1"
@@ -378,6 +398,32 @@ def format_results(results: list[BenchResult]) -> str:
     )
 
 
+def check_regressions(
+    payload: dict,
+    baseline_path: str = BASELINE_PATH,
+    threshold_pct: float | None = None,
+):
+    """Compare a fresh ``repro-bench/1`` payload to the committed baseline.
+
+    Returns the list of :class:`repro.obs.history.Regression` findings
+    (empty = no op slowed past the threshold). Raises ``OSError`` if the
+    baseline file is absent — a watchdog with nothing to compare against
+    must fail loudly, not pass vacuously.
+    """
+    from repro.obs.history import DEFAULT_THRESHOLD_PCT, compare_results
+
+    with open(baseline_path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    if baseline.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{baseline_path}: unknown bench schema "
+            f"{baseline.get('schema')!r} (expected {SCHEMA!r})"
+        )
+    if threshold_pct is None:
+        threshold_pct = DEFAULT_THRESHOLD_PCT
+    return compare_results(payload, baseline, threshold_pct=threshold_pct)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Standalone entry point (``benchmarks/perf/run.py`` delegates here)."""
     import argparse
@@ -385,10 +431,27 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="smaller workloads (CI smoke sizes)")
-    parser.add_argument("--out", default="BENCH_core.json",
-                        help="JSON report path (default: BENCH_core.json)")
+    parser.add_argument("--out", default=None,
+                        help="JSON report path (default: BENCH_core.json; "
+                        "with --check the report is only written when "
+                        "--out is given, so the baseline stays intact)")
     parser.add_argument("--ops", help="comma-separated subset of: "
                         + ",".join(BENCHMARKS))
+    parser.add_argument("--check", action="store_true",
+                        help="compare speedups against the committed "
+                        "baseline and exit non-zero on regression")
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help="baseline report for --check "
+                        f"(default: {BASELINE_PATH})")
+    parser.add_argument("--threshold", type=float, default=None,
+                        metavar="PCT",
+                        help="per-op speedup drop (percent) that counts "
+                        "as a regression (default: 30)")
+    parser.add_argument("--history", default=HISTORY_PATH,
+                        help="bench-history journal to append to "
+                        f"(default: {HISTORY_PATH})")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip the history append")
     args = parser.parse_args(argv)
     ops = (
         [tok.strip() for tok in args.ops.split(",") if tok.strip()]
@@ -398,9 +461,44 @@ def main(argv: list[str] | None = None) -> int:
         ops=ops, quick=args.quick,
         log=lambda msg: print(msg, file=sys.stderr),
     )
-    write_report(results, args.out, quick=args.quick)
+
+    import os
+    import tempfile
+
+    out = args.out
+    if out is None and not args.check:
+        out = BASELINE_PATH
+    if out is not None:
+        payload = write_report(results, out, quick=args.quick)
+    else:
+        # --check without --out: build the payload without touching the
+        # committed baseline file.
+        with tempfile.TemporaryDirectory() as tmp:
+            payload = write_report(
+                results, os.path.join(tmp, "bench.json"), quick=args.quick
+            )
+
+    if not args.no_history:
+        from repro.obs.history import append_history
+
+        append_history(args.history, payload)
+
     print(format_results(results))
-    print(f"\nreport written to {args.out}")
+    if out is not None:
+        print(f"\nreport written to {out}")
+
+    if args.check:
+        regressions = check_regressions(
+            payload, baseline_path=args.baseline,
+            threshold_pct=args.threshold,
+        )
+        if regressions:
+            print("\nREGRESSIONS detected against "
+                  f"{args.baseline}:", file=sys.stderr)
+            for reg in regressions:
+                print(f"  {reg.describe()}", file=sys.stderr)
+            return 1
+        print(f"\nno regressions against {args.baseline}")
     return 0
 
 

@@ -12,6 +12,8 @@ kernel and get readable feedback from; this module is that front end::
     python -m repro trace analyze reduce1 --arch GTX580
     python -m repro lint --format json
     python -m repro bench --quick
+    python -m repro bench --quick --check --threshold 30
+    python -m repro report reduce1 --arch GTX580 --format html --out r.html
     python -m repro chaos reduce1 --launch-rate 0.2 --worker-rate 0.1 --jobs 4
     python -m repro repo verify ./profiles --quarantine
 
@@ -275,7 +277,16 @@ def cmd_transfer(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from repro.bench import format_results, run_benchmarks, write_report
+    import os
+    import tempfile
+
+    from repro.bench import (
+        BASELINE_PATH,
+        check_regressions,
+        format_results,
+        run_benchmarks,
+        write_report,
+    )
 
     ops = (
         [tok.strip() for tok in args.ops.split(",") if tok.strip()]
@@ -288,13 +299,121 @@ def cmd_bench(args) -> int:
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
-    write_report(results, args.out, quick=args.quick)
+
+    # With --check and no explicit --out, don't clobber the committed
+    # baseline with the fresh (possibly regressed) run.
+    out = args.out
+    if out is None and not args.check:
+        out = BASELINE_PATH
+    if out is not None:
+        payload = write_report(results, out, quick=args.quick)
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            payload = write_report(
+                results, os.path.join(tmp, "bench.json"), quick=args.quick
+            )
+
+    if not args.no_history:
+        from repro.obs.history import append_history
+
+        append_history(args.history, payload)
+
+    regressions = None
+    if args.check:
+        try:
+            regressions = check_regressions(
+                payload, baseline_path=args.baseline,
+                threshold_pct=args.threshold,
+            )
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"bench --check: {exc}")
+
     if getattr(args, "format", "text") == "json":
-        print(json.dumps({"results": [r.__dict__ for r in results]}, indent=2))
+        doc = {"results": [r.__dict__ for r in results]}
+        if regressions is not None:
+            doc["regressions"] = [
+                {
+                    "op": r.op,
+                    "baseline_speedup": r.baseline_speedup,
+                    "current_speedup": r.current_speedup,
+                    "drop_pct": r.drop_pct,
+                }
+                for r in regressions
+            ]
+        print(json.dumps(doc, indent=2))
     else:
         print(format_results(results))
-        print(f"\nreport written to {args.out}")
+        if out is not None:
+            print(f"\nreport written to {out}")
+        if regressions is not None:
+            if regressions:
+                print(f"\nREGRESSIONS detected against {args.baseline}:",
+                      file=sys.stderr)
+                for reg in regressions:
+                    print(f"  {reg.describe()}", file=sys.stderr)
+            else:
+                print(f"\nno regressions against {args.baseline}")
+    return 1 if regressions else 0
+
+
+def cmd_report(args) -> int:
+    """Build the structured bottleneck report (text/Markdown/HTML)."""
+    from repro.obs import read_events
+    from repro.obs.log import event_log
+    from repro.obs.report import build_report
+
+    arch = _arch(args.arch)
+    kernel = _kernel(args.kernel)
+
+    events = None
+    if args.repo:
+        from repro.profiling import CampaignKey, ProfileRepository
+
+        key = CampaignKey(kernel.name, arch.name, args.tag)
+        try:
+            campaign = ProfileRepository(args.repo).load(key)
+        except (FileNotFoundError, ValueError) as exc:
+            raise SystemExit(f"cannot load {key} from {args.repo}: {exc}")
+        print(f"loaded {len(campaign)} runs for {key} from {args.repo}",
+              file=sys.stderr)
+        fit = _report_fit(args, campaign)
+    else:
+        problems = _parse_sizes(args.sizes) if args.sizes else None
+        print(f"collecting campaign for {kernel.name} on {arch.name}...",
+              file=sys.stderr)
+        with event_log() as log:
+            campaign = Campaign(kernel, arch, rng=args.seed).run(
+                problems=problems, replicates=args.replicates,
+                n_jobs=args.jobs,
+            )
+            fit = _report_fit(args, campaign)
+        events = log
+
+    if args.events:
+        events = read_events(args.events)
+
+    tracer = getattr(args, "_tracer", None)
+    report = build_report(
+        fit, campaign,
+        trace=tracer.records if tracer is not None else None,
+        events=events,
+        top_k=args.top,
+    )
+    rendered = report.render(args.format)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(rendered)
+        print(f"report written to {args.out}", file=sys.stderr)
+    else:
+        print(rendered, end="")
     return 0
+
+
+def _report_fit(args, campaign):
+    return BlackForest(
+        n_trees=args.trees, importance_repeats=args.repeats,
+        n_jobs=args.jobs, rng=args.seed + 1,
+    ).fit(campaign, response=args.response)
 
 
 def cmd_lint(args) -> int:
@@ -594,12 +713,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--quick", action="store_true",
                    help="smaller workloads (CI smoke sizes)")
-    p.add_argument("--out", default="BENCH_core.json",
-                   help="JSON report path (default: BENCH_core.json)")
+    p.add_argument("--out", default=None,
+                   help="JSON report path (default: BENCH_core.json; with "
+                   "--check the report is only written when --out is "
+                   "given, so the baseline stays intact)")
     p.add_argument("--ops",
                    help="comma-separated subset of benchmark ops "
                    "(default: all)")
+    p.add_argument("--check", action="store_true",
+                   help="compare per-op speedups against the committed "
+                   "baseline; exit 1 on regression")
+    p.add_argument("--baseline", default="BENCH_core.json",
+                   help="baseline report for --check "
+                   "(default: BENCH_core.json)")
+    p.add_argument("--threshold", type=float, default=None, metavar="PCT",
+                   help="speedup drop (percent) that counts as a "
+                   "regression (default: 30)")
+    p.add_argument("--history", default="benchmarks/history.jsonl",
+                   help="bench-history journal to append each run to")
+    p.add_argument("--no-history", action="store_true",
+                   help="skip the history append")
     _add_format(p)
+
+    p = sub.add_parser(
+        "report",
+        help="structured bottleneck report (text/Markdown/single-file HTML)",
+    )
+    p.add_argument("kernel")
+    p.add_argument("--arch", default="GTX580")
+    p.add_argument("--repo",
+                   help="load the campaign from this ProfileRepository "
+                   "root instead of profiling afresh")
+    p.add_argument("--tag", help="repository campaign tag (with --repo)")
+    p.add_argument("--sizes", help="comma-separated problem sizes for a "
+                   "fresh campaign (default: the kernel's paper sweep)")
+    p.add_argument("--replicates", type=int, default=1)
+    p.add_argument("--trees", type=int, default=300)
+    p.add_argument("--repeats", type=int, default=3,
+                   help="forests averaged for the importance ranking "
+                   "(>1 enables the stability section)")
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--response", choices=("time", "power"), default="time")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (-1 = all cores); the report is "
+                   "identical for any value")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--events",
+                   help="JSONL event log (repro-events/1) to render as "
+                   "the timeline section")
+    p.add_argument("--trace", action="store_true",
+                   help="record a span tree of the run and include the "
+                   "hot-path section")
+    p.add_argument("--out", help="write the report to a file instead of "
+                   "stdout")
+    p.add_argument("--format", choices=("text", "md", "html"),
+                   default="text",
+                   help="report format (default: text)")
 
     p = sub.add_parser("transfer", help="cross-architecture prediction")
     p.add_argument("kernel")
@@ -684,6 +853,7 @@ _COMMANDS = {
     "transfer": cmd_transfer,
     "lint": cmd_lint,
     "bench": cmd_bench,
+    "report": cmd_report,
     "chaos": cmd_chaos,
     "repo": cmd_repo,
     "trace": cmd_trace,

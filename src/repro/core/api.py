@@ -13,11 +13,14 @@ pins the one protocol they all implement now (see docs/api.md):
   its most recent fit) and the fit artifact;
 * ``assess(campaign, ...)`` — score against a measured campaign,
   returning a report with ``explained_variance`` /
-  ``mean_relative_error``.
+  ``mean_relative_error``;
+* ``report(campaign=None, ...)`` — on the fit artifact: build a
+  structured :class:`repro.obs.report.Report` (bottleneck rankings,
+  fit quality, counter tables) renderable to text/Markdown/HTML.
 
-Old call surfaces (positional config args, the ``report()`` name) keep
-working for one release through :func:`repro._compat.warn_once`
-deprecation shims.
+Old call surfaces (positional config args, the positional
+``report(campaign)`` assess-alias) keep working for one release
+through :func:`repro._compat.warn_once` deprecation shims.
 """
 
 from __future__ import annotations
@@ -34,6 +37,8 @@ class FitArtifact(Protocol):
     def predict(self, X): ...
 
     def assess(self, campaign, **config): ...
+
+    def report(self, campaign=None, **config): ...
 
 
 @runtime_checkable

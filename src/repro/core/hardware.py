@@ -33,6 +33,7 @@ from repro._compat import warn_once
 from repro.ml.forest import RandomForestRegressor
 from repro.ml.preprocessing import sanitize_matrix, train_test_split
 from repro.obs import span
+from repro.obs.log import emit as emit_event
 from repro.profiling.campaign import CampaignResult
 
 from .importance import ImportanceRanking, rank_similarity
@@ -163,6 +164,15 @@ class HardwareScalingFit:
         """Predict the test campaign's held-out runs and compare."""
         return self.predictor.assess(test, eval_fraction=eval_fraction)
 
+    def report(self, campaign: CampaignResult | None = None, *,
+               trace=None, events=None, top_k: int = 10):
+        """Build a structured :class:`~repro.obs.report.Report`."""
+        from repro.obs.report import build_report
+
+        return build_report(
+            self, campaign, trace=trace, events=events, top_k=top_k
+        )
+
 
 class HardwareScalingPredictor:
     """Train on one GPU's campaign, predict times measured on another.
@@ -223,6 +233,13 @@ class HardwareScalingPredictor:
             defaults.update(dict(zip(legacy, args)))
             variables = defaults["variables"]
             common = defaults["common"]
+        emit_event(
+            "fit.start",
+            stage="hardware_scaling",
+            kernel=train.kernel,
+            arch=train.arch,
+            n_records=len(train.records),
+        )
         with span(
             "hardware_scaling.fit", kernel=train.kernel, arch=train.arch
         ):
@@ -272,6 +289,14 @@ class HardwareScalingPredictor:
             variables=list(names),
             train_arch=self.train_arch_,
             degradation=sanitation.to_dict() if sanitation.degraded else None,
+        )
+        emit_event(
+            "fit.end",
+            stage="hardware_scaling",
+            kernel=train.kernel,
+            arch=train.arch,
+            n_variables=len(names),
+            degraded=sanitation.degraded,
         )
         return self.last_fit_
 

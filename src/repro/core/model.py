@@ -31,6 +31,7 @@ from repro.ml.preprocessing import (
     train_test_split,
 )
 from repro.obs import span
+from repro.obs.log import emit as emit_event
 from repro.profiling.campaign import CampaignResult
 
 from .bottleneck import BottleneckFinding, detect_bottlenecks
@@ -96,6 +97,25 @@ class BlackForestFit:
     #: ``None`` for a clean campaign. A fit built on partial data
     #: carries that fact with it.
     degradation: dict | None = None
+    #: Per-repeat permutation-importance vectors (aligned with
+    #: ``feature_names``) when the pipeline ran ``importance_repeats > 1``
+    #: refits, else ``None``. The report layer turns these into a
+    #: rank-stability diagnostic (Spearman correlation across repeats).
+    importance_samples: list[np.ndarray] | None = None
+
+    def report(self, campaign: CampaignResult | None = None, *,
+               trace=None, events=None, top_k: int = 10):
+        """Build a structured bottleneck :class:`~repro.obs.report.Report`.
+
+        Renders to text/Markdown/HTML via the returned object; pass the
+        training ``campaign`` for per-kernel counter tables and span
+        ``trace`` / ``events`` for the hot-path and timeline sections.
+        """
+        from repro.obs.report import build_report
+
+        return build_report(
+            self, campaign, trace=trace, events=events, top_k=top_k
+        )
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predict execution times from full predictor vectors."""
@@ -277,6 +297,14 @@ class BlackForest:
             include_machine = defaults["include_machine"]
             counters = defaults["counters"]
             response = defaults["response"]
+        emit_event(
+            "fit.start",
+            stage="blackforest",
+            kernel=campaign.kernel,
+            arch=campaign.arch,
+            response=response,
+            n_records=len(campaign.records),
+        )
         with span(
             "blackforest.fit",
             kernel=campaign.kernel,
@@ -290,6 +318,15 @@ class BlackForest:
                 counters=counters,
                 response=response,
             )
+        emit_event(
+            "fit.end",
+            stage="blackforest",
+            kernel=campaign.kernel,
+            arch=campaign.arch,
+            oob_explained_variance=fit.oob_explained_variance,
+            test_explained_variance=fit.test_explained_variance,
+            degraded=fit.degradation is not None,
+        )
         self.last_fit_ = fit
         return fit
 
@@ -381,11 +418,13 @@ class BlackForest:
             rng=self._rng,
         ).fit(X_train, y_train, feature_names=names)
 
+        importance_samples: list[np.ndarray] | None = None
         if self.importance_repeats > 1:
             with span(
                 "blackforest.importance_repeats",
                 repeats=self.importance_repeats,
             ):
+                importance_samples = [forest.importance_.copy()]
                 averaged = forest.importance_.copy()
                 for _ in range(self.importance_repeats - 1):
                     extra = RandomForestRegressor(
@@ -395,6 +434,7 @@ class BlackForest:
                         n_jobs=self.n_jobs,
                         rng=self._rng,
                     ).fit(X_train, y_train, feature_names=names)
+                    importance_samples.append(extra.importance_.copy())
                     averaged += extra.importance_
                 forest.importance_ = averaged / self.importance_repeats
 
@@ -447,4 +487,5 @@ class BlackForest:
             include_machine=include_machine,
             pca_first=self.pca_first,
             degradation=sanitation.to_dict() if sanitation.degraded else None,
+            importance_samples=importance_samples,
         )

@@ -24,6 +24,7 @@ from repro._compat import warn_once
 from repro.ml.forest import RandomForestRegressor
 from repro.ml.metrics import explained_variance, mse
 from repro.obs import span
+from repro.obs.log import emit as emit_event
 from repro.profiling.campaign import CampaignResult
 
 from .counter_models import CounterModelSet
@@ -105,13 +106,32 @@ class ProblemScalingFit:
                 measured_s=campaign.times(),
             )
 
-    def report(self, campaign: CampaignResult) -> PredictionReport:
-        """Deprecated alias of :meth:`assess`."""
-        warn_once(
-            "ProblemScalingFit.report",
-            "ProblemScalingFit.report() is deprecated; use assess()",
+    def report(self, *args, campaign: CampaignResult | None = None,
+               trace=None, events=None, top_k: int = 10):
+        """Build a structured :class:`~repro.obs.report.Report`.
+
+        Calling with a *positional* campaign is the pre-report-layer
+        spelling — a deprecated alias of :meth:`assess` kept for one
+        release. Pass ``campaign=`` (or nothing) for the Report builder.
+        """
+        if args:
+            warn_once(
+                "ProblemScalingFit.report",
+                "ProblemScalingFit.report(campaign) is deprecated; use "
+                "assess(campaign) for a PredictionReport, or "
+                "report(campaign=...) for the structured Report",
+            )
+            if len(args) > 1:
+                raise TypeError(
+                    f"report() takes at most 1 positional argument "
+                    f"({len(args)} given)"
+                )
+            return self.assess(args[0])
+        from repro.obs.report import build_report
+
+        return build_report(
+            self, campaign, trace=trace, events=events, top_k=top_k
         )
-        return self.assess(campaign)
 
     # Aliases for the pre-protocol fitted-state attribute names (the
     # chained ``predictor.fit(...)`` value used to be the predictor).
@@ -194,6 +214,13 @@ class ProblemScalingPredictor:
         return list(self.characteristic)
 
     def fit(self, campaign: CampaignResult) -> ProblemScalingFit:
+        emit_event(
+            "fit.start",
+            stage="problem_scaling",
+            kernel=campaign.kernel,
+            arch=campaign.arch,
+            n_records=len(campaign.records),
+        )
         with span("problem_scaling.fit", kernel=campaign.kernel):
             fit = self.blackforest.fit(campaign, include_characteristics=True)
             retained = list(fit.reduced_feature_names)
@@ -245,6 +272,14 @@ class ProblemScalingPredictor:
         self.retained_ = retained
         self.forest_ = forest
         self.counter_models_ = counter_models
+        emit_event(
+            "fit.end",
+            stage="problem_scaling",
+            kernel=campaign.kernel,
+            arch=campaign.arch,
+            n_retained=len(retained),
+            degraded=fit.degradation is not None,
+        )
         return artifact
 
     def _require_fit(self) -> ProblemScalingFit:
@@ -261,10 +296,23 @@ class ProblemScalingPredictor:
         """Predict an evaluation campaign's problems and compare."""
         return self._require_fit().assess(campaign)
 
-    def report(self, campaign: CampaignResult) -> PredictionReport:
-        """Deprecated alias of :meth:`assess`."""
-        warn_once(
-            "ProblemScalingPredictor.report",
-            "ProblemScalingPredictor.report() is deprecated; use assess()",
+    def report(self, *args, campaign: CampaignResult | None = None,
+               trace=None, events=None, top_k: int = 10):
+        """Structured report for the most recent fit (see
+        :meth:`ProblemScalingFit.report`)."""
+        if args:
+            warn_once(
+                "ProblemScalingPredictor.report",
+                "ProblemScalingPredictor.report(campaign) is deprecated; "
+                "use assess(campaign) for a PredictionReport, or "
+                "report(campaign=...) for the structured Report",
+            )
+            if len(args) > 1:
+                raise TypeError(
+                    f"report() takes at most 1 positional argument "
+                    f"({len(args)} given)"
+                )
+            return self.assess(args[0])
+        return self._require_fit().report(
+            campaign=campaign, trace=trace, events=events, top_k=top_k
         )
-        return self.assess(campaign)

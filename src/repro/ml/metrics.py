@@ -20,6 +20,7 @@ __all__ = [
     "median_absolute_error",
     "median_absolute_percentage_error",
     "residual_deviance",
+    "spearman_rank_correlation",
 ]
 
 
@@ -98,6 +99,38 @@ def median_absolute_percentage_error(y_true: np.ndarray, y_pred: np.ndarray) -> 
         raise ValueError("all true values are zero; percentage error undefined")
     rel = np.abs((y_pred[nonzero] - y_true[nonzero]) / y_true[nonzero])
     return float(np.median(rel) * 100.0)
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """Ranks (1-based) with ties assigned their average rank."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=float)
+    sorted_vals = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return ranks
+
+
+def spearman_rank_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman's rho: Pearson correlation of the two samples' ranks.
+
+    Ties receive average ranks (the standard convention). Used by the
+    report layer to quantify how stable a variable-importance ranking
+    is across repeated forest refits: rho near 1 means the repeats agree
+    on the ordering, rho near 0 means the ranking is noise. Returns 0.0
+    for degenerate (constant) inputs, where rank order is undefined.
+    """
+    a, b = _validate(a, b)
+    ra, rb = _average_ranks(a), _average_ranks(b)
+    sa, sb = float(np.std(ra)), float(np.std(rb))
+    if sa == 0.0 or sb == 0.0:
+        return 0.0
+    return float(np.mean((ra - ra.mean()) * (rb - rb.mean())) / (sa * sb))
 
 
 def residual_deviance(y_true: np.ndarray, y_pred: np.ndarray) -> float:

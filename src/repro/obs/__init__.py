@@ -6,7 +6,7 @@ disabled fast path is a module-global load plus an ``is None`` check,
 so instrumentation can stay in the hot layers permanently without
 numeric or timing consequences (pinned by ``tests/obs/``).
 
-Three coordinated pieces:
+Four coordinated pieces:
 
 * **spans** (:func:`span`, :func:`trace`) — hierarchical timed spans
   over the pipeline (``campaign.run`` → ``profile`` →
@@ -17,6 +17,10 @@ Three coordinated pieces:
 * **metrics** (:func:`collect`, :func:`inc`, :func:`timer`,
   :func:`set_gauge`) — labelled counters/timers/gauges, e.g. the
   ``resolve_access`` memo hit/miss counters;
+* **events** (:func:`event_log`, :func:`emit`) — a structured log of
+  discrete lifecycle occurrences (launch, retry, quarantine, worker
+  crash, fit start/end), correlated to the span tree, with an opt-in
+  torn-tail-tolerant JSONL sink (:class:`EventLog`);
 * **manifests** (:class:`Manifest`, :func:`build_manifest`) —
   provenance sidecars (seed, arch, kernel, git rev, config, span
   timings) written alongside repository artifacts.
@@ -24,6 +28,10 @@ Three coordinated pieces:
 Exporters turn a trace into ``repro trace`` text output
 (:func:`render_text_tree`) or Chrome-trace JSON
 (:func:`to_chrome_trace`, loadable in chrome://tracing / Perfetto).
+The report layer (:func:`build_report`, ``repro report``) joins a fit
+artifact, campaign, trace and event log into one text/Markdown/HTML
+document; :mod:`repro.obs.history` keeps the bench-history journal the
+``repro bench --check`` regression watchdog reads.
 
 Quickstart::
 
@@ -35,6 +43,17 @@ Quickstart::
 """
 
 from .export import render_text_tree, span_totals, to_chrome_trace
+from .history import append_history, compare_results, read_history
+from .log import (
+    Event,
+    EventLog,
+    child_event_log,
+    current_event_log,
+    emit,
+    event_log,
+    event_log_enabled,
+    read_events,
+)
 from .manifest import Manifest, build_manifest, git_revision
 from .metrics import (
     MetricsRegistry,
@@ -46,6 +65,7 @@ from .metrics import (
     set_gauge,
     timer,
 )
+from .report import Report, ReportSection, build_report
 from .spans import (
     SpanRecord,
     Tracer,
@@ -72,10 +92,24 @@ __all__ = [
     "set_gauge",
     "observe",
     "timer",
+    "Event",
+    "EventLog",
+    "event_log",
+    "child_event_log",
+    "current_event_log",
+    "event_log_enabled",
+    "emit",
+    "read_events",
     "Manifest",
     "build_manifest",
     "git_revision",
     "render_text_tree",
     "to_chrome_trace",
     "span_totals",
+    "Report",
+    "ReportSection",
+    "build_report",
+    "append_history",
+    "read_history",
+    "compare_results",
 ]

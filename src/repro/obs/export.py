@@ -7,10 +7,13 @@ Three consumers of one span list:
   collapsed into one ``name ×N`` line (a campaign profiles dozens of
   problems; nobody wants dozens of identical lines);
 * :func:`to_chrome_trace` — ``chrome://tracing`` / Perfetto compatible
-  event list (phase ``"X"`` complete events, microsecond timestamps,
-  worker processes distinguished by ``pid``);
-* :func:`span_totals` — per-span-name aggregate (count, total seconds)
-  used by manifests to record where a run's wall-clock went.
+  event list (phase ``"M"`` process/thread metadata, phase ``"X"``
+  complete events, phase ``"C"`` counter tracks from an optional
+  metrics registry; microsecond timestamps, worker processes
+  distinguished by ``pid``);
+* :func:`span_totals` — per-span-name aggregate (count, total/self
+  seconds, min/max durations) used by manifests and the report layer's
+  hot-path table to record where a run's wall-clock went.
 """
 
 from __future__ import annotations
@@ -21,25 +24,91 @@ __all__ = ["render_text_tree", "to_chrome_trace", "span_totals"]
 
 
 def span_totals(records: list[SpanRecord]) -> dict[str, dict]:
-    """Aggregate ``{name: {count, total_s}}`` over all spans."""
+    """Aggregate ``{name: {count, total_s, self_s, min_s, max_s}}``.
+
+    ``total_s`` is inclusive (a parent's total contains its children);
+    ``self_s`` is *exclusive* — the span's own time minus the time spent
+    in its direct children — which is what a hot-path ranking needs:
+    summed inclusive times over a deep tree count the same wall-clock
+    many times, self times partition it. ``min_s``/``max_s`` are the
+    extreme single-span durations for the name, exposing skew that a
+    total hides (one 2 s ``profile`` among thirty 50 ms ones).
+    """
+    child_time: dict[int, float] = {}
+    for rec in records:
+        if rec.parent_id is not None:
+            child_time[rec.parent_id] = (
+                child_time.get(rec.parent_id, 0.0) + rec.duration_s
+            )
     totals: dict[str, dict] = {}
     for rec in records:
-        agg = totals.setdefault(rec.name, {"count": 0, "total_s": 0.0})
+        agg = totals.setdefault(
+            rec.name,
+            {
+                "count": 0,
+                "total_s": 0.0,
+                "self_s": 0.0,
+                "min_s": float("inf"),
+                "max_s": 0.0,
+            },
+        )
         agg["count"] += 1
         agg["total_s"] += rec.duration_s
+        # Clamp at zero: a child recorded by a worker clock can slightly
+        # overhang its adopted parent without meaning negative work.
+        agg["self_s"] += max(
+            0.0, rec.duration_s - child_time.get(rec.span_id, 0.0)
+        )
+        agg["min_s"] = min(agg["min_s"], rec.duration_s)
+        agg["max_s"] = max(agg["max_s"], rec.duration_s)
     return totals
 
 
-def to_chrome_trace(records: list[SpanRecord]) -> list[dict]:
+def to_chrome_trace(
+    records: list[SpanRecord], metrics=None
+) -> list[dict]:
     """Chrome-trace "complete" events (load via chrome://tracing).
 
     Timestamps are microseconds relative to the earliest span so the
-    viewer's timeline starts at zero.
+    viewer's timeline starts at zero. Phase ``"M"`` metadata events
+    name each process track (``main`` for the root trace's pid,
+    ``worker`` for adopted child-process spans) so Perfetto shows
+    labelled rows instead of bare pids. Pass a
+    :class:`~repro.obs.metrics.MetricsRegistry` as ``metrics`` to
+    append its counters as phase ``"C"`` counter tracks.
     """
     if not records:
         return []
     origin = min(r.start_s for r in records)
-    events = []
+    end = max(r.end_s for r in records)
+    known_ids = {r.span_id for r in records}
+    roots = [
+        r for r in records
+        if r.parent_id is None or r.parent_id not in known_ids
+    ]
+    main_pid = roots[0].pid if roots else records[0].pid
+
+    events: list[dict] = []
+    for pid in sorted({r.pid for r in records}):
+        role = "main" if pid == main_pid else "worker"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": pid,
+                "args": {"name": f"{role} (pid {pid})"},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": pid,
+                "args": {"name": role},
+            }
+        )
     for rec in records:
         args = {str(k): v for k, v in rec.labels.items()}
         args["span_id"] = rec.span_id
@@ -56,6 +125,21 @@ def to_chrome_trace(records: list[SpanRecord]) -> list[dict]:
                 "args": args,
             }
         )
+    if metrics is not None:
+        snapshot = metrics.snapshot()
+        for name, value in snapshot["counter"].items():
+            # Two samples bracket the trace so the counter renders as a
+            # track spanning the timeline, not a single point.
+            for ts in (0.0, (end - origin) * 1e6):
+                events.append(
+                    {
+                        "name": name,
+                        "ph": "C",
+                        "ts": ts,
+                        "pid": main_pid,
+                        "args": {"value": value},
+                    }
+                )
     return events
 
 

@@ -11,8 +11,12 @@ kinds follow the usual semantics:
 
 * **counter** — monotonically accumulated float (:func:`inc`);
 * **gauge** — last-write-wins float (:func:`set_gauge`);
-* **timer** — accumulated seconds plus an observation count
-  (:func:`observe` or the :func:`timer` context manager).
+* **timer** — accumulated seconds plus an observation count and the
+  per-observation distribution (min/max and p50/p95 in
+  :meth:`MetricsRegistry.snapshot`), via :func:`observe` or the
+  :func:`timer` context manager. Observations are kept raw and sorted
+  at snapshot time, so a merge of worker registries yields the same
+  summary regardless of which worker finished first.
 
 Use :func:`collect` to gather metrics for a block::
 
@@ -38,6 +42,17 @@ __all__ = [
 ]
 
 
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolation percentile of an already-sorted list."""
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
 def _key(name: str, labels: dict) -> tuple:
     if not labels:
         return (name,)
@@ -60,6 +75,10 @@ class MetricsRegistry:
         self.gauges: dict[tuple, float] = {}
         self.timer_totals: dict[tuple, float] = {}
         self.timer_counts: dict[tuple, int] = {}
+        #: Raw per-observation durations, kept so the snapshot can
+        #: report order-independent distribution summaries (the lists
+        #: are sorted before percentiles are taken).
+        self.timer_values: dict[tuple, list[float]] = {}
 
     # -- instruments --------------------------------------------------------
 
@@ -74,6 +93,7 @@ class MetricsRegistry:
         key = _key(name, labels)
         self.timer_totals[key] = self.timer_totals.get(key, 0.0) + seconds
         self.timer_counts[key] = self.timer_counts.get(key, 0) + 1
+        self.timer_values.setdefault(key, []).append(seconds)
 
     @contextmanager
     def timer(self, name: str, **labels):
@@ -98,17 +118,29 @@ class MetricsRegistry:
                 _render_key(k): v for k, v in sorted(self.gauges.items())
             },
             "timer": {
-                _render_key(k): {
-                    "total_s": self.timer_totals[k],
-                    "count": self.timer_counts[k],
-                }
+                _render_key(k): self._timer_summary(k)
                 for k in sorted(self.timer_totals)
             },
         }
 
+    def _timer_summary(self, key: tuple) -> dict:
+        summary = {
+            "total_s": self.timer_totals[key],
+            "count": self.timer_counts[key],
+        }
+        values = sorted(self.timer_values.get(key, ()))
+        if values:
+            summary["min_s"] = values[0]
+            summary["max_s"] = values[-1]
+            summary["p50_s"] = _percentile(values, 0.50)
+            summary["p95_s"] = _percentile(values, 0.95)
+        return summary
+
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold a worker's registry into this one (counters/timers add,
-        gauges last-write-wins in ``other``'s favour)."""
+        gauges last-write-wins in ``other``'s favour). Timer
+        distributions concatenate; they are re-sorted at snapshot time,
+        so the merged summary does not depend on merge order."""
         for k, v in other.counters.items():
             self.counters[k] = self.counters.get(k, 0.0) + v
         for k, v in other.gauges.items():
@@ -117,6 +149,8 @@ class MetricsRegistry:
             self.timer_totals[k] = self.timer_totals.get(k, 0.0) + v
         for k, v in other.timer_counts.items():
             self.timer_counts[k] = self.timer_counts.get(k, 0) + v
+        for k, vals in other.timer_values.items():
+            self.timer_values.setdefault(k, []).extend(vals)
 
 
 # -- module-level collection state ------------------------------------------

@@ -31,6 +31,7 @@ from repro.gpusim.arch import GPUArchitecture
 from repro.kernels.base import Kernel
 from repro.obs import child_trace, collect, current_metrics, current_tracer, span
 from repro.obs import metrics as obs_metrics
+from repro.obs.log import child_event_log, current_event_log, emit as emit_event
 from repro.parallel import chunk_bounds, resolve_n_jobs, spawn_streams
 
 from .checkpoint import CampaignCheckpoint, campaign_fingerprint
@@ -115,6 +116,13 @@ def _profile_resilient(
 
     def on_retry(attempt: int, exc: BaseException) -> None:
         obs_metrics.inc("campaign.retries", kernel=kernel.name)
+        emit_event(
+            "campaign.retry",
+            kernel=kernel.name,
+            problem=str(problem),
+            attempt=attempt,
+            error=f"{type(exc).__name__}: {exc}",
+        )
 
     records, exc, attempts = call_with_retry(
         run_attempt, retry, recoverable=RECOVERABLE, on_retry=on_retry
@@ -129,6 +137,13 @@ def _profile_resilient(
         attempts=attempts,
     )
     obs_metrics.inc("campaign.quarantined", kernel=kernel.name, stage="launch")
+    emit_event(
+        "campaign.quarantine",
+        kernel=kernel.name,
+        problem=str(problem),
+        attempts=attempts,
+        error=quarantined.error,
+    )
     with span(
         "campaign.quarantine",
         kernel=kernel.name,
@@ -154,13 +169,15 @@ def _profile_chunk(args) -> tuple[list[tuple], list | None, object]:
     :class:`~repro.faults.WorkerCrash` out of the worker, which the
     parent recovers from by re-running the chunk itself.
 
-    When the parent was tracing (or collecting metrics), the worker
-    records its own spans/metrics into fresh collectors (never the
-    fork-inherited ones) and ships them back with the results for the
-    parent to merge.
+    When the parent was tracing (or collecting metrics, or event
+    logging), the worker records its own spans/metrics/events into
+    fresh collectors (never the fork-inherited ones) and ships them
+    back with the results for the parent to merge.
     """
+    from contextlib import ExitStack
+
     (arch, noise_scale, measurement_sigma, sanitize, kernel, replicates,
-     items, traced, metered, plan, retry) = args
+     items, traced, metered, evented, plan, retry) = args
     profiler = Profiler(
         arch,
         noise_scale=noise_scale,
@@ -187,23 +204,19 @@ def _profile_chunk(args) -> tuple[list[tuple], list | None, object]:
             )
         return out
 
-    spans = metrics = None
-    with fault_injection(plan):
-        if traced and metered:
-            with child_trace() as tracer, collect() as registry:
-                out = sweep()
-            spans, metrics = tracer.records, registry
-        elif traced:
-            with child_trace() as tracer:
-                out = sweep()
+    spans = metrics = events = None
+    with fault_injection(plan), ExitStack() as stack:
+        tracer = stack.enter_context(child_trace()) if traced else None
+        registry = stack.enter_context(collect()) if metered else None
+        log = stack.enter_context(child_event_log()) if evented else None
+        out = sweep()
+        if tracer is not None:
             spans = tracer.records
-        elif metered:
-            with collect() as registry:
-                out = sweep()
+        if registry is not None:
             metrics = registry
-        else:
-            out = sweep()
-    return out, spans, metrics
+        if log is not None:
+            events = log.events
+    return out, spans, metrics, events
 
 
 @dataclass
@@ -482,6 +495,14 @@ class Campaign:
                     ckpt.record_quarantine(index, q.to_dict())
 
         jobs = min(resolve_n_jobs(n_jobs), max(len(pending), 1))
+        emit_event(
+            "campaign.start",
+            kernel=self.kernel.name,
+            arch=self.arch.name,
+            problems=len(problems),
+            pending=len(pending),
+            n_jobs=jobs,
+        )
         with span(
             "campaign.run",
             kernel=self.kernel.name,
@@ -510,6 +531,13 @@ class Campaign:
                 result.records.extend(completed[i])
             elif i in quarantined:
                 result.quarantined.append(quarantined[i])
+        emit_event(
+            "campaign.end",
+            kernel=self.kernel.name,
+            arch=self.arch.name,
+            n_records=len(result.records),
+            n_quarantined=len(result.quarantined),
+        )
         return result
 
     def _run_parallel(self, pending, replicates, jobs, retry, finish) -> None:
@@ -526,6 +554,7 @@ class Campaign:
 
         tracer = current_tracer()
         registry = current_metrics()
+        log = current_event_log()
         plan = active_plan()
         bounds = chunk_bounds(len(pending), jobs)
         chunks = [
@@ -544,6 +573,7 @@ class Campaign:
                 chunk,
                 tracer is not None,
                 registry is not None,
+                log is not None,
                 plan,
                 retry,
             )
@@ -553,10 +583,18 @@ class Campaign:
             futures = [pool.submit(_profile_chunk, task) for task in tasks]
             for chunk, future in zip(chunks, futures):
                 try:
-                    out, child_spans, child_metrics = future.result()
+                    out, child_spans, child_metrics, child_events = (
+                        future.result()
+                    )
                 except (FaultError, BrokenProcessPool) as exc:
                     obs_metrics.inc(
                         "campaign.worker_crashes", kernel=self.kernel.name
+                    )
+                    emit_event(
+                        "campaign.worker_crash",
+                        kernel=self.kernel.name,
+                        items=len(chunk),
+                        error=f"{type(exc).__name__}: {exc}",
                     )
                     with span(
                         "campaign.worker_recovery",
@@ -581,7 +619,7 @@ class Campaign:
                             )
                             for index, problem, stream in chunk
                         ]
-                    child_spans = child_metrics = None
+                    child_spans = child_metrics = child_events = None
                 for index, problem, records, q in out:
                     finish(index, problem, records, q)
                 if child_spans and tracer is not None:
@@ -589,3 +627,5 @@ class Campaign:
                     tracer.adopt(child_spans)
                 if child_metrics is not None and registry is not None:
                     registry.merge(child_metrics)
+                if child_events and log is not None:
+                    log.merge(child_events)

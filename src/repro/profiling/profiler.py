@@ -39,6 +39,7 @@ from repro.gpusim.simulator import (
 from repro.gpusim.workload import KernelWorkload
 from repro.kernels.base import Kernel
 from repro.obs import span
+from repro.obs.log import emit as emit_event
 
 __all__ = ["RunRecord", "Profiler"]
 
@@ -228,6 +229,13 @@ class Profiler:
             raise ValueError("replicates must be >= 1")
         if rng is None:
             rng = self._rng
+        emit_event(
+            "profiler.launch",
+            kernel=kernel.name,
+            arch=self.arch.name,
+            problem=str(problem),
+            replicates=replicates,
+        )
         with span(
             "profile",
             kernel=kernel.name,

@@ -32,6 +32,7 @@ from pathlib import Path
 from repro._compat import warn_once
 from repro.faults.plan import should_inject
 from repro.obs import Manifest, build_manifest
+from repro.obs.log import emit as emit_event
 
 from .campaign import CampaignResult
 from .profiler import RunRecord
@@ -232,6 +233,11 @@ class ProfileRepository:
             checksums=checksums,
         )
         _atomic_write(cdir / _MANIFEST, manifest.to_json(), key.dirname)
+        emit_event(
+            "repository.save",
+            campaign=key.dirname,
+            n_runs=len(result.records),
+        )
         return cdir
 
     # -- read ----------------------------------------------------------------

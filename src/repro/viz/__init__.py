@@ -1,5 +1,6 @@
-"""Plain-text visualization of the toolchain's figures."""
+"""Plain-text and inline-SVG visualization of the toolchain's figures."""
 
+from .svg import svg_bar_chart
 from .text import (
     bar_chart,
     dependence_plot,
@@ -17,5 +18,6 @@ __all__ = [
     "line_plot",
     "loadings_table",
     "prediction_table",
+    "svg_bar_chart",
     "table",
 ]

@@ -1,0 +1,81 @@
+"""Inline SVG rendering for the single-file HTML report.
+
+The HTML report (:mod:`repro.obs.report`) must be a self-contained
+artifact — openable from a CI artifact listing with no network, no
+JavaScript, no external CSS. These helpers emit small standalone
+``<svg>`` fragments that embed directly into the document.
+
+Determinism matters more than beauty here: the report is pinned
+bit-for-bit across tracing modes and worker counts, so every coordinate
+is formatted with a fixed precision and every iteration order is the
+caller's explicit list order.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+__all__ = ["svg_bar_chart"]
+
+_BAR_FILL = "#4878a8"
+_BAR_FILL_ALT = "#9ab6d2"
+_TEXT_STYLE = "font-family:monospace;font-size:11px"
+
+
+def _num(v: float) -> str:
+    """Fixed-precision coordinate so output never depends on float repr."""
+    return f"{v:.2f}".rstrip("0").rstrip(".")
+
+
+def svg_bar_chart(
+    labels: list[str],
+    values: list[float],
+    width: int = 520,
+    bar_height: int = 16,
+    label_width: int = 220,
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart as a standalone ``<svg>`` fragment.
+
+    One row per label, bars scaled to the maximum absolute value,
+    numeric value printed after each bar. Rows alternate two fills so
+    long charts stay scannable without gridlines.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    row_h = bar_height + 6
+    top = 20 if title else 4
+    height = top + row_h * len(labels) + 4
+    vmax = max((abs(float(v)) for v in values), default=0.0) or 1.0
+    bar_span = width - label_width - 80
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'role="img">'
+    ]
+    if title:
+        parts.append(
+            f'<text x="0" y="13" style="{_TEXT_STYLE};font-weight:bold">'
+            f"{escape(title)}</text>"
+        )
+    for i, (label, value) in enumerate(zip(labels, values)):
+        y = top + i * row_h
+        bar_w = abs(float(value)) / vmax * bar_span
+        fill = _BAR_FILL if i % 2 == 0 else _BAR_FILL_ALT
+        parts.append(
+            f'<text x="{label_width - 6}" y="{y + bar_height - 4}" '
+            f'text-anchor="end" style="{_TEXT_STYLE}">'
+            f"{escape(str(label))}</text>"
+        )
+        parts.append(
+            f'<rect x="{label_width}" y="{y}" width="{_num(bar_w)}" '
+            f'height="{bar_height}" fill="{fill}"/>'
+        )
+        parts.append(
+            f'<text x="{_num(label_width + bar_w + 5)}" '
+            f'y="{y + bar_height - 4}" style="{_TEXT_STYLE}">'
+            f"{float(value):.3g}</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)

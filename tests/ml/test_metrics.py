@@ -12,6 +12,7 @@ from repro.ml.metrics import (
     r2_score,
     residual_deviance,
     rmse,
+    spearman_rank_correlation,
 )
 
 
@@ -101,3 +102,48 @@ class TestResidualDeviance:
         y = np.array([1.0, 2.0])
         p = np.array([0.0, 0.0])
         assert residual_deviance(y, p) == pytest.approx(5.0)
+
+
+class TestSpearmanRankCorrelation:
+    def test_perfect_monotone_agreement(self):
+        a = np.array([0.1, 0.5, 0.9, 2.0])
+        b = np.array([1.0, 2.0, 30.0, 31.0])  # same order, different scale
+        assert spearman_rank_correlation(a, b) == pytest.approx(1.0)
+
+    def test_perfect_reversal(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert spearman_rank_correlation(a, a[::-1]) == pytest.approx(-1.0)
+
+    def test_known_partial_agreement(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        b = np.array([1.0, 3.0, 2.0, 4.0])  # one adjacent swap
+        # rho = 1 - 6*sum(d^2)/(n(n^2-1)) = 1 - 12/60
+        assert spearman_rank_correlation(a, b) == pytest.approx(0.8)
+
+    def test_ties_get_average_ranks(self):
+        a = np.array([1.0, 1.0, 2.0])
+        b = np.array([1.0, 2.0, 3.0])
+        # ranks of a: [1.5, 1.5, 3]; symmetric in which tied entry leads
+        rho = spearman_rank_correlation(a, b)
+        assert rho == pytest.approx(
+            spearman_rank_correlation(np.array([1.0, 1.0, 2.0]),
+                                      np.array([2.0, 1.0, 3.0]))
+        )
+        assert 0.0 < rho < 1.0
+
+    def test_constant_input_returns_zero(self):
+        a = np.array([5.0, 5.0, 5.0])
+        b = np.array([1.0, 2.0, 3.0])
+        assert spearman_rank_correlation(a, b) == 0.0
+        assert spearman_rank_correlation(b, a) == 0.0
+
+    def test_invariant_under_monotone_transform(self):
+        rng = np.random.default_rng(0)
+        a = rng.random(20)
+        b = rng.random(20)
+        rho = spearman_rank_correlation(a, b)
+        assert spearman_rank_correlation(np.exp(a), b) == pytest.approx(rho)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            spearman_rank_correlation([1.0, 2.0], [1.0])

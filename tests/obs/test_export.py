@@ -27,9 +27,38 @@ class TestSpanTotals:
             _rec(3, 1, "step", 2.0, 5.0),
         ]
         totals = span_totals(records)
-        assert totals["run"] == {"count": 1, "total_s": pytest.approx(10.0)}
+        assert totals["run"]["count"] == 1
+        assert totals["run"]["total_s"] == pytest.approx(10.0)
         assert totals["step"]["count"] == 2
         assert totals["step"]["total_s"] == pytest.approx(5.0)
+
+    def test_self_time_excludes_children(self):
+        records = [
+            _rec(1, None, "run", 0.0, 10.0),
+            _rec(2, 1, "step", 0.0, 2.0),
+            _rec(3, 1, "step", 2.0, 5.0),
+        ]
+        totals = span_totals(records)
+        assert totals["run"]["self_s"] == pytest.approx(5.0)  # 10 - 2 - 3
+        assert totals["step"]["self_s"] == pytest.approx(5.0)  # leaves
+
+    def test_self_time_clamped_at_zero(self):
+        # A worker-clock child can slightly overhang its adopted parent;
+        # self time must not go negative.
+        records = [
+            _rec(1, None, "run", 0.0, 1.0),
+            _rec(2, 1, "step", 0.0, 1.5),
+        ]
+        assert span_totals(records)["run"]["self_s"] == 0.0
+
+    def test_min_max_durations(self):
+        records = [
+            _rec(1, None, "step", 0.0, 2.0),
+            _rec(2, None, "step", 2.0, 5.0),
+        ]
+        totals = span_totals(records)
+        assert totals["step"]["min_s"] == pytest.approx(2.0)
+        assert totals["step"]["max_s"] == pytest.approx(3.0)
 
     def test_empty(self):
         assert span_totals([]) == {}
@@ -42,16 +71,47 @@ class TestChromeTrace:
             _rec(2, 1, "step", 5.25, 5.75, pid=200),
         ]
         events = to_chrome_trace(records)
-        assert [e["ph"] for e in events] == ["X", "X"]
-        assert events[0]["ts"] == pytest.approx(0.0)
-        assert events[1]["ts"] == pytest.approx(0.25e6)
-        assert events[1]["dur"] == pytest.approx(0.5e6)
-        assert events[1]["pid"] == 200
-        assert events[1]["args"]["parent_id"] == 1
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 2
+        assert xs[0]["ts"] == pytest.approx(0.0)
+        assert xs[1]["ts"] == pytest.approx(0.25e6)
+        assert xs[1]["dur"] == pytest.approx(0.5e6)
+        assert xs[1]["pid"] == 200
+        assert xs[1]["args"]["parent_id"] == 1
+
+    def test_metadata_events_name_processes(self):
+        records = [
+            _rec(1, None, "run", 5.0, 6.0, pid=100),
+            _rec(2, 1, "step", 5.25, 5.75, pid=200),
+        ]
+        events = to_chrome_trace(records)
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {
+            (e["pid"], e["args"]["name"])
+            for e in meta if e["name"] == "process_name"
+        }
+        assert names == {(100, "main (pid 100)"), (200, "worker (pid 200)")}
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+
+    def test_counter_events_from_metrics(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.inc("memo.hit", 7, kernel="mm")
+        events = to_chrome_trace(
+            [_rec(1, None, "run", 0.0, 2.0)], metrics=registry
+        )
+        counters = [e for e in events if e["ph"] == "C"]
+        assert len(counters) == 2  # samples bracket the trace
+        assert counters[0]["name"] == "memo.hit{kernel=mm}"
+        assert counters[0]["args"]["value"] == 7
+        assert counters[0]["ts"] == pytest.approx(0.0)
+        assert counters[1]["ts"] == pytest.approx(2e6)
 
     def test_labels_exported_as_args(self):
         events = to_chrome_trace([_rec(1, None, "op", 0.0, 1.0, kernel="mm")])
-        assert events[0]["args"]["kernel"] == "mm"
+        xs = [e for e in events if e["ph"] == "X"]
+        assert xs[0]["args"]["kernel"] == "mm"
 
     def test_empty(self):
         assert to_chrome_trace([]) == []
@@ -59,11 +119,13 @@ class TestChromeTrace:
     def test_json_serializable_from_live_trace(self):
         import json
 
-        with trace() as tracer:
+        from repro.obs import collect
+
+        with trace() as tracer, collect() as metrics:
             with span("a", n=1):
                 with span("b"):
                     pass
-        json.dumps(to_chrome_trace(tracer.records))
+        json.dumps(to_chrome_trace(tracer.records, metrics=metrics))
 
 
 class TestTextTree:
@@ -122,3 +184,58 @@ class TestTextTree:
     def test_singleton_labels_shown(self):
         records = [_rec(1, None, "op", 0.0, 1.0, kernel="mm")]
         assert "kernel=mm" in render_text_tree(records)
+
+    def test_orphaned_worker_spans_render_as_roots(self):
+        # A worker span whose parent was never adopted (parent_id points
+        # outside the record set) must still render, as a root.
+        records = [
+            _rec(1, None, "run", 0.0, 10.0, pid=100),
+            _rec(7, 99, "orphan", 0.0, 1.0, pid=201),
+        ]
+        out = render_text_tree(records)
+        lines = out.splitlines()
+        assert any(l.startswith("orphan") for l in lines)
+        assert "[pids [201]]" in out
+
+    def test_all_orphans_trace_still_renders(self):
+        records = [
+            _rec(5, 99, "a", 0.0, 1.0),
+            _rec(6, 99, "b", 1.0, 2.0),
+        ]
+        out = render_text_tree(records)
+        assert "a" in out and "b" in out
+
+    def test_collapsed_group_omits_labels(self):
+        # Labels are per-span; showing only the first sibling's on a
+        # collapsed ×N line would mislead.
+        records = [
+            _rec(1, None, "run", 0.0, 10.0),
+            _rec(2, 1, "profile", 0.0, 1.0, problem=32),
+            _rec(3, 1, "profile", 1.0, 2.0, problem=64),
+        ]
+        out = render_text_tree(records)
+        assert "profile ×2" in out
+        assert "problem=" not in out
+
+    def test_no_collapse_mode_keeps_labels(self):
+        records = [
+            _rec(1, None, "run", 0.0, 10.0),
+            _rec(2, 1, "profile", 0.0, 1.0, problem=32),
+            _rec(3, 1, "profile", 1.0, 2.0, problem=64),
+        ]
+        out = render_text_tree(records, collapse=False)
+        assert "problem=32" in out and "problem=64" in out
+
+    def test_deep_nesting_indentation(self):
+        depth = 6
+        records = [_rec(1, None, "lvl0", 0.0, 10.0)]
+        for d in range(1, depth):
+            records.append(
+                _rec(d + 1, d, f"lvl{d}", 0.0, 10.0 - d)
+            )
+        out = render_text_tree(records)
+        for d in range(depth):
+            line = next(
+                l for l in out.splitlines() if l.lstrip().startswith(f"lvl{d}")
+            )
+            assert line.startswith("  " * d + f"lvl{d}")

@@ -73,6 +73,67 @@ class TestRegistry:
         assert snap["total_s"] >= 0.0
 
 
+class TestTimerDistribution:
+    def test_min_max(self):
+        reg = MetricsRegistry()
+        for s in (0.5, 0.1, 0.3):
+            reg.observe("step", s)
+        snap = reg.snapshot()["timer"]["step"]
+        assert snap["min_s"] == pytest.approx(0.1)
+        assert snap["max_s"] == pytest.approx(0.5)
+
+    def test_single_observation_collapses(self):
+        reg = MetricsRegistry()
+        reg.observe("step", 0.25)
+        snap = reg.snapshot()["timer"]["step"]
+        assert snap["min_s"] == snap["max_s"] == snap["p50_s"] \
+            == snap["p95_s"] == pytest.approx(0.25)
+
+    def test_p50_interpolates(self):
+        reg = MetricsRegistry()
+        for s in (0.1, 0.2, 0.3, 0.4):
+            reg.observe("step", s)
+        snap = reg.snapshot()["timer"]["step"]
+        assert snap["p50_s"] == pytest.approx(0.25)
+
+    def test_p95_near_max(self):
+        reg = MetricsRegistry()
+        for s in [0.01] * 19 + [1.0]:
+            reg.observe("step", s)
+        snap = reg.snapshot()["timer"]["step"]
+        # pos = 0.95 * 19 = 18.05 -> between the last 0.01 and the 1.0
+        assert snap["p95_s"] == pytest.approx(0.01 + 0.05 * 0.99)
+
+    def test_summary_is_observation_order_independent(self):
+        values = [0.5, 0.1, 0.9, 0.3, 0.7]
+        fwd, rev = MetricsRegistry(), MetricsRegistry()
+        for v in values:
+            fwd.observe("step", v)
+        for v in reversed(values):
+            rev.observe("step", v)
+        assert fwd.snapshot()["timer"] == rev.snapshot()["timer"]
+
+    def test_merge_order_independent(self):
+        # However worker chunks land, the merged distribution summary is
+        # identical — the raw observations are re-sorted at snapshot.
+        chunks = [[0.9, 0.1], [0.5], [0.3, 0.7, 0.2]]
+
+        def merged(order):
+            root = MetricsRegistry()
+            for chunk in order:
+                worker = MetricsRegistry()
+                for v in chunk:
+                    worker.observe("step", v)
+                root.merge(worker)
+            return root.snapshot()["timer"]["step"]
+
+        a = merged(chunks)
+        b = merged(list(reversed(chunks)))
+        assert a == b
+        assert a["count"] == 6
+        assert a["p50_s"] == pytest.approx(0.4)
+
+
 class TestMerge:
     def test_merge_adds_counters_and_timers(self):
         a, b = MetricsRegistry(), MetricsRegistry()

@@ -212,3 +212,59 @@ class TestNormalizedFlags:
     def test_format_everywhere(self, argv):
         args = build_parser().parse_args(argv + ["--format", "json"])
         assert args.format == "json"
+
+
+class TestReportCommand:
+    ARGS = [
+        "report", "vectorAdd", "--sizes", "16384,65536,262144,1048576",
+        "--replicates", "2", "--trees", "20", "--repeats", "2",
+    ]
+
+    def test_text_report_to_stdout(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "=== Bottleneck report: vectorAdd on GTX580 ===" in out
+        assert "--- Fit quality ---" in out
+        assert "--- Importance stability ---" in out
+        assert "--- Event timeline ---" in out  # live run captures events
+
+    def test_html_report_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.html"
+        assert main(self.ARGS + ["--format", "html", "--out", str(out)]) == 0
+        html = out.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+        assert str(out) in capsys.readouterr().err
+
+    def test_trace_flag_adds_hot_path_section(self, capsys):
+        assert main(self.ARGS + ["--trace"]) == 0
+        assert "Hot paths (span self-time)" in capsys.readouterr().out
+
+    def test_report_from_saved_repository(self, tmp_path, capsys):
+        from repro import GTX580, Campaign
+        from repro.kernels import VectorAddKernel
+        from repro.profiling import ProfileRepository
+
+        campaign = Campaign(VectorAddKernel(), GTX580, rng=0).run(
+            problems=[1 << 14, 1 << 16, 1 << 18, 1 << 20], replicates=2
+        )
+        ProfileRepository(tmp_path).save(campaign, tag="t1")
+        code = main([
+            "report", "vectorAdd", "--repo", str(tmp_path), "--tag", "t1",
+            "--trees", "20", "--repeats", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Bottleneck report: vectorAdd on GTX580" in out
+
+    def test_missing_repo_campaign_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot load"):
+            main([
+                "report", "vectorAdd", "--repo", str(tmp_path),
+            ])
+
+    def test_markdown_format(self, capsys):
+        assert main(self.ARGS + ["--format", "md"]) == 0
+        out = capsys.readouterr().out
+        assert "# Bottleneck report: vectorAdd on GTX580" in out
+        assert "| rank | predictor |" in out

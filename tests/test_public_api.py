@@ -78,19 +78,33 @@ FAULTS_EXPORTS = [
 ]
 
 OBS_EXPORTS = [
+    "Event",
+    "EventLog",
     "Manifest",
     "MetricsRegistry",
+    "Report",
+    "ReportSection",
     "SpanRecord",
     "Tracer",
+    "append_history",
     "build_manifest",
+    "build_report",
+    "child_event_log",
     "child_trace",
     "collect",
+    "compare_results",
+    "current_event_log",
     "current_metrics",
     "current_tracer",
+    "emit",
+    "event_log",
+    "event_log_enabled",
     "git_revision",
     "inc",
     "metrics_enabled",
     "observe",
+    "read_events",
+    "read_history",
     "render_text_tree",
     "set_gauge",
     "span",
@@ -156,7 +170,7 @@ class TestProtocolConformance:
         repro.HardwareScalingFit,
     ])
     def test_fit_artifact_surface(self, cls):
-        for method in ("predict", "assess"):
+        for method in ("predict", "assess", "report"):
             assert callable(getattr(cls, method)), (cls.__name__, method)
 
     def test_star_import_emits_no_warnings(self):
