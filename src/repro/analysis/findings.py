@@ -25,6 +25,7 @@ tests drive single rules against corrupted fixtures.
 from __future__ import annotations
 
 import enum
+import re
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Mapping
 
@@ -38,6 +39,8 @@ __all__ = [
     "get_rule",
     "run_rules",
     "max_severity",
+    "family_of",
+    "doc_url_of",
     "InvariantViolation",
 ]
 
@@ -84,10 +87,52 @@ class Finding:
         return {
             "rule": self.rule,
             "severity": self.severity.name.lower(),
+            "family": family_of(self.rule),
+            "doc_url": doc_url_of(self.rule),
             "message": self.message,
             "subject": self.subject,
             "context": {k: v for k, v in self.context.items()},
         }
+
+
+#: Rule-id block → (family name, owning domain, docs/analysis.md anchor).
+#: Ids are grouped in stable blocks; registering an id whose prefix maps
+#: to no family (or to a family of a different domain) is an error, so
+#: the id space cannot silently fragment.
+FAMILIES: dict[str, tuple[str, str, str]] = {
+    "BF0": ("catalogue", "catalogue", "catalogue-rules-bf0xx"),
+    "BF10": ("workload", "workload", "workload-rules-bf10x"),
+    "BF12": ("counter-vector", "counters", "counter-vector-rules-bf12x"),
+    "BF2": ("architecture", "arch", "architecture-rules-bf2xx"),
+    "BF3": ("source", "source", "source-rules-bf3xx"),
+    "BF4": ("determinism", "determinism", "determinism-rules-bf4xx"),
+    "BF5": ("campaign-plan", "plan", "campaign-plan-rules-bf5xx"),
+    "BF6": ("artifact-schema", "artifact", "artifact-schema-rules-bf6xx"),
+}
+
+#: Where the rule catalogue is documented (doc URLs are anchors into it).
+DOCS_PATH = "docs/analysis.md"
+
+_RULE_ID = re.compile(r"BF\d{3}")
+
+
+def _family_entry(rule_id: str) -> tuple[str, str, str]:
+    # Longest prefix wins: BF10x is workload, BF12x counter-vector.
+    for width in (4, 3):
+        entry = FAMILIES.get(rule_id[:width])
+        if entry is not None:
+            return entry
+    raise ValueError(f"rule id {rule_id!r} belongs to no declared family")
+
+
+def family_of(rule_id: str) -> str:
+    """The declared family name of a rule id (``BF4xx`` -> determinism)."""
+    return _family_entry(rule_id)[0]
+
+
+def doc_url_of(rule_id: str) -> str:
+    """Anchor into the rule-catalogue docs for a rule id."""
+    return f"{DOCS_PATH}#{_family_entry(rule_id)[2]}"
 
 
 @dataclass(frozen=True)
@@ -99,6 +144,14 @@ class Rule:
     domain: str
     summary: str
     check: Callable[..., Iterable[Finding] | None]
+
+    @property
+    def family(self) -> str:
+        return family_of(self.id)
+
+    @property
+    def doc_url(self) -> str:
+        return doc_url_of(self.id)
 
     def finding(
         self, message: str, subject: str = "", severity: Severity | None = None,
@@ -118,7 +171,10 @@ class Rule:
         return [] if result is None else list(result)
 
 
-_DOMAINS = ("catalogue", "workload", "arch", "counters", "source")
+_DOMAINS = (
+    "catalogue", "workload", "arch", "counters", "source",
+    "determinism", "plan", "artifact",
+)
 _REGISTRY: dict[str, Rule] = {}
 
 
@@ -133,6 +189,14 @@ def rule(rule_id: str, severity: Severity, domain: str, summary: str):
         raise ValueError(f"unknown rule domain {domain!r}")
     if rule_id in _REGISTRY:
         raise ValueError(f"duplicate rule id {rule_id!r}")
+    if not _RULE_ID.fullmatch(rule_id):
+        raise ValueError(f"rule id {rule_id!r} does not match BF\\d{{3}}")
+    family_name, family_domain, _ = _family_entry(rule_id)
+    if family_domain != domain:
+        raise ValueError(
+            f"rule id {rule_id!r} sits in the {family_name!r} block, which "
+            f"belongs to domain {family_domain!r}, not {domain!r}"
+        )
 
     def register(check: Callable) -> Rule:
         registered = Rule(

@@ -1,0 +1,392 @@
+"""Campaign plan checker: pre-flight rules BF501–BF505.
+
+A campaign is an *experiment design* before it is a dataset: the
+problems swept become the design matrix the statistical pipeline fits.
+Stevens & Klöckner (arXiv:1904.09538) make the case for analyzing what
+a model can learn from its features *before* fitting; these rules do
+that statically for a planned sweep, before any launch burns budget:
+
+* **BF501** — design-matrix rank: the varied problem characteristics
+  must be linearly independent (and something must vary at all), or
+  the fit is under-identified no matter how many runs are collected.
+* **BF502** — near-collinearity: two varied characteristics moving in
+  near lockstep (|r| ≥ 0.99) make coefficients/importances unstable.
+* **BF503** — response/counter coverage: the targeted predictor must
+  be able to read what it fits on the planned architecture (power is
+  only readable on Kepler GPUs and CPUs; transfer fits need a
+  non-empty common predictor-counter set across train/test families).
+* **BF504** — transfer-fit arch overlap: a hardware-scaling plan needs
+  a test architecture distinct from the training one.
+* **BF505** — cost estimate: launches × measured per-launch cost from
+  ``BENCH_core.json``; an estimate over ``budget_s`` is an ERROR.
+
+The checker runs three ways: ``repro lint --plan plan.json`` from the
+CLI, :func:`lint_plan` from code, and automatically as
+:func:`preflight` at the top of :meth:`Campaign.run <repro.profiling.campaign.Campaign.run>`
+(warn on ERROR findings, or raise under ``strict=True``).
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from .findings import (
+    Finding,
+    InvariantViolation,
+    Severity,
+    rule,
+    run_rules,
+)
+
+__all__ = [
+    "CampaignPlan",
+    "lint_plan",
+    "plan_from_dict",
+    "plan_from_file",
+    "preflight",
+    "bench_launch_cost_s",
+]
+
+#: Predictor targets a plan can declare; fixes what BF503/BF504 demand.
+PREDICTOR_TARGETS = (
+    "problem_scaling", "hardware_scaling", "power", "blackforest",
+)
+
+#: Architecture families whose platform exposes a power reading
+#: (Kepler boards via nvidia-smi, CPUs via RAPL) — mirrors the gating
+#: in :mod:`repro.profiling.profiler`.
+POWER_FAMILIES = ("kepler", "cpu")
+
+#: Correlation magnitude at which two varied characteristics count as
+#: effectively collinear.
+NEAR_COLLINEAR_R = 0.99
+
+
+@dataclass
+class CampaignPlan:
+    """A campaign described statically — everything the checker needs,
+    nothing it would have to run to learn."""
+
+    kernel: object  # repro.kernels.base.Kernel
+    arch: object    # GPUArchitecture | CPUArchitecture
+    problems: list = field(default_factory=list)
+    replicates: int = 1
+    #: What the collected campaign will feed (one of
+    #: :data:`PREDICTOR_TARGETS`); ``None`` skips predictor-specific
+    #: rules — the in-``Campaign.run`` preflight uses that, since the
+    #: campaign cannot know its downstream consumer.
+    predictor: str | None = None
+    #: Transfer target for ``hardware_scaling`` plans.
+    test_arch: object | None = None
+    #: Wall-clock budget for the whole sweep; ``None`` disables BF505's
+    #: threshold (the estimate is still reported as INFO).
+    budget_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.problems:
+            self.problems = list(self.kernel.default_sweep())
+        if self.predictor is not None \
+                and self.predictor not in PREDICTOR_TARGETS:
+            raise ValueError(
+                f"unknown predictor target {self.predictor!r}; choose "
+                f"from {list(PREDICTOR_TARGETS)}"
+            )
+
+    @property
+    def subject(self) -> str:
+        return f"{self.kernel.name}@{self.arch.name}"
+
+    def design_matrix(self) -> tuple[np.ndarray, list[str]]:
+        """(n_problems × n_characteristics) matrix and column names."""
+        if not self.problems:
+            return np.empty((0, 0)), []
+        names = sorted(self.kernel.characteristics(self.problems[0]))
+        rows = [
+            [float(self.kernel.characteristics(p)[c]) for c in names]
+            for p in self.problems
+        ]
+        return np.asarray(rows, dtype=float), names
+
+    def varied_columns(self) -> tuple[np.ndarray, list[str]]:
+        """The design-matrix columns that actually vary over the sweep."""
+        X, names = self.design_matrix()
+        if X.size == 0:
+            return X, []
+        keep = [
+            j for j in range(X.shape[1])
+            if np.unique(X[:, j]).size > 1
+        ]
+        return X[:, keep], [names[j] for j in keep]
+
+
+# ---------------------------------------------------------------------------
+# rules
+
+
+@rule("BF501", Severity.ERROR, "plan",
+      "the varied problem characteristics form a full-rank design matrix")
+def check_design_rank(r, plan: CampaignPlan):
+    X, varied = plan.varied_columns()
+    if len(set(map(repr, plan.problems))) < 2:
+        yield r.finding(
+            f"sweep holds {len(plan.problems)} problem instance(s) with "
+            f"no variation — a scaling fit needs at least two distinct "
+            f"problems",
+            subject=plan.subject, severity=Severity.WARNING,
+            n_problems=len(plan.problems),
+        )
+        return
+    if not varied:
+        yield r.finding(
+            "no problem characteristic varies across the sweep; the fit "
+            "would regress on a constant design",
+            subject=plan.subject, severity=Severity.WARNING,
+        )
+        return
+    rank = int(np.linalg.matrix_rank(X - X.mean(axis=0)))
+    if rank < len(varied):
+        yield r.finding(
+            f"design matrix is rank-deficient: {len(varied)} varied "
+            f"characteristic(s) {varied} span only rank {rank} — the "
+            f"fit cannot separate their effects",
+            subject=plan.subject, varied=varied, rank=rank,
+        )
+
+
+@rule("BF502", Severity.WARNING, "plan",
+      "no two varied characteristics move in near lockstep")
+def check_collinearity(r, plan: CampaignPlan):
+    X, varied = plan.varied_columns()
+    if len(varied) < 2:
+        return
+    centered = X - X.mean(axis=0)
+    rank = int(np.linalg.matrix_rank(centered))
+    if rank < len(varied):
+        return  # exactly collinear — BF501's ERROR already covers it
+    corr = np.corrcoef(centered, rowvar=False)
+    for i in range(len(varied)):
+        for j in range(i + 1, len(varied)):
+            r_ij = float(corr[i, j])
+            if abs(r_ij) >= NEAR_COLLINEAR_R:
+                yield r.finding(
+                    f"characteristics {varied[i]!r} and {varied[j]!r} "
+                    f"are nearly collinear over the sweep "
+                    f"(|r| = {abs(r_ij):.4f}); their importances will "
+                    f"be arbitrary — decorrelate the sweep grid",
+                    subject=plan.subject, pair=[varied[i], varied[j]],
+                    correlation=r_ij,
+                )
+
+
+@rule("BF503", Severity.ERROR, "plan",
+      "the targeted predictor can read its inputs on the planned arch")
+def check_counter_coverage(r, plan: CampaignPlan):
+    if plan.predictor == "power" \
+            and plan.arch.family not in POWER_FAMILIES:
+        yield r.finding(
+            f"power response targeted but family {plan.arch.family!r} "
+            f"exposes no power reading (only "
+            f"{'/'.join(POWER_FAMILIES)} platforms do); every run "
+            f"would record power_w=None",
+            subject=plan.subject, family=plan.arch.family,
+        )
+    if plan.predictor == "hardware_scaling" \
+            and plan.test_arch is not None:
+        from repro.gpusim.counters import predictor_counters
+
+        try:
+            train = set(predictor_counters(plan.arch.family))
+            test = set(predictor_counters(plan.test_arch.family))
+        except Exception:
+            return  # unknown family is BF2xx territory, not a plan fault
+        common = train & test
+        if not common:
+            yield r.finding(
+                f"no predictor counter is available on both "
+                f"{plan.arch.family!r} (train) and "
+                f"{plan.test_arch.family!r} (test); a transfer fit has "
+                f"nothing to learn from",
+                subject=plan.subject,
+                train_family=plan.arch.family,
+                test_family=plan.test_arch.family,
+            )
+
+
+@rule("BF504", Severity.ERROR, "plan",
+      "transfer fits name a test architecture distinct from training")
+def check_transfer_overlap(r, plan: CampaignPlan):
+    if plan.predictor != "hardware_scaling":
+        return
+    if plan.test_arch is None:
+        yield r.finding(
+            "hardware-scaling fit planned without a test architecture; "
+            "the transfer protocol needs one to assess against",
+            subject=plan.subject,
+        )
+    elif plan.test_arch.name == plan.arch.name:
+        yield r.finding(
+            f"test architecture equals the training architecture "
+            f"({plan.arch.name}); that measures interpolation, not "
+            f"hardware transfer",
+            subject=plan.subject, arch=plan.arch.name,
+        )
+
+
+_BENCH_COST_CACHE: dict[str, float | None] = {}
+
+
+def bench_launch_cost_s(bench_path: str | Path | None = None) -> float | None:
+    """Measured per-profiled-run cost from a bench baseline, or None.
+
+    Reads the ``campaign_sweep`` op of ``BENCH_core.json`` (wall seconds
+    over profiled runs). Missing/unreadable baselines disable the cost
+    estimate rather than failing the checker.
+    """
+    path = Path(bench_path) if bench_path is not None \
+        else _default_bench_path()
+    key = str(path)
+    if key not in _BENCH_COST_CACHE:
+        cost: float | None = None
+        try:
+            data = json.loads(path.read_text())
+            for entry in data.get("results", []):
+                if entry.get("op") == "campaign_sweep" \
+                        and entry.get("n"):
+                    cost = float(entry["wall_s"]) / float(entry["n"])
+                    break
+        except (OSError, ValueError, TypeError, KeyError):
+            cost = None
+        _BENCH_COST_CACHE[key] = cost
+    return _BENCH_COST_CACHE[key]
+
+
+def _default_bench_path() -> Path:
+    # src/repro/analysis/plan.py -> repo root, where the baseline lives.
+    return Path(__file__).resolve().parents[3] / "BENCH_core.json"
+
+
+@rule("BF505", Severity.INFO, "plan",
+      "the sweep's estimated cost is reported and fits the budget")
+def check_cost(r, plan: CampaignPlan):
+    per_launch = bench_launch_cost_s()
+    if per_launch is None:
+        return
+    launches = len(plan.problems) * max(plan.replicates, 1)
+    estimate = launches * per_launch
+    if plan.budget_s is not None and estimate > plan.budget_s:
+        yield r.finding(
+            f"estimated sweep cost {estimate:.3f}s "
+            f"({launches} launches × {per_launch * 1e3:.3f}ms measured "
+            f"per launch) exceeds the {plan.budget_s:.3f}s budget",
+            subject=plan.subject, severity=Severity.ERROR,
+            launches=launches, estimate_s=estimate,
+            budget_s=plan.budget_s,
+        )
+    else:
+        yield r.finding(
+            f"estimated sweep cost: {launches} launches × "
+            f"{per_launch * 1e3:.3f}ms ≈ {estimate:.3f}s",
+            subject=plan.subject, launches=launches,
+            estimate_s=estimate,
+        )
+
+
+# ---------------------------------------------------------------------------
+# entry points
+
+
+def lint_plan(
+    plan: CampaignPlan, select: Sequence[str] | None = None
+) -> list[Finding]:
+    """Every BF5xx rule against one plan."""
+    return run_rules("plan", plan, select=select)
+
+
+def plan_from_dict(data: dict) -> CampaignPlan:
+    """Build a plan from its JSON form (names resolved via registries).
+
+    Expected keys: ``kernel`` (registry name), ``arch`` (architecture
+    name), optional ``problems``, ``replicates``, ``predictor``,
+    ``test_arch``, ``budget_s``.
+    """
+    from repro.kernels import kernel_registry
+
+    registry = kernel_registry()
+    kernel_name = data["kernel"]
+    if kernel_name not in registry:
+        raise ValueError(
+            f"unknown kernel {kernel_name!r}; choose from "
+            f"{sorted(registry)}"
+        )
+    archs = _arch_registry()
+
+    def resolve_arch(name: str):
+        if name not in archs:
+            raise ValueError(
+                f"unknown architecture {name!r}; choose from "
+                f"{sorted(archs)}"
+            )
+        return archs[name]
+
+    problems = data.get("problems")
+    return CampaignPlan(
+        kernel=registry[kernel_name],
+        arch=resolve_arch(data["arch"]),
+        problems=[
+            tuple(p) if isinstance(p, list) else p for p in problems
+        ] if problems else [],
+        replicates=int(data.get("replicates", 1)),
+        predictor=data.get("predictor"),
+        test_arch=(
+            resolve_arch(data["test_arch"])
+            if data.get("test_arch") else None
+        ),
+        budget_s=(
+            float(data["budget_s"])
+            if data.get("budget_s") is not None else None
+        ),
+    )
+
+
+def plan_from_file(path: str | Path) -> CampaignPlan:
+    return plan_from_dict(json.loads(Path(path).read_text()))
+
+
+def _arch_registry() -> dict[str, object]:
+    from repro.cpusim.arch import I7_SANDY, XEON_E5
+    from repro.gpusim.arch import GTX480, GTX580, K20M
+
+    return {a.name: a for a in (GTX480, GTX580, K20M, I7_SANDY, XEON_E5)}
+
+
+def preflight(
+    kernel, arch, problems, replicates: int, *, strict: bool = False
+) -> list[Finding]:
+    """The automatic plan check at the top of ``Campaign.run``.
+
+    ERROR-severity findings raise :class:`InvariantViolation` under
+    ``strict=True`` and emit a :class:`UserWarning` otherwise; INFO and
+    WARNING findings are returned but never interrupt the run (a
+    deliberate single-problem calibration sweep stays legal).
+    """
+    plan = CampaignPlan(
+        kernel=kernel, arch=arch, problems=list(problems),
+        replicates=replicates,
+    )
+    findings = lint_plan(plan)
+    errors = [f for f in findings if f.severity >= Severity.ERROR]
+    if errors:
+        if strict:
+            raise InvariantViolation(errors, subject=plan.subject)
+        for f in errors:
+            warnings.warn(
+                f"campaign preflight: {f.format()}", UserWarning,
+                stacklevel=3,
+            )
+    return findings

@@ -12,13 +12,18 @@ set over everything the shipped package declares —
    per launch,
 5. the package source tree (BF3xx).
 
+6. the determinism sanitizer (BF4xx) over every module reachable from
+   the pipeline entry points, minus the committed allowlist.
+
 Findings come back sorted most-severe-first; :func:`summarize` renders
-the text report and :func:`as_json` the machine-readable one.
+the text report and :func:`as_json` the machine-readable one (findings
+re-sorted by (rule id, file, line) so CI diffs are stable).
 """
 
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -26,6 +31,7 @@ from repro.gpusim.arch import GTX480, GTX580, K20M, GPUArchitecture
 
 from .arch import lint_arch
 from .catalogue import lint_catalogue
+from .determinism import lint_determinism
 from .findings import Finding, Severity, all_rules, max_severity, run_rules
 from .source import lint_source_tree
 from .workload import lint_counters, lint_workload
@@ -36,6 +42,7 @@ __all__ = [
     "lint_kernel_launches",
     "summarize",
     "as_json",
+    "exit_code",
     "rule_table",
 ]
 
@@ -110,7 +117,7 @@ def lint_tree(
         findings.extend(lint_kernel_launches(archs, select=select))
     if include_source:
         root = _package_root() if source_root is None else Path(source_root)
-        source_findings = lint_source_tree(root)
+        source_findings = lint_source_tree(root) + lint_determinism(root)
         if select is not None:
             source_findings = [
                 f for f in source_findings
@@ -139,19 +146,51 @@ def summarize(findings: Sequence[Finding], n_rules: int | None = None) -> str:
     return "\n".join(lines)
 
 
-def as_json(findings: Sequence[Finding]) -> str:
-    """Machine-readable lint report (stable schema for CI consumers)."""
+_SUBJECT_LINE = re.compile(r"^(?P<file>.*):(?P<line>\d+)$")
+
+
+def _sort_key(finding: Finding) -> tuple[str, str, int]:
+    """(rule id, file, line) — the JSON report's stable order.
+
+    Subjects that are not ``path:line`` locations (counter names,
+    architectures) sort as line 0 of themselves, so every finding has a
+    total order and CI diffs never churn.
+    """
+    m = _SUBJECT_LINE.match(finding.subject)
+    if m:
+        return finding.rule, m.group("file"), int(m.group("line"))
+    return finding.rule, finding.subject, 0
+
+
+def as_json(findings: Sequence[Finding], n_rules: int | None = None) -> str:
+    """Machine-readable lint report (stable schema for CI consumers).
+
+    Findings are re-sorted by (rule id, file, line) — independent of
+    discovery order — and each carries its rule metadata (severity,
+    family, doc URL), so two runs over the same tree produce the same
+    bytes and a CI diff shows exactly what changed.
+    """
     worst = max_severity(findings)
     payload = {
-        "findings": [f.as_dict() for f in findings],
+        "findings": [f.as_dict() for f in sorted(findings, key=_sort_key)],
         "counts": {
             s.name.lower(): sum(1 for f in findings if f.severity == s)
             for s in Severity
         },
         "max_severity": worst.name.lower() if worst is not None else None,
-        "rules_run": len(all_rules()),
+        "rules_run": len(all_rules()) if n_rules is None else n_rules,
     }
-    return json.dumps(payload, indent=2, default=str)
+    return json.dumps(payload, indent=2, default=str, sort_keys=True)
+
+
+def exit_code(findings: Sequence[Finding], fail_on: Severity) -> int:
+    """1 when any finding is at or above the threshold, else 0.
+
+    The boundary is inclusive: ``--fail-on warning`` fails on WARNING
+    *and* ERROR findings (pinned by tests/analysis/test_runner_cli.py).
+    """
+    worst = max_severity(findings)
+    return 1 if worst is not None and worst >= fail_on else 0
 
 
 def rule_table() -> list[tuple[str, str, str, str]]:

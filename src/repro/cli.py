@@ -29,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -420,8 +421,9 @@ def cmd_lint(args) -> int:
     from repro.analysis import (
         Severity,
         as_json,
+        exit_code,
+        lint_artifacts,
         lint_tree,
-        max_severity,
         rule_table,
         summarize,
     )
@@ -436,18 +438,62 @@ def cmd_lint(args) -> int:
         [tok.strip() for tok in args.select.split(",") if tok.strip()]
         if args.select else None
     )
-    findings = lint_tree(
-        select=select,
-        include_launches=not args.no_launches,
-        include_source=not args.no_source,
-    )
-    if args.format == "json":
-        print(as_json(findings))
+    if args.plan and args.artifacts:
+        print("--plan and --artifacts are separate modes; pass one",
+              file=sys.stderr)
+        return 2
+    if args.plan:
+        from repro.analysis import lint_plan, plan_from_file
+
+        plan = plan_from_file(args.plan)
+        if args.budget is not None:
+            plan.budget_s = args.budget
+        findings = lint_plan(plan, select=select)
+        n_rules = len(_plan_rules())
+    elif args.artifacts:
+        from repro.analysis import rules_for
+
+        findings = lint_artifacts(_expand_artifact_paths(args.artifacts))
+        if select is not None:
+            findings = [
+                f for f in findings
+                if any(f.rule.startswith(s) for s in select)
+            ]
+        n_rules = len(rules_for("artifact"))
     else:
-        print(summarize(findings))
-    worst = max_severity(findings)
-    fail_on = Severity.parse(args.fail_on)
-    return 1 if worst is not None and worst >= fail_on else 0
+        findings = lint_tree(
+            select=select,
+            include_launches=not args.no_launches,
+            include_source=not args.no_source,
+        )
+        n_rules = None
+    if args.format == "json":
+        print(as_json(findings, n_rules=n_rules))
+    else:
+        print(summarize(findings, n_rules=n_rules))
+    return exit_code(findings, Severity.parse(args.fail_on))
+
+
+def _plan_rules():
+    from repro.analysis import rules_for
+
+    return rules_for("plan")
+
+
+def _expand_artifact_paths(paths):
+    """Files as given; directories expanded to the artifact files the
+    schema registry knows how to name (JSON/JSONL)."""
+    out = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(
+                p for p in path.rglob("*")
+                if p.suffix in (".json", ".jsonl") and p.is_file()
+            ))
+        else:
+            out.append(path)
+    return out
 
 
 def cmd_chaos(args) -> int:
@@ -706,6 +752,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the AST source lint")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
+    p.add_argument("--plan", metavar="FILE",
+                   help="check a campaign plan (JSON) instead of the "
+                   "tree: design rank, coverage, transfer, cost (BF5xx)")
+    p.add_argument("--budget", type=float, metavar="SECONDS",
+                   help="with --plan: fail when the estimated sweep "
+                   "cost exceeds this many seconds")
+    p.add_argument("--artifacts", nargs="+", metavar="PATH",
+                   help="validate artifact files/directories against "
+                   "the registered schemas (BF6xx) instead of the tree")
 
     p = sub.add_parser(
         "bench",

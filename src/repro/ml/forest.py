@@ -43,7 +43,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.obs import child_trace, collect, current_metrics, current_tracer, span
-from repro.parallel import chunk_bounds, resolve_n_jobs, spawn_streams
+from repro.parallel import (
+    chunk_bounds,
+    process_map,
+    resolve_n_jobs,
+    spawn_streams,
+)
 
 from .metrics import explained_variance, mse
 from .tree import RegressionTree
@@ -255,8 +260,6 @@ class RandomForestRegressor:
             n_jobs=jobs,
         ):
             if jobs > 1:
-                from concurrent.futures import ProcessPoolExecutor
-
                 tracer = current_tracer()
                 registry = current_metrics()
                 bounds = chunk_bounds(self.n_trees, jobs)
@@ -267,15 +270,14 @@ class RandomForestRegressor:
                     if hi > lo
                 ]
                 results = []
-                with ProcessPoolExecutor(max_workers=jobs) as pool:
-                    for chunk, child_spans, child_metrics in pool.map(
-                        _fit_forest_chunk, tasks
-                    ):
-                        results.extend(chunk)
-                        if child_spans and tracer is not None:
-                            tracer.adopt(child_spans)
-                        if child_metrics is not None and registry is not None:
-                            registry.merge(child_metrics)
+                for chunk, child_spans, child_metrics in process_map(
+                    _fit_forest_chunk, tasks, jobs
+                ):
+                    results.extend(chunk)
+                    if child_spans and tracer is not None:
+                        tracer.adopt(child_spans)
+                    if child_metrics is not None and registry is not None:
+                        registry.merge(child_metrics)
             else:
                 results = [_fit_forest_tree(X, y, cfg, rng) for rng in streams]
 

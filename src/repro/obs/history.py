@@ -77,12 +77,20 @@ def append_history(path: str | os.PathLike, payload: dict) -> Path:
 
 
 def read_history(path: str | os.PathLike) -> list[dict]:
-    """Load the history journal; a torn trailing line is discarded."""
+    """Load the history journal; a torn trailing line is discarded.
+
+    Lines that parse but do not conform to the registered
+    ``repro-bench-history/1`` schema are refused with the violated
+    BF6xx rule named — format drift is a diagnosis, not a KeyError in
+    the watchdog.
+    """
+    from repro.analysis.schemas import validate_fields
+
     path = Path(path)
     if not path.exists():
         return []
     entries: list[dict] = []
-    for line in path.read_text().splitlines():
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
         if not line.strip():
             continue
         try:
@@ -93,6 +101,12 @@ def read_history(path: str | os.PathLike) -> list[dict]:
             raise ValueError(
                 f"{path}: unknown history schema {data.get('schema')!r} "
                 f"(expected {SCHEMA!r})"
+            )
+        problems = validate_fields(data, SCHEMA)
+        if problems:
+            raise ValueError(
+                f"{path}:{lineno}: history line does not conform to "
+                f"{SCHEMA} — " + "; ".join(problems)
             )
         entries.append(data)
     return entries

@@ -165,12 +165,16 @@ def read_events(path: str | os.PathLike) -> list[Event]:
 
     Tolerant of a torn trailing line — a crash mid-append loses at most
     the event being written (same contract as the campaign checkpoint
-    journal). Lines with an unknown schema tag are refused loudly: a
-    silent partial parse of a future format is worse than an error.
+    journal). Lines with an unknown schema tag, or tagged lines that
+    do not conform to the registered ``repro-events/1`` schema, are
+    refused loudly with the violated BF6xx rule named: a silent partial
+    parse of a drifted format is worse than an error.
     """
+    from repro.analysis.schemas import validate_fields
+
     path = Path(path)
     events: list[Event] = []
-    for line in path.read_text().splitlines():
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
         if not line.strip():
             continue
         try:
@@ -181,6 +185,12 @@ def read_events(path: str | os.PathLike) -> list[Event]:
             raise ValueError(
                 f"{path}: unknown event schema {data.get('schema')!r} "
                 f"(expected {SCHEMA!r})"
+            )
+        problems = validate_fields(data, SCHEMA)
+        if problems:
+            raise ValueError(
+                f"{path}:{lineno}: event does not conform to {SCHEMA} — "
+                + "; ".join(problems)
             )
         events.append(Event.from_dict(data))
     return events

@@ -80,6 +80,18 @@ class Manifest:
                 f"unknown manifest schema {data.get('schema')!r} "
                 f"(expected {SCHEMA!r})"
             )
+        # Schema-registry validation (function-level import: the obs
+        # package must not pull in repro.analysis at init time). A
+        # renamed or mistyped field is a named BF6xx drift report, not
+        # a TypeError from the dataclass constructor.
+        from repro.analysis.schemas import validate_fields
+
+        problems = validate_fields(data, SCHEMA)
+        if problems:
+            raise ValueError(
+                f"manifest does not conform to {SCHEMA} — "
+                + "; ".join(problems)
+            )
         known = {f for f in cls.__dataclass_fields__}
         return cls(**{k: v for k, v in data.items() if k in known})
 

@@ -14,16 +14,22 @@ same in both places and lives here:
   (``-1`` = all cores, ``0`` rejected);
 * :func:`chunk_bounds` splits ``n`` items into at most ``jobs``
   contiguous chunks, so per-process results can be concatenated back in
-  item order.
+  item order;
+* :func:`process_map` is the one place in the package that touches
+  ``concurrent.futures`` — it fans tasks out over a process pool and
+  returns results *in task order*, with an optional in-parent recovery
+  hook for crashed workers. The determinism sanitizer (rule BF405)
+  rejects process fan-out anywhere else.
 """
 
 from __future__ import annotations
 
 import os
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["chunk_bounds", "resolve_n_jobs", "spawn_streams"]
+__all__ = ["chunk_bounds", "process_map", "resolve_n_jobs", "spawn_streams"]
 
 
 def resolve_n_jobs(n_jobs: int) -> int:
@@ -53,3 +59,45 @@ def chunk_bounds(n_items: int, jobs: int) -> np.ndarray:
     """Boundaries of at most ``jobs`` contiguous, near-equal chunks."""
     jobs = max(1, min(jobs, n_items))
     return np.linspace(0, n_items, jobs + 1).astype(int)
+
+
+def process_map(
+    worker: Callable,
+    tasks: Sequence,
+    max_workers: int,
+    *,
+    recoverable: tuple[type[BaseException], ...] | None = None,
+    recover: Callable | None = None,
+) -> list:
+    """Run ``worker(task)`` for every task on a process pool, in order.
+
+    Results come back in *task order* regardless of which worker
+    finishes first, so callers can concatenate them and stay
+    bit-identical with the serial path. When a task raises one of
+    ``recoverable`` — including a ``BrokenProcessPool`` from a worker
+    that died outright — ``recover(task, exc)`` runs *in the parent*
+    and its return value stands in for the lost result; without a
+    recovery hook the exception propagates.
+
+    This is deliberately the only module in the package that imports
+    ``concurrent.futures`` (enforced by determinism rule BF405): every
+    process fan-out shares one audited, order-stable code path.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    catch: tuple[type[BaseException], ...] = tuple(recoverable or ())
+    if recover is not None and BrokenProcessPool not in catch:
+        catch = catch + (BrokenProcessPool,)
+
+    results: list = []
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [pool.submit(worker, task) for task in tasks]
+        for task, future in zip(tasks, futures):
+            try:
+                results.append(future.result())
+            except catch as exc:
+                if recover is None:  # pragma: no cover - guarded above
+                    raise
+                results.append(recover(task, exc))
+    return results

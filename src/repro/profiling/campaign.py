@@ -24,6 +24,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis import InvariantViolation
+from repro.analysis.plan import preflight
 from repro.faults.errors import FaultError, WorkerCrash
 from repro.faults.plan import active_plan, fault_injection, should_inject
 from repro.faults.retry import RetryPolicy, call_with_retry
@@ -32,7 +33,12 @@ from repro.kernels.base import Kernel
 from repro.obs import child_trace, collect, current_metrics, current_tracer, span
 from repro.obs import metrics as obs_metrics
 from repro.obs.log import child_event_log, current_event_log, emit as emit_event
-from repro.parallel import chunk_bounds, resolve_n_jobs, spawn_streams
+from repro.parallel import (
+    chunk_bounds,
+    process_map,
+    resolve_n_jobs,
+    spawn_streams,
+)
 
 from .checkpoint import CampaignCheckpoint, campaign_fingerprint
 from .profiler import Profiler, RunRecord
@@ -395,6 +401,7 @@ class Campaign:
         *,
         retry: RetryPolicy | None = None,
         checkpoint=None,
+        strict: bool = False,
     ) -> CampaignResult:
         """Profile every problem instance (default: the paper's sweep).
 
@@ -418,6 +425,13 @@ class Campaign:
         reassembles a bit-identical result. A checkpoint written by a
         different sweep/seed/kernel is refused
         (:class:`~repro.profiling.checkpoint.CheckpointMismatch`).
+
+        Before anything launches, the plan checker
+        (:mod:`repro.analysis.plan`, rules BF5xx) statically validates
+        the sweep — design-matrix rank, cost. ERROR findings emit a
+        ``UserWarning`` by default; ``strict=True`` upgrades them to an
+        :class:`~repro.analysis.InvariantViolation` so a doomed sweep
+        never burns its budget.
         """
         problems = list(problems) if problems is not None else self.kernel.default_sweep()
         if not problems:
@@ -425,6 +439,9 @@ class Campaign:
                 "no problem instances to run: the launch list is empty "
                 "(pass a non-empty `problems` or a kernel with a default sweep)"
             )
+        preflight(
+            self.kernel, self.arch, problems, replicates, strict=strict
+        )
         if retry is None:
             retry = RetryPolicy()
         result = CampaignResult(
@@ -549,9 +566,6 @@ class Campaign:
         per-problem streams, so the campaign both survives the crash and
         reproduces the records the worker would have produced.
         """
-        from concurrent.futures import ProcessPoolExecutor
-        from concurrent.futures.process import BrokenProcessPool
-
         tracer = current_tracer()
         registry = current_metrics()
         log = current_event_log()
@@ -579,53 +593,56 @@ class Campaign:
             )
             for chunk in chunks
         ]
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [pool.submit(_profile_chunk, task) for task in tasks]
-            for chunk, future in zip(chunks, futures):
-                try:
-                    out, child_spans, child_metrics, child_events = (
-                        future.result()
+        def recover_chunk(task, exc):
+            chunk = task[6]
+            obs_metrics.inc(
+                "campaign.worker_crashes", kernel=self.kernel.name
+            )
+            emit_event(
+                "campaign.worker_crash",
+                kernel=self.kernel.name,
+                items=len(chunk),
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            with span(
+                "campaign.worker_recovery",
+                kernel=self.kernel.name,
+                items=len(chunk),
+                error=f"{type(exc).__name__}: {exc}",
+            ):
+                # Re-run the lost chunk here in the parent. The
+                # worker-crash site only exists inside workers, so the
+                # fallback cannot crash the same way; a still-failing
+                # launch quarantines as usual.
+                out = [
+                    (index, problem)
+                    + _profile_resilient(
+                        self.profiler,
+                        self.kernel,
+                        problem,
+                        index,
+                        replicates,
+                        stream,
+                        retry,
                     )
-                except (FaultError, BrokenProcessPool) as exc:
-                    obs_metrics.inc(
-                        "campaign.worker_crashes", kernel=self.kernel.name
-                    )
-                    emit_event(
-                        "campaign.worker_crash",
-                        kernel=self.kernel.name,
-                        items=len(chunk),
-                        error=f"{type(exc).__name__}: {exc}",
-                    )
-                    with span(
-                        "campaign.worker_recovery",
-                        kernel=self.kernel.name,
-                        items=len(chunk),
-                        error=f"{type(exc).__name__}: {exc}",
-                    ):
-                        # Re-run the lost chunk here in the parent. The
-                        # worker-crash site only exists inside workers,
-                        # so the fallback cannot crash the same way; a
-                        # still-failing launch quarantines as usual.
-                        out = [
-                            (index, problem)
-                            + _profile_resilient(
-                                self.profiler,
-                                self.kernel,
-                                problem,
-                                index,
-                                replicates,
-                                stream,
-                                retry,
-                            )
-                            for index, problem, stream in chunk
-                        ]
-                    child_spans = child_metrics = child_events = None
-                for index, problem, records, q in out:
-                    finish(index, problem, records, q)
-                if child_spans and tracer is not None:
-                    # Graft the worker's spans under campaign.run.
-                    tracer.adopt(child_spans)
-                if child_metrics is not None and registry is not None:
-                    registry.merge(child_metrics)
-                if child_events and log is not None:
-                    log.merge(child_events)
+                    for index, problem, stream in chunk
+                ]
+            return out, None, None, None
+
+        chunk_results = process_map(
+            _profile_chunk,
+            tasks,
+            jobs,
+            recoverable=(FaultError,),
+            recover=recover_chunk,
+        )
+        for out, child_spans, child_metrics, child_events in chunk_results:
+            for index, problem, records, q in out:
+                finish(index, problem, records, q)
+            if child_spans and tracer is not None:
+                # Graft the worker's spans under campaign.run.
+                tracer.adopt(child_spans)
+            if child_metrics is not None and registry is not None:
+                registry.merge(child_metrics)
+            if child_events and log is not None:
+                log.merge(child_events)

@@ -510,6 +510,39 @@ class ProfileRepository:
                     f"{dirname}/{_DATA}: corrupt (row count {n_rows} != "
                     f"meta n_runs {meta['n_runs']})"
                 )
+        findings.extend(self._schema_findings(cdir, dirname))
+        return findings
+
+    @staticmethod
+    def _schema_findings(cdir: Path, dirname: str) -> list[str]:
+        """Validate the JSON sidecars against the registered artifact
+        schemas (rules BF6xx) — a renamed or mistyped field becomes a
+        named finding here instead of a ``KeyError`` in some reader.
+
+        ERROR findings read as corruption; WARNING-level drift
+        (unrecognized fields a reader would silently skip) is labelled
+        legacy/drift so ``repro repo verify`` reports without
+        quarantining.
+        """
+        # Function-level import: repro.analysis pulls in gpusim, which
+        # the profiling package must not require at import time.
+        from repro.analysis import Severity, validate_artifact
+
+        findings: list[str] = []
+        for name in (_MANIFEST, _META):
+            path = cdir / name
+            if not path.exists():
+                continue  # presence is the structural checks' concern
+            for f in validate_artifact(path):
+                if f.severity >= Severity.ERROR:
+                    findings.append(
+                        f"{dirname}/{name}: corrupt ({f.rule}: {f.message})"
+                    )
+                else:
+                    findings.append(
+                        f"{dirname}/{name}: legacy/drift "
+                        f"({f.rule}: {f.message})"
+                    )
         return findings
 
     def verify_all(self) -> dict[str, list[str]]:

@@ -1,0 +1,14 @@
+"""Fixture: pipeline-style code with none of the BF4xx hazards."""
+
+import time
+
+import numpy as np
+
+
+def deterministic_work(seed, names):
+    rng = np.random.default_rng(seed)
+    start = time.monotonic()
+    ordered = sorted({n.lower() for n in names})
+    draw = rng.standard_normal(len(ordered))
+    elapsed = time.monotonic() - start
+    return ordered, draw, elapsed

@@ -1,0 +1,21 @@
+"""Fixture: non-atomic artifact writes in a persistence module (BF404).
+
+The path component ``obs/`` puts this file in BF404's scope.
+"""
+
+import json
+from pathlib import Path
+
+
+def tearable_write(path, payload):
+    with open(path, "w") as fh:              # BF404: torn on crash
+        json.dump(payload, fh)
+
+
+def tearable_write_text(path, text):
+    Path(path).write_text(text)              # BF404: in-place, non-atomic
+
+
+def read_is_fine(path):
+    with open(path) as fh:                   # clean: reads cannot tear
+        return fh.read()

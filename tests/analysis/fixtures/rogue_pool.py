@@ -1,0 +1,14 @@
+"""Fixture: process fan-out bypassing repro.parallel (BF405)."""
+
+import multiprocessing                                  # BF405
+from concurrent.futures import ProcessPoolExecutor      # BF405
+
+
+def fan_out(worker, tasks):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(worker, tasks))
+
+
+def fan_out_mp(worker, tasks):
+    with multiprocessing.Pool() as pool:
+        return pool.map(worker, tasks)

@@ -1,0 +1,15 @@
+"""Fixture: set iteration feeding ordered output (BF403)."""
+
+
+def order_dependent(records):
+    out = []
+    for name in {r.name for r in records} - {"skip"}:  # BF403
+        out.append(name)
+    ordered = [n.upper() for n in {r.name for r in records}]  # BF403
+    return out, ordered, list(set(records))  # BF403: list(set)
+
+
+def order_safe(records):
+    names = sorted({r.name for r in records})     # clean: sorted
+    total = sum(len(n) for n in set(records))     # clean: folded away
+    return names, total

@@ -1,0 +1,29 @@
+"""Fixture: every flavor of unseeded randomness BF401 must catch.
+
+Never imported — parsed by tests/analysis/test_determinism_rules.py and
+fed through the determinism rules.
+"""
+
+import random
+
+import numpy as np
+
+
+def stdlib_global_state(items):
+    random.shuffle(items)          # BF401: stdlib global RNG
+    return random.random()         # BF401
+
+
+def numpy_legacy_global_state(n):
+    np.random.seed(0)              # BF401: hidden global RandomState
+    return np.random.normal(size=n)  # BF401
+
+
+def entropy_seeded():
+    rng = np.random.default_rng()  # BF401: unseeded — differs every run
+    return rng.standard_normal()
+
+
+def properly_seeded(seed):
+    rng = np.random.default_rng(seed)  # clean: explicit seed
+    return rng.standard_normal()

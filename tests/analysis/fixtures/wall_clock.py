@@ -1,0 +1,15 @@
+"""Fixture: wall-clock timing in pipeline code (BF402)."""
+
+import time
+
+
+def measure_badly(fn):
+    start = time.time()            # BF402: wall-clock jumps under NTP
+    fn()
+    return time.time() - start     # BF402
+
+
+def measure_correctly(fn):
+    start = time.perf_counter()    # clean: monotonic interval clock
+    fn()
+    return time.perf_counter() - start

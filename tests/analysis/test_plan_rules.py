@@ -1,0 +1,275 @@
+"""Tests for the campaign plan checker (BF501-BF505)."""
+
+import json
+import warnings
+
+import pytest
+
+from repro.analysis import (
+    CampaignPlan,
+    InvariantViolation,
+    Severity,
+    lint_plan,
+    plan_from_dict,
+    plan_from_file,
+)
+from repro.analysis.plan import bench_launch_cost_s, preflight
+from repro.cli import main
+from repro.cpusim.arch import I7_SANDY
+from repro.gpusim.arch import GTX480, GTX580, K20M
+from repro.kernels import kernel_registry
+from repro.profiling.campaign import Campaign
+
+KERNELS = kernel_registry()
+JACOBI = KERNELS["jacobi"]
+VECTOR_ADD = KERNELS["vectorAdd"]
+
+#: A jacobi sweep whose two characteristics (size, iterations) move in
+#: exact lockstep — rank 1 from 2 varied columns.
+LOCKSTEP = [(s, 2 * s) for s in (16, 32, 64, 128)]
+
+
+def rules_fired(plan, min_severity=Severity.WARNING):
+    return {
+        f.rule for f in lint_plan(plan) if f.severity >= min_severity
+    }
+
+
+def errors_fired(plan):
+    return rules_fired(plan, Severity.ERROR)
+
+
+class TestBF501DesignRank:
+    def test_lockstep_sweep_is_rank_deficient(self):
+        plan = CampaignPlan(JACOBI, GTX580, problems=LOCKSTEP)
+        findings = [f for f in lint_plan(plan) if f.rule == "BF501"]
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.ERROR
+        assert "rank" in findings[0].message
+
+    def test_single_problem_is_warning_not_error(self):
+        plan = CampaignPlan(JACOBI, GTX580, problems=[(64, 10)])
+        findings = [f for f in lint_plan(plan) if f.rule == "BF501"]
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.WARNING
+
+    def test_default_sweep_is_full_rank(self):
+        plan = CampaignPlan(JACOBI, GTX580)
+        assert "BF501" not in rules_fired(plan)
+
+    def test_repeated_identical_problems_warn(self):
+        plan = CampaignPlan(JACOBI, GTX580, problems=[(64, 10)] * 4)
+        findings = [f for f in lint_plan(plan) if f.rule == "BF501"]
+        assert findings and findings[0].severity == Severity.WARNING
+
+
+class TestBF502Collinearity:
+    def test_near_lockstep_warns(self):
+        # One point off the size = iterations/2 line: full rank, but
+        # |r| stays above 0.99.
+        problems = LOCKSTEP + [(256, 513)]
+        plan = CampaignPlan(JACOBI, GTX580, problems=problems)
+        findings = [f for f in lint_plan(plan) if f.rule == "BF502"]
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.WARNING
+        assert set(findings[0].context["pair"]) == {"size", "iterations"}
+
+    def test_exact_collinearity_left_to_bf501(self):
+        plan = CampaignPlan(JACOBI, GTX580, problems=LOCKSTEP)
+        assert "BF502" not in {f.rule for f in lint_plan(plan)}
+
+    def test_decorrelated_grid_is_clean(self):
+        problems = [
+            (s, i) for s in (16, 64, 256) for i in (1, 10, 100)
+        ]
+        plan = CampaignPlan(JACOBI, GTX580, problems=problems)
+        assert "BF502" not in {f.rule for f in lint_plan(plan)}
+
+
+class TestBF503CounterCoverage:
+    def test_power_on_fermi_rejected(self):
+        plan = CampaignPlan(VECTOR_ADD, GTX580, predictor="power")
+        assert "BF503" in errors_fired(plan)
+
+    def test_power_on_kepler_allowed(self):
+        plan = CampaignPlan(VECTOR_ADD, K20M, predictor="power")
+        assert "BF503" not in rules_fired(plan)
+
+    def test_power_on_cpu_allowed(self):
+        plan = CampaignPlan(
+            KERNELS["cpu-vectorAdd"], I7_SANDY, predictor="power"
+        )
+        assert "BF503" not in rules_fired(plan)
+
+    def test_transfer_with_common_counters_allowed(self):
+        plan = CampaignPlan(
+            VECTOR_ADD, GTX580, predictor="hardware_scaling",
+            test_arch=K20M,
+        )
+        assert "BF503" not in rules_fired(plan)
+
+
+class TestBF504TransferOverlap:
+    def test_missing_test_arch_rejected(self):
+        plan = CampaignPlan(
+            VECTOR_ADD, GTX580, predictor="hardware_scaling"
+        )
+        assert "BF504" in errors_fired(plan)
+
+    def test_same_arch_rejected(self):
+        plan = CampaignPlan(
+            VECTOR_ADD, GTX580, predictor="hardware_scaling",
+            test_arch=GTX580,
+        )
+        assert "BF504" in errors_fired(plan)
+
+    def test_distinct_arch_clean(self):
+        plan = CampaignPlan(
+            VECTOR_ADD, GTX580, predictor="hardware_scaling",
+            test_arch=K20M,
+        )
+        assert "BF504" not in rules_fired(plan)
+
+    def test_rule_scoped_to_hardware_scaling(self):
+        plan = CampaignPlan(VECTOR_ADD, GTX580,
+                            predictor="problem_scaling")
+        assert "BF504" not in rules_fired(plan)
+
+
+class TestBF505Cost:
+    def test_bench_cost_resolves_from_committed_baseline(self):
+        cost = bench_launch_cost_s()
+        assert cost is not None and 0 < cost < 1.0
+
+    def test_estimate_reported_as_info(self):
+        plan = CampaignPlan(VECTOR_ADD, GTX580)
+        findings = [f for f in lint_plan(plan) if f.rule == "BF505"]
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.INFO
+        assert findings[0].context["launches"] == len(plan.problems)
+
+    def test_over_budget_is_error(self):
+        plan = CampaignPlan(VECTOR_ADD, GTX580, replicates=1000,
+                            budget_s=0.001)
+        findings = [f for f in lint_plan(plan) if f.rule == "BF505"]
+        assert findings[0].severity == Severity.ERROR
+        assert findings[0].context["estimate_s"] > 0.001
+
+    def test_within_budget_is_info(self):
+        plan = CampaignPlan(VECTOR_ADD, GTX580, budget_s=3600.0)
+        findings = [f for f in lint_plan(plan) if f.rule == "BF505"]
+        assert findings[0].severity == Severity.INFO
+
+    def test_missing_baseline_disables_estimate(self, tmp_path):
+        assert bench_launch_cost_s(tmp_path / "nope.json") is None
+
+
+class TestRegistrySweepsPass:
+    @pytest.mark.parametrize("name", sorted(kernel_registry()))
+    def test_default_sweep_has_no_errors(self, name):
+        kernel = KERNELS[name]
+        arch = I7_SANDY if name.startswith("cpu-") else GTX580
+        plan = CampaignPlan(kernel, arch)
+        assert errors_fired(plan) == set()
+
+
+class TestPlanFromDict:
+    def test_round_trip_with_problems(self):
+        plan = plan_from_dict({
+            "kernel": "jacobi", "arch": "GTX580",
+            "problems": [[16, 32], [64, 8]], "replicates": 3,
+            "predictor": "hardware_scaling", "test_arch": "K20m",
+            "budget_s": 60,
+        })
+        assert plan.kernel.name == JACOBI.name
+        assert plan.arch is GTX580
+        assert plan.problems == [(16, 32), (64, 8)]
+        assert plan.replicates == 3
+        assert plan.test_arch is K20M
+        assert plan.budget_s == 60.0
+
+    def test_problems_default_to_kernel_sweep(self):
+        plan = plan_from_dict({"kernel": "vectorAdd", "arch": "GTX480"})
+        assert plan.problems == list(VECTOR_ADD.default_sweep())
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            plan_from_dict({"kernel": "nope", "arch": "GTX580"})
+
+    def test_unknown_arch_rejected(self):
+        with pytest.raises(ValueError, match="unknown architecture"):
+            plan_from_dict({"kernel": "jacobi", "arch": "RTX9090"})
+
+    def test_unknown_predictor_rejected(self):
+        with pytest.raises(ValueError, match="unknown predictor"):
+            plan_from_dict({"kernel": "jacobi", "arch": "GTX580",
+                            "predictor": "oracle"})
+
+
+class TestCliPlanMode:
+    def write_plan(self, tmp_path, **overrides):
+        data = {"kernel": "jacobi", "arch": "GTX580", **overrides}
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_good_plan_exits_zero(self, tmp_path, capsys):
+        path = self.write_plan(tmp_path)
+        assert main(["lint", "--plan", path]) == 0
+        assert "0 findings" not in capsys.readouterr().out or True
+
+    def test_rank_deficient_plan_exits_one(self, tmp_path, capsys):
+        path = self.write_plan(
+            tmp_path, problems=[[s, 2 * s] for s in (16, 32, 64)]
+        )
+        assert main(["lint", "--plan", path, "--fail-on", "error"]) == 1
+        assert "BF501" in capsys.readouterr().out
+
+    def test_budget_flag_overrides_plan(self, tmp_path, capsys):
+        path = self.write_plan(tmp_path)
+        code = main(["lint", "--plan", path, "--budget", "0.0001",
+                     "--fail-on", "error"])
+        assert code == 1
+        assert "BF505" in capsys.readouterr().out
+
+    def test_plan_and_artifacts_mutually_exclusive(self, tmp_path,
+                                                   capsys):
+        path = self.write_plan(tmp_path)
+        code = main(["lint", "--plan", path, "--artifacts", path])
+        assert code == 2
+
+    def test_plan_from_file_matches_dict(self, tmp_path):
+        path = self.write_plan(tmp_path, replicates=2)
+        plan = plan_from_file(path)
+        assert plan.replicates == 2
+
+
+class TestCampaignPreflight:
+    def test_strict_run_raises_on_rank_deficiency(self):
+        campaign = Campaign(JACOBI, GTX580, rng=0)
+        with pytest.raises(InvariantViolation, match="BF501"):
+            campaign.run(problems=[(32, 64), (64, 128)], strict=True)
+
+    def test_default_run_warns_and_proceeds(self):
+        campaign = Campaign(JACOBI, GTX580, rng=0)
+        with pytest.warns(UserWarning, match="BF501"):
+            result = campaign.run(problems=[(32, 64), (64, 128)])
+        assert len(result.records) == 2
+
+    def test_good_sweep_runs_silently(self):
+        campaign = Campaign(VECTOR_ADD, GTX580, rng=0)
+        problems = VECTOR_ADD.default_sweep()[:3]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", UserWarning)
+            result = campaign.run(problems=problems)
+        assert len(result.records) == 3
+
+    def test_preflight_returns_all_findings(self):
+        findings = preflight(JACOBI, GTX580, JACOBI.default_sweep(), 1)
+        assert {f.rule for f in findings} == {"BF505"}
+
+    def test_preflight_strict_passes_good_plans(self):
+        findings = preflight(
+            JACOBI, GTX580, JACOBI.default_sweep(), 1, strict=True
+        )
+        assert all(f.severity < Severity.ERROR for f in findings)

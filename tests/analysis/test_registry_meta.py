@@ -1,0 +1,153 @@
+"""Meta-tests: the rule registry itself stays coherent.
+
+Three invariants over the whole catalogue, so adding a rule cannot
+silently fragment the id space, drift from the documentation, or ship
+untested: every id is well-formed and sits in its declared family, the
+``docs/analysis.md`` rule tables mirror the registry exactly, and every
+rule id is exercised by tests (with at least one clean-subject test in
+the files that cover it).
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro.analysis  # noqa: F401 — imports register every rule
+from repro.analysis.findings import (
+    FAMILIES,
+    Severity,
+    all_rules,
+    doc_url_of,
+    family_of,
+    rule,
+    rules_for,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TESTS_ROOT = REPO_ROOT / "tests"
+DOCS = REPO_ROOT / "docs" / "analysis.md"
+
+RULE_ID = re.compile(r"^BF\d{3}$")
+
+
+class TestRegistryHygiene:
+    def test_ids_well_formed(self):
+        for r in all_rules():
+            assert RULE_ID.fullmatch(r.id), r.id
+
+    def test_ids_unique(self):
+        ids = [r.id for r in all_rules()]
+        assert len(ids) == len(set(ids))
+
+    def test_every_id_has_a_family(self):
+        for r in all_rules():
+            assert family_of(r.id), r.id
+            assert doc_url_of(r.id).startswith("docs/analysis.md#")
+
+    def test_domain_matches_family_block(self):
+        for r in all_rules():
+            prefixes = [r.id[:4], r.id[:3]]
+            entry = next(
+                FAMILIES[p] for p in prefixes if p in FAMILIES
+            )
+            assert entry[1] == r.domain, r.id
+
+    def test_every_family_block_is_populated(self):
+        populated = {family_of(r.id) for r in all_rules()}
+        assert populated == {name for name, _, _ in FAMILIES.values()}
+
+    def test_rule_metadata_complete(self):
+        for r in all_rules():
+            assert r.summary.strip(), r.id
+            assert isinstance(r.severity, Severity), r.id
+
+
+class TestRegistrationValidation:
+    def test_malformed_id_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            rule("BF99", Severity.ERROR, "source", "x")
+
+    def test_unknown_family_block_rejected(self):
+        with pytest.raises(ValueError, match="no declared family"):
+            rule("BF999", Severity.ERROR, "source", "x")
+
+    def test_wrong_domain_for_block_rejected(self):
+        with pytest.raises(ValueError, match="belongs to domain"):
+            rule("BF499", Severity.ERROR, "plan", "x")
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            rule("BF401", Severity.ERROR, "determinism", "x")
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule domain"):
+            rule("BF301", Severity.ERROR, "vibes", "x")
+
+
+class TestDocsCrossCheck:
+    ROW = re.compile(r"^\| (BF\d{3}) \| (info|warning|error) \|",
+                     re.MULTILINE)
+
+    def table_rows(self):
+        return {m.group(1): m.group(2)
+                for m in self.ROW.finditer(DOCS.read_text())}
+
+    def test_docs_list_exactly_the_registered_rules(self):
+        documented = set(self.table_rows())
+        registered = {r.id for r in all_rules()}
+        assert documented == registered, (
+            f"undocumented: {sorted(registered - documented)}; "
+            f"stale docs: {sorted(documented - registered)}"
+        )
+
+    def test_docs_severities_match_defaults(self):
+        rows = self.table_rows()
+        for r in all_rules():
+            assert rows[r.id] == r.severity.name.lower(), r.id
+
+    def test_docs_contain_every_family_anchor(self):
+        # GitHub anchors derive from headings: "### Determinism rules
+        # (BF4xx)" -> determinism-rules-bf4xx.
+        anchors = {
+            re.sub(r"[^\w\- ]", "", h.lower()).replace(" ", "-")
+            for h in re.findall(r"^#+ (.+)$", DOCS.read_text(),
+                                re.MULTILINE)
+        }
+        for _name, _domain, anchor in FAMILIES.values():
+            assert anchor in anchors, anchor
+
+
+class TestTestCoverage:
+    CLEAN = re.compile(
+        r"== set\(\)|== \[\]|not in |_clean|_allowed|_ignored"
+        r"|still_works|silently|no_errors"
+    )
+
+    def sources(self):
+        return {
+            p: p.read_text()
+            for p in TESTS_ROOT.rglob("test_*.py")
+            if p != Path(__file__)
+        }
+
+    def test_every_rule_id_referenced_by_tests(self):
+        sources = self.sources()
+        for r in all_rules():
+            referencing = [
+                p for p, text in sources.items() if r.id in text
+            ]
+            assert referencing, f"{r.id} appears in no test"
+
+    def test_every_rule_has_a_negative_test_alongside(self):
+        # Wherever a rule is asserted to fire, the same file (or a
+        # sibling covering the same id) must also assert a clean
+        # subject passes — firing-only coverage never catches false
+        # positives.
+        sources = self.sources()
+        for r in all_rules():
+            referencing = [
+                text for text in sources.values() if r.id in text
+            ]
+            assert any(self.CLEAN.search(text) for text in referencing), \
+                f"{r.id}: no clean-subject test in any covering file"

@@ -5,7 +5,15 @@ from dataclasses import replace
 
 import pytest
 
-from repro.analysis import lint_tree, rule_table, summarize
+from repro.analysis import (
+    Finding,
+    Severity,
+    as_json,
+    exit_code,
+    lint_tree,
+    rule_table,
+    summarize,
+)
 from repro.cli import main
 from repro.gpusim.counters import CATALOGUE
 
@@ -98,6 +106,138 @@ class TestLintCLI:
         capsys.readouterr()
         assert main(["lint", "--no-launches", "--no-source",
                      "--select", "BF2"]) == 0
+
+
+def seeded_findings():
+    """One finding per severity, deliberately out of output order."""
+    return [
+        Finding("BF403", Severity.WARNING, "warn",
+                subject="src/repro/b.py:7"),
+        Finding("BF505", Severity.INFO, "info", subject="k@a"),
+        Finding("BF402", Severity.ERROR, "err",
+                subject="src/repro/b.py:3"),
+        Finding("BF402", Severity.ERROR, "err",
+                subject="src/repro/a.py:12"),
+    ]
+
+
+class TestJsonOutput:
+    def test_output_is_deterministic(self, monkeypatch):
+        monkeypatch.setitem(
+            CATALOGUE, "branch",
+            replace(CATALOGUE["branch"], meaning="", families=("maxwell",)),
+        )
+        findings = lint_tree(include_launches=False, include_source=False)
+        assert as_json(findings, n_rules=47) \
+            == as_json(list(reversed(findings)), n_rules=47)
+
+    def test_findings_sorted_by_rule_file_line(self):
+        payload = json.loads(as_json(seeded_findings(), n_rules=4))
+        order = [
+            (f["rule"], f["subject"]) for f in payload["findings"]
+        ]
+        assert order == [
+            ("BF402", "src/repro/a.py:12"),
+            ("BF402", "src/repro/b.py:3"),
+            ("BF403", "src/repro/b.py:7"),
+            ("BF505", "k@a"),
+        ]
+
+    def test_line_numbers_sort_numerically(self):
+        findings = [
+            Finding("BF402", Severity.ERROR, "m",
+                    subject=f"src/repro/a.py:{n}")
+            for n in (100, 9, 20)
+        ]
+        payload = json.loads(as_json(findings, n_rules=1))
+        subjects = [f["subject"] for f in payload["findings"]]
+        assert subjects == [
+            "src/repro/a.py:9", "src/repro/a.py:20",
+            "src/repro/a.py:100",
+        ]
+
+    def test_findings_carry_rule_metadata(self):
+        payload = json.loads(as_json(seeded_findings(), n_rules=4))
+        for f in payload["findings"]:
+            assert f["severity"] in ("info", "warning", "error")
+            assert f["family"] in (
+                "determinism", "campaign-plan", "artifact-schema",
+            )
+            assert f["doc_url"].startswith("docs/analysis.md#")
+
+    def test_max_severity_reported(self):
+        payload = json.loads(as_json(seeded_findings(), n_rules=4))
+        assert payload["max_severity"] == "error"
+        assert payload["rules_run"] == 4
+
+
+class TestFailOnThreshold:
+    CASES = [
+        # (worst seeded severity, fail_on, expected exit code)
+        (None, Severity.INFO, 0),
+        (Severity.INFO, Severity.INFO, 1),
+        (Severity.INFO, Severity.WARNING, 0),
+        (Severity.INFO, Severity.ERROR, 0),
+        (Severity.WARNING, Severity.INFO, 1),
+        (Severity.WARNING, Severity.WARNING, 1),
+        (Severity.WARNING, Severity.ERROR, 0),
+        (Severity.ERROR, Severity.INFO, 1),
+        (Severity.ERROR, Severity.WARNING, 1),
+        (Severity.ERROR, Severity.ERROR, 1),
+    ]
+
+    @pytest.mark.parametrize("worst,fail_on,expected", CASES)
+    def test_exit_code_inclusive_threshold(self, worst, fail_on,
+                                           expected):
+        findings = [
+            f for f in seeded_findings()
+            if worst is not None and f.severity <= worst
+        ]
+        assert exit_code(findings, fail_on) == expected
+
+    def test_cli_fail_on_info_trips_on_info(self, capsys, monkeypatch):
+        monkeypatch.setitem(
+            CATALOGUE, "branch",
+            replace(CATALOGUE["branch"], meaning=""),  # BF008, warning
+        )
+        assert main(["lint", "--no-launches", "--no-source",
+                     "--fail-on", "info"]) == 1
+
+    def test_cli_fail_on_error_passes_warnings(self, capsys,
+                                               monkeypatch):
+        monkeypatch.setitem(
+            CATALOGUE, "branch",
+            replace(CATALOGUE["branch"], meaning=""),
+        )
+        assert main(["lint", "--no-launches", "--no-source",
+                     "--fail-on", "error"]) == 0
+
+    def test_unknown_fail_on_rejected(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("catastrophic")
+
+
+class TestArtifactsCLI:
+    def test_committed_artifacts_validate(self, capsys):
+        assert main(["lint", "--artifacts", "BENCH_core.json",
+                     "benchmarks/history.jsonl"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_directory_expansion(self, tmp_path, capsys):
+        (tmp_path / "a.json").write_text('{"schema": "mystery/9"}')
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "b.json").write_text("{broken")
+        rc = main(["lint", "--artifacts", str(tmp_path),
+                   "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert {f["rule"] for f in payload["findings"]} \
+            == {"BF601", "BF604"}
+
+    def test_select_applies_to_artifacts(self, tmp_path, capsys):
+        (tmp_path / "a.json").write_text('{"schema": "mystery/9"}')
+        assert main(["lint", "--artifacts", str(tmp_path / "a.json"),
+                     "--select", "BF605"]) == 0
 
 
 @pytest.mark.parametrize("fmt", ["text", "json"])
