@@ -14,6 +14,8 @@ tag                      written by
 ``repro-bench-history/1``  :mod:`repro.obs.history` (bench journal)
 ``repro-campaign-meta/1``  :mod:`repro.profiling.repository`
                            (``meta.json``; tagless, matched by name)
+``repro-fit/1``          :mod:`repro.serve.artifact` (servable fit)
+``repro-fit-index/1``    :mod:`repro.serve.registry` (version index)
 =======================  ==========================================
 
 Validation produces *findings*, not exceptions: a renamed field in a
@@ -198,6 +200,30 @@ SCHEMAS: dict[str, ArtifactSchema] = {
             ),
             filename_hints=("meta.json",),
             tagless=True,
+        ),
+        ArtifactSchema(
+            tag="repro-fit/1",
+            kind="json",
+            description="servable fit artifact (registry fit.json)",
+            fields=(
+                _f("schema", str),
+                _f("kernel", str),
+                _f("arch", str),
+                _f("tag", str, nullable=True),
+                _f("response", str),
+                _f("feature_names", list),
+                _f("source", dict),
+                _f("forest", dict),
+            ),
+        ),
+        ArtifactSchema(
+            tag="repro-fit-index/1",
+            kind="json",
+            description="fit registry version index (index.json)",
+            fields=(
+                _f("schema", str),
+                _f("versions", list),
+            ),
         ),
     )
 }

@@ -332,11 +332,59 @@ def bench_campaign_sweep(quick: bool = False) -> BenchResult:
     )
 
 
+def bench_predict_many(quick: bool = False) -> BenchResult:
+    """Batched serving path: one stacked predict_many pass over many
+    queued queries vs. the per-query predict loop it replaces.
+
+    The workload mirrors what ``repro serve`` coalesces — many small
+    (often single-row) query matrices against one warm fit — where the
+    per-query loop pays ``n_trees`` python-level tree traversal calls
+    *per query* and the stacked pass pays them once for the whole batch.
+    The two paths are checked bit-identical before timing (the stacking
+    lemma: forest prediction maps rows independently).
+    """
+    from repro.ml.forest import RandomForestRegressor
+
+    n, p = 200, 12
+    trees = 40 if quick else 100
+    n_queries = 64 if quick else 256
+    rng = np.random.default_rng(5)
+    X = rng.normal(size=(n, p))
+    y = X[:, 0] * 1.5 + np.abs(X[:, 1]) + rng.normal(scale=0.2, size=n)
+    forest = RandomForestRegressor(
+        n_trees=trees, importance=False, rng=np.random.default_rng(6)
+    ).fit(X, y)
+    # Serving-shaped queries: mostly single rows, a few small batches.
+    queries = [
+        rng.normal(size=(1 if i % 4 else 8, p)) for i in range(n_queries)
+    ]
+    rows = sum(q.shape[0] for q in queries)
+
+    batched = forest.predict_many(queries)
+    looped = [forest.predict(q) for q in queries]
+    for a, b in zip(batched, looped):
+        if not np.array_equal(a, b):
+            raise AssertionError("batched predict diverges from per-query loop")
+
+    fast_s = _best_of(lambda: forest.predict_many(queries), 5)
+    base_s = _best_of(lambda: [forest.predict(q) for q in queries], 2)
+    return _result(
+        "predict_many", n_queries, "queries", fast_s, base_s,
+        {
+            "rows": rows,
+            "trees": trees,
+            "n_features": p,
+            "predictions_per_s": rows / fast_s if fast_s > 0 else None,
+        },
+    )
+
+
 BENCHMARKS = {
     "trace_transactions": bench_trace_transactions,
     "cache_trace_replay": bench_cache_trace_replay,
     "forest_fit": bench_forest_fit,
     "campaign_sweep": bench_campaign_sweep,
+    "predict_many": bench_predict_many,
 }
 
 

@@ -16,6 +16,8 @@ kernel and get readable feedback from; this module is that front end::
     python -m repro report reduce1 --arch GTX580 --format html --out r.html
     python -m repro chaos reduce1 --launch-rate 0.2 --worker-rate 0.1 --jobs 4
     python -m repro repo verify ./profiles --quarantine
+    python -m repro publish reduce1 --arch GTX580 --registry ./models
+    python -m repro serve --registry ./models --max-batch 32
 
 Every data-producing subcommand takes ``--format {text,json}``; the
 sweep-driving ones share ``--seed`` and ``--jobs``. ``--trace`` (on
@@ -639,6 +641,86 @@ def cmd_repo(args) -> int:
     return 1 if damaged and not args.quarantine else 0
 
 
+def cmd_publish(args) -> int:
+    """Fit a model and publish it into a fit registry for serving."""
+    from repro.serve import FitRegistry, servable_from_fit
+
+    arch = _arch(args.arch)
+    kernel = _kernel(args.kernel)
+    source = {"trees": args.trees, "seed": args.seed}
+    if args.repo:
+        from repro.profiling import CampaignKey, ProfileRepository
+
+        repo = ProfileRepository(args.repo)
+        key = CampaignKey(kernel.name, arch.name, args.tag)
+        try:
+            campaign = repo.load(key)
+        except (FileNotFoundError, ValueError) as exc:
+            raise SystemExit(f"cannot load {key} from {args.repo}: {exc}")
+        digest = repo.manifest_digest(key)
+        if digest is not None:
+            source["campaign_manifest_sha256"] = digest
+        print(f"loaded {len(campaign)} runs for {key} from {args.repo}",
+              file=sys.stderr)
+    else:
+        problems = _parse_sizes(args.sizes) if args.sizes else None
+        print(f"collecting campaign for {kernel.name} on {arch.name}...",
+              file=sys.stderr)
+        campaign = Campaign(kernel, arch, rng=args.seed).run(
+            problems=problems, replicates=args.replicates, n_jobs=args.jobs
+        )
+    source["n_runs"] = len(campaign)
+    fit = BlackForest(
+        n_trees=args.trees, n_jobs=args.jobs, rng=args.seed + 1,
+    ).fit(campaign, response=args.response)
+    servable = servable_from_fit(fit, tag=args.tag, source=source)
+    version = FitRegistry(args.registry).publish(servable)
+    _emit(args, {
+        "kernel": kernel.name,
+        "arch": arch.name,
+        "tag": args.tag,
+        "registry": str(args.registry),
+        "version": version.version,
+        "digest": version.digest,
+        "n_runs": len(campaign),
+    }, f"published {version} to {args.registry} "
+       f"(digest {version.digest[:12]}, {len(campaign)} training runs)")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Serve predictions from a fit registry over line-delimited JSON-RPC."""
+    from repro.serve import (
+        FitRegistry,
+        PredictionServer,
+        serve_stdio,
+        serve_tcp,
+    )
+
+    server = PredictionServer(
+        FitRegistry(args.registry),
+        max_batch=args.max_batch,
+        cache_size=args.cache_size,
+    )
+    if args.socket:
+        host, _, port = args.socket.rpartition(":")
+        try:
+            port_no = int(port)
+        except ValueError:
+            raise SystemExit(
+                f"bad --socket {args.socket!r} (expected HOST:PORT)"
+            )
+        served = serve_tcp(server, host or "127.0.0.1", port_no)
+    else:
+        print(f"repro serve: registry {args.registry}, "
+              f"max_batch={args.max_batch}, cache_size={args.cache_size} "
+              f"(JSON-RPC on stdio; EOF or 'shutdown' to stop)",
+              file=sys.stderr)
+        served = serve_stdio(server)
+    print(f"repro serve: stopped after {served} requests", file=sys.stderr)
+    return 0
+
+
 def cmd_trace(args) -> int:
     """Run any subcommand under tracing and print/export its span tree."""
     from repro.obs import collect, render_text_tree, to_chrome_trace, trace
@@ -887,6 +969,48 @@ def build_parser() -> argparse.ArgumentParser:
     _add_format(p)
 
     p = sub.add_parser(
+        "publish",
+        help="fit a model and publish it into a fit registry for serving",
+    )
+    p.add_argument("kernel")
+    p.add_argument("--arch", default="GTX580")
+    p.add_argument("--registry", default="./models",
+                   help="fit-registry root directory (default: ./models)")
+    p.add_argument("--repo",
+                   help="train on a stored campaign from this "
+                   "ProfileRepository root (versions the fit by the "
+                   "campaign's manifest digest) instead of profiling "
+                   "afresh")
+    p.add_argument("--tag", help="campaign tag (with --repo) and "
+                   "registry tag of the published fit")
+    p.add_argument("--sizes", help="comma-separated problem sizes for a "
+                   "fresh campaign (default: the kernel's paper sweep)")
+    p.add_argument("--replicates", type=int, default=1)
+    p.add_argument("--trees", type=int, default=300)
+    p.add_argument("--response", choices=("time", "power"), default="time")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (-1 = all cores)")
+    p.add_argument("--seed", type=int, default=0)
+    _add_format(p)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve predictions from a fit registry "
+        "(line-delimited JSON-RPC)",
+    )
+    p.add_argument("--registry", default="./models",
+                   help="fit-registry root directory (default: ./models)")
+    p.add_argument("--max-batch", type=int, default=32,
+                   help="max requests coalesced into one stacked "
+                   "predict_many pass (default: 32)")
+    p.add_argument("--cache-size", type=int, default=8,
+                   help="deserialized fits kept warm in the LRU "
+                   "(default: 8)")
+    p.add_argument("--socket", metavar="HOST:PORT",
+                   help="listen on a local TCP socket instead of stdio "
+                   "(port 0 picks a free port, printed on stdout)")
+
+    p = sub.add_parser(
         "trace",
         help="run another subcommand under tracing, print its span tree",
     )
@@ -911,6 +1035,8 @@ _COMMANDS = {
     "report": cmd_report,
     "chaos": cmd_chaos,
     "repo": cmd_repo,
+    "publish": cmd_publish,
+    "serve": cmd_serve,
     "trace": cmd_trace,
 }
 

@@ -5,7 +5,7 @@ analysis, bottleneck detection, counter models, problem-scaling
 prediction, hardware-scaling prediction and reporting.
 """
 
-from .api import FitArtifact, Predictor
+from .api import FitArtifact, Predictor, predict_many, stacked_predict
 from .bottleneck import (
     PATTERNS,
     BottleneckFinding,
@@ -40,6 +40,8 @@ from .report import bottleneck_report, fit_summary, prediction_report_text
 __all__ = [
     "Predictor",
     "FitArtifact",
+    "predict_many",
+    "stacked_predict",
     "PATTERNS",
     "BottleneckFinding",
     "BottleneckPattern",

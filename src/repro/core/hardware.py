@@ -158,6 +158,12 @@ class HardwareScalingFit:
         """Predict times from aligned predictor vectors."""
         return self.forest.predict(X)
 
+    def predict_many(self, queries) -> list[np.ndarray]:
+        """Batched :meth:`predict`: one stacked forest pass for many
+        queued query matrices, bit-identical to the per-query loop
+        (see :func:`repro.core.api.predict_many`)."""
+        return self.forest.predict_many(queries)
+
     def assess(
         self, test: CampaignResult, *, eval_fraction: float | None = None
     ) -> HardwareScalingResult:

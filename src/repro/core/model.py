@@ -121,6 +121,12 @@ class BlackForestFit:
         """Predict execution times from full predictor vectors."""
         return self.forest.predict(X)
 
+    def predict_many(self, queries) -> list[np.ndarray]:
+        """Batched :meth:`predict`: one stacked forest pass for many
+        queued query matrices, bit-identical to the per-query loop
+        (see :func:`repro.core.api.predict_many`)."""
+        return self.forest.predict_many(queries)
+
     def assess(self, campaign: CampaignResult):
         """Score this fit against a measured campaign (protocol method).
 

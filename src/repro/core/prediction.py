@@ -88,6 +88,33 @@ class ProblemScalingFit:
         X = self.counter_models.predictor_rows(problems, self.retained)
         return self.forest.predict(X)
 
+    def predict_many(self, queries) -> list[np.ndarray]:
+        """Batched :meth:`predict` over many problem arrays.
+
+        Concatenates the queued problem arrays, generates counter rows
+        and runs the forest once over the stack, then splits the
+        predictions back per query. The counter models and the forest
+        both map rows independently, so this is bit-identical to the
+        per-query loop (see :func:`repro.core.api.predict_many`).
+        """
+        arrays = [np.asarray(q, dtype=float) for q in queries]
+        if not arrays:
+            return []
+        lengths = [a.shape[0] for a in arrays]
+        nonempty = [a for a in arrays if a.shape[0]]
+        if not nonempty:
+            return [np.zeros(0) for _ in arrays]
+        stacked = (
+            nonempty[0] if len(nonempty) == 1 else np.concatenate(nonempty)
+        )
+        flat = self.predict(stacked)
+        out: list[np.ndarray] = []
+        lo = 0
+        for n in lengths:
+            out.append(flat[lo : lo + n])
+            lo += n
+        return out
+
     def assess(self, campaign: CampaignResult) -> PredictionReport:
         """Predict an evaluation campaign's problems and compare."""
         with span("problem_scaling.assess", kernel=campaign.kernel):

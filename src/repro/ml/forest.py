@@ -340,15 +340,62 @@ class RandomForestRegressor:
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Average of the per-tree predictions."""
-        X = np.asarray(X, dtype=float)
-        if X.ndim != 2 or X.shape[1] != self.n_features_:
-            raise ValueError(
-                f"X must be 2-D with {self.n_features_} columns, got {X.shape}"
-            )
+        X = self._validate_predict_input(X)
+        if X.shape[0] == 0:
+            return np.zeros(0)
         acc = np.zeros(X.shape[0])
         for tree in self.trees_:
             acc += tree.predict(X)
         return acc / len(self.trees_)
+
+    def _validate_predict_input(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            raise ValueError(
+                f"X must be 2-D with shape (n_samples, {self.n_features_}); "
+                f"got a 1-D array of shape {X.shape} — reshape a single "
+                f"sample with X.reshape(1, -1)"
+            )
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X must be 2-D with {self.n_features_} columns, got {X.shape}"
+            )
+        return X
+
+    def predict_many(self, queries) -> list[np.ndarray]:
+        """Batched :meth:`predict` over many query matrices.
+
+        Stacks the queries into one feature matrix and runs a single
+        forest pass — one ``tree.predict`` per tree for the whole batch
+        (reusing the iterative :meth:`RegressionTree.apply` descent)
+        instead of one full forest walk per query — then splits the
+        averaged predictions back per query. Bit-identical to
+        ``[self.predict(q) for q in queries]``: prediction is an
+        elementwise per-row map and the per-tree accumulation order is
+        unchanged.
+        """
+        mats = [self._validate_predict_input(q) for q in queries]
+        if not mats:
+            return []
+        lengths = [m.shape[0] for m in mats]
+        nonempty = [m for m in mats if m.shape[0]]
+        if not nonempty:
+            return [np.zeros(0) for _ in mats]
+        stacked = (
+            nonempty[0] if len(nonempty) == 1 else np.concatenate(nonempty)
+        )
+        with span(
+            "forest.predict_many",
+            n_queries=len(mats),
+            n_rows=int(stacked.shape[0]),
+        ):
+            flat = self.predict(stacked)
+        out: list[np.ndarray] = []
+        lo = 0
+        for n in lengths:
+            out.append(flat[lo : lo + n])
+            lo += n
+        return out
 
     def score(self, X: np.ndarray, y: np.ndarray) -> float:
         """Explained variance on a held-out set (paper's validation check)."""

@@ -12,7 +12,7 @@ kinds follow the usual semantics:
 * **counter** — monotonically accumulated float (:func:`inc`);
 * **gauge** — last-write-wins float (:func:`set_gauge`);
 * **timer** — accumulated seconds plus an observation count and the
-  per-observation distribution (min/max and p50/p95 in
+  per-observation distribution (min/max and p50/p95/p99 in
   :meth:`MetricsRegistry.snapshot`), via :func:`observe` or the
   :func:`timer` context manager. Observations are kept raw and sorted
   at snapshot time, so a merge of worker registries yields the same
@@ -134,6 +134,7 @@ class MetricsRegistry:
             summary["max_s"] = values[-1]
             summary["p50_s"] = _percentile(values, 0.50)
             summary["p95_s"] = _percentile(values, 0.95)
+            summary["p99_s"] = _percentile(values, 0.99)
         return summary
 
     def merge(self, other: "MetricsRegistry") -> None:

@@ -444,6 +444,25 @@ class ProfileRepository:
                 f"unreadable ({exc})"
             ) from None
 
+    def manifest_digest(
+        self,
+        key: CampaignKey | str,
+        arch: str | None = None,
+        tag: str | None = None,
+    ) -> str | None:
+        """SHA-256 of a campaign's manifest file — its provenance identity.
+
+        The fit registry (:mod:`repro.serve.registry`) uses this digest
+        as the default version id of models trained on the campaign, so
+        a served prediction traces back to the exact data it learned
+        from. ``None`` for legacy campaigns without a manifest.
+        """
+        key = _as_key(key, arch, tag)
+        path = self.root / key.dirname / _MANIFEST
+        if not path.exists():
+            return None
+        return _sha256(_read_text(path))
+
     # -- integrity -----------------------------------------------------------
 
     def verify(

@@ -1,0 +1,34 @@
+"""Prediction-as-a-service: fit artifacts, a versioned registry, a warm
+cache and a long-lived JSON-RPC prediction server.
+
+The offline pipeline produces fits; this package makes them *servable*:
+
+* :class:`ServableFit` / :func:`servable_from_fit` — the schema-tagged
+  (``repro-fit/1``) JSON form of a fitted forest, bit-exact on
+  round-trip (:mod:`repro.serve.artifact`);
+* :class:`FitRegistry` — versioned on-disk store addressed by campaign
+  key + manifest digest, integrity-checked on load
+  (:mod:`repro.serve.registry`);
+* :class:`FitCache` — bounded LRU keeping deserialized fits warm
+  (:mod:`repro.serve.cache`);
+* :class:`PredictionServer` — the ``repro serve`` request loop, with
+  batched ``predict_many`` coalescing and tail-latency metrics
+  (:mod:`repro.serve.server`).
+"""
+
+from .artifact import ServableFit, servable_from_fit
+from .cache import FitCache
+from .registry import FitRegistry, FitVersion, RegistryIntegrityError
+from .server import PredictionServer, serve_stdio, serve_tcp
+
+__all__ = [
+    "FitCache",
+    "FitRegistry",
+    "FitVersion",
+    "PredictionServer",
+    "RegistryIntegrityError",
+    "ServableFit",
+    "servable_from_fit",
+    "serve_stdio",
+    "serve_tcp",
+]

@@ -1,0 +1,266 @@
+"""Versioned model registry: fit once, serve forever.
+
+Fit artifacts are addressed the way campaigns are — by
+:class:`~repro.profiling.repository.CampaignKey` — plus a **version**:
+by default the SHA-256 digest of the training campaign's
+``repro-manifest/1`` sidecar (so a fit is versioned by the provenance
+of the data it learned from), falling back to the artifact's own
+content digest for fits without a stored campaign. Layout::
+
+    <root>/<campaign_dirname>/index.json          # publish-ordered versions
+    <root>/<campaign_dirname>/<version>/fit.json  # repro-fit/1 artifact
+    <root>/<campaign_dirname>/<version>/manifest.json  # provenance sidecar
+
+Every write is atomic (temp file + fsync + rename, the discipline
+:mod:`repro.profiling.repository` established) and the sidecar manifest
+records the SHA-256 of ``fit.json``. :meth:`FitRegistry.load`
+recomputes it on the way in; a mismatch means the artifact on disk is
+not the artifact that was published, and the load is **refused** with a
+:class:`RegistryIntegrityError` — same contract as the profile
+repository's corrupt-campaign handling, with a BF6xx-style named
+finding in the message.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs import build_manifest
+from repro.obs.log import emit as emit_event
+from repro.profiling.repository import CampaignKey
+
+from .artifact import ServableFit
+
+__all__ = ["FitRegistry", "FitVersion", "RegistryIntegrityError"]
+
+_FIT = "fit.json"
+_MANIFEST = "manifest.json"
+_INDEX = "index.json"
+
+#: Schema tag of the per-key version index.
+INDEX_SCHEMA = "repro-fit-index/1"
+
+#: Characters of the digest used as the version directory name.
+_VERSION_CHARS = 16
+
+
+class RegistryIntegrityError(ValueError):
+    """A stored fit artifact failed an integrity check (digest mismatch,
+    torn or unparseable file). Subclasses ``ValueError`` and always says
+    "corrupt", mirroring :class:`RepositoryIntegrityError
+    <repro.profiling.repository.RepositoryIntegrityError>`."""
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", newline="") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+@dataclass(frozen=True)
+class FitVersion:
+    """Address of one published artifact: campaign key + version id."""
+
+    key: CampaignKey
+    version: str
+    digest: str  #: full SHA-256 of the fit.json payload
+
+    def __str__(self) -> str:
+        return f"{self.key.dirname}@{self.version}"
+
+
+class FitRegistry:
+    """Filesystem-backed store of versioned :class:`ServableFit`\\ s."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- write ---------------------------------------------------------
+
+    def publish(
+        self, servable: ServableFit, *, version: str | None = None
+    ) -> FitVersion:
+        """Store an artifact; returns its address.
+
+        ``version`` defaults to the source campaign's manifest digest
+        (``source["campaign_manifest_sha256"]``) when the servable
+        carries one, else the artifact's own content digest — truncated
+        to a directory-name-sized prefix either way. Re-publishing an
+        identical artifact under the same version is idempotent.
+        """
+        key = CampaignKey(
+            kernel=servable.kernel, arch=servable.arch, tag=servable.tag
+        )
+        payload = servable.to_json()
+        digest = _sha256(payload)
+        if version is None:
+            version = servable.source.get("campaign_manifest_sha256") or digest
+        version = version[:_VERSION_CHARS]
+        vdir = self.root / key.dirname / version
+        vdir.mkdir(parents=True, exist_ok=True)
+        _atomic_write(vdir / _FIT, payload)
+        manifest = build_manifest(
+            kernel=servable.kernel,
+            arch=servable.arch,
+            tag=servable.tag,
+            n_runs=int(servable.source.get("n_runs") or 0),
+            config={
+                "version": version,
+                "response": servable.response,
+                "source": dict(servable.source),
+            },
+            checksums={_FIT: digest},
+        )
+        _atomic_write(vdir / _MANIFEST, manifest.to_json())
+        self._index_add(key, version)
+        emit_event(
+            "registry.publish", campaign=key.dirname, version=version
+        )
+        return FitVersion(key=key, version=version, digest=digest)
+
+    def _index_add(self, key: CampaignKey, version: str) -> None:
+        path = self.root / key.dirname / _INDEX
+        index = self._read_index(path)
+        if version in index["versions"]:
+            # Latest-wins: a re-publish moves the version to the tail so
+            # "latest" tracks publish order, not first-seen order.
+            index["versions"].remove(version)
+        index["versions"].append(version)
+        _atomic_write(path, json.dumps(index, sort_keys=True) + "\n")
+
+    @staticmethod
+    def _read_index(path: Path) -> dict:
+        if not path.exists():
+            return {"schema": INDEX_SCHEMA, "versions": []}
+        try:
+            index = json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise RegistryIntegrityError(
+                f"registry corrupt: {path.parent.name}/{_INDEX} is not "
+                f"valid JSON ({exc})"
+            ) from None
+        if index.get("schema") != INDEX_SCHEMA:
+            raise RegistryIntegrityError(
+                f"registry corrupt: {path.parent.name}/{_INDEX} has "
+                f"unknown schema {index.get('schema')!r} "
+                f"(expected {INDEX_SCHEMA!r})"
+            )
+        return index
+
+    # -- read ----------------------------------------------------------
+
+    def versions(self, key: CampaignKey) -> list[str]:
+        """Version ids of one campaign's fits, in publish order."""
+        return list(
+            self._read_index(self.root / key.dirname / _INDEX)["versions"]
+        )
+
+    def resolve_version(
+        self, key: CampaignKey, version: str | None = None
+    ) -> str:
+        """An explicit version verbatim; ``None`` means latest published."""
+        if version is not None:
+            return version[:_VERSION_CHARS]
+        versions = self.versions(key)
+        if not versions:
+            raise FileNotFoundError(
+                f"no fit published for {key.kernel!r} on {key.arch!r}"
+                + (f" (tag {key.tag!r})" if key.tag else "")
+            )
+        return versions[-1]
+
+    def has(self, key: CampaignKey, version: str | None = None) -> bool:
+        try:
+            resolved = self.resolve_version(key, version)
+        except FileNotFoundError:
+            return False
+        return (self.root / key.dirname / resolved / _FIT).exists()
+
+    def load(
+        self, key: CampaignKey, version: str | None = None
+    ) -> ServableFit:
+        """Load one artifact, verifying its digest on the way.
+
+        The sidecar manifest's recorded SHA-256 of ``fit.json`` is
+        recomputed from the bytes on disk; any mismatch refuses the
+        artifact with a :class:`RegistryIntegrityError` — a fit that
+        does not checksum is not served, ever.
+        """
+        resolved = self.resolve_version(key, version)
+        vdir = self.root / key.dirname / resolved
+        fit_path = vdir / _FIT
+        if not fit_path.exists():
+            raise FileNotFoundError(
+                f"no fit stored for {key.dirname}@{resolved}"
+            )
+        try:
+            payload = fit_path.read_text()
+        except UnicodeDecodeError as exc:
+            raise RegistryIntegrityError(
+                f"registry corrupt: {key.dirname}/{resolved}/{_FIT} is "
+                f"not valid UTF-8 ({exc})"
+            ) from None
+        expected = self._expected_digest(key, resolved)
+        actual = _sha256(payload)
+        if expected is not None and actual != expected:
+            # BF6xx-style named finding: artifact drift is refused, not
+            # served with fingers crossed.
+            raise RegistryIntegrityError(
+                f"BF610: registry corrupt: {key.dirname}/{resolved}/{_FIT} "
+                f"digest mismatch (manifest records {expected[:12]}…, disk "
+                f"has {actual[:12]}…) — artifact refused; re-publish the fit"
+            )
+        try:
+            servable = ServableFit.from_json(payload)
+        except (json.JSONDecodeError, KeyError, ValueError, TypeError) as exc:
+            raise RegistryIntegrityError(
+                f"registry corrupt: {key.dirname}/{resolved}/{_FIT} does "
+                f"not parse as a {ServableFit.__name__} ({exc})"
+            ) from None
+        return servable
+
+    def _expected_digest(self, key: CampaignKey, version: str) -> str | None:
+        path = self.root / key.dirname / version / _MANIFEST
+        if not path.exists():
+            return None
+        try:
+            manifest = json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise RegistryIntegrityError(
+                f"registry corrupt: {key.dirname}/{version}/{_MANIFEST} "
+                f"is unreadable ({exc})"
+            ) from None
+        return (manifest.get("checksums") or {}).get(_FIT)
+
+    def keys(self) -> list[CampaignKey]:
+        """The :class:`CampaignKey` of every campaign with published fits."""
+        out = []
+        for index_path in sorted(self.root.glob(f"*/{_INDEX}")):
+            versions = self._read_index(index_path)["versions"]
+            if not versions:
+                continue
+            fit_path = index_path.parent / versions[-1] / _FIT
+            try:
+                data = json.loads(fit_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            out.append(
+                CampaignKey(
+                    kernel=data["kernel"],
+                    arch=data["arch"],
+                    tag=data.get("tag") or None,
+                )
+            )
+        return out

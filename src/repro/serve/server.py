@@ -1,0 +1,438 @@
+"""`repro serve`: a long-lived prediction server over line-delimited JSON-RPC.
+
+One request per line, one response per line, ids echoed back::
+
+    {"id": 1, "method": "predict", "params": {"kernel": "gemm",
+     "arch": "volta", "rows": [{"n": 4096, "threads": 256}]}}
+    {"id": 1, "result": {"predictions": [0.0123], "version": "ab12…"}}
+
+The request loop **coalesces**: every pass it drains whatever requests
+are already queued on the input (up to ``--max-batch``), groups the
+predict calls by resolved model, and answers each group with a single
+:meth:`ServableFit.predict_many` pass — so ten clients asking the same
+model cost one stacked forest traversal, not ten. Responses are written
+in arrival order regardless of grouping, and batching is semantically
+invisible: the predictions are bit-identical to serving each request
+alone (the stacking lemma ``tests/serve/test_server.py`` pins).
+
+Fits come from a :class:`~repro.serve.registry.FitRegistry` through a
+warm :class:`~repro.serve.cache.FitCache` (``--cache-size``), and every
+request is timed into a ``serve.request`` timer whose snapshot — with
+p50/p95/p99 tail latencies — the ``stats`` method returns live.
+
+Methods: ``predict``, ``models``, ``stats``, ``ping``, ``shutdown``.
+EOF on the input is a graceful shutdown too.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import emit as emit_event
+from repro.obs.metrics import MetricsRegistry
+from repro.profiling.repository import CampaignKey
+
+from .cache import FitCache
+from .registry import FitRegistry, RegistryIntegrityError
+
+__all__ = ["PredictionServer", "drain_lines", "serve_stdio", "serve_tcp"]
+
+# JSON-RPC 2.0 standard codes plus two registry-specific ones.
+PARSE_ERROR = -32700
+INVALID_REQUEST = -32600
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+MODEL_NOT_FOUND = -32004
+REGISTRY_CORRUPT = -32005
+
+
+def drain_lines(stream, max_batch: int) -> list[str] | None:
+    """Block for one line, then greedily take queued ones up to the cap.
+
+    Returns ``None`` on EOF. Streams without a real file descriptor
+    (``StringIO``, test doubles) still coalesce: whatever is already
+    buffered is drained without blocking.
+    """
+    first = stream.readline()
+    if first == "":
+        return None
+    lines = [first]
+    while len(lines) < max_batch and _has_queued_input(stream):
+        line = stream.readline()
+        if line == "":
+            break
+        lines.append(line)
+    return lines
+
+
+def _has_queued_input(stream) -> bool:
+    try:
+        fd = stream.fileno()
+    except (AttributeError, OSError, ValueError):
+        # In-memory stream: "queued" means not yet at its end.
+        tell = getattr(stream, "tell", None)
+        seek = getattr(stream, "seek", None)
+        if tell is None or seek is None:
+            return False
+        pos = tell()
+        end = seek(0, 2)
+        seek(pos)
+        return pos < end
+    import select
+
+    ready, _, _ = select.select([fd], [], [], 0.0)
+    return bool(ready)
+
+
+class _RpcError(Exception):
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class PredictionServer:
+    """Registry-backed prediction service; one instance per process."""
+
+    def __init__(
+        self,
+        registry: FitRegistry,
+        *,
+        max_batch: int = 32,
+        cache_size: int = 8,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1; got {max_batch}")
+        self.registry = registry
+        self.max_batch = int(max_batch)
+        self.cache = FitCache(max_entries=cache_size)
+        #: Server-local metrics (always on, independent of whether an
+        #: ambient ``collect()`` window is installed).
+        self.metrics = MetricsRegistry()
+        self.requests_served = 0
+        self._stop = False
+
+    # -- request handling ----------------------------------------------
+
+    def handle_batch(self, lines: Sequence[str]) -> list[str]:
+        """Answer one drained window of request lines, in arrival order."""
+        requests = [self._parse(line) for line in lines]
+        responses: list[dict | None] = [None] * len(requests)
+
+        # Group predict requests by resolved model so each group is one
+        # stacked predict_many pass.
+        groups: dict[tuple, list[int]] = {}
+        singles: list[int] = []
+        for i, req in enumerate(requests):
+            if isinstance(req, dict) and req.get("method") == "predict":
+                try:
+                    addr = self._resolve_address(req.get("params") or {})
+                except _RpcError as exc:
+                    responses[i] = self._error(req.get("id"), exc)
+                    continue
+                groups.setdefault(addr, []).append(i)
+            else:
+                singles.append(i)
+
+        for addr, members in groups.items():
+            self._answer_predict_group(addr, members, requests, responses)
+        # Control-plane methods go after the groups so a `stats` queued
+        # behind predicts reports them; responses stay in arrival order.
+        for i in singles:
+            responses[i] = self._dispatch_single(requests[i])
+
+        out = []
+        for resp in responses:
+            if resp is not None:  # notifications (no id) get no reply
+                out.append(json.dumps(resp, sort_keys=True))
+        return out
+
+    def _parse(self, line: str):
+        line = line.strip()
+        if not line:
+            return _RpcError(INVALID_REQUEST, "empty request line")
+        try:
+            req = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return _RpcError(PARSE_ERROR, f"request is not valid JSON: {exc}")
+        if not isinstance(req, dict) or not isinstance(
+            req.get("method"), str
+        ):
+            return _RpcError(
+                INVALID_REQUEST, "request must be an object with a 'method'"
+            )
+        return req
+
+    def _dispatch_single(self, req) -> dict | None:
+        if isinstance(req, _RpcError):
+            return self._error(None, req)
+        req_id = req.get("id")
+        method = req["method"]
+        t0 = time.monotonic()
+        try:
+            if method == "ping":
+                result = {"ok": True}
+            elif method == "stats":
+                result = self.stats()
+            elif method == "models":
+                result = self._models()
+            elif method == "shutdown":
+                self._stop = True
+                result = {"ok": True, "requests_served": self.requests_served}
+            elif method == "predict":
+                # Reached only via direct dispatch (not handle_batch).
+                result = self._predict_one(req.get("params") or {})
+            else:
+                raise _RpcError(
+                    METHOD_NOT_FOUND, f"unknown method {method!r}"
+                )
+        except _RpcError as exc:
+            return self._error(req_id, exc)
+        finally:
+            self._observe(method, time.monotonic() - t0)
+        if req_id is None:
+            return None
+        return {"id": req_id, "result": result}
+
+    # -- predict path --------------------------------------------------
+
+    def _resolve_address(self, params: dict) -> tuple:
+        kernel = params.get("kernel")
+        arch = params.get("arch")
+        if not kernel or not arch:
+            raise _RpcError(
+                INVALID_PARAMS,
+                "predict params need 'kernel' and 'arch'",
+            )
+        key = CampaignKey(
+            kernel=str(kernel),
+            arch=str(arch),
+            tag=params.get("tag") or None,
+        )
+        try:
+            version = self.registry.resolve_version(
+                key, params.get("version")
+            )
+        except FileNotFoundError as exc:
+            raise _RpcError(MODEL_NOT_FOUND, str(exc)) from None
+        except RegistryIntegrityError as exc:
+            raise _RpcError(REGISTRY_CORRUPT, str(exc)) from None
+        return (key, version)
+
+    def _load(self, addr: tuple):
+        key, version = addr
+        try:
+            return self.cache.get(
+                (key.dirname, version),
+                lambda: self.registry.load(key, version),
+            )
+        except FileNotFoundError as exc:
+            raise _RpcError(MODEL_NOT_FOUND, str(exc)) from None
+        except RegistryIntegrityError as exc:
+            raise _RpcError(REGISTRY_CORRUPT, str(exc)) from None
+
+    def _query_matrix(self, servable, params: dict) -> np.ndarray:
+        rows = params.get("rows")
+        X = params.get("X")
+        if (rows is None) == (X is None):
+            raise _RpcError(
+                INVALID_PARAMS,
+                "predict params need exactly one of 'rows' (list of "
+                "feature dicts) or 'X' (2-D feature matrix)",
+            )
+        try:
+            if rows is not None:
+                return servable.rows_from_dicts(list(rows))
+            mat = np.asarray(X, dtype=float)
+            if mat.ndim != 2:
+                raise ValueError(
+                    f"'X' must be 2-D (n_samples, n_features); got "
+                    f"shape {mat.shape}"
+                )
+            # Width-check here, per request, so one malformed query is
+            # refused alone instead of failing its whole batch group.
+            want = len(servable.feature_names)
+            if mat.shape[1] != want:
+                raise ValueError(
+                    f"'X' has {mat.shape[1]} columns; this fit expects "
+                    f"{want} features {servable.feature_names}"
+                )
+            return mat
+        except (TypeError, ValueError) as exc:
+            raise _RpcError(INVALID_PARAMS, str(exc)) from None
+
+    def _answer_predict_group(
+        self,
+        addr: tuple,
+        members: list[int],
+        requests: list,
+        responses: list,
+    ) -> None:
+        t0 = time.monotonic()
+        try:
+            servable = self._load(addr)
+        except _RpcError as exc:
+            dt = time.monotonic() - t0
+            for i in members:
+                responses[i] = self._error(requests[i].get("id"), exc)
+                self._observe("predict", dt / len(members))
+            return
+
+        mats, ok = [], []
+        for i in members:
+            try:
+                mats.append(
+                    self._query_matrix(
+                        servable, requests[i].get("params") or {}
+                    )
+                )
+                ok.append(i)
+            except _RpcError as exc:
+                responses[i] = self._error(requests[i].get("id"), exc)
+
+        if ok:
+            try:
+                preds = servable.predict_many(mats)
+            except ValueError as exc:
+                err = _RpcError(INVALID_PARAMS, str(exc))
+                for i in ok:
+                    responses[i] = self._error(requests[i].get("id"), err)
+                preds = None
+            if preds is not None:
+                key, version = addr
+                for i, pred in zip(ok, preds):
+                    req_id = requests[i].get("id")
+                    responses[i] = (
+                        None
+                        if req_id is None
+                        else {
+                            "id": req_id,
+                            "result": {
+                                "predictions": [float(v) for v in pred],
+                                "version": version,
+                                "response": servable.response,
+                            },
+                        }
+                    )
+        # Per-request latency: the group's wall time amortized evenly —
+        # what each client would bill for, keeping p50/p95/p99 honest
+        # about the benefit of batching.
+        dt = time.monotonic() - t0
+        for _ in members:
+            self._observe("predict", dt / len(members))
+
+    def _predict_one(self, params: dict) -> dict:
+        addr = self._resolve_address(params)
+        servable = self._load(addr)
+        X = self._query_matrix(servable, params)
+        pred = servable.predict(X)
+        return {
+            "predictions": [float(v) for v in pred],
+            "version": addr[1],
+            "response": servable.response,
+        }
+
+    # -- introspection -------------------------------------------------
+
+    def _models(self) -> dict:
+        models = []
+        for key in self.registry.keys():
+            models.append(
+                {
+                    "kernel": key.kernel,
+                    "arch": key.arch,
+                    "tag": key.tag,
+                    "versions": self.registry.versions(key),
+                }
+            )
+        return {"models": models}
+
+    def stats(self) -> dict:
+        """Live cache counters and request-latency snapshot (p50/p95/p99)."""
+        return {
+            "requests_served": self.requests_served,
+            "cache": dict(self.cache.stats),
+            "cache_entries": len(self.cache),
+            "max_batch": self.max_batch,
+            "latency": self.metrics.snapshot()["timer"],
+        }
+
+    def _observe(self, method: str, seconds: float) -> None:
+        self.requests_served += 1
+        self.metrics.observe("serve.request", seconds, method=method)
+        obs_metrics.observe("serve.request", seconds, method=method)
+
+    def _error(self, req_id, exc: _RpcError) -> dict | None:
+        if req_id is None:
+            return None
+        return {
+            "id": req_id,
+            "error": {"code": exc.code, "message": str(exc)},
+        }
+
+    # -- request loop --------------------------------------------------
+
+    def run(
+        self,
+        read_batch: Callable[[], list[str] | None],
+        write_line: Callable[[str], None],
+    ) -> int:
+        """Serve until EOF or a ``shutdown`` request; returns requests served."""
+        emit_event(
+            "serve.start",
+            registry=str(self.registry.root),
+            max_batch=self.max_batch,
+        )
+        while not self._stop:
+            lines = read_batch()
+            if lines is None:
+                break
+            for out in self.handle_batch(lines):
+                write_line(out)
+        emit_event("serve.stop", requests_served=self.requests_served)
+        return self.requests_served
+
+
+def serve_stdio(
+    server: PredictionServer,
+    stdin=None,
+    stdout=None,
+) -> int:
+    """Run the request loop over text streams (stdio by default)."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+
+    def write_line(text: str) -> None:
+        stdout.write(text + "\n")
+        stdout.flush()
+
+    return server.run(
+        lambda: drain_lines(stdin, server.max_batch), write_line
+    )
+
+
+def serve_tcp(server: PredictionServer, host: str, port: int) -> int:
+    """Accept local-socket clients one at a time until shutdown.
+
+    Binds, prints the bound ``host:port`` line to stdout (so a parent
+    that passed port 0 learns the real port), then serves each
+    connection with the same loop stdio uses.
+    """
+    import socket
+
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, port))
+        sock.listen(1)
+        bound = sock.getsockname()
+        print(f"repro serve listening on {bound[0]}:{bound[1]}", flush=True)
+        while not server._stop:
+            conn, _ = sock.accept()
+            with conn, conn.makefile("r") as rf, conn.makefile("w") as wf:
+                serve_stdio(server, stdin=rf, stdout=wf)
+    return server.requests_served

@@ -1,0 +1,82 @@
+"""Tests for the batched prediction helpers in :mod:`repro.core.api`."""
+
+import numpy as np
+import pytest
+
+from repro import BlackForest
+from repro.core import predict_many, stacked_predict
+from repro.ml.forest import RandomForestRegressor
+
+
+@pytest.fixture(scope="module")
+def fit(reduce1_campaign):
+    return BlackForest(n_trees=40, use_pca=False, rng=0).fit(reduce1_campaign)
+
+
+def _queries(fit, sizes=(1, 4, 2, 7), seed=3):
+    rng = np.random.default_rng(seed)
+    p = fit.X_train.shape[1]
+    lo = fit.X_train.min(axis=0)
+    hi = fit.X_train.max(axis=0)
+    return [lo + rng.uniform(size=(k, p)) * (hi - lo) for k in sizes]
+
+
+class TestPredictMany:
+    def test_bit_identical_to_per_query_loop(self, fit):
+        queries = _queries(fit)
+        batched = predict_many(fit, queries)
+        looped = [fit.predict(q) for q in queries]
+        for a, b in zip(batched, looped):
+            assert np.array_equal(a, b)
+
+    def test_uses_native_fit_method(self, fit):
+        # BlackForestFit exposes its own predict_many; the helper must
+        # delegate rather than fall back to the loop.
+        assert callable(fit.predict_many)
+        queries = _queries(fit, sizes=(3,))
+        assert np.array_equal(
+            predict_many(fit, queries)[0], fit.predict_many(queries)[0]
+        )
+
+    def test_loop_fallback_for_minimal_fit(self):
+        class LoopOnly:
+            def predict(self, X):
+                return np.asarray(X).sum(axis=1)
+
+        queries = [np.ones((2, 3)), np.full((1, 3), 2.0)]
+        out = predict_many(LoopOnly(), queries)
+        assert np.array_equal(out[0], [3.0, 3.0])
+        assert np.array_equal(out[1], [6.0])
+
+    def test_empty_query_list(self, fit):
+        assert predict_many(fit, []) == []
+
+
+class TestStackedPredict:
+    def test_matches_loop_bitwise(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(80, 4))
+        y = X[:, 0] - X[:, 3] + rng.normal(scale=0.1, size=80)
+        rf = RandomForestRegressor(n_trees=15, rng=1).fit(X, y)
+        queries = [rng.normal(size=(k, 4)) for k in (2, 1, 6)]
+        stacked = stacked_predict(rf.predict, queries)
+        for got, q in zip(stacked, queries):
+            assert np.array_equal(got, rf.predict(q))
+
+    def test_rejects_mismatched_widths(self):
+        with pytest.raises(ValueError):
+            stacked_predict(
+                lambda X: X.sum(axis=1),
+                [np.ones((2, 3)), np.ones((2, 4))],
+            )
+
+    def test_rejects_1d_query(self):
+        with pytest.raises(ValueError):
+            stacked_predict(lambda X: X.sum(axis=1), [np.ones(3)])
+
+    def test_all_empty_queries(self):
+        out = stacked_predict(
+            lambda X: X.sum(axis=1),
+            [np.empty((0, 3)), np.empty((0, 3))],
+        )
+        assert [o.shape for o in out] == [(0,), (0,)]

@@ -113,6 +113,53 @@ class TestValidation:
         with pytest.raises(ValueError):
             rf.predict(np.zeros((4, 2)))
 
+    def test_predict_empty_input_returns_empty(self):
+        X, y = linear_data(n=30)
+        rf = RandomForestRegressor(n_trees=3, rng=0).fit(X, y)
+        out = rf.predict(np.empty((0, X.shape[1])))
+        assert out.shape == (0,)
+
+    def test_predict_1d_input_raises_with_reshape_hint(self):
+        X, y = linear_data(n=30)
+        rf = RandomForestRegressor(n_trees=3, rng=0).fit(X, y)
+        with pytest.raises(ValueError, match=r"2-D.*reshape\(1, -1\)"):
+            rf.predict(X[0])
+
+
+class TestPredictMany:
+    def test_bit_identical_to_loop(self):
+        X, y = linear_data()
+        rf = RandomForestRegressor(n_trees=20, rng=0).fit(X, y)
+        rng = np.random.default_rng(7)
+        queries = [rng.normal(size=(k, X.shape[1])) for k in (1, 5, 1, 12)]
+        batched = rf.predict_many(queries)
+        looped = [rf.predict(q) for q in queries]
+        assert len(batched) == len(looped)
+        for a, b in zip(batched, looped):
+            assert np.array_equal(a, b)  # bit-identical, not just close
+
+    def test_empty_query_list(self):
+        X, y = linear_data(n=30)
+        rf = RandomForestRegressor(n_trees=3, rng=0).fit(X, y)
+        assert rf.predict_many([]) == []
+
+    def test_empty_query_yields_empty_prediction(self):
+        X, y = linear_data(n=30)
+        rf = RandomForestRegressor(n_trees=3, rng=0).fit(X, y)
+        out = rf.predict_many(
+            [np.empty((0, X.shape[1])), X[:4]]
+        )
+        assert out[0].shape == (0,)
+        assert np.array_equal(out[1], rf.predict(X[:4]))
+
+    def test_rejects_bad_query_in_batch(self):
+        X, y = linear_data(n=30)
+        rf = RandomForestRegressor(n_trees=3, rng=0).fit(X, y)
+        with pytest.raises(ValueError):
+            rf.predict_many([X[:2], np.zeros((2, 2))])
+        with pytest.raises(ValueError, match="2-D"):
+            rf.predict_many([X[0]])
+
 
 class TestEdgeCases:
     def test_constant_response(self):

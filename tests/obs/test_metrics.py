@@ -104,6 +104,41 @@ class TestTimerDistribution:
         # pos = 0.95 * 19 = 18.05 -> between the last 0.01 and the 1.0
         assert snap["p95_s"] == pytest.approx(0.01 + 0.05 * 0.99)
 
+    def test_p99_tail(self):
+        # 100 evenly spaced observations: p99 interpolates between the
+        # 99th and 100th order statistics.
+        reg = MetricsRegistry()
+        for i in range(100):
+            reg.observe("step", (i + 1) / 100.0)
+        snap = reg.snapshot()["timer"]["step"]
+        assert snap["p99_s"] == pytest.approx(0.99 + 0.01 * 0.01)
+        assert snap["p95_s"] <= snap["p99_s"] <= snap["max_s"]
+
+    def test_p99_single_observation_collapses(self):
+        reg = MetricsRegistry()
+        reg.observe("step", 0.25)
+        snap = reg.snapshot()["timer"]["step"]
+        assert snap["p99_s"] == pytest.approx(0.25)
+
+    def test_p99_merge_order_independent(self):
+        # The tail percentile of a merged registry must not depend on
+        # which worker's observations landed first.
+        chunks = [[0.9, 0.1, 0.05], [0.5, 2.0], [0.3, 0.7, 0.2, 1.5]]
+
+        def merged(order):
+            root = MetricsRegistry()
+            for chunk in order:
+                worker = MetricsRegistry()
+                for v in chunk:
+                    worker.observe("step", v)
+                root.merge(worker)
+            return root.snapshot()["timer"]["step"]
+
+        a = merged(chunks)
+        b = merged(list(reversed(chunks)))
+        assert a["p99_s"] == b["p99_s"]
+        assert a == b
+
     def test_summary_is_observation_order_independent(self):
         values = [0.5, 0.1, 0.9, 0.3, 0.7]
         fwd, rev = MetricsRegistry(), MetricsRegistry()

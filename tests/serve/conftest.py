@@ -1,0 +1,49 @@
+"""Shared fixtures for the serving-layer tests.
+
+One small fitted forest wrapped as a :class:`ServableFit` is enough for
+most of the suite; it is built once per session (fitting is the slow
+part) and never mutated.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+from repro.serve import FitRegistry, ServableFit
+
+FEATURES = ["gld", "gst", "occupancy", "n"]
+
+
+def make_servable(kernel="gemm", arch="volta", tag=None, seed=0, trees=12):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(80, len(FEATURES)))
+    y = X @ np.arange(1.0, len(FEATURES) + 1) + rng.normal(0, 0.01, 80)
+    forest = RandomForestRegressor(n_trees=trees, rng=seed + 1).fit(
+        X, y, feature_names=FEATURES
+    )
+    return ServableFit(
+        kernel=kernel,
+        arch=arch,
+        tag=tag,
+        forest=forest,
+        feature_names=FEATURES,
+        source={"n_runs": 80, "seed": seed},
+    )
+
+
+@pytest.fixture(scope="session")
+def servable():
+    return make_servable()
+
+
+@pytest.fixture()
+def registry(tmp_path, servable):
+    reg = FitRegistry(tmp_path / "models")
+    reg.publish(servable)
+    return reg
+
+
+@pytest.fixture()
+def queries():
+    rng = np.random.default_rng(42)
+    return [rng.uniform(size=(k, len(FEATURES))) for k in (1, 3, 1, 8, 2)]

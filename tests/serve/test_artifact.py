@@ -1,0 +1,116 @@
+"""Round-trip fidelity and schema behaviour of servable fit artifacts."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import BlackForest
+from repro.serve import ServableFit, servable_from_fit
+from repro.serve.artifact import SCHEMA, forest_from_dict, forest_to_dict
+
+from .conftest import FEATURES, make_servable
+
+
+class TestRoundTrip:
+    def test_predictions_bit_identical(self, servable, queries):
+        restored = ServableFit.from_json(servable.to_json())
+        for q in queries:
+            assert np.array_equal(servable.predict(q), restored.predict(q))
+
+    def test_predict_many_bit_identical(self, servable, queries):
+        restored = ServableFit.from_json(servable.to_json())
+        for a, b in zip(
+            servable.predict_many(queries), restored.predict_many(queries)
+        ):
+            assert np.array_equal(a, b)
+
+    def test_metadata_survives(self):
+        sv = make_servable(kernel="spmv", arch="ampere", tag="v2")
+        restored = ServableFit.from_json(sv.to_json())
+        assert restored.kernel == "spmv"
+        assert restored.arch == "ampere"
+        assert restored.tag == "v2"
+        assert restored.feature_names == FEATURES
+        assert restored.source == sv.source
+
+    def test_serialization_is_deterministic(self, servable):
+        assert servable.to_json() == servable.to_json()
+        restored = ServableFit.from_json(servable.to_json())
+        assert restored.digest == servable.digest
+
+    def test_payload_is_strict_json(self, servable):
+        # NaN leaf thresholds must become nulls, not bare NaN tokens.
+        text = servable.to_json()
+        assert "NaN" not in text
+        json.loads(text)  # strict parse
+
+
+class TestSchema:
+    def test_schema_tag_written(self, servable):
+        assert servable.to_payload()["schema"] == SCHEMA
+
+    def test_unknown_schema_rejected(self, servable):
+        payload = servable.to_payload()
+        payload["schema"] = "repro-fit/99"
+        with pytest.raises(ValueError, match="repro-fit/99"):
+            ServableFit.from_payload(payload)
+
+    def test_registered_in_artifact_registry(self, servable, tmp_path):
+        from repro.analysis import validate_artifact
+
+        path = tmp_path / "fit.json"
+        path.write_text(servable.to_json())
+        assert validate_artifact(path) == []
+
+    def test_treeless_artifact_rejected(self, servable):
+        payload = servable.to_payload()
+        payload["forest"]["trees"] = []
+        with pytest.raises(ValueError, match="no trees"):
+            ServableFit.from_payload(payload)
+
+
+class TestForestDict:
+    def test_roundtrip_preserves_node_arrays(self, servable):
+        restored = forest_from_dict(forest_to_dict(servable.forest))
+        for a, b in zip(servable.forest.trees_, restored.trees_):
+            assert np.array_equal(a.feature_, b.feature_)
+            assert np.array_equal(
+                a.threshold_, b.threshold_, equal_nan=True
+            )
+            assert np.array_equal(a.value_, b.value_)
+
+
+class TestServableFromFit:
+    def test_from_blackforest_fit(self, reduce1_campaign):
+        fit = BlackForest(n_trees=25, use_pca=False, rng=0).fit(
+            reduce1_campaign
+        )
+        sv = servable_from_fit(fit, source={"campaign": "reduce1"})
+        assert sv.kernel == fit.kernel
+        assert sv.arch == fit.arch
+        assert sv.feature_names == fit.feature_names
+        restored = ServableFit.from_json(sv.to_json())
+        assert np.array_equal(
+            restored.predict(fit.X_test), fit.predict(fit.X_test)
+        )
+
+    def test_rejects_forestless_fit(self):
+        class NoForest:
+            kernel = "k"
+            arch = "a"
+
+        with pytest.raises(ValueError, match="no fitted forest"):
+            servable_from_fit(NoForest())
+
+
+class TestRowsFromDicts:
+    def test_orders_by_feature_names(self, servable):
+        row = {name: float(i) for i, name in enumerate(FEATURES)}
+        mat = servable.rows_from_dicts([dict(reversed(list(row.items())))])
+        assert np.array_equal(mat[0], np.arange(len(FEATURES), dtype=float))
+
+    def test_missing_feature_named_in_error(self, servable):
+        row = {name: 1.0 for name in FEATURES[:-1]}
+        with pytest.raises(ValueError, match=FEATURES[-1]):
+            servable.rows_from_dicts([row])

@@ -1,0 +1,65 @@
+"""CLI wiring for ``repro publish`` and ``repro serve``."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_publish_defaults(self):
+        args = build_parser().parse_args(["publish", "reduce1"])
+        assert args.registry == "./models"
+        assert args.response == "time"
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.registry == "./models"
+        assert args.max_batch == 32
+        assert args.cache_size == 8
+        assert args.socket is None
+
+
+class TestPublishCommand:
+    def test_publish_then_serve_roundtrip(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        registry = tmp_path / "models"
+        rc = main([
+            "publish", "reduce1", "--arch", "GTX580",
+            "--registry", str(registry),
+            "--sizes", "16384,65536,262144,1048576",
+            "--trees", "10", "--format", "json",
+        ])
+        assert rc == 0
+        published = json.loads(capsys.readouterr().out)
+        assert published["kernel"] == "reduce1"
+        assert (
+            registry / "reduce1__GTX580" / published["version"] / "fit.json"
+        ).exists()
+
+        # Serve a query against the published fit over stdio.
+        import io
+
+        fit = json.loads(
+            (registry / "reduce1__GTX580" / published["version"]
+             / "fit.json").read_text()
+        )
+        row = {name: 1.0 for name in fit["feature_names"]}
+        request = json.dumps({
+            "id": 1, "method": "predict",
+            "params": {"kernel": "reduce1", "arch": "GTX580", "rows": [row]},
+        })
+        monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+        rc = main(["serve", "--registry", str(registry)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        response = json.loads(out.splitlines()[-1])
+        assert response["id"] == 1
+        assert len(response["result"]["predictions"]) == 1
+
+    def test_publish_unknown_kernel_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["publish", "definitely-not-a-kernel",
+                  "--registry", str(tmp_path)])

@@ -1,0 +1,235 @@
+"""Prediction-server behaviour: batching transparency, errors, lifecycle."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.profiling import CampaignKey
+from repro.serve import FitRegistry, PredictionServer, serve_stdio
+from repro.serve.server import (
+    INVALID_PARAMS,
+    METHOD_NOT_FOUND,
+    MODEL_NOT_FOUND,
+    PARSE_ERROR,
+    REGISTRY_CORRUPT,
+    drain_lines,
+)
+
+from .conftest import FEATURES, make_servable
+
+
+def rpc(id, method, **params):
+    req = {"id": id, "method": method}
+    if params:
+        req["params"] = params
+    return json.dumps(req)
+
+
+def predict_req(id, X, **extra):
+    return rpc(
+        id, "predict", kernel="gemm", arch="volta",
+        X=np.asarray(X).tolist(), **extra
+    )
+
+
+def run_stream(server, lines):
+    """Feed request lines through the stdio loop; responses by id."""
+    stdin = io.StringIO("".join(line + "\n" for line in lines))
+    stdout = io.StringIO()
+    serve_stdio(server, stdin=stdin, stdout=stdout)
+    out = {}
+    for line in stdout.getvalue().splitlines():
+        resp = json.loads(line)
+        out[resp["id"]] = resp
+    return out
+
+
+class TestBatchingTransparency:
+    @pytest.mark.parametrize("max_batch", [1, 3, 64])
+    def test_bit_identical_across_batch_settings(
+        self, registry, servable, queries, max_batch
+    ):
+        # Whatever the coalescing window, every response must equal the
+        # offline per-query prediction exactly.
+        server = PredictionServer(registry, max_batch=max_batch)
+        lines = [predict_req(i, q) for i, q in enumerate(queries)]
+        responses = run_stream(server, lines)
+        for i, q in enumerate(queries):
+            want = [float(v) for v in servable.predict(q)]
+            assert responses[i]["result"]["predictions"] == want
+
+    def test_mixed_single_and_batched_rows(self, registry, servable):
+        server = PredictionServer(registry, max_batch=16)
+        rng = np.random.default_rng(3)
+        single = rng.uniform(size=(1, len(FEATURES)))
+        batch = rng.uniform(size=(6, len(FEATURES)))
+        row = {name: 0.5 for name in FEATURES}
+        responses = run_stream(server, [
+            predict_req(0, single),
+            rpc(1, "predict", kernel="gemm", arch="volta", rows=[row]),
+            predict_req(2, batch),
+        ])
+        assert responses[0]["result"]["predictions"] == [
+            float(v) for v in servable.predict(single)
+        ]
+        mat = servable.rows_from_dicts([row])
+        assert responses[1]["result"]["predictions"] == [
+            float(v) for v in servable.predict(mat)
+        ]
+        assert responses[2]["result"]["predictions"] == [
+            float(v) for v in servable.predict(batch)
+        ]
+
+    def test_coalesced_batch_loads_fit_once(self, registry, queries):
+        server = PredictionServer(registry, max_batch=64)
+        lines = [predict_req(i, q) for i, q in enumerate(queries)]
+        server.handle_batch(lines)
+        assert server.cache.stats["miss"] == 1
+        assert server.cache.stats["hit"] == 0
+
+    def test_bad_query_does_not_poison_the_batch(self, registry, servable):
+        server = PredictionServer(registry, max_batch=8)
+        good = np.full((2, len(FEATURES)), 0.5)
+        responses = run_stream(server, [
+            predict_req(0, good),
+            rpc(1, "predict", kernel="gemm", arch="volta",
+                X=[[1.0, 2.0]]),  # wrong width
+            predict_req(2, good),
+        ])
+        assert responses[1]["error"]["code"] == INVALID_PARAMS
+        want = [float(v) for v in servable.predict(good)]
+        assert responses[0]["result"]["predictions"] == want
+        assert responses[2]["result"]["predictions"] == want
+
+
+class TestErrors:
+    def test_unknown_model(self, registry):
+        server = PredictionServer(registry)
+        responses = run_stream(server, [
+            rpc(1, "predict", kernel="nope", arch="never", X=[[1.0]]),
+        ])
+        assert responses[1]["error"]["code"] == MODEL_NOT_FOUND
+        assert "no fit published" in responses[1]["error"]["message"]
+
+    def test_unknown_method(self, registry):
+        server = PredictionServer(registry)
+        responses = run_stream(server, [rpc(1, "frobnicate")])
+        assert responses[1]["error"]["code"] == METHOD_NOT_FOUND
+
+    def test_parse_error(self, registry):
+        server = PredictionServer(registry)
+        stdin = io.StringIO("{not json\n")
+        stdout = io.StringIO()
+        serve_stdio(server, stdin=stdin, stdout=stdout)
+        # Unparseable request has no id; the loop stays alive and no
+        # reply can be addressed, matching notification semantics.
+        assert stdout.getvalue() == ""
+
+    def test_missing_params(self, registry):
+        server = PredictionServer(registry)
+        responses = run_stream(server, [rpc(1, "predict")])
+        assert responses[1]["error"]["code"] == INVALID_PARAMS
+
+    def test_corrupt_artifact_surfaces_as_error(self, registry):
+        version = registry.resolve_version(CampaignKey("gemm", "volta"))
+        fit_path = registry.root / "gemm__volta" / version / "fit.json"
+        fit_path.write_text(fit_path.read_text().replace("0.", "1.", 1))
+        server = PredictionServer(registry)
+        responses = run_stream(server, [
+            rpc(1, "predict", kernel="gemm", arch="volta", X=[[0.0] * 4]),
+        ])
+        assert responses[1]["error"]["code"] == REGISTRY_CORRUPT
+        assert "corrupt" in responses[1]["error"]["message"]
+
+
+class TestLifecycle:
+    def test_shutdown_stops_the_loop(self, registry):
+        server = PredictionServer(registry)
+        responses = run_stream(server, [
+            rpc(1, "ping"),
+            rpc(2, "shutdown"),
+            rpc(3, "ping"),  # after shutdown: batch already drained, but
+        ])
+        assert responses[1]["result"] == {"ok": True}
+        assert responses[2]["result"]["ok"] is True
+
+    def test_eof_is_graceful(self, registry):
+        server = PredictionServer(registry)
+        assert run_stream(server, []) == {}
+
+    def test_stats_reports_latency_percentiles(self, registry, queries):
+        server = PredictionServer(registry, max_batch=4)
+        lines = [predict_req(i, q) for i, q in enumerate(queries)]
+        lines.append(rpc(99, "stats"))
+        responses = run_stream(server, lines)
+        stats = responses[99]["result"]
+        latency = stats["latency"]["serve.request{method=predict}"]
+        assert latency["count"] == len(queries)
+        for field in ("p50_s", "p95_s", "p99_s"):
+            assert latency[field] > 0
+        assert stats["cache"]["miss"] == 1
+
+    def test_models_lists_registry(self, registry):
+        server = PredictionServer(registry)
+        responses = run_stream(server, [rpc(1, "models")])
+        models = responses[1]["result"]["models"]
+        assert models[0]["kernel"] == "gemm"
+        assert len(models[0]["versions"]) == 1
+
+    def test_rejects_bad_max_batch(self, registry):
+        with pytest.raises(ValueError, match="max_batch"):
+            PredictionServer(registry, max_batch=0)
+
+
+class TestDrainLines:
+    def test_drains_buffered_lines_up_to_cap(self):
+        stream = io.StringIO("a\nb\nc\nd\n")
+        assert drain_lines(stream, 3) == ["a\n", "b\n", "c\n"]
+        assert drain_lines(stream, 3) == ["d\n"]
+        assert drain_lines(stream, 3) is None
+
+    def test_single_line_window(self):
+        stream = io.StringIO("a\nb\n")
+        assert drain_lines(stream, 1) == ["a\n"]
+
+
+class TestTcp:
+    def test_serves_over_local_socket(self, registry, servable):
+        import socket
+        import threading
+
+        from repro.serve import serve_tcp
+
+        server = PredictionServer(registry)
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        thread = threading.Thread(
+            target=serve_tcp, args=(server, "127.0.0.1", port), daemon=True
+        )
+        thread.start()
+        q = np.full((2, len(FEATURES)), 0.25)
+        deadline_attempts = 50
+        for attempt in range(deadline_attempts):
+            try:
+                conn = socket.create_connection(
+                    ("127.0.0.1", port), timeout=5
+                )
+                break
+            except OSError:
+                if attempt == deadline_attempts - 1:
+                    raise
+                import time
+
+                time.sleep(0.05)
+        with conn, conn.makefile("rw") as fh:
+            fh.write(predict_req(1, q) + "\n")
+            fh.write(rpc(2, "shutdown") + "\n")
+            fh.flush()
+            first = json.loads(fh.readline())
+        assert first["result"]["predictions"] == [
+            float(v) for v in servable.predict(q)
+        ]
+        thread.join(timeout=5)

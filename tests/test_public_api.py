@@ -43,10 +43,12 @@ CORE_EXPORTS = [
     "induced_counter_ranking",
     "mixed_variable_set",
     "per_arch_importance",
+    "predict_many",
     "prediction_report_text",
     "rank_importance",
     "rank_similarity",
     "reduced_model_check",
+    "stacked_predict",
 ]
 
 PROFILING_EXPORTS = [
