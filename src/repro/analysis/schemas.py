@@ -16,6 +16,14 @@ tag                      written by
                            (``meta.json``; tagless, matched by name)
 ``repro-fit/1``          :mod:`repro.serve.artifact` (servable fit)
 ``repro-fit-index/1``    :mod:`repro.serve.registry` (version index)
+``repro-repo/1``         :mod:`repro.profiling.repository`
+                         (``repo.json`` layout marker)
+``repro-shard/1``        :mod:`repro.profiling.repository`
+                         (per-bucket ``shard.json`` manifest)
+``repro-matrix/1``       :mod:`repro.profiling.index`
+                         (columnar counter-matrix header)
+``repro-forest-state/1``  :mod:`repro.ml.incremental`
+                          (incremental-fit forest state)
 =======================  ==========================================
 
 Validation produces *findings*, not exceptions: a renamed field in a
@@ -223,6 +231,56 @@ SCHEMAS: dict[str, ArtifactSchema] = {
             fields=(
                 _f("schema", str),
                 _f("versions", list),
+            ),
+        ),
+        ArtifactSchema(
+            tag="repro-repo/1",
+            kind="json",
+            description="repository layout marker (repo.json)",
+            fields=(
+                _f("schema", str),
+                _f("layout", int),
+            ),
+        ),
+        ArtifactSchema(
+            tag="repro-shard/1",
+            kind="json",
+            description="per-bucket shard manifest (shard.json)",
+            fields=(
+                _f("schema", str),
+                _f("campaigns", dict),
+            ),
+        ),
+        ArtifactSchema(
+            tag="repro-matrix/1",
+            kind="json",
+            description="columnar counter-matrix index header (matrix.json)",
+            fields=(
+                _f("schema", str),
+                _f("n_runs", int),
+                _f("counters", list),
+                _f("characteristics", list),
+                _f("machine_metrics", list),
+                _f("dtype", str),
+                _f("power_missing", int),
+                _f("source_sha256", str),
+                _f("payload_sha256", str),
+            ),
+        ),
+        ArtifactSchema(
+            tag="repro-forest-state/1",
+            kind="json",
+            description="incremental-fit forest state (refit checkpoint)",
+            fields=(
+                _f("schema", str),
+                _f("seed", int),
+                _f("spawned", int),
+                _f("config", dict),
+                _f("n_features", int),
+                _f("feature_names", list),
+                _f("generations", list),
+                _f("prefix_sha256", str),
+                _f("trees", list),
             ),
         ),
     )

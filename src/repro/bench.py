@@ -379,12 +379,182 @@ def bench_predict_many(quick: bool = False) -> BenchResult:
     )
 
 
+def _synthetic_campaign(n_runs: int, seed: int):
+    """A repository-scale synthetic campaign with real catalogue counters.
+
+    Fabricates ``RunRecord`` rows directly (no simulator in the loop) so
+    the benchmark times the storage layer, not profiling. Counter names
+    come from the real GTX580 catalogue so ``predictor_names`` and the
+    index's predictor subset resolve exactly as they do for profiled
+    campaigns.
+    """
+    from repro.gpusim.counters import CATALOGUE, available_counters
+    from repro.profiling.campaign import CampaignResult
+    from repro.profiling.profiler import RunRecord
+
+    names = [
+        n for n in available_counters("fermi") if CATALOGUE[n].predictor
+    ][:24]
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(1.0, 1e6, size=(n_runs, len(names)))
+    sizes = rng.integers(64, 4096, size=n_runs)
+    times = rng.uniform(1e-4, 0.5, size=n_runs)
+    records = [
+        RunRecord(
+            kernel="bench-synth",
+            arch="GTX580",
+            family="fermi",
+            problem=int(sizes[i]),
+            characteristics={"n": float(sizes[i])},
+            counters=dict(zip(names, values[i].tolist())),
+            time_s=float(times[i]),
+            replicate=0,
+        )
+        for i in range(n_runs)
+    ]
+    return CampaignResult(
+        kernel="bench-synth", arch="GTX580", family="fermi", records=records
+    )
+
+
+def bench_time_to_matrix(quick: bool = False) -> BenchResult:
+    """Repository-scale ``matrix()``: columnar index vs. CSV re-parse.
+
+    Saves one synthetic campaign at production scale (10^4 runs; 2·10^3
+    in quick mode) and times the question every fit starts with — "give
+    me the dense predictor matrix" — answered from the ``repro-matrix/1``
+    sidecar versus re-parsing ``runs.csv`` through ``load()``. The two
+    paths are checked bit-identical before timing.
+    """
+    import shutil
+    import tempfile
+
+    from repro.profiling.repository import CampaignKey, ProfileRepository
+
+    n_runs = 2_000 if quick else 10_000
+    tmp = tempfile.mkdtemp(prefix="repro-bench-repo-")
+    try:
+        repo = ProfileRepository(tmp)
+        result = _synthetic_campaign(n_runs, seed=11)
+        repo.save(result, seed=11)
+        key = CampaignKey("bench-synth", "GTX580")
+
+        X_fast, y_fast, names_fast = repo.matrix(key)
+        X_base, y_base, names_base = repo.load(key).matrix()
+        if (
+            names_fast != names_base
+            or not np.array_equal(X_fast, X_base)
+            or not np.array_equal(y_fast, y_base)
+        ):
+            raise AssertionError("indexed matrix diverges from CSV parse")
+
+        fast_s = _best_of(lambda: repo.matrix(key), 3)
+        base_s = _best_of(lambda: repo.load(key).matrix(), 2)
+        return _result(
+            "time_to_matrix", n_runs, "stored runs", fast_s, base_s,
+            {
+                "n_predictors": X_fast.shape[1],
+                "layout": repo.layout,
+            },
+        )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def bench_fit_from_repo(quick: bool = False) -> BenchResult:
+    """Incremental fit from a stored campaign vs. full parse-and-refit.
+
+    Scenario: a 10^4-run campaign (2·10^3 quick) grows by a small
+    append. The fast path resumes from serialized forest state
+    (``repro-forest-state/1``) — matrix from the columnar index, stored
+    trees restored, only the delta's worth of trees grown. The baseline
+    re-parses the CSV and refits the full forest from scratch. The
+    resumed forest is checked bit-identical to the in-process
+    fit-then-refit replay before timing.
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.ml.forest import RandomForestRegressor
+    from repro.ml.incremental import fit_from_repo
+    from repro.profiling.repository import CampaignKey, ProfileRepository
+
+    n_base = 2_000 if quick else 10_000
+    n_delta = max(n_base // 20, 50)
+    trees = 8
+    tmp = tempfile.mkdtemp(prefix="repro-bench-fit-")
+    try:
+        repo = ProfileRepository(Path(tmp) / "repo")
+        full = _synthetic_campaign(n_base + n_delta, seed=13)
+        base_result = _synthetic_campaign(n_base + n_delta, seed=13)
+        base_result.records = base_result.records[:n_base]
+        repo.save(base_result, seed=13)
+        key = CampaignKey("bench-synth", "GTX580")
+        cfg = dict(
+            n_trees=trees, max_depth=6, importance=False, seed=21,
+        )
+
+        state0 = Path(tmp) / "state0.json"
+        fit_from_repo(repo, key, state_path=state0, **cfg)
+
+        delta = _synthetic_campaign(n_base + n_delta, seed=13)
+        delta.records = delta.records[n_base:]
+        repo.append(delta)
+
+        # Bit-identity gate: resumed == in-process fit-then-refit replay.
+        state_work = Path(tmp) / "state.json"
+        shutil.copy(state0, state_work)
+        resumed, info = fit_from_repo(
+            repo, key, state_path=state_work, **cfg
+        )
+        if info["path"] != "resumed":
+            raise AssertionError(
+                f"expected the resumed path, got {info['path']!r}"
+            )
+        X, y, names = repo.matrix(key)
+        replay = RandomForestRegressor(
+            n_trees=trees, max_depth=6, importance=False, rng=21,
+        ).fit(X[:n_base], y[:n_base], feature_names=list(names))
+        replay.refit(X, y)
+        probe = np.asarray(X[:64], dtype=float)
+        if not np.array_equal(resumed.predict(probe), replay.predict(probe)):
+            raise AssertionError("resumed fit diverges from fit+refit replay")
+
+        def run_fast():
+            shutil.copy(state0, state_work)
+            fit_from_repo(repo, key, state_path=state_work, **cfg)
+
+        def run_base():
+            Xb, yb, nb = repo.load(key).matrix()
+            RandomForestRegressor(
+                n_trees=trees + info["n_new_trees"], max_depth=6,
+                importance=False, rng=21,
+            ).fit(Xb, yb, feature_names=list(nb))
+
+        fast_s = _best_of(run_fast, 3)
+        base_s = _best_of(run_base, 2)
+        return _result(
+            "fit_from_repo", n_base + n_delta, "stored runs",
+            fast_s, base_s,
+            {
+                "n_appended": n_delta,
+                "n_trees": trees,
+                "n_new_trees": info["n_new_trees"],
+            },
+        )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 BENCHMARKS = {
     "trace_transactions": bench_trace_transactions,
     "cache_trace_replay": bench_cache_trace_replay,
     "forest_fit": bench_forest_fit,
     "campaign_sweep": bench_campaign_sweep,
     "predict_many": bench_predict_many,
+    "time_to_matrix": bench_time_to_matrix,
+    "fit_from_repo": bench_fit_from_repo,
 }
 
 

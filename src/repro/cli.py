@@ -613,8 +613,36 @@ def cmd_repo(args) -> int:
                     title=f"repository {args.root}"))
         return 0
 
+    if args.action == "migrate":
+        summary = repo.migrate()
+        damaged = {
+            name: probs
+            for name, probs in summary.get("findings", {}).items()
+            if any("legacy" not in p for p in probs)
+        }
+        _emit(args, {"root": str(repo.root), **summary},
+              f"migrated {args.root} to layout v{summary['layout']}: "
+              f"{summary['migrated']} campaign(s) moved, "
+              f"{summary['indexed']} index(es) built, "
+              f"{len(summary['skipped'])} skipped, "
+              f"{len(damaged)} damaged")
+        return 1 if damaged else 0
+
+    if args.action == "stats":
+        s = repo.stats()
+        lines = [
+            f"repository {args.root} (layout v{s['layout']})",
+            f"  campaigns: {s['campaigns']}   runs: {s['runs']}",
+            f"  shards: {s['shards']['used']}/{s['shards']['total']} used, "
+            f"max fill {s['shards']['max_fill']}",
+            f"  index: {s['index']['fresh']} fresh, "
+            f"{s['index']['stale']} stale, {s['index']['missing']} missing",
+        ]
+        _emit(args, {"root": str(repo.root), **s}, "\n".join(lines))
+        return 0
+
     # action == "verify"
-    findings = repo.verify_all()
+    findings = repo.verify_all(full=args.full)
     damaged = {
         name: probs for name, probs in findings.items()
         if any("legacy" not in p for p in probs)
@@ -960,12 +988,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "repo",
-        help="inspect/verify an on-disk profile repository",
+        help="inspect/verify/migrate an on-disk profile repository",
     )
-    p.add_argument("action", choices=("verify", "list"))
+    p.add_argument("action", choices=("verify", "list", "migrate", "stats"))
     p.add_argument("root", help="repository root directory")
     p.add_argument("--quarantine", action="store_true",
                    help="(verify) move damaged campaigns into _quarantine/")
+    p.add_argument("--full", action="store_true",
+                   help="(verify) re-hash every campaign, ignoring the "
+                   "verified-snapshot fast path")
     _add_format(p)
 
     p = sub.add_parser(

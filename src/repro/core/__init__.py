@@ -6,6 +6,7 @@ prediction, hardware-scaling prediction and reporting.
 """
 
 from .api import FitArtifact, Predictor, predict_many, stacked_predict
+from .store import CampaignKey, RunStore, safe_component, shard_of
 from .bottleneck import (
     PATTERNS,
     BottleneckFinding,
@@ -42,6 +43,10 @@ __all__ = [
     "FitArtifact",
     "predict_many",
     "stacked_predict",
+    "CampaignKey",
+    "RunStore",
+    "safe_component",
+    "shard_of",
     "PATTERNS",
     "BottleneckFinding",
     "BottleneckPattern",

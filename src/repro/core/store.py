@@ -1,0 +1,107 @@
+"""The unified store API: :class:`CampaignKey` and the :class:`RunStore`
+protocol.
+
+Both on-disk stores in the system — :class:`repro.profiling.ProfileRepository`
+(campaign data) and :class:`repro.serve.FitRegistry` (published fit
+artifacts) — address their contents by :class:`CampaignKey` and map keys
+to directories through the same ``key.dirname`` scheme defined here.
+:class:`RunStore` captures the read-side surface they share, so code
+that enumerates, loads and verifies stored artifacts (CLI subcommands,
+smoke jobs, report generators) can be written once against the protocol.
+
+This module is a dependency leaf: it imports only the standard library,
+so both ``repro.core`` and ``repro.profiling`` can use it without
+creating an import cycle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Protocol, runtime_checkable
+
+__all__ = [
+    "CampaignKey",
+    "RunStore",
+    "SHARD_DIR",
+    "safe_component",
+    "shard_of",
+]
+
+#: Sub-directory of a layout-v2 store root holding the hash buckets.
+SHARD_DIR = "shards"
+
+
+def safe_component(s: str) -> str:
+    """Sanitize one key component for use in a directory name."""
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in s)
+
+
+def shard_of(dirname: str) -> str:
+    """The hash bucket (two hex chars, 256 buckets) a campaign lives in.
+
+    Buckets are keyed by the *sanitized* dirname so the mapping is a
+    pure function of what is on disk — a store can be rebucketed or
+    verified without parsing any metadata.
+    """
+    return hashlib.sha256(dirname.encode()).hexdigest()[:2]
+
+
+@dataclass(frozen=True)
+class CampaignKey:
+    """Addresses one stored campaign: (kernel, arch, optional tag)."""
+
+    kernel: str
+    arch: str
+    tag: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.kernel or not self.arch:
+            raise ValueError("CampaignKey needs non-empty kernel and arch")
+
+    @property
+    def dirname(self) -> str:
+        name = f"{safe_component(self.kernel)}__{safe_component(self.arch)}"
+        if self.tag:
+            name += f"__{safe_component(self.tag)}"
+        return name
+
+    def __str__(self) -> str:
+        return self.dirname
+
+
+@runtime_checkable
+class RunStore(Protocol):
+    """Read-side surface shared by every CampaignKey-addressed store.
+
+    ``load`` returns whatever the store stores (a
+    :class:`~repro.profiling.CampaignResult`, a
+    :class:`~repro.serve.ServableFit`, ...); ``verify``/``verify_all``
+    return human-readable integrity findings, empty when intact — a
+    finding mentioning "corrupt" means damage, anything else is
+    legacy/drift. Structural: any object with these members satisfies
+    ``isinstance(obj, RunStore)``.
+    """
+
+    root: Path
+
+    def iter_keys(self) -> Iterator[CampaignKey]:
+        """Yield the key of every stored entry."""
+        ...
+
+    def has(self, key: CampaignKey) -> bool:
+        """Whether an entry is stored under ``key``."""
+        ...
+
+    def load(self, key: CampaignKey):
+        """Load the entry stored under ``key``, verifying integrity."""
+        ...
+
+    def verify(self, key: CampaignKey) -> list[str]:
+        """Integrity findings for one entry (empty = intact)."""
+        ...
+
+    def verify_all(self) -> dict[str, list[str]]:
+        """Findings per dirname for every entry (empty lists = intact)."""
+        ...

@@ -10,6 +10,7 @@ paper's toolchain uses: ``randomForest`` (:class:`RandomForestRegressor`),
 from .cluster import KMeans
 from .forest import RandomForestRegressor
 from .glm import GaussianGLM, PoissonGLM, fit_best_polynomial
+from .incremental import fit_from_repo, forest_state, restore_forest
 from .mars import BasisFunction, HingeTerm, Mars
 from .metrics import (
     explained_variance,
@@ -31,9 +32,14 @@ from .preprocessing import (
     sanitize_matrix,
     train_test_split,
 )
-from .tree import RegressionTree
+from .tree import RegressionTree, tree_from_dict, tree_to_dict
 
 __all__ = [
+    "fit_from_repo",
+    "forest_state",
+    "restore_forest",
+    "tree_from_dict",
+    "tree_to_dict",
     "KMeans",
     "RandomForestRegressor",
     "GaussianGLM",

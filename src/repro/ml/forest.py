@@ -220,6 +220,14 @@ class RandomForestRegressor:
         self.n_permutations = n_permutations
         self.n_jobs = resolve_n_jobs(n_jobs)
         self._rng = np.random.default_rng(rng)
+        #: Integer seed when one was given — what makes the forest's RNG
+        #: position reconstructable for incremental-fit state capture
+        #: (:mod:`repro.ml.incremental`); None for opaque Generators.
+        self._seed = int(rng) if isinstance(rng, (int, np.integer)) else None
+        #: Total child streams spawned from ``_rng`` so far. Spawning is
+        #: the only way fit/refit consume the generator, so (seed,
+        #: spawned) pins its position exactly.
+        self._spawned = 0
 
     # -- fitting ---------------------------------------------------------
 
@@ -241,62 +249,25 @@ class RandomForestRegressor:
         if feature_names is not None and len(feature_names) != p:
             raise ValueError("feature_names length mismatch")
 
-        mtry = self.max_features if self.max_features is not None else max(p // 3, 1)
-        cfg = {
-            "mtry": mtry,
-            "min_samples_leaf": self.min_samples_leaf,
-            "max_depth": self.max_depth,
-            "importance": self.importance,
-            "n_permutations": self.n_permutations,
-        }
-
-        streams = spawn_streams(self._rng, self.n_trees)
-        jobs = min(self.n_jobs, self.n_trees)
         with span(
             "forest.fit",
             n_trees=self.n_trees,
             n_samples=n,
             n_features=p,
-            n_jobs=jobs,
+            n_jobs=min(self.n_jobs, self.n_trees),
         ):
-            if jobs > 1:
-                tracer = current_tracer()
-                registry = current_metrics()
-                bounds = chunk_bounds(self.n_trees, jobs)
-                tasks = [
-                    (X, y, cfg, streams[lo:hi], tracer is not None,
-                     registry is not None)
-                    for lo, hi in zip(bounds[:-1], bounds[1:])
-                    if hi > lo
-                ]
-                results = []
-                for chunk, child_spans, child_metrics in process_map(
-                    _fit_forest_chunk, tasks, jobs
-                ):
-                    results.extend(chunk)
-                    if child_spans and tracer is not None:
-                        tracer.adopt(child_spans)
-                    if child_metrics is not None and registry is not None:
-                        registry.merge(child_metrics)
-            else:
-                results = [_fit_forest_tree(X, y, cfg, rng) for rng in streams]
+            results = self._grow(X, y, self.n_trees, self._config(p))
 
-        # Aggregate in tree order — float sums land in the same order
-        # regardless of worker scheduling.
+        # Per-tree artifacts kept for life: what refit() re-aggregates
+        # over and incremental-fit state serializes.
         self.trees_: list[RegressionTree] = []
-        oob_sum = np.zeros(n)
-        oob_count = np.zeros(n, dtype=np.intp)
-        # Per-tree accumulators for permutation importance (Breiman 2001):
-        # importance_j = mean over trees of (MSE_oob_permuted_j - MSE_oob),
-        # later normalized by the standard error across trees (%IncMSE).
-        perm_delta = np.zeros((self.n_trees, p)) if self.importance else None
-        for t, (tree, oob_idx, pred_oob, perm_row) in enumerate(results):
+        self._tree_oob: list[tuple[np.ndarray, np.ndarray | None]] = []
+        self._tree_perm: list[np.ndarray] = []
+        for tree, oob_idx, pred_oob, perm_row in results:
             self.trees_.append(tree)
-            if pred_oob is not None:
-                oob_sum[oob_idx] += pred_oob
-                oob_count[oob_idx] += 1
-            if self.importance:
-                perm_delta[t] = perm_row
+            self._tree_oob.append((oob_idx, pred_oob))
+            self._tree_perm.append(perm_row)
+        self._generations = [{"n_trees": self.n_trees, "n_rows": n}]
 
         self.n_features_ = p
         self.feature_names_ = (
@@ -304,6 +275,80 @@ class RandomForestRegressor:
             if feature_names is not None
             else [f"x{j}" for j in range(p)]
         )
+        self._aggregate(X, y)
+        return self
+
+    def _config(self, p: int) -> dict:
+        mtry = self.max_features if self.max_features is not None else max(p // 3, 1)
+        return {
+            "mtry": mtry,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_depth": self.max_depth,
+            "importance": self.importance,
+            "n_permutations": self.n_permutations,
+        }
+
+    def _grow(
+        self, X: np.ndarray, y: np.ndarray, k: int, cfg: dict
+    ) -> list[tuple]:
+        """Grow ``k`` trees from the next ``k`` child streams.
+
+        Streams continue the forest RNG's SeedSequence spawn counter, so
+        tree ``t`` of a fit-then-refit sequence sees the same stream as
+        tree ``t`` of any replay of that sequence — at any ``n_jobs``.
+        """
+        streams = spawn_streams(self._rng, k)
+        self._spawned += k
+        jobs = min(self.n_jobs, k)
+        if jobs > 1:
+            tracer = current_tracer()
+            registry = current_metrics()
+            bounds = chunk_bounds(k, jobs)
+            tasks = [
+                (X, y, cfg, streams[lo:hi], tracer is not None,
+                 registry is not None)
+                for lo, hi in zip(bounds[:-1], bounds[1:])
+                if hi > lo
+            ]
+            results = []
+            for chunk, child_spans, child_metrics in process_map(
+                _fit_forest_chunk, tasks, jobs
+            ):
+                results.extend(chunk)
+                if child_spans and tracer is not None:
+                    tracer.adopt(child_spans)
+                if child_metrics is not None and registry is not None:
+                    registry.merge(child_metrics)
+        else:
+            results = [_fit_forest_tree(X, y, cfg, rng) for rng in streams]
+        return results
+
+    def _aggregate(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Recompute every derived quantity from the per-tree artifacts.
+
+        Runs in tree order — float sums land in the same order
+        regardless of worker scheduling or how many refit generations
+        contributed trees, which is what keeps fit/refit sequences
+        bit-identical at any ``n_jobs``.
+        """
+        n, p = X.shape
+        T = len(self.trees_)
+        oob_sum = np.zeros(n)
+        oob_count = np.zeros(n, dtype=np.intp)
+        # Per-tree accumulators for permutation importance (Breiman 2001):
+        # importance_j = mean over trees of (MSE_oob_permuted_j - MSE_oob),
+        # later normalized by the standard error across trees (%IncMSE).
+        perm_delta = np.zeros((T, p)) if self.importance else None
+        for t, (oob_idx, pred_oob) in enumerate(self._tree_oob):
+            if pred_oob is not None:
+                # Trees from earlier generations only saw a prefix of the
+                # rows; their OOB indices address that prefix, which is
+                # stable under append-only growth.
+                oob_sum[oob_idx] += pred_oob
+                oob_count[oob_idx] += 1
+            if self.importance:
+                perm_delta[t] = self._tree_perm[t]
+
         self._X_train = X
         self._y_train = y
 
@@ -321,10 +366,10 @@ class RandomForestRegressor:
 
         if self.importance:
             mean_delta = perm_delta.mean(axis=0)
-            sd = perm_delta.std(axis=0, ddof=1) if self.n_trees > 1 else np.ones(p)
+            sd = perm_delta.std(axis=0, ddof=1) if T > 1 else np.ones(p)
             sd = np.where(sd > 0.0, sd, 1.0)
             # %IncMSE: mean increase normalized by its standard error.
-            self.importance_ = mean_delta / (sd / np.sqrt(self.n_trees))
+            self.importance_ = mean_delta / (sd / np.sqrt(T))
             self.importance_raw_ = mean_delta
         else:
             self.importance_ = None
@@ -333,7 +378,73 @@ class RandomForestRegressor:
         purity = np.zeros(p)
         for tree in self.trees_:
             purity += tree.impurity_decrease_
-        self.impurity_importance_ = purity / self.n_trees
+        self.impurity_importance_ = purity / T
+
+    def refit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        n_new_trees: int | None = None,
+    ) -> "RandomForestRegressor":
+        """Incrementally extend a fitted forest with appended rows.
+
+        ``X``/``y`` are the **full** data so far: the rows the forest was
+        fitted on, unchanged, followed by the appended rows (append-only
+        contract; shrinking or reshaping raises). Only ``n_new_trees``
+        new trees are grown — on all data so far, from RNG streams that
+        continue the forest's spawn sequence — and every derived
+        aggregate (OOB, importance) is recomputed in tree order, so a
+        fit-then-refit sequence is bit-for-bit reproducible at any
+        ``n_jobs``. Existing trees are never re-grown.
+
+        ``n_new_trees`` defaults to the old tree count scaled by the
+        fraction of rows that are new (at least 1). A refit with no new
+        rows and no explicit tree count is a no-op.
+        """
+        if not getattr(self, "trees_", None) or not getattr(
+            self, "_generations", None
+        ):
+            raise RuntimeError("fit the forest before refit()")
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        n, p = X.shape
+        if n != y.size:
+            raise ValueError("X and y length mismatch")
+        if p != self.n_features_:
+            raise ValueError(
+                f"refit X must keep the fitted width {self.n_features_}, "
+                f"got {p} columns"
+            )
+        n_prev = int(self._generations[-1]["n_rows"])
+        if n < n_prev:
+            raise ValueError(
+                f"refit is append-only: forest was fitted on {n_prev} rows, "
+                f"got {n}"
+            )
+        if n_new_trees is None:
+            if n == n_prev:
+                return self
+            n_new_trees = max(1, round(len(self.trees_) * (n - n_prev) / n))
+        if n_new_trees < 1:
+            raise ValueError("n_new_trees must be >= 1")
+
+        with span(
+            "forest.refit",
+            n_new_trees=n_new_trees,
+            n_samples=n,
+            n_features=p,
+            n_jobs=min(self.n_jobs, n_new_trees),
+        ):
+            results = self._grow(X, y, n_new_trees, self._config(p))
+        for tree, oob_idx, pred_oob, perm_row in results:
+            self.trees_.append(tree)
+            self._tree_oob.append((oob_idx, pred_oob))
+            self._tree_perm.append(perm_row)
+        self._generations.append({"n_trees": n_new_trees, "n_rows": n})
+        self.n_trees = len(self.trees_)
+        self._aggregate(X, y)
         return self
 
     # -- prediction ------------------------------------------------------

@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.obs import metrics as _metrics
 
-__all__ = ["RegressionTree"]
+__all__ = ["RegressionTree", "tree_to_dict", "tree_from_dict"]
 
 _LEAF = -1
 
@@ -382,3 +382,55 @@ class RegressionTree:
                 for child in (self.left_[node_id], self.right_[node_id]):
                     depth[child] = depth[node_id] + 1
         return int(depth.max()) if self.n_nodes else 0
+
+
+# -- serialization --------------------------------------------------------
+
+
+def tree_to_dict(tree: RegressionTree) -> dict:
+    """A fitted tree's node arrays as a strict-JSON-safe dict.
+
+    Leaf thresholds (NaN internally, never read by the descent) are
+    written as ``null`` so the document carries no ``NaN`` tokens.
+    Floats survive ``json`` round-trips exactly (``repr`` encoding), so
+    a restored tree's predictions are bit-identical — the contract both
+    the serve artifact (``repro-fit/1``) and incremental-fit state
+    (``repro-forest-state/1``) build on.
+    """
+    import math
+
+    thresholds = [
+        None if math.isnan(t) else float(t)
+        for t in tree.threshold_.tolist()
+    ]
+    return {
+        "feature": tree.feature_.tolist(),
+        "threshold": thresholds,
+        "left": tree.left_.tolist(),
+        "right": tree.right_.tolist(),
+        "value": tree.value_.tolist(),
+        "n_node_samples": tree.n_node_samples_.tolist(),
+    }
+
+
+def tree_from_dict(data: dict, n_features: int) -> RegressionTree:
+    """Rebuild a predict-capable tree from :func:`tree_to_dict`.
+
+    ``impurity_decrease_`` does not travel in the node-array dict; it is
+    restored as zeros (callers that need it — incremental-fit state —
+    persist it separately).
+    """
+    tree = RegressionTree()
+    tree.n_features_ = n_features
+    tree.feature_ = np.asarray(data["feature"], dtype=np.intp)
+    tree.threshold_ = np.asarray(
+        [np.nan if t is None else t for t in data["threshold"]], dtype=float
+    )
+    tree.left_ = np.asarray(data["left"], dtype=np.intp)
+    tree.right_ = np.asarray(data["right"], dtype=np.intp)
+    tree.value_ = np.asarray(data["value"], dtype=float)
+    tree.n_node_samples_ = np.asarray(
+        data.get("n_node_samples", [0] * len(data["feature"])), dtype=np.intp
+    )
+    tree.impurity_decrease_ = np.zeros(n_features)
+    return tree

@@ -1,0 +1,197 @@
+"""Columnar counter-matrix index: ``matrix()`` without re-parsing CSV.
+
+A fit at repository scale spends almost all of its wall clock parsing
+``runs.csv`` back into floats. The index sidesteps that: at save time
+the repository persists one dense ``float64`` table per campaign —
+every counter column, every characteristic, every machine metric, plus
+the time and power responses — as a ``.npy`` payload next to a
+``repro-matrix/1`` JSON header. ``ProfileRepository.matrix()`` then
+answers any column selection straight from the table.
+
+The header carries two content hashes: ``source_sha256`` of the
+``runs.csv`` bytes the table was built from, and ``payload_sha256`` of
+the ``.npy`` bytes. A table whose source hash no longer matches the
+data file is *stale* and is rebuilt from a full (integrity-checked)
+load — a mutated campaign is therefore never silently served from its
+old index. Values are bit-identical to the parse path because the CSV
+stores ``repr()``-encoded floats, which round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+
+import numpy as np
+
+__all__ = [
+    "MATRIX_SCHEMA",
+    "MATRIX_META",
+    "MATRIX_DATA",
+    "build_matrix_index",
+    "extend_matrix_index",
+    "select_matrix",
+    "predictor_subset",
+]
+
+#: Schema tag of the index header (registered in repro.analysis.schemas).
+MATRIX_SCHEMA = "repro-matrix/1"
+MATRIX_META = "matrix.json"
+MATRIX_DATA = "matrix.npy"
+
+
+def _sha256_bytes(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def predictor_subset(counter_names: list[str]) -> list[str]:
+    """Counters admissible as predictors, mirroring
+    :attr:`CampaignResult.predictor_names` for a stored counter list."""
+    # Function-level import: profiling must not require gpusim at import
+    # time (same rule as campaign.predictor_names).
+    from repro.gpusim.counters import CATALOGUE
+
+    return [n for n in counter_names if CATALOGUE[n].predictor]
+
+
+def build_matrix_index(result, data_bytes: bytes) -> tuple[str, bytes]:
+    """Header JSON text + ``.npy`` payload bytes for one campaign.
+
+    ``result`` is the in-memory :class:`CampaignResult` being saved;
+    ``data_bytes`` the exact ``runs.csv`` content written beside it
+    (hashed into the header so staleness is detectable). Column order is
+    the on-disk order: counters (first-record order), sorted
+    characteristics, sorted machine metrics, then the two response
+    columns ``time_s`` and ``power_w`` (NaN where the platform records
+    no power).
+    """
+    counters = result.counter_names
+    chars = result.characteristic_names
+    machine = sorted(result.records[0].machine) if result.records else []
+    rows = [
+        [r.counters[c] for c in counters]
+        + [r.characteristics[c] for c in chars]
+        + [r.machine[m] for m in machine]
+        + [r.time_s, np.nan if r.power_w is None else r.power_w]
+        for r in result.records
+    ]
+    table = np.asarray(rows, dtype=np.float64).reshape(
+        len(result.records), len(counters) + len(chars) + len(machine) + 2
+    )
+    bio = io.BytesIO()
+    np.save(bio, table, allow_pickle=False)
+    payload = bio.getvalue()
+    header = {
+        "schema": MATRIX_SCHEMA,
+        "n_runs": len(result.records),
+        "counters": list(counters),
+        "characteristics": list(chars),
+        "machine_metrics": list(machine),
+        "dtype": "float64",
+        "power_missing": int(sum(r.power_w is None for r in result.records)),
+        "source_sha256": _sha256_bytes(data_bytes),
+        "payload_sha256": _sha256_bytes(payload),
+    }
+    return json.dumps(header, indent=2), payload
+
+
+def extend_matrix_index(
+    header: dict, table: np.ndarray, result, data_bytes: bytes
+) -> tuple[str, bytes] | None:
+    """Incrementally extend a fresh index with appended runs.
+
+    ``result`` holds only the *new* records (same column schema as the
+    existing campaign); ``data_bytes`` is the full post-append
+    ``runs.csv``. Returns the new (header text, payload) pair, or
+    ``None`` when the new records do not line up with the stored
+    columns (caller falls back to a lazy full rebuild).
+    """
+    counters = header["counters"]
+    chars = header["characteristics"]
+    machine = header["machine_metrics"]
+    try:
+        rows = [
+            [r.counters[c] for c in counters]
+            + [r.characteristics[c] for c in chars]
+            + [r.machine[m] for m in machine]
+            + [r.time_s, np.nan if r.power_w is None else r.power_w]
+            for r in result.records
+        ]
+    except KeyError:
+        return None
+    new = np.asarray(rows, dtype=np.float64).reshape(
+        len(result.records), table.shape[1]
+    )
+    merged = np.vstack([table, new])
+    bio = io.BytesIO()
+    np.save(bio, merged, allow_pickle=False)
+    payload = bio.getvalue()
+    out = dict(header)
+    out["n_runs"] = int(merged.shape[0])
+    out["power_missing"] = int(
+        header.get("power_missing", 0)
+        + sum(r.power_w is None for r in result.records)
+    )
+    out["source_sha256"] = _sha256_bytes(data_bytes)
+    out["payload_sha256"] = _sha256_bytes(payload)
+    return json.dumps(out, indent=2), payload
+
+
+def select_matrix(
+    header: dict,
+    table: np.ndarray,
+    counters=None,
+    include_characteristics: bool = True,
+    include_machine: bool = False,
+    response: str = "time",
+    missing: str = "raise",
+) -> tuple[np.ndarray, np.ndarray, list[str]]:
+    """Answer a :meth:`CampaignResult.matrix` call from the dense table.
+
+    Same signature semantics, same errors, bit-identical values: the
+    acceptance contract is ``np.array_equal`` with the parse path.
+    """
+    if missing not in ("raise", "nan"):
+        raise ValueError("missing must be 'raise' or 'nan'")
+    if response not in ("time", "power"):
+        raise ValueError("response must be 'time' or 'power'")
+    if response == "power" and header.get("power_missing", 0):
+        raise ValueError(
+            "campaign has runs without power readings (power draw is "
+            "only readable on the Kepler platform, paper Section 7)"
+        )
+    all_counters = header["counters"]
+    chars = header["characteristics"]
+    machine = header["machine_metrics"]
+    pos = {
+        name: i
+        for i, name in enumerate(all_counters + chars + machine)
+    }
+    n = table.shape[0]
+    counter_sel = (
+        list(counters) if counters is not None
+        else predictor_subset(all_counters)
+    )
+    names: list[str] = []
+    cols: list[np.ndarray] = []
+    for name in counter_sel:
+        names.append(name)
+        if name in pos:
+            cols.append(table[:, pos[name]])
+        elif missing == "nan":
+            cols.append(np.full(n, np.nan))
+        else:
+            raise KeyError(name)
+    if include_characteristics:
+        for name in chars:
+            names.append(name)
+            cols.append(table[:, pos[name]])
+    if include_machine:
+        for name in machine:
+            names.append(name)
+            cols.append(table[:, pos[name]])
+    X = np.column_stack(cols) if cols else np.empty((n, 0))
+    y_col = table.shape[1] - (1 if response == "power" else 2)
+    y = table[:, y_col].copy()
+    return X, y, names

@@ -3,9 +3,22 @@
 The paper stores collected data "in either a database or a structured
 repository (we used the latter)" (Section 4.3). This module implements
 that structured repository: one directory per campaign holding a CSV
-table of runs, a JSON metadata sidecar and a provenance manifest
-(:mod:`repro.obs.manifest`), addressable by :class:`CampaignKey` and
+table of runs, a JSON metadata sidecar, a provenance manifest
+(:mod:`repro.obs.manifest`) and a columnar counter-matrix index
+(:mod:`repro.profiling.index`), addressable by :class:`CampaignKey` and
 safely round-trippable.
+
+Two on-disk layouts exist (see docs/repository.md):
+
+* **v1 (flat, deprecated)** — one directory per campaign directly under
+  the root. Fine for hundreds of campaigns, wrong at production scale:
+  every listing and every ``verify_all`` touches every campaign.
+* **v2 (sharded)** — campaigns live under ``shards/<xx>/<dirname>/``
+  where ``xx`` is the first two hex chars of SHA-256(dirname) (256
+  buckets), and each bucket carries a ``shard.json`` manifest caching
+  campaign metadata plus file-stat snapshots. Listings are served from
+  the shard manifests and ``verify_all`` re-hashes only campaigns whose
+  files changed since their last clean verify — O(changed), not O(all).
 
 Writes are torn-proof: every artifact is written to a temp file, fsynced
 and renamed into place, so a crash mid-save leaves either the old
@@ -26,15 +39,25 @@ import hashlib
 import io
 import json
 import os
-from dataclasses import dataclass
 from pathlib import Path
 
+import numpy as np
+
 from repro._compat import warn_once
+from repro.core.store import SHARD_DIR, CampaignKey, shard_of
 from repro.faults.plan import should_inject
 from repro.obs import Manifest, build_manifest
 from repro.obs.log import emit as emit_event
 
 from .campaign import CampaignResult
+from .index import (
+    MATRIX_DATA,
+    MATRIX_META,
+    MATRIX_SCHEMA,
+    build_matrix_index,
+    extend_matrix_index,
+    select_matrix,
+)
 from .profiler import RunRecord
 
 __all__ = ["CampaignKey", "ProfileRepository", "RepositoryIntegrityError"]
@@ -42,10 +65,19 @@ __all__ = ["CampaignKey", "ProfileRepository", "RepositoryIntegrityError"]
 _META = "meta.json"
 _DATA = "runs.csv"
 _MANIFEST = "manifest.json"
-#: Sub-directory verify-failed campaigns are moved into. Its campaigns
-#: sit one level deeper than ``<root>/<campaign>/``, so ``glob`` based
-#: listing/loading never sees them.
+#: Layout marker at the root of a v2 repository.
+_REPO_MARKER = "repo.json"
+#: Per-bucket manifest file inside ``shards/<xx>/``.
+_SHARD_MANIFEST = "shard.json"
+#: Schema tags (registered in repro.analysis.schemas).
+REPO_SCHEMA = "repro-repo/1"
+SHARD_SCHEMA = "repro-shard/1"
+#: Sub-directory verify-failed campaigns are moved into (always directly
+#: under the root, in both layouts). Its campaigns sit outside the
+#: campaign enumeration, so listing/loading never sees them.
 _QUARANTINE = "_quarantine"
+#: Files covered by shard-manifest stat snapshots.
+_TRACKED = (_META, _DATA, _MANIFEST)
 
 
 class RepositoryIntegrityError(ValueError):
@@ -55,12 +87,12 @@ class RepositoryIntegrityError(ValueError):
     tests matching "corrupt" — keep working."""
 
 
-def _safe(s: str) -> str:
-    return "".join(c if c.isalnum() or c in "-_." else "_" for c in s)
-
-
 def _sha256(text: str) -> str:
     return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _sha256_bytes(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
 
 
 def _read_text(path: Path) -> str:
@@ -99,27 +131,35 @@ def _atomic_write(path: Path, text: str, campaign: str) -> None:
     os.replace(tmp, path)
 
 
-@dataclass(frozen=True)
-class CampaignKey:
-    """Addresses one stored campaign: (kernel, arch, optional tag)."""
+def _atomic_write_bytes(path: Path, data: bytes, campaign: str) -> None:
+    """Binary sibling of :func:`_atomic_write` (same fault site).
 
-    kernel: str
-    arch: str
-    tag: str | None = None
+    Used for the columnar index payload; injected damage makes the
+    payload hash mismatch its header, which demotes the index to stale —
+    rebuilt on the next ``matrix()``, never served.
+    """
+    fault = should_inject("repository.write", file=path.name, campaign=campaign)
+    if fault is not None:
+        if fault.mode == "torn_file":
+            fraction = float(fault.payload_dict.get("fraction", 0.5))
+            data = data[: int(len(data) * fraction)]
+        elif fault.mode == "corrupt_file":
+            middle = len(data) // 2
+            data = data[:middle] + b"\x00" + data[middle + 1 :]
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
 
-    def __post_init__(self) -> None:
-        if not self.kernel or not self.arch:
-            raise ValueError("CampaignKey needs non-empty kernel and arch")
 
-    @property
-    def dirname(self) -> str:
-        name = f"{_safe(self.kernel)}__{_safe(self.arch)}"
-        if self.tag:
-            name += f"__{_safe(self.tag)}"
-        return name
-
-    def __str__(self) -> str:
-        return self.dirname
+def _stat_of(path: Path) -> list[int]:
+    """``[size, mtime_ns]`` — the cheap change detector shard manifests
+    cache. A same-size same-mtime rewrite evades it (classic mtime
+    caveat); ``verify_all(full=True)`` re-hashes everything."""
+    st = path.stat()
+    return [st.st_size, st.st_mtime_ns]
 
 
 def _as_key(
@@ -144,11 +184,173 @@ def _as_key(
 
 
 class ProfileRepository:
-    """Filesystem-backed store of :class:`CampaignResult` objects."""
+    """Filesystem-backed store of :class:`CampaignResult` objects.
+
+    Implements the :class:`repro.core.RunStore` protocol. New
+    repositories use the sharded v2 layout; an existing flat v1 tree is
+    detected, served read/write compatibly with a one-time
+    ``DeprecationWarning``, and upgraded in place by :meth:`migrate`.
+    """
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        marker = self.root / _REPO_MARKER
+        if marker.exists():
+            try:
+                layout = int(json.loads(_read_text(marker)).get("layout", 2))
+            except (json.JSONDecodeError, TypeError, ValueError):
+                raise RepositoryIntegrityError(
+                    f"repository corrupt: {_REPO_MARKER} is unreadable — "
+                    f"cannot determine the on-disk layout"
+                ) from None
+            self._layout = 2 if layout >= 2 else 1
+        elif any(self.root.glob(f"*/{_META}")):
+            self._layout = 1
+            warn_once(
+                "ProfileRepository:flat-layout",
+                "this repository uses the flat v1 layout, which is "
+                "deprecated (O(all) listings and verification); run "
+                "`repro repo migrate <root>` to upgrade to the sharded "
+                "v2 layout",
+            )
+        else:
+            self._layout = 2
+            _atomic_write(
+                marker,
+                json.dumps({"schema": REPO_SCHEMA, "layout": 2}, indent=2),
+                "",
+            )
+
+    @property
+    def layout(self) -> int:
+        """On-disk layout version: 1 (flat, deprecated) or 2 (sharded)."""
+        return self._layout
+
+    # -- path scheme ---------------------------------------------------------
+
+    def _campaign_dir(self, dirname: str) -> Path:
+        if self._layout == 1:
+            return self.root / dirname
+        return self.root / SHARD_DIR / shard_of(dirname) / dirname
+
+    def _campaign_dirnames(self) -> list[str]:
+        """Every campaign dirname on disk (ground truth, sorted)."""
+        if self._layout == 1:
+            return sorted(
+                d.name
+                for d in self.root.iterdir()
+                if d.is_dir() and d.name != _QUARANTINE
+            )
+        shards = self.root / SHARD_DIR
+        if not shards.is_dir():
+            return []
+        return sorted(
+            d.name
+            for bucket in shards.iterdir()
+            if bucket.is_dir()
+            for d in bucket.iterdir()
+            if d.is_dir()
+        )
+
+    # -- shard manifests -----------------------------------------------------
+
+    def _shard_manifest_path(self, dirname: str) -> Path:
+        return self.root / SHARD_DIR / shard_of(dirname) / _SHARD_MANIFEST
+
+    @staticmethod
+    def _read_shard(path: Path) -> dict:
+        """A bucket's manifest; a damaged one degrades to empty (the
+        manifest is a cache — disk directories stay ground truth)."""
+        if not path.exists():
+            return {"schema": SHARD_SCHEMA, "campaigns": {}}
+        try:
+            data = json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return {"schema": SHARD_SCHEMA, "campaigns": {}}
+        if data.get("schema") != SHARD_SCHEMA or not isinstance(
+            data.get("campaigns"), dict
+        ):
+            return {"schema": SHARD_SCHEMA, "campaigns": {}}
+        return data
+
+    def _shard_cache(self) -> dict[str, dict]:
+        """dirname → shard-manifest entry, merged over every bucket."""
+        out: dict[str, dict] = {}
+        shards = self.root / SHARD_DIR
+        if self._layout == 1 or not shards.is_dir():
+            return out
+        for path in shards.glob(f"*/{_SHARD_MANIFEST}"):
+            out.update(self._read_shard(path).get("campaigns", {}))
+        return out
+
+    def _stat_snapshot(self, dirname: str) -> dict[str, list[int]]:
+        cdir = self._campaign_dir(dirname)
+        return {
+            name: _stat_of(cdir / name)
+            for name in _TRACKED
+            if (cdir / name).exists()
+        }
+
+    def _stats_match(self, dirname: str, snapshot: dict | None) -> bool:
+        if not snapshot:
+            return False
+        cdir = self._campaign_dir(dirname)
+        for name in _TRACKED:
+            path = cdir / name
+            want = snapshot.get(name)
+            if want is None or not path.exists():
+                return False
+            if _stat_of(path) != list(want):
+                return False
+        return True
+
+    def _update_shard_entry(
+        self, dirname: str, *, meta: dict | None, verified: dict | None
+    ) -> None:
+        if self._layout != 2:
+            return
+        path = self._shard_manifest_path(dirname)
+        shard = self._read_shard(path)
+        shard["campaigns"][dirname] = {
+            "meta": meta,
+            "stat": self._stat_snapshot(dirname),
+            "verified": verified,
+        }
+        _atomic_write(
+            path, json.dumps(shard, indent=2, sort_keys=True), dirname
+        )
+
+    def _drop_shard_entry(self, dirname: str) -> None:
+        if self._layout != 2:
+            return
+        path = self._shard_manifest_path(dirname)
+        shard = self._read_shard(path)
+        if dirname in shard["campaigns"]:
+            del shard["campaigns"][dirname]
+            _atomic_write(
+                path, json.dumps(shard, indent=2, sort_keys=True), dirname
+            )
+
+    def _record_verified(self, snapshots: dict[str, dict]) -> None:
+        """Batch-record clean-verify snapshots, one write per bucket."""
+        if self._layout != 2:
+            return
+        by_bucket: dict[Path, dict[str, dict]] = {}
+        for dirname, snap in snapshots.items():
+            by_bucket.setdefault(
+                self._shard_manifest_path(dirname), {}
+            )[dirname] = snap
+        for path, group in by_bucket.items():
+            shard = self._read_shard(path)
+            for dirname, snap in group.items():
+                entry = shard["campaigns"].setdefault(
+                    dirname, {"meta": None, "stat": snap}
+                )
+                entry["verified"] = snap
+            _atomic_write(
+                path, json.dumps(shard, indent=2, sort_keys=True), ""
+            )
 
     # -- write ---------------------------------------------------------------
 
@@ -167,8 +369,9 @@ class ProfileRepository:
         derived from the result's own (kernel, arch) plus ``tag``. A
         provenance manifest (seed, config, git revision, SHA-256
         checksums of the data files, any active trace/metrics —
-        :mod:`repro.obs.manifest`) is written alongside the data. All
-        three files are written atomically (temp file + fsync + rename).
+        :mod:`repro.obs.manifest`) is written alongside the data,
+        together with the columnar matrix index. All files are written
+        atomically (temp file + fsync + rename).
         """
         if not result.records:
             raise ValueError("refusing to save an empty campaign")
@@ -176,7 +379,7 @@ class ProfileRepository:
             key = CampaignKey(kernel=result.kernel, arch=result.arch, tag=tag)
         elif tag is not None:
             raise TypeError("pass the tag inside the CampaignKey")
-        cdir = self.root / key.dirname
+        cdir = self._campaign_dir(key.dirname)
         cdir.mkdir(parents=True, exist_ok=True)
 
         counter_names = result.counter_names
@@ -194,34 +397,24 @@ class ProfileRepository:
             "machine_metrics": machine_names,
         }
         meta_text = json.dumps(meta, indent=2)
-
-        header = (
-            ["problem", "replicate", "time_s", "power_w"]
-            + [f"char:{c}" for c in char_names]
-            + [f"counter:{c}" for c in counter_names]
-            + [f"machine:{m}" for m in machine_names]
+        data_text = self._encode_rows(
+            result.records, counter_names, char_names, machine_names,
+            header=True,
         )
-        buffer = io.StringIO()
-        # "\n" terminators (not the csv default "\r\n") so the text —
-        # and therefore its checksum — is identical whether read raw or
-        # through universal-newline translation.
-        writer = csv.writer(buffer, lineterminator="\n")
-        writer.writerow(header)
-        for r in result.records:
-            writer.writerow(
-                [json.dumps(r.problem), r.replicate, repr(r.time_s),
-                 "" if r.power_w is None else repr(r.power_w)]
-                + [repr(r.characteristics[c]) for c in char_names]
-                + [repr(r.counters[c]) for c in counter_names]
-                + [repr(r.machine[m]) for m in machine_names]
-            )
-        data_text = buffer.getvalue()
 
         # Checksums are of the *intended* content; a write torn on the
         # way to disk (crash, injected fault) therefore fails verify().
         checksums = {_META: _sha256(meta_text), _DATA: _sha256(data_text)}
         _atomic_write(cdir / _META, meta_text, key.dirname)
         _atomic_write(cdir / _DATA, data_text, key.dirname)
+
+        index_text, index_payload = build_matrix_index(
+            result, data_text.encode()
+        )
+        # Payload before header: a crash in between leaves a header/
+        # payload hash mismatch, i.e. a stale (rebuildable) index.
+        _atomic_write_bytes(cdir / MATRIX_DATA, index_payload, key.dirname)
+        _atomic_write(cdir / MATRIX_META, index_text, key.dirname)
 
         manifest = build_manifest(
             kernel=result.kernel,
@@ -233,10 +426,143 @@ class ProfileRepository:
             checksums=checksums,
         )
         _atomic_write(cdir / _MANIFEST, manifest.to_json(), key.dirname)
+        self._update_shard_entry(key.dirname, meta=meta, verified=None)
         emit_event(
             "repository.save",
             campaign=key.dirname,
             n_runs=len(result.records),
+        )
+        return cdir
+
+    @staticmethod
+    def _encode_rows(
+        records: list[RunRecord],
+        counter_names: list[str],
+        char_names: list[str],
+        machine_names: list[str],
+        *,
+        header: bool,
+    ) -> str:
+        buffer = io.StringIO()
+        # "\n" terminators (not the csv default "\r\n") so the text —
+        # and therefore its checksum — is identical whether read raw or
+        # through universal-newline translation.
+        writer = csv.writer(buffer, lineterminator="\n")
+        if header:
+            writer.writerow(
+                ["problem", "replicate", "time_s", "power_w"]
+                + [f"char:{c}" for c in char_names]
+                + [f"counter:{c}" for c in counter_names]
+                + [f"machine:{m}" for m in machine_names]
+            )
+        for r in records:
+            writer.writerow(
+                [json.dumps(r.problem), r.replicate, repr(r.time_s),
+                 "" if r.power_w is None else repr(r.power_w)]
+                + [repr(r.characteristics[c]) for c in char_names]
+                + [repr(r.counters[c]) for c in counter_names]
+                + [repr(r.machine[m]) for m in machine_names]
+            )
+        return buffer.getvalue()
+
+    def append(
+        self,
+        result: CampaignResult,
+        tag: str | None = None,
+        *,
+        key: CampaignKey | None = None,
+        seed: int | None = None,
+        config: dict | None = None,
+    ) -> Path:
+        """Append new runs to a stored campaign (streaming collection).
+
+        The existing data file is integrity-checked first, the new rows
+        are encoded with the stored column schema (every stored counter/
+        characteristic/machine column must be present in the new
+        records), and meta, manifest and the columnar index are updated
+        in one pass — the index incrementally, without re-parsing the
+        old rows. Saving a key that does not exist yet falls back to
+        :meth:`save`.
+        """
+        if not result.records:
+            raise ValueError("refusing to append an empty campaign")
+        if key is None:
+            key = CampaignKey(kernel=result.kernel, arch=result.arch, tag=tag)
+        elif tag is not None:
+            raise TypeError("pass the tag inside the CampaignKey")
+        if not self.has(key):
+            return self.save(result, key=key, seed=seed, config=config)
+
+        cdir = self._campaign_dir(key.dirname)
+        meta = json.loads(_read_text(cdir / _META))
+        if meta.get("kernel") != result.kernel or meta.get("arch") != result.arch:
+            raise ValueError(
+                f"cannot append {result.kernel!r}/{result.arch!r} runs to "
+                f"campaign {key.dirname!r} "
+                f"({meta.get('kernel')!r}/{meta.get('arch')!r})"
+            )
+        old_bytes = (cdir / _DATA).read_bytes()
+        old_text = old_bytes.decode()
+        manifest = self.load_manifest(key)
+        if manifest is not None:
+            self._check_checksums(
+                key.dirname, manifest.checksums, {_DATA: old_text}
+            )
+        try:
+            new_rows = self._encode_rows(
+                result.records,
+                meta["counters"],
+                meta["characteristics"],
+                meta["machine_metrics"],
+                header=False,
+            )
+        except KeyError as exc:
+            raise ValueError(
+                f"cannot append to {key.dirname!r}: new records lack stored "
+                f"column {exc.args[0]!r}"
+            ) from None
+        data_text = old_text + new_rows
+        meta["n_runs"] = int(meta["n_runs"] or 0) + len(result.records)
+        meta_text = json.dumps(meta, indent=2)
+        checksums = {_META: _sha256(meta_text), _DATA: _sha256(data_text)}
+        _atomic_write(cdir / _META, meta_text, key.dirname)
+        _atomic_write(cdir / _DATA, data_text, key.dirname)
+
+        loaded = self._load_index(key.dirname, expect_source=old_bytes)
+        if loaded is not None:
+            extended = extend_matrix_index(
+                loaded[0], loaded[1], result, data_text.encode()
+            )
+        else:
+            extended = None
+        if extended is not None:
+            _atomic_write_bytes(cdir / MATRIX_DATA, extended[1], key.dirname)
+            _atomic_write(cdir / MATRIX_META, extended[0], key.dirname)
+        else:
+            # Stale or absent index: drop it; matrix() rebuilds lazily.
+            for name in (MATRIX_META, MATRIX_DATA):
+                (cdir / name).unlink(missing_ok=True)
+
+        new_manifest = build_manifest(
+            kernel=result.kernel,
+            arch=result.arch,
+            tag=key.tag,
+            seed=seed if seed is not None else (
+                manifest.seed if manifest is not None else None
+            ),
+            n_runs=meta["n_runs"],
+            config=config or (
+                dict(manifest.config) if manifest is not None else {}
+            ),
+            checksums=checksums,
+        )
+        _atomic_write(cdir / _MANIFEST, new_manifest.to_json(), key.dirname)
+        self._update_shard_entry(key.dirname, meta=meta, verified=None)
+        emit_event(
+            "repository.append",
+            campaign=key.dirname,
+            n_new=len(result.records),
+            n_runs=meta["n_runs"],
         )
         return cdir
 
@@ -245,18 +571,33 @@ class ProfileRepository:
     def list_campaigns(self) -> list[dict]:
         """Metadata of every stored campaign.
 
-        Campaigns whose ``meta.json`` no longer parses are skipped with
-        a warning (run :meth:`verify`/:meth:`quarantine` on them) so one
-        damaged directory cannot take down enumeration of the rest.
+        In the sharded layout the answer is served from the per-bucket
+        manifests whenever the cached entry's file stats still match the
+        disk — only changed campaigns are re-parsed. Campaigns whose
+        ``meta.json`` no longer parses are skipped with a warning (run
+        :meth:`verify`/:meth:`quarantine` on them) so one damaged
+        directory cannot take down enumeration of the rest.
         """
+        cache = self._shard_cache()
         out = []
-        for meta_path in sorted(self.root.glob(f"*/{_META}")):
+        for dirname in self._campaign_dirnames():
+            meta_path = self._campaign_dir(dirname) / _META
+            if not meta_path.exists():
+                continue
+            entry = cache.get(dirname)
+            if (
+                entry is not None
+                and entry.get("meta") is not None
+                and entry.get("stat", {}).get(_META) == _stat_of(meta_path)
+            ):
+                out.append(entry["meta"])
+                continue
             try:
                 out.append(json.loads(_read_text(meta_path)))
             except (json.JSONDecodeError, RepositoryIntegrityError):
                 warn_once(
-                    f"ProfileRepository:unreadable:{meta_path.parent.name}",
-                    f"skipping campaign {meta_path.parent.name!r}: corrupt "
+                    f"ProfileRepository:unreadable:{dirname}",
+                    f"skipping campaign {dirname!r}: corrupt "
                     f"meta.json (see ProfileRepository.verify)",
                 )
         return out
@@ -269,6 +610,10 @@ class ProfileRepository:
             )
             for m in self.list_campaigns()
         ]
+
+    def iter_keys(self):
+        """Iterate stored keys (:class:`repro.core.RunStore`)."""
+        yield from self.keys()
 
     def load(
         self,
@@ -286,7 +631,7 @@ class ProfileRepository:
         ``KeyError``.
         """
         key = _as_key(key, arch, tag)
-        cdir = self.root / key.dirname
+        cdir = self._campaign_dir(key.dirname)
         meta_path = cdir / _META
         if not meta_path.exists():
             raise FileNotFoundError(
@@ -363,6 +708,123 @@ class ProfileRepository:
             )
         return result
 
+    # -- columnar index ------------------------------------------------------
+
+    def _load_index(
+        self, dirname: str, expect_source: bytes | None = None
+    ) -> tuple[dict, np.ndarray] | None:
+        """The campaign's (header, table) when present *and fresh*.
+
+        Freshness means the header's ``payload_sha256`` matches the
+        ``.npy`` bytes and its ``source_sha256`` matches the current
+        ``runs.csv`` bytes (or ``expect_source`` when given). Anything
+        else — missing, unparseable, wrong schema, hash mismatch —
+        returns ``None``: a stale index is rebuilt, never served.
+        """
+        cdir = self._campaign_dir(dirname)
+        meta_path = cdir / MATRIX_META
+        data_path = cdir / MATRIX_DATA
+        src_path = cdir / _DATA
+        if not meta_path.exists() or not data_path.exists():
+            return None
+        try:
+            header = json.loads(meta_path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if header.get("schema") != MATRIX_SCHEMA:
+            return None
+        payload = data_path.read_bytes()
+        if _sha256_bytes(payload) != header.get("payload_sha256"):
+            return None
+        source = expect_source
+        if source is None:
+            if not src_path.exists():
+                return None
+            source = src_path.read_bytes()
+        if _sha256_bytes(source) != header.get("source_sha256"):
+            return None
+        try:
+            table = np.load(io.BytesIO(payload), allow_pickle=False)
+        except (ValueError, OSError):
+            return None
+        n_cols = (
+            len(header.get("counters", []))
+            + len(header.get("characteristics", []))
+            + len(header.get("machine_metrics", []))
+            + 2
+        )
+        if table.ndim != 2 or table.shape != (header.get("n_runs"), n_cols):
+            return None
+        return header, table
+
+    def rebuild_index(
+        self,
+        key: CampaignKey | str,
+        arch: str | None = None,
+        tag: str | None = None,
+    ) -> Path:
+        """(Re)build the columnar index from the stored CSV.
+
+        Loads the campaign through the full integrity-checked path — a
+        corrupt campaign raises instead of indexing damaged data — and
+        persists a fresh ``repro-matrix/1`` sidecar. Returns the
+        campaign directory.
+        """
+        key = _as_key(key, arch, tag)
+        result = self.load(key)
+        cdir = self._campaign_dir(key.dirname)
+        index_text, index_payload = build_matrix_index(
+            result, (cdir / _DATA).read_bytes()
+        )
+        _atomic_write_bytes(cdir / MATRIX_DATA, index_payload, key.dirname)
+        _atomic_write(cdir / MATRIX_META, index_text, key.dirname)
+        return cdir
+
+    def matrix(
+        self,
+        key: CampaignKey | str,
+        counters=None,
+        include_characteristics: bool = True,
+        include_machine: bool = False,
+        response: str = "time",
+        missing: str = "raise",
+    ) -> tuple[np.ndarray, np.ndarray, list[str]]:
+        """Predictor matrix X, response y and column names — served from
+        the columnar index without re-parsing the CSV.
+
+        Same semantics (and bit-identical values) as loading the
+        campaign and calling :meth:`CampaignResult.matrix`. A missing or
+        stale index is rebuilt first (through the integrity-checked load
+        path); the staleness check hashes the current ``runs.csv``
+        bytes, so a mutated campaign is never answered from its old
+        index.
+        """
+        if not isinstance(key, CampaignKey):
+            raise TypeError("matrix() is addressed by CampaignKey")
+        if not self.has(key):
+            raise FileNotFoundError(
+                f"no campaign stored for {key.kernel!r} on {key.arch!r}"
+            )
+        loaded = self._load_index(key.dirname)
+        if loaded is None:
+            self.rebuild_index(key)
+            loaded = self._load_index(key.dirname)
+            if loaded is None:  # pragma: no cover - rebuild always lands
+                raise RepositoryIntegrityError(
+                    f"repository corrupt: could not rebuild matrix index "
+                    f"for {key.dirname}"
+                )
+        header, table = loaded
+        return select_matrix(
+            header,
+            table,
+            counters=counters,
+            include_characteristics=include_characteristics,
+            include_machine=include_machine,
+            response=response,
+            missing=missing,
+        )
+
     @staticmethod
     def _check_checksums(
         dirname: str, expected: dict, actual_texts: dict[str, str]
@@ -418,7 +880,7 @@ class ProfileRepository:
         tag: str | None = None,
     ) -> bool:
         key = _as_key(key, arch, tag)
-        return (self.root / key.dirname / _META).exists()
+        return (self._campaign_dir(key.dirname) / _META).exists()
 
     def load_manifest(
         self,
@@ -433,7 +895,7 @@ class ProfileRepository:
         but no longer parses.
         """
         key = _as_key(key, arch, tag)
-        path = self.root / key.dirname / _MANIFEST
+        path = self._campaign_dir(key.dirname) / _MANIFEST
         if not path.exists():
             return None
         try:
@@ -458,7 +920,7 @@ class ProfileRepository:
         from. ``None`` for legacy campaigns without a manifest.
         """
         key = _as_key(key, arch, tag)
-        path = self.root / key.dirname / _MANIFEST
+        path = self._campaign_dir(key.dirname) / _MANIFEST
         if not path.exists():
             return None
         return _sha256(_read_text(path))
@@ -475,14 +937,14 @@ class ProfileRepository:
 
         Checks, without mutating anything: files present and parseable,
         manifest checksums match the bytes on disk, row count matches
-        the metadata. Designed to be cheap enough to run over a whole
-        repository (``repro repo verify``).
+        the metadata, matrix index fresh. Always a full check; the
+        stat-based fast path belongs to :meth:`verify_all`.
         """
         key = _as_key(key, arch, tag)
         return self._verify_dirname(key.dirname)
 
     def _verify_dirname(self, dirname: str) -> list[str]:
-        cdir = self.root / dirname
+        cdir = self._campaign_dir(dirname)
         findings: list[str] = []
         if not cdir.is_dir():
             return [f"{dirname}: campaign directory missing"]
@@ -529,8 +991,30 @@ class ProfileRepository:
                     f"{dirname}/{_DATA}: corrupt (row count {n_rows} != "
                     f"meta n_runs {meta['n_runs']})"
                 )
+        findings.extend(self._index_findings(cdir, dirname))
         findings.extend(self._schema_findings(cdir, dirname))
         return findings
+
+    def _index_findings(self, cdir: Path, dirname: str) -> list[str]:
+        """Freshness of the (optional, derived) columnar index.
+
+        A stale or damaged index is *not* corruption of the campaign —
+        ``matrix()`` rebuilds it from the CSV — so the finding is
+        labelled legacy/drift and ``repro repo verify`` reports it
+        without quarantining.
+        """
+        if not (cdir / MATRIX_META).exists() and not (
+            cdir / MATRIX_DATA
+        ).exists():
+            # No index at all is normal (legacy campaign, or dropped
+            # after an append): matrix() builds one lazily.
+            return []
+        if self._load_index(dirname) is None:
+            return [
+                f"{dirname}/{MATRIX_META}: legacy/drift (stale matrix "
+                f"index; rebuilt on next matrix())"
+            ]
+        return []
 
     @staticmethod
     def _schema_findings(cdir: Path, dirname: str) -> list[str]:
@@ -564,18 +1048,37 @@ class ProfileRepository:
                     )
         return findings
 
-    def verify_all(self) -> dict[str, list[str]]:
+    def verify_all(self, full: bool = False) -> dict[str, list[str]]:
         """:meth:`verify` over every campaign directory (by dirname).
 
         Enumerates raw directories rather than :meth:`keys` so campaigns
         whose metadata is too damaged to list still get checked. The
         quarantine area is skipped — it holds known-bad data.
+
+        In the sharded layout the check is O(changed): campaigns whose
+        tracked files' (size, mtime) still match the snapshot recorded
+        at their last *clean* verify are skipped, and a clean full check
+        records a fresh snapshot. ``full=True`` re-hashes everything
+        (catches same-size same-mtime rewrites the stat check cannot).
         """
-        return {
-            cdir.name: self._verify_dirname(cdir.name)
-            for cdir in sorted(self.root.iterdir())
-            if cdir.is_dir() and cdir.name != _QUARANTINE
-        }
+        cache = {} if full else self._shard_cache()
+        out: dict[str, list[str]] = {}
+        clean_snapshots: dict[str, dict] = {}
+        for dirname in self._campaign_dirnames():
+            entry = cache.get(dirname)
+            if (
+                entry is not None
+                and self._stats_match(dirname, entry.get("verified"))
+            ):
+                out[dirname] = []
+                continue
+            findings = self._verify_dirname(dirname)
+            out[dirname] = findings
+            if not findings:
+                clean_snapshots[dirname] = self._stat_snapshot(dirname)
+        if clean_snapshots:
+            self._record_verified(clean_snapshots)
+        return out
 
     def quarantine(
         self,
@@ -590,7 +1093,7 @@ class ProfileRepository:
         Returns the new location.
         """
         key = _as_key(key, arch, tag)
-        if not (self.root / key.dirname).is_dir():
+        if not self._campaign_dir(key.dirname).is_dir():
             raise FileNotFoundError(
                 f"no campaign stored for {key.kernel!r} on {key.arch!r}"
             )
@@ -604,8 +1107,120 @@ class ProfileRepository:
         while target.exists():
             target = qdir / f"{dirname}.{suffix}"
             suffix += 1
-        os.replace(self.root / dirname, target)
+        os.replace(self._campaign_dir(dirname), target)
+        self._drop_shard_entry(dirname)
         return target
+
+    # -- layout migration ----------------------------------------------------
+
+    def migrate(self, build_index: bool = True) -> dict:
+        """Upgrade a flat v1 tree to the sharded v2 layout, in place.
+
+        Campaign directories are renamed (``os.replace``) into their
+        hash buckets — file contents are untouched, so the migration
+        round-trips bit-identically — then shard manifests and columnar
+        indexes are built and a full :meth:`verify_all` runs. Idempotent:
+        migrating a v2 repository only refreshes manifests/indexes.
+        Returns a summary dict (``migrated``, ``indexed``, ``skipped``,
+        ``findings``).
+        """
+        moved = 0
+        if self._layout == 1:
+            for cdir in sorted(self.root.iterdir()):
+                if not cdir.is_dir() or cdir.name in (_QUARANTINE, SHARD_DIR):
+                    continue
+                bucket = self.root / SHARD_DIR / shard_of(cdir.name)
+                bucket.mkdir(parents=True, exist_ok=True)
+                os.replace(cdir, bucket / cdir.name)
+                moved += 1
+            _atomic_write(
+                self.root / _REPO_MARKER,
+                json.dumps({"schema": REPO_SCHEMA, "layout": 2}, indent=2),
+                "",
+            )
+            self._layout = 2
+
+        indexed = 0
+        skipped: list[str] = []
+        for dirname in self._campaign_dirnames():
+            cdir = self._campaign_dir(dirname)
+            meta: dict | None
+            try:
+                meta = json.loads(_read_text(cdir / _META))
+            except (OSError, json.JSONDecodeError, RepositoryIntegrityError):
+                meta = None
+            self._update_shard_entry(dirname, meta=meta, verified=None)
+            if not build_index or self._load_index(dirname) is not None:
+                continue
+            try:
+                self.rebuild_index(self._dirname_key(dirname, meta))
+                indexed += 1
+            except (ValueError, FileNotFoundError, KeyError):
+                # Corrupt or legacy-unreadable campaign: leave it for
+                # verify_all below to report; never index damaged data.
+                skipped.append(dirname)
+        findings = self.verify_all(full=True)
+        summary = {
+            "layout": 2,
+            "migrated": moved,
+            "indexed": indexed,
+            "skipped": sorted(skipped),
+            "findings": {d: f for d, f in findings.items() if f},
+        }
+        emit_event(
+            "repository.migrate",
+            migrated=moved,
+            indexed=indexed,
+            skipped=len(skipped),
+        )
+        return summary
+
+    @staticmethod
+    def _dirname_key(dirname: str, meta: dict | None) -> CampaignKey:
+        """Best-effort key for a raw directory (migration bookkeeping)."""
+        if meta and meta.get("kernel") and meta.get("arch"):
+            return CampaignKey(
+                kernel=meta["kernel"],
+                arch=meta["arch"],
+                tag=meta.get("tag") or None,
+            )
+        parts = dirname.split("__")
+        if len(parts) >= 2:
+            return CampaignKey(
+                kernel=parts[0], arch=parts[1],
+                tag="__".join(parts[2:]) or None,
+            )
+        raise ValueError(f"cannot derive a CampaignKey for {dirname!r}")
+
+    def stats(self) -> dict:
+        """Repository shape at a glance: layout, campaign/run counts,
+        shard fill and index freshness (``repro repo stats``)."""
+        dirnames = self._campaign_dirnames()
+        runs = sum(
+            int(m.get("n_runs") or 0) for m in self.list_campaigns()
+        )
+        fill: dict[str, int] = {}
+        fresh = stale = missing = 0
+        for dirname in dirnames:
+            fill[shard_of(dirname)] = fill.get(shard_of(dirname), 0) + 1
+            cdir = self._campaign_dir(dirname)
+            if not (cdir / MATRIX_META).exists():
+                missing += 1
+            elif self._load_index(dirname) is None:
+                stale += 1
+            else:
+                fresh += 1
+        return {
+            "layout": self._layout,
+            "campaigns": len(dirnames),
+            "runs": runs,
+            "shards": {
+                "used": len(fill),
+                "total": 256 if self._layout == 2 else 1,
+                "max_fill": max(fill.values(), default=0),
+            },
+            "index": {"fresh": fresh, "stale": stale, "missing": missing},
+        }
 
 
 def __getattr__(name: str):

@@ -25,13 +25,13 @@ from __future__ import annotations
 
 import hashlib
 import json
-import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.ml.forest import RandomForestRegressor
-from repro.ml.tree import RegressionTree
+from repro.ml.tree import tree_from_dict as _tree_from_dict
+from repro.ml.tree import tree_to_dict as _tree_to_dict
 
 __all__ = [
     "SCHEMA",
@@ -43,38 +43,6 @@ __all__ = [
 
 #: Schema tag written into every serialized fit artifact.
 SCHEMA = "repro-fit/1"
-
-
-def _tree_to_dict(tree: RegressionTree) -> dict:
-    thresholds = [
-        None if math.isnan(t) else float(t)
-        for t in tree.threshold_.tolist()
-    ]
-    return {
-        "feature": tree.feature_.tolist(),
-        "threshold": thresholds,
-        "left": tree.left_.tolist(),
-        "right": tree.right_.tolist(),
-        "value": tree.value_.tolist(),
-        "n_node_samples": tree.n_node_samples_.tolist(),
-    }
-
-
-def _tree_from_dict(data: dict, n_features: int) -> RegressionTree:
-    tree = RegressionTree()
-    tree.n_features_ = n_features
-    tree.feature_ = np.asarray(data["feature"], dtype=np.intp)
-    tree.threshold_ = np.asarray(
-        [np.nan if t is None else t for t in data["threshold"]], dtype=float
-    )
-    tree.left_ = np.asarray(data["left"], dtype=np.intp)
-    tree.right_ = np.asarray(data["right"], dtype=np.intp)
-    tree.value_ = np.asarray(data["value"], dtype=float)
-    tree.n_node_samples_ = np.asarray(
-        data.get("n_node_samples", [0] * len(data["feature"])), dtype=np.intp
-    )
-    tree.impurity_decrease_ = np.zeros(n_features)
-    return tree
 
 
 def forest_to_dict(forest: RandomForestRegressor) -> dict:

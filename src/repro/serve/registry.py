@@ -26,12 +26,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Iterator
 
+from repro.core.store import CampaignKey
 from repro.obs import build_manifest
 from repro.obs.log import emit as emit_event
-from repro.profiling.repository import CampaignKey
 
 from .artifact import ServableFit
 
@@ -264,3 +266,122 @@ class FitRegistry:
                 )
             )
         return out
+
+    def iter_keys(self) -> Iterator[CampaignKey]:
+        """Iterate published campaign keys (the :class:`RunStore` spelling
+        of :meth:`keys`)."""
+        yield from self.keys()
+
+    # -- integrity -----------------------------------------------------
+
+    def _dirnames(self) -> list[str]:
+        return sorted(p.parent.name for p in self.root.glob(f"*/{_INDEX}"))
+
+    def verify(self, key: CampaignKey) -> list[str]:
+        """Integrity findings for every published version of one key.
+
+        Checks what :meth:`load` would check — index parses, each
+        indexed version has its artifact, the artifact's SHA-256 matches
+        the manifest's record — without deserializing the forests.
+        Returns human-readable findings; empty means clean.
+        """
+        return self._verify_dirname(key.dirname)
+
+    def _verify_dirname(self, dirname: str) -> list[str]:
+        try:
+            index = self._read_index(self.root / dirname / _INDEX)
+        except RegistryIntegrityError as exc:
+            return [str(exc)]
+        findings: list[str] = []
+        for version in index["versions"]:
+            fit_path = self.root / dirname / version / _FIT
+            if not fit_path.exists():
+                findings.append(
+                    f"registry corrupt: {dirname}/{version}/{_FIT} is "
+                    f"indexed but missing on disk"
+                )
+                continue
+            try:
+                payload = fit_path.read_text()
+            except UnicodeDecodeError as exc:
+                findings.append(
+                    f"registry corrupt: {dirname}/{version}/{_FIT} is "
+                    f"not valid UTF-8 ({exc})"
+                )
+                continue
+            try:
+                expected = self._expected_digest(
+                    _DirnameKey(dirname), version
+                )
+            except RegistryIntegrityError as exc:
+                findings.append(str(exc))
+                continue
+            if expected is None:
+                findings.append(
+                    f"registry corrupt: {dirname}/{version}/{_MANIFEST} "
+                    f"records no {_FIT} digest"
+                )
+            elif _sha256(payload) != expected:
+                findings.append(
+                    f"BF610: registry corrupt: {dirname}/{version}/{_FIT} "
+                    f"digest mismatch (manifest records {expected[:12]}…, "
+                    f"disk has {_sha256(payload)[:12]}…)"
+                )
+        return findings
+
+    def verify_all(self) -> dict[str, list[str]]:
+        """Findings for every campaign with damage; clean registry → ``{}``."""
+        out: dict[str, list[str]] = {}
+        for dirname in self._dirnames():
+            findings = self._verify_dirname(dirname)
+            if findings:
+                out[dirname] = findings
+        return out
+
+    # -- retention -----------------------------------------------------
+
+    def gc(self, keep_latest: int = 1, *, cache=None) -> dict[str, list[str]]:
+        """Drop all but the newest ``keep_latest`` versions of every key.
+
+        Removes the version directories, rewrites each index to its
+        retained tail (publish order preserved), and — when a
+        :class:`~repro.serve.cache.FitCache` is passed — invalidates the
+        cache entry of every removed version so a warm server cannot
+        keep serving a fit the registry no longer holds. Returns
+        ``{dirname: [removed versions...]}``.
+        """
+        if keep_latest < 1:
+            raise ValueError(
+                f"keep_latest must be >= 1; got {keep_latest}"
+            )
+        removed: dict[str, list[str]] = {}
+        for dirname in self._dirnames():
+            index_path = self.root / dirname / _INDEX
+            index = self._read_index(index_path)
+            versions = index["versions"]
+            drop = versions[:-keep_latest]
+            if not drop:
+                continue
+            for version in drop:
+                shutil.rmtree(self.root / dirname / version, ignore_errors=True)
+                if cache is not None:
+                    cache.invalidate((dirname, version))
+            index["versions"] = versions[-keep_latest:]
+            _atomic_write(
+                index_path, json.dumps(index, sort_keys=True) + "\n"
+            )
+            removed[dirname] = drop
+        emit_event(
+            "registry.gc",
+            keep_latest=keep_latest,
+            removed=sum(len(v) for v in removed.values()),
+        )
+        return removed
+
+
+class _DirnameKey:
+    """Duck-typed key for digest lookups addressed by directory name alone
+    (verification walks directories; kernel/arch need not be parseable)."""
+
+    def __init__(self, dirname: str) -> None:
+        self.dirname = dirname

@@ -36,7 +36,7 @@ import numpy as np
 from repro.obs import metrics as obs_metrics
 from repro.obs.log import emit as emit_event
 from repro.obs.metrics import MetricsRegistry
-from repro.profiling.repository import CampaignKey
+from repro.core.store import CampaignKey
 
 from .cache import FitCache
 from .registry import FitRegistry, RegistryIntegrityError

@@ -318,3 +318,41 @@ class TestValidateFields:
             bad, "repro-checkpoint/1", entry=True
         )
         assert problems and problems[0].startswith("BF602")
+
+
+class TestRepositoryV2Artifacts:
+    """The four formats added with the sharded layout all validate."""
+
+    def _v2_repo(self, tmp_path):
+        repo = ProfileRepository(tmp_path / "repo")
+        cdir = repo.save(run_campaign(tmp_path))
+        return repo, cdir
+
+    def test_registered(self):
+        for tag in ("repro-repo/1", "repro-shard/1", "repro-matrix/1",
+                    "repro-forest-state/1"):
+            assert tag in SCHEMAS
+
+    def test_repo_marker(self, tmp_path):
+        repo, _ = self._v2_repo(tmp_path)
+        assert validate_artifact(repo.root / "repo.json") == []
+
+    def test_shard_manifest(self, tmp_path):
+        repo, cdir = self._v2_repo(tmp_path)
+        assert validate_artifact(cdir.parent / "shard.json") == []
+
+    def test_matrix_header(self, tmp_path):
+        _, cdir = self._v2_repo(tmp_path)
+        assert validate_artifact(cdir / "matrix.json") == []
+
+    def test_forest_state(self, tmp_path):
+        from repro.ml import fit_from_repo
+        from repro.profiling.repository import CampaignKey
+
+        repo, _ = self._v2_repo(tmp_path)
+        state = tmp_path / "state.json"
+        fit_from_repo(
+            repo, CampaignKey("vectorAdd", "GTX580"),
+            state_path=state, n_trees=3, seed=0,
+        )
+        assert validate_artifact(state) == []

@@ -1,0 +1,221 @@
+"""Incremental fits: refit determinism, state round-trip, pinned fallback.
+
+The acceptance contract: a fit-then-refit sequence is bit-for-bit
+reproducible at any ``n_jobs``; restoring serialized forest state and
+refitting equals the in-process sequence exactly; and any mismatch
+(config, columns, edited data) falls back to a full deterministic fit —
+never a silently different incremental one.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GTX580
+from repro.kernels import VectorAddKernel
+from repro.ml import (
+    RandomForestRegressor,
+    fit_from_repo,
+    forest_state,
+    restore_forest,
+)
+from repro.profiling.campaign import Campaign
+from repro.profiling.repository import CampaignKey, ProfileRepository
+
+KEY = CampaignKey("vectorAdd", "GTX580")
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(80, 5))
+    y = X[:, 0] * 2.0 + np.sin(X[:, 1]) + rng.normal(scale=0.2, size=80)
+    return X, y
+
+
+def _forests_equal(a, b, probe):
+    assert len(a.trees_) == len(b.trees_)
+    assert np.array_equal(a.predict(probe), b.predict(probe))
+    assert np.array_equal(a.oob_prediction_, b.oob_prediction_,
+                          equal_nan=True)
+    assert a.oob_mse_ == b.oob_mse_
+    assert np.array_equal(a.importance_, b.importance_)
+    assert np.array_equal(a.impurity_importance_, b.impurity_importance_)
+
+
+class TestRefit:
+    def test_refit_grows_scaled_tree_count(self, data):
+        X, y = data
+        f = RandomForestRegressor(n_trees=10, rng=3).fit(X[:60], y[:60])
+        f.refit(X, y)
+        # 20 new rows on 80 total -> round(10 * 20/80) = 2 or 3 trees
+        assert f._generations == [
+            {"n_trees": 10, "n_rows": 60},
+            {"n_trees": f.n_trees - 10, "n_rows": 80},
+        ]
+        assert f.n_trees == len(f.trees_) > 10
+
+    def test_bit_identical_at_any_n_jobs(self, data):
+        X, y = data
+        probe = X[:16]
+        fitted = []
+        for jobs in (1, 2):
+            f = RandomForestRegressor(n_trees=9, rng=11, n_jobs=jobs)
+            f.fit(X[:60], y[:60])
+            f.refit(X, y, n_new_trees=4)
+            fitted.append(f)
+        _forests_equal(fitted[0], fitted[1], probe)
+
+    def test_no_new_rows_is_noop_by_default(self, data):
+        X, y = data
+        f = RandomForestRegressor(n_trees=5, rng=0).fit(X, y)
+        assert f.refit(X, y) is f
+        assert len(f.trees_) == 5
+
+    def test_explicit_trees_on_same_rows(self, data):
+        X, y = data
+        f = RandomForestRegressor(n_trees=5, rng=0).fit(X, y)
+        f.refit(X, y, n_new_trees=3)
+        assert len(f.trees_) == 8
+
+    def test_append_only_enforced(self, data):
+        X, y = data
+        f = RandomForestRegressor(n_trees=4, rng=0).fit(X, y)
+        with pytest.raises(ValueError, match="append-only"):
+            f.refit(X[:40], y[:40])
+        with pytest.raises(ValueError, match="width"):
+            f.refit(X[:, :3], y)
+
+    def test_refit_requires_fit(self, data):
+        X, y = data
+        with pytest.raises(RuntimeError, match="fit"):
+            RandomForestRegressor(n_trees=4, rng=0).refit(X, y)
+
+
+class TestStateRoundtrip:
+    def test_json_roundtrip_bit_identical(self, data):
+        X, y = data
+        probe = X[:16]
+        f = RandomForestRegressor(n_trees=7, rng=5).fit(X, y)
+        state = json.loads(json.dumps(forest_state(f), sort_keys=True))
+        g = restore_forest(state, X, y)
+        _forests_equal(f, g, probe)
+
+    def test_restored_refit_equals_inprocess_refit(self, data):
+        X, y = data
+        probe = X[:16]
+        f = RandomForestRegressor(n_trees=7, rng=5).fit(X[:60], y[:60])
+        state = json.loads(json.dumps(forest_state(f), sort_keys=True))
+        f.refit(X, y, n_new_trees=3)
+        g = restore_forest(state, X[:60], y[:60])
+        g.refit(X, y, n_new_trees=3)
+        _forests_equal(f, g, probe)
+
+    def test_requires_integer_seed(self, data):
+        X, y = data
+        f = RandomForestRegressor(
+            n_trees=3, rng=np.random.default_rng(0)
+        ).fit(X, y)
+        with pytest.raises(ValueError, match="integer"):
+            forest_state(f)
+
+    def test_restore_refuses_mismatched_data(self, data):
+        X, y = data
+        f = RandomForestRegressor(n_trees=3, rng=5).fit(X, y)
+        state = forest_state(f)
+        with pytest.raises(ValueError, match="fingerprint"):
+            restore_forest(state, X, y + 1.0)
+
+    def test_restore_refuses_unknown_schema(self, data):
+        X, y = data
+        f = RandomForestRegressor(n_trees=3, rng=5).fit(X, y)
+        state = forest_state(f)
+        state["schema"] = "repro-forest-state/999"
+        with pytest.raises(ValueError, match="schema"):
+            restore_forest(state, X, y)
+
+
+class TestFitFromRepo:
+    @pytest.fixture(scope="class")
+    def seeded_repo(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("repo")
+        repo = ProfileRepository(root)
+        first = Campaign(VectorAddKernel(), GTX580, rng=0).run(
+            problems=[1 << 14, 1 << 15], replicates=2
+        )
+        repo.save(first, seed=0)
+        return root
+
+    def test_full_then_unchanged_then_resumed(self, seeded_repo, tmp_path):
+        repo = ProfileRepository(seeded_repo)
+        state = tmp_path / "state.json"
+        cfg = dict(n_trees=6, seed=9, importance=True)
+
+        _, info = fit_from_repo(repo, KEY, state_path=state, **cfg)
+        assert info["path"] == "full"
+        assert state.is_file()
+
+        _, info = fit_from_repo(repo, KEY, state_path=state, **cfg)
+        assert info["path"] == "unchanged"
+        assert info["n_new_trees"] == 0
+
+        more = Campaign(VectorAddKernel(), GTX580, rng=4).run(
+            problems=[1 << 16], replicates=2
+        )
+        repo.append(more)
+        resumed, info = fit_from_repo(repo, KEY, state_path=state, **cfg)
+        assert info["path"] == "resumed"
+        assert info["n_new_rows"] == len(more)
+        assert info["n_new_trees"] >= 1
+
+        # Acceptance: the resumed fit equals the in-process replay.
+        X, y, names = repo.matrix(KEY)
+        n0 = info["n_rows"] - info["n_new_rows"]
+        replay = RandomForestRegressor(n_trees=6, rng=9).fit(
+            X[:n0], y[:n0], feature_names=list(names)
+        )
+        replay.refit(X, y)
+        _forests_equal(resumed, replay, X[:8])
+
+    def test_config_mismatch_falls_back_to_full(self, seeded_repo, tmp_path):
+        repo = ProfileRepository(seeded_repo)
+        state = tmp_path / "state.json"
+        fit_from_repo(repo, KEY, state_path=state, n_trees=4, seed=1)
+        _, info = fit_from_repo(
+            repo, KEY, state_path=state, n_trees=4, seed=1, max_depth=3
+        )
+        assert info["path"] == "full"
+
+    def test_corrupt_state_falls_back_to_full(self, seeded_repo, tmp_path):
+        repo = ProfileRepository(seeded_repo)
+        state = tmp_path / "state.json"
+        fit_from_repo(repo, KEY, state_path=state, n_trees=4, seed=1)
+        state.write_text("{not json")
+        forest, info = fit_from_repo(
+            repo, KEY, state_path=state, n_trees=4, seed=1
+        )
+        assert info["path"] == "full"
+        assert len(forest.trees_) == 4
+
+    def test_resumed_bit_identical_at_any_n_jobs(self, seeded_repo, tmp_path):
+        repo = ProfileRepository(seeded_repo)
+        cfg = dict(n_trees=5, seed=2)
+        states, forests = [], []
+        for jobs in (1, 2):
+            state = tmp_path / f"state{jobs}.json"
+            fit_from_repo(repo, KEY, state_path=state, n_jobs=jobs, **cfg)
+            states.append(state)
+        more = Campaign(VectorAddKernel(), GTX580, rng=6).run(
+            problems=[1 << 17], replicates=1
+        )
+        ProfileRepository(seeded_repo).append(more, tag=None)
+        for jobs, state in zip((1, 2), states):
+            f, info = fit_from_repo(
+                ProfileRepository(seeded_repo), KEY,
+                state_path=state, n_jobs=jobs, **cfg,
+            )
+            assert info["path"] == "resumed"
+            forests.append(f)
+        X, _, _ = ProfileRepository(seeded_repo).matrix(KEY)
+        _forests_equal(forests[0], forests[1], X[:8])

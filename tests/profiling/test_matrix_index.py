@@ -1,0 +1,167 @@
+"""Columnar matrix index: bit-identity, staleness, corruption refusal.
+
+The contract under test: ``ProfileRepository.matrix()`` answers from
+the ``repro-matrix/1`` sidecar with values **bit-identical** to the
+CSV-parse path for every kwarg combination; a stale or damaged index is
+rebuilt through the integrity-checked ``load()`` (never silently
+served); and a campaign whose data itself is corrupt refuses to produce
+a matrix at all.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GTX580, K20M
+from repro.kernels import VectorAddKernel
+from repro.profiling.campaign import Campaign
+from repro.profiling.index import MATRIX_DATA, MATRIX_META
+from repro.profiling.repository import (
+    CampaignKey,
+    ProfileRepository,
+    RepositoryIntegrityError,
+)
+
+KEY = CampaignKey("vectorAdd", "GTX580")
+KEY_K20 = CampaignKey("vectorAdd", "K20m")
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return Campaign(VectorAddKernel(), GTX580, rng=0).run(
+        problems=[1 << 14, 1 << 15], replicates=2
+    )
+
+
+@pytest.fixture(scope="module")
+def kepler_campaign():
+    # Kepler records power, so response="power" is exercisable.
+    return Campaign(VectorAddKernel(), K20M, rng=1).run(
+        problems=[1 << 14, 1 << 15], replicates=2
+    )
+
+
+@pytest.fixture()
+def repo(campaign, tmp_path):
+    r = ProfileRepository(tmp_path)
+    r.save(campaign, seed=0)
+    return r
+
+
+MATRIX_KWARGS = [
+    {},
+    {"include_machine": True},
+    {"include_characteristics": False},
+    {"counters": ["gld_request", "gst_request"]},
+    {"counters": ["gld_request", "not_a_counter"], "missing": "nan"},
+]
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("kwargs", MATRIX_KWARGS,
+                             ids=[str(k) for k in MATRIX_KWARGS])
+    def test_matches_parse_path(self, repo, kwargs):
+        X1, y1, n1 = repo.matrix(KEY, **kwargs)
+        X2, y2, n2 = repo.load(KEY).matrix(**kwargs)
+        assert n1 == n2
+        assert np.array_equal(X1, X2, equal_nan=True)
+        assert np.array_equal(y1, y2)
+
+    def test_power_response(self, kepler_campaign, tmp_path):
+        repo = ProfileRepository(tmp_path)
+        repo.save(kepler_campaign)
+        X1, y1, n1 = repo.matrix(KEY_K20, response="power")
+        X2, y2, n2 = repo.load(KEY_K20).matrix(response="power")
+        assert n1 == n2 and np.array_equal(y1, y2)
+
+    def test_power_refused_when_missing(self, repo):
+        with pytest.raises(ValueError, match="power"):
+            repo.matrix(KEY, response="power")
+
+    def test_unknown_counter_raises(self, repo):
+        with pytest.raises(KeyError):
+            repo.matrix(KEY, counters=["not_a_counter"])
+
+    def test_str_key_rejected(self, repo):
+        with pytest.raises(TypeError, match="CampaignKey"):
+            repo.matrix("vectorAdd")
+
+
+class TestStaleness:
+    def _cdir(self, repo):
+        return repo._campaign_dir(KEY.dirname)
+
+    def test_missing_index_rebuilds_lazily(self, repo):
+        cdir = self._cdir(repo)
+        (cdir / MATRIX_META).unlink()
+        (cdir / MATRIX_DATA).unlink()
+        X1, y1, n1 = repo.matrix(KEY)
+        X2, y2, _ = repo.load(KEY).matrix()
+        assert np.array_equal(X1, X2) and np.array_equal(y1, y2)
+        assert (cdir / MATRIX_META).is_file()  # rebuilt and persisted
+
+    def test_tampered_payload_is_rebuilt_not_served(self, repo):
+        cdir = self._cdir(repo)
+        payload = bytearray((cdir / MATRIX_DATA).read_bytes())
+        payload[-8] ^= 0xFF  # flip one float byte; header hash now wrong
+        (cdir / MATRIX_DATA).write_bytes(bytes(payload))
+        X1, y1, _ = repo.matrix(KEY)
+        X2, y2, _ = repo.load(KEY).matrix()
+        assert np.array_equal(X1, X2) and np.array_equal(y1, y2)
+
+    def test_stale_index_reported_as_drift_not_damage(self, repo):
+        cdir = self._cdir(repo)
+        (cdir / MATRIX_DATA).write_bytes(b"\x00" * 32)
+        findings = repo.verify(KEY)
+        assert any("stale matrix index" in f for f in findings)
+        assert all("legacy" in f or "drift" in f for f in findings)
+
+    def test_corrupt_data_never_served(self, repo):
+        cdir = self._cdir(repo)
+        data = (cdir / "runs.csv").read_bytes()
+        (cdir / "runs.csv").write_bytes(data[:-20] + b"torn")
+        # Index source hash no longer matches -> rebuild path -> the
+        # integrity-checked load refuses the corrupt CSV.
+        with pytest.raises(RepositoryIntegrityError, match="corrupt"):
+            repo.matrix(KEY)
+
+
+class TestAppend:
+    def test_append_extends_index_incrementally(self, campaign, tmp_path):
+        repo = ProfileRepository(tmp_path)
+        half = Campaign(VectorAddKernel(), GTX580, rng=0).run(
+            problems=[1 << 14], replicates=2
+        )
+        repo.save(half, seed=0)
+        more = Campaign(VectorAddKernel(), GTX580, rng=2).run(
+            problems=[1 << 15], replicates=2
+        )
+        repo.append(more)
+        loaded = repo.load(KEY)
+        assert len(loaded) == len(half) + len(more)
+        X1, y1, n1 = repo.matrix(KEY)
+        X2, y2, n2 = loaded.matrix()
+        assert n1 == n2
+        assert np.array_equal(X1, X2) and np.array_equal(y1, y2)
+        header = json.loads(
+            (repo._campaign_dir(KEY.dirname) / MATRIX_META).read_text()
+        )
+        assert header["n_runs"] == len(loaded)
+
+    def test_append_to_absent_campaign_saves(self, campaign, tmp_path):
+        repo = ProfileRepository(tmp_path)
+        repo.append(campaign)
+        assert repo.has(KEY)
+        assert len(repo.load(KEY)) == len(campaign)
+
+    def test_append_preserves_manifest_seed(self, campaign, tmp_path):
+        repo = ProfileRepository(tmp_path)
+        repo.save(campaign, seed=7)
+        more = Campaign(VectorAddKernel(), GTX580, rng=3).run(
+            problems=[1 << 16], replicates=1
+        )
+        repo.append(more)
+        manifest = repo.load_manifest(KEY)
+        assert manifest.seed == 7
+        assert manifest.n_runs == len(campaign) + len(more)

@@ -1,0 +1,236 @@
+"""Sharded v2 layout: shard routing, v1 compat, migration, stats.
+
+The migration contract under test: a flat v1 repository opens with a
+deprecation warning but reads fine, ``migrate()`` moves every campaign
+into its hash bucket **bit-identically** (``os.replace`` only — file
+contents untouched), and the result verifies clean. The deprecation-
+strict CI job runs this file with ``-W error::DeprecationWarning``, so
+every v1-layout open is wrapped in ``pytest.warns``.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro._compat import reset_deprecation_warnings
+from repro.core.store import SHARD_DIR, shard_of
+from repro.gpusim import GTX580
+from repro.kernels import VectorAddKernel
+from repro.profiling.campaign import Campaign
+from repro.profiling.repository import CampaignKey, ProfileRepository
+
+KEY = CampaignKey("vectorAdd", "GTX580")
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return Campaign(VectorAddKernel(), GTX580, rng=0).run(
+        problems=[1 << 14, 1 << 15], replicates=2
+    )
+
+
+def flatten_to_v1(root):
+    """Demote a v2 tree to the flat v1 layout (campaign dirs at root)."""
+    for cdir in root.glob(f"{SHARD_DIR}/*/*"):
+        if cdir.is_dir():
+            os.replace(cdir, root / cdir.name)
+    for bucket in (root / SHARD_DIR).glob("*"):
+        for leftover in bucket.glob("*"):
+            leftover.unlink()
+        bucket.rmdir()
+    (root / SHARD_DIR).rmdir()
+    (root / "repo.json").unlink()
+
+
+class TestShardedLayout:
+    def test_new_repository_is_v2(self, tmp_path):
+        repo = ProfileRepository(tmp_path)
+        assert repo.layout == 2
+        marker = json.loads((tmp_path / "repo.json").read_text())
+        assert marker == {"schema": "repro-repo/1", "layout": 2}
+
+    def test_save_lands_in_hash_bucket(self, campaign, tmp_path):
+        repo = ProfileRepository(tmp_path)
+        cdir = repo.save(campaign)
+        bucket = shard_of(KEY.dirname)
+        assert cdir == tmp_path / SHARD_DIR / bucket / KEY.dirname
+        assert (cdir / "runs.csv").is_file()
+        assert (tmp_path / SHARD_DIR / bucket / "shard.json").is_file()
+
+    def test_shard_manifest_tracks_campaign(self, campaign, tmp_path):
+        repo = ProfileRepository(tmp_path)
+        repo.save(campaign)
+        manifest = json.loads(
+            (tmp_path / SHARD_DIR / shard_of(KEY.dirname) / "shard.json")
+            .read_text()
+        )
+        assert manifest["schema"] == "repro-shard/1"
+        entry = manifest["campaigns"][KEY.dirname]
+        assert entry["meta"]["kernel"] == "vectorAdd"
+        assert "runs.csv" in entry["stat"]
+        assert entry["verified"] is None  # fresh save: not yet verified
+
+    def test_roundtrip_through_shards(self, campaign, tmp_path):
+        repo = ProfileRepository(tmp_path)
+        repo.save(campaign)
+        assert repo.has(KEY)
+        assert [k for k in repo.iter_keys()] == [KEY]
+        loaded = repo.load(KEY)
+        assert len(loaded) == len(campaign)
+
+    def test_stats(self, campaign, tmp_path):
+        repo = ProfileRepository(tmp_path)
+        repo.save(campaign)
+        s = repo.stats()
+        assert s["layout"] == 2
+        assert s["campaigns"] == 1
+        assert s["runs"] == len(campaign)
+        assert s["shards"]["used"] == 1
+        assert s["shards"]["total"] == 256
+        assert s["shards"]["max_fill"] == 1
+        assert s["index"] == {"fresh": 1, "stale": 0, "missing": 0}
+
+
+class TestVerifySnapshots:
+    def test_clean_verify_records_snapshot(self, campaign, tmp_path):
+        repo = ProfileRepository(tmp_path)
+        repo.save(campaign)
+        assert repo.verify_all() == {KEY.dirname: []}
+        manifest = json.loads(
+            (tmp_path / SHARD_DIR / shard_of(KEY.dirname) / "shard.json")
+            .read_text()
+        )
+        snap = manifest["campaigns"][KEY.dirname]["verified"]
+        assert snap is not None and "runs.csv" in snap
+
+    def test_mutation_invalidates_fast_path(self, campaign, tmp_path):
+        repo = ProfileRepository(tmp_path)
+        cdir = repo.save(campaign)
+        assert repo.verify_all() == {KEY.dirname: []}
+        data = (cdir / "runs.csv").read_bytes()
+        (cdir / "runs.csv").write_bytes(data[:-10] + b"corrupted\n")
+        findings = ProfileRepository(tmp_path).verify_all()
+        assert KEY.dirname in findings
+        assert any("corrupt" in f for f in findings[KEY.dirname])
+
+    def test_full_ignores_snapshots(self, campaign, tmp_path):
+        repo = ProfileRepository(tmp_path)
+        cdir = repo.save(campaign)
+        assert repo.verify_all() == {KEY.dirname: []}
+        # Tamper while faking the recorded stat so the fast path would
+        # be fooled; --full must still re-hash and catch it.
+        st = (cdir / "runs.csv").stat()
+        data = (cdir / "runs.csv").read_bytes()
+        swapped = data.replace(b"0", b"1", 1)
+        assert swapped != data and len(swapped) == len(data)
+        (cdir / "runs.csv").write_bytes(swapped)
+        os.utime(cdir / "runs.csv", ns=(st.st_atime_ns, st.st_mtime_ns))
+        assert repo.verify_all() == {KEY.dirname: []}  # fast path fooled
+        findings = repo.verify_all(full=True)
+        assert any("corrupt" in f for f in findings[KEY.dirname])
+
+
+class TestV1Compat:
+    @pytest.fixture(autouse=True)
+    def _fresh_shims(self):
+        reset_deprecation_warnings()
+        yield
+        reset_deprecation_warnings()
+
+    def _make_v1(self, campaign, root):
+        ProfileRepository(root).save(campaign)
+        flatten_to_v1(root)
+
+    def test_flat_layout_opens_with_warning(self, campaign, tmp_path):
+        self._make_v1(campaign, tmp_path)
+        with pytest.warns(DeprecationWarning, match="repro repo migrate"):
+            repo = ProfileRepository(tmp_path)
+        assert repo.layout == 1
+        loaded = repo.load(KEY)
+        assert len(loaded) == len(campaign)
+
+    def test_v1_matrix_works(self, campaign, tmp_path):
+        self._make_v1(campaign, tmp_path)
+        with pytest.warns(DeprecationWarning):
+            repo = ProfileRepository(tmp_path)
+        X, y, names = repo.matrix(KEY)
+        X2, y2, n2 = campaign.matrix()
+        assert names == n2
+        assert np.array_equal(X, X2) and np.array_equal(y, y2)
+
+    def test_migrate_roundtrips_bit_identically(self, campaign, tmp_path):
+        self._make_v1(campaign, tmp_path)
+        before = {
+            p.name: p.read_bytes()
+            for p in (tmp_path / KEY.dirname).iterdir()
+        }
+        with pytest.warns(DeprecationWarning):
+            repo = ProfileRepository(tmp_path)
+        summary = repo.migrate()
+        assert summary["migrated"] == 1
+        assert summary["findings"] == {}
+        cdir = tmp_path / SHARD_DIR / shard_of(KEY.dirname) / KEY.dirname
+        for name, payload in before.items():
+            assert (cdir / name).read_bytes() == payload
+        # Reopens as v2, no warning, same data.
+        repo2 = ProfileRepository(tmp_path)
+        assert repo2.layout == 2
+        X, y, names = repo2.matrix(KEY)
+        X2, y2, _ = campaign.matrix()
+        assert np.array_equal(X, X2) and np.array_equal(y, y2)
+
+    def test_migrate_builds_missing_index(self, campaign, tmp_path):
+        self._make_v1(campaign, tmp_path)
+        (tmp_path / KEY.dirname / "matrix.json").unlink()
+        (tmp_path / KEY.dirname / "matrix.npy").unlink()
+        with pytest.warns(DeprecationWarning):
+            repo = ProfileRepository(tmp_path)
+        summary = repo.migrate()
+        assert summary["indexed"] == 1
+        assert repo.stats()["index"]["fresh"] == 1
+
+    def test_migrate_is_idempotent(self, campaign, tmp_path):
+        self._make_v1(campaign, tmp_path)
+        with pytest.warns(DeprecationWarning):
+            repo = ProfileRepository(tmp_path)
+        repo.migrate()
+        again = repo.migrate()
+        assert again["migrated"] == 0
+        assert again["findings"] == {}
+
+    def test_v1_fits_match_v2_fits(self, campaign, tmp_path):
+        """Acceptance: fits from v1-flat and v2-sharded are bit-identical."""
+        from repro.ml.forest import RandomForestRegressor
+
+        self._make_v1(campaign, tmp_path)
+        with pytest.warns(DeprecationWarning):
+            v1 = ProfileRepository(tmp_path)
+        X1, y1, n1 = v1.matrix(KEY)
+        f1 = RandomForestRegressor(n_trees=6, rng=5).fit(X1, y1, n1)
+        v1.migrate()
+        v2 = ProfileRepository(tmp_path)
+        X2, y2, n2 = v2.matrix(KEY)
+        assert np.array_equal(X1, X2) and np.array_equal(y1, y2)
+        f2 = RandomForestRegressor(n_trees=6, rng=5).fit(X2, y2, n2)
+        probe = X1[:4]
+        assert np.array_equal(f1.predict(probe), f2.predict(probe))
+        assert np.array_equal(f1.importance_, f2.importance_)
+
+
+class TestQuarantineV2:
+    def test_quarantine_moves_and_forgets(self, campaign, tmp_path):
+        repo = ProfileRepository(tmp_path)
+        cdir = repo.save(campaign)
+        (cdir / "runs.csv").write_bytes(b"garbage\n")
+        target = repo.quarantine(KEY)
+        assert target == tmp_path / "_quarantine" / KEY.dirname
+        assert target.is_dir()
+        assert not repo.has(KEY)
+        assert repo.verify_all() == {}
+        manifest = json.loads(
+            (tmp_path / SHARD_DIR / shard_of(KEY.dirname) / "shard.json")
+            .read_text()
+        )
+        assert KEY.dirname not in manifest["campaigns"]

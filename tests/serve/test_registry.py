@@ -123,3 +123,82 @@ class TestIntegrity:
         assert validate_artifact(
             registry.root / KEY.dirname / "index.json"
         ) == []
+
+
+class TestRunStore:
+    def test_registry_and_repository_satisfy_protocol(self, tmp_path):
+        from repro.core import RunStore
+        from repro.profiling.repository import ProfileRepository
+
+        assert isinstance(FitRegistry(tmp_path / "reg"), RunStore)
+        assert isinstance(ProfileRepository(tmp_path / "repo"), RunStore)
+
+    def test_iter_keys_matches_keys(self, tmp_path):
+        reg = FitRegistry(tmp_path)
+        reg.publish(make_servable(kernel="a", arch="x"))
+        reg.publish(make_servable(kernel="b", arch="y"))
+        by_dirname = lambda k: k.dirname  # noqa: E731
+        assert sorted(reg.iter_keys(), key=by_dirname) == sorted(
+            reg.keys(), key=by_dirname
+        )
+
+
+class TestVerify:
+    def test_clean_registry_verifies_empty(self, registry):
+        assert registry.verify(KEY) == []
+        assert registry.verify_all() == {}
+
+    def test_tamper_detected(self, registry):
+        version = registry.resolve_version(KEY)
+        fit_path = registry.root / KEY.dirname / version / "fit.json"
+        fit_path.write_text(fit_path.read_text().replace('"volta"', '"x"'))
+        findings = registry.verify_all()
+        assert KEY.dirname in findings
+        assert any("corrupt" in f for f in findings[KEY.dirname])
+
+    def test_missing_fit_detected(self, registry):
+        version = registry.resolve_version(KEY)
+        (registry.root / KEY.dirname / version / "fit.json").unlink()
+        findings = registry.verify(KEY)
+        assert any("missing on disk" in f for f in findings)
+
+
+class TestGc:
+    def _publish_versions(self, tmp_path, n):
+        reg = FitRegistry(tmp_path)
+        versions = [
+            reg.publish(make_servable(seed=i, trees=4)).version
+            for i in range(n)
+        ]
+        return reg, versions
+
+    def test_keep_latest_validated(self, tmp_path):
+        reg = FitRegistry(tmp_path)
+        with pytest.raises(ValueError, match="keep_latest"):
+            reg.gc(keep_latest=0)
+
+    def test_gc_drops_old_versions(self, tmp_path):
+        reg, versions = self._publish_versions(tmp_path, 3)
+        removed = reg.gc(keep_latest=1)
+        assert removed == {KEY.dirname: versions[:-1]}
+        assert reg.versions(KEY) == [versions[-1]]
+        assert reg.resolve_version(KEY) == versions[-1]
+        reg.load(KEY)  # survivor still loads clean
+        for gone in versions[:-1]:
+            assert not (reg.root / KEY.dirname / gone).exists()
+
+    def test_gc_noop_when_under_budget(self, tmp_path):
+        reg, versions = self._publish_versions(tmp_path, 2)
+        assert reg.gc(keep_latest=5) == {}
+        assert reg.versions(KEY) == versions
+
+    def test_gc_invalidates_cache(self, tmp_path):
+        from repro.serve import FitCache
+
+        reg, versions = self._publish_versions(tmp_path, 3)
+        cache = FitCache(max_entries=8)
+        for v in versions:
+            cache.get((KEY.dirname, v), lambda v=v: reg.load(KEY, version=v))
+        assert len(cache) == 3
+        reg.gc(keep_latest=1, cache=cache)
+        assert cache.keys() == [(KEY.dirname, versions[-1])]

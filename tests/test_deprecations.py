@@ -195,3 +195,22 @@ class TestWarnOncePerProcessSemantics:
             reset_deprecation_warnings()
             _ = repro.profiling.Repository
         assert len(_deprecations(caught)) == 2
+
+
+class TestFlatLayoutShim:
+    def test_v1_open_warns_once_and_reads(self, vecadd_campaign, tmp_path):
+        from tests.profiling.test_repository_v2 import flatten_to_v1
+
+        ProfileRepository(tmp_path).save(vecadd_campaign)
+        flatten_to_v1(tmp_path)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            repo = ProfileRepository(tmp_path)
+            ProfileRepository(tmp_path)  # second open: already warned
+        assert repo.layout == 1
+        assert len(repo.load(CampaignKey("vectorAdd", "GTX580"))) == len(
+            vecadd_campaign
+        )
+        flat = _deprecations(caught)
+        assert len(flat) == 1
+        assert "repro repo migrate" in str(flat[0].message)

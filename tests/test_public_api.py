@@ -21,6 +21,7 @@ CORE_EXPORTS = [
     "BlackForestFit",
     "BottleneckFinding",
     "BottleneckPattern",
+    "CampaignKey",
     "CounterModel",
     "CounterModelSet",
     "FitArtifact",
@@ -35,6 +36,7 @@ CORE_EXPORTS = [
     "Predictor",
     "ProblemScalingFit",
     "ProblemScalingPredictor",
+    "RunStore",
     "bottleneck_report",
     "common_predictors",
     "detect_bottlenecks",
@@ -48,6 +50,8 @@ CORE_EXPORTS = [
     "rank_importance",
     "rank_similarity",
     "reduced_model_check",
+    "safe_component",
+    "shard_of",
     "stacked_predict",
 ]
 
