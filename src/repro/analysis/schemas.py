@@ -24,6 +24,9 @@ tag                      written by
                          (columnar counter-matrix header)
 ``repro-forest-state/1``  :mod:`repro.ml.incremental`
                           (incremental-fit forest state)
+``repro-serve-health/1``  :mod:`repro.serve.server` (``ping``
+                          readiness document — a wire shape, not a
+                          file; ``repro query ping`` output)
 =======================  ==========================================
 
 Validation produces *findings*, not exceptions: a renamed field in a
@@ -281,6 +284,20 @@ SCHEMAS: dict[str, ArtifactSchema] = {
                 _f("generations", list),
                 _f("prefix_sha256", str),
                 _f("trees", list),
+            ),
+        ),
+        ArtifactSchema(
+            tag="repro-serve-health/1",
+            kind="json",
+            description="prediction-server readiness document (ping)",
+            fields=(
+                _f("schema", str),
+                _f("ok", bool),
+                _f("status", str),
+                _f("registry_digest", str, nullable=True),
+                _f("breakers", dict),
+                _f("inflight", int),
+                _f("requests_served", int),
             ),
         ),
     )

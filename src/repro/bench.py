@@ -379,6 +379,198 @@ def bench_predict_many(quick: bool = False) -> BenchResult:
     )
 
 
+def bench_serve_concurrent(quick: bool = False) -> BenchResult:
+    """Concurrent serving frontend vs. the single-connection serial loop.
+
+    Eight closed-loop TCP clients send single-row predicts. The fast
+    path is the threaded ``serve_tcp`` frontend (bounded worker pool,
+    cross-client batching); the baseline replicates the pre-hardening
+    accept loop — one connection served to completion at a time — so
+    the eight clients serialize. Both paths are checked byte-identical
+    (per request id) against the serial stdio server before timing: the
+    concurrency is a transport property, never a semantic one.
+    """
+    import socket
+    import tempfile
+    import threading
+
+    from repro.ml.forest import RandomForestRegressor
+    from repro.serve import FitRegistry, PredictionServer, ServableFit
+    from repro.serve.server import serve_stdio, serve_tcp
+
+    clients = 8
+    per_client = 8 if quick else 20
+    trees = 150  # deep forest: the per-pass tree loop is what batching amortizes
+    rows = 1
+    p = 8
+    features = [f"f{i}" for i in range(p)]
+    rng = np.random.default_rng(11)
+    X = rng.uniform(size=(120, p))
+    y = X @ np.linspace(1.0, 2.0, p) + rng.normal(0, 0.01, 120)
+    forest = RandomForestRegressor(
+        n_trees=trees, importance=False, rng=np.random.default_rng(12)
+    ).fit(X, y, feature_names=features)
+    servable = ServableFit(
+        kernel="benchServe", arch="volta", tag=None, forest=forest,
+        feature_names=features, source={"n_runs": 120},
+    )
+    payloads = [
+        [
+            json.dumps(
+                {
+                    "id": f"c{c}-{i}",
+                    "method": "predict",
+                    "params": {
+                        "kernel": "benchServe",
+                        "arch": "volta",
+                        "X": rng.uniform(size=(rows, p)).tolist(),
+                    },
+                },
+                sort_keys=True,
+            )
+            for i in range(per_client)
+        ]
+        for c in range(clients)
+    ]
+    n_requests = clients * per_client
+
+    def session(host: str, port: int, lines: list[str]) -> dict[str, str]:
+        """One closed-loop client: send a line, wait for its response."""
+        out = {}
+        with socket.create_connection((host, port)) as conn:
+            rf = conn.makefile("r")
+            wf = conn.makefile("w")
+            for line in lines:
+                wf.write(line + "\n")
+                wf.flush()
+                resp = rf.readline()
+                out[json.loads(resp)["id"]] = resp.rstrip("\n")
+        return out
+
+    def drive(host: str, port: int) -> dict[str, str]:
+        results: dict[str, str] = {}
+        lock = threading.Lock()
+
+        def one(c: int) -> None:
+            got = session(host, port, payloads[c])
+            with lock:
+                results.update(got)
+
+        threads = [
+            threading.Thread(target=one, args=(c,)) for c in range(clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return results
+
+    def serial_tcp(server: PredictionServer, sock) -> None:
+        # Replica of the pre-hardening frontend: one connection at a
+        # time, served to completion over stdio framing.
+        while not server._stop:
+            try:
+                conn, _ = sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            with conn:
+                serve_stdio(
+                    server, stdin=conn.makefile("r"),
+                    stdout=conn.makefile("w"),
+                )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = FitRegistry(tmp)
+        registry.publish(servable)
+
+        # Ground truth: the serial stdio server, one request per batch.
+        ref = PredictionServer(registry, watch_reload=False)
+        expected: dict[str, str] = {}
+        for lines in payloads:
+            for line in lines:
+                out = ref.handle_batch([line])[0]
+                expected[json.loads(out)["id"]] = out
+
+        fast_server = PredictionServer(registry, watch_reload=False)
+        ready = threading.Event()
+        addr: dict = {}
+
+        def on_ready(host, port):
+            addr["fast"] = (host, port)
+            ready.set()
+
+        fast_thread = threading.Thread(
+            target=serve_tcp,
+            args=(fast_server, "127.0.0.1", 0),
+            kwargs={
+                # Two workers, not four: one handles while the other
+                # collects the next cross-client batch; more workers
+                # fragment batches and contend for the GIL.
+                "workers": 2,
+                "queue_size": 4 * n_requests,
+                "on_ready": on_ready,
+                "announce": False,
+                # Batching window: closed-loop clients send in bursts
+                # right after each response wave; a millisecond of
+                # linger coalesces the burst into one stacked pass.
+                "linger_s": 0.001,
+            },
+            daemon=True,
+        )
+        fast_thread.start()
+        if not ready.wait(timeout=15):
+            raise AssertionError("concurrent frontend never became ready")
+
+        base_server = PredictionServer(registry, watch_reload=False)
+        bsock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        bsock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        bsock.bind(("127.0.0.1", 0))
+        bsock.listen(16)
+        bsock.settimeout(0.05)
+        base_thread = threading.Thread(
+            target=serial_tcp, args=(base_server, bsock), daemon=True
+        )
+        base_thread.start()
+        addr["base"] = bsock.getsockname()
+
+        try:
+            if drive(*addr["fast"]) != expected:
+                raise AssertionError(
+                    "concurrent responses diverge from the serial server"
+                )
+            if drive(*addr["base"]) != expected:
+                raise AssertionError(
+                    "baseline responses diverge from the serial server"
+                )
+            fast_s = _best_of(lambda: drive(*addr["fast"]), 4)
+            base_s = _best_of(lambda: drive(*addr["base"]), 2)
+        finally:
+            shutdown = json.dumps({"id": "stop", "method": "shutdown"})
+            for which in ("fast", "base"):
+                try:
+                    session(*addr[which], [shutdown])
+                except OSError:
+                    pass
+            fast_thread.join(timeout=10)
+            base_thread.join(timeout=10)
+            bsock.close()
+
+    return _result(
+        "serve_concurrent", n_requests, "requests", fast_s, base_s,
+        {
+            "clients": clients,
+            "per_client": per_client,
+            "trees": trees,
+            "workers": 2,
+            "requests_per_s": (
+                n_requests / fast_s if fast_s > 0 else None
+            ),
+        },
+    )
+
+
 def _synthetic_campaign(n_runs: int, seed: int):
     """A repository-scale synthetic campaign with real catalogue counters.
 
@@ -553,6 +745,7 @@ BENCHMARKS = {
     "forest_fit": bench_forest_fit,
     "campaign_sweep": bench_campaign_sweep,
     "predict_many": bench_predict_many,
+    "serve_concurrent": bench_serve_concurrent,
     "time_to_matrix": bench_time_to_matrix,
     "fit_from_repo": bench_fit_from_repo,
 }

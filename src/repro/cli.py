@@ -498,37 +498,50 @@ def _expand_artifact_paths(paths):
     return out
 
 
+def _plan_from_file(path: str, default_seed: int):
+    """Parse a JSON fault-plan file into a :class:`FaultPlan`."""
+    from repro.faults import FaultPlan, FaultSpec
+
+    with open(path) as fh:
+        data = json.load(fh)
+    raw = data["specs"] if isinstance(data, dict) else data
+    seed = data.get("seed", default_seed) if isinstance(data, dict) \
+        else default_seed
+    try:
+        specs = [
+            FaultSpec(
+                s["site"], s["mode"], match=s.get("match"),
+                probability=s.get("probability", 1.0),
+                payload=s.get("payload"),
+            )
+            for s in raw
+        ]
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SystemExit(f"bad fault plan {path!r}: {exc}")
+    return FaultPlan(specs, seed=seed)
+
+
 def cmd_chaos(args) -> int:
     """Run a campaign under an injected fault plan; report survivals.
 
     The point is operational confidence: with faults firing, the sweep
     must *complete* — failing launches quarantined, crashed workers
     recovered — instead of crashing. Exit code 0 means the campaign
-    produced records; 1 means nothing survived.
+    produced records; 1 means nothing survived. With ``--serve`` the
+    faults target the prediction server instead (see
+    :func:`_cmd_chaos_serve`).
     """
     from repro.faults import FaultPlan, FaultSpec, RetryPolicy, fault_injection
+
+    if args.serve:
+        return _cmd_chaos_serve(args)
 
     arch = _arch(args.arch)
     kernel = _kernel(args.kernel)
     problems = _parse_sizes(args.sizes) if args.sizes else None
 
     if args.plan:
-        with open(args.plan) as fh:
-            data = json.load(fh)
-        raw = data["specs"] if isinstance(data, dict) else data
-        seed = data.get("seed", args.seed) if isinstance(data, dict) else args.seed
-        try:
-            specs = [
-                FaultSpec(
-                    s["site"], s["mode"], match=s.get("match"),
-                    probability=s.get("probability", 1.0),
-                    payload=s.get("payload"),
-                )
-                for s in raw
-            ]
-        except (KeyError, ValueError, TypeError) as exc:
-            raise SystemExit(f"bad fault plan {args.plan!r}: {exc}")
-        plan = FaultPlan(specs, seed=seed)
+        plan = _plan_from_file(args.plan, args.seed)
     else:
         transient = {"times": 1} if args.transient else None
         specs = []
@@ -597,6 +610,250 @@ def cmd_chaos(args) -> int:
         "repository_findings": repo_findings,
     }, text)
     return 0 if result.records else 1
+
+
+def _cmd_chaos_serve(args) -> int:
+    """Chaos-test the prediction server: concurrent retrying clients vs
+    injected ``serve.request`` / ``registry.load`` faults.
+
+    The contract under fire: the server never crashes, faulted requests
+    get *typed* errors, the circuit breaker opens and recovers on the
+    deterministic schedule, shutdown drains in-flight work — and every
+    *successful* response is byte-identical to what the serial stdio
+    server answers without faults. Exit 0 when all of that holds.
+    """
+    import tempfile
+    import threading
+
+    from numpy.random import default_rng
+
+    from repro.faults import FaultPlan, FaultSpec, fault_injection
+    from repro.faults.retry import RetryPolicy
+    from repro.serve import (
+        FitRegistry,
+        PredictionClient,
+        PredictionServer,
+        ServeError,
+        servable_from_fit,
+        serve_tcp,
+    )
+
+    arch = _arch(args.arch)
+    kernel = _kernel(args.kernel)
+    problems = _parse_sizes(args.sizes) if args.sizes else None
+
+    if args.plan:
+        plan = _plan_from_file(args.plan, args.seed)
+    else:
+        specs = []
+        if args.request_rate > 0:
+            specs.append(FaultSpec(
+                "serve.request", "raise", match={"method": "predict"},
+                probability=args.request_rate,
+            ))
+        if args.delay_rate > 0:
+            specs.append(FaultSpec(
+                "serve.request", "delay", match={"method": "predict"},
+                probability=args.delay_rate,
+                payload={"seconds": args.delay_s},
+            ))
+        if args.corrupt_times > 0:
+            # A bounded burst of corrupt loads: opens the breaker after
+            # `threshold` consecutive failures, then the half-open probe
+            # after the burst succeeds and closes it — open AND recover,
+            # both on a deterministic schedule.
+            specs.append(FaultSpec(
+                "registry.load", "corrupt",
+                payload={"times": args.corrupt_times},
+            ))
+        if not specs:
+            raise SystemExit(
+                "no serve faults configured; pass --plan FILE or at "
+                "least one of --request-rate/--delay-rate/--corrupt-times"
+            )
+        plan = FaultPlan(specs, seed=args.seed)
+
+    # Model building is out of scope: train and publish before any
+    # fault plan is installed.
+    print(f"chaos --serve: fitting {kernel.name} on {arch.name}...",
+          file=sys.stderr)
+    campaign = Campaign(kernel, arch, rng=args.seed).run(
+        problems=problems, replicates=args.replicates, n_jobs=args.jobs,
+    )
+    fit = BlackForest(
+        n_trees=args.trees, n_jobs=args.jobs, rng=args.seed + 1,
+    ).fit(campaign, response="time")
+    servable = servable_from_fit(fit, source={"n_runs": len(campaign)})
+
+    # Deterministic request load: ids match what each PredictionClient
+    # will generate, so expected serial responses can be compared
+    # byte-for-byte against live concurrent ones.
+    rng = default_rng(args.seed)
+    n_features = len(servable.feature_names)
+    per_client: list[list[tuple[str, dict]]] = [
+        [] for _ in range(args.clients)
+    ]
+    for i in range(args.requests):
+        c = i % args.clients
+        params = {
+            "kernel": kernel.name,
+            "arch": arch.name,
+            "X": rng.uniform(1.0, 1000.0, size=(1, n_features)).tolist(),
+        }
+        if args.deadline_ms is not None:
+            params["deadline_ms"] = args.deadline_ms
+        rid = f"c{c}-{len(per_client[c]) + 1}"
+        per_client[c].append((rid, params))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = FitRegistry(tmp)
+        registry.publish(servable)
+
+        # Ground truth: the serial stdio server, no faults installed.
+        serial = PredictionServer(registry)
+        expected: dict[str, str] = {}
+        for reqs in per_client:
+            for rid, params in reqs:
+                line = json.dumps(
+                    {"id": rid, "method": "predict", "params": params},
+                    sort_keys=True,
+                )
+                expected[rid] = serial.handle_batch([line])[0]
+
+        server = PredictionServer(
+            registry,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+        )
+        ready = threading.Event()
+        bound: dict = {}
+
+        def on_ready(host, port):
+            bound["addr"] = (host, port)
+            ready.set()
+
+        retry = RetryPolicy(
+            max_attempts=args.retries, backoff_s=0.01,
+            max_backoff_s=0.2, jitter=0.5, seed=args.seed,
+        )
+        outcomes: dict[str, tuple[str, str]] = {}
+        outcome_lock = threading.Lock()
+
+        def client_run(c: int) -> None:
+            client = PredictionClient(
+                *bound["addr"], retry=retry, id_prefix=f"c{c}-",
+            )
+            try:
+                for rid, params in per_client[c]:
+                    try:
+                        client.call("predict", params)
+                        with outcome_lock:
+                            outcomes[rid] = ("ok", client.last_line)
+                    except ServeError as exc:
+                        with outcome_lock:
+                            outcomes[rid] = ("typed_error", exc.kind)
+                    except OSError as exc:
+                        with outcome_lock:
+                            outcomes[rid] = ("lost", str(exc))
+            finally:
+                client.close()
+
+        print(f"chaos --serve: {args.clients} clients x "
+              f"{args.requests} requests, {len(plan.specs)} fault "
+              f"rule(s)...", file=sys.stderr)
+        with fault_injection(plan):
+            serve_thread = threading.Thread(
+                target=serve_tcp,
+                args=(server, "127.0.0.1", 0),
+                kwargs={"workers": args.workers, "on_ready": on_ready,
+                        "announce": False},
+                daemon=True,
+            )
+            serve_thread.start()
+            if not ready.wait(timeout=15):
+                raise SystemExit("chaos --serve: server never became ready")
+            client_threads = [
+                threading.Thread(target=client_run, args=(c,))
+                for c in range(args.clients)
+            ]
+            for t in client_threads:
+                t.start()
+            for t in client_threads:
+                t.join()
+            shutdown_error = None
+            closer = PredictionClient(*bound["addr"], id_prefix="ctl-")
+            try:
+                closer.shutdown()
+            except (ServeError, OSError) as exc:
+                shutdown_error = str(exc)
+            finally:
+                closer.close()
+            serve_thread.join(timeout=30)
+        drained_cleanly = not serve_thread.is_alive()
+
+    n_ok = sum(1 for kind, _ in outcomes.values() if kind == "ok")
+    typed: dict[str, int] = {}
+    for kind, detail in outcomes.values():
+        if kind == "typed_error":
+            typed[detail] = typed.get(detail, 0) + 1
+    lost = {
+        rid: detail for rid, (kind, detail) in outcomes.items()
+        if kind == "lost"
+    }
+    mismatched = sorted(
+        rid for rid, (kind, line) in outcomes.items()
+        if kind == "ok" and line != expected[rid]
+    )
+    unanswered = sorted(expected.keys() - outcomes.keys())
+    snapshot = server.metrics.snapshot()
+    counters = snapshot["counter"]
+    breaker_events = {
+        name: count for name, count in counters.items()
+        if name.startswith("serve.breaker.")
+    }
+
+    survived = (
+        drained_cleanly
+        and not lost
+        and not mismatched
+        and not unanswered
+        and shutdown_error is None
+    )
+    text = (
+        f"chaos --serve: {kernel.name} on {arch.name} — "
+        f"{n_ok}/{args.requests} ok"
+        + (f", typed errors {typed}" if typed else "")
+        + (f", LOST {len(lost)}" if lost else "")
+        + (f", MISMATCHED {mismatched}" if mismatched else "")
+        + (f", UNANSWERED {unanswered}" if unanswered else "")
+        + f"; faults fired: {plan.summary() or 'none'}"
+        + (f"; breaker: {breaker_events}" if breaker_events else "")
+        + f"; drained {server.drained_count()} in-flight, "
+        + ("clean shutdown" if drained_cleanly else "SHUTDOWN HUNG")
+        + (f" (shutdown error: {shutdown_error})" if shutdown_error else "")
+    )
+    _emit(args, {
+        "kernel": kernel.name,
+        "arch": arch.name,
+        "clients": args.clients,
+        "requests": args.requests,
+        "n_ok": n_ok,
+        "typed_errors": typed,
+        "lost": lost,
+        "mismatched": mismatched,
+        "unanswered": unanswered,
+        "bit_identical": not mismatched,
+        "faults_fired": plan.summary(),
+        "breaker_events": breaker_events,
+        "drained": server.drained_count(),
+        "clean_shutdown": drained_cleanly,
+        "shutdown_error": shutdown_error,
+        # Per-method timer snapshot (count, p50/p95/p99) — the latency
+        # evidence CI archives for the concurrent chaos leg.
+        "latency": snapshot["timer"],
+        "counters": counters,
+    }, text)
+    return 0 if survived else 1
 
 
 def cmd_repo(args) -> int:
@@ -729,6 +986,10 @@ def cmd_serve(args) -> int:
         FitRegistry(args.registry),
         max_batch=args.max_batch,
         cache_size=args.cache_size,
+        request_timeout_s=args.request_timeout,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        watch_reload=not args.no_reload,
     )
     if args.socket:
         host, _, port = args.socket.rpartition(":")
@@ -738,14 +999,87 @@ def cmd_serve(args) -> int:
             raise SystemExit(
                 f"bad --socket {args.socket!r} (expected HOST:PORT)"
             )
-        served = serve_tcp(server, host or "127.0.0.1", port_no)
+        # serve_tcp prints the machine-readable ready line
+        # ("repro-serve-ready host=... port=...") after bind().
+        served = serve_tcp(
+            server,
+            host or "127.0.0.1",
+            port_no,
+            workers=args.workers,
+            queue_size=args.queue_size,
+            linger_s=args.linger_ms / 1000.0,
+        )
     else:
         print(f"repro serve: registry {args.registry}, "
               f"max_batch={args.max_batch}, cache_size={args.cache_size} "
               f"(JSON-RPC on stdio; EOF or 'shutdown' to stop)",
               file=sys.stderr)
         served = serve_stdio(server)
-    print(f"repro serve: stopped after {served} requests", file=sys.stderr)
+    print(f"repro serve: stopped after {served} requests "
+          f"({server.drained_count()} drained)", file=sys.stderr)
+    return 0
+
+
+def cmd_query(args) -> int:
+    """Query a running ``repro serve`` instance (retrying client)."""
+    from repro.faults.retry import RetryPolicy
+    from repro.serve import PredictionClient, ServeError
+
+    host, _, port = args.connect.rpartition(":")
+    try:
+        port_no = int(port)
+    except ValueError:
+        raise SystemExit(
+            f"bad --connect {args.connect!r} (expected HOST:PORT)"
+        )
+    retry = RetryPolicy(
+        max_attempts=args.retries,
+        backoff_s=0.05,
+        max_backoff_s=1.0,
+        jitter=0.5,
+        seed=args.seed,
+        max_elapsed_s=args.max_elapsed,
+    )
+    client = PredictionClient(
+        host or "127.0.0.1", port_no, retry=retry, timeout_s=args.timeout
+    )
+    try:
+        if args.method == "predict":
+            if not args.kernel:
+                raise SystemExit("query predict needs a kernel argument")
+            if not args.X:
+                raise SystemExit(
+                    "query predict needs --X (JSON feature matrix, e.g. "
+                    "'[[1024, 2.5, 0.9, 4096]]')"
+                )
+            try:
+                X = json.loads(args.X)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(f"bad --X: {exc}")
+            result = client.predict(
+                args.kernel, args.arch, X=X, tag=args.tag,
+                version=args.version, deadline_ms=args.deadline_ms,
+            )
+            preds = ", ".join(f"{v:.6g}" for v in result["predictions"])
+            text = (f"{args.kernel} on {args.arch} "
+                    f"@{result['version']}: [{preds}] "
+                    f"({result['response']}, {client.last_attempts} "
+                    f"attempt(s))")
+        else:
+            result = client.call(
+                args.method, retry=args.method != "shutdown"
+            )
+            text = json.dumps(result, indent=2, sort_keys=True)
+    except ServeError as exc:
+        print(f"query failed: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach {args.connect}: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    _emit(args, {"method": args.method, "result": result,
+                 "attempts": client.last_attempts}, text)
     return 0
 
 
@@ -984,6 +1318,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--save-to",
                    help="save the surviving campaign into this repository "
                    "and verify it (exercises repository.write faults)")
+    p.add_argument("--serve", action="store_true",
+                   help="chaos-test the prediction server instead: fit "
+                   "the kernel, serve it, and drive concurrent retrying "
+                   "clients against injected serve.request/registry.load "
+                   "faults")
+    p.add_argument("--clients", type=int, default=4,
+                   help="(--serve) concurrent client connections")
+    p.add_argument("--requests", type=int, default=32,
+                   help="(--serve) total predict requests across clients")
+    p.add_argument("--trees", type=int, default=60,
+                   help="(--serve) forest size of the served fit")
+    p.add_argument("--workers", type=int, default=4,
+                   help="(--serve) server worker threads")
+    p.add_argument("--request-rate", type=float, default=0.0,
+                   help="(--serve) probability a predict handler raises "
+                   "(serve.request raise -> typed internal_error)")
+    p.add_argument("--delay-rate", type=float, default=0.0,
+                   help="(--serve) probability a predict is delayed "
+                   "(serve.request delay; trips deadlines)")
+    p.add_argument("--delay-s", type=float, default=0.02,
+                   help="(--serve) injected delay duration (default 0.02)")
+    p.add_argument("--corrupt-times", type=int, default=0,
+                   help="(--serve) first N registry loads fail corrupt "
+                   "(registry.load corrupt; opens + recovers the breaker)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="(--serve) per-request deadline clients attach")
+    p.add_argument("--breaker-threshold", type=int, default=3,
+                   help="(--serve) failures before the breaker opens")
+    p.add_argument("--breaker-cooldown", type=int, default=4,
+                   help="(--serve) rejections between half-open probes")
     _add_format(p)
 
     p = sub.add_parser(
@@ -1038,8 +1402,64 @@ def build_parser() -> argparse.ArgumentParser:
                    help="deserialized fits kept warm in the LRU "
                    "(default: 8)")
     p.add_argument("--socket", metavar="HOST:PORT",
-                   help="listen on a local TCP socket instead of stdio "
-                   "(port 0 picks a free port, printed on stdout)")
+                   help="listen on a local TCP socket instead of stdio; "
+                   "prints 'repro-serve-ready host=H port=P' once bound "
+                   "(port 0 picks a free port)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="worker threads draining the request queue "
+                   "(--socket only; default: 4)")
+    p.add_argument("--queue-size", type=int, default=64,
+                   help="bounded request queue; overflow is shed with a "
+                   "typed 'overloaded' error (--socket only; default: 64)")
+    p.add_argument("--linger-ms", type=float, default=0.0,
+                   help="batching window: wait up to this long for more "
+                   "lines before running a predict pass — trades latency "
+                   "for cross-client batch depth (--socket only; "
+                   "default: 0)")
+    p.add_argument("--request-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="default per-request deadline; requests may "
+                   "override with params.deadline_ms (default: none)")
+    p.add_argument("--breaker-threshold", type=int, default=5,
+                   help="consecutive integrity failures that open a "
+                   "model's circuit breaker (default: 5)")
+    p.add_argument("--breaker-cooldown", type=int, default=8,
+                   help="rejected requests between half-open breaker "
+                   "probes (default: 8)")
+    p.add_argument("--no-reload", action="store_true",
+                   help="disable hot reload (registry digest watching)")
+
+    p = sub.add_parser(
+        "query",
+        help="query a running 'repro serve' instance (retrying client)",
+    )
+    p.add_argument("method",
+                   choices=("predict", "ping", "stats", "models",
+                            "shutdown"))
+    p.add_argument("kernel", nargs="?",
+                   help="kernel name (predict only)")
+    p.add_argument("--connect", default="127.0.0.1:7070",
+                   metavar="HOST:PORT",
+                   help="server address (default: 127.0.0.1:7070)")
+    p.add_argument("--arch", default="GTX580")
+    p.add_argument("--tag", help="registry tag of the fit")
+    p.add_argument("--version", help="fit version (default: latest)")
+    p.add_argument("--X", metavar="JSON",
+                   help="feature matrix, e.g. '[[1024, 2.5, 0.9, 4096]]' "
+                   "(column order: the fit's feature_names)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="server-side deadline for this request")
+    p.add_argument("--retries", type=int, default=4,
+                   help="client attempts for transient errors "
+                   "(overloaded/draining/breaker_open/deadline_exceeded)")
+    p.add_argument("--max-elapsed", type=float, default=None,
+                   metavar="SECONDS",
+                   help="wall-clock cap across all retry attempts")
+    p.add_argument("--timeout", type=float, default=10.0,
+                   help="socket timeout per read/write (default: 10)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed of the deterministic retry jitter")
+    _add_format(p)
 
     p = sub.add_parser(
         "trace",
@@ -1068,6 +1488,7 @@ _COMMANDS = {
     "repo": cmd_repo,
     "publish": cmd_publish,
     "serve": cmd_serve,
+    "query": cmd_query,
     "trace": cmd_trace,
 }
 

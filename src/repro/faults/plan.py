@@ -25,7 +25,18 @@ site                      modes
 ``gpusim.launch``         ``raise``, ``truncate_trace``
 ``parallel.worker``       ``crash``
 ``repository.write``      ``torn_file``, ``corrupt_file``
+``serve.request``         ``raise``, ``delay``
+``registry.load``         ``corrupt``, ``missing``
 ========================  =============================================
+
+The two serve-side sites drive ``repro chaos --serve``:
+``serve.request`` fires inside the prediction server's request handling
+(``raise`` → typed ``internal_error`` response, ``delay`` → sleep
+``payload={"seconds": …}`` so deadlines trip), and ``registry.load``
+fires inside :meth:`FitRegistry.load <repro.serve.registry.FitRegistry.load>`
+(``corrupt`` → :class:`RegistryIntegrityError
+<repro.serve.registry.RegistryIntegrityError>`, feeding the circuit
+breaker; ``missing`` → :class:`FileNotFoundError`).
 """
 
 from __future__ import annotations
@@ -49,6 +60,8 @@ SITES: dict[str, tuple[str, ...]] = {
     "gpusim.launch": ("raise", "truncate_trace"),
     "parallel.worker": ("crash",),
     "repository.write": ("torn_file", "corrupt_file"),
+    "serve.request": ("raise", "delay"),
+    "registry.load": ("corrupt", "missing"),
 }
 
 

@@ -1,5 +1,5 @@
 """Prediction-as-a-service: fit artifacts, a versioned registry, a warm
-cache and a long-lived JSON-RPC prediction server.
+cache and a long-lived, production-hardened JSON-RPC prediction server.
 
 The offline pipeline produces fits; this package makes them *servable*:
 
@@ -11,23 +11,41 @@ The offline pipeline produces fits; this package makes them *servable*:
   (:mod:`repro.serve.registry`);
 * :class:`FitCache` — bounded LRU keeping deserialized fits warm
   (:mod:`repro.serve.cache`);
-* :class:`PredictionServer` — the ``repro serve`` request loop, with
-  batched ``predict_many`` coalescing and tail-latency metrics
-  (:mod:`repro.serve.server`).
+* :class:`PredictionServer` — the ``repro serve`` request loop:
+  batched ``predict_many`` coalescing, per-request deadlines, hot
+  reload on re-publish, per-model circuit breakers, graceful drain,
+  and a concurrent TCP frontend with bounded-queue load shedding
+  (:mod:`repro.serve.server`, :mod:`repro.serve.breaker`);
+* :class:`PredictionClient` — the retrying client (capped backoff,
+  seeded jitter) behind ``repro query`` and the chaos driver
+  (:mod:`repro.serve.client`).
 """
 
 from .artifact import ServableFit, servable_from_fit
+from .breaker import CircuitBreaker
 from .cache import FitCache
+from .client import (
+    PredictionClient,
+    RetryableServeError,
+    ServeError,
+    parse_ready_line,
+)
 from .registry import FitRegistry, FitVersion, RegistryIntegrityError
-from .server import PredictionServer, serve_stdio, serve_tcp
+from .server import PredictionServer, ready_line, serve_stdio, serve_tcp
 
 __all__ = [
+    "CircuitBreaker",
     "FitCache",
     "FitRegistry",
     "FitVersion",
+    "PredictionClient",
     "PredictionServer",
     "RegistryIntegrityError",
+    "RetryableServeError",
     "ServableFit",
+    "ServeError",
+    "parse_ready_line",
+    "ready_line",
     "servable_from_fit",
     "serve_stdio",
     "serve_tcp",

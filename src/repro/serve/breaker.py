@@ -1,0 +1,161 @@
+"""Per-model circuit breakers: fail fast on a model that keeps failing.
+
+A corrupt artifact (or a disk returning garbage) makes every load of
+one ``(campaign, version)`` address fail the same way; without a
+breaker each query pays the full load-and-refuse cost and the error log
+drowns in repeats. :class:`CircuitBreaker` tracks consecutive
+*infrastructure* failures — :class:`RegistryIntegrityError
+<repro.serve.registry.RegistryIntegrityError>` on load, unexpected
+exceptions out of predict — per address and, past a threshold, answers
+further requests immediately with a typed ``breaker_open`` error
+instead of re-attempting the load.
+
+Recovery is **deterministic**, not wall-clock based: while open, every
+``cooldown``-th rejected request is let through as a *half-open probe*
+(so a republished artifact is picked up after a bounded number of
+rejections, and chaos tests can pin the exact request on which the
+breaker recovers). A successful probe closes the breaker; a failed one
+re-opens it and restarts the rejection count.
+
+Client errors (bad params, unknown model) never trip the breaker — a
+typo must not take a healthy model out of service.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class _Entry:
+    __slots__ = ("state", "failures", "rejected", "last_error")
+
+    def __init__(self) -> None:
+        self.state = CLOSED
+        self.failures = 0
+        self.rejected = 0
+        self.last_error = ""
+
+
+class CircuitBreaker:
+    """Consecutive-failure breakers keyed by ``(dirname, version)``.
+
+    Parameters
+    ----------
+    threshold:
+        Consecutive failures that open a key's breaker.
+    cooldown:
+        Rejected requests between half-open probes while the breaker is
+        open (the deterministic probe schedule: requests ``cooldown``,
+        ``2*cooldown``, ... after opening are probes).
+    on_event:
+        Optional ``callback(kind, key)`` for ``kind`` in
+        ``{"open", "half_open", "close", "shortcircuit"}`` — the obs
+        accounting hook.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown: int = 8,
+        on_event=None,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1; got {threshold}")
+        if cooldown < 1:
+            raise ValueError(f"cooldown must be >= 1; got {cooldown}")
+        self.threshold = int(threshold)
+        self.cooldown = int(cooldown)
+        self._on_event = on_event
+        self._entries: dict[tuple, _Entry] = {}
+
+    def _emit(self, kind: str, key: tuple) -> None:
+        if self._on_event is not None:
+            self._on_event(kind, key)
+
+    # -- decision ------------------------------------------------------
+
+    def allow(self, key: tuple) -> bool:
+        """May a request for ``key`` proceed to load/predict?
+
+        ``False`` means short-circuit with a ``breaker_open`` error.
+        While open, every ``cooldown``-th rejection converts the *next*
+        request into a half-open probe (returns ``True`` and moves the
+        breaker to ``half_open`` until the probe reports back).
+        """
+        entry = self._entries.get(key)
+        if entry is None or entry.state == CLOSED:
+            return True
+        if entry.state == HALF_OPEN:
+            # One probe in flight; everyone else keeps getting rejected.
+            self._emit("shortcircuit", key)
+            return False
+        entry.rejected += 1
+        if entry.rejected >= self.cooldown:
+            entry.state = HALF_OPEN
+            entry.rejected = 0
+            self._emit("half_open", key)
+            return True
+        self._emit("shortcircuit", key)
+        return False
+
+    # -- outcome reporting ---------------------------------------------
+
+    def record_failure(self, key: tuple, error: str = "") -> None:
+        """An allowed request for ``key`` failed an integrity/predict check."""
+        entry = self._entries.setdefault(key, _Entry())
+        entry.last_error = error
+        if entry.state == HALF_OPEN:
+            entry.state = OPEN
+            entry.rejected = 0
+            self._emit("open", key)
+            return
+        entry.failures += 1
+        if entry.state == CLOSED and entry.failures >= self.threshold:
+            entry.state = OPEN
+            entry.rejected = 0
+            self._emit("open", key)
+
+    def record_success(self, key: tuple) -> None:
+        """An allowed request for ``key`` succeeded; close its breaker."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return
+        was_open = entry.state != CLOSED
+        entry.state = CLOSED
+        entry.failures = 0
+        entry.rejected = 0
+        entry.last_error = ""
+        if was_open:
+            self._emit("close", key)
+
+    # -- introspection / reset -----------------------------------------
+
+    def state(self, key: tuple) -> str:
+        entry = self._entries.get(key)
+        return CLOSED if entry is None else entry.state
+
+    def summary(self) -> dict[str, str]:
+        """Non-closed breakers as ``{"dirname@version": state}`` (the
+        shape the ``repro-serve-health/1`` ``breakers`` field carries)."""
+        out = {}
+        for key, entry in sorted(self._entries.items()):
+            if entry.state != CLOSED:
+                out["@".join(str(part) for part in key)] = entry.state
+        return out
+
+    def reset(self, dirname: str | None = None) -> int:
+        """Forget breakers (all, or one campaign's) — e.g. after a hot
+        reload republished the artifacts the failures pointed at.
+        Returns how many non-closed breakers were cleared."""
+        cleared = 0
+        for key in list(self._entries):
+            if dirname is not None and key[0] != dirname:
+                continue
+            if self._entries[key].state != CLOSED:
+                cleared += 1
+            del self._entries[key]
+        return cleared

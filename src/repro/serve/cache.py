@@ -79,5 +79,14 @@ class FitCache:
         """Drop one entry (e.g. after a re-publish); True if it was cached."""
         return self._entries.pop(key, None) is not None
 
+    def invalidate_key(self, dirname: str) -> int:
+        """Drop every cached version of one campaign (hot reload after a
+        re-publish whose version id is not knowable here). Returns how
+        many entries were dropped."""
+        victims = [k for k in self._entries if k[0] == dirname]
+        for key in victims:
+            del self._entries[key]
+        return len(victims)
+
     def clear(self) -> None:
         self._entries.clear()

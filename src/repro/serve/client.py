@@ -1,0 +1,267 @@
+"""Retrying JSON-RPC client for ``repro serve`` (and ``repro query``).
+
+:class:`PredictionClient` speaks the line-delimited protocol of
+:mod:`repro.serve.server` over a TCP socket and absorbs the transient
+failures the hardened server is *designed* to answer with: typed
+``overloaded`` / ``draining`` / ``breaker_open`` / ``deadline_exceeded``
+errors and dropped connections are retried under a
+:class:`~repro.faults.retry.RetryPolicy` with capped exponential
+backoff and **seeded jitter** (each request id is the jitter key, so
+eight clients hammering a shedding server desynchronize
+deterministically). Permanent errors — bad params, unknown model,
+corrupt artifact — raise :class:`ServeError` immediately.
+
+Retried requests are re-sent whole (at-least-once delivery); every
+server method is a read, so replays are safe. ``shutdown`` is the
+exception — it is never retried, lest a retry cancel a drain already
+in progress.
+
+The module also owns :func:`parse_ready_line`, the parser for the
+single machine-readable line the TCP frontend prints after ``bind()``
+(``repro-serve-ready host=127.0.0.1 port=43117``) — scripts wait for
+that line instead of polling connects.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import socket
+
+from repro.faults.retry import RetryPolicy, call_with_retry
+
+from .server import (
+    BREAKER_OPEN,
+    DEADLINE_EXCEEDED,
+    DRAINING,
+    OVERLOADED,
+    READY_PREFIX,
+)
+
+__all__ = [
+    "PredictionClient",
+    "ServeError",
+    "RetryableServeError",
+    "RETRYABLE_CODES",
+    "parse_ready_line",
+]
+
+#: Typed server errors worth retrying: transient by construction.
+RETRYABLE_CODES = frozenset(
+    {OVERLOADED, DRAINING, BREAKER_OPEN, DEADLINE_EXCEEDED}
+)
+
+_READY_RE = re.compile(
+    rf"^{re.escape(READY_PREFIX)} host=(?P<host>\S+) port=(?P<port>\d+)\s*$"
+)
+
+
+def parse_ready_line(line: str) -> tuple[str, int] | None:
+    """``(host, port)`` from a ``repro-serve-ready`` line, else ``None``."""
+    m = _READY_RE.match(line.strip())
+    if m is None:
+        return None
+    return m.group("host"), int(m.group("port"))
+
+
+class ServeError(Exception):
+    """A typed JSON-RPC error response from the server."""
+
+    def __init__(self, code: int, kind: str, message: str) -> None:
+        super().__init__(f"server error {code} ({kind}): {message}")
+        self.code = code
+        self.kind = kind
+        self.server_message = message
+
+
+class RetryableServeError(ServeError):
+    """A typed error the policy may retry (see :data:`RETRYABLE_CODES`)."""
+
+
+#: Default client policy: 4 tries, 50 ms base backoff capped at 1 s,
+#: 50% seeded jitter.
+DEFAULT_RETRY = RetryPolicy(
+    max_attempts=4,
+    backoff_s=0.05,
+    max_backoff_s=1.0,
+    jitter=0.5,
+    seed=0,
+)
+
+
+class PredictionClient:
+    """One connection to a ``repro serve`` TCP frontend.
+
+    Not thread-safe: give each client thread its own instance (requests
+    interleave on the server side; responses come back on the owning
+    connection). Usable as a context manager.
+
+    Parameters
+    ----------
+    retry:
+        :class:`RetryPolicy` for transient failures. Request ids feed
+        its seeded jitter as retry keys.
+    timeout_s:
+        Socket timeout per read/write (transport stall guard, distinct
+        from the server-side ``deadline_ms``).
+    id_prefix:
+        Prefix of generated request ids — keep distinct per client so
+        ids stay unique across concurrent connections.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        retry: RetryPolicy = DEFAULT_RETRY,
+        timeout_s: float = 10.0,
+        id_prefix: str = "q",
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.retry = retry
+        self.timeout_s = timeout_s
+        self.id_prefix = id_prefix
+        self._n = 0
+        self._sock = None
+        self._rf = None
+        self._wf = None
+        #: Raw response line of the last successful call (bit-identity
+        #: checks in tests and chaos compare these, not re-serialized
+        #: parses).
+        self.last_line: str | None = None
+        #: Attempts the last call needed (observability for chaos runs).
+        self.last_attempts = 0
+
+    # -- connection management -----------------------------------------
+
+    def _ensure_connected(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        )
+        self._sock = sock
+        self._rf = sock.makefile("r")
+        self._wf = sock.makefile("w")
+
+    def close(self) -> None:
+        for closer in (self._rf, self._wf, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+        self._sock = self._rf = self._wf = None
+
+    def __enter__(self) -> "PredictionClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _roundtrip(self, request: dict) -> dict:
+        """One send + one receive; drops the connection on any
+        transport failure so the next attempt reconnects."""
+        try:
+            self._ensure_connected()
+            self._wf.write(json.dumps(request, sort_keys=True) + "\n")
+            self._wf.flush()
+            line = self._rf.readline()
+        except (OSError, ValueError):
+            self.close()
+            raise
+        if line == "":
+            self.close()
+            raise ConnectionError("server closed the connection")
+        try:
+            resp = json.loads(line)
+        except json.JSONDecodeError:
+            self.close()
+            raise ConnectionError(
+                f"unparseable response line: {line[:80]!r}"
+            ) from None
+        self.last_line = line.rstrip("\n")
+        return resp
+
+    # -- calls ---------------------------------------------------------
+
+    def call(self, method: str, params: dict | None = None, *, retry=True):
+        """Call one method; returns its ``result``.
+
+        Transient failures (see :data:`RETRYABLE_CODES`, plus transport
+        errors) are retried under the policy; the request id is the
+        deterministic jitter key. Raises :class:`ServeError` on typed
+        permanent errors, the last :class:`RetryableServeError` /
+        ``OSError`` once the policy gives up.
+        """
+        self._n += 1
+        rid = f"{self.id_prefix}{self._n}"
+        request = {"id": rid, "method": method}
+        if params:
+            request["params"] = params
+
+        def attempt_call(attempt: int):
+            resp = self._roundtrip(request)
+            err = resp.get("error")
+            if err is not None:
+                code = err.get("code")
+                kind = err.get("kind", "error")
+                message = err.get("message", "")
+                if retry and code in RETRYABLE_CODES:
+                    raise RetryableServeError(code, kind, message)
+                raise ServeError(code, kind, message)
+            return resp.get("result")
+
+        if not retry:
+            self.last_attempts = 1
+            return attempt_call(1)
+        result, exc, attempts = call_with_retry(
+            attempt_call,
+            self.retry,
+            recoverable=(RetryableServeError, OSError),
+            retry_key=rid,
+        )
+        self.last_attempts = attempts
+        if exc is not None:
+            raise exc
+        return result
+
+    def predict(
+        self,
+        kernel: str,
+        arch: str,
+        *,
+        rows: list[dict] | None = None,
+        X=None,
+        tag: str | None = None,
+        version: str | None = None,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        params: dict = {"kernel": kernel, "arch": arch}
+        if rows is not None:
+            params["rows"] = rows
+        if X is not None:
+            params["X"] = X
+        if tag is not None:
+            params["tag"] = tag
+        if version is not None:
+            params["version"] = version
+        if deadline_ms is not None:
+            params["deadline_ms"] = deadline_ms
+        return self.call("predict", params)
+
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def stats(self) -> dict:
+        return self.call("stats")
+
+    def models(self) -> dict:
+        return self.call("models")
+
+    def shutdown(self) -> dict:
+        """Request a graceful drain. Never retried: a late duplicate
+        would race the drain it asked for."""
+        return self.call("shutdown", retry=False)

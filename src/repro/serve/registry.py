@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Iterator
 
 from repro.core.store import CampaignKey
+from repro.faults.plan import should_inject
 from repro.obs import build_manifest
 from repro.obs.log import emit as emit_event
 
@@ -201,6 +202,20 @@ class FitRegistry:
         does not checksum is not served, ever.
         """
         resolved = self.resolve_version(key, version)
+        spec = should_inject(
+            "registry.load", campaign=key.dirname, version=resolved
+        )
+        if spec is not None:
+            if spec.mode == "missing":
+                raise FileNotFoundError(
+                    f"no fit stored for {key.dirname}@{resolved} "
+                    f"(injected fault at registry.load)"
+                )
+            raise RegistryIntegrityError(
+                f"BF610: registry corrupt: {key.dirname}/{resolved}/{_FIT} "
+                f"digest mismatch (injected fault at registry.load) — "
+                f"artifact refused"
+            )
         vdir = self.root / key.dirname / resolved
         fit_path = vdir / _FIT
         if not fit_path.exists():
@@ -337,6 +352,48 @@ class FitRegistry:
             if findings:
                 out[dirname] = findings
         return out
+
+    # -- change watching ----------------------------------------------
+
+    def watch_digests(self) -> dict[str, str]:
+        """Per-campaign content digests for hot-reload watching.
+
+        Each campaign's digest covers its ``repro-fit-index/1`` bytes
+        *plus* every indexed version's ``manifest.json`` bytes — the
+        index alone is not enough, because re-publishing the same
+        version leaves the index byte-identical while the manifest (and
+        artifact checksum) move. Any publish, gc, or on-disk edit of a
+        served artifact therefore changes its campaign's digest;
+        unreadable files hash as markers rather than raising, so a
+        corrupt republish still registers as a change.
+        """
+        out: dict[str, str] = {}
+        for index_path in sorted(self.root.glob(f"*/{_INDEX}")):
+            hasher = hashlib.sha256()
+            try:
+                index_bytes = index_path.read_bytes()
+            except OSError:
+                index_bytes = b"<unreadable>"
+            hasher.update(index_bytes)
+            try:
+                versions = json.loads(index_bytes).get("versions") or []
+            except (json.JSONDecodeError, UnicodeDecodeError, AttributeError):
+                versions = []
+            for version in versions:
+                hasher.update(b"\x00" + str(version).encode() + b"\x00")
+                manifest_path = index_path.parent / str(version) / _MANIFEST
+                try:
+                    hasher.update(manifest_path.read_bytes())
+                except OSError:
+                    hasher.update(b"<missing>")
+            out[index_path.parent.name] = hasher.hexdigest()
+        return out
+
+    def watch_digest(self) -> str:
+        """One combined digest over :meth:`watch_digests` (health reports)."""
+        return hashlib.sha256(
+            repr(sorted(self.watch_digests().items())).encode()
+        ).hexdigest()
 
     # -- retention -----------------------------------------------------
 

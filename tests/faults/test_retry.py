@@ -163,3 +163,130 @@ class TestCallWithRetry:
         # Slept again until the full monotonic backoff had elapsed.
         assert len(waits) > 1
         assert sum(w / 2 for w in waits) >= 1.0
+
+
+class TestSeededJitter:
+    def test_jitter_is_deterministic_per_key(self):
+        policy = RetryPolicy(backoff_s=1.0, jitter=0.5, seed=3)
+        first = policy.backoff_for(2, key="req-1")
+        assert policy.backoff_for(2, key="req-1") == first  # replayable
+
+    def test_jitter_desynchronizes_keys(self):
+        policy = RetryPolicy(backoff_s=1.0, jitter=0.5, seed=3)
+        waits = {policy.backoff_for(2, key=f"req-{i}") for i in range(16)}
+        assert len(waits) > 1  # distinct keys spread out
+
+    def test_jitter_is_subtractive_and_bounded(self):
+        policy = RetryPolicy(backoff_s=1.0, jitter=0.5, seed=0)
+        for i in range(32):
+            wait = policy.backoff_for(2, key=f"k{i}")
+            assert 0.5 <= wait <= 1.0  # never above base, never below 1-jitter
+
+    def test_seed_changes_the_schedule(self):
+        a = RetryPolicy(backoff_s=1.0, jitter=0.5, seed=0)
+        b = RetryPolicy(backoff_s=1.0, jitter=0.5, seed=1)
+        waits_a = [a.backoff_for(2, key=f"k{i}") for i in range(8)]
+        waits_b = [b.backoff_for(2, key=f"k{i}") for i in range(8)]
+        assert waits_a != waits_b
+
+    def test_zero_jitter_is_exact(self):
+        policy = RetryPolicy(backoff_s=0.1, jitter=0.0, seed=9)
+        assert policy.backoff_for(3, key="anything") == pytest.approx(0.2)
+
+    def test_jitter_without_key_warns_once(self):
+        from repro._compat import reset_deprecation_warnings
+
+        reset_deprecation_warnings()
+        policy = RetryPolicy(backoff_s=1.0, jitter=0.5)
+        with pytest.warns(DeprecationWarning, match="key="):
+            policy.backoff_for(2)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            policy.backoff_for(2)  # second call stays silent
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+
+class TestBackoffCap:
+    def test_max_backoff_caps_the_doubling(self):
+        policy = RetryPolicy(
+            max_attempts=8, backoff_s=0.1, max_backoff_s=0.25
+        )
+        assert policy.backoff_for(2) == pytest.approx(0.1)
+        assert policy.backoff_for(3) == pytest.approx(0.2)
+        assert policy.backoff_for(4) == pytest.approx(0.25)  # capped
+        assert policy.backoff_for(7) == pytest.approx(0.25)
+
+    def test_jitter_applies_after_the_cap(self):
+        policy = RetryPolicy(
+            backoff_s=1.0, max_backoff_s=0.5, jitter=0.5, seed=0
+        )
+        for i in range(16):
+            wait = policy.backoff_for(5, key=f"k{i}")
+            assert 0.25 <= wait <= 0.5
+
+    def test_max_backoff_validation(self):
+        with pytest.raises(ValueError, match="max_backoff_s"):
+            RetryPolicy(max_backoff_s=0)
+
+
+class TestMaxElapsedBudget:
+    def test_gives_up_when_the_next_wait_would_bust_the_budget(self):
+        calls = []
+        sleeps = []
+
+        def always_fails(attempt):
+            calls.append(attempt)
+            raise InjectedFault("down")
+
+        result, exc, attempts = call_with_retry(
+            always_fails,
+            RetryPolicy(
+                max_attempts=10, backoff_s=100.0, max_elapsed_s=1.0
+            ),
+            sleep=sleeps.append,
+        )
+        # Attempt 1 fails; a 100 s backoff cannot fit the 1 s budget,
+        # so the driver stops without sleeping at all.
+        assert result is None
+        assert isinstance(exc, InjectedFault)
+        assert attempts == 1
+        assert calls == [1]
+        assert sleeps == []
+
+    def test_budget_roomy_enough_lets_retries_run(self):
+        def fails_once(attempt):
+            if attempt == 1:
+                raise InjectedFault("again")
+            return "ok"
+
+        result, exc, attempts = call_with_retry(
+            fails_once,
+            RetryPolicy(max_attempts=3, backoff_s=0.0, max_elapsed_s=60.0),
+            sleep=lambda s: None,
+        )
+        assert result == "ok"
+        assert exc is None
+        assert attempts == 2
+
+    def test_max_elapsed_validation(self):
+        with pytest.raises(ValueError, match="max_elapsed_s"):
+            RetryPolicy(max_elapsed_s=-1)
+
+
+class TestCompat:
+    def test_positional_construction_still_works(self):
+        policy = RetryPolicy(5, 0.5, 30.0)
+        assert policy.max_attempts == 5
+        assert policy.backoff_s == 0.5
+        assert policy.timeout_s == 30.0
+        # New fields default inert: old call sites see old behavior.
+        assert policy.max_backoff_s is None
+        assert policy.jitter == 0.0
+        assert policy.max_elapsed_s is None

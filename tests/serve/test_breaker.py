@@ -1,0 +1,132 @@
+"""Unit tests for the per-model circuit breaker.
+
+The breaker is deliberately wall-clock free: opening is a consecutive-
+failure count, recovery a deterministic every-``cooldown``-th half-open
+probe. That makes every transition here exactly reproducible — no
+sleeps, no flaky timing.
+"""
+
+import pytest
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+KEY = ("gemm__volta", "v1")
+OTHER = ("jacobi__volta", "v2")
+
+
+class TestOpening:
+    def test_starts_closed_and_allows(self):
+        br = CircuitBreaker(threshold=3, cooldown=2)
+        assert br.state(KEY) == CLOSED
+        assert br.allow(KEY)
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        br = CircuitBreaker(threshold=3, cooldown=2)
+        for _ in range(2):
+            br.record_failure(KEY, "boom")
+        assert br.state(KEY) == CLOSED  # one short of the threshold
+        br.record_failure(KEY, "boom")
+        assert br.state(KEY) == OPEN
+        assert not br.allow(KEY)
+
+    def test_success_resets_the_failure_streak(self):
+        br = CircuitBreaker(threshold=3, cooldown=2)
+        br.record_failure(KEY)
+        br.record_failure(KEY)
+        br.record_success(KEY)  # streak broken
+        br.record_failure(KEY)
+        br.record_failure(KEY)
+        assert br.state(KEY) == CLOSED
+
+    def test_keys_are_independent(self):
+        br = CircuitBreaker(threshold=1, cooldown=2)
+        br.record_failure(KEY)
+        assert br.state(KEY) == OPEN
+        assert br.state(OTHER) == CLOSED
+        assert br.allow(OTHER)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=0)
+
+
+class TestRecovery:
+    def test_probe_on_every_cooldownth_rejection(self):
+        br = CircuitBreaker(threshold=1, cooldown=3)
+        br.record_failure(KEY)
+        # Rejections 1 and 2 short-circuit; the 3rd converts into a probe.
+        assert not br.allow(KEY)
+        assert not br.allow(KEY)
+        assert br.allow(KEY)
+        assert br.state(KEY) == HALF_OPEN
+
+    def test_only_one_probe_in_flight(self):
+        br = CircuitBreaker(threshold=1, cooldown=1)
+        br.record_failure(KEY)
+        assert br.allow(KEY)  # the probe
+        assert not br.allow(KEY)  # everyone else still rejected
+        assert br.state(KEY) == HALF_OPEN
+
+    def test_successful_probe_closes(self):
+        br = CircuitBreaker(threshold=1, cooldown=1)
+        br.record_failure(KEY)
+        assert br.allow(KEY)
+        br.record_success(KEY)
+        assert br.state(KEY) == CLOSED
+        assert br.allow(KEY)
+
+    def test_failed_probe_reopens_and_restarts_the_count(self):
+        br = CircuitBreaker(threshold=1, cooldown=2)
+        br.record_failure(KEY)
+        assert not br.allow(KEY)
+        assert br.allow(KEY)  # probe
+        br.record_failure(KEY)  # probe fails
+        assert br.state(KEY) == OPEN
+        # The rejection count restarted: one short-circuit, then a probe.
+        assert not br.allow(KEY)
+        assert br.allow(KEY)
+
+
+class TestEventsAndIntrospection:
+    def test_event_stream_matches_transitions(self):
+        events = []
+        br = CircuitBreaker(
+            threshold=1, cooldown=1, on_event=lambda kind, key: events.append(kind)
+        )
+        br.record_failure(KEY)
+        br.allow(KEY)  # probe immediately (cooldown=1)
+        br.record_success(KEY)
+        assert events == ["open", "half_open", "close"]
+
+    def test_shortcircuit_event(self):
+        events = []
+        br = CircuitBreaker(
+            threshold=1, cooldown=5, on_event=lambda kind, key: events.append(kind)
+        )
+        br.record_failure(KEY)
+        br.allow(KEY)
+        assert events == ["open", "shortcircuit"]
+
+    def test_summary_lists_only_non_closed(self):
+        br = CircuitBreaker(threshold=1, cooldown=2)
+        br.record_failure(KEY)
+        br.record_failure(OTHER)
+        br.record_success(OTHER)
+        assert br.summary() == {"gemm__volta@v1": OPEN}
+
+    def test_reset_scoped_to_one_campaign(self):
+        br = CircuitBreaker(threshold=1, cooldown=2)
+        br.record_failure(KEY)
+        br.record_failure(OTHER)
+        assert br.reset("gemm__volta") == 1
+        assert br.state(KEY) == CLOSED
+        assert br.state(OTHER) == OPEN
+
+    def test_reset_all(self):
+        br = CircuitBreaker(threshold=1, cooldown=2)
+        br.record_failure(KEY)
+        br.record_failure(OTHER)
+        assert br.reset() == 2
+        assert br.summary() == {}

@@ -1,0 +1,213 @@
+"""Unit tests for the retrying prediction client.
+
+A scripted stub server (one thread, line-in/line-out) stands in for
+``repro serve`` so every retry path is exercised deterministically:
+typed transient errors, permanent errors, dropped connections, and the
+never-retry rule for ``shutdown``. Sleeps are neutralized by a
+zero-backoff policy, so the suite stays fast.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.faults.retry import RetryPolicy
+from repro.serve.client import (
+    RETRYABLE_CODES,
+    PredictionClient,
+    RetryableServeError,
+    ServeError,
+)
+from repro.serve.server import MODEL_NOT_FOUND, OVERLOADED
+
+FAST_RETRY = RetryPolicy(max_attempts=4, backoff_s=0.0)
+
+
+def _err(rid, code, kind, message="scripted"):
+    return json.dumps(
+        {"id": rid, "error": {"code": code, "kind": kind, "message": message}},
+        sort_keys=True,
+    )
+
+
+def _ok(rid, result):
+    return json.dumps({"id": rid, "result": result}, sort_keys=True)
+
+
+class StubServer:
+    """Answers each request line with the next scripted behavior.
+
+    A behavior is either a callable ``(request dict) -> response line``
+    or the string ``"drop"`` — close the connection without answering.
+    New connections are accepted until the script runs out.
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests = []
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.sock.settimeout(5.0)
+        self.host, self.port = self.sock.getsockname()
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        while self.script:
+            try:
+                conn, _ = self.sock.accept()
+            except (socket.timeout, OSError):
+                return
+            with conn:
+                rf, wf = conn.makefile("r"), conn.makefile("w")
+                while self.script:
+                    line = rf.readline()
+                    if not line:
+                        break  # client went away; await a reconnect
+                    req = json.loads(line)
+                    self.requests.append(req)
+                    step = self.script.pop(0)
+                    if step == "drop":
+                        break  # close without answering
+                    wf.write(step(req) + "\n")
+                    wf.flush()
+                # The makefile objects keep the socket alive; close
+                # them so the peer actually sees EOF.
+                rf.close()
+                wf.close()
+
+    def close(self):
+        self.script = []
+        self.sock.close()
+        self.thread.join(timeout=5)
+
+
+@pytest.fixture()
+def stub(request):
+    servers = []
+
+    def make(script):
+        server = StubServer(script)
+        servers.append(server)
+        return server
+
+    yield make
+    for server in servers:
+        server.close()
+
+
+class TestRetryBehavior:
+    def test_transient_error_then_success(self, stub):
+        server = stub(
+            [
+                lambda req: _err(req["id"], OVERLOADED, "overloaded"),
+                lambda req: _ok(req["id"], {"pong": True}),
+            ]
+        )
+        with PredictionClient(server.host, server.port, retry=FAST_RETRY) as c:
+            assert c.call("ping") == {"pong": True}
+            assert c.last_attempts == 2
+        # The retry re-sent the SAME request id (at-least-once replay).
+        assert [r["id"] for r in server.requests] == ["q1", "q1"]
+
+    def test_permanent_error_raises_immediately(self, stub):
+        server = stub(
+            [lambda req: _err(req["id"], MODEL_NOT_FOUND, "model_not_found")]
+        )
+        with PredictionClient(server.host, server.port, retry=FAST_RETRY) as c:
+            with pytest.raises(ServeError) as exc_info:
+                c.predict("nope", "volta", X=[[1.0]])
+        assert not isinstance(exc_info.value, RetryableServeError)
+        assert exc_info.value.kind == "model_not_found"
+        assert len(server.requests) == 1  # no retry burned
+
+    def test_exhausted_retries_raise_the_last_typed_error(self, stub):
+        server = stub(
+            [lambda req: _err(req["id"], OVERLOADED, "overloaded")] * 4
+        )
+        with PredictionClient(server.host, server.port, retry=FAST_RETRY) as c:
+            with pytest.raises(RetryableServeError) as exc_info:
+                c.call("ping")
+        assert exc_info.value.code == OVERLOADED
+        assert len(server.requests) == 4  # max_attempts, then give up
+
+    def test_reconnects_after_dropped_connection(self, stub):
+        server = stub(["drop", lambda req: _ok(req["id"], {"pong": True})])
+        with PredictionClient(server.host, server.port, retry=FAST_RETRY) as c:
+            assert c.call("ping") == {"pong": True}
+            assert c.last_attempts == 2
+
+    def test_shutdown_is_never_retried(self, stub):
+        server = stub(
+            [lambda req: _err(req["id"], OVERLOADED, "overloaded")] * 2
+        )
+        with PredictionClient(server.host, server.port, retry=FAST_RETRY) as c:
+            with pytest.raises(ServeError):
+                c.shutdown()
+        assert len(server.requests) == 1
+
+    def test_last_line_holds_the_raw_response(self, stub):
+        server = stub([lambda req: _ok(req["id"], {"pong": True})])
+        with PredictionClient(server.host, server.port, retry=FAST_RETRY) as c:
+            c.call("ping")
+            assert json.loads(c.last_line) == {
+                "id": "q1",
+                "result": {"pong": True},
+            }
+
+
+class TestRequestShapes:
+    def test_predict_builds_minimal_params(self, stub):
+        server = stub([lambda req: _ok(req["id"], {"predictions": [1.0]})])
+        with PredictionClient(server.host, server.port, retry=FAST_RETRY) as c:
+            c.predict("gemm", "volta", X=[[1.0, 2.0]])
+        params = server.requests[0]["params"]
+        assert params == {"kernel": "gemm", "arch": "volta", "X": [[1.0, 2.0]]}
+
+    def test_predict_forwards_deadline_and_version(self, stub):
+        server = stub([lambda req: _ok(req["id"], {"predictions": [1.0]})])
+        with PredictionClient(server.host, server.port, retry=FAST_RETRY) as c:
+            c.predict(
+                "gemm",
+                "volta",
+                rows=[{"n": 1.0}],
+                tag="t",
+                version="abc",
+                deadline_ms=250,
+            )
+        params = server.requests[0]["params"]
+        assert params["rows"] == [{"n": 1.0}]
+        assert params["tag"] == "t"
+        assert params["version"] == "abc"
+        assert params["deadline_ms"] == 250
+
+    def test_ids_increment_per_client_with_prefix(self, stub):
+        server = stub([lambda req: _ok(req["id"], {})] * 3)
+        with PredictionClient(
+            server.host, server.port, retry=FAST_RETRY, id_prefix="c7-"
+        ) as c:
+            c.call("ping")
+            c.call("ping")
+            c.call("stats")
+        assert [r["id"] for r in server.requests] == ["c7-1", "c7-2", "c7-3"]
+
+
+class TestRetryableCodeSet:
+    def test_deadline_exceeded_is_retryable(self):
+        from repro.serve.server import (
+            BREAKER_OPEN,
+            DEADLINE_EXCEEDED,
+            DRAINING,
+            REGISTRY_CORRUPT,
+        )
+
+        assert DEADLINE_EXCEEDED in RETRYABLE_CODES
+        assert BREAKER_OPEN in RETRYABLE_CODES
+        assert DRAINING in RETRYABLE_CODES
+        # Corruption is NOT transient: retrying would hammer a broken
+        # artifact and keep the breaker open.
+        assert REGISTRY_CORRUPT not in RETRYABLE_CODES

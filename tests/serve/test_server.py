@@ -152,8 +152,14 @@ class TestLifecycle:
             rpc(2, "shutdown"),
             rpc(3, "ping"),  # after shutdown: batch already drained, but
         ])
-        assert responses[1]["result"] == {"ok": True}
+        # ping now answers the repro-serve-health/1 readiness document.
+        health = responses[1]["result"]
+        assert health["ok"] is True
+        assert health["status"] == "ready"
+        assert health["schema"] == "repro-serve-health/1"
         assert responses[2]["result"]["ok"] is True
+        # A ping queued behind shutdown in the same batch sees draining.
+        assert responses[3]["result"]["status"] == "draining"
 
     def test_eof_is_graceful(self, registry):
         server = PredictionServer(registry)
