@@ -27,6 +27,10 @@ tag                      written by
 ``repro-serve-health/1``  :mod:`repro.serve.server` (``ping``
                           readiness document — a wire shape, not a
                           file; ``repro query ping`` output)
+``repro-telemetry/1``    :mod:`repro.obs.telemetry` (rotating JSONL
+                         snapshot journal; heartbeats + scrapes)
+``repro-flightrec/1``    :mod:`repro.obs.flightrec` (crash-triggered
+                         ring-buffer dump)
 =======================  ==========================================
 
 Validation produces *findings*, not exceptions: a renamed field in a
@@ -284,6 +288,39 @@ SCHEMAS: dict[str, ArtifactSchema] = {
                 _f("generations", list),
                 _f("prefix_sha256", str),
                 _f("trees", list),
+            ),
+        ),
+        ArtifactSchema(
+            tag="repro-telemetry/1",
+            kind="jsonl",
+            description="rotating telemetry snapshot journal",
+            fields=(
+                _f("schema", str),
+                _f("seq", int),
+                _f("source", str),
+                _f("elapsed_s", (int, float)),
+                _f("counters", dict),
+                _f("gauges", dict),
+                _f("timers", dict),
+                _f("provenance", dict, required=False),
+                _f("breakers", dict, required=False),
+                _f("server", dict, required=False),
+                _f("progress", dict, required=False),
+            ),
+        ),
+        ArtifactSchema(
+            tag="repro-flightrec/1",
+            kind="json",
+            description="flight-recorder ring dump (post-mortem tail)",
+            fields=(
+                _f("schema", str),
+                _f("reason", str),
+                _f("dump_count", int),
+                _f("capacity", int),
+                _f("recorded", int),
+                _f("dropped", int),
+                _f("provenance", dict),
+                _f("events", list),
             ),
         ),
         ArtifactSchema(

@@ -493,7 +493,14 @@ def bench_serve_concurrent(quick: bool = False) -> BenchResult:
                 out = ref.handle_batch([line])[0]
                 expected[json.loads(out)["id"]] = out
 
-        fast_server = PredictionServer(registry, watch_reload=False)
+        # The telemetry exporter rides along on the fast path — the
+        # acceptance bar is that live observability costs almost
+        # nothing, so the timed configuration is the observed one.
+        fast_server = PredictionServer(
+            registry, watch_reload=False,
+            telemetry_path=f"{tmp}/telemetry.jsonl",
+            telemetry_interval_s=0.5,
+        )
         ready = threading.Event()
         addr: dict = {}
 
@@ -564,6 +571,7 @@ def bench_serve_concurrent(quick: bool = False) -> BenchResult:
             "per_client": per_client,
             "trees": trees,
             "workers": 2,
+            "telemetry": True,
             "requests_per_s": (
                 n_requests / fast_s if fast_s > 0 else None
             ),

@@ -18,6 +18,10 @@ kernel and get readable feedback from; this module is that front end::
     python -m repro repo verify ./profiles --quarantine
     python -m repro publish reduce1 --arch GTX580 --registry ./models
     python -m repro serve --registry ./models --max-batch 32
+    python -m repro serve --registry ./models --socket 127.0.0.1:7070 \\
+        --telemetry telemetry.jsonl --flight-recorder flightrec.json
+    python -m repro top --connect 127.0.0.1:7070
+    python -m repro top --once --format json
 
 Every data-producing subcommand takes ``--format {text,json}``; the
 sweep-driving ones share ``--seed`` and ``--jobs``. ``--trace`` (on
@@ -195,7 +199,8 @@ def cmd_analyze(args) -> int:
     print(f"collecting campaign for {kernel.name} on {arch.name}...",
           file=sys.stderr)
     campaign = Campaign(kernel, arch, rng=args.seed).run(
-        problems=problems, replicates=args.replicates, n_jobs=args.jobs
+        problems=problems, replicates=args.replicates, n_jobs=args.jobs,
+        telemetry=args.telemetry,
     )
     fit = BlackForest(
         n_trees=args.trees, importance_repeats=args.repeats,
@@ -572,7 +577,7 @@ def cmd_chaos(args) -> int:
     with fault_injection(plan):
         result = Campaign(kernel, arch, rng=args.seed).run(
             problems=problems, replicates=args.replicates,
-            n_jobs=args.jobs, retry=retry,
+            n_jobs=args.jobs, retry=retry, telemetry=args.telemetry,
         )
         repo_findings = None
         if args.save_to:
@@ -720,10 +725,16 @@ def _cmd_chaos_serve(args) -> int:
                 )
                 expected[rid] = serial.handle_batch([line])[0]
 
+        # The flight recorder rides along under fire: the ring must
+        # capture every injected failure, and a breaker opening must
+        # dump exactly once (shutdown is via RPC, not SIGTERM, so the
+        # breaker-open artifact is the only dump expected).
+        flightrec_path = Path(tmp) / "flightrec.json"
         server = PredictionServer(
             registry,
             breaker_threshold=args.breaker_threshold,
             breaker_cooldown=args.breaker_cooldown,
+            flightrec_path=str(flightrec_path),
         )
         ready = threading.Event()
         bound: dict = {}
@@ -791,6 +802,59 @@ def _cmd_chaos_serve(args) -> int:
             serve_thread.join(timeout=30)
         drained_cleanly = not serve_thread.is_alive()
 
+        # Flight-recorder leg (read before the tempdir vanishes).
+        from repro.obs import read_flightrec
+
+        fired = plan.summary()
+        ring = server.flightrec.events()
+        injected_captured = sum(
+            1 for e in ring
+            if e["kind"] == "error"
+            and "injected fault" in (e["fields"].get("message") or "")
+        )
+        breaker_opens = server.metrics.counters.get(
+            ("serve.breaker.open",), 0
+        )
+        flight_problems: list[str] = []
+        if fired.get("serve.request:raise", 0) and not injected_captured:
+            flight_problems.append(
+                "ring captured no injected-failure error records"
+            )
+        dump_doc = None
+        if breaker_opens:
+            if not flightrec_path.exists():
+                flight_problems.append(
+                    "breaker opened but no flight-recorder dump"
+                )
+            else:
+                dump_doc = read_flightrec(flightrec_path)
+                if dump_doc["reason"] != "breaker_open":
+                    flight_problems.append(
+                        f"dump reason {dump_doc['reason']!r} "
+                        "!= 'breaker_open'"
+                    )
+                if dump_doc["dump_count"] != 1:
+                    flight_problems.append(
+                        f"dump_count {dump_doc['dump_count']} != 1 "
+                        "(breaker-open dump must fire exactly once)"
+                    )
+        elif flightrec_path.exists():
+            # No SIGTERM, no worker crash, breaker never opened: any
+            # artifact here means a spurious dump trigger.
+            dump_doc = read_flightrec(flightrec_path)
+            flight_problems.append(
+                f"unexpected dump (reason {dump_doc['reason']!r})"
+            )
+        flight = {
+            "ring_events": len(ring),
+            "injected_captured": injected_captured,
+            "breaker_opens": int(breaker_opens),
+            "dump_reason": dump_doc["reason"] if dump_doc else None,
+            "dump_count": dump_doc["dump_count"] if dump_doc else 0,
+            "dump_events": len(dump_doc["events"]) if dump_doc else 0,
+            "problems": flight_problems,
+        }
+
     n_ok = sum(1 for kind, _ in outcomes.values() if kind == "ok")
     typed: dict[str, int] = {}
     for kind, detail in outcomes.values():
@@ -818,6 +882,7 @@ def _cmd_chaos_serve(args) -> int:
         and not mismatched
         and not unanswered
         and shutdown_error is None
+        and not flight_problems
     )
     text = (
         f"chaos --serve: {kernel.name} on {arch.name} — "
@@ -831,6 +896,18 @@ def _cmd_chaos_serve(args) -> int:
         + f"; drained {server.drained_count()} in-flight, "
         + ("clean shutdown" if drained_cleanly else "SHUTDOWN HUNG")
         + (f" (shutdown error: {shutdown_error})" if shutdown_error else "")
+        + (
+            f"; flight recorder: {flight['ring_events']} ring events, "
+            f"{flight['injected_captured']} injected captured"
+            + (
+                f", dumped ({flight['dump_reason']})"
+                if flight["dump_reason"] else ""
+            )
+            + (
+                f", PROBLEMS {flight_problems}" if flight_problems
+                else ", OK"
+            )
+        )
     )
     _emit(args, {
         "kernel": kernel.name,
@@ -848,6 +925,7 @@ def _cmd_chaos_serve(args) -> int:
         "drained": server.drained_count(),
         "clean_shutdown": drained_cleanly,
         "shutdown_error": shutdown_error,
+        "flight_recorder": flight,
         # Per-method timer snapshot (count, p50/p95/p99) — the latency
         # evidence CI archives for the concurrent chaos leg.
         "latency": snapshot["timer"],
@@ -990,6 +1068,9 @@ def cmd_serve(args) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
         watch_reload=not args.no_reload,
+        telemetry_path=args.telemetry,
+        telemetry_interval_s=args.telemetry_interval,
+        flightrec_path=args.flight_recorder,
     )
     if args.socket:
         host, _, port = args.socket.rpartition(":")
@@ -1083,6 +1164,114 @@ def cmd_query(args) -> int:
     return 0
 
 
+def _render_top(doc: dict, qps: float | None, addr: str) -> str:
+    """One plain-text dashboard frame from a telemetry snapshot."""
+    server = doc.get("server") or {}
+    counters = doc.get("counters") or {}
+    lines = [
+        f"repro top — {addr}",
+        "  qps {qps}   requests {served}   inflight {inflight}   "
+        "queue-shed {shed}   timeouts {timeouts}".format(
+            qps=f"{qps:.1f}" if qps is not None else "-",
+            served=server.get("requests_served", 0),
+            inflight=server.get("inflight", 0),
+            shed=counters.get("serve.shed", 0),
+            timeouts=counters.get("serve.timeouts", 0),
+        ),
+        "  cache {rate:.1%} hit ({hits} hits / {misses} misses, "
+        "{entries} warm, {evictions} evicted)   reloads {reloads}   "
+        "{drain}".format(
+            rate=server.get("cache_hit_rate", 0.0),
+            hits=server.get("cache_hits", 0),
+            misses=server.get("cache_misses", 0),
+            entries=server.get("cache_entries", 0),
+            evictions=server.get("cache_evictions", 0),
+            reloads=counters.get("serve.reloads", 0),
+            drain=(
+                f"DRAINING ({server.get('drained', 0)} drained)"
+                if server.get("draining") else "accepting"
+            ),
+        ),
+    ]
+    timers = doc.get("timers") or {}
+    if timers:
+        rows = []
+        for key in sorted(timers):
+            h = timers[key]
+            fmt = lambda v: f"{v * 1e3:.3g}" if v is not None else "-"
+            rows.append((
+                key, h.get("count", 0), fmt(h.get("p50_s")),
+                fmt(h.get("p95_s")), fmt(h.get("p99_s")),
+                fmt(h.get("max_s")),
+            ))
+        lines.append("")
+        lines.append(table(
+            ["latency", "count", "p50 ms", "p95 ms", "p99 ms", "max ms"],
+            rows,
+        ))
+    breakers = doc.get("breakers") or {}
+    if breakers:
+        lines.append("")
+        lines.append(table(
+            ["breaker", "state"],
+            [(k, breakers[k]) for k in sorted(breakers)],
+        ))
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    """Live dashboard over a running server's ``telemetry`` RPC.
+
+    Plain-text frames refreshed in place every ``--interval`` seconds;
+    ``--once`` prints a single frame and exits (``--once --format
+    json`` emits the raw snapshot for scripts). qps is computed from
+    ``requests_served`` deltas between consecutive scrapes.
+    """
+    import time as _time
+
+    from repro.serve import PredictionClient, ServeError
+
+    host, _, port = args.connect.rpartition(":")
+    try:
+        port_no = int(port)
+    except ValueError:
+        raise SystemExit(
+            f"bad --connect {args.connect!r} (expected HOST:PORT)"
+        )
+    client = PredictionClient(
+        host or "127.0.0.1", port_no, timeout_s=args.timeout,
+        id_prefix="top-",
+    )
+    prev: tuple[float, int] | None = None
+    try:
+        while True:
+            t = _time.monotonic()
+            try:
+                doc = client.telemetry()["telemetry"]
+            except (ServeError, OSError) as exc:
+                print(f"cannot scrape {args.connect}: {exc}",
+                      file=sys.stderr)
+                return 1
+            served = (doc.get("server") or {}).get("requests_served", 0)
+            qps = None
+            if prev is not None and t > prev[0]:
+                qps = max(0, served - prev[1]) / (t - prev[0])
+            prev = (t, served)
+            frame = _render_top(doc, qps, args.connect)
+            if args.once:
+                _emit(args, {"telemetry": doc, "qps": qps}, frame)
+                return 0
+            # ANSI clear + home keeps the dashboard in place on a
+            # terminal; piped output just gets frame after frame.
+            prefix = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+            print(prefix + frame + "\n", flush=True)
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()
+
+
 def cmd_trace(args) -> int:
     """Run any subcommand under tracing and print/export its span tree."""
     from repro.obs import collect, render_text_tree, to_chrome_trace, trace
@@ -1162,6 +1351,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", action="store_true",
                    help="record a span tree of the run (text: appended; "
                    "json: under the 'trace' key)")
+    p.add_argument("--telemetry", metavar="PATH",
+                   help="append campaign heartbeats (progress, retries, "
+                   "quarantines) to this repro-telemetry/1 JSONL journal")
     _add_format(p)
 
     p = sub.add_parser("predict", help="predict times for unseen sizes")
@@ -1348,6 +1540,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="(--serve) failures before the breaker opens")
     p.add_argument("--breaker-cooldown", type=int, default=4,
                    help="(--serve) rejections between half-open probes")
+    p.add_argument("--telemetry", metavar="PATH",
+                   help="(campaign mode) append campaign heartbeats to "
+                   "this repro-telemetry/1 JSONL journal")
     _add_format(p)
 
     p = sub.add_parser(
@@ -1428,6 +1623,16 @@ def build_parser() -> argparse.ArgumentParser:
                    "probes (default: 8)")
     p.add_argument("--no-reload", action="store_true",
                    help="disable hot reload (registry digest watching)")
+    p.add_argument("--telemetry", metavar="PATH",
+                   help="append periodic metric snapshots to this "
+                   "rotating repro-telemetry/1 JSONL journal")
+    p.add_argument("--telemetry-interval", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="seconds between telemetry samples (default: 5)")
+    p.add_argument("--flight-recorder", metavar="PATH",
+                   help="keep a bounded ring of recent events, dumped "
+                   "to PATH as repro-flightrec/1 on SIGTERM, worker "
+                   "crash, or a breaker opening")
 
     p = sub.add_parser(
         "query",
@@ -1435,7 +1640,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("method",
                    choices=("predict", "ping", "stats", "models",
-                            "shutdown"))
+                            "telemetry", "shutdown"))
     p.add_argument("kernel", nargs="?",
                    help="kernel name (predict only)")
     p.add_argument("--connect", default="127.0.0.1:7070",
@@ -1459,6 +1664,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="socket timeout per read/write (default: 10)")
     p.add_argument("--seed", type=int, default=0,
                    help="seed of the deterministic retry jitter")
+    _add_format(p)
+
+    p = sub.add_parser(
+        "top",
+        help="live dashboard over a running server's telemetry RPC",
+    )
+    p.add_argument("--connect", default="127.0.0.1:7070",
+                   metavar="HOST:PORT",
+                   help="server address (default: 127.0.0.1:7070)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between scrapes (default: 2)")
+    p.add_argument("--once", action="store_true",
+                   help="print a single frame and exit (scriptable "
+                   "with --format json)")
+    p.add_argument("--timeout", type=float, default=10.0,
+                   help="socket timeout per scrape (default: 10)")
     _add_format(p)
 
     p = sub.add_parser(
@@ -1489,6 +1710,7 @@ _COMMANDS = {
     "publish": cmd_publish,
     "serve": cmd_serve,
     "query": cmd_query,
+    "top": cmd_top,
     "trace": cmd_trace,
 }
 

@@ -25,6 +25,16 @@ Four coordinated pieces:
   provenance sidecars (seed, arch, kernel, git rev, config, span
   timings) written alongside repository artifacts.
 
+On top of those, the *telemetry pipeline* makes a live process
+observable from outside: :class:`TelemetryExporter` samples metric
+snapshots into a rotating ``repro-telemetry/1`` JSONL journal and
+renders Prometheus-style text (:func:`render_prometheus`), while
+:class:`FlightRecorder` keeps a bounded ring of recent occurrences and
+dumps it atomically as ``repro-flightrec/1`` when the serving layer
+crashes, drains on SIGTERM, or trips a circuit breaker. Timer metrics
+are bounded too: :class:`LogHistogram` caps retained raw samples and
+keeps quantiles merge-order-independent at any scale.
+
 Exporters turn a trace into ``repro trace`` text output
 (:func:`render_text_tree`) or Chrome-trace JSON
 (:func:`to_chrome_trace`, loadable in chrome://tracing / Perfetto).
@@ -43,6 +53,7 @@ Quickstart::
 """
 
 from .export import render_text_tree, span_totals, to_chrome_trace
+from .flightrec import FlightRecorder, read_flightrec
 from .history import append_history, compare_results, read_history
 from .log import (
     Event,
@@ -56,6 +67,7 @@ from .log import (
 )
 from .manifest import Manifest, build_manifest, git_revision
 from .metrics import (
+    LogHistogram,
     MetricsRegistry,
     collect,
     current_metrics,
@@ -66,6 +78,12 @@ from .metrics import (
     timer,
 )
 from .report import Report, ReportSection, build_report
+from .telemetry import (
+    TelemetryExporter,
+    read_telemetry,
+    render_prometheus,
+    snapshot_doc,
+)
 from .spans import (
     SpanRecord,
     Tracer,
@@ -84,6 +102,7 @@ __all__ = [
     "child_trace",
     "current_tracer",
     "tracing_enabled",
+    "LogHistogram",
     "MetricsRegistry",
     "collect",
     "current_metrics",
@@ -112,4 +131,10 @@ __all__ = [
     "append_history",
     "read_history",
     "compare_results",
+    "TelemetryExporter",
+    "read_telemetry",
+    "render_prometheus",
+    "snapshot_doc",
+    "FlightRecorder",
+    "read_flightrec",
 ]

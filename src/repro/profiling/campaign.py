@@ -402,6 +402,7 @@ class Campaign:
         retry: RetryPolicy | None = None,
         checkpoint=None,
         strict: bool = False,
+        telemetry=None,
     ) -> CampaignResult:
         """Profile every problem instance (default: the paper's sweep).
 
@@ -425,6 +426,14 @@ class Campaign:
         reassembles a bit-identical result. A checkpoint written by a
         different sweep/seed/kernel is refused
         (:class:`~repro.profiling.checkpoint.CheckpointMismatch`).
+
+        ``telemetry`` names a ``repro-telemetry/1`` JSONL journal
+        (:class:`repro.obs.telemetry.TelemetryExporter`): one heartbeat
+        record per finished problem — completed/quarantined progress
+        plus whatever ambient :func:`~repro.obs.collect` window is
+        installed — so a long sweep is observable mid-flight
+        (``tail -f``, ``repro lint --artifacts``). Pure output: the
+        collected records are bit-identical with it on or off.
 
         Before anything launches, the plan checker
         (:mod:`repro.analysis.plan`, rules BF5xx) statically validates
@@ -501,6 +510,31 @@ class Campaign:
             if i not in done
         ]
 
+        exporter = None
+        if telemetry is not None:
+            from repro.obs.telemetry import TelemetryExporter
+            from repro.obs.telemetry import snapshot_doc as _telemetry_body
+
+            def _campaign_snapshot() -> dict:
+                registry = current_metrics()
+                body = (
+                    _telemetry_body(registry)
+                    if registry is not None
+                    else {"counters": {}, "gauges": {}, "timers": {}}
+                )
+                body["progress"] = {
+                    "kernel": self.kernel.name,
+                    "arch": self.arch.name,
+                    "total": len(problems),
+                    "completed": len(completed),
+                    "quarantined": len(quarantined),
+                }
+                return body
+
+            exporter = TelemetryExporter(
+                telemetry, _campaign_snapshot, source="campaign"
+            )
+
         def finish(index, problem, records, q) -> None:
             if q is None:
                 completed[index] = records
@@ -510,6 +544,11 @@ class Campaign:
                 quarantined[index] = q
                 if ckpt is not None:
                     ckpt.record_quarantine(index, q.to_dict())
+            if exporter is not None:
+                # One heartbeat per finished problem, always from the
+                # parent process (workers report back through finish),
+                # so the journal has a single writer.
+                exporter.sample()
 
         jobs = min(resolve_n_jobs(n_jobs), max(len(pending), 1))
         emit_event(
@@ -555,6 +594,10 @@ class Campaign:
             n_records=len(result.records),
             n_quarantined=len(result.quarantined),
         )
+        if exporter is not None:
+            # Closing heartbeat: the journal's tail shows the finished
+            # sweep even when nothing was pending (checkpoint resume).
+            exporter.sample()
         return result
 
     def _run_parallel(self, pending, replicates, jobs, retry, finish) -> None:

@@ -258,6 +258,12 @@ class PredictionClient:
     def stats(self) -> dict:
         return self.call("stats")
 
+    def telemetry(self, fmt: str = "json") -> dict:
+        """One ``telemetry`` scrape; ``fmt`` is ``json`` (structured
+        snapshot, what ``repro top`` polls) or ``prometheus`` (text
+        exposition under the ``text`` key)."""
+        return self.call("telemetry", {"format": fmt})
+
     def models(self) -> dict:
         return self.call("models")
 

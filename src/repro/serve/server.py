@@ -47,10 +47,22 @@ On top of the batching core sits the production hardening
   ``delay``) fires inside request handling so ``repro chaos --serve``
   can exercise all of the above deterministically.
 
-Methods: ``predict``, ``models``, ``stats``, ``ping``, ``shutdown``.
-``ping`` returns the ``repro-serve-health/1`` readiness document
-(status ``ready``/``draining``, registry digest, breaker states). EOF
-on the input is a graceful shutdown too.
+* **Telemetry** — ``--telemetry PATH`` samples the server's metrics
+  into a rotating ``repro-telemetry/1`` JSONL journal
+  (:class:`repro.obs.telemetry.TelemetryExporter`), and the
+  ``telemetry`` RPC serves the same snapshot live (JSON or a
+  Prometheus-style text exposition) for scrapers and ``repro top``.
+* **Flight recorder** — ``--flight-recorder PATH`` keeps a bounded ring
+  of recent request outcomes/errors/breaker transitions
+  (:class:`repro.obs.flightrec.FlightRecorder`) and dumps it atomically
+  as ``repro-flightrec/1`` on SIGTERM, on an unhandled worker
+  exception, and (edge-triggered, exactly once) on the first
+  breaker-open transition.
+
+Methods: ``predict``, ``models``, ``stats``, ``telemetry``, ``ping``,
+``shutdown``. ``ping`` returns the ``repro-serve-health/1`` readiness
+document (status ``ready``/``draining``, registry digest, breaker
+states). EOF on the input is a graceful shutdown too.
 """
 
 from __future__ import annotations
@@ -66,8 +78,14 @@ import numpy as np
 
 from repro.faults.plan import should_inject
 from repro.obs import metrics as obs_metrics
+from repro.obs.flightrec import FlightRecorder
 from repro.obs.log import emit as emit_event
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import (
+    TelemetryExporter,
+    render_prometheus,
+    snapshot_doc,
+)
 from repro.core.store import CampaignKey
 
 from .breaker import CircuitBreaker
@@ -194,6 +212,15 @@ class PredictionServer:
         re-publish (invalidate the affected cache entries, reset the
         model's breaker). On by default; disable for digest-stable
         benchmarking.
+    telemetry_path / telemetry_interval_s:
+        Opt-in rotating ``repro-telemetry/1`` journal of periodic
+        metric snapshots; the TCP frontend starts/stops the sampler
+        thread. Telemetry never touches the predict path — responses
+        are bit-identical with it on or off.
+    flightrec_path:
+        Opt-in flight recorder: a bounded ring of recent request
+        outcomes dumped as ``repro-flightrec/1`` on SIGTERM, unhandled
+        worker exception, or the first breaker-open transition.
     """
 
     def __init__(
@@ -206,6 +233,9 @@ class PredictionServer:
         breaker_threshold: int = 5,
         breaker_cooldown: int = 8,
         watch_reload: bool = True,
+        telemetry_path: str | None = None,
+        telemetry_interval_s: float = 5.0,
+        flightrec_path: str | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1; got {max_batch}")
@@ -227,6 +257,17 @@ class PredictionServer:
         #: Server-local metrics (always on, independent of whether an
         #: ambient ``collect()`` window is installed).
         self.metrics = MetricsRegistry()
+        self.telemetry: TelemetryExporter | None = None
+        if telemetry_path is not None:
+            self.telemetry = TelemetryExporter(
+                telemetry_path,
+                self.telemetry_doc,
+                source="serve",
+                interval_s=telemetry_interval_s,
+            )
+        self.flightrec: FlightRecorder | None = None
+        if flightrec_path is not None:
+            self.flightrec = FlightRecorder(flightrec_path)
         self.requests_served = 0
         self.inflight = 0
         self._stop = False
@@ -399,6 +440,8 @@ class PredictionServer:
                 result = self.health()
             elif method == "stats":
                 result = self.stats()
+            elif method == "telemetry":
+                result = self._telemetry_rpc(req.get("params") or {})
             elif method == "models":
                 result = self._models()
             elif method == "shutdown":
@@ -617,6 +660,8 @@ class PredictionServer:
                 cleared = self.breakers.reset(dirname)
                 self.metrics.inc("serve.reloads")
                 obs_metrics.inc("serve.reloads")
+                if self.flightrec is not None:
+                    self.flightrec.record("reload", campaign=dirname)
                 emit_event(
                     "serve.reload",
                     campaign=dirname,
@@ -641,6 +686,10 @@ class PredictionServer:
         if not self._draining:
             self._draining = True
             self._served_at_drain = self.requests_served
+            if self.flightrec is not None:
+                self.flightrec.record(
+                    "drain.begin", requests_served=self.requests_served
+                )
             emit_event(
                 "serve.drain.begin", requests_served=self.requests_served
             )
@@ -696,21 +745,68 @@ class PredictionServer:
             "breakers": self.breakers.summary(),
         }
 
+    def telemetry_doc(self) -> dict:
+        """Telemetry body: metric snapshot plus serving-layer state.
+
+        The one source both the rotating journal and the ``telemetry``
+        RPC (and through it ``repro top``) sample, so an operator's
+        scrape and the on-disk heartbeat can never disagree about
+        shape.
+        """
+        doc = snapshot_doc(self.metrics)
+        cache = dict(self.cache.stats)
+        looked_up = cache.get("hit", 0) + cache.get("miss", 0)
+        doc["breakers"] = self.breakers.summary()
+        doc["server"] = {
+            "requests_served": self.requests_served,
+            "inflight": int(self.inflight),
+            "draining": int(self._draining),
+            "drained": self.drained_count(),
+            "max_batch": self.max_batch,
+            "cache_entries": len(self.cache),
+            "cache_hits": cache.get("hit", 0),
+            "cache_misses": cache.get("miss", 0),
+            "cache_evictions": cache.get("eviction", 0),
+            "cache_hit_rate": (
+                cache.get("hit", 0) / looked_up if looked_up else 0.0
+            ),
+        }
+        return doc
+
+    def _telemetry_rpc(self, params: dict) -> dict:
+        fmt = params.get("format", "json")
+        doc = self.telemetry_doc()
+        if fmt == "json":
+            return {"format": "json", "telemetry": doc}
+        if fmt == "prometheus":
+            return {"format": "prometheus", "text": render_prometheus(doc)}
+        raise _RpcError(
+            INVALID_PARAMS,
+            f"'format' must be 'json' or 'prometheus'; got {fmt!r}",
+        )
+
     def _observe(self, method: str, seconds: float) -> None:
         self.requests_served += 1
         seconds = max(seconds, 0.0)
         self.metrics.observe("serve.request", seconds, method=method)
         obs_metrics.observe("serve.request", seconds, method=method)
+        if self.flightrec is not None:
+            self.flightrec.record(
+                "request", method=method, ms=round(seconds * 1e3, 3)
+            )
 
     def _breaker_event(self, kind: str, key: tuple) -> None:
         self.metrics.inc(f"serve.breaker.{kind}")
         obs_metrics.inc(f"serve.breaker.{kind}")
+        model = "@".join(str(part) for part in key)
+        if self.flightrec is not None:
+            self.flightrec.record("breaker", state=kind, model=model)
+            if kind == "open":
+                # Edge-triggered: the first open captures the ring; a
+                # flapping breaker must not overwrite that state.
+                self.flightrec.dump_once("breaker_open")
         if kind in ("open", "close"):
-            emit_event(
-                "serve.breaker",
-                state=kind,
-                model="@".join(str(part) for part in key),
-            )
+            emit_event("serve.breaker", state=kind, model=model)
 
     def set_inflight(self, n: int) -> None:
         """Frontend hook: admitted-but-unanswered request gauge."""
@@ -722,6 +818,8 @@ class PredictionServer:
         """Frontend hook: one request refused because the queue was full."""
         self.metrics.inc("serve.shed")
         obs_metrics.inc("serve.shed")
+        if self.flightrec is not None:
+            self.flightrec.record("shed")
 
     def reject_line(self, line: str, code: int, message: str) -> str | None:
         """Typed refusal for a request that never reached a worker
@@ -738,6 +836,13 @@ class PredictionServer:
         return json.dumps(resp, sort_keys=True)
 
     def _error(self, req_id, exc: _RpcError) -> dict | None:
+        if self.flightrec is not None:
+            self.flightrec.record(
+                "error",
+                code=exc.code,
+                kind=ERROR_KINDS.get(exc.code, "error"),
+                message=str(exc)[:200],
+            )
         if req_id is None:
             return None
         return {
@@ -785,9 +890,15 @@ def serve_stdio(
         stdout.write(text + "\n")
         stdout.flush()
 
-    return server.run(
-        lambda: drain_lines(stdin, server.max_batch), write_line
-    )
+    if server.telemetry is not None:
+        server.telemetry.start()
+    try:
+        return server.run(
+            lambda: drain_lines(stdin, server.max_batch), write_line
+        )
+    finally:
+        if server.telemetry is not None:
+            server.telemetry.stop()
 
 
 # -- concurrent TCP frontend -------------------------------------------------
@@ -914,6 +1025,11 @@ def serve_tcp(
                         [b.line for b in batch], [b.arrival for b in batch]
                     )
                 except Exception as exc:  # keep the pool alive, always
+                    if server.flightrec is not None:
+                        server.flightrec.record(
+                            "worker_exception", error=str(exc)[:200]
+                        )
+                        server.flightrec.dump("worker_exception")
                     outs = [
                         server.reject_line(
                             b.line, INTERNAL_ERROR, f"request failed: {exc}"
@@ -963,6 +1079,9 @@ def serve_tcp(
         def _on_signal(signum, frame):
             server.begin_drain()
             server._stop = True
+            if server.flightrec is not None:
+                server.flightrec.record("signal", signum=int(signum))
+                server.flightrec.dump("sigterm")
 
         for sig in (signal.SIGTERM, signal.SIGINT):
             try:
@@ -993,6 +1112,8 @@ def serve_tcp(
         )
         if on_ready is not None:
             on_ready(bound[0], bound[1])
+        if server.telemetry is not None:
+            server.telemetry.start()
         for t in worker_threads:
             t.start()
         sock.settimeout(poll_s)
@@ -1030,5 +1151,9 @@ def serve_tcp(
                 signal.signal(sig, handler)
             except (ValueError, OSError):
                 pass
+        if server.telemetry is not None:
+            # Final flush after the drain so the journal's tail carries
+            # the complete request/shed/drain accounting.
+            server.telemetry.stop()
         emit_event("serve.stop", requests_served=server.requests_served)
     return server.requests_served

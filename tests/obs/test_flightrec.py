@@ -1,0 +1,163 @@
+"""Tests for the flight recorder (repro.obs.flightrec)."""
+
+import json
+
+import pytest
+
+from repro.obs import FlightRecorder, read_flightrec
+from repro.obs.flightrec import SCHEMA
+
+
+class TestRing:
+    def test_bounded_capacity_keeps_newest(self, tmp_path):
+        rec = FlightRecorder(tmp_path / "f.json", capacity=4)
+        for i in range(10):
+            rec.record("request", i=i)
+        events = rec.events()
+        assert len(events) == 4
+        assert [e["fields"]["i"] for e in events] == [6, 7, 8, 9]
+
+    def test_sequence_and_drop_accounting(self, tmp_path):
+        rec = FlightRecorder(tmp_path / "f.json", capacity=3)
+        for i in range(5):
+            rec.record("x")
+        doc = json.loads(rec.dump("test").read_text())
+        assert doc["recorded"] == 5
+        assert doc["dropped"] == 2
+        assert [e["seq"] for e in doc["events"]] == [3, 4, 5]
+
+    def test_field_named_kind_is_allowed(self, tmp_path):
+        # The server's error records carry a 'kind' field; it must not
+        # collide with the record kind itself.
+        rec = FlightRecorder(tmp_path / "f.json")
+        rec.record("error", kind="internal_error", code=-32603)
+        [event] = rec.events()
+        assert event["kind"] == "error"
+        assert event["fields"]["kind"] == "internal_error"
+
+    def test_events_returns_a_copy(self, tmp_path):
+        rec = FlightRecorder(tmp_path / "f.json")
+        rec.record("a")
+        snapshot = rec.events()
+        rec.record("b")
+        assert len(snapshot) == 1
+        assert len(rec.events()) == 2
+
+    def test_rejects_bad_capacity(self, tmp_path):
+        with pytest.raises(ValueError):
+            FlightRecorder(tmp_path / "f.json", capacity=0)
+
+
+class TestDump:
+    def test_dump_writes_a_valid_artifact(self, tmp_path):
+        path = tmp_path / "flightrec.json"
+        rec = FlightRecorder(path)
+        rec.record("breaker", state="open", model="gemm@volta")
+        assert rec.dump("sigterm") == path
+        doc = read_flightrec(path)
+        assert doc["schema"] == SCHEMA
+        assert doc["reason"] == "sigterm"
+        assert doc["dump_count"] == 1
+        assert doc["events"][0]["fields"]["model"] == "gemm@volta"
+        assert "git_rev" in doc["provenance"]
+
+    def test_dump_replaces_and_counts(self, tmp_path):
+        path = tmp_path / "f.json"
+        rec = FlightRecorder(path)
+        rec.record("a")
+        rec.dump("worker_exception")
+        rec.record("b")
+        rec.dump("sigterm")
+        doc = read_flightrec(path)
+        assert doc["reason"] == "sigterm"
+        assert doc["dump_count"] == 2
+        assert len(doc["events"]) == 2
+
+    def test_dump_once_is_edge_triggered(self, tmp_path):
+        path = tmp_path / "f.json"
+        rec = FlightRecorder(path)
+        rec.record("breaker", state="open")
+        assert rec.dump_once("breaker_open") == path
+        rec.record("breaker", state="open")
+        # A flapping breaker must not overwrite first-failure state.
+        assert rec.dump_once("breaker_open") is None
+        doc = read_flightrec(path)
+        assert doc["dump_count"] == 1
+        assert len(doc["events"]) == 1
+
+    def test_dump_after_dump_once_still_works(self, tmp_path):
+        # SIGTERM after a breaker-open dump must still capture the
+        # (newer) ring: dump() is unconditional.
+        path = tmp_path / "f.json"
+        rec = FlightRecorder(path)
+        rec.record("breaker", state="open")
+        rec.dump_once("breaker_open")
+        rec.record("signal", signum=15)
+        rec.dump("sigterm")
+        doc = read_flightrec(path)
+        assert doc["reason"] == "sigterm"
+        assert doc["dump_count"] == 2
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        rec = FlightRecorder(tmp_path / "f.json")
+        rec.record("a")
+        rec.dump("test")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["f.json"]
+
+    def test_read_refuses_foreign_schema(self, tmp_path):
+        path = tmp_path / "f.json"
+        path.write_text('{"schema": "other/1"}')
+        with pytest.raises(ValueError, match="unknown flight-recorder"):
+            read_flightrec(path)
+
+    def test_read_refuses_missing_fields(self, tmp_path):
+        path = tmp_path / "f.json"
+        path.write_text(json.dumps({"schema": SCHEMA, "reason": "x"}))
+        with pytest.raises(ValueError, match="does not conform"):
+            read_flightrec(path)
+
+
+class TestServerIntegration:
+    def test_breaker_open_dumps_exactly_once(self, tmp_path):
+        # Unit-level mirror of the chaos --serve assertion: wire a
+        # recorder into a PredictionServer, corrupt the stored fit so
+        # the breaker opens, and check the one edge-triggered dump.
+        import numpy as np
+
+        from repro.ml.forest import RandomForestRegressor
+        from repro.serve import FitRegistry, PredictionServer, ServableFit
+
+        features = ["a", "b"]
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(40, 2))
+        forest = RandomForestRegressor(n_trees=4, rng=1).fit(
+            X, X @ np.array([1.0, 2.0]), feature_names=features
+        )
+        from repro.faults import FaultPlan, FaultSpec, fault_injection
+
+        registry = FitRegistry(tmp_path / "models")
+        registry.publish(ServableFit(
+            kernel="k", arch="a", tag=None, forest=forest,
+            feature_names=features, source={},
+        ))
+        path = tmp_path / "flightrec.json"
+        server = PredictionServer(
+            registry, breaker_threshold=2, breaker_cooldown=2,
+            watch_reload=False, flightrec_path=str(path),
+        )
+        line = json.dumps({
+            "id": "r1", "method": "predict",
+            "params": {"kernel": "k", "arch": "a", "X": [[1.0, 2.0]]},
+        })
+        plan = FaultPlan(
+            [FaultSpec("registry.load", "corrupt", payload={"times": 4})],
+            seed=0,
+        )
+        with fault_injection(plan):
+            for _ in range(6):
+                server.handle_batch([line])
+        doc = read_flightrec(path)
+        assert doc["reason"] == "breaker_open"
+        assert doc["dump_count"] == 1
+        kinds = {e["kind"] for e in doc["events"]}
+        assert "error" in kinds

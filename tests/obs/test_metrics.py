@@ -3,6 +3,7 @@
 import pytest
 
 from repro.obs import (
+    LogHistogram,
     MetricsRegistry,
     collect,
     current_metrics,
@@ -12,6 +13,7 @@ from repro.obs import (
     set_gauge,
     timer,
 )
+from repro.obs.metrics import RAW_SAMPLE_CAP
 
 
 class TestDisabledDefault:
@@ -188,6 +190,153 @@ class TestMerge:
         b.set_gauge("g", 9.0)
         a.merge(b)
         assert a.snapshot()["gauge"]["g"] == pytest.approx(9.0)
+
+
+def _hist(values) -> LogHistogram:
+    h = LogHistogram()
+    for v in values:
+        h.observe(v)
+    return h
+
+
+def _merged(parts) -> LogHistogram:
+    root = LogHistogram()
+    for part in parts:
+        root.merge(_hist(part))
+    return root
+
+
+class TestLogHistogram:
+    def test_memory_is_bounded_past_the_cap(self):
+        # The whole point of the histogram: Timer memory must not grow
+        # with the observation count.
+        h = _hist([0.001 * (i + 1) for i in range(RAW_SAMPLE_CAP + 50)])
+        assert h.samples is None
+        assert h.count == RAW_SAMPLE_CAP + 50
+        assert len(h.buckets) < 200  # sparse log-spaced, not per-value
+
+    def test_exact_quantiles_below_the_cap(self):
+        h = _hist([0.1, 0.2, 0.3, 0.4])
+        assert h.quantile(0.5) == pytest.approx(0.25)
+
+    def test_bucketed_quantiles_clamped_to_min_max(self):
+        values = [0.001 * (i + 1) for i in range(RAW_SAMPLE_CAP + 100)]
+        h = _hist(values)
+        assert h.samples is None
+        assert min(values) <= h.quantile(0.0) <= h.quantile(0.5) \
+            <= h.quantile(1.0) <= max(values)
+        assert h.quantile(1.0) == pytest.approx(max(values))
+        assert h.quantile(0.0) == pytest.approx(min(values))
+
+    def test_bucketed_quantile_close_to_exact(self):
+        # Log-spaced buckets (growth 2^0.25) bound the relative error
+        # of interior quantiles to one bucket's width.
+        values = [0.0005 * (i + 1) for i in range(RAW_SAMPLE_CAP * 2)]
+        h = _hist(values)
+        exact = sorted(values)[len(values) // 2]
+        assert h.quantile(0.5) == pytest.approx(exact, rel=0.2)
+
+    def test_empty_histogram(self):
+        h = LogHistogram()
+        assert h.count == 0
+        assert h.quantile(0.5) is None
+        assert h.summary()["count"] == 0
+
+    def test_single_observation(self):
+        h = _hist([0.25])
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(0.25)
+
+    def test_nonpositive_observations_survive(self):
+        h = _hist([0.0, -0.1, 0.5])
+        assert h.count == 3
+        assert h.min_value == pytest.approx(-0.1)
+        assert h.quantile(1.0) == pytest.approx(0.5)
+
+    def test_cumulative_buckets_monotone_and_complete(self):
+        h = _hist([0.001, 0.01, 0.1, 1.0, 10.0] * 3)
+        cum = h.cumulative_buckets()
+        counts = [c for _, c in cum]
+        assert counts == sorted(counts)
+        assert cum[-1][0] == float("inf")
+        assert cum[-1][1] == h.count
+
+
+class TestHistogramMergeSemantics:
+    """Satellite: merge(a, b) == merge(b, a), bit for bit."""
+
+    CASES = [
+        ([0.1, 0.2], [0.3]),
+        ([], []),
+        ([], [0.5]),
+        ([0.25], [0.25]),
+        ([0.0, -1.0], [2.0]),
+        # Past the cap on one side: the merge must drop samples on
+        # both orders identically.
+        ([0.001 * (i + 1) for i in range(RAW_SAMPLE_CAP + 1)], [0.5]),
+        # Past the cap only when combined.
+        (
+            [0.001 * (i + 1) for i in range(RAW_SAMPLE_CAP // 2 + 10)],
+            [0.002 * (i + 1) for i in range(RAW_SAMPLE_CAP // 2 + 10)],
+        ),
+    ]
+
+    @pytest.mark.parametrize("a_vals,b_vals", CASES)
+    def test_merge_commutes_bit_for_bit(self, a_vals, b_vals):
+        ab = _merged([a_vals, b_vals])
+        ba = _merged([b_vals, a_vals])
+        assert ab.to_dict() == ba.to_dict()
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert ab.quantile(q) == ba.quantile(q)
+
+    def test_merge_empty_is_identity(self):
+        a = _hist([0.1, 0.9, 0.4])
+        before = a.to_dict()
+        a.merge(LogHistogram())
+        assert a.to_dict() == before
+
+    def test_exact_mode_drops_permanently_through_merges(self):
+        # Once either side has shed its raw samples, the merged
+        # histogram must never resurrect exact mode.
+        big = _hist([0.001 * (i + 1) for i in range(RAW_SAMPLE_CAP + 1)])
+        assert big.samples is None
+        small = _hist([0.5])
+        small.merge(big)
+        assert small.samples is None
+
+    def test_fan_in_partitions_agree(self):
+        # The same observations fanned through 1 or 4 worker
+        # registries (the n_jobs shapes the campaign uses) must
+        # produce one identical snapshot.
+        values = [0.001 * ((i * 7919) % 1000 + 1) for i in range(64)]
+
+        def fan_in(n_jobs):
+            root = MetricsRegistry()
+            for w in range(n_jobs):
+                worker = MetricsRegistry()
+                for v in values[w::n_jobs]:
+                    worker.observe("step", v)
+                root.merge(worker)
+            return root.snapshot()["timer"]["step"]
+
+        assert fan_in(1) == fan_in(4)
+
+    def test_fan_in_partitions_agree_past_cap(self):
+        values = [
+            0.001 * ((i * 104729) % 5000 + 1)
+            for i in range(RAW_SAMPLE_CAP + 200)
+        ]
+
+        def fan_in(n_jobs):
+            root = MetricsRegistry()
+            for w in range(n_jobs):
+                worker = MetricsRegistry()
+                for v in values[w::n_jobs]:
+                    worker.observe("step", v)
+                root.merge(worker)
+            return root.snapshot()["timer"]["step"]
+
+        assert fan_in(1) == fan_in(4)
 
 
 class TestCollect:

@@ -1,0 +1,132 @@
+"""The ``telemetry`` RPC and the telemetry-is-free invariant.
+
+Two contracts: a scrape (JSON or Prometheus text) reflects the server's
+metrics/breaker/cache state, and turning telemetry + flight recording
+on changes *nothing* about the bytes the server answers with.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import read_telemetry
+from repro.serve import PredictionServer
+
+
+def _request(rid, X, kernel="gemm", arch="volta"):
+    return json.dumps({
+        "id": rid,
+        "method": "predict",
+        "params": {"kernel": kernel, "arch": arch, "X": X.tolist()},
+    }, sort_keys=True)
+
+
+def _call(server, method, params=None, rid="t1"):
+    req = {"id": rid, "method": method}
+    if params is not None:
+        req["params"] = params
+    [line] = server.handle_batch([json.dumps(req)])
+    return json.loads(line)
+
+
+class TestTelemetryRpc:
+    def test_json_snapshot_shape(self, registry, queries):
+        server = PredictionServer(registry)
+        server.handle_batch([_request("r1", queries[0])])
+        resp = _call(server, "telemetry")
+        assert "error" not in resp
+        doc = resp["result"]["telemetry"]
+        assert resp["result"]["format"] == "json"
+        assert doc["timers"]["serve.request{method=predict}"]["count"] == 1
+        srv = doc["server"]
+        assert srv["requests_served"] == 1
+        assert srv["cache_misses"] == 1
+        assert srv["cache_hit_rate"] == pytest.approx(0.0)
+        assert doc["breakers"] == {}
+
+    def test_cache_hit_rate_moves(self, registry, queries):
+        server = PredictionServer(registry)
+        for i, X in enumerate(queries[:3]):
+            server.handle_batch([_request(f"r{i}", X)])
+        doc = _call(server, "telemetry")["result"]["telemetry"]
+        srv = doc["server"]
+        assert srv["cache_hits"] == 2
+        assert srv["cache_misses"] == 1
+        assert srv["cache_hit_rate"] == pytest.approx(2 / 3)
+
+    def test_prometheus_exposition(self, registry, queries):
+        server = PredictionServer(registry)
+        server.handle_batch([_request("r1", queries[0])])
+        result = _call(server, "telemetry", {"format": "prometheus"})
+        text = result["result"]["text"]
+        assert result["result"]["format"] == "prometheus"
+        assert "# TYPE repro_serve_request_seconds histogram" in text
+        assert (
+            'repro_serve_request_seconds_count{method="predict"} 1' in text
+        )
+        assert "repro_server_requests_served 1" in text
+
+    def test_scrapes_do_not_perturb_predict_series(self, registry, queries):
+        # Scraping is observed under its own method label; the predict
+        # series an operator is watching must not move.
+        server = PredictionServer(registry)
+        server.handle_batch([_request("r1", queries[0])])
+        a = _call(server, "telemetry", rid="a")["result"]["telemetry"]
+        b = _call(server, "telemetry", rid="b")["result"]["telemetry"]
+        key = "serve.request{method=predict}"
+        assert a["timers"][key] == b["timers"][key]
+        assert b["timers"]["serve.request{method=telemetry}"]["count"] == 1
+
+    def test_bad_format_is_a_typed_error(self, registry):
+        resp = _call(server := PredictionServer(registry), "telemetry",
+                     {"format": "xml"})
+        assert resp["error"]["kind"] == "invalid_params"
+        assert server.requests_served == 1  # still counted
+
+    def test_counters_are_monotone_across_scrapes(self, registry, queries):
+        server = PredictionServer(registry)
+        server.handle_batch([_request("r1", queries[0])])
+        first = _call(server, "telemetry")["result"]["telemetry"]
+        server.handle_batch([_request("r2", queries[1])])
+        second = _call(server, "telemetry")["result"]["telemetry"]
+        for key, value in first["counters"].items():
+            assert second["counters"].get(key, 0) >= value
+        assert (
+            second["server"]["requests_served"]
+            > first["server"]["requests_served"]
+        )
+
+
+class TestTelemetryIsFree:
+    def test_responses_bit_identical_with_telemetry_on(
+        self, tmp_path, registry, queries
+    ):
+        # The core invariant of the PR: predictions are byte-identical
+        # with the full observability stack on or off.
+        plain = PredictionServer(registry)
+        observed = PredictionServer(
+            registry,
+            telemetry_path=str(tmp_path / "telemetry.jsonl"),
+            telemetry_interval_s=60.0,
+            flightrec_path=str(tmp_path / "flightrec.json"),
+        )
+        lines = [_request(f"r{i}", X) for i, X in enumerate(queries)]
+        assert plain.handle_batch(lines) == observed.handle_batch(lines)
+        # ... and the exporter journal validates against its schema.
+        observed.telemetry.export_once()
+        [record] = read_telemetry(tmp_path / "telemetry.jsonl")
+        assert record["server"]["requests_served"] == len(lines)
+
+    def test_exporter_journal_passes_artifact_lint(
+        self, tmp_path, registry, queries
+    ):
+        from repro.analysis.schemas import lint_artifacts
+
+        server = PredictionServer(
+            registry, telemetry_path=str(tmp_path / "telemetry.jsonl")
+        )
+        server.handle_batch([_request("r1", queries[0])])
+        server.telemetry.export_once()
+        server.telemetry.export_once()
+        findings = lint_artifacts([tmp_path / "telemetry.jsonl"])
+        assert [f for f in findings if f.severity != "info"] == []

@@ -86,11 +86,14 @@ FAULTS_EXPORTS = [
 OBS_EXPORTS = [
     "Event",
     "EventLog",
+    "FlightRecorder",
+    "LogHistogram",
     "Manifest",
     "MetricsRegistry",
     "Report",
     "ReportSection",
     "SpanRecord",
+    "TelemetryExporter",
     "Tracer",
     "append_history",
     "build_manifest",
@@ -110,9 +113,13 @@ OBS_EXPORTS = [
     "metrics_enabled",
     "observe",
     "read_events",
+    "read_flightrec",
     "read_history",
+    "read_telemetry",
+    "render_prometheus",
     "render_text_tree",
     "set_gauge",
+    "snapshot_doc",
     "span",
     "span_totals",
     "timer",
